@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks backing the figure harness: kernel costs,
+//! build phases, backend call overheads, and memory operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rlgraph_agents::{Backend, DqnAgent, DqnConfig, EpsilonSchedule};
+use rlgraph_memory::{PrioritizedReplay, Transition};
+use rlgraph_nn::{Activation, NetworkSpec};
+use rlgraph_spaces::Space;
+use rlgraph_tensor::{forward, OpKind, Tensor};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("kernel/matmul_64x64", |bench| {
+        bench.iter(|| forward(&OpKind::MatMul, &[&a, &b]).unwrap())
+    });
+    let img = Tensor::rand_uniform(&[4, 2, 16, 16], -1.0, 1.0, &mut rng);
+    let filt = Tensor::rand_uniform(&[8, 2, 3, 3], -1.0, 1.0, &mut rng);
+    c.bench_function("kernel/conv2d_16x16", |bench| {
+        bench.iter(|| forward(&OpKind::Conv2d { stride: 1, padding: 1 }, &[&img, &filt]).unwrap())
+    });
+    c.bench_function("kernel/softmax_64", |bench| {
+        bench.iter(|| forward(&OpKind::Softmax { axis: 1 }, &[&a]).unwrap())
+    });
+}
+
+fn agent(backend: Backend) -> DqnAgent {
+    let config = DqnConfig {
+        backend,
+        network: NetworkSpec::mlp(&[64, 64], Activation::Tanh),
+        memory_capacity: 1024,
+        batch_size: 16,
+        epsilon: EpsilonSchedule { start: 0.0, end: 0.0, decay_steps: 1 },
+        seed: 1,
+        ..DqnConfig::default()
+    };
+    DqnAgent::new(config, &Space::float_box(&[8]), &Space::int_box(4)).unwrap()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    group.bench_function("dqn_static", |bench| bench.iter(|| agent(Backend::Static)));
+    group.bench_function("dqn_define_by_run", |bench| {
+        bench.iter(|| agent(Backend::DefineByRun))
+    });
+    group.finish();
+}
+
+fn bench_act(c: &mut Criterion) {
+    let mut group = c.benchmark_group("act_call");
+    let states = Tensor::full(&[8, 8], 0.4);
+    let mut static_agent = agent(Backend::Static);
+    group.bench_function("static_batch8", |bench| {
+        bench.iter(|| static_agent.get_actions(states.clone(), false).unwrap())
+    });
+    let mut dbr_agent = agent(Backend::DefineByRun);
+    group.bench_function("define_by_run_batch8", |bench| {
+        bench.iter(|| dbr_agent.get_actions(states.clone(), false).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    let tr = Transition::new(
+        Tensor::zeros(&[8], rlgraph_tensor::DType::F32),
+        Tensor::scalar_i64(0),
+        1.0,
+        Tensor::zeros(&[8], rlgraph_tensor::DType::F32),
+        false,
+    );
+    group.bench_function("insert", |bench| {
+        let mut mem = PrioritizedReplay::new(4096, 0.6);
+        bench.iter(|| mem.insert_with_priority(tr.clone(), 1.0))
+    });
+    group.bench_function("sample32", |bench| {
+        let mut mem = PrioritizedReplay::new(4096, 0.6);
+        for _ in 0..1024 {
+            mem.insert_with_priority(tr.clone(), 1.0);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        bench.iter(|| mem.sample(32, 0.4, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_build, bench_act, bench_memory);
+criterion_main!(benches);

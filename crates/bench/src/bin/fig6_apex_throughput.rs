@@ -1,0 +1,212 @@
+//! Figure 6: distributed Ape-X sample throughput vs worker count,
+//! RLgraph vs the RLlib-style baseline.
+//!
+//! This machine has one CPU core, so 16–256 workers cannot run natively.
+//! Per DESIGN.md §2, the harness **measures** each implementation's real
+//! per-task costs here (collection-task time, shard insert, learner step),
+//! then replays the paper's coordination pattern at scale on the
+//! discrete-event simulator — relative shapes come from measured
+//! mechanisms, not assumed numbers.
+//!
+//! Paper shape: RLgraph above RLlib at every worker count (+185% at 16
+//! workers, +60% at 256), both flattening as shards/learner saturate.
+
+use bench::{tsv_header, tsv_row};
+use rlgraph_agents::apex::ApexWorker;
+use rlgraph_agents::{Backend, DqnAgent, DqnConfig, EpsilonSchedule};
+use rlgraph_baselines::RllibStyleWorker;
+use rlgraph_envs::{Env, GridPong, GridPongConfig, VectorEnv};
+use rlgraph_memory::{PrioritizedReplay, Transition};
+use rlgraph_nn::{Activation, NetworkSpec};
+use rlgraph_sim::{simulate_apex, ApexSimParams};
+use rlgraph_tensor::Tensor;
+use std::time::Instant;
+
+const ENVS_PER_WORKER: usize = 4;
+const TASK_SIZE: usize = 200;
+/// The paper's learner runs on a V100 GPU; this machine is one CPU core.
+/// Dense f32 training steps are modelled as this much faster on the GPU —
+/// the standard ballpark for small-batch V100-vs-single-core throughput
+/// (documented substitution, DESIGN.md §2).
+const GPU_SPEEDUP: f64 = 50.0;
+/// Worker → shard sample traffic crosses the network through Ray's object
+/// store in the paper's deployment; in-process channels skip that cost, so
+/// shard service is charged the transfer time at this NIC bandwidth
+/// (bytes/second; 10 Gbit/s, the GCP default class).
+const NET_BANDWIDTH: f64 = 1.25e9;
+
+fn agent_config() -> DqnConfig {
+    DqnConfig {
+        backend: Backend::Static,
+        network: NetworkSpec::new(vec![
+            rlgraph_nn::LayerSpec::Flatten,
+            rlgraph_nn::LayerSpec::Dense { units: 128, activation: Activation::Tanh },
+            rlgraph_nn::LayerSpec::Dense { units: 64, activation: Activation::Tanh },
+        ]),
+        memory_capacity: 2048,
+        batch_size: 32,
+        n_step: 3,
+        epsilon: EpsilonSchedule { start: 0.2, end: 0.2, decay_steps: 1 },
+        seed: 5,
+        ..DqnConfig::default()
+    }
+}
+
+fn env(seed: u64) -> GridPong {
+    // Pixel observations: sample volume per transition matters for shard
+    // saturation, as with the paper's Atari frame stacks.
+    GridPong::new(GridPongConfig { seed, points_to_win: 1_000_000, ..Default::default() })
+}
+
+struct Calibration {
+    task_time: f64,
+    frames_per_task: f64,
+    insert_time: f64,
+    sample_time: f64,
+    priority_update_time: f64,
+    train_time: f64,
+}
+
+fn calibrate_rlgraph() -> Calibration {
+    let vec_env = VectorEnv::from_factory(ENVS_PER_WORKER, |i| {
+        Box::new(env(i as u64)) as Box<dyn Env>
+    })
+    .expect("envs");
+    let mut worker = ApexWorker::new(agent_config(), vec_env).expect("worker");
+    worker.collect(TASK_SIZE).expect("warm-up");
+    let runs = 5;
+    let t0 = Instant::now();
+    let mut frames = 0u64;
+    for _ in 0..runs {
+        frames += worker.collect(TASK_SIZE).expect("collect").env_frames;
+    }
+    let task_time = t0.elapsed().as_secs_f64() / runs as f64;
+    let frames_per_task = frames as f64 / runs as f64;
+    let (insert_time, sample_time, priority_update_time) = calibrate_shard();
+    let train_time = calibrate_learner();
+    Calibration { task_time, frames_per_task, insert_time, sample_time, priority_update_time, train_time }
+}
+
+fn calibrate_rllib_style() -> Calibration {
+    let envs: Vec<Box<dyn Env>> = (0..ENVS_PER_WORKER)
+        .map(|i| Box::new(env(i as u64)) as Box<dyn Env>)
+        .collect();
+    let mut worker = RllibStyleWorker::new(agent_config(), envs).expect("worker");
+    worker.collect(TASK_SIZE).expect("warm-up");
+    let runs = 5;
+    let t0 = Instant::now();
+    let mut frames = 0u64;
+    for _ in 0..runs {
+        frames += worker.collect(TASK_SIZE).expect("collect").env_frames;
+    }
+    let task_time = t0.elapsed().as_secs_f64() / runs as f64;
+    let frames_per_task = frames as f64 / runs as f64;
+    // shards and learner are shared infrastructure: same costs
+    let (insert_time, sample_time, priority_update_time) = calibrate_shard();
+    let train_time = calibrate_learner();
+    Calibration { task_time, frames_per_task, insert_time, sample_time, priority_update_time, train_time }
+}
+
+/// Measures shard service times directly on the replay structure.
+fn calibrate_shard() -> (f64, f64, f64) {
+    use rand::SeedableRng;
+    let mut mem: PrioritizedReplay<Transition> = PrioritizedReplay::new(4096, 0.6);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    // pixel-sized records, as shipped by the workers
+    let tr = Transition::new(
+        Tensor::zeros(&[2, 16, 16], rlgraph_tensor::DType::F32),
+        Tensor::scalar_i64(0),
+        1.0,
+        Tensor::zeros(&[2, 16, 16], rlgraph_tensor::DType::F32),
+        false,
+    );
+    let t0 = Instant::now();
+    for _ in 0..TASK_SIZE * 4 {
+        mem.insert_with_priority(tr.clone(), 1.0);
+    }
+    // one insert request covers a whole task batch; shard service also
+    // carries the object-store transfer of the task's records
+    let batch_bytes = TASK_SIZE * tr.size_bytes();
+    let insert_time = t0.elapsed().as_secs_f64() / 4.0 + batch_bytes as f64 / NET_BANDWIDTH;
+    let t1 = Instant::now();
+    let reps = 50;
+    for _ in 0..reps {
+        let b = mem.sample(32, 0.4, &mut rng);
+        std::hint::black_box(&b.indices);
+    }
+    let sample_time = t1.elapsed().as_secs_f64() / reps as f64;
+    let t2 = Instant::now();
+    for _ in 0..reps {
+        mem.update_priorities(&[0, 1, 2, 3], &[1.0, 2.0, 0.5, 4.0]);
+    }
+    let priority_update_time = t2.elapsed().as_secs_f64() / reps as f64;
+    (insert_time, sample_time, priority_update_time)
+}
+
+/// Measures the learner's update-from-batch step time.
+fn calibrate_learner() -> f64 {
+    use rand::SeedableRng;
+    let e = env(0);
+    let mut learner = DqnAgent::new(agent_config(), &e.state_space(), &e.action_space()).expect("learner");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut batch = move || {
+        [
+            Tensor::rand_uniform(&[32, 2, 16, 16], 0.0, 1.0, &mut rng),
+            Tensor::rand_int(&[32], 0, 3, &mut rng),
+            Tensor::rand_uniform(&[32], -1.0, 1.0, &mut rng),
+            Tensor::rand_uniform(&[32, 2, 16, 16], 0.0, 1.0, &mut rng),
+            Tensor::zeros(&[32], rlgraph_tensor::DType::Bool),
+            Tensor::ones(&[32]),
+        ]
+    };
+    learner.update_from_batch(batch()).expect("warm-up");
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        learner.update_from_batch(batch()).expect("update");
+    }
+    // GPU learner model (documented substitution)
+    t0.elapsed().as_secs_f64() / reps as f64 / GPU_SPEEDUP
+}
+
+fn main() {
+    println!("# Figure 6: distributed Ape-X throughput (simulated cluster, measured costs)");
+    println!("# calibrating rlgraph worker ...");
+    let rlgraph = calibrate_rlgraph();
+    println!("# calibrating rllib-style worker ...");
+    let rllib = calibrate_rllib_style();
+    println!(
+        "# measured: rlgraph task {:.1} ms vs rllib-style {:.1} ms ({:.0} frames/task); learner step {:.2} ms",
+        rlgraph.task_time * 1e3,
+        rllib.task_time * 1e3,
+        rlgraph.frames_per_task,
+        rlgraph.train_time * 1e3
+    );
+    println!("# (learner step scaled by the documented {}x GPU model)", GPU_SPEEDUP);
+    tsv_header(&["workers", "rlgraph_fps", "rllib_style_fps", "rlgraph_advantage_pct"]);
+    for workers in [16usize, 32, 64, 128, 256] {
+        let params = |c: &Calibration| ApexSimParams {
+            num_workers: workers,
+            frames_per_task: c.frames_per_task,
+            task_time: c.task_time,
+            insert_time: c.insert_time,
+            sample_time: c.sample_time,
+            priority_update_time: c.priority_update_time,
+            train_time: c.train_time,
+            num_shards: 4,
+            max_shard_backlog: 0.25,
+            learner_enabled: true,
+            duration: 120.0,
+        };
+        let a = simulate_apex(&params(&rlgraph));
+        let b = simulate_apex(&params(&rllib));
+        tsv_row(&[
+            workers.to_string(),
+            format!("{:.0}", a.frames_per_second),
+            format!("{:.0}", b.frames_per_second),
+            format!("{:.0}", (a.frames_per_second / b.frames_per_second - 1.0) * 100.0),
+        ]);
+    }
+    println!("# paper shape: rlgraph leads at every count (paper: +185% @16, +60% @256),");
+    println!("# both curves flattening as shard/learner service saturates.");
+}

@@ -1,0 +1,149 @@
+//! Figure 9: IMPALA throughput on SeekAvoid vs worker count — RLgraph
+//! vs the DeepMind-reference-style implementation.
+//!
+//! Paper: "RLgraph achieves about 10-15% higher mean throughput (5 runs)
+//! for fewer workers until both implementations are limited by updates.
+//! ... DM's code also carried out unneeded variable assignments in the
+//! actor. Removing these yielded 20% improvement in a single-worker
+//! setting."
+//!
+//! The harness measures real per-rollout times for both actor variants and
+//! the learner step, then scales worker counts on the discrete-event
+//! simulator (single-core machine; DESIGN.md §2).
+
+use bench::{tsv_header, tsv_row};
+use rlgraph_agents::impala::{ImpalaActor, ImpalaLearner};
+use rlgraph_agents::{Backend, ImpalaConfig};
+use rlgraph_baselines::dm_style_config;
+use rlgraph_envs::{Env, SeekAvoid, SeekAvoidConfig, VectorEnv};
+#[allow(unused_imports)]
+use rlgraph_spaces::Space as _Space;
+use rlgraph_graph::TensorQueue;
+use rlgraph_nn::{Activation, LayerSpec, NetworkSpec};
+use rlgraph_sim::{simulate_impala, ImpalaSimParams};
+use rlgraph_spaces::Space;
+use std::time::Instant;
+
+const ENVS_PER_ACTOR: usize = 1;
+const ROLLOUT_LEN: usize = 20;
+/// The paper's learner runs on a V100 GPU; the measured CPU train step is
+/// scaled by this documented model factor (DESIGN.md §2), which is what
+/// places the actor-bound → learner-bound crossover inside the paper's
+/// worker range.
+const GPU_SPEEDUP: f64 = 50.0;
+
+fn base_config() -> ImpalaConfig {
+    ImpalaConfig {
+        backend: Backend::Static,
+        network: NetworkSpec::new(vec![
+            LayerSpec::Flatten,
+            LayerSpec::Dense { units: 128, activation: Activation::Relu },
+            LayerSpec::Dense { units: 64, activation: Activation::Relu },
+        ]),
+        rollout_len: ROLLOUT_LEN,
+        queue_capacity: 8,
+        seed: 9,
+        ..ImpalaConfig::default()
+    }
+}
+
+fn envs() -> VectorEnv {
+    VectorEnv::from_factory(ENVS_PER_ACTOR, |i| {
+        Box::new(SeekAvoid::new(SeekAvoidConfig {
+            seed: i as u64,
+            // DM-Lab 3-D tasks "are more expensive to render than Atari
+            // tasks" — the render-cost knob models that regime.
+            render_cost: 8,
+            rays: 32,
+            max_steps: 100_000,
+            ..SeekAvoidConfig::default()
+        })) as Box<dyn Env>
+    })
+    .expect("envs")
+}
+
+/// Measures seconds per fused rollout for an actor configuration.
+fn calibrate_rollout(cfg: &ImpalaConfig) -> (f64, f64) {
+    let queue = TensorQueue::new("calib", 512);
+    let mut actor = ImpalaActor::new(cfg, envs(), queue.clone()).expect("actor");
+    actor.rollout().expect("warm-up");
+    let runs = 15;
+    let frames_before = actor.env_frames();
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        actor.rollout().expect("rollout");
+    }
+    let per_rollout = t0.elapsed().as_secs_f64() / runs as f64;
+    let frames_per_rollout = (actor.env_frames() - frames_before) as f64 / runs as f64;
+    (per_rollout, frames_per_rollout)
+}
+
+/// Measures seconds per learner step (dequeue + v-trace + optimize).
+fn calibrate_learner(cfg: &ImpalaConfig) -> f64 {
+    let queue = TensorQueue::new("calib-learn", 64);
+    let calib_envs = envs();
+    let state_space = calib_envs.state_space();
+    let num_actions = calib_envs.action_space().num_categories().expect("discrete");
+    let mut actor = ImpalaActor::new(cfg, calib_envs, queue.clone()).expect("actor");
+    let mut learner = ImpalaLearner::new(
+        cfg,
+        Space::float_box_bounded(state_space.shape().expect("shape"), 0.0, 1.5),
+        num_actions,
+        ENVS_PER_ACTOR,
+        queue,
+    )
+    .expect("learner");
+    // pre-fill the queue so the learner never blocks during measurement
+    let runs = 10;
+    for _ in 0..runs + 2 {
+        actor.rollout().expect("rollout");
+    }
+    learner.learn().expect("warm-up");
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        learner.learn().expect("learn");
+    }
+    t0.elapsed().as_secs_f64() / runs as f64
+}
+
+fn main() {
+    println!("# Figure 9: IMPALA throughput on SeekAvoid (simulated cluster, measured costs)");
+    let clean = base_config();
+    let dm = dm_style_config(&clean);
+    println!("# calibrating rlgraph actor ...");
+    let (rlgraph_rollout, frames_per_rollout) = calibrate_rollout(&clean);
+    println!("# calibrating dm-style actor (redundant per-step assignments) ...");
+    let (dm_rollout, _) = calibrate_rollout(&dm);
+    let train_time = calibrate_learner(&clean) / GPU_SPEEDUP;
+    println!(
+        "# measured: rlgraph rollout {:.2} ms vs dm-style {:.2} ms (+{:.0}% single-actor); learner {:.2} ms",
+        rlgraph_rollout * 1e3,
+        dm_rollout * 1e3,
+        (dm_rollout / rlgraph_rollout - 1.0) * 100.0,
+        train_time * 1e3
+    );
+    println!("# (learner step scaled by the documented {}x GPU model)", GPU_SPEEDUP);
+    tsv_header(&["workers", "rlgraph_fps", "dm_style_fps", "rlgraph_advantage_pct"]);
+    for workers in [4usize, 8, 16, 32, 64, 128, 256] {
+        let params = |rollout_time: f64| ImpalaSimParams {
+            num_actors: workers,
+            frames_per_rollout,
+            rollout_time,
+            train_time,
+            queue_capacity: 8,
+            duration: 120.0,
+        };
+        let a = simulate_impala(&params(rlgraph_rollout));
+        let b = simulate_impala(&params(dm_rollout));
+        tsv_row(&[
+            workers.to_string(),
+            format!("{:.0}", a.frames_per_second),
+            format!("{:.0}", b.frames_per_second),
+            format!("{:.0}", (a.frames_per_second / b.frames_per_second.max(1e-9) - 1.0) * 100.0),
+        ]);
+    }
+    println!("# paper shape: rlgraph ~10-15% above the dm-style actor at low worker counts;");
+    println!("# the gap closes once both are limited by learner updates. Our crossover sits at");
+    println!("# lower worker counts than the paper's because this substrate's renderer is far");
+    println!("# cheaper than DM-Lab's real 3-D renderer (see EXPERIMENTS.md).");
+}

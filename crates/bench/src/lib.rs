@@ -1,0 +1,74 @@
+//! Shared utilities for the figure-regeneration harness.
+//!
+//! Each `fig*` binary regenerates one figure of the paper's evaluation
+//! (§5). Scaling figures (6, 9) *measure* real per-task costs on this
+//! machine and replay the coordination at scale on the calibrated
+//! discrete-event simulators from `rlgraph-sim` (see DESIGN.md §2 for the
+//! substitution rationale). Figures 5a/5b/7a are direct measurements;
+//! figures 7b/8 run real training against a virtual clock.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once for warm-up, then `runs` times, returning the mean
+/// duration per run.
+pub fn measure<F: FnMut()>(mut f: F, warmup: usize, runs: usize) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..runs.max(1) {
+        f();
+    }
+    t0.elapsed() / runs.max(1) as u32
+}
+
+/// Prints a TSV header line.
+pub fn tsv_header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints one TSV row.
+pub fn tsv_row(values: &[String]) {
+    println!("{}", values.join("\t"));
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Standard GridPong throughput environment (pixels, 16×16).
+pub fn pong_pixels(seed: u64) -> rlgraph_envs::GridPong {
+    rlgraph_envs::GridPong::new(rlgraph_envs::GridPongConfig { seed, ..Default::default() })
+}
+
+/// The small convolutional policy used by the act-throughput benchmarks
+/// (3 conv layers + dueling head, the paper's Fig. 5b architecture scaled
+/// to the GridPong raster).
+pub fn pong_conv_network() -> rlgraph_nn::NetworkSpec {
+    use rlgraph_nn::{Activation, LayerSpec, NetworkSpec};
+    NetworkSpec::new(vec![
+        LayerSpec::Conv2d { filters: 8, kernel: 4, stride: 2, padding: 1, activation: Activation::Relu },
+        LayerSpec::Conv2d { filters: 16, kernel: 4, stride: 2, padding: 1, activation: Activation::Relu },
+        LayerSpec::Conv2d { filters: 16, kernel: 3, stride: 1, padding: 1, activation: Activation::Relu },
+        LayerSpec::Flatten,
+        LayerSpec::Dense { units: 64, activation: Activation::Relu },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_mean() {
+        let d = measure(|| std::thread::sleep(Duration::from_millis(2)), 1, 3);
+        assert!(d >= Duration::from_millis(1));
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1)), "1.000");
+    }
+}

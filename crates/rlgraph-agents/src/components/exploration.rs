@@ -1,0 +1,198 @@
+//! Epsilon-greedy exploration component.
+
+use crate::config::EpsilonSchedule;
+use crate::Result;
+use rand::RngExt as _;
+use rand::SeedableRng;
+use rlgraph_core::{BuildCtx, Component, ComponentId, CoreError, OpRef};
+use rlgraph_graph::{shared_kernel, SharedKernel, StatefulKernel};
+use rlgraph_spaces::Space;
+use rlgraph_tensor::{DType, OpKind, Tensor};
+
+/// Stateful randomness source: given q-values `[b, a]`, emits uniform
+/// random actions `[b]` and per-row explore coins `[b]` under the annealed
+/// epsilon. The *selection* happens in ops so it stays inside the graph.
+struct ExploreKernel {
+    rng: rand::rngs::StdRng,
+    schedule: EpsilonSchedule,
+    steps: u64,
+}
+
+impl StatefulKernel for ExploreKernel {
+    fn name(&self) -> &str {
+        "epsilon_greedy_rng"
+    }
+
+    fn call(&mut self, inputs: &[&Tensor]) -> rlgraph_graph::Result<Vec<Tensor>> {
+        let [q] = inputs else {
+            return Err(rlgraph_graph::GraphError::new("explore kernel expects q-values"));
+        };
+        if q.rank() != 2 {
+            return Err(rlgraph_graph::GraphError::new(format!(
+                "explore kernel expects [b, actions] q-values, found {:?}",
+                q.shape()
+            )));
+        }
+        let (b, a) = (q.shape()[0], q.shape()[1]);
+        let eps = self.schedule.value_at(self.steps);
+        self.steps += b as u64;
+        let actions: Vec<i64> = (0..b).map(|_| self.rng.random_range(0..a as i64)).collect();
+        let coins: Vec<bool> = (0..b).map(|_| self.rng.random_range(0.0..1.0f32) < eps).collect();
+        Ok(vec![
+            Tensor::from_vec_i64(actions, &[b])?,
+            Tensor::from_vec_bool(coins, &[b])?,
+        ])
+    }
+
+    fn num_outputs(&self) -> usize {
+        2
+    }
+}
+
+/// Epsilon-greedy action selection. API:
+///
+/// * `get_action(q_values) -> actions` — explore with annealed epsilon
+/// * `get_action_greedy(q_values) -> actions` — pure argmax
+pub struct EpsilonGreedy {
+    name: String,
+    kernel: SharedKernel,
+    num_actions: i64,
+}
+
+impl EpsilonGreedy {
+    /// Creates the component with a schedule and action count.
+    pub fn new(
+        name: impl Into<String>,
+        schedule: EpsilonSchedule,
+        num_actions: i64,
+        seed: u64,
+    ) -> Self {
+        EpsilonGreedy {
+            name: name.into(),
+            kernel: shared_kernel(ExploreKernel {
+                rng: rand::rngs::StdRng::seed_from_u64(seed),
+                schedule,
+                steps: 0,
+            }),
+            num_actions,
+        }
+    }
+}
+
+impl Component for EpsilonGreedy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn api_methods(&self) -> Vec<String> {
+        vec!["get_action".into(), "get_action_greedy".into()]
+    }
+
+    fn call_api(
+        &mut self,
+        method: &str,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        inputs: &[OpRef],
+    ) -> Result<Vec<OpRef>> {
+        match method {
+            "get_action" => {
+                let kernel = self.kernel.clone();
+                let num_actions = self.num_actions;
+                ctx.graph_fn(id, "pick", inputs, 1, move |ctx, ins| {
+                    let greedy = ctx.emit(OpKind::ArgMax { axis: 1 }, &[ins[0]])?;
+                    let rng_out = ctx.stateful(
+                        kernel,
+                        &[ins[0]],
+                        &[
+                            Space::int_box(num_actions).with_batch_rank(),
+                            Space::bool_box().with_batch_rank(),
+                        ],
+                    )?;
+                    let (rand_actions, coin) = (rng_out[0], rng_out[1]);
+                    // where() computes in f32; cast back to i64 actions.
+                    let chosen = ctx.emit(OpKind::Where, &[coin, rand_actions, greedy])?;
+                    Ok(vec![ctx.emit(OpKind::Cast { to: DType::I64 }, &[chosen])?])
+                })
+            }
+            "get_action_greedy" => ctx.graph_fn(id, "greedy", inputs, 1, |ctx, ins| {
+                Ok(vec![ctx.emit(OpKind::ArgMax { axis: 1 }, &[ins[0]])?])
+            }),
+            other => Err(CoreError::new(format!("exploration has no method '{}'", other))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_core::{ComponentTest, TestBackend};
+
+    fn q_batch() -> Tensor {
+        // action 2 clearly best in every row
+        Tensor::from_vec(
+            vec![0.0, 0.1, 5.0, -1.0, 0.2, 3.0],
+            &[2, 3],
+        )
+        .unwrap()
+    }
+
+    fn build(schedule: EpsilonSchedule, backend: TestBackend) -> ComponentTest {
+        ComponentTest::with_backend(
+            EpsilonGreedy::new("explore", schedule, 3, 7),
+            &[
+                ("get_action", vec![Space::float_box(&[3]).with_batch_rank()]),
+                ("get_action_greedy", vec![Space::float_box(&[3]).with_batch_rank()]),
+            ],
+            backend,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_is_argmax_both_backends() {
+        for backend in [TestBackend::Static, TestBackend::DefineByRun] {
+            let mut test = build(EpsilonSchedule::default(), backend);
+            let out = test.test("get_action_greedy", &[q_batch()]).unwrap();
+            assert_eq!(out[0].as_i64().unwrap(), &[2, 2]);
+        }
+    }
+
+    #[test]
+    fn zero_epsilon_matches_greedy() {
+        let schedule = EpsilonSchedule { start: 0.0, end: 0.0, decay_steps: 1 };
+        let mut test = build(schedule, TestBackend::Static);
+        for _ in 0..5 {
+            let out = test.test("get_action", &[q_batch()]).unwrap();
+            assert_eq!(out[0].as_i64().unwrap(), &[2, 2]);
+        }
+    }
+
+    #[test]
+    fn full_epsilon_explores_all_actions() {
+        let schedule = EpsilonSchedule { start: 1.0, end: 1.0, decay_steps: 1 };
+        let mut test = build(schedule, TestBackend::Static);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let out = test.test("get_action", &[q_batch()]).unwrap();
+            for &a in out[0].as_i64().unwrap() {
+                assert!((0..3).contains(&a));
+                seen.insert(a);
+            }
+        }
+        assert_eq!(seen.len(), 3, "uniform exploration should hit every action");
+    }
+
+    #[test]
+    fn epsilon_anneals_with_usage() {
+        // start fully random, decay to greedy within 100 action requests
+        let schedule = EpsilonSchedule { start: 1.0, end: 0.0, decay_steps: 100 };
+        let mut test = build(schedule, TestBackend::Static);
+        for _ in 0..100 {
+            test.test("get_action", &[q_batch()]).unwrap();
+        }
+        // now epsilon == 0: deterministic greedy
+        let out = test.test("get_action", &[q_batch()]).unwrap();
+        assert_eq!(out[0].as_i64().unwrap(), &[2, 2]);
+    }
+}

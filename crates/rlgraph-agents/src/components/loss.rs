@@ -1,0 +1,190 @@
+//! The (double/dueling-aware) DQN loss component.
+
+use crate::Result;
+use rlgraph_core::{BuildCtx, Component, ComponentId, CoreError, OpRef};
+use rlgraph_tensor::{DType, OpKind};
+
+/// n-step double-DQN TD loss with importance weights and optional Huber
+/// clipping. API:
+///
+/// `loss(q_all, actions, rewards, q_next_online, q_next_target, terminals,
+/// weights) -> (loss, td_abs)`
+///
+/// * double: bootstrap action = argmax of the *online* next-q, valued by
+///   the *target* network; plain DQN uses the target argmax.
+/// * `td_abs` feeds priority updates.
+pub struct DqnLoss {
+    name: String,
+    gamma: f32,
+    n_step: usize,
+    double: bool,
+    huber: bool,
+}
+
+impl DqnLoss {
+    /// Creates the loss component.
+    pub fn new(name: impl Into<String>, gamma: f32, n_step: usize, double: bool, huber: bool) -> Self {
+        DqnLoss { name: name.into(), gamma, n_step: n_step.max(1), double, huber }
+    }
+}
+
+impl Component for DqnLoss {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn api_methods(&self) -> Vec<String> {
+        vec!["loss".into()]
+    }
+
+    fn call_api(
+        &mut self,
+        method: &str,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        inputs: &[OpRef],
+    ) -> Result<Vec<OpRef>> {
+        if method != "loss" {
+            return Err(CoreError::new(format!("dqn loss has no method '{}'", method)));
+        }
+        if inputs.len() != 7 {
+            return Err(CoreError::new("dqn loss expects 7 inputs"));
+        }
+        let (gamma, n_step, double, huber) = (self.gamma, self.n_step, self.double, self.huber);
+        ctx.graph_fn(id, "td_loss", inputs, 2, move |ctx, ins| {
+            let [q_all, actions, rewards, q_next_online, q_next_target, terminals, weights] =
+                *ins
+            else {
+                unreachable!("arity checked above")
+            };
+            // Q(s, a)
+            let q_sa = ctx.emit(OpKind::SelectIndex, &[q_all, actions])?;
+            // bootstrap action
+            let boot_src = if double { q_next_online } else { q_next_target };
+            let best_next = ctx.emit(OpKind::ArgMax { axis: 1 }, &[boot_src])?;
+            let q_next = ctx.emit(OpKind::SelectIndex, &[q_next_target, best_next])?;
+            // mask terminals: (1 - t)
+            let t_f = ctx.emit(OpKind::Cast { to: DType::F32 }, &[terminals])?;
+            let one = ctx.scalar(1.0);
+            let cont = ctx.emit(OpKind::Sub, &[one, t_f])?;
+            // y = r + gamma^n * cont * q_next   (no gradient into target)
+            let g = ctx.scalar(gamma.powi(n_step as i32));
+            let disc = ctx.emit(OpKind::Mul, &[q_next, g])?;
+            let masked = ctx.emit(OpKind::Mul, &[disc, cont])?;
+            let y_raw = ctx.emit(OpKind::Add, &[rewards, masked])?;
+            let y = ctx.emit(OpKind::StopGradient, &[y_raw])?;
+            // td and loss
+            let td = ctx.emit(OpKind::Sub, &[y, q_sa])?;
+            let td_abs = ctx.emit(OpKind::Abs, &[td])?;
+            let per_sample = if huber {
+                // 0.5 td^2 for |td| <= 1, |td| - 0.5 beyond
+                let sq = ctx.emit(OpKind::Square, &[td])?;
+                let half = ctx.scalar(0.5);
+                let quad = ctx.emit(OpKind::Mul, &[sq, half])?;
+                let lin = ctx.emit(OpKind::Sub, &[td_abs, half])?;
+                let one_c = ctx.scalar(1.0);
+                let small = ctx.emit(OpKind::LessEqual, &[td_abs, one_c])?;
+                ctx.emit(OpKind::Where, &[small, quad, lin])?
+            } else {
+                let sq = ctx.emit(OpKind::Square, &[td])?;
+                let half = ctx.scalar(0.5);
+                ctx.emit(OpKind::Mul, &[sq, half])?
+            };
+            let weighted = ctx.emit(OpKind::Mul, &[per_sample, weights])?;
+            let loss = ctx.emit(OpKind::Mean { axes: None, keep_dims: false }, &[weighted])?;
+            Ok(vec![loss, td_abs])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_core::{ComponentTest, TestBackend};
+    use rlgraph_spaces::Space;
+    use rlgraph_tensor::Tensor;
+
+    fn build(double: bool, huber: bool) -> ComponentTest {
+        let qs = Space::float_box_bounded(&[3], -100.0, 100.0).with_batch_rank();
+        let scalar_f = Space::float_box_bounded(&[], -100.0, 100.0).with_batch_rank();
+        ComponentTest::with_backend(
+            DqnLoss::new("loss", 0.9, 1, double, huber),
+            &[(
+                "loss",
+                vec![
+                    qs.clone(),
+                    Space::int_box(3).with_batch_rank(),
+                    scalar_f.clone(),
+                    qs.clone(),
+                    qs,
+                    Space::bool_box().with_batch_rank(),
+                    scalar_f,
+                ],
+            )],
+            TestBackend::Static,
+        )
+        .unwrap()
+    }
+
+    fn loss_inputs(terminal: bool) -> Vec<Tensor> {
+        vec![
+            // q_all: Q(s, a=1) = 2.0
+            Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap(),
+            Tensor::from_vec_i64(vec![1], &[1]).unwrap(),
+            Tensor::from_vec(vec![1.0], &[1]).unwrap(),
+            // online next-q: argmax = 2
+            Tensor::from_vec(vec![0.0, 0.0, 5.0], &[1, 3]).unwrap(),
+            // target next-q: value of action 2 is 10, argmax would be 0
+            Tensor::from_vec(vec![20.0, 0.0, 10.0], &[1, 3]).unwrap(),
+            Tensor::from_vec_bool(vec![terminal], &[1]).unwrap(),
+            Tensor::from_vec(vec![1.0], &[1]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn double_dqn_uses_online_argmax() {
+        let mut test = build(true, false);
+        let out = test.test("loss", &loss_inputs(false)).unwrap();
+        // y = 1 + 0.9 * 10 = 10, td = 10 - 2 = 8
+        assert!((out[1].as_f32().unwrap()[0] - 8.0).abs() < 1e-5);
+        // loss = 0.5 * td^2 = 32
+        assert!((out[0].scalar_value().unwrap() - 32.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn plain_dqn_uses_target_argmax() {
+        let mut test = build(false, false);
+        let out = test.test("loss", &loss_inputs(false)).unwrap();
+        // y = 1 + 0.9 * 20 = 19, td = 17
+        assert!((out[1].as_f32().unwrap()[0] - 17.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn terminal_drops_bootstrap() {
+        let mut test = build(true, false);
+        let out = test.test("loss", &loss_inputs(true)).unwrap();
+        // y = 1, td = 1 - 2 = -1 → |td| = 1
+        assert!((out[1].as_f32().unwrap()[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn huber_caps_large_errors() {
+        let mut huber = build(true, true);
+        let mut squared = build(true, false);
+        let h = huber.test("loss", &loss_inputs(false)).unwrap();
+        let s = squared.test("loss", &loss_inputs(false)).unwrap();
+        // td = 8: huber = 7.5, squared = 32
+        assert!((h[0].scalar_value().unwrap() - 7.5).abs() < 1e-4);
+        assert!(s[0].scalar_value().unwrap() > h[0].scalar_value().unwrap());
+    }
+
+    #[test]
+    fn importance_weights_scale_loss() {
+        let mut test = build(true, false);
+        let mut inputs = loss_inputs(false);
+        inputs[6] = Tensor::from_vec(vec![0.5], &[1]).unwrap();
+        let half = test.test("loss", &inputs).unwrap();
+        let full = test.test("loss", &loss_inputs(false)).unwrap();
+        assert!((half[0].scalar_value().unwrap() * 2.0 - full[0].scalar_value().unwrap()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,406 @@
+//! The prioritized replay memory component (paper Fig. 2).
+//!
+//! Buffer state lives in stateful kernels (the analogue of TF variables +
+//! control flow), so insert/sample/update-priorities are in-graph ops on
+//! the static backend and direct calls on the define-by-run backend — one
+//! session call covers sampling *and* learning.
+
+use crate::Result;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rlgraph_core::{BuildCtx, Component, ComponentId, CoreError, OpRef};
+use rlgraph_graph::{shared_kernel, StatefulKernel};
+use rlgraph_memory::{PrioritizedReplay, Transition};
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+#[cfg(test)]
+use rlgraph_tensor::DType;
+use std::sync::Arc;
+
+/// Shared handle to the replay state (the agent keeps one to check fill
+/// level; replay-shard actors host one directly).
+pub type SharedReplay = Arc<Mutex<PrioritizedReplay<Transition>>>;
+
+/// Creates a shared replay buffer.
+pub fn shared_replay(capacity: usize, alpha: f32) -> SharedReplay {
+    Arc::new(Mutex::new(PrioritizedReplay::new(capacity, alpha)))
+}
+
+/// Unstacks a batch of `(s, a, r, s2, t)` tensors into transitions.
+///
+/// # Errors
+///
+/// Errors on inconsistent batch sizes.
+pub fn batch_to_transitions(
+    states: &Tensor,
+    actions: &Tensor,
+    rewards: &Tensor,
+    next_states: &Tensor,
+    terminals: &Tensor,
+) -> Result<Vec<Transition>> {
+    let s = states.unstack().map_err(CoreError::from)?;
+    let a = actions.unstack().map_err(CoreError::from)?;
+    let r = rewards.to_f32_vec();
+    let s2 = next_states.unstack().map_err(CoreError::from)?;
+    let t = terminals.as_bool().map_err(CoreError::from)?;
+    let b = s.len();
+    if a.len() != b || r.len() != b || s2.len() != b || t.len() != b {
+        return Err(CoreError::new(format!(
+            "inconsistent batch sizes in observe: {} states, {} actions, {} rewards",
+            b,
+            a.len(),
+            r.len()
+        )));
+    }
+    Ok((0..b)
+        .map(|i| Transition::new(s[i].clone(), a[i].clone(), r[i], s2[i].clone(), t[i]))
+        .collect())
+}
+
+/// Re-stacks sampled transitions into batch tensors
+/// `(s, a, r, s2, t)`.
+///
+/// # Errors
+///
+/// Errors on heterogeneous transition shapes.
+pub fn transitions_to_batch(records: &[Transition]) -> Result<[Tensor; 5]> {
+    let states: Vec<Tensor> = records.iter().map(|t| t.state.clone()).collect();
+    let actions: Vec<Tensor> = records.iter().map(|t| t.action.clone()).collect();
+    let rewards: Vec<f32> = records.iter().map(|t| t.reward).collect();
+    let next_states: Vec<Tensor> = records.iter().map(|t| t.next_state.clone()).collect();
+    let terminals: Vec<bool> = records.iter().map(|t| t.terminal).collect();
+    let n = records.len();
+    Ok([
+        Tensor::stack(&states).map_err(CoreError::from)?,
+        Tensor::stack(&actions).map_err(CoreError::from)?,
+        Tensor::from_vec(rewards, &[n]).map_err(CoreError::from)?,
+        Tensor::stack(&next_states).map_err(CoreError::from)?,
+        Tensor::from_vec_bool(terminals, &[n]).map_err(CoreError::from)?,
+    ])
+}
+
+struct InsertKernel {
+    mem: SharedReplay,
+}
+
+impl StatefulKernel for InsertKernel {
+    fn name(&self) -> &str {
+        "replay_insert"
+    }
+
+    fn call(&mut self, inputs: &[&Tensor]) -> rlgraph_graph::Result<Vec<Tensor>> {
+        let err = |e: CoreError| rlgraph_graph::GraphError::new(e.message());
+        match inputs {
+            [s, a, r, s2, t] => {
+                let transitions = batch_to_transitions(s, a, r, s2, t).map_err(err)?;
+                let mut mem = self.mem.lock();
+                for tr in transitions {
+                    mem.insert(tr);
+                }
+                Ok(vec![])
+            }
+            [s, a, r, s2, t, priorities] => {
+                let transitions = batch_to_transitions(s, a, r, s2, t).map_err(err)?;
+                let p = priorities.as_f32()?;
+                if p.len() != transitions.len() {
+                    return Err(rlgraph_graph::GraphError::new(
+                        "priority count does not match batch size",
+                    ));
+                }
+                let mut mem = self.mem.lock();
+                for (tr, &pr) in transitions.into_iter().zip(p) {
+                    mem.insert_with_priority(tr, pr);
+                }
+                Ok(vec![])
+            }
+            _ => Err(rlgraph_graph::GraphError::new(
+                "replay insert expects (s, a, r, s2, t[, priorities])",
+            )),
+        }
+    }
+
+    fn num_outputs(&self) -> usize {
+        0
+    }
+}
+
+struct SampleKernel {
+    mem: SharedReplay,
+    batch_size: usize,
+    beta: f32,
+    rng: rand::rngs::StdRng,
+}
+
+impl StatefulKernel for SampleKernel {
+    fn name(&self) -> &str {
+        "replay_sample"
+    }
+
+    fn call(&mut self, _inputs: &[&Tensor]) -> rlgraph_graph::Result<Vec<Tensor>> {
+        let err = |e: CoreError| rlgraph_graph::GraphError::new(e.message());
+        let mem = self.mem.lock();
+        if mem.is_empty() {
+            return Err(rlgraph_graph::GraphError::new("cannot sample from an empty memory"));
+        }
+        let batch = mem.sample(self.batch_size, self.beta, &mut self.rng);
+        drop(mem);
+        let [s, a, r, s2, t] = transitions_to_batch(&batch.records).map_err(err)?;
+        let weights = Tensor::from_vec(batch.weights, &[self.batch_size])?;
+        let indices =
+            Tensor::from_vec_i64(batch.indices.iter().map(|&i| i as i64).collect(), &[self.batch_size])?;
+        Ok(vec![s, a, r, s2, t, weights, indices])
+    }
+
+    fn num_outputs(&self) -> usize {
+        7
+    }
+}
+
+struct UpdatePrioritiesKernel {
+    mem: SharedReplay,
+}
+
+impl StatefulKernel for UpdatePrioritiesKernel {
+    fn name(&self) -> &str {
+        "replay_update_priorities"
+    }
+
+    fn call(&mut self, inputs: &[&Tensor]) -> rlgraph_graph::Result<Vec<Tensor>> {
+        let [indices, priorities] = inputs else {
+            return Err(rlgraph_graph::GraphError::new(
+                "update_priorities expects (indices, priorities)",
+            ));
+        };
+        let idx: Vec<usize> = indices.as_i64()?.iter().map(|&i| i as usize).collect();
+        let prios = priorities.as_f32()?;
+        self.mem.lock().update_priorities(&idx, prios);
+        Ok(vec![])
+    }
+
+    fn num_outputs(&self) -> usize {
+        0
+    }
+}
+
+/// The prioritized-replay component. API methods:
+///
+/// * `insert(s, a, r, s2, t) -> done` — insert at max priority
+/// * `insert_with_priorities(s, a, r, s2, t, p) -> done` — worker-side priorities
+/// * `sample() -> (s, a, r, s2, t, weights, indices)`
+/// * `update_priorities(indices, priorities) -> done`
+pub struct PrioritizedReplayComponent {
+    name: String,
+    mem: SharedReplay,
+    insert_kernel: rlgraph_graph::SharedKernel,
+    sample_kernel: rlgraph_graph::SharedKernel,
+    update_kernel: rlgraph_graph::SharedKernel,
+    state_space: Option<Space>,
+    action_space: Option<Space>,
+}
+
+impl PrioritizedReplayComponent {
+    /// Creates the component around an existing shared buffer.
+    pub fn new(
+        name: impl Into<String>,
+        mem: SharedReplay,
+        batch_size: usize,
+        beta: f32,
+        seed: u64,
+    ) -> Self {
+        PrioritizedReplayComponent {
+            name: name.into(),
+            insert_kernel: shared_kernel(InsertKernel { mem: mem.clone() }),
+            sample_kernel: shared_kernel(SampleKernel {
+                mem: mem.clone(),
+                batch_size,
+                beta,
+                rng: rand::rngs::StdRng::seed_from_u64(seed),
+            }),
+            update_kernel: shared_kernel(UpdatePrioritiesKernel { mem: mem.clone() }),
+            mem,
+            state_space: None,
+            action_space: None,
+        }
+    }
+
+    /// The shared buffer handle.
+    pub fn memory(&self) -> SharedReplay {
+        self.mem.clone()
+    }
+}
+
+impl Component for PrioritizedReplayComponent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn api_methods(&self) -> Vec<String> {
+        vec![
+            "insert".into(),
+            "insert_with_priorities".into(),
+            "sample".into(),
+            "update_priorities".into(),
+        ]
+    }
+
+    fn create_variables(
+        &mut self,
+        _ctx: &mut BuildCtx,
+        _id: ComponentId,
+        method: &str,
+        spaces: &[Space],
+    ) -> Result<()> {
+        // Record spaces flow in through insert; sampling cannot build
+        // before the record layout is known (paper: the memory "can only
+        // define its buffers once it receives shapes and types of buffer
+        // contents").
+        match method {
+            "insert" | "insert_with_priorities" => {
+                if spaces.len() < 5 {
+                    return Err(CoreError::new("insert expects (s, a, r, s2, t)"));
+                }
+                self.state_space = Some(super::util::space_with_batch(&spaces[0])?);
+                self.action_space = Some(super::util::space_with_batch(&spaces[1])?);
+                Ok(())
+            }
+            "update_priorities" => Ok(()),
+            _ => Err(CoreError::input_incomplete(
+                "replay record spaces unknown until insert builds",
+            )),
+        }
+    }
+
+    fn call_api(
+        &mut self,
+        method: &str,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        inputs: &[OpRef],
+    ) -> Result<Vec<OpRef>> {
+        match method {
+            "insert" | "insert_with_priorities" => {
+                let kernel = self.insert_kernel.clone();
+                ctx.graph_fn(id, "insert_records", inputs, 1, move |ctx, ins| {
+                    ctx.stateful(kernel, ins, &[])
+                })
+            }
+            "sample" => {
+                // The record spaces must be known to declare sample
+                // outputs; the check lives inside the graph_fn body so the
+                // assembly phase can traverse before insert has built.
+                let state = self.state_space.clone();
+                let action = self.action_space.clone();
+                let kernel = self.sample_kernel.clone();
+                ctx.graph_fn(id, "get_records", inputs, 7, move |ctx, _| {
+                    let state_space = state
+                        .ok_or_else(|| CoreError::input_incomplete("memory not input-complete"))?;
+                    let action_space = action
+                        .ok_or_else(|| CoreError::input_incomplete("memory not input-complete"))?;
+                    let out_spaces = vec![
+                        state_space.clone(),
+                        action_space.clone(),
+                        Space::float_box_bounded(&[], f32::MIN, f32::MAX).with_batch_rank(),
+                        state_space.clone(),
+                        Space::bool_box().with_batch_rank(),
+                        Space::float_box_bounded(&[], 0.0, 1.0).with_batch_rank(),
+                        Space::int_box(i64::MAX).with_batch_rank(),
+                    ];
+                    ctx.stateful(kernel, &[], &out_spaces)
+                })
+            }
+            "update_priorities" => {
+                let kernel = self.update_kernel.clone();
+                ctx.graph_fn(id, "update", inputs, 1, move |ctx, ins| {
+                    ctx.stateful(kernel, ins, &[])
+                })
+            }
+            other => Err(CoreError::new(format!("memory has no method '{}'", other))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_core::{ComponentTest, TestBackend};
+
+    fn spaces() -> (Space, Space) {
+        (
+            Space::float_box(&[3]).with_batch_rank(),
+            Space::int_box(4).with_batch_rank(),
+        )
+    }
+
+    fn batch(n: usize, reward: f32) -> Vec<Tensor> {
+        vec![
+            Tensor::full(&[n, 3], 0.5),
+            Tensor::zeros(&[n], DType::I64),
+            Tensor::full(&[n], reward),
+            Tensor::full(&[n, 3], 0.6),
+            Tensor::zeros(&[n], DType::Bool),
+        ]
+    }
+
+    fn build(backend: TestBackend) -> (ComponentTest, SharedReplay) {
+        let mem = shared_replay(16, 0.6);
+        let (ss, asp) = spaces();
+        let comp = PrioritizedReplayComponent::new("prioritized-replay", mem.clone(), 4, 0.4, 0);
+        let scalar_f = Space::float_box_bounded(&[], f32::MIN, f32::MAX).with_batch_rank();
+        let test = ComponentTest::with_backend(
+            comp,
+            &[
+                ("insert", vec![ss.clone(), asp.clone(), scalar_f.clone(), ss.clone(), Space::bool_box().with_batch_rank()]),
+                ("sample", vec![]),
+                (
+                    "update_priorities",
+                    vec![
+                        Space::int_box(i64::MAX).with_batch_rank(),
+                        scalar_f,
+                    ],
+                ),
+            ],
+            backend,
+        )
+        .unwrap();
+        (test, mem)
+    }
+
+    #[test]
+    fn insert_then_sample_both_backends() {
+        for backend in [TestBackend::Static, TestBackend::DefineByRun] {
+            let (mut test, mem) = build(backend);
+            test.test("insert", &batch(6, 1.0)).unwrap();
+            assert_eq!(mem.lock().len(), 6);
+            let out = test.test("sample", &[]).unwrap();
+            assert_eq!(out.len(), 7);
+            assert_eq!(out[0].shape(), &[4, 3]); // states
+            assert_eq!(out[5].shape(), &[4]); // weights
+            assert_eq!(out[6].dtype(), DType::I64); // indices
+        }
+    }
+
+    #[test]
+    fn sample_before_insert_data_errors() {
+        let (mut test, _mem) = build(TestBackend::Static);
+        // built fine (build is a dry run), but executing sample on an
+        // empty buffer errors
+        assert!(test.test("sample", &[]).is_err());
+    }
+
+    #[test]
+    fn update_priorities_flows() {
+        let (mut test, mem) = build(TestBackend::Static);
+        test.test("insert", &batch(8, 0.0)).unwrap();
+        let idx = Tensor::from_vec_i64(vec![0, 1], &[2]).unwrap();
+        let pr = Tensor::from_vec(vec![100.0, 0.001], &[2]).unwrap();
+        test.test("update_priorities", &[idx, pr]).unwrap();
+        // sampling should now heavily favour record 0
+        let mut hits = 0;
+        for _ in 0..20 {
+            let out = test.test("sample", &[]).unwrap();
+            hits += out[6].as_i64().unwrap().iter().filter(|&&i| i == 0).count();
+        }
+        assert!(hits > 20, "high-priority record undersampled: {}", hits);
+        let _ = mem;
+    }
+}

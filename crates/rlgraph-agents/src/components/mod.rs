@@ -1,0 +1,30 @@
+//! Off-the-shelf components (paper §3.3): layers, networks, policies,
+//! exploration, memories, losses, optimizers, preprocessors and weight
+//! synchronisation.
+//!
+//! Each component is a first-class citizen: it can be built and tested in
+//! isolation from example spaces via
+//! [`ComponentTest`](rlgraph_core::ComponentTest).
+
+pub mod exploration;
+pub mod layers;
+pub mod loss;
+pub mod memory;
+pub mod network;
+pub mod optimizer;
+pub mod policy;
+pub mod preprocess;
+pub mod recurrent;
+pub mod sync;
+pub mod util;
+
+pub use exploration::EpsilonGreedy;
+pub use layers::{Conv2dLayer, DenseLayer, FlattenLayer};
+pub use loss::DqnLoss;
+pub use memory::{PrioritizedReplayComponent, SharedReplay};
+pub use network::Network;
+pub use optimizer::Optimizer;
+pub use policy::Policy;
+pub use preprocess::Scale;
+pub use recurrent::RecurrentPolicy;
+pub use sync::Syncer;

@@ -1,0 +1,306 @@
+//! The optimizer component: turns a loss into grouped variable updates.
+
+use crate::Result;
+use rlgraph_core::{
+    collect_var_handles, BuildCtx, Component, ComponentId, CoreError, OpRef, VarHandle,
+};
+use rlgraph_nn::OptimizerSpec;
+use rlgraph_tensor::{OpKind, Tensor};
+
+/// Applies an [`OptimizerSpec`] to every trainable variable under a target
+/// component subtree. API: `step(loss) -> (done)`.
+///
+/// Slot variables (momentum/Adam moments) and the Adam step counter are
+/// ordinary component variables, so the whole update — gradients, slot
+/// updates, weight assignments — is part of the computation graph and runs
+/// in the same single session call as the loss (static backend), or
+/// executes eagerly in place (define-by-run).
+pub struct Optimizer {
+    name: String,
+    spec: OptimizerSpec,
+    target: ComponentId,
+    targets: Vec<VarHandle>,
+    slots: Vec<Vec<VarHandle>>,
+    t_var: Option<VarHandle>,
+}
+
+impl Optimizer {
+    /// Creates an optimizer updating all trainable variables under
+    /// `target` (transitively).
+    pub fn new(name: impl Into<String>, spec: OptimizerSpec, target: ComponentId) -> Self {
+        Optimizer {
+            name: name.into(),
+            spec,
+            target,
+            targets: Vec::new(),
+            slots: Vec::new(),
+            t_var: None,
+        }
+    }
+
+    /// The variables this optimizer updates (after building).
+    pub fn target_handles(&self) -> &[VarHandle] {
+        &self.targets
+    }
+}
+
+impl Component for Optimizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn api_methods(&self) -> Vec<String> {
+        vec!["step".into()]
+    }
+
+    fn create_variables(
+        &mut self,
+        ctx: &mut BuildCtx,
+        _id: ComponentId,
+        _method: &str,
+        _spaces: &[rlgraph_spaces::Space],
+    ) -> Result<()> {
+        // The target subtree must have created its variables first (it has:
+        // the root computes the loss through it before calling step).
+        let handles = collect_var_handles(ctx.components(), self.target)?;
+        if handles.is_empty() {
+            return Err(CoreError::input_incomplete(
+                "optimizer target has no variables yet (build the forward pass first)",
+            ));
+        }
+        self.targets = handles;
+        let n_slots = self.spec.num_slots();
+        self.slots = Vec::with_capacity(self.targets.len());
+        for (i, var) in self.targets.iter().enumerate() {
+            let init = ctx.var_init(*var)?;
+            let mut var_slots = Vec::with_capacity(n_slots);
+            for s in 0..n_slots {
+                var_slots.push(ctx.variable(
+                    &format!("slot-{}-{}", i, s),
+                    Tensor::zeros(init.shape(), rlgraph_tensor::DType::F32),
+                    false,
+                ));
+            }
+            self.slots.push(var_slots);
+        }
+        if matches!(self.spec, OptimizerSpec::Adam { .. }) {
+            self.t_var = Some(ctx.variable("t", Tensor::scalar(0.0), false));
+        }
+        Ok(())
+    }
+
+    fn call_api(
+        &mut self,
+        method: &str,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        inputs: &[OpRef],
+    ) -> Result<Vec<OpRef>> {
+        if method != "step" {
+            return Err(CoreError::new(format!("optimizer has no method '{}'", method)));
+        }
+        let spec = self.spec.clone();
+        let targets = self.targets.clone();
+        let slots = self.slots.clone();
+        let t_var = self.t_var;
+        ctx.graph_fn(id, "apply_gradients", inputs, 1, move |ctx, ins| {
+            let loss = ins[0];
+            let grads = ctx.gradients(loss, &targets)?;
+            let mut updates: Vec<OpRef> = Vec::new();
+            // Advance the shared Adam step counter once.
+            let t_new = match t_var {
+                Some(t) => {
+                    let t_read = ctx.read_var(t)?;
+                    let one = ctx.scalar(1.0);
+                    let inc = ctx.emit(OpKind::Add, &[t_read, one])?;
+                    let assigned = ctx.assign_var(t, inc)?;
+                    updates.push(assigned);
+                    Some(assigned)
+                }
+                None => None,
+            };
+            for ((var, grad), var_slots) in targets.iter().zip(&grads).zip(&slots) {
+                let Some(grad) = grad else { continue };
+                let delta = match &spec {
+                    OptimizerSpec::Sgd { lr } => {
+                        let lr_c = ctx.scalar(*lr);
+                        ctx.emit(OpKind::Mul, &[*grad, lr_c])?
+                    }
+                    OptimizerSpec::Momentum { lr, momentum } => {
+                        let v = ctx.read_var(var_slots[0])?;
+                        let mu = ctx.scalar(*momentum);
+                        let scaled = ctx.emit(OpKind::Mul, &[v, mu])?;
+                        let v_new = ctx.emit(OpKind::Add, &[scaled, *grad])?;
+                        updates.push(ctx.assign_var(var_slots[0], v_new)?);
+                        let lr_c = ctx.scalar(*lr);
+                        ctx.emit(OpKind::Mul, &[v_new, lr_c])?
+                    }
+                    OptimizerSpec::RmsProp { lr, decay, epsilon } => {
+                        let s = ctx.read_var(var_slots[0])?;
+                        let d = ctx.scalar(*decay);
+                        let omd = ctx.scalar(1.0 - *decay);
+                        let g2 = ctx.emit(OpKind::Square, &[*grad])?;
+                        let s_old = ctx.emit(OpKind::Mul, &[s, d])?;
+                        let s_inc = ctx.emit(OpKind::Mul, &[g2, omd])?;
+                        let s_new = ctx.emit(OpKind::Add, &[s_old, s_inc])?;
+                        updates.push(ctx.assign_var(var_slots[0], s_new)?);
+                        let eps = ctx.scalar(*epsilon);
+                        let s_eps = ctx.emit(OpKind::Add, &[s_new, eps])?;
+                        let denom = ctx.emit(OpKind::Sqrt, &[s_eps])?;
+                        let lr_c = ctx.scalar(*lr);
+                        let lg = ctx.emit(OpKind::Mul, &[*grad, lr_c])?;
+                        ctx.emit(OpKind::Div, &[lg, denom])?
+                    }
+                    OptimizerSpec::Adam { lr, beta1, beta2, epsilon } => {
+                        let t_new = t_new.expect("adam creates a step counter");
+                        let m = ctx.read_var(var_slots[0])?;
+                        let v = ctx.read_var(var_slots[1])?;
+                        let b1 = ctx.scalar(*beta1);
+                        let omb1 = ctx.scalar(1.0 - *beta1);
+                        let b2 = ctx.scalar(*beta2);
+                        let omb2 = ctx.scalar(1.0 - *beta2);
+                        let m_old = ctx.emit(OpKind::Mul, &[m, b1])?;
+                        let m_inc = ctx.emit(OpKind::Mul, &[*grad, omb1])?;
+                        let m_new = ctx.emit(OpKind::Add, &[m_old, m_inc])?;
+                        let g2 = ctx.emit(OpKind::Square, &[*grad])?;
+                        let v_old = ctx.emit(OpKind::Mul, &[v, b2])?;
+                        let v_inc = ctx.emit(OpKind::Mul, &[g2, omb2])?;
+                        let v_new = ctx.emit(OpKind::Add, &[v_old, v_inc])?;
+                        updates.push(ctx.assign_var(var_slots[0], m_new)?);
+                        updates.push(ctx.assign_var(var_slots[1], v_new)?);
+                        // bias correction with the in-graph step counter
+                        let one = ctx.scalar(1.0);
+                        let b2_pow = ctx.emit(OpKind::Pow, &[b2, t_new])?;
+                        let b1_pow = ctx.emit(OpKind::Pow, &[b1, t_new])?;
+                        let num_corr0 = ctx.emit(OpKind::Sub, &[one, b2_pow])?;
+                        let num_corr = ctx.emit(OpKind::Sqrt, &[num_corr0])?;
+                        let den_corr = ctx.emit(OpKind::Sub, &[one, b1_pow])?;
+                        let lr_c = ctx.scalar(*lr);
+                        let lr_t0 = ctx.emit(OpKind::Mul, &[lr_c, num_corr])?;
+                        let lr_t = ctx.emit(OpKind::Div, &[lr_t0, den_corr])?;
+                        let eps = ctx.scalar(*epsilon);
+                        let sq = ctx.emit(OpKind::Sqrt, &[v_new])?;
+                        let denom = ctx.emit(OpKind::Add, &[sq, eps])?;
+                        let num = ctx.emit(OpKind::Mul, &[m_new, lr_t])?;
+                        ctx.emit(OpKind::Div, &[num, denom])?
+                    }
+                };
+                let w = ctx.read_var(*var)?;
+                let w_new = ctx.emit(OpKind::Sub, &[w, delta])?;
+                updates.push(ctx.assign_var(*var, w_new)?);
+            }
+            Ok(vec![ctx.group(&updates)?])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::layers::DenseLayer;
+    use rlgraph_core::{ComponentStore, ComponentTest, TestBackend};
+    use rlgraph_nn::Activation;
+    use rlgraph_spaces::Space;
+
+    /// A tiny regression root: dense layer + MSE to a target, optimised.
+    struct Regression {
+        layer: ComponentId,
+        optimizer: ComponentId,
+    }
+
+    impl Component for Regression {
+        fn name(&self) -> &str {
+            "regression"
+        }
+        fn api_methods(&self) -> Vec<String> {
+            vec!["fit".into(), "predict".into()]
+        }
+        fn call_api(
+            &mut self,
+            method: &str,
+            ctx: &mut BuildCtx,
+            id: ComponentId,
+            inputs: &[OpRef],
+        ) -> Result<Vec<OpRef>> {
+            match method {
+                "predict" => ctx.call(self.layer, "call", inputs),
+                "fit" => {
+                    let pred = ctx.call(self.layer, "call", &[inputs[0]])?[0];
+                    let loss = ctx.graph_fn(id, "mse", &[pred, inputs[1]], 1, |ctx, ins| {
+                        let d = ctx.emit(OpKind::Sub, &[ins[0], ins[1]])?;
+                        let sq = ctx.emit(OpKind::Square, &[d])?;
+                        Ok(vec![ctx.emit(OpKind::Mean { axes: None, keep_dims: false }, &[sq])?])
+                    })?[0];
+                    let done = ctx.call(self.optimizer, "step", &[loss])?[0];
+                    Ok(vec![loss, done])
+                }
+                other => Err(CoreError::new(format!("no method '{}'", other))),
+            }
+        }
+        fn sub_components(&self) -> Vec<ComponentId> {
+            vec![self.layer, self.optimizer]
+        }
+    }
+
+    fn fit_converges(spec: OptimizerSpec, backend: TestBackend, steps: usize) -> (f32, f32) {
+        let mut store = ComponentStore::new();
+        let layer = store.add(DenseLayer::new("fc", 1, Activation::Linear, 3));
+        let optimizer = store.add(Optimizer::new("opt", spec, layer));
+        let root = Regression { layer, optimizer };
+        let x_space = Space::float_box_bounded(&[2], -1.0, 1.0).with_batch_rank();
+        let y_space = Space::float_box_bounded(&[1], -10.0, 10.0).with_batch_rank();
+        let mut test = ComponentTest::with_store(
+            store,
+            root,
+            &[("fit", vec![x_space.clone(), y_space]), ("predict", vec![x_space])],
+            backend,
+        )
+        .unwrap();
+        // target function y = 2*x0 - x1 + 1 on a fixed batch
+        let x = Tensor::from_vec(vec![0.5, -0.5, -0.2, 0.8, 0.9, 0.1, -0.7, -0.3], &[4, 2]).unwrap();
+        let y = Tensor::from_vec(
+            (0..4)
+                .map(|i| {
+                    let (a, b) = (x.get_f32(&[i, 0]).unwrap(), x.get_f32(&[i, 1]).unwrap());
+                    2.0 * a - b + 1.0
+                })
+                .collect(),
+            &[4, 1],
+        )
+        .unwrap();
+        let first = test.test("fit", &[x.clone(), y.clone()]).unwrap()[0].scalar_value().unwrap();
+        let mut last = first;
+        for _ in 0..steps {
+            last = test.test("fit", &[x.clone(), y.clone()]).unwrap()[0].scalar_value().unwrap();
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn sgd_reduces_loss_both_backends() {
+        for backend in [TestBackend::Static, TestBackend::DefineByRun] {
+            let (first, last) = fit_converges(OptimizerSpec::Sgd { lr: 0.2 }, backend, 200);
+            assert!(last < first * 0.05, "sgd: {} -> {}", first, last);
+        }
+    }
+
+    #[test]
+    fn adam_reduces_loss_both_backends() {
+        for backend in [TestBackend::Static, TestBackend::DefineByRun] {
+            let (first, last) = fit_converges(OptimizerSpec::adam(0.05), backend, 300);
+            assert!(last < first * 0.05, "adam: {} -> {}", first, last);
+        }
+    }
+
+    #[test]
+    fn rmsprop_and_momentum_reduce_loss() {
+        let (f1, l1) = fit_converges(OptimizerSpec::rmsprop(0.02), TestBackend::Static, 300);
+        assert!(l1 < f1 * 0.2, "rmsprop: {} -> {}", f1, l1);
+        let (f2, l2) = fit_converges(
+            OptimizerSpec::Momentum { lr: 0.05, momentum: 0.9 },
+            TestBackend::Static,
+            200,
+        );
+        assert!(l2 < f2 * 0.2, "momentum: {} -> {}", f2, l2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Preprocessor components.
+//!
+//! Preprocessing heuristics are first-class components in rlgraph (paper
+//! §1: "all components (including pre/post-processing heuristics) are
+//! first-class citizens which are individually built and incrementally
+//! tested").
+
+use crate::Result;
+use rlgraph_core::{BuildCtx, Component, ComponentId, CoreError, OpRef};
+use rlgraph_tensor::OpKind;
+
+/// Multiplies observations by a constant factor (e.g. `1/255` for pixel
+/// inputs). API: `preprocess(x) -> y`.
+pub struct Scale {
+    name: String,
+    factor: f32,
+}
+
+impl Scale {
+    /// Creates a scaling preprocessor.
+    pub fn new(name: impl Into<String>, factor: f32) -> Self {
+        Scale { name: name.into(), factor }
+    }
+}
+
+impl Component for Scale {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn api_methods(&self) -> Vec<String> {
+        vec!["preprocess".into()]
+    }
+
+    fn call_api(
+        &mut self,
+        method: &str,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        inputs: &[OpRef],
+    ) -> Result<Vec<OpRef>> {
+        match method {
+            "preprocess" => {
+                let factor = self.factor;
+                ctx.graph_fn(id, "scale", inputs, 1, move |ctx, ins| {
+                    let f = ctx.scalar(factor);
+                    Ok(vec![ctx.emit(OpKind::Mul, &[ins[0], f])?])
+                })
+            }
+            other => Err(CoreError::new(format!("scale has no method '{}'", other))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_core::{ComponentTest, TestBackend};
+    use rlgraph_spaces::Space;
+    use rlgraph_tensor::Tensor;
+
+    #[test]
+    fn scales_inputs() {
+        for backend in [TestBackend::Static, TestBackend::DefineByRun] {
+            let mut test = ComponentTest::with_backend(
+                Scale::new("scale", 0.5),
+                &[("preprocess", vec![Space::float_box(&[2]).with_batch_rank()])],
+                backend,
+            )
+            .unwrap();
+            let x = Tensor::from_vec(vec![2.0, 4.0], &[1, 2]).unwrap();
+            let out = test.test("preprocess", &[x]).unwrap();
+            assert_eq!(out[0].as_f32().unwrap(), &[1.0, 2.0]);
+        }
+    }
+}

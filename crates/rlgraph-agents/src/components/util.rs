@@ -1,0 +1,87 @@
+//! Space-normalisation helpers shared by component implementations.
+//!
+//! `create_variables` receives either *declared* spaces (core shape +
+//! batch-rank marker, for root placeholders) or *derived* spaces (the full
+//! dummy shape including the leading dummy batch of
+//! [`DUMMY_BATCH`](rlgraph_core::context::DUMMY_BATCH), for intermediate
+//! records). These helpers normalise both forms.
+
+use rlgraph_core::{CoreError, Result};
+use rlgraph_spaces::{Space, SpaceKind};
+
+/// The per-sample (core) shape of an input space, with any batch
+/// dimension removed.
+///
+/// # Errors
+///
+/// Errors for container spaces or rank-0 derived shapes.
+pub fn feature_shape(space: &Space) -> Result<Vec<usize>> {
+    let shape = space.shape()?;
+    if space.has_batch_rank() {
+        Ok(shape.to_vec())
+    } else {
+        if shape.is_empty() {
+            return Err(CoreError::new(
+                "derived space has no batch dimension to strip",
+            ));
+        }
+        Ok(shape[1..].to_vec())
+    }
+}
+
+/// Rebuilds a space with an explicit batch rank and per-sample core shape
+/// (idempotent for declared spaces).
+///
+/// # Errors
+///
+/// Errors for container spaces.
+pub fn space_with_batch(space: &Space) -> Result<Space> {
+    if space.has_batch_rank() {
+        return Ok(space.clone());
+    }
+    let core = feature_shape(space)?;
+    let rebuilt = match space.kind() {
+        SpaceKind::Float { low, high, .. } => Space::float_box_bounded(&core, *low, *high),
+        SpaceKind::Int { num_categories, .. } => Space::int_box_shaped(&core, *num_categories),
+        SpaceKind::Bool { .. } => Space::bool_box_shaped(&core),
+        _ => return Err(CoreError::new("container spaces cannot flow as single records")),
+    };
+    Ok(rebuilt.with_batch_rank())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_space_passthrough() {
+        let s = Space::float_box(&[3, 4]).with_batch_rank();
+        assert_eq!(feature_shape(&s).unwrap(), vec![3, 4]);
+        assert_eq!(space_with_batch(&s).unwrap(), s);
+    }
+
+    #[test]
+    fn derived_space_strips_dummy_batch() {
+        let s = Space::float_box_bounded(&[2, 3, 4], f32::MIN, f32::MAX);
+        assert_eq!(feature_shape(&s).unwrap(), vec![3, 4]);
+        let rebuilt = space_with_batch(&s).unwrap();
+        assert!(rebuilt.has_batch_rank());
+        assert_eq!(rebuilt.shape().unwrap(), &[3, 4]);
+    }
+
+    #[test]
+    fn scalar_derived_errors() {
+        let s = Space::float_box(&[]);
+        assert!(feature_shape(&s).is_err());
+    }
+
+    #[test]
+    fn int_and_bool_rebuild() {
+        let i = Space::int_box_shaped(&[2], 5);
+        let r = space_with_batch(&i).unwrap();
+        assert_eq!(r.num_categories().unwrap(), 5);
+        assert!(r.has_batch_rank());
+        let b = Space::bool_box_shaped(&[2]);
+        assert!(space_with_batch(&b).unwrap().has_batch_rank());
+    }
+}

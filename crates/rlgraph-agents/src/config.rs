@@ -1,0 +1,305 @@
+//! Declarative agent configuration (paper §3.4: "Configurations are
+//! provided as e.g. JSON documents specifying an algorithm and its
+//! components").
+
+use rlgraph_nn::{Activation, NetworkSpec, OptimizerSpec};
+
+/// Which execution backend an agent builds for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Backend {
+    /// static graph + session (TensorFlow analogue)
+    Static,
+    /// define-by-run (PyTorch analogue)
+    DefineByRun,
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::Static
+    }
+}
+
+/// Linear epsilon-greedy exploration schedule.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpsilonSchedule {
+    /// initial epsilon
+    pub start: f32,
+    /// final epsilon
+    pub end: f32,
+    /// steps over which epsilon anneals linearly
+    pub decay_steps: u64,
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        EpsilonSchedule { start: 1.0, end: 0.05, decay_steps: 10_000 }
+    }
+}
+
+impl EpsilonSchedule {
+    /// Epsilon after `step` action requests.
+    pub fn value_at(&self, step: u64) -> f32 {
+        if step >= self.decay_steps {
+            return self.end;
+        }
+        let frac = step as f32 / self.decay_steps.max(1) as f32;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+/// Configuration of a [`DqnAgent`](crate::DqnAgent) (also the per-worker and
+/// learner config of Ape-X).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DqnConfig {
+    /// execution backend
+    #[serde(default)]
+    pub backend: Backend,
+    /// feature network (before the action head)
+    pub network: NetworkSpec,
+    /// dueling value/advantage heads (paper's evaluation architecture)
+    #[serde(default = "default_true")]
+    pub dueling: bool,
+    /// double-Q target selection
+    #[serde(default = "default_true")]
+    pub double: bool,
+    /// replay capacity
+    #[serde(default = "default_capacity")]
+    pub memory_capacity: usize,
+    /// prioritisation exponent (0 disables prioritisation)
+    #[serde(default = "default_alpha")]
+    pub alpha: f32,
+    /// importance-sampling exponent
+    #[serde(default = "default_beta")]
+    pub beta: f32,
+    /// learning minibatch size
+    #[serde(default = "default_batch")]
+    pub batch_size: usize,
+    /// discount factor
+    #[serde(default = "default_gamma")]
+    pub gamma: f32,
+    /// n-step horizon used by workers (the learner target uses gamma^n)
+    #[serde(default = "default_nstep")]
+    pub n_step: usize,
+    /// optimizer
+    #[serde(default = "default_optimizer")]
+    pub optimizer: OptimizerSpec,
+    /// exploration schedule
+    #[serde(default)]
+    pub epsilon: EpsilonSchedule,
+    /// target-network sync interval, in updates
+    #[serde(default = "default_sync")]
+    pub target_sync_every: u64,
+    /// Huber (1.0-clipped) loss instead of pure squared error
+    #[serde(default = "default_true")]
+    pub huber: bool,
+    /// synchronous update towers (simulated GPUs); 0/1 = single graph
+    #[serde(default)]
+    pub towers: usize,
+    /// RNG seed (initialisation, exploration, sampling)
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_true() -> bool {
+    true
+}
+fn default_capacity() -> usize {
+    50_000
+}
+fn default_alpha() -> f32 {
+    0.6
+}
+fn default_beta() -> f32 {
+    0.4
+}
+fn default_batch() -> usize {
+    32
+}
+fn default_gamma() -> f32 {
+    0.99
+}
+fn default_nstep() -> usize {
+    3
+}
+fn default_optimizer() -> OptimizerSpec {
+    OptimizerSpec::adam(1e-3)
+}
+fn default_sync() -> u64 {
+    100
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            backend: Backend::Static,
+            network: NetworkSpec::mlp(&[64, 64], Activation::Relu),
+            dueling: true,
+            double: true,
+            memory_capacity: default_capacity(),
+            alpha: default_alpha(),
+            beta: default_beta(),
+            batch_size: default_batch(),
+            gamma: default_gamma(),
+            n_step: 1,
+            optimizer: default_optimizer(),
+            epsilon: EpsilonSchedule::default(),
+            target_sync_every: default_sync(),
+            huber: true,
+            towers: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl DqnConfig {
+    /// Parses a JSON document in the paper's declarative style.
+    ///
+    /// # Errors
+    ///
+    /// Errors on malformed JSON.
+    pub fn from_json(json: &str) -> crate::Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| rlgraph_core::CoreError::new(format!("invalid agent config: {}", e)))
+    }
+
+    /// Serialises the config to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+}
+
+/// Configuration of the IMPALA agent.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ImpalaConfig {
+    /// execution backend
+    #[serde(default)]
+    pub backend: Backend,
+    /// feature network shared by actor and learner
+    pub network: NetworkSpec,
+    /// rollout length (the paper uses 100; scaled down by default here)
+    #[serde(default = "default_rollout")]
+    pub rollout_len: usize,
+    /// discount factor
+    #[serde(default = "default_gamma")]
+    pub gamma: f32,
+    /// V-trace rho clip
+    #[serde(default = "default_one")]
+    pub rho_clip: f32,
+    /// V-trace c clip
+    #[serde(default = "default_one")]
+    pub c_clip: f32,
+    /// policy-gradient loss weight
+    #[serde(default = "default_one")]
+    pub pg_cost: f32,
+    /// value ("baseline") loss weight
+    #[serde(default = "default_baseline")]
+    pub baseline_cost: f32,
+    /// entropy bonus weight
+    #[serde(default = "default_entropy")]
+    pub entropy_cost: f32,
+    /// optimizer
+    #[serde(default = "default_impala_optimizer")]
+    pub optimizer: OptimizerSpec,
+    /// learner queue capacity (rollouts)
+    #[serde(default = "default_queue")]
+    pub queue_capacity: usize,
+    /// reproduce the DeepMind reference implementation's redundant
+    /// per-step actor variable assignments (paper §5.1: removing these
+    /// "yielded 20% improvement in a single-worker setting")
+    #[serde(default)]
+    pub redundant_actor_assigns: bool,
+    /// LSTM core width (the paper's IMPALA architecture); `None` =
+    /// feed-forward policy
+    #[serde(default)]
+    pub lstm_units: Option<usize>,
+    /// RNG seed
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_rollout() -> usize {
+    20
+}
+fn default_one() -> f32 {
+    1.0
+}
+fn default_baseline() -> f32 {
+    0.5
+}
+fn default_entropy() -> f32 {
+    0.01
+}
+fn default_impala_optimizer() -> OptimizerSpec {
+    OptimizerSpec::rmsprop(5e-4)
+}
+fn default_queue() -> usize {
+    4
+}
+
+impl Default for ImpalaConfig {
+    fn default() -> Self {
+        ImpalaConfig {
+            backend: Backend::Static,
+            network: NetworkSpec::mlp(&[64], Activation::Relu),
+            rollout_len: default_rollout(),
+            gamma: default_gamma(),
+            rho_clip: 1.0,
+            c_clip: 1.0,
+            pg_cost: 1.0,
+            baseline_cost: default_baseline(),
+            entropy_cost: default_entropy(),
+            optimizer: default_impala_optimizer(),
+            queue_capacity: default_queue(),
+            redundant_actor_assigns: false,
+            lstm_units: None,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_schedule_anneals() {
+        let e = EpsilonSchedule { start: 1.0, end: 0.1, decay_steps: 100 };
+        assert_eq!(e.value_at(0), 1.0);
+        assert!((e.value_at(50) - 0.55).abs() < 1e-6);
+        assert_eq!(e.value_at(100), 0.1);
+        assert_eq!(e.value_at(1000), 0.1);
+    }
+
+    #[test]
+    fn dqn_config_json_roundtrip() {
+        let cfg = DqnConfig::default();
+        let back = DqnConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn dqn_config_declarative_json() {
+        let cfg = DqnConfig::from_json(
+            r#"{
+                "backend": "define_by_run",
+                "network": {"layers": [{"type": "dense", "units": 32, "activation": "tanh"}]},
+                "memory_capacity": 1000,
+                "batch_size": 16
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.backend, Backend::DefineByRun);
+        assert_eq!(cfg.memory_capacity, 1000);
+        assert_eq!(cfg.batch_size, 16);
+        assert!(cfg.dueling); // defaulted
+        assert!(DqnConfig::from_json("{").is_err());
+    }
+
+    #[test]
+    fn impala_defaults() {
+        let cfg = ImpalaConfig::default();
+        assert_eq!(cfg.rollout_len, 20);
+        assert!(cfg.baseline_cost > 0.0);
+    }
+}

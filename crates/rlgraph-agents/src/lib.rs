@@ -1,0 +1,31 @@
+//! Pre-built rlgraph components and agents.
+//!
+//! This crate supplies the "wide range of off-the-shelf component
+//! implementations" the paper relies on (§3.3) — layers, networks,
+//! policies, exploration, memories, losses, optimizers, synchronisation —
+//! plus the three agents its evaluation exercises:
+//!
+//! * [`DqnAgent`] — DQN with dueling heads, double-Q targets, prioritized
+//!   replay, Huber loss, target-network sync, and an optional synchronous
+//!   multi-tower (multi-GPU) update strategy (Figs. 5a, 5b, 8).
+//! * Ape-X building blocks ([`apex`]) — vectorised workers with n-step
+//!   post-processing and worker-side prioritisation, plus the learner
+//!   (Figs. 6, 7a, 7b).
+//! * IMPALA ([`impala`]) — actors feeding a global queue, a learner with
+//!   staging and the V-trace off-policy correction (Fig. 9).
+//!
+//! Every agent builds for both backends ([`Backend::Static`] and
+//! [`Backend::DefineByRun`]) from the same components.
+
+pub mod apex;
+pub mod components;
+pub mod config;
+pub mod dqn;
+pub mod impala;
+pub mod vtrace;
+
+pub use config::{Backend, DqnConfig, EpsilonSchedule, ImpalaConfig};
+pub use dqn::DqnAgent;
+
+/// Crate-wide result alias (re-used from the core crate).
+pub type Result<T> = rlgraph_core::Result<T>;

@@ -1,0 +1,257 @@
+//! V-trace off-policy correction (Espeholt et al. 2018), as used by the
+//! IMPALA learner.
+//!
+//! Two implementations share the same math: a scalar reference
+//! ([`vtrace_reference`]) used for testing, and an emitted-ops version
+//! ([`vtrace_ops`]) that statically unrolls the backward recursion over
+//! the rollout (the in-graph variant the learner builds).
+
+use rlgraph_tensor::{tensor_err, OpEmitter, OpKind, Result};
+
+/// Output of a V-trace computation.
+#[derive(Debug, Clone)]
+pub struct VtraceOutput<R> {
+    /// corrected value targets `vs` `[t, b]`
+    pub vs: R,
+    /// policy-gradient advantages `[t, b]`
+    pub pg_advantages: R,
+}
+
+/// Scalar reference implementation over time-major slices.
+///
+/// Inputs are `[t][b]` nested vectors: `log_rhos = log π(a|s) − log μ(a|s)`,
+/// `discounts` (0 at terminals), `rewards`, `values`, plus `bootstrap`
+/// `[b]` = V(s_T).
+///
+/// # Errors
+///
+/// Errors on inconsistent dimensions.
+#[allow(clippy::type_complexity)]
+pub fn vtrace_reference(
+    log_rhos: &[Vec<f32>],
+    discounts: &[Vec<f32>],
+    rewards: &[Vec<f32>],
+    values: &[Vec<f32>],
+    bootstrap: &[f32],
+    rho_clip: f32,
+    c_clip: f32,
+) -> Result<(Vec<Vec<f32>>, Vec<Vec<f32>>)> {
+    let t_len = log_rhos.len();
+    if t_len == 0 {
+        return Err(tensor_err!("v-trace needs at least one step"));
+    }
+    let b = bootstrap.len();
+    for (name, seq) in [
+        ("discounts", discounts),
+        ("rewards", rewards),
+        ("values", values),
+    ] {
+        if seq.len() != t_len || seq.iter().any(|row| row.len() != b) {
+            return Err(tensor_err!("v-trace input '{}' has inconsistent dims", name));
+        }
+    }
+    let mut vs = vec![vec![0.0f32; b]; t_len];
+    let mut pg = vec![vec![0.0f32; b]; t_len];
+    // Backward recursion: vs_t = V_t + δ_t + γ_t c_t (vs_{t+1} − V_{t+1}).
+    let mut vs_next: Vec<f32> = bootstrap.to_vec();
+    let mut v_next: Vec<f32> = bootstrap.to_vec();
+    for t in (0..t_len).rev() {
+        for i in 0..b {
+            let rho = log_rhos[t][i].exp().min(rho_clip);
+            let c = log_rhos[t][i].exp().min(c_clip);
+            let delta = rho * (rewards[t][i] + discounts[t][i] * v_next[i] - values[t][i]);
+            vs[t][i] = values[t][i] + delta + discounts[t][i] * c * (vs_next[i] - v_next[i]);
+            pg[t][i] = rho * (rewards[t][i] + discounts[t][i] * vs_next[i] - values[t][i]);
+        }
+        vs_next = vs[t].clone();
+        v_next = values[t].clone();
+    }
+    Ok((vs, pg))
+}
+
+/// Emitted-ops V-trace over time-major `[t, b]` tensors, statically
+/// unrolled over `t_len` steps (all refs are `[t, b]` except `bootstrap`
+/// `[b]`).
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+#[allow(clippy::too_many_arguments)]
+pub fn vtrace_ops<E: OpEmitter>(
+    em: &mut E,
+    log_rhos: E::Ref,
+    discounts: E::Ref,
+    rewards: E::Ref,
+    values: E::Ref,
+    bootstrap: E::Ref,
+    t_len: usize,
+    rho_clip: f32,
+    c_clip: f32,
+) -> Result<VtraceOutput<E::Ref>> {
+    if t_len == 0 {
+        return Err(tensor_err!("v-trace needs at least one step"));
+    }
+    let row = |em: &mut E, x: E::Ref, t: usize| -> Result<E::Ref> {
+        let sl = em.emit(OpKind::Slice { axis: 0, start: t, len: 1 }, &[x])?;
+        em.emit(OpKind::Squeeze { axis: 0 }, &[sl])
+    };
+    // rho_t and c_t per step, clipped.
+    let rhos_full = em.emit(OpKind::Exp, &[log_rhos])?;
+    let rho_cap = em.scalar_const(rho_clip);
+    let c_cap = em.scalar_const(c_clip);
+    let rhos = em.emit(OpKind::Minimum, &[rhos_full, rho_cap])?;
+    let cs = em.emit(OpKind::Minimum, &[rhos_full, c_cap])?;
+
+    let mut vs_rows: Vec<Option<E::Ref>> = vec![None; t_len];
+    let mut pg_rows: Vec<Option<E::Ref>> = vec![None; t_len];
+    let mut vs_next = bootstrap;
+    let mut v_next = bootstrap;
+    for t in (0..t_len).rev() {
+        let rho_t = row(em, rhos, t)?;
+        let c_t = row(em, cs, t)?;
+        let r_t = row(em, rewards, t)?;
+        let d_t = row(em, discounts, t)?;
+        let v_t = row(em, values, t)?;
+        // delta = rho * (r + d * v_next - v)
+        let dv = em.emit(OpKind::Mul, &[d_t, v_next])?;
+        let target = em.emit(OpKind::Add, &[r_t, dv])?;
+        let adv = em.emit(OpKind::Sub, &[target, v_t])?;
+        let delta = em.emit(OpKind::Mul, &[rho_t, adv])?;
+        // vs = v + delta + d * c * (vs_next - v_next)
+        let diff = em.emit(OpKind::Sub, &[vs_next, v_next])?;
+        let dc = em.emit(OpKind::Mul, &[d_t, c_t])?;
+        let carry = em.emit(OpKind::Mul, &[dc, diff])?;
+        let vd = em.emit(OpKind::Add, &[v_t, delta])?;
+        let vs_t = em.emit(OpKind::Add, &[vd, carry])?;
+        // pg_adv = rho * (r + d * vs_next - v)
+        let dvs = em.emit(OpKind::Mul, &[d_t, vs_next])?;
+        let pg_target = em.emit(OpKind::Add, &[r_t, dvs])?;
+        let pg_diff = em.emit(OpKind::Sub, &[pg_target, v_t])?;
+        let pg_t = em.emit(OpKind::Mul, &[rho_t, pg_diff])?;
+        vs_rows[t] = Some(vs_t);
+        pg_rows[t] = Some(pg_t);
+        vs_next = vs_t;
+        v_next = v_t;
+    }
+    let vs_list: Vec<E::Ref> = vs_rows.into_iter().map(|r| r.expect("filled")).collect();
+    let pg_list: Vec<E::Ref> = pg_rows.into_iter().map(|r| r.expect("filled")).collect();
+    let vs = em.emit(OpKind::Stack { axis: 0 }, &vs_list)?;
+    let pg = em.emit(OpKind::Stack { axis: 0 }, &pg_list)?;
+    Ok(VtraceOutput { vs, pg_advantages: pg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_tensor::{Tape, Tensor};
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_ops(
+        log_rhos: &[Vec<f32>],
+        discounts: &[Vec<f32>],
+        rewards: &[Vec<f32>],
+        values: &[Vec<f32>],
+        bootstrap: &[f32],
+        rho_clip: f32,
+        c_clip: f32,
+    ) -> (Tensor, Tensor) {
+        let t = log_rhos.len();
+        let b = bootstrap.len();
+        let flat = |x: &[Vec<f32>]| x.iter().flatten().copied().collect::<Vec<f32>>();
+        let mut tape = Tape::new();
+        let lr = tape.leaf(Tensor::from_vec(flat(log_rhos), &[t, b]).unwrap(), false);
+        let d = tape.leaf(Tensor::from_vec(flat(discounts), &[t, b]).unwrap(), false);
+        let r = tape.leaf(Tensor::from_vec(flat(rewards), &[t, b]).unwrap(), false);
+        let v = tape.leaf(Tensor::from_vec(flat(values), &[t, b]).unwrap(), false);
+        let bs = tape.leaf(Tensor::from_vec(bootstrap.to_vec(), &[b]).unwrap(), false);
+        let out = vtrace_ops(&mut tape, lr, d, r, v, bs, t, rho_clip, c_clip).unwrap();
+        (tape.value(out.vs).clone(), tape.value(out.pg_advantages).clone())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn randomised_case(
+        seed: u64,
+        t: usize,
+        b: usize,
+    ) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<f32>) {
+        use rand::RngExt as _;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut mat = |lo: f32, hi: f32| {
+            (0..t)
+                .map(|_| (0..b).map(|_| rng.random_range(lo..hi)).collect())
+                .collect::<Vec<Vec<f32>>>()
+        };
+        let log_rhos = mat(-1.0, 1.0);
+        let discounts = mat(0.0, 1.0);
+        let rewards = mat(-2.0, 2.0);
+        let values = mat(-3.0, 3.0);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed + 1);
+        let bootstrap: Vec<f32> = (0..b).map(|_| rng2.random_range(-3.0..3.0)).collect();
+        (log_rhos, discounts, rewards, values, bootstrap)
+    }
+
+    #[test]
+    fn ops_match_reference() {
+        let (lr, d, r, v, bs) = randomised_case(3, 5, 4);
+        let (vs_ref, pg_ref) = vtrace_reference(&lr, &d, &r, &v, &bs, 1.0, 1.0).unwrap();
+        let (vs, pg) = run_ops(&lr, &d, &r, &v, &bs, 1.0, 1.0);
+        for t in 0..5 {
+            for i in 0..4 {
+                assert!((vs.get_f32(&[t, i]).unwrap() - vs_ref[t][i]).abs() < 1e-4);
+                assert!((pg.get_f32(&[t, i]).unwrap() - pg_ref[t][i]).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn on_policy_equals_n_step_returns() {
+        // With log_rhos = 0 (behaviour == target) and no clipping binding,
+        // vs_t is the n-step bootstrapped return.
+        let t = 3;
+        let lr = vec![vec![0.0]; t];
+        let d = vec![vec![0.9]; t];
+        let r = vec![vec![1.0]; t];
+        let v = vec![vec![0.0]; t];
+        let bs = vec![0.0];
+        let (vs, _) = vtrace_reference(&lr, &d, &r, &v, &bs, 1.0, 1.0).unwrap();
+        // return from t=0: 1 + .9 + .81 = 2.71
+        assert!((vs[0][0] - 2.71).abs() < 1e-5);
+        assert!((vs[2][0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rho_clipping_bounds_correction() {
+        // Very large rho is clipped: compare clip=1 vs clip=100.
+        let lr = vec![vec![3.0]]; // rho ≈ 20
+        let d = vec![vec![0.9]];
+        let r = vec![vec![1.0]];
+        let v = vec![vec![0.5]];
+        let bs = vec![0.2];
+        let (vs_clipped, _) = vtrace_reference(&lr, &d, &r, &v, &bs, 1.0, 1.0).unwrap();
+        let (vs_loose, _) = vtrace_reference(&lr, &d, &r, &v, &bs, 100.0, 100.0).unwrap();
+        assert!(vs_loose[0][0].abs() > vs_clipped[0][0].abs());
+        // clipped delta: 1 * (1 + .9*.2 - .5) = .68 → vs = .5 + .68
+        assert!((vs_clipped[0][0] - 1.18).abs() < 1e-5);
+    }
+
+    #[test]
+    fn terminal_discount_cuts_bootstrap() {
+        let lr = vec![vec![0.0]];
+        let d = vec![vec![0.0]]; // terminal
+        let r = vec![vec![2.0]];
+        let v = vec![vec![0.3]];
+        let bs = vec![100.0]; // must be ignored
+        let (vs, pg) = vtrace_reference(&lr, &d, &r, &v, &bs, 1.0, 1.0).unwrap();
+        assert!((vs[0][0] - 2.0).abs() < 1e-5);
+        assert!((pg[0][0] - 1.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let ok = vec![vec![0.0]];
+        let bad = vec![vec![0.0, 0.0]];
+        assert!(vtrace_reference(&ok, &bad, &ok, &ok, &[0.0], 1.0, 1.0).is_err());
+        assert!(vtrace_reference(&[], &[], &[], &[], &[0.0], 1.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! The DeepMind-reference-style IMPALA configuration.
+
+use rlgraph_agents::ImpalaConfig;
+
+/// Returns a copy of `config` with the DeepMind reference
+/// implementation's inefficiencies enabled: redundant per-step actor
+/// variable assignments (paper §5.1: "DM's code also carried out unneeded
+/// variable assignments in the actor. Removing these yielded 20%
+/// improvement in a single-worker setting").
+pub fn dm_style_config(config: &ImpalaConfig) -> ImpalaConfig {
+    let mut dm = config.clone();
+    dm.redundant_actor_assigns = true;
+    dm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_agents::impala::ImpalaActor;
+    use rlgraph_agents::Backend;
+    use rlgraph_envs::{RandomEnv, VectorEnv};
+    use rlgraph_graph::TensorQueue;
+    use rlgraph_nn::{Activation, NetworkSpec};
+    use std::time::Instant;
+
+    fn base_config() -> ImpalaConfig {
+        ImpalaConfig {
+            backend: Backend::Static,
+            network: NetworkSpec::mlp(&[16], Activation::Tanh),
+            rollout_len: 8,
+            queue_capacity: 64,
+            seed: 4,
+            ..ImpalaConfig::default()
+        }
+    }
+
+    fn envs() -> VectorEnv {
+        VectorEnv::from_factory(2, |i| Box::new(RandomEnv::new(&[4], 3, 40, i as u64))).unwrap()
+    }
+
+    #[test]
+    fn flag_is_set() {
+        let cfg = base_config();
+        assert!(!cfg.redundant_actor_assigns);
+        assert!(dm_style_config(&cfg).redundant_actor_assigns);
+    }
+
+    #[test]
+    fn dm_style_still_produces_valid_rollouts() {
+        let cfg = dm_style_config(&base_config());
+        let queue = TensorQueue::new("q", 4);
+        let mut actor = ImpalaActor::new(&cfg, envs(), queue.clone()).unwrap();
+        actor.rollout().unwrap();
+        let rec = queue.dequeue().unwrap();
+        assert_eq!(rec.len(), 6);
+        assert_eq!(rec[0].shape(), &[8, 2, 4]);
+    }
+
+    /// The mechanism behind Fig. 9's single-worker gap: redundant
+    /// assignments make each rollout slower.
+    #[test]
+    fn redundant_assigns_slow_rollouts() {
+        let rollouts = 30;
+        let time_for = |cfg: ImpalaConfig| {
+            let queue = TensorQueue::new("q", rollouts + 1);
+            let mut actor = ImpalaActor::new(&cfg, envs(), queue).unwrap();
+            actor.rollout().unwrap(); // warm-up
+            let t0 = Instant::now();
+            for _ in 0..rollouts {
+                actor.rollout().unwrap();
+            }
+            t0.elapsed()
+        };
+        let clean = time_for(base_config());
+        let dm = time_for(dm_style_config(&base_config()));
+        assert!(
+            dm > clean,
+            "dm-style {:?} should be slower than clean {:?}",
+            dm,
+            clean
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! A bare-bones eager actor with no component framework (the paper's
+//! "PT hand-tuned" comparison line in Fig. 5b).
+
+use rand::SeedableRng;
+use rlgraph_core::{CoreError, Result};
+use rlgraph_nn::{init, spec::ParamDef, Activation, LayerSpec, NetworkSpec};
+use rlgraph_tensor::{forward, kernels::OpKind, Tensor};
+
+/// A direct eager policy: owns plain weight tensors and calls kernels
+/// straight through — no components, no tape, no dispatch. This is the
+/// lowest-overhead acting path achievable on this substrate, against which
+/// the define-by-run executor's component-dispatch overhead is measured.
+pub struct HandTunedActor {
+    layers: Vec<(LayerSpec, Vec<Tensor>)>,
+    value_head: (Tensor, Tensor),
+    adv_head: (Tensor, Tensor),
+    dueling: bool,
+}
+
+impl HandTunedActor {
+    /// Builds the actor with the same architecture and initialisation
+    /// scheme as an rlgraph [`Policy`](rlgraph_agents::components::Policy).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the network cannot consume the observation shape.
+    pub fn new(
+        spec: &NetworkSpec,
+        obs_shape: &[usize],
+        num_actions: usize,
+        dueling: bool,
+        seed: u64,
+    ) -> Result<Self> {
+        let mut layers = Vec::with_capacity(spec.layers.len());
+        let mut shape = obs_shape.to_vec();
+        for (i, layer) in spec.layers.iter().enumerate() {
+            let layer_seed = seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(layer_seed);
+            let defs: Vec<ParamDef> = layer.params(&shape).map_err(CoreError::from)?;
+            let params: Vec<Tensor> =
+                defs.iter().map(|d| init::initialize(&d.init, &d.shape, &mut rng)).collect();
+            layers.push((layer.clone(), params));
+            shape = layer.output_shape(&shape).map_err(CoreError::from)?;
+        }
+        let feat = *shape.last().ok_or_else(|| CoreError::new("network output must be flat"))?;
+        let head = |units: usize, seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let w = init::initialize(
+                &rlgraph_nn::ParamInit::XavierUniform { fan_in: feat, fan_out: units },
+                &[feat, units],
+                &mut rng,
+            );
+            let b = Tensor::zeros(&[units], rlgraph_tensor::DType::F32);
+            (w, b)
+        };
+        Ok(HandTunedActor {
+            layers,
+            value_head: head(1, seed.wrapping_add(101)),
+            adv_head: head(num_actions, seed.wrapping_add(202)),
+            dueling,
+        })
+    }
+
+    fn activate(x: Tensor, act: Activation) -> Result<Tensor> {
+        Ok(match act {
+            Activation::Linear => x,
+            Activation::Relu => forward(&OpKind::Relu, &[&x])?,
+            Activation::Tanh => forward(&OpKind::Tanh, &[&x])?,
+            Activation::Sigmoid => forward(&OpKind::Sigmoid, &[&x])?,
+        })
+    }
+
+    /// Q-values for a batch of observations (direct kernel calls).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn q_values(&self, obs: &Tensor) -> Result<Tensor> {
+        let mut h = obs.clone();
+        for (layer, params) in &self.layers {
+            h = match layer {
+                LayerSpec::Dense { activation, .. } => {
+                    let mm = forward(&OpKind::MatMul, &[&h, &params[0]])?;
+                    let z = forward(&OpKind::Add, &[&mm, &params[1]])?;
+                    Self::activate(z, *activation)?
+                }
+                LayerSpec::Conv2d { stride, padding, activation, .. } => {
+                    let c = forward(
+                        &OpKind::Conv2d { stride: *stride, padding: *padding },
+                        &[&h, &params[0]],
+                    )?;
+                    let z = forward(&OpKind::Add, &[&c, &params[1]])?;
+                    Self::activate(z, *activation)?
+                }
+                LayerSpec::Flatten | LayerSpec::Lstm { .. } => {
+                    let b = h.shape()[0];
+                    let rest: usize = h.shape()[1..].iter().product();
+                    h.reshaped(&[b, rest])?
+                }
+            };
+        }
+        let adv_mm = forward(&OpKind::MatMul, &[&h, &self.adv_head.0])?;
+        let adv = forward(&OpKind::Add, &[&adv_mm, &self.adv_head.1])?;
+        if !self.dueling {
+            return Ok(adv);
+        }
+        let v_mm = forward(&OpKind::MatMul, &[&h, &self.value_head.0])?;
+        let v = forward(&OpKind::Add, &[&v_mm, &self.value_head.1])?;
+        let mean_a = forward(&OpKind::Mean { axes: Some(vec![1]), keep_dims: true }, &[&adv])?;
+        let centered = forward(&OpKind::Sub, &[&adv, &mean_a])?;
+        Ok(forward(&OpKind::Add, &[&v, &centered])?)
+    }
+
+    /// Greedy actions for a batch of observations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn act(&self, obs: &Tensor) -> Result<Tensor> {
+        let q = self.q_values(obs)?;
+        Ok(forward(&OpKind::ArgMax { axis: 1 }, &[&q])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_nn::NetworkSpec;
+
+    #[test]
+    fn matches_policy_architecture_shapes() {
+        let spec = NetworkSpec::new(vec![
+            LayerSpec::Conv2d { filters: 4, kernel: 3, stride: 2, padding: 1, activation: Activation::Relu },
+            LayerSpec::Flatten,
+            LayerSpec::Dense { units: 16, activation: Activation::Relu },
+        ]);
+        let actor = HandTunedActor::new(&spec, &[2, 8, 8], 3, true, 0).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let obs = Tensor::rand_uniform(&[5, 2, 8, 8], 0.0, 1.0, &mut rng);
+        let q = actor.q_values(&obs).unwrap();
+        assert_eq!(q.shape(), &[5, 3]);
+        let a = actor.act(&obs).unwrap();
+        assert_eq!(a.shape(), &[5]);
+        assert!(a.as_i64().unwrap().iter().all(|&x| (0..3).contains(&x)));
+    }
+
+    #[test]
+    fn matches_rlgraph_dbr_policy_outputs() {
+        // Same seeds → the hand-tuned actor and the component policy must
+        // produce identical q-values (they share init and math).
+        use rlgraph_agents::components::Policy;
+        use rlgraph_core::{ComponentStore, ComponentTest, TestBackend};
+        use rlgraph_spaces::Space;
+        let spec = NetworkSpec::mlp(&[8], Activation::Tanh);
+        let seed = 9;
+        let actor = HandTunedActor::new(&spec, &[4], 3, true, seed).unwrap();
+        let mut store = ComponentStore::new();
+        // The policy's network component seeds match: Network uses
+        // seed*1_000_003 + layer, heads use seed+101 / seed+202.
+        let policy = Policy::new(&mut store, "policy-net", &spec, 3, true, seed);
+        let mut test = ComponentTest::with_store(
+            store,
+            policy,
+            &[("q_values", vec![Space::float_box(&[4]).with_batch_rank()])],
+            TestBackend::DefineByRun,
+        )
+        .unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let obs = Tensor::rand_uniform(&[2, 4], -1.0, 1.0, &mut rng);
+        let q_hand = actor.q_values(&obs).unwrap();
+        let q_comp = test.test("q_values", &[obs]).unwrap().remove(0);
+        assert!(
+            q_hand.allclose(&q_comp, 1e-5),
+            "hand-tuned {:?} vs component {:?}",
+            q_hand,
+            q_comp
+        );
+    }
+
+    #[test]
+    fn invalid_shape_rejected() {
+        let spec = NetworkSpec::mlp(&[8], Activation::Relu);
+        assert!(HandTunedActor::new(&spec, &[2, 8, 8], 3, false, 0).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline implementations the paper evaluates against.
+//!
+//! Every baseline implements the *same algorithm* as its rlgraph
+//! counterpart; what differs is the execution structure the paper
+//! attributes the performance gaps to (see DESIGN.md §2):
+//!
+//! * [`rllib_style`] — an Ape-X policy evaluator with RLlib's call
+//!   pattern: per-environment act calls, *incremental* per-record
+//!   post-processing (one backend call per transition), and string-keyed
+//!   per-step episode accounting ("RLlib's policy evaluators execute
+//!   multiple session calls to incrementally post-process batches",
+//!   paper §5.1).
+//! * [`hand_tuned`] — a bare-bones eager actor with no component
+//!   framework at all (the paper's "PT hand-tuned" line in Fig. 5b).
+//! * [`dm_impala_style`] — the DeepMind IMPALA reference behaviour:
+//!   redundant per-step actor variable assignments (paper: removing them
+//!   "yielded 20% improvement in a single-worker setting").
+
+pub mod dm_impala_style;
+pub mod hand_tuned;
+pub mod rllib_style;
+
+pub use dm_impala_style::dm_style_config;
+pub use hand_tuned::HandTunedActor;
+pub use rllib_style::RllibStyleWorker;

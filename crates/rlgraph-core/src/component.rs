@@ -1,0 +1,309 @@
+//! The [`Component`] trait and the component arena.
+
+use crate::context::{BuildCtx, OpRef};
+use crate::Result;
+use rlgraph_spaces::Space;
+use std::any::Any;
+
+/// Identifier of a component in a [`ComponentStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub(crate) usize);
+
+impl ComponentId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A logical building block of an RL algorithm (paper §3.2).
+///
+/// Components encapsulate computations behind *API methods*; they interact
+/// with other components only by calling their API methods through the
+/// build context (the edges of the component graph). Backend-specific work
+/// happens exclusively inside graph functions opened with
+/// [`BuildCtx::graph_fn`].
+///
+/// **Authoring rule:** graph-function bodies do not run during the
+/// assembly phase, and `create_variables` has not run yet when `call_api`
+/// is first traversed there — so any logic that touches variables, spaces
+/// or shapes must live *inside* the `graph_fn` closure (capture
+/// `Option`s and unwrap inside), never in the `call_api` body itself.
+///
+/// Implementations register their sub-components in a
+/// [`ComponentStore`] at composition time and keep the returned
+/// [`ComponentId`]s.
+pub trait Component: Any + Send {
+    /// The component's scope name (unique among siblings).
+    fn name(&self) -> &str;
+
+    /// Names of the API methods this component exposes.
+    fn api_methods(&self) -> Vec<String>;
+
+    /// Executes an API method in the build context. Called once per build
+    /// phase per trace (and per execution in define-by-run mode).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::input_incomplete`](crate::CoreError::input_incomplete)
+    /// to ask the builder to defer; any other error aborts the build.
+    fn call_api(
+        &mut self,
+        method: &str,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        inputs: &[OpRef],
+    ) -> Result<Vec<OpRef>>;
+
+    /// Creates the component's variables once its input spaces are known
+    /// (invoked by the builder before the first `call_api` in a build
+    /// phase). `method` names the API method about to run and `spaces` are
+    /// the spaces of its inputs; return
+    /// [`CoreError::input_incomplete`](crate::CoreError::input_incomplete)
+    /// if this method cannot determine the variables and another method
+    /// must build first.
+    ///
+    /// # Errors
+    ///
+    /// See above; defaults to no variables.
+    fn create_variables(
+        &mut self,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        method: &str,
+        spaces: &[Space],
+    ) -> Result<()> {
+        let _ = (ctx, id, method, spaces);
+        Ok(())
+    }
+
+    /// Ids of direct sub-components (for visualisation and device maps).
+    fn sub_components(&self) -> Vec<ComponentId> {
+        Vec::new()
+    }
+
+    /// Handles of the variables this component created (not including
+    /// sub-components'; use [`collect_var_handles`] for the transitive
+    /// set).
+    fn var_handles(&self) -> Vec<crate::context::VarHandle> {
+        Vec::new()
+    }
+}
+
+/// Collects the variable handles of a component and all its
+/// sub-components, depth-first.
+///
+/// # Errors
+///
+/// Errors if any component in the subtree is currently executing.
+pub fn collect_var_handles(
+    store: &ComponentStore,
+    root: ComponentId,
+) -> crate::Result<Vec<crate::context::VarHandle>> {
+    let comp = store.get(root)?;
+    let mut out = comp.var_handles();
+    for sub in comp.sub_components() {
+        out.extend(collect_var_handles(store, sub)?);
+    }
+    Ok(out)
+}
+
+enum Slot {
+    Present(Box<dyn Component>),
+    /// temporarily taken out while its API executes
+    Borrowed { name: String },
+}
+
+/// Arena owning every component of a model.
+///
+/// Components are taken out of their slot while one of their API methods
+/// executes (so the method body can freely use the store through the build
+/// context to call sub-components).
+#[derive(Default)]
+pub struct ComponentStore {
+    slots: Vec<Slot>,
+}
+
+impl ComponentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component, returning its id.
+    pub fn add(&mut self, component: impl Component + 'static) -> ComponentId {
+        self.slots.push(Slot::Present(Box::new(component)));
+        ComponentId(self.slots.len() - 1)
+    }
+
+    /// Registers a boxed component.
+    pub fn add_boxed(&mut self, component: Box<dyn Component>) -> ComponentId {
+        self.slots.push(Slot::Present(component));
+        ComponentId(self.slots.len() - 1)
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The component's scope name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids.
+    pub fn name(&self, id: ComponentId) -> String {
+        match &self.slots[id.0] {
+            Slot::Present(c) => c.name().to_string(),
+            Slot::Borrowed { name } => name.clone(),
+        }
+    }
+
+    /// Takes a component out of its slot for the duration of an API call.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the component is already executing (direct recursion).
+    pub(crate) fn take(&mut self, id: ComponentId) -> Result<Box<dyn Component>> {
+        if id.0 >= self.slots.len() {
+            return Err(crate::CoreError::new(format!("unknown component {}", id)));
+        }
+        let name = self.name(id);
+        match std::mem::replace(&mut self.slots[id.0], Slot::Borrowed { name }) {
+            Slot::Present(c) => Ok(c),
+            Slot::Borrowed { name } => Err(crate::CoreError::new(format!(
+                "component '{}' is already executing (recursive API call)",
+                name
+            ))),
+        }
+    }
+
+    /// Returns a component to its slot.
+    pub(crate) fn put_back(&mut self, id: ComponentId, component: Box<dyn Component>) {
+        self.slots[id.0] = Slot::Present(component);
+    }
+
+    /// Immutable access to a component (for inspection between calls).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the component is currently executing.
+    pub fn get(&self, id: ComponentId) -> Result<&dyn Component> {
+        match self.slots.get(id.0) {
+            Some(Slot::Present(c)) => Ok(c.as_ref()),
+            Some(Slot::Borrowed { name }) => Err(crate::CoreError::new(format!(
+                "component '{}' is currently executing",
+                name
+            ))),
+            None => Err(crate::CoreError::new(format!("unknown component {}", id))),
+        }
+    }
+
+    /// Mutable access to a component (e.g. to tweak config between builds).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the component is currently executing.
+    pub fn get_mut(&mut self, id: ComponentId) -> Result<&mut dyn Component> {
+        match self.slots.get_mut(id.0) {
+            Some(Slot::Present(c)) => Ok(c.as_mut()),
+            Some(Slot::Borrowed { name }) => Err(crate::CoreError::new(format!(
+                "component '{}' is currently executing",
+                name
+            ))),
+            None => Err(crate::CoreError::new(format!("unknown component {}", id))),
+        }
+    }
+
+    /// Downcasts a component to a concrete type.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the component is executing or has a different type.
+    pub fn get_as<T: Component>(&self, id: ComponentId) -> Result<&T> {
+        let c = self.get(id)?;
+        (c as &dyn Any).downcast_ref::<T>().ok_or_else(|| {
+            crate::CoreError::new(format!("component {} has unexpected type", id))
+        })
+    }
+
+    /// Iterates component ids.
+    pub fn ids(&self) -> impl Iterator<Item = ComponentId> {
+        (0..self.slots.len()).map(ComponentId)
+    }
+}
+
+impl std::fmt::Debug for ComponentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentStore").field("components", &self.slots.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        name: String,
+    }
+
+    impl Component for Dummy {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn api_methods(&self) -> Vec<String> {
+            vec!["noop".into()]
+        }
+        fn call_api(
+            &mut self,
+            _method: &str,
+            _ctx: &mut BuildCtx,
+            _id: ComponentId,
+            inputs: &[OpRef],
+        ) -> Result<Vec<OpRef>> {
+            Ok(inputs.to_vec())
+        }
+    }
+
+    #[test]
+    fn add_take_put_back() {
+        let mut store = ComponentStore::new();
+        let id = store.add(Dummy { name: "d".into() });
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.name(id), "d");
+        let c = store.take(id).unwrap();
+        // double-take is recursion
+        assert!(store.take(id).is_err());
+        // name still resolvable while borrowed
+        assert_eq!(store.name(id), "d");
+        assert!(store.get(id).is_err());
+        store.put_back(id, c);
+        assert!(store.get(id).is_ok());
+    }
+
+    #[test]
+    fn downcast() {
+        let mut store = ComponentStore::new();
+        let id = store.add(Dummy { name: "d".into() });
+        assert!(store.get_as::<Dummy>(id).is_ok());
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut store = ComponentStore::new();
+        assert!(store.take(ComponentId(0)).is_err());
+        assert!(store.get(ComponentId(5)).is_err());
+        assert!(store.get_mut(ComponentId(5)).is_err());
+    }
+}

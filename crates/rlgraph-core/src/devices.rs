@@ -1,0 +1,87 @@
+//! Per-component device assignment.
+
+use rlgraph_graph::Device;
+use std::collections::BTreeMap;
+
+/// Maps component scope paths to devices (paper §3.4: "Fine-grained device
+/// control is managed via a device map where each component's operations
+/// and variables can be assigned separately and selectively").
+///
+/// The longest matching prefix wins, so `"dqn/policy"` overrides `"dqn"`.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceMap {
+    entries: BTreeMap<String, Device>,
+}
+
+impl DeviceMap {
+    /// Creates an empty map (everything defaults to the ambient device).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns a device to a scope prefix.
+    pub fn assign(&mut self, scope_prefix: impl Into<String>, device: Device) -> &mut Self {
+        self.entries.insert(scope_prefix.into(), device);
+        self
+    }
+
+    /// The device for a scope path, if any prefix matches.
+    pub fn device_for(&self, scope_path: &str) -> Option<Device> {
+        let mut best: Option<(&str, Device)> = None;
+        for (prefix, dev) in &self.entries {
+            let matches = scope_path == prefix
+                || scope_path.starts_with(&format!("{}/", prefix))
+                || prefix.is_empty();
+            if matches {
+                let better = match best {
+                    None => true,
+                    Some((b, _)) => prefix.len() > b.len(),
+                };
+                if better {
+                    best = Some((prefix, *dev));
+                }
+            }
+        }
+        best.map(|(_, d)| d)
+    }
+
+    /// Number of assignments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no assignments exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut m = DeviceMap::new();
+        m.assign("dqn", Device::Cpu);
+        m.assign("dqn/policy", Device::Gpu(0));
+        assert_eq!(m.device_for("dqn/memory"), Some(Device::Cpu));
+        assert_eq!(m.device_for("dqn/policy/dense-0"), Some(Device::Gpu(0)));
+        assert_eq!(m.device_for("dqn/policy"), Some(Device::Gpu(0)));
+        assert_eq!(m.device_for("other"), None);
+    }
+
+    #[test]
+    fn empty_prefix_is_default() {
+        let mut m = DeviceMap::new();
+        m.assign("", Device::Gpu(1));
+        assert_eq!(m.device_for("anything"), Some(Device::Gpu(1)));
+    }
+
+    #[test]
+    fn no_partial_segment_match() {
+        let mut m = DeviceMap::new();
+        m.assign("dqn/pol", Device::Gpu(0));
+        assert_eq!(m.device_for("dqn/policy"), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for component-graph construction and execution.
+
+use std::fmt;
+
+/// Error produced while assembling, building, or executing a component
+/// graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreError {
+    message: String,
+    input_incomplete: bool,
+}
+
+impl CoreError {
+    /// Creates a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        CoreError { message: message.into(), input_incomplete: false }
+    }
+
+    /// Creates an *input-incomplete* error: the paper's build constraint
+    /// "component computations and internal variables are only created once
+    /// its input spaces are known". The builder treats these as *defer and
+    /// retry* rather than hard failures (its breadth-first fixpoint).
+    pub fn input_incomplete(message: impl Into<String>) -> Self {
+        CoreError { message: message.into(), input_incomplete: true }
+    }
+
+    /// Whether the builder should defer and retry this method.
+    pub fn is_input_incomplete(&self) -> bool {
+        self.input_incomplete
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<rlgraph_tensor::TensorError> for CoreError {
+    fn from(e: rlgraph_tensor::TensorError) -> Self {
+        CoreError::new(e.message())
+    }
+}
+
+impl From<rlgraph_graph::GraphError> for CoreError {
+    fn from(e: rlgraph_graph::GraphError) -> Self {
+        CoreError::new(e.message())
+    }
+}
+
+impl From<rlgraph_spaces::SpaceError> for CoreError {
+    fn from(e: rlgraph_spaces::SpaceError) -> Self {
+        CoreError::new(e.message())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incomplete_flag() {
+        assert!(!CoreError::new("x").is_input_incomplete());
+        assert!(CoreError::input_incomplete("y").is_input_incomplete());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = rlgraph_tensor::TensorError::new("t").into();
+        assert_eq!(e.message(), "t");
+        let e: CoreError = rlgraph_graph::GraphError::new("g").into();
+        assert_eq!(e.message(), "g");
+        let e: CoreError = rlgraph_spaces::SpaceError::new("s").into();
+        assert_eq!(e.to_string(), "s");
+    }
+}

@@ -1,0 +1,320 @@
+//! Graph executors: the bridge between the agent API and a backend
+//! (paper §4.1).
+
+use crate::context::{decode_projection, BuildCtx, ContractedProgram, OpRef, Step};
+use crate::component::ComponentId;
+use crate::meta::MetaGraph;
+use crate::{CoreError, Result};
+use rlgraph_graph::{NodeId, Session, SharedVariableStore};
+use rlgraph_spaces::Space;
+use rlgraph_tensor::{forward, Tensor};
+use std::collections::HashMap;
+
+/// The node sets serving one API method on the static backend.
+#[derive(Debug, Clone)]
+pub struct ApiOps {
+    /// input placeholders, in declaration order
+    pub placeholders: Vec<NodeId>,
+    /// output fetch targets
+    pub outputs: Vec<NodeId>,
+}
+
+/// Serves agent-API requests against a built component graph.
+///
+/// "There is no other interaction between user programs and graph other
+/// than through API operations defined in the root component" (paper §4.1).
+pub trait GraphExecutor: Send {
+    /// Executes one API method with positional tensor inputs.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown methods, arity mismatches, or backend failures.
+    fn execute(&mut self, method: &str, inputs: &[Tensor]) -> Result<Vec<Tensor>>;
+
+    /// Snapshot of all variables as `(name, value)` pairs.
+    fn export_weights(&self) -> Vec<(String, Tensor)>;
+
+    /// Imports variables by name.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown names or shape mismatches.
+    fn import_weights(&mut self, weights: &[(String, Tensor)]) -> Result<()>;
+
+    /// The assembled component graph (for visualisation/inspection).
+    fn meta(&self) -> &MetaGraph;
+
+    /// The backend's variable store (shared for parameter-server setups).
+    fn variable_store(&self) -> SharedVariableStore;
+}
+
+/// Static-graph executor: looks up the method's placeholders and output ops
+/// in the registry and serves the request with **one session call** — the
+/// call-batching property the paper's throughput results rely on. The
+/// component graph itself is discarded after the build ("TF RLgraph does
+/// not incur runtime overhead because the component graph is discarded
+/// after building", §5.1).
+pub struct StaticExecutor {
+    session: Session,
+    api: HashMap<String, ApiOps>,
+    meta: MetaGraph,
+}
+
+impl StaticExecutor {
+    pub(crate) fn new(graph: rlgraph_graph::Graph, api: HashMap<String, ApiOps>, meta: MetaGraph) -> Self {
+        StaticExecutor { session: Session::new(graph), api, meta }
+    }
+
+    /// The underlying session (profiling, advanced use).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable session access.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// The registered API method names.
+    pub fn api_methods(&self) -> Vec<&str> {
+        self.api.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+impl GraphExecutor for StaticExecutor {
+    fn execute(&mut self, method: &str, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let ops = self
+            .api
+            .get(method)
+            .ok_or_else(|| CoreError::new(format!("unknown api method '{}'", method)))?;
+        if inputs.len() != ops.placeholders.len() {
+            return Err(CoreError::new(format!(
+                "api method '{}' expects {} inputs, got {}",
+                method,
+                ops.placeholders.len(),
+                inputs.len()
+            )));
+        }
+        let feeds: Vec<(NodeId, Tensor)> =
+            ops.placeholders.iter().copied().zip(inputs.iter().cloned()).collect();
+        let outputs = ops.outputs.clone();
+        Ok(self.session.run(&outputs, &feeds)?)
+    }
+
+    fn export_weights(&self) -> Vec<(String, Tensor)> {
+        self.session.store().read().export()
+    }
+
+    fn import_weights(&mut self, weights: &[(String, Tensor)]) -> Result<()> {
+        Ok(self.session.store().write().import(weights)?)
+    }
+
+    fn meta(&self) -> &MetaGraph {
+        &self.meta
+    }
+
+    fn variable_store(&self) -> SharedVariableStore {
+        self.session.store()
+    }
+}
+
+impl std::fmt::Debug for StaticExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticExecutor").field("api", &self.api.keys().collect::<Vec<_>>()).finish()
+    }
+}
+
+/// Define-by-run executor: every request re-traces the component call
+/// chain, evaluating graph functions eagerly (paper §4.2: "instead of
+/// returning operation objects used for graph construction, RLgraph simply
+/// directly evaluates a call-chain of graph functions").
+///
+/// [`DbrExecutor::enable_fast_path`] records a *contracted* kernel program
+/// on the next execution and replays it afterwards, skipping per-component
+/// dispatch — the paper's edge-contraction optimisation.
+pub struct DbrExecutor {
+    ctx: BuildCtx,
+    root: ComponentId,
+    api: HashMap<String, Vec<Space>>,
+    meta: MetaGraph,
+    fast_path: HashMap<String, FastPathState>,
+    /// cumulative (api_calls, graph_fn_calls) across executions
+    dispatch_counters: (u64, u64),
+}
+
+enum FastPathState {
+    /// record on the next execution
+    Armed,
+    /// replay this program
+    Ready(ContractedProgram),
+}
+
+impl DbrExecutor {
+    pub(crate) fn new(
+        ctx: BuildCtx,
+        root: ComponentId,
+        api: HashMap<String, Vec<Space>>,
+        meta: MetaGraph,
+    ) -> Self {
+        DbrExecutor { ctx, root, api, meta, fast_path: HashMap::new(), dispatch_counters: (0, 0) }
+    }
+
+    /// Arms edge contraction for a method: the next execution records a
+    /// flat kernel program; later executions replay it without component
+    /// dispatch. Methods that assign variables or take gradients fall back
+    /// to tracing automatically.
+    pub fn enable_fast_path(&mut self, method: &str) {
+        self.fast_path.insert(method.to_string(), FastPathState::Armed);
+    }
+
+    /// Whether a method currently replays a contracted program.
+    pub fn is_contracted(&self, method: &str) -> bool {
+        matches!(self.fast_path.get(method), Some(FastPathState::Ready(_)))
+    }
+
+    /// The build context (component access between calls).
+    pub fn ctx(&self) -> &BuildCtx {
+        &self.ctx
+    }
+
+    /// Mutable context access.
+    pub fn ctx_mut(&mut self) -> &mut BuildCtx {
+        &mut self.ctx
+    }
+
+    /// Cumulative `(api_calls, graph_fn_calls)` dispatched over this
+    /// executor's lifetime — the overhead the fast path removes.
+    pub fn dispatch_counters(&self) -> (u64, u64) {
+        self.dispatch_counters
+    }
+
+    fn replay(program: &ContractedProgram, inputs: &[Tensor], vars: &SharedVariableStore) -> Result<Vec<Tensor>> {
+        let mut slots: Vec<Option<Tensor>> = Vec::with_capacity(program.steps.len());
+        let mut stateful_outs: Vec<Option<Vec<Tensor>>> = vec![None; program.steps.len()];
+        let resolve = |slot: usize,
+                       slots: &[Option<Tensor>],
+                       stateful: &[Option<Vec<Tensor>>]|
+         -> Result<Tensor> {
+            if let Some((step, off)) = decode_projection(slot) {
+                stateful
+                    .get(step)
+                    .and_then(|o| o.as_ref())
+                    .and_then(|v| v.get(off))
+                    .cloned()
+                    .ok_or_else(|| CoreError::new("contracted replay: missing stateful output"))
+            } else {
+                slots
+                    .get(slot)
+                    .and_then(|o| o.clone())
+                    .ok_or_else(|| CoreError::new("contracted replay: missing slot"))
+            }
+        };
+        for (i, step) in program.steps.iter().enumerate() {
+            let value = match step {
+                Step::Input { idx } => Some(
+                    inputs
+                        .get(*idx)
+                        .cloned()
+                        .ok_or_else(|| CoreError::new("contracted replay: missing input"))?,
+                ),
+                Step::Const { value } => Some(value.clone()),
+                Step::Emit { kind, inputs: ins } => {
+                    let vals: Vec<Tensor> = ins
+                        .iter()
+                        .map(|s| resolve(*s, &slots, &stateful_outs))
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Tensor> = vals.iter().collect();
+                    Some(forward(kind, &refs)?)
+                }
+                Step::ReadVar { var } => Some(vars.read().read(*var)?.clone()),
+                Step::Stateful { kernel, inputs: ins } => {
+                    let vals: Vec<Tensor> = ins
+                        .iter()
+                        .map(|s| resolve(*s, &slots, &stateful_outs))
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Tensor> = vals.iter().collect();
+                    let outs = kernel.lock().call(&refs)?;
+                    stateful_outs[i] = Some(outs);
+                    None
+                }
+            };
+            slots.push(value);
+        }
+        program
+            .outputs
+            .iter()
+            .map(|s| resolve(*s, &slots, &stateful_outs))
+            .collect()
+    }
+}
+
+impl GraphExecutor for DbrExecutor {
+    fn execute(&mut self, method: &str, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let spaces = self
+            .api
+            .get(method)
+            .ok_or_else(|| CoreError::new(format!("unknown api method '{}'", method)))?
+            .clone();
+        if inputs.len() != spaces.len() {
+            return Err(CoreError::new(format!(
+                "api method '{}' expects {} inputs, got {}",
+                method,
+                spaces.len(),
+                inputs.len()
+            )));
+        }
+        // Fast path: replay a contracted program when available.
+        if let Some(FastPathState::Ready(program)) = self.fast_path.get(method) {
+            let program = program.clone();
+            let vars = self.ctx.eager_vars();
+            return Self::replay(&program, inputs, &vars);
+        }
+        let record = matches!(self.fast_path.get(method), Some(FastPathState::Armed));
+
+        self.ctx.start_trace(false);
+        if record {
+            self.ctx.start_recording();
+        }
+        let refs: Vec<OpRef> = spaces
+            .iter()
+            .zip(inputs)
+            .enumerate()
+            .map(|(i, (s, t))| self.ctx.input(&format!("{}/{}", method, i), s, Some(t.clone()), i))
+            .collect::<Result<_>>()?;
+        let outputs = self.ctx.call(self.root, method, &refs)?;
+        let (api_calls, fn_calls) = self.ctx.trace_counters();
+        self.dispatch_counters.0 += api_calls;
+        self.dispatch_counters.1 += fn_calls;
+        if record {
+            if let Some(program) = self.ctx.finish_recording(&outputs) {
+                self.fast_path.insert(method.to_string(), FastPathState::Ready(program));
+            } else {
+                // Not contractible (gradients/assigns) — stop trying.
+                self.fast_path.remove(method);
+            }
+        }
+        outputs.iter().map(|r| self.ctx.value(*r).cloned()).collect()
+    }
+
+    fn export_weights(&self) -> Vec<(String, Tensor)> {
+        self.ctx.eager_vars().read().export()
+    }
+
+    fn import_weights(&mut self, weights: &[(String, Tensor)]) -> Result<()> {
+        Ok(self.ctx.eager_vars().write().import(weights)?)
+    }
+
+    fn meta(&self) -> &MetaGraph {
+        &self.meta
+    }
+
+    fn variable_store(&self) -> SharedVariableStore {
+        self.ctx.eager_vars()
+    }
+}
+
+impl std::fmt::Debug for DbrExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbrExecutor").field("api", &self.api.keys().collect::<Vec<_>>()).finish()
+    }
+}

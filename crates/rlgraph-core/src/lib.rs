@@ -1,0 +1,43 @@
+//! The rlgraph component graph: modular computation graphs for deep RL.
+//!
+//! This crate is the Rust realisation of the RLgraph paper's central
+//! contribution (Schaarschmidt et al., SysML 2019): the separation of
+//!
+//! 1. **logical component composition** — [`Component`]s interact only
+//!    through declared API methods ([`Component::call_api`]) and encapsulate
+//!    numeric work in *graph functions* ([`BuildCtx::graph_fn`]);
+//! 2. **backend graph definition** — a three-phase build
+//!    ([`ComponentGraphBuilder`]): composition, assembly of a type/shape-less
+//!    *component graph* (paper Algorithm 1), and compilation into a backend
+//!    (static graph nodes, or define-by-run call chains), with variables
+//!    created automatically once a component's input spaces are known;
+//! 3. **execution** — [`GraphExecutor`]s serve every agent-API request with
+//!    a single backend call ([`StaticExecutor`]) or by walking the component
+//!    call chain eagerly ([`DbrExecutor`], with an optional contracted
+//!    fast path — the paper's "edge contraction").
+//!
+//! Sub-graph testing (paper Listing 1) is provided by
+//! [`ComponentTest`]: build any component in isolation from example spaces
+//! and drive its API with sampled inputs.
+
+pub mod builder;
+pub mod component;
+pub mod context;
+pub mod devices;
+pub mod dot;
+pub mod error;
+pub mod executor;
+pub mod harness;
+pub mod meta;
+
+pub use builder::{BuildReport, ComponentGraphBuilder};
+pub use component::{collect_var_handles, Component, ComponentId, ComponentStore};
+pub use context::{BuildCtx, Mode, OpRef, VarHandle};
+pub use devices::DeviceMap;
+pub use error::CoreError;
+pub use executor::{DbrExecutor, GraphExecutor, StaticExecutor};
+pub use harness::{ComponentTest, TestBackend};
+pub use meta::{ApiEntry, MetaGraph};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

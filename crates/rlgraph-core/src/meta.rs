@@ -1,0 +1,133 @@
+//! The meta graph: the type/shape-less component graph produced by the
+//! assembly phase (paper Algorithm 1).
+
+use crate::component::ComponentId;
+use std::collections::BTreeMap;
+
+/// One registered root API method: its name plus the number of inputs and
+/// outputs discovered during assembly.
+#[derive(Debug, Clone)]
+pub struct ApiEntry {
+    /// method name
+    pub name: String,
+    /// number of input records
+    pub num_inputs: usize,
+    /// number of output records
+    pub num_outputs: usize,
+}
+
+/// One node of the component call structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaNode {
+    /// An API method invocation on a component.
+    ApiCall {
+        /// target component
+        component: ComponentId,
+        /// component name
+        component_name: String,
+        /// method name
+        method: String,
+        /// scope path of the *caller*
+        caller_scope: String,
+    },
+    /// A graph-function entry within a component.
+    GraphFn {
+        /// owning component
+        component: ComponentId,
+        /// function name
+        name: String,
+        /// scope path where it ran
+        scope: String,
+    },
+}
+
+/// The assembled component graph: API registry plus the recorded call
+/// structure (used for visualisation and build statistics).
+#[derive(Debug, Clone, Default)]
+pub struct MetaGraph {
+    api: BTreeMap<String, ApiEntry>,
+    calls: Vec<MetaNode>,
+}
+
+impl MetaGraph {
+    /// Registers a root API method.
+    pub fn register_api(&mut self, name: &str, num_inputs: usize, num_outputs: usize) {
+        self.api.insert(
+            name.to_string(),
+            ApiEntry { name: name.to_string(), num_inputs, num_outputs },
+        );
+    }
+
+    /// The API registry.
+    pub fn api(&self) -> impl Iterator<Item = &ApiEntry> {
+        self.api.values()
+    }
+
+    /// Looks up one API entry.
+    pub fn api_entry(&self, name: &str) -> Option<&ApiEntry> {
+        self.api.get(name)
+    }
+
+    /// Records an API call edge (invoked by the build context).
+    pub(crate) fn record_api_call(
+        &mut self,
+        component: ComponentId,
+        component_name: &str,
+        method: &str,
+        caller_scope: String,
+    ) {
+        self.calls.push(MetaNode::ApiCall {
+            component,
+            component_name: component_name.to_string(),
+            method: method.to_string(),
+            caller_scope,
+        });
+    }
+
+    /// Records a graph-function entry.
+    pub(crate) fn record_graph_fn(&mut self, component: ComponentId, name: &str, scope: String) {
+        self.calls.push(MetaNode::GraphFn {
+            component,
+            name: name.to_string(),
+            scope,
+        });
+    }
+
+    /// All recorded call-structure nodes, in traversal order.
+    pub fn calls(&self) -> &[MetaNode] {
+        &self.calls
+    }
+
+    /// Number of distinct components touched by the traversal.
+    pub fn num_components_touched(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &self.calls {
+            match c {
+                MetaNode::ApiCall { component, .. } | MetaNode::GraphFn { component, .. } => {
+                    seen.insert(*component);
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_and_calls() {
+        let mut m = MetaGraph::default();
+        m.register_api("act", 1, 1);
+        m.register_api("update", 0, 2);
+        assert_eq!(m.api().count(), 2);
+        assert_eq!(m.api_entry("act").unwrap().num_inputs, 1);
+        assert!(m.api_entry("missing").is_none());
+        m.record_api_call(ComponentId(0), "policy", "get_action", String::new());
+        m.record_graph_fn(ComponentId(0), "forward", "policy".into());
+        m.record_api_call(ComponentId(1), "memory", "insert", String::new());
+        assert_eq!(m.calls().len(), 3);
+        assert_eq!(m.num_components_touched(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Integration: per-component device assignment flows from the device map
+//! through the build into the session's per-device accounting (paper §4.1
+//! "Device management").
+
+use rlgraph_core::{
+    BuildCtx, Component, ComponentGraphBuilder, ComponentId, ComponentStore, DeviceMap, OpRef,
+};
+use rlgraph_graph::Device;
+use rlgraph_spaces::Space;
+use rlgraph_tensor::{OpKind, Tensor};
+
+struct Leaf {
+    name: String,
+}
+
+impl Component for Leaf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn api_methods(&self) -> Vec<String> {
+        vec!["call".into()]
+    }
+    fn call_api(
+        &mut self,
+        _m: &str,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        inputs: &[OpRef],
+    ) -> rlgraph_core::Result<Vec<OpRef>> {
+        ctx.graph_fn(id, "double", inputs, 1, |ctx, ins| {
+            let two = ctx.scalar(2.0);
+            Ok(vec![ctx.emit(OpKind::Mul, &[ins[0], two])?])
+        })
+    }
+}
+
+struct Root {
+    cpu_child: ComponentId,
+    gpu_child: ComponentId,
+}
+
+impl Component for Root {
+    fn name(&self) -> &str {
+        "root"
+    }
+    fn api_methods(&self) -> Vec<String> {
+        vec!["forward".into()]
+    }
+    fn call_api(
+        &mut self,
+        _m: &str,
+        ctx: &mut BuildCtx,
+        _id: ComponentId,
+        inputs: &[OpRef],
+    ) -> rlgraph_core::Result<Vec<OpRef>> {
+        let a = ctx.call(self.cpu_child, "call", inputs)?[0];
+        ctx.call(self.gpu_child, "call", &[a])
+    }
+    fn sub_components(&self) -> Vec<ComponentId> {
+        vec![self.cpu_child, self.gpu_child]
+    }
+}
+
+fn build() -> rlgraph_core::StaticExecutor {
+    let mut store = ComponentStore::new();
+    let cpu_child = store.add(Leaf { name: "preproc".into() });
+    let gpu_child = store.add(Leaf { name: "policy".into() });
+    let root = store.add(Root { cpu_child, gpu_child });
+    let mut devices = DeviceMap::new();
+    devices.assign("", Device::Cpu);
+    devices.assign("root/policy", Device::Gpu(0));
+    let builder = ComponentGraphBuilder::new(root)
+        .device_map(devices)
+        .api_method("forward", vec![Space::float_box(&[2]).with_batch_rank()]);
+    builder.build_static(store).unwrap().0
+}
+
+#[test]
+fn nodes_carry_component_devices() {
+    let exec = build();
+    let graph = exec.session().graph();
+    let mut gpu_nodes = 0;
+    let mut cpu_nodes = 0;
+    for (_, node) in graph.nodes() {
+        if node.scope.starts_with("policy") || node.scope.contains("/policy") {
+            assert_eq!(node.device, Device::Gpu(0), "policy node on {:?}", node.device);
+        }
+        match node.device {
+            Device::Gpu(_) => gpu_nodes += 1,
+            Device::Cpu => cpu_nodes += 1,
+        }
+    }
+    assert!(gpu_nodes > 0, "no nodes placed on the gpu");
+    assert!(cpu_nodes > 0, "no nodes left on the cpu");
+}
+
+#[test]
+fn session_accounts_per_device() {
+    let mut exec = build();
+    let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+    use rlgraph_core::GraphExecutor as _;
+    let out = exec.execute("forward", &[x]).unwrap();
+    // 2 * 2 = 4x
+    assert_eq!(out[0].as_f32().unwrap(), &[4.0, 8.0]);
+    let stats = exec.session().stats();
+    let gpu_ops: u64 = stats
+        .per_device
+        .iter()
+        .filter(|(d, _)| matches!(d, Device::Gpu(_)))
+        .map(|(_, n)| *n)
+        .sum();
+    let cpu_ops = stats.per_device.get(&Device::Cpu).copied().unwrap_or(0);
+    assert!(gpu_ops > 0, "no ops executed under gpu placement: {:?}", stats.per_device);
+    assert!(cpu_ops > 0, "no ops executed under cpu placement");
+}
+
+#[test]
+fn dot_export_colours_devices() {
+    let exec = build();
+    let dot = rlgraph_core::dot::graph_to_dot(exec.session().graph(), "device-test");
+    assert!(dot.contains("#7fc97f"), "gpu colour missing");
+    assert!(dot.contains("#7da7d9"), "cpu colour missing");
+    assert!(dot.contains("cluster_"), "component clusters missing");
+}

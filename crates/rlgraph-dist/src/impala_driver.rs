@@ -1,0 +1,219 @@
+//! Non-centralized IMPALA driver (distributed-TF analogue, paper Fig. 9).
+//!
+//! Actors and learner are independent threads that communicate only through
+//! the shared in-graph blocking queue (rollouts) and periodic weight
+//! snapshots (parameter-server pull) — no central coordination loop.
+
+use rlgraph_agents::impala::{ImpalaActor, ImpalaLearner};
+use rlgraph_agents::ImpalaConfig;
+use rlgraph_core::CoreError;
+use rlgraph_envs::{Env, VectorEnv};
+use rlgraph_graph::TensorQueue;
+use rlgraph_spaces::Space;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of an IMPALA run.
+#[derive(Debug, Clone)]
+pub struct ImpalaDriverConfig {
+    /// agent configuration
+    pub agent: ImpalaConfig,
+    /// number of actor threads
+    pub num_actors: usize,
+    /// vectorised environments per actor
+    pub envs_per_actor: usize,
+    /// actors refresh weights every k rollouts
+    pub weight_sync_interval: u64,
+    /// stop after this wall-clock duration
+    pub run_duration: Duration,
+    /// optional cap on learner updates
+    pub max_updates: Option<u64>,
+}
+
+impl Default for ImpalaDriverConfig {
+    fn default() -> Self {
+        ImpalaDriverConfig {
+            agent: ImpalaConfig::default(),
+            num_actors: 2,
+            envs_per_actor: 2,
+            weight_sync_interval: 4,
+            run_duration: Duration::from_secs(5),
+            max_updates: None,
+        }
+    }
+}
+
+/// Statistics of an IMPALA run.
+#[derive(Debug, Clone, Default)]
+pub struct ImpalaRunStats {
+    /// environment frames consumed (incl. frame skip)
+    pub env_frames: u64,
+    /// wall time
+    pub wall_time: Duration,
+    /// frames per second
+    pub frames_per_second: f64,
+    /// learner updates
+    pub updates: u64,
+    /// learner total losses over time
+    pub losses: Vec<f32>,
+    /// final mean recent episode return (if any episodes completed)
+    pub mean_return: Option<f32>,
+}
+
+/// Runs IMPALA: actors produce fused rollouts into the queue, the learner
+/// consumes them with V-trace.
+///
+/// # Errors
+///
+/// Propagates build errors; actor errors abort the run.
+pub fn run_impala<F>(
+    config: ImpalaDriverConfig,
+    env_factory: F,
+) -> rlgraph_core::Result<ImpalaRunStats>
+where
+    F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
+{
+    let start = Instant::now();
+    let queue = TensorQueue::new("impala-rollouts", config.agent.queue_capacity);
+    let stop = Arc::new(AtomicBool::new(false));
+    let frames_total = Arc::new(AtomicU64::new(0));
+    let returns: Arc<parking_lot::Mutex<Vec<f32>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let env_factory = Arc::new(env_factory);
+
+    let state_space: Space = env_factory(0, 0).state_space();
+    let num_actions = env_factory(0, 0).action_space().num_categories()?;
+
+    // Learner weights shared via a snapshot slot actors pull from.
+    let weight_slot: Arc<parking_lot::RwLock<Vec<(String, rlgraph_tensor::Tensor)>>> =
+        Arc::new(parking_lot::RwLock::new(Vec::new()));
+
+    let mut actor_handles = Vec::with_capacity(config.num_actors);
+    for a in 0..config.num_actors {
+        let stop = stop.clone();
+        let queue = queue.clone();
+        let frames_total = frames_total.clone();
+        let returns = returns.clone();
+        let env_factory = env_factory.clone();
+        let weight_slot = weight_slot.clone();
+        let mut agent_cfg = config.agent.clone();
+        agent_cfg.seed = config.agent.seed.wrapping_add(a as u64 * 6151);
+        let envs_per_actor = config.envs_per_actor;
+        let sync_every = config.weight_sync_interval;
+        let handle = std::thread::Builder::new()
+            .name(format!("impala-actor-{}", a))
+            .spawn(move || -> rlgraph_core::Result<()> {
+                let envs = VectorEnv::new(
+                    (0..envs_per_actor).map(|e| env_factory(a, e)).collect(),
+                )
+                .map_err(|e| CoreError::new(e.message()))?;
+                let mut actor = ImpalaActor::new(&agent_cfg, envs, queue)?;
+                let mut rollouts: u64 = 0;
+                let mut frames_before = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if rollouts % sync_every == 0 {
+                        let weights = weight_slot.read().clone();
+                        if !weights.is_empty() {
+                            actor.set_weights(&weights)?;
+                        }
+                    }
+                    match actor.rollout() {
+                        Ok(()) => {}
+                        Err(_) if stop.load(Ordering::Relaxed) => break,
+                        Err(e) => return Err(e),
+                    }
+                    rollouts += 1;
+                    let now = actor.env_frames();
+                    frames_total.fetch_add(now - frames_before, Ordering::Relaxed);
+                    frames_before = now;
+                    if let Some(r) = actor.mean_recent_return(20) {
+                        returns.lock().push(r);
+                    }
+                }
+                Ok(())
+            })
+            .expect("spawn actor thread");
+        actor_handles.push(handle);
+    }
+
+    // Learner loop.
+    let mut learner = ImpalaLearner::new(
+        &config.agent,
+        state_space,
+        num_actions,
+        config.envs_per_actor,
+        queue.clone(),
+    )?;
+    let mut losses = Vec::new();
+    let deadline = start + config.run_duration;
+    while Instant::now() < deadline
+        && config.max_updates.map(|m| learner.num_updates() < m).unwrap_or(true)
+    {
+        match learner.learn() {
+            Ok(l) => {
+                losses.push(l.total);
+                *weight_slot.write() = learner.get_weights();
+            }
+            Err(_) => break,
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    queue.close();
+    for h in actor_handles {
+        match h.join() {
+            Ok(res) => res?,
+            Err(_) => return Err(CoreError::new("actor thread panicked")),
+        }
+    }
+
+    let wall_time = start.elapsed();
+    let env_frames = frames_total.load(Ordering::Relaxed);
+    let mean_return = {
+        let r = returns.lock();
+        r.last().copied()
+    };
+    Ok(ImpalaRunStats {
+        env_frames,
+        wall_time,
+        frames_per_second: env_frames as f64 / wall_time.as_secs_f64().max(1e-9),
+        updates: learner.num_updates(),
+        losses,
+        mean_return,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_agents::Backend;
+    use rlgraph_envs::RandomEnv;
+    use rlgraph_nn::{Activation, NetworkSpec};
+
+    #[test]
+    fn impala_pipeline_runs() {
+        let config = ImpalaDriverConfig {
+            agent: ImpalaConfig {
+                backend: Backend::Static,
+                network: NetworkSpec::mlp(&[8], Activation::Tanh),
+                rollout_len: 4,
+                queue_capacity: 4,
+                seed: 2,
+                ..ImpalaConfig::default()
+            },
+            num_actors: 2,
+            envs_per_actor: 2,
+            weight_sync_interval: 2,
+            run_duration: Duration::from_millis(1200),
+            max_updates: Some(30),
+        };
+        let stats = run_impala(config, |a, e| {
+            Box::new(RandomEnv::new(&[3], 2, 16, (a * 10 + e) as u64))
+        })
+        .unwrap();
+        assert!(stats.updates > 0, "learner never updated");
+        assert!(stats.env_frames > 0);
+        assert!(stats.losses.iter().all(|l| l.is_finite()));
+        assert!(stats.frames_per_second > 0.0);
+    }
+}

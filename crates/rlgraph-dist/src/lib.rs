@@ -1,0 +1,25 @@
+//! Distributed execution for rlgraph (paper §4.1, Fig. 4).
+//!
+//! Two coordination styles, mirroring the paper's:
+//!
+//! * [`ray`] — centralized control on an actor model: a coordinator spawns
+//!   worker actors (each holding a local rlgraph agent and a vector of
+//!   environments), replay-shard actors, and a learner loop — the
+//!   `RayExecutor` of the paper's Ape-X evaluation (Figs. 6, 7).
+//! * [`impala_driver`] — non-centralized, parameter-server style: actors
+//!   and learner are independent threads communicating only through a
+//!   shared in-graph queue and weight snapshots, the distributed-TF
+//!   analogue used for Fig. 9.
+//!
+//! Both run on OS threads with crossbeam channels standing in for Ray RPC
+//! / gRPC; at paper scale (hundreds of workers) throughput is measured on
+//! the calibrated discrete-event simulator in `rlgraph-sim` instead (see
+//! DESIGN.md).
+
+pub mod impala_driver;
+pub mod ray;
+pub mod shard;
+
+pub use impala_driver::{run_impala, ImpalaDriverConfig, ImpalaRunStats};
+pub use ray::{run_apex, ApexRunConfig, ApexRunStats};
+pub use shard::{ReplayShard, ShardRequest};

@@ -1,0 +1,314 @@
+//! The Ray-style centralized Ape-X executor (paper §5.1, Figs. 6/7).
+//!
+//! A coordinator spawns worker actors (each: local rlgraph agent + vector
+//! of environments + n-step post-processing + worker-side prioritisation),
+//! replay-shard actors, and drives the learner loop: pull samples from
+//! shards round-robin, update, push priorities back, and broadcast weights
+//! on a schedule. Threads + channels stand in for Ray actors + RPC.
+
+use crate::shard::{ReplayShard, ShardRequest};
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use parking_lot::Mutex;
+use rlgraph_agents::apex::ApexWorker;
+use rlgraph_agents::{DqnAgent, DqnConfig};
+use rlgraph_core::CoreError;
+use rlgraph_envs::{Env, VectorEnv};
+use rlgraph_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of an Ape-X run.
+#[derive(Debug, Clone)]
+pub struct ApexRunConfig {
+    /// learner/worker agent configuration
+    pub agent: DqnConfig,
+    /// number of worker actors
+    pub num_workers: usize,
+    /// vectorised environments per worker (paper: 4)
+    pub envs_per_worker: usize,
+    /// samples per collection task (paper Fig. 7a sweeps this)
+    pub task_size: usize,
+    /// replay shards feeding the learner (paper: 4)
+    pub num_shards: usize,
+    /// broadcast weights every k learner updates
+    pub weight_sync_interval: u64,
+    /// stop after this wall-clock duration
+    pub run_duration: Duration,
+    /// optional hard cap on learner updates
+    pub max_updates: Option<u64>,
+}
+
+impl Default for ApexRunConfig {
+    fn default() -> Self {
+        ApexRunConfig {
+            agent: DqnConfig::default(),
+            num_workers: 2,
+            envs_per_worker: 4,
+            task_size: 64,
+            num_shards: 2,
+            weight_sync_interval: 16,
+            run_duration: Duration::from_secs(5),
+            max_updates: None,
+        }
+    }
+}
+
+/// Aggregate statistics of an Ape-X run.
+#[derive(Debug, Clone, Default)]
+pub struct ApexRunStats {
+    /// environment frames consumed across all workers (incl. frame skip)
+    pub env_frames: u64,
+    /// post-processed samples shipped to shards
+    pub samples_collected: u64,
+    /// wall time of the run
+    pub wall_time: Duration,
+    /// frames per second
+    pub frames_per_second: f64,
+    /// learner updates performed
+    pub updates: u64,
+    /// learner losses over time
+    pub losses: Vec<f32>,
+    /// `(seconds since start, episode return)` for every finished episode
+    pub reward_timeline: Vec<(f64, f32)>,
+}
+
+impl ApexRunStats {
+    /// Mean of the most recent `n` episode returns.
+    pub fn mean_recent_return(&self, n: usize) -> Option<f32> {
+        if self.reward_timeline.is_empty() {
+            return None;
+        }
+        let tail = &self.reward_timeline[self.reward_timeline.len().saturating_sub(n)..];
+        Some(tail.iter().map(|(_, r)| r).sum::<f32>() / tail.len() as f32)
+    }
+}
+
+/// Per-worker exploration constant, as in the Ape-X paper:
+/// `eps_i = 0.4^(1 + 7 i / (n-1))`.
+pub fn apex_worker_epsilon(worker: usize, num_workers: usize) -> f32 {
+    let alpha = if num_workers <= 1 { 0.0 } else { 7.0 * worker as f32 / (num_workers - 1) as f32 };
+    0.4f32.powf(1.0 + alpha)
+}
+
+/// Runs distributed prioritized experience replay and returns throughput
+/// and learning statistics.
+///
+/// `env_factory(worker, env_index)` builds each environment copy.
+///
+/// # Errors
+///
+/// Propagates build errors; worker errors abort the run.
+pub fn run_apex<F>(config: ApexRunConfig, env_factory: F) -> rlgraph_core::Result<ApexRunStats>
+where
+    F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
+{
+    let start = Instant::now();
+    let stop = Arc::new(AtomicBool::new(false));
+    let frames = Arc::new(AtomicU64::new(0));
+    let samples = Arc::new(AtomicU64::new(0));
+    let rewards: Arc<Mutex<Vec<(f64, f32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let env_factory = Arc::new(env_factory);
+
+    // Replay shards.
+    let shards: Vec<ReplayShard> = (0..config.num_shards)
+        .map(|i| {
+            ReplayShard::spawn(
+                format!("replay-shard-{}", i),
+                config.agent.memory_capacity,
+                config.agent.alpha,
+                config.agent.seed.wrapping_add(1000 + i as u64),
+            )
+        })
+        .collect();
+    let shard_senders: Vec<Sender<ShardRequest>> = shards.iter().map(|s| s.sender()).collect();
+
+    // Weight broadcast channels (capacity 1; stale snapshots are dropped).
+    let mut weight_txs = Vec::with_capacity(config.num_workers);
+
+    // Workers.
+    let mut worker_handles = Vec::with_capacity(config.num_workers);
+    for w in 0..config.num_workers {
+        let (wtx, wrx) = bounded::<Vec<(String, Tensor)>>(1);
+        weight_txs.push(wtx);
+        let stop = stop.clone();
+        let frames = frames.clone();
+        let samples = samples.clone();
+        let rewards = rewards.clone();
+        let shard_senders = shard_senders.clone();
+        let env_factory = env_factory.clone();
+        let mut worker_cfg = config.agent.clone();
+        worker_cfg.memory_capacity = 16; // workers do not learn locally
+        worker_cfg.seed = config.agent.seed.wrapping_add(w as u64 * 7919);
+        let eps = apex_worker_epsilon(w, config.num_workers);
+        worker_cfg.epsilon =
+            rlgraph_agents::EpsilonSchedule { start: eps, end: eps, decay_steps: 1 };
+        let (task_size, envs_per_worker) = (config.task_size, config.envs_per_worker);
+        let handle = std::thread::Builder::new()
+            .name(format!("apex-worker-{}", w))
+            .spawn(move || -> rlgraph_core::Result<()> {
+                let envs = VectorEnv::new(
+                    (0..envs_per_worker).map(|e| env_factory(w, e)).collect(),
+                )
+                .map_err(|e| CoreError::new(e.message()))?;
+                let mut worker = ApexWorker::new(worker_cfg, envs)?;
+                let mut task: u64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(weights) = wrx.try_recv() {
+                        worker.agent_mut().set_weights(&weights)?;
+                    }
+                    let batch = worker.collect(task_size)?;
+                    frames.fetch_add(batch.env_frames, Ordering::Relaxed);
+                    samples.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    {
+                        let now = start.elapsed().as_secs_f64();
+                        let mut guard = rewards.lock();
+                        for r in &batch.episode_returns {
+                            guard.push((now, *r));
+                        }
+                    }
+                    let shard = &shard_senders[(task as usize) % shard_senders.len()];
+                    if shard
+                        .send(ShardRequest::Insert {
+                            transitions: batch.transitions,
+                            priorities: batch.priorities,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                    task += 1;
+                }
+                Ok(())
+            })
+            .expect("spawn worker thread");
+        worker_handles.push(handle);
+    }
+
+    // Learner loop (this thread).
+    let state_space = env_factory(0, 0).state_space();
+    let action_space = env_factory(0, 0).action_space();
+    let mut learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
+    let mut losses = Vec::new();
+    let mut updates: u64 = 0;
+    let deadline = start + config.run_duration;
+    let mut rr = 0usize;
+    while Instant::now() < deadline && config.max_updates.map(|m| updates < m).unwrap_or(true) {
+        let shard = &shard_senders[rr % shard_senders.len()];
+        rr += 1;
+        let (reply_tx, reply_rx) = bounded(1);
+        if shard
+            .send(ShardRequest::Sample {
+                batch: config.agent.batch_size,
+                beta: config.agent.beta,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            break;
+        }
+        let Ok(reply) = reply_rx.recv_timeout(Duration::from_millis(500)) else { continue };
+        let Some(batch) = reply else {
+            // shard not filled yet
+            std::thread::yield_now();
+            continue;
+        };
+        let [s, a, r, s2, t] = batch.tensors;
+        let (loss, td) = learner.update_from_batch([s, a, r, s2, t, batch.weights])?;
+        losses.push(loss);
+        updates += 1;
+        let priorities = td.as_f32().map_err(CoreError::from)?.to_vec();
+        let _ = shard.send(ShardRequest::UpdatePriorities { indices: batch.indices, priorities });
+        if updates % config.weight_sync_interval == 0 {
+            let weights = learner.get_weights();
+            for tx in &weight_txs {
+                match tx.try_send(weights.clone()) {
+                    Ok(()) | Err(TrySendError::Full(_)) => {}
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
+            }
+        }
+    }
+
+    // Drain any remaining run budget on pure sampling, then stop workers.
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in worker_handles {
+        match h.join() {
+            Ok(res) => res?,
+            Err(_) => return Err(CoreError::new("worker thread panicked")),
+        }
+    }
+    for s in shards {
+        s.shutdown();
+    }
+
+    let wall_time = start.elapsed();
+    let env_frames = frames.load(Ordering::Relaxed);
+    let reward_timeline = std::mem::take(&mut *rewards.lock());
+    Ok(ApexRunStats {
+        env_frames,
+        samples_collected: samples.load(Ordering::Relaxed),
+        wall_time,
+        frames_per_second: env_frames as f64 / wall_time.as_secs_f64().max(1e-9),
+        updates,
+        losses,
+        reward_timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_agents::Backend;
+    use rlgraph_envs::RandomEnv;
+    use rlgraph_nn::{Activation, NetworkSpec};
+
+    fn tiny_agent() -> DqnConfig {
+        DqnConfig {
+            backend: Backend::Static,
+            network: NetworkSpec::mlp(&[8], Activation::Tanh),
+            memory_capacity: 512,
+            batch_size: 8,
+            n_step: 2,
+            target_sync_every: 50,
+            seed: 11,
+            ..DqnConfig::default()
+        }
+    }
+
+    #[test]
+    fn epsilon_ladder() {
+        assert!((apex_worker_epsilon(0, 8) - 0.4).abs() < 1e-6);
+        assert!(apex_worker_epsilon(7, 8) < apex_worker_epsilon(0, 8));
+        assert!((apex_worker_epsilon(0, 1) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_apex_pipeline_runs_and_learns() {
+        let config = ApexRunConfig {
+            agent: tiny_agent(),
+            num_workers: 2,
+            envs_per_worker: 2,
+            task_size: 32,
+            num_shards: 2,
+            weight_sync_interval: 4,
+            run_duration: Duration::from_millis(1500),
+            max_updates: Some(40),
+        };
+        let stats = run_apex(config, |w, e| {
+            Box::new(RandomEnv::new(&[4], 2, 20, (w * 10 + e) as u64))
+        })
+        .unwrap();
+        assert!(stats.env_frames > 100, "frames: {}", stats.env_frames);
+        assert!(stats.samples_collected > 50);
+        assert!(stats.updates > 0, "learner never updated");
+        assert!(stats.frames_per_second > 0.0);
+        assert!(!stats.losses.is_empty());
+        assert!(stats.losses.iter().all(|l| l.is_finite()));
+        // episodes of length 20 complete during the run
+        assert!(stats.mean_recent_return(100).is_some());
+    }
+}

@@ -1,0 +1,203 @@
+//! Replay-shard actors: each hosts one prioritized replay buffer and
+//! serves inserts, samples, and priority updates over channels (the
+//! paper's "4 instances of replay memories to feed the learner").
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use rlgraph_agents::components::memory::transitions_to_batch;
+use rlgraph_memory::{PrioritizedReplay, Transition};
+use rlgraph_tensor::Tensor;
+use std::thread::JoinHandle;
+
+/// A batch served by a shard, with the shard-local slot indices.
+#[derive(Debug, Clone)]
+pub struct ShardBatch {
+    /// `(s, a, r, s2, t)` stacked tensors
+    pub tensors: [Tensor; 5],
+    /// importance weights `[b]`
+    pub weights: Tensor,
+    /// shard-local slot indices
+    pub indices: Vec<usize>,
+}
+
+/// Requests a shard actor serves.
+pub enum ShardRequest {
+    /// insert post-processed transitions with worker-side priorities
+    Insert {
+        /// the transitions
+        transitions: Vec<Transition>,
+        /// per-transition initial priorities
+        priorities: Vec<f32>,
+    },
+    /// sample a batch; replies on the provided channel (None while the
+    /// shard holds fewer than `batch` records)
+    Sample {
+        /// batch size
+        batch: usize,
+        /// IS exponent
+        beta: f32,
+        /// reply channel
+        reply: Sender<Option<ShardBatch>>,
+    },
+    /// update priorities after a learner step
+    UpdatePriorities {
+        /// shard-local indices
+        indices: Vec<usize>,
+        /// new priorities
+        priorities: Vec<f32>,
+    },
+    /// stop the actor
+    Shutdown,
+}
+
+/// Handle to a running replay-shard actor.
+pub struct ReplayShard {
+    tx: Sender<ShardRequest>,
+    handle: Option<JoinHandle<u64>>,
+}
+
+impl ReplayShard {
+    /// Spawns a shard actor with the given capacity/alpha.
+    pub fn spawn(name: String, capacity: usize, alpha: f32, seed: u64) -> Self {
+        let (tx, rx): (Sender<ShardRequest>, Receiver<ShardRequest>) = bounded(256);
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || shard_loop(rx, capacity, alpha, seed))
+            .expect("spawn shard thread");
+        ReplayShard { tx, handle: Some(handle) }
+    }
+
+    /// The request channel.
+    pub fn sender(&self) -> Sender<ShardRequest> {
+        self.tx.clone()
+    }
+
+    /// Stops the actor and returns the total number of inserted records.
+    pub fn shutdown(mut self) -> u64 {
+        let _ = self.tx.send(ShardRequest::Shutdown);
+        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
+    }
+}
+
+impl Drop for ReplayShard {
+    fn drop(&mut self) {
+        let _ = self.tx.send(ShardRequest::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn shard_loop(rx: Receiver<ShardRequest>, capacity: usize, alpha: f32, seed: u64) -> u64 {
+    use rand::SeedableRng;
+    let mut mem: PrioritizedReplay<Transition> = PrioritizedReplay::new(capacity, alpha);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    while let Ok(req) = rx.recv() {
+        match req {
+            ShardRequest::Insert { transitions, priorities } => {
+                for (t, p) in transitions.into_iter().zip(priorities) {
+                    mem.insert_with_priority(t, p);
+                }
+            }
+            ShardRequest::Sample { batch, beta, reply } => {
+                if mem.len() < batch {
+                    let _ = reply.send(None);
+                    continue;
+                }
+                let sample = mem.sample(batch, beta, &mut rng);
+                let tensors = match transitions_to_batch(&sample.records) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        let _ = reply.send(None);
+                        continue;
+                    }
+                };
+                let weights = Tensor::from_vec(sample.weights, &[batch]).expect("batch shape");
+                let _ = reply.send(Some(ShardBatch { tensors, weights, indices: sample.indices }));
+            }
+            ShardRequest::UpdatePriorities { indices, priorities } => {
+                // indices may reference overwritten slots after wrap-around;
+                // clamp defensively
+                let pairs: Vec<(usize, f32)> = indices
+                    .into_iter()
+                    .zip(priorities)
+                    .filter(|(i, _)| *i < mem.len())
+                    .collect();
+                let (idx, pr): (Vec<usize>, Vec<f32>) = pairs.into_iter().unzip();
+                mem.update_priorities(&idx, &pr);
+            }
+            ShardRequest::Shutdown => break,
+        }
+    }
+    mem.total_inserted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_tensor::DType;
+
+    fn transitions(n: usize) -> (Vec<Transition>, Vec<f32>) {
+        let ts = (0..n)
+            .map(|i| {
+                Transition::new(
+                    Tensor::full(&[3], i as f32),
+                    Tensor::scalar_i64(0),
+                    1.0,
+                    Tensor::full(&[3], i as f32 + 1.0),
+                    false,
+                )
+            })
+            .collect();
+        (ts, vec![1.0; n])
+    }
+
+    #[test]
+    fn insert_then_sample_roundtrip() {
+        let shard = ReplayShard::spawn("shard-test".into(), 64, 0.6, 0);
+        let (ts, ps) = transitions(16);
+        shard.sender().send(ShardRequest::Insert { transitions: ts, priorities: ps }).unwrap();
+        let (reply_tx, reply_rx) = bounded(1);
+        shard
+            .sender()
+            .send(ShardRequest::Sample { batch: 8, beta: 0.4, reply: reply_tx })
+            .unwrap();
+        let batch = reply_rx.recv().unwrap().expect("enough data");
+        assert_eq!(batch.tensors[0].shape(), &[8, 3]);
+        assert_eq!(batch.tensors[4].dtype(), DType::Bool);
+        assert_eq!(batch.indices.len(), 8);
+        assert_eq!(shard.shutdown(), 16);
+    }
+
+    #[test]
+    fn sample_underfilled_returns_none() {
+        let shard = ReplayShard::spawn("shard-test".into(), 64, 0.6, 0);
+        let (reply_tx, reply_rx) = bounded(1);
+        shard
+            .sender()
+            .send(ShardRequest::Sample { batch: 4, beta: 0.4, reply: reply_tx })
+            .unwrap();
+        assert!(reply_rx.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn priority_updates_accepted() {
+        let shard = ReplayShard::spawn("shard-test".into(), 32, 1.0, 0);
+        let (ts, ps) = transitions(8);
+        shard.sender().send(ShardRequest::Insert { transitions: ts, priorities: ps }).unwrap();
+        shard
+            .sender()
+            .send(ShardRequest::UpdatePriorities {
+                indices: vec![0, 1, 99],
+                priorities: vec![10.0, 0.1, 5.0],
+            })
+            .unwrap();
+        // still serving after an update containing a stale index
+        let (reply_tx, reply_rx) = bounded(1);
+        shard
+            .sender()
+            .send(ShardRequest::Sample { batch: 4, beta: 0.0, reply: reply_tx })
+            .unwrap();
+        assert!(reply_rx.recv().unwrap().is_some());
+        shard.shutdown();
+    }
+}

@@ -1,0 +1,170 @@
+//! The classic cart–pole balancing task (quickstart/test environment).
+
+use crate::env::{Env, EnvStep};
+use crate::EnvError;
+use rand::RngExt as _;
+use rand::SeedableRng;
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+
+/// Cart–pole with the standard Barto–Sutton–Anderson dynamics: push the
+/// cart left/right, +1 reward per step, episode ends when the pole tips or
+/// the cart leaves the track (or after `max_steps`).
+#[derive(Debug)]
+pub struct CartPole {
+    rng: rand::rngs::StdRng,
+    x: f32,
+    x_dot: f32,
+    theta: f32,
+    theta_dot: f32,
+    steps: u32,
+    max_steps: u32,
+    done: bool,
+}
+
+const GRAVITY: f32 = 9.8;
+const CART_MASS: f32 = 1.0;
+const POLE_MASS: f32 = 0.1;
+const POLE_HALF_LEN: f32 = 0.5;
+const FORCE: f32 = 10.0;
+const DT: f32 = 0.02;
+const X_LIMIT: f32 = 2.4;
+const THETA_LIMIT: f32 = 12.0 * std::f32::consts::PI / 180.0;
+
+impl CartPole {
+    /// Creates a cart–pole with the given seed and episode cap.
+    pub fn new(seed: u64, max_steps: u32) -> Self {
+        CartPole {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            x: 0.0,
+            x_dot: 0.0,
+            theta: 0.0,
+            theta_dot: 0.0,
+            steps: 0,
+            max_steps,
+            done: true,
+        }
+    }
+
+    fn observation(&self) -> Tensor {
+        Tensor::from_vec(vec![self.x, self.x_dot, self.theta, self.theta_dot], &[4])
+            .expect("fixed shape")
+    }
+}
+
+impl Env for CartPole {
+    fn state_space(&self) -> Space {
+        Space::float_box_bounded(&[4], -5.0, 5.0)
+    }
+
+    fn action_space(&self) -> Space {
+        Space::int_box(2)
+    }
+
+    fn reset(&mut self) -> Tensor {
+        self.x = self.rng.random_range(-0.05..0.05);
+        self.x_dot = self.rng.random_range(-0.05..0.05);
+        self.theta = self.rng.random_range(-0.05..0.05);
+        self.theta_dot = self.rng.random_range(-0.05..0.05);
+        self.steps = 0;
+        self.done = false;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &Tensor) -> crate::Result<EnvStep> {
+        if self.done {
+            return Err(EnvError::new("step called on a finished episode; call reset"));
+        }
+        let a = action.scalar_value_i64().map_err(|e| EnvError::new(e.message()))?;
+        if !(0..2).contains(&a) {
+            return Err(EnvError::new(format!("action {} outside [0, 2)", a)));
+        }
+        let force = if a == 1 { FORCE } else { -FORCE };
+        let total_mass = CART_MASS + POLE_MASS;
+        let pole_mass_len = POLE_MASS * POLE_HALF_LEN;
+        let cos = self.theta.cos();
+        let sin = self.theta.sin();
+        let tmp = (force + pole_mass_len * self.theta_dot * self.theta_dot * sin) / total_mass;
+        let theta_acc = (GRAVITY * sin - cos * tmp)
+            / (POLE_HALF_LEN * (4.0 / 3.0 - POLE_MASS * cos * cos / total_mass));
+        let x_acc = tmp - pole_mass_len * theta_acc * cos / total_mass;
+        self.x += DT * self.x_dot;
+        self.x_dot += DT * x_acc;
+        self.theta += DT * self.theta_dot;
+        self.theta_dot += DT * theta_acc;
+        self.steps += 1;
+        let terminal = self.x.abs() > X_LIMIT
+            || self.theta.abs() > THETA_LIMIT
+            || self.steps >= self.max_steps;
+        self.done = terminal;
+        Ok(EnvStep { obs: self.observation(), reward: 1.0, terminal })
+    }
+
+    fn name(&self) -> &str {
+        "cartpole"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_lifecycle() {
+        let mut env = CartPole::new(3, 200);
+        let obs = env.reset();
+        assert_eq!(obs.shape(), &[4]);
+        let mut steps = 0;
+        loop {
+            let r = env.step(&Tensor::scalar_i64(steps % 2)).unwrap();
+            steps += 1;
+            assert_eq!(r.reward, 1.0);
+            if r.terminal {
+                break;
+            }
+            assert!(steps < 300);
+        }
+        assert!(env.step(&Tensor::scalar_i64(0)).is_err());
+    }
+
+    #[test]
+    fn constant_push_fails_fast() {
+        let mut env = CartPole::new(0, 500);
+        env.reset();
+        let mut steps = 0;
+        loop {
+            let r = env.step(&Tensor::scalar_i64(1)).unwrap();
+            steps += 1;
+            if r.terminal {
+                break;
+            }
+        }
+        assert!(steps < 150, "constant push should tip the pole quickly, lasted {}", steps);
+    }
+
+    #[test]
+    fn alternating_outlasts_constant() {
+        let run = |policy: fn(u32) -> i64| {
+            let mut env = CartPole::new(1, 500);
+            env.reset();
+            let mut steps = 0u32;
+            loop {
+                let r = env.step(&Tensor::scalar_i64(policy(steps))).unwrap();
+                steps += 1;
+                if r.terminal {
+                    return steps;
+                }
+            }
+        };
+        let alternating = run(|s| (s % 2) as i64);
+        let constant = run(|_| 1);
+        assert!(alternating > constant);
+    }
+
+    #[test]
+    fn action_validated() {
+        let mut env = CartPole::new(0, 100);
+        env.reset();
+        assert!(env.step(&Tensor::scalar_i64(2)).is_err());
+    }
+}

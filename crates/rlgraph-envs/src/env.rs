@@ -1,0 +1,93 @@
+//! The environment interface.
+
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+use std::fmt;
+
+/// Error produced by environment interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    message: String,
+}
+
+impl EnvError {
+    /// Creates a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        EnvError { message: message.into() }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl From<rlgraph_tensor::TensorError> for EnvError {
+    fn from(e: rlgraph_tensor::TensorError) -> Self {
+        EnvError::new(e.message())
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct EnvStep {
+    /// next observation
+    pub obs: Tensor,
+    /// immediate reward
+    pub reward: f32,
+    /// episode terminated
+    pub terminal: bool,
+}
+
+/// A reinforcement-learning environment: a state layout, an action layout,
+/// and step dynamics.
+pub trait Env: Send {
+    /// The observation space (no batch rank; workers add it).
+    fn state_space(&self) -> Space;
+
+    /// The action space.
+    fn action_space(&self) -> Space;
+
+    /// Resets the episode and returns the first observation.
+    fn reset(&mut self) -> Tensor;
+
+    /// Advances the environment by one action.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `action` does not belong to the action space.
+    fn step(&mut self, action: &Tensor) -> crate::Result<EnvStep>;
+
+    /// Environment frames consumed per `step` call (frame skip); throughput
+    /// figures count `steps * frame_skip`, as the paper does ("including
+    /// frame skips").
+    fn frame_skip(&self) -> usize {
+        1
+    }
+
+    /// A short environment name for reporting.
+    fn name(&self) -> &str {
+        "env"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = EnvError::new("bad action");
+        assert_eq!(e.to_string(), "bad action");
+        let from: EnvError = rlgraph_tensor::TensorError::new("t").into();
+        assert_eq!(from.message(), "t");
+    }
+}

@@ -1,0 +1,388 @@
+//! GridPong: a deterministic-physics Pong analogue.
+//!
+//! Mirrors Atari Pong's structure — an agent paddle, an opponent paddle
+//! tracking the ball with limited speed, ±1 rewards per point, games to 21,
+//! frame skip — over a small grid with either pixel-raster observations
+//! (`[frames, h, w]`, like stacked grayscale frames) or a compact vector
+//! observation for fast-learning configurations.
+
+use crate::env::{Env, EnvStep};
+use crate::EnvError;
+use rand::RngExt as _;
+use rand::SeedableRng;
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+
+/// Observation encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PongObs {
+    /// `[2, h, w]` raster: current and previous frame (velocity is visible
+    /// from the pair, like frame stacking in ALE pipelines).
+    Pixels,
+    /// `[6]` floats: ball x/y, ball vx/vy, own paddle y, opponent paddle y
+    /// (all normalised).
+    Vector,
+}
+
+/// GridPong configuration.
+#[derive(Debug, Clone)]
+pub struct GridPongConfig {
+    /// board width in cells
+    pub width: usize,
+    /// board height in cells
+    pub height: usize,
+    /// points needed to win the game (21 in Pong)
+    pub points_to_win: u32,
+    /// physics sub-steps per action (Atari frame skip is 4)
+    pub frame_skip: usize,
+    /// observation encoding
+    pub obs: PongObs,
+    /// opponent paddle tracking speed in cells per physics step
+    pub opponent_speed: f32,
+    /// RNG seed (serve direction)
+    pub seed: u64,
+}
+
+impl Default for GridPongConfig {
+    fn default() -> Self {
+        GridPongConfig {
+            width: 16,
+            height: 16,
+            points_to_win: 21,
+            frame_skip: 4,
+            obs: PongObs::Pixels,
+            opponent_speed: 0.35,
+            seed: 0,
+        }
+    }
+}
+
+impl GridPongConfig {
+    /// A small, fast-learning configuration (vector observations, short
+    /// games) used by the learning-curve benchmarks.
+    pub fn learnable(seed: u64) -> Self {
+        GridPongConfig {
+            width: 12,
+            height: 12,
+            points_to_win: 5,
+            frame_skip: 2,
+            obs: PongObs::Vector,
+            opponent_speed: 0.28,
+            seed,
+        }
+    }
+}
+
+/// The GridPong environment. Actions: 0 = up, 1 = stay, 2 = down.
+#[derive(Debug)]
+pub struct GridPong {
+    cfg: GridPongConfig,
+    rng: rand::rngs::StdRng,
+    ball_x: f32,
+    ball_y: f32,
+    vel_x: f32,
+    vel_y: f32,
+    paddle_y: f32,    // agent, right edge
+    opponent_y: f32,  // left edge
+    score_agent: u32,
+    score_opponent: u32,
+    prev_frame: Vec<f32>,
+    done: bool,
+}
+
+const PADDLE_HALF: f32 = 1.5;
+
+impl GridPong {
+    /// Creates a GridPong with the given configuration.
+    pub fn new(cfg: GridPongConfig) -> Self {
+        let rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let mut env = GridPong {
+            rng,
+            ball_x: 0.0,
+            ball_y: 0.0,
+            vel_x: 0.0,
+            vel_y: 0.0,
+            paddle_y: cfg.height as f32 / 2.0,
+            opponent_y: cfg.height as f32 / 2.0,
+            score_agent: 0,
+            score_opponent: 0,
+            prev_frame: vec![0.0; cfg.width * cfg.height],
+            done: false,
+            cfg,
+        };
+        env.serve(1.0);
+        env
+    }
+
+    /// Current game score `(agent, opponent)`.
+    pub fn score(&self) -> (u32, u32) {
+        (self.score_agent, self.score_opponent)
+    }
+
+    fn serve(&mut self, dir: f32) {
+        self.ball_x = self.cfg.width as f32 / 2.0;
+        self.ball_y = self.cfg.height as f32 / 2.0;
+        self.vel_x = 0.5 * dir;
+        let vy: f32 = self.rng.random_range(-0.45..0.45);
+        self.vel_y = vy;
+    }
+
+    /// Advances physics by one sub-step; returns a point outcome.
+    fn physics_step(&mut self, action: i64) -> f32 {
+        let dy = match action {
+            0 => -0.6,
+            1 => 0.0,
+            2 => 0.6,
+            _ => 0.0,
+        };
+        let h = self.cfg.height as f32;
+        let w = self.cfg.width as f32;
+        self.paddle_y = (self.paddle_y + dy).clamp(PADDLE_HALF, h - 1.0 - PADDLE_HALF);
+        // Opponent tracks the ball with limited speed.
+        let delta = self.ball_y - self.opponent_y;
+        let step = delta.clamp(-self.cfg.opponent_speed, self.cfg.opponent_speed);
+        self.opponent_y = (self.opponent_y + step).clamp(PADDLE_HALF, h - 1.0 - PADDLE_HALF);
+        // Ball motion.
+        self.ball_x += self.vel_x;
+        self.ball_y += self.vel_y;
+        // Wall bounce.
+        if self.ball_y < 0.0 {
+            self.ball_y = -self.ball_y;
+            self.vel_y = -self.vel_y;
+        } else if self.ball_y > h - 1.0 {
+            self.ball_y = 2.0 * (h - 1.0) - self.ball_y;
+            self.vel_y = -self.vel_y;
+        }
+        // Right edge: agent paddle.
+        if self.ball_x >= w - 1.0 {
+            if (self.ball_y - self.paddle_y).abs() <= PADDLE_HALF + 0.5 {
+                self.ball_x = 2.0 * (w - 1.0) - self.ball_x;
+                self.vel_x = -self.vel_x;
+                // english: deflect by contact point
+                self.vel_y += 0.25 * (self.ball_y - self.paddle_y) / PADDLE_HALF;
+                self.vel_y = self.vel_y.clamp(-0.8, 0.8);
+            } else {
+                self.score_opponent += 1;
+                self.serve(-1.0);
+                return -1.0;
+            }
+        }
+        // Left edge: opponent paddle.
+        if self.ball_x <= 0.0 {
+            if (self.ball_y - self.opponent_y).abs() <= PADDLE_HALF + 0.5 {
+                self.ball_x = -self.ball_x;
+                self.vel_x = -self.vel_x;
+            } else {
+                self.score_agent += 1;
+                self.serve(1.0);
+                return 1.0;
+            }
+        }
+        0.0
+    }
+
+    fn render_frame(&self) -> Vec<f32> {
+        let (w, h) = (self.cfg.width, self.cfg.height);
+        let mut frame = vec![0.0f32; w * h];
+        let mut plot = |x: isize, y: isize, v: f32| {
+            if x >= 0 && (x as usize) < w && y >= 0 && (y as usize) < h {
+                frame[y as usize * w + x as usize] = v;
+            }
+        };
+        // paddles
+        let half = PADDLE_HALF as isize + 1;
+        for dy in -half..=half {
+            plot((w - 1) as isize, self.paddle_y as isize + dy, 1.0);
+            plot(0, self.opponent_y as isize + dy, 1.0);
+        }
+        // ball
+        plot(self.ball_x.round() as isize, self.ball_y.round() as isize, 1.0);
+        frame
+    }
+
+    fn observation(&mut self) -> Tensor {
+        match self.cfg.obs {
+            PongObs::Pixels => {
+                let (w, h) = (self.cfg.width, self.cfg.height);
+                let current = self.render_frame();
+                let mut data = Vec::with_capacity(2 * w * h);
+                data.extend_from_slice(&current);
+                data.extend_from_slice(&self.prev_frame);
+                self.prev_frame = current;
+                Tensor::from_vec(data, &[2, h, w]).expect("raster shape consistent")
+            }
+            PongObs::Vector => {
+                let (w, h) = (self.cfg.width as f32, self.cfg.height as f32);
+                Tensor::from_vec(
+                    vec![
+                        self.ball_x / w,
+                        self.ball_y / h,
+                        self.vel_x,
+                        self.vel_y,
+                        self.paddle_y / h,
+                        self.opponent_y / h,
+                    ],
+                    &[6],
+                )
+                .expect("vector shape consistent")
+            }
+        }
+    }
+}
+
+impl Env for GridPong {
+    fn state_space(&self) -> Space {
+        match self.cfg.obs {
+            PongObs::Pixels => {
+                Space::float_box(&[2, self.cfg.height, self.cfg.width])
+            }
+            PongObs::Vector => Space::float_box_bounded(&[6], -2.0, 2.0),
+        }
+    }
+
+    fn action_space(&self) -> Space {
+        Space::int_box(3)
+    }
+
+    fn reset(&mut self) -> Tensor {
+        self.score_agent = 0;
+        self.score_opponent = 0;
+        self.done = false;
+        self.paddle_y = self.cfg.height as f32 / 2.0;
+        self.opponent_y = self.cfg.height as f32 / 2.0;
+        self.prev_frame = vec![0.0; self.cfg.width * self.cfg.height];
+        self.serve(1.0);
+        self.observation()
+    }
+
+    fn step(&mut self, action: &Tensor) -> crate::Result<EnvStep> {
+        if self.done {
+            return Err(EnvError::new("step called on a finished episode; call reset"));
+        }
+        let a = action.scalar_value_i64().map_err(|e| EnvError::new(e.message()))?;
+        if !(0..3).contains(&a) {
+            return Err(EnvError::new(format!("action {} outside [0, 3)", a)));
+        }
+        let mut reward = 0.0;
+        for _ in 0..self.cfg.frame_skip {
+            reward += self.physics_step(a);
+        }
+        let terminal = self.score_agent >= self.cfg.points_to_win
+            || self.score_opponent >= self.cfg.points_to_win;
+        self.done = terminal;
+        Ok(EnvStep { obs: self.observation(), reward, terminal })
+    }
+
+    fn frame_skip(&self) -> usize {
+        self.cfg.frame_skip
+    }
+
+    fn name(&self) -> &str {
+        "grid_pong"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pong(obs: PongObs) -> GridPong {
+        GridPong::new(GridPongConfig { obs, points_to_win: 2, ..Default::default() })
+    }
+
+    #[test]
+    fn observation_matches_space() {
+        for obs in [PongObs::Pixels, PongObs::Vector] {
+            let mut env = pong(obs);
+            let space = env.state_space();
+            let o = env.reset();
+            assert_eq!(o.shape(), space.shape().unwrap());
+        }
+    }
+
+    #[test]
+    fn pixel_frames_stack_previous() {
+        let mut env = pong(PongObs::Pixels);
+        let first = env.reset();
+        // second channel of the first observation is the zero previous frame
+        let data = first.as_f32().unwrap();
+        let half = data.len() / 2;
+        assert!(data[half..].iter().all(|&v| v == 0.0));
+        let step = env.step(&Tensor::scalar_i64(1)).unwrap();
+        let d2 = step.obs.as_f32().unwrap();
+        // now the previous frame (second channel) has content
+        assert!(d2[half..].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn action_validation() {
+        let mut env = pong(PongObs::Vector);
+        env.reset();
+        assert!(env.step(&Tensor::scalar_i64(3)).is_err());
+        assert!(env.step(&Tensor::scalar(1.0)).is_err());
+        assert!(env.step(&Tensor::scalar_i64(1)).is_ok());
+    }
+
+    #[test]
+    fn episode_reaches_terminal_and_scores() {
+        let mut env = pong(PongObs::Vector);
+        env.reset();
+        let mut total_points = 0i32;
+        for _ in 0..10_000 {
+            let r = env.step(&Tensor::scalar_i64(1)).unwrap();
+            if r.reward != 0.0 {
+                total_points += 1;
+            }
+            if r.terminal {
+                break;
+            }
+        }
+        let (a, b) = env.score();
+        assert!(a >= 2 || b >= 2, "no side reached the target: {:?}", (a, b));
+        assert!(total_points >= 2);
+        // stepping after terminal errors
+        assert!(env.step(&Tensor::scalar_i64(1)).is_err());
+        // reset clears
+        env.reset();
+        assert_eq!(env.score(), (0, 0));
+    }
+
+    #[test]
+    fn tracking_opponent_beats_idle_agent() {
+        // The opponent tracks the ball; an idle agent should lose points.
+        let mut env = GridPong::new(GridPongConfig {
+            obs: PongObs::Vector,
+            points_to_win: 3,
+            opponent_speed: 0.9,
+            ..Default::default()
+        });
+        env.reset();
+        let mut reward_sum = 0.0;
+        for _ in 0..20_000 {
+            let r = env.step(&Tensor::scalar_i64(1)).unwrap();
+            reward_sum += r.reward;
+            if r.terminal {
+                break;
+            }
+        }
+        assert!(reward_sum < 0.0, "idle agent should lose, got {}", reward_sum);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut env = GridPong::new(GridPongConfig::learnable(9));
+            let mut out = Vec::new();
+            env.reset();
+            for i in 0..50 {
+                let r = env.step(&Tensor::scalar_i64(i % 3)).unwrap();
+                out.push((r.reward, r.terminal));
+                if r.terminal {
+                    break;
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,33 @@
+//! Simulation environments for rlgraph.
+//!
+//! The paper's evaluation uses Atari Pong (ALE) and DeepMind Lab's
+//! `seekavoid_arena_01`. Neither is available in a pure-Rust, offline
+//! reproduction, so this crate provides synthetic equivalents that exercise
+//! the same code paths (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`GridPong`] — paddle/ball physics, ±1 scoring, games to 21, frame
+//!   skip, pixel-raster or vector observations.
+//! * [`SeekAvoid`] — a 2-D arena with good/bad pickups rendered through a
+//!   ray-cast "3-D" view whose per-frame cost is configurable (the paper
+//!   notes DM-Lab tasks are "more expensive to render than Atari tasks").
+//! * [`CartPole`] — the classic control task, for quickstarts and tests.
+//! * [`RandomEnv`] — fixed-cost dummy environment for micro-benchmarks.
+//! * [`VectorEnv`] — sequential vectorised execution with auto-reset and
+//!   frame accounting, as used by the paper's worker measurements.
+
+pub mod cartpole;
+pub mod env;
+pub mod gridpong;
+pub mod random;
+pub mod seekavoid;
+pub mod vector;
+
+pub use cartpole::CartPole;
+pub use env::{Env, EnvError, EnvStep};
+pub use gridpong::{GridPong, GridPongConfig, PongObs};
+pub use random::RandomEnv;
+pub use seekavoid::{SeekAvoid, SeekAvoidConfig};
+pub use vector::{EpisodeStats, VectorEnv, VectorStep};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, EnvError>;

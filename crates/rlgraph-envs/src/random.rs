@@ -1,0 +1,89 @@
+//! Fixed-cost dummy environment for micro-benchmarks and tests.
+
+use crate::env::{Env, EnvStep};
+use crate::EnvError;
+use rand::RngExt as _;
+use rand::SeedableRng;
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+
+/// Emits random observations and rewards with a fixed episode length —
+/// useful when a benchmark should measure framework overhead rather than
+/// environment dynamics.
+#[derive(Debug)]
+pub struct RandomEnv {
+    state_space: Space,
+    num_actions: i64,
+    episode_len: u32,
+    steps: u32,
+    rng: rand::rngs::StdRng,
+}
+
+impl RandomEnv {
+    /// Creates a random env with the given observation space shape and
+    /// discrete action count.
+    pub fn new(obs_shape: &[usize], num_actions: i64, episode_len: u32, seed: u64) -> Self {
+        RandomEnv {
+            state_space: Space::float_box(obs_shape),
+            num_actions,
+            episode_len,
+            steps: 0,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Env for RandomEnv {
+    fn state_space(&self) -> Space {
+        self.state_space.clone()
+    }
+
+    fn action_space(&self) -> Space {
+        Space::int_box(self.num_actions)
+    }
+
+    fn reset(&mut self) -> Tensor {
+        self.steps = 0;
+        self.state_space.sample(&mut self.rng).into_tensor().expect("primitive space")
+    }
+
+    fn step(&mut self, action: &Tensor) -> crate::Result<EnvStep> {
+        let a = action.scalar_value_i64().map_err(|e| EnvError::new(e.message()))?;
+        if a < 0 || a >= self.num_actions {
+            return Err(EnvError::new(format!("action {} outside [0, {})", a, self.num_actions)));
+        }
+        self.steps += 1;
+        Ok(EnvStep {
+            obs: self.state_space.sample(&mut self.rng).into_tensor().expect("primitive space"),
+            reward: self.rng.random_range(-1.0..1.0),
+            terminal: self.steps >= self.episode_len,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "random_env"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_episode_length() {
+        let mut env = RandomEnv::new(&[3], 4, 5, 0);
+        env.reset();
+        for i in 1..=5 {
+            let r = env.step(&Tensor::scalar_i64(0)).unwrap();
+            assert_eq!(r.terminal, i == 5);
+            assert_eq!(r.obs.shape(), &[3]);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_action() {
+        let mut env = RandomEnv::new(&[2], 3, 10, 0);
+        env.reset();
+        assert!(env.step(&Tensor::scalar_i64(3)).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Sequential vectorised environment execution with episode accounting.
+
+use crate::env::{Env, EnvStep};
+use crate::EnvError;
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+
+/// Result of stepping every sub-environment once.
+#[derive(Debug, Clone)]
+pub struct VectorStep {
+    /// stacked observations `[n, ...obs]`
+    pub obs: Tensor,
+    /// per-env rewards
+    pub rewards: Vec<f32>,
+    /// per-env terminal flags (episode auto-resets afterwards)
+    pub terminals: Vec<bool>,
+}
+
+/// Running episode statistics across a vector of environments — the
+/// accounting the paper's Fig. 7a attributes part of RLgraph's single-task
+/// advantage to ("faster accounting across environments and episodes").
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeStats {
+    /// returns of finished episodes, in completion order
+    pub episode_returns: Vec<f32>,
+    /// lengths of finished episodes
+    pub episode_lengths: Vec<u32>,
+    /// total environment frames consumed (steps × frame_skip)
+    pub env_frames: u64,
+}
+
+impl EpisodeStats {
+    /// Mean return over the most recent `n` episodes.
+    pub fn mean_recent_return(&self, n: usize) -> Option<f32> {
+        if self.episode_returns.is_empty() {
+            return None;
+        }
+        let tail = &self.episode_returns[self.episode_returns.len().saturating_sub(n)..];
+        Some(tail.iter().sum::<f32>() / tail.len() as f32)
+    }
+}
+
+/// Steps `n` environment copies sequentially (the paper's vectorised
+/// worker: "Each worker executed 4 environments", called sequentially).
+pub struct VectorEnv {
+    envs: Vec<Box<dyn Env>>,
+    current_returns: Vec<f32>,
+    current_lengths: Vec<u32>,
+    stats: EpisodeStats,
+}
+
+impl VectorEnv {
+    /// Wraps a set of environments. All must share spaces.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `envs` is empty or spaces disagree.
+    pub fn new(envs: Vec<Box<dyn Env>>) -> crate::Result<Self> {
+        let first = envs.first().ok_or_else(|| EnvError::new("vector env needs at least one env"))?;
+        let (ss, asp) = (first.state_space(), first.action_space());
+        for e in &envs {
+            if e.state_space() != ss || e.action_space() != asp {
+                return Err(EnvError::new("all vectorised envs must share spaces"));
+            }
+        }
+        let n = envs.len();
+        Ok(VectorEnv {
+            envs,
+            current_returns: vec![0.0; n],
+            current_lengths: vec![0; n],
+            stats: EpisodeStats::default(),
+        })
+    }
+
+    /// Builds a vector of `n` environments from a factory.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `n` is zero or spaces disagree.
+    pub fn from_factory(n: usize, factory: impl Fn(usize) -> Box<dyn Env>) -> crate::Result<Self> {
+        Self::new((0..n).map(factory).collect())
+    }
+
+    /// Number of sub-environments.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// `true` when no sub-environments exist (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// The shared observation space (no batch rank).
+    pub fn state_space(&self) -> Space {
+        self.envs[0].state_space()
+    }
+
+    /// The shared action space.
+    pub fn action_space(&self) -> Space {
+        self.envs[0].action_space()
+    }
+
+    /// Episode statistics so far.
+    pub fn stats(&self) -> &EpisodeStats {
+        &self.stats
+    }
+
+    /// Resets all environments, returning stacked observations `[n, ...]`.
+    pub fn reset_all(&mut self) -> Tensor {
+        let obs: Vec<Tensor> = self.envs.iter_mut().map(|e| e.reset()).collect();
+        self.current_returns.iter_mut().for_each(|r| *r = 0.0);
+        self.current_lengths.iter_mut().for_each(|l| *l = 0);
+        Tensor::stack(&obs).expect("homogeneous observations")
+    }
+
+    /// Steps every environment with its action from `actions` (a `[n]` or
+    /// `[n, ...]` i64 tensor for discrete spaces), auto-resetting finished
+    /// episodes.
+    ///
+    /// # Errors
+    ///
+    /// Errors on arity mismatch or invalid actions.
+    pub fn step(&mut self, actions: &[Tensor]) -> crate::Result<VectorStep> {
+        if actions.len() != self.envs.len() {
+            return Err(EnvError::new(format!(
+                "{} actions provided for {} environments",
+                actions.len(),
+                self.envs.len()
+            )));
+        }
+        let mut obs = Vec::with_capacity(self.envs.len());
+        let mut rewards = Vec::with_capacity(self.envs.len());
+        let mut terminals = Vec::with_capacity(self.envs.len());
+        for (i, (env, action)) in self.envs.iter_mut().zip(actions).enumerate() {
+            let EnvStep { obs: o, reward, terminal } = env.step(action)?;
+            self.stats.env_frames += env.frame_skip() as u64;
+            self.current_returns[i] += reward;
+            self.current_lengths[i] += 1;
+            if terminal {
+                self.stats.episode_returns.push(self.current_returns[i]);
+                self.stats.episode_lengths.push(self.current_lengths[i]);
+                self.current_returns[i] = 0.0;
+                self.current_lengths[i] = 0;
+                obs.push(env.reset());
+            } else {
+                obs.push(o);
+            }
+            rewards.push(reward);
+            terminals.push(terminal);
+        }
+        Ok(VectorStep {
+            obs: Tensor::stack(&obs).expect("homogeneous observations"),
+            rewards,
+            terminals,
+        })
+    }
+
+    /// Splits a batched i64 action tensor `[n]` into per-env scalars.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the tensor's leading dim does not match the env count.
+    pub fn split_actions(&self, batched: &Tensor) -> crate::Result<Vec<Tensor>> {
+        if batched.shape().first() != Some(&self.envs.len()) {
+            return Err(EnvError::new(format!(
+                "batched actions {:?} do not match {} environments",
+                batched.shape(),
+                self.envs.len()
+            )));
+        }
+        Ok(batched.unstack().map_err(|e| EnvError::new(e.message()))?)
+    }
+}
+
+impl std::fmt::Debug for VectorEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorEnv")
+            .field("n", &self.envs.len())
+            .field("env", &self.envs[0].name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomEnv;
+
+    fn vec_env(n: usize, episode_len: u32) -> VectorEnv {
+        VectorEnv::from_factory(n, |i| {
+            Box::new(RandomEnv::new(&[3], 2, episode_len, i as u64))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn stacked_observations() {
+        let mut v = vec_env(4, 10);
+        let obs = v.reset_all();
+        assert_eq!(obs.shape(), &[4, 3]);
+        let acts: Vec<Tensor> = (0..4).map(|_| Tensor::scalar_i64(0)).collect();
+        let step = v.step(&acts).unwrap();
+        assert_eq!(step.obs.shape(), &[4, 3]);
+        assert_eq!(step.rewards.len(), 4);
+    }
+
+    #[test]
+    fn auto_reset_and_stats() {
+        let mut v = vec_env(2, 3);
+        v.reset_all();
+        let acts: Vec<Tensor> = (0..2).map(|_| Tensor::scalar_i64(0)).collect();
+        for _ in 0..7 {
+            v.step(&acts).unwrap();
+        }
+        // each env finished at least 2 episodes of length 3
+        assert!(v.stats().episode_returns.len() >= 4);
+        assert!(v.stats().episode_lengths.iter().all(|&l| l == 3));
+        assert_eq!(v.stats().env_frames, 14);
+        assert!(v.stats().mean_recent_return(10).is_some());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut v = vec_env(3, 5);
+        v.reset_all();
+        let acts: Vec<Tensor> = (0..2).map(|_| Tensor::scalar_i64(0)).collect();
+        assert!(v.step(&acts).is_err());
+    }
+
+    #[test]
+    fn split_actions_shapes() {
+        let v = vec_env(3, 5);
+        let batched = Tensor::from_vec_i64(vec![0, 1, 0], &[3]).unwrap();
+        let split = v.split_actions(&batched).unwrap();
+        assert_eq!(split.len(), 3);
+        assert_eq!(split[1].scalar_value_i64().unwrap(), 1);
+        let wrong = Tensor::from_vec_i64(vec![0, 1], &[2]).unwrap();
+        assert!(v.split_actions(&wrong).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(VectorEnv::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn mismatched_spaces_rejected() {
+        let a: Box<dyn Env> = Box::new(RandomEnv::new(&[3], 2, 5, 0));
+        let b: Box<dyn Env> = Box::new(RandomEnv::new(&[4], 2, 5, 0));
+        assert!(VectorEnv::new(vec![a, b]).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for graph construction and execution.
+
+use std::fmt;
+
+/// Error produced while building or executing a computation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError {
+    message: String,
+}
+
+impl GraphError {
+    /// Creates a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        GraphError { message: message.into() }
+    }
+
+    /// The human-readable error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<rlgraph_tensor::TensorError> for GraphError {
+    fn from(e: rlgraph_tensor::TensorError) -> Self {
+        GraphError::new(e.message())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from_tensor_error() {
+        assert_eq!(GraphError::new("boom").to_string(), "boom");
+        let g: GraphError = rlgraph_tensor::TensorError::new("inner").into();
+        assert_eq!(g.message(), "inner");
+    }
+}

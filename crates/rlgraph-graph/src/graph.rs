@@ -1,0 +1,364 @@
+//! The append-only dataflow graph and its autodiff transformation.
+
+use crate::node::{AssignMode, Device, Node, NodeId, NodeOp, VarId};
+use crate::stateful::SharedKernel;
+use crate::variables::VariableStore;
+use crate::{GraphError, Result};
+use rlgraph_tensor::{emit_grad, DType, OpEmitter, OpKind, Tensor};
+use std::collections::HashMap;
+
+/// Definition of a variable (materialised into a
+/// [`VariableStore`] at session creation).
+#[derive(Debug, Clone)]
+pub struct VarDef {
+    /// fully scoped name
+    pub name: String,
+    /// initial value
+    pub init: Tensor,
+    /// participates in training
+    pub trainable: bool,
+    /// placement metadata
+    pub device: Device,
+}
+
+/// A static dataflow graph: nodes, variable definitions, and stateful
+/// kernels.
+///
+/// Nodes are append-only, so ids form a topological order — the invariant
+/// both the session interpreter and [`Graph::gradients`] exploit.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    var_defs: Vec<VarDef>,
+    kernels: Vec<SharedKernel>,
+    scope_stack: Vec<String>,
+    current_device: Device,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- scope and device management -----
+
+    /// Pushes a scope segment; new nodes record the joined scope path.
+    pub fn push_scope(&mut self, name: &str) {
+        self.scope_stack.push(name.to_string());
+    }
+
+    /// Pops the innermost scope segment.
+    pub fn pop_scope(&mut self) {
+        self.scope_stack.pop();
+    }
+
+    /// The current scope path (`"a/b/c"`).
+    pub fn current_scope(&self) -> String {
+        self.scope_stack.join("/")
+    }
+
+    /// Sets the device recorded on subsequently created nodes/variables.
+    pub fn set_device(&mut self, device: Device) {
+        self.current_device = device;
+    }
+
+    /// The currently active device.
+    pub fn current_device(&self) -> Device {
+        self.current_device
+    }
+
+    // ----- node constructors -----
+
+    fn push_node(&mut self, op: NodeOp, inputs: Vec<NodeId>) -> NodeId {
+        self.nodes.push(Node {
+            op,
+            inputs,
+            device: self.current_device,
+            scope: self.current_scope(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Creates a placeholder fed at run time.
+    pub fn placeholder(&mut self, name: &str, dtype: DType) -> NodeId {
+        self.push_node(NodeOp::Placeholder { name: name.to_string(), dtype }, vec![])
+    }
+
+    /// Embeds a constant tensor.
+    pub fn constant(&mut self, value: Tensor) -> NodeId {
+        self.push_node(NodeOp::Constant(value), vec![])
+    }
+
+    /// Defines a variable and returns its id (see [`Graph::read_var`]).
+    pub fn variable(&mut self, name: &str, init: Tensor, trainable: bool) -> VarId {
+        let scope = self.current_scope();
+        let full = if scope.is_empty() { name.to_string() } else { format!("{}/{}", scope, name) };
+        self.var_defs.push(VarDef {
+            name: full,
+            init,
+            trainable,
+            device: self.current_device,
+        });
+        VarId(self.var_defs.len() - 1)
+    }
+
+    /// Node that reads a variable's current value.
+    pub fn read_var(&mut self, var: VarId) -> NodeId {
+        self.push_node(NodeOp::ReadVar(var), vec![])
+    }
+
+    /// Node that overwrites `var` with `value` when evaluated.
+    pub fn assign(&mut self, var: VarId, value: NodeId) -> NodeId {
+        self.push_node(NodeOp::Assign { var, mode: AssignMode::Set }, vec![value])
+    }
+
+    /// Node that adds `value` to `var` when evaluated.
+    pub fn assign_add(&mut self, var: VarId, value: NodeId) -> NodeId {
+        self.push_node(NodeOp::Assign { var, mode: AssignMode::Add }, vec![value])
+    }
+
+    /// Node that subtracts `value` from `var` when evaluated.
+    pub fn assign_sub(&mut self, var: VarId, value: NodeId) -> NodeId {
+        self.push_node(NodeOp::Assign { var, mode: AssignMode::Sub }, vec![value])
+    }
+
+    /// Applies a numeric kernel.
+    ///
+    /// # Errors
+    ///
+    /// Errors on out-of-range input ids or arity mismatch.
+    pub fn op(&mut self, kind: OpKind, inputs: &[NodeId]) -> Result<NodeId> {
+        for &i in inputs {
+            if i.0 >= self.nodes.len() {
+                return Err(GraphError::new(format!("input {} does not exist", i)));
+            }
+        }
+        if let Some(n) = kind.arity() {
+            if inputs.len() != n {
+                return Err(GraphError::new(format!(
+                    "op {} expects {} inputs, got {}",
+                    kind.name(),
+                    n,
+                    inputs.len()
+                )));
+            }
+        }
+        Ok(self.push_node(NodeOp::Op(kind), inputs.to_vec()))
+    }
+
+    /// Groups nodes under a control dependency; fetching the group runs all
+    /// of them (one session call for a whole update step).
+    pub fn group(&mut self, deps: &[NodeId]) -> NodeId {
+        self.push_node(NodeOp::Group, deps.to_vec())
+    }
+
+    /// Registers and invokes a stateful kernel. Returns the call node,
+    /// whose value is the kernel's first output.
+    pub fn stateful(&mut self, kernel: SharedKernel, inputs: &[NodeId]) -> NodeId {
+        let name = kernel.lock().name().to_string();
+        self.kernels.push(kernel);
+        let idx = self.kernels.len() - 1;
+        self.push_node(NodeOp::Stateful { kernel: idx, name }, inputs.to_vec())
+    }
+
+    /// Projects output `index` of a stateful call node.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `call` is not a stateful node or `index` exceeds the
+    /// kernel's declared output count.
+    pub fn stateful_output(&mut self, call: NodeId, index: usize) -> Result<NodeId> {
+        let NodeOp::Stateful { kernel, .. } = &self.nodes[call.0].op else {
+            return Err(GraphError::new(format!("{} is not a stateful call node", call)));
+        };
+        let n = self.kernels[*kernel].lock().num_outputs();
+        if index >= n {
+            return Err(GraphError::new(format!(
+                "stateful output index {} out of range (kernel has {})",
+                index, n
+            )));
+        }
+        Ok(self.push_node(NodeOp::StatefulOutput { call, index }, vec![call]))
+    }
+
+    // ----- accessors -----
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of variable definitions.
+    pub fn num_variables(&self) -> usize {
+        self.var_defs.len()
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Iterates `(NodeId, &Node)` in topological order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// The variable definitions.
+    pub fn var_defs(&self) -> &[VarDef] {
+        &self.var_defs
+    }
+
+    /// The registered stateful kernels.
+    pub fn kernels(&self) -> &[SharedKernel] {
+        &self.kernels
+    }
+
+    /// Shared handle to kernel `idx`.
+    pub fn kernel(&self, idx: usize) -> SharedKernel {
+        self.kernels[idx].clone()
+    }
+
+    /// Builds a fresh variable store from the graph's definitions.
+    pub fn build_store(&self) -> VariableStore {
+        let mut store = VariableStore::new();
+        for def in &self.var_defs {
+            store.create(def.name.clone(), def.init.clone(), def.trainable);
+        }
+        store
+    }
+
+    // ----- autodiff -----
+
+    /// Builds gradient nodes of `loss` with respect to `wrt` (typically
+    /// [`Graph::read_var`] nodes) — a pure graph transformation using the
+    /// gradient rules shared with the define-by-run tape.
+    ///
+    /// Returns one `Option<NodeId>` per entry of `wrt`; `None` when `loss`
+    /// does not depend on it.
+    ///
+    /// # Errors
+    ///
+    /// Errors if a gradient rule is missing or emits invalid ops.
+    pub fn gradients(&mut self, loss: NodeId, wrt: &[NodeId]) -> Result<Vec<Option<NodeId>>> {
+        let mut grads: HashMap<NodeId, NodeId> = HashMap::new();
+        let seed = self.op(OpKind::OnesLike, &[loss])?;
+        grads.insert(loss, seed);
+        // Reverse topological walk (ids are topologically ordered).
+        for raw in (0..=loss.0).rev() {
+            let id = NodeId(raw);
+            let Some(&gout) = grads.get(&id) else { continue };
+            let (kind, inputs) = match &self.nodes[raw].op {
+                NodeOp::Op(kind) => (kind.clone(), self.nodes[raw].inputs.clone()),
+                // Non-differentiable frontier: placeholders, constants,
+                // reads, stateful calls, groups, assigns.
+                _ => continue,
+            };
+            let in_grads = emit_grad(self, &kind, &inputs, id, gout)
+                .map_err(|e| GraphError::new(e.message()))?;
+            for (input, g) in inputs.iter().zip(in_grads) {
+                let Some(g) = g else { continue };
+                match grads.get(input) {
+                    Some(&existing) => {
+                        let sum = self.op(OpKind::Add, &[existing, g])?;
+                        grads.insert(*input, sum);
+                    }
+                    None => {
+                        grads.insert(*input, g);
+                    }
+                }
+            }
+        }
+        Ok(wrt.iter().map(|w| grads.get(w).copied()).collect())
+    }
+}
+
+impl OpEmitter for Graph {
+    type Ref = NodeId;
+
+    fn emit(&mut self, kind: OpKind, inputs: &[NodeId]) -> rlgraph_tensor::Result<NodeId> {
+        self.op(kind, inputs).map_err(|e| rlgraph_tensor::TensorError::new(e.message()))
+    }
+
+    fn scalar_const(&mut self, v: f32) -> NodeId {
+        self.constant(Tensor::scalar(v))
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.len())
+            .field("variables", &self.var_defs.len())
+            .field("kernels", &self.kernels.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topological_ids() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar(1.0));
+        let b = g.constant(Tensor::scalar(2.0));
+        let c = g.op(OpKind::Add, &[a, b]).unwrap();
+        assert!(a < c && b < c);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn scope_paths_recorded() {
+        let mut g = Graph::new();
+        g.push_scope("agent");
+        g.push_scope("policy");
+        let n = g.constant(Tensor::scalar(0.0));
+        assert_eq!(g.node(n).scope, "agent/policy");
+        g.pop_scope();
+        let m = g.constant(Tensor::scalar(0.0));
+        assert_eq!(g.node(m).scope, "agent");
+        g.pop_scope();
+        assert_eq!(g.current_scope(), "");
+    }
+
+    #[test]
+    fn scoped_variable_names() {
+        let mut g = Graph::new();
+        g.push_scope("dqn");
+        let v = g.variable("w", Tensor::scalar(0.0), true);
+        assert_eq!(g.var_defs()[v.index()].name, "dqn/w");
+    }
+
+    #[test]
+    fn device_recorded() {
+        let mut g = Graph::new();
+        g.set_device(Device::Gpu(0));
+        let n = g.constant(Tensor::scalar(0.0));
+        assert_eq!(g.node(n).device, Device::Gpu(0));
+        assert_eq!(g.current_device(), Device::Gpu(0));
+    }
+
+    #[test]
+    fn op_validation() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar(1.0));
+        assert!(g.op(OpKind::Add, &[a]).is_err());
+        assert!(g.op(OpKind::Neg, &[NodeId(99)]).is_err());
+    }
+
+    #[test]
+    fn store_built_from_defs() {
+        let mut g = Graph::new();
+        g.variable("a", Tensor::scalar(1.0), true);
+        g.variable("b", Tensor::scalar(2.0), false);
+        let store = g.build_store();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.trainable_ids().len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Static dataflow-graph backend for rlgraph.
+//!
+//! This crate plays the role TensorFlow 1.x plays for the original RLgraph
+//! (SysML 2019): a *static* computation graph with placeholders, variables,
+//! stateful ops and device assignments, executed through a session that
+//! serves each agent-API request with a **single run call** (the property
+//! the paper's throughput results hinge on).
+//!
+//! * [`Graph`] — append-only node arena with scopes and devices.
+//! * [`VariableStore`] — mutable state shared between sessions (the
+//!   parameter-server analogue for distributed execution).
+//! * [`Graph::gradients`] — reverse-mode autodiff as a graph
+//!   transformation, re-using the gradient rules from `rlgraph-tensor`.
+//! * [`Session`] — memoizing interpreter with per-op/per-device profiling.
+//! * [`queue`] — FIFO queue and staging-area stateful kernels used by the
+//!   IMPALA-style in-graph pipelines.
+//!
+//! # Example
+//!
+//! ```
+//! use rlgraph_graph::{Graph, Session};
+//! use rlgraph_tensor::{OpKind, Tensor, DType};
+//!
+//! # fn main() -> Result<(), rlgraph_graph::GraphError> {
+//! let mut g = Graph::new();
+//! let x = g.placeholder("x", DType::F32);
+//! let w = g.variable("w", Tensor::scalar(3.0), true);
+//! let wv = g.read_var(w);
+//! let y = g.op(OpKind::Mul, &[x, wv])?;
+//! let mut sess = Session::new(g);
+//! let out = sess.run(&[y], &[(x, Tensor::scalar(2.0))])?;
+//! assert_eq!(out[0].scalar_value()?, 6.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod graph;
+pub mod node;
+pub mod queue;
+pub mod session;
+pub mod stateful;
+pub mod variables;
+
+pub use error::GraphError;
+pub use graph::Graph;
+pub use node::{Device, Node, NodeId, NodeOp, VarId};
+pub use queue::{StagingArea, TensorQueue};
+pub use session::{RunStats, Session};
+pub use stateful::{shared_kernel, SharedKernel, StatefulKernel};
+pub use variables::{SharedVariableStore, VariableStore};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,173 @@
+//! Graph node types, identifiers, and device descriptors.
+
+use rlgraph_tensor::{DType, OpKind, Tensor};
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`](crate::Graph).
+///
+/// Node ids are assigned in creation order, so a node's id is always larger
+/// than its inputs' ids — the node list is a topological order by
+/// construction, which the session and the autodiff pass rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a variable in a [`VariableStore`](crate::VariableStore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A (simulated) execution device.
+///
+/// Devices are placement metadata: the interpreter executes everything on
+/// the host CPU, but placement drives the multi-GPU replica strategy, the
+/// profiler's per-device accounting, and graph visualisation — which is
+/// what the paper's device-strategy experiments exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Device {
+    /// Host CPU.
+    #[default]
+    Cpu,
+    /// Simulated accelerator with an index.
+    Gpu(u8),
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Device::Cpu => f.write_str("cpu"),
+            Device::Gpu(i) => write!(f, "gpu:{}", i),
+        }
+    }
+}
+
+/// How an assign node combines the incoming value with the variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignMode {
+    /// Overwrite.
+    Set,
+    /// Add to the current value.
+    Add,
+    /// Subtract from the current value.
+    Sub,
+}
+
+/// The operation performed by a node.
+#[derive(Debug, Clone)]
+pub enum NodeOp {
+    /// External input fed at run time.
+    Placeholder {
+        /// feed name (diagnostics)
+        name: String,
+        /// expected dtype
+        dtype: DType,
+    },
+    /// Embedded constant.
+    Constant(Tensor),
+    /// Reads a variable's current value.
+    ReadVar(VarId),
+    /// Writes a variable; output is the written value.
+    Assign {
+        /// target variable
+        var: VarId,
+        /// combine mode
+        mode: AssignMode,
+    },
+    /// Pure numeric kernel.
+    Op(OpKind),
+    /// Invokes a registered stateful kernel (memory, queue, env stepper…).
+    /// The node's own value is the kernel's first output (or a 0-scalar if
+    /// the kernel returns none).
+    Stateful {
+        /// index into the graph's kernel registry
+        kernel: usize,
+        /// display name
+        name: String,
+    },
+    /// Projects output `index` of a stateful call.
+    StatefulOutput {
+        /// the `Stateful` node
+        call: NodeId,
+        /// which output
+        index: usize,
+    },
+    /// Control-dependency grouping: evaluates all inputs, returns a
+    /// 0-scalar. Used to fetch a set of update ops with one run call.
+    Group,
+}
+
+impl NodeOp {
+    /// Short name for profiling/visualisation.
+    pub fn name(&self) -> String {
+        match self {
+            NodeOp::Placeholder { name, .. } => format!("placeholder:{}", name),
+            NodeOp::Constant(_) => "const".to_string(),
+            NodeOp::ReadVar(v) => format!("read_var:{}", v.index()),
+            NodeOp::Assign { var, .. } => format!("assign:{}", var.index()),
+            NodeOp::Op(kind) => kind.name().to_string(),
+            NodeOp::Stateful { name, .. } => format!("stateful:{}", name),
+            NodeOp::StatefulOutput { index, .. } => format!("stateful_out:{}", index),
+            NodeOp::Group => "group".to_string(),
+        }
+    }
+}
+
+/// One node of the dataflow graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// what the node computes
+    pub op: NodeOp,
+    /// data inputs (and control deps for `Group`)
+    pub inputs: Vec<NodeId>,
+    /// placement metadata
+    pub device: Device,
+    /// component scope path active when the node was created
+    pub scope: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(VarId(5).index(), 5);
+    }
+
+    #[test]
+    fn device_display() {
+        assert_eq!(Device::Cpu.to_string(), "cpu");
+        assert_eq!(Device::Gpu(1).to_string(), "gpu:1");
+        assert_eq!(Device::default(), Device::Cpu);
+    }
+
+    #[test]
+    fn op_names() {
+        assert_eq!(NodeOp::Group.name(), "group");
+        assert_eq!(NodeOp::ReadVar(VarId(2)).name(), "read_var:2");
+        assert_eq!(
+            NodeOp::Placeholder { name: "x".into(), dtype: DType::F32 }.name(),
+            "placeholder:x"
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! In-graph FIFO queue and staging area.
+//!
+//! IMPALA-style pipelines keep even the actor→learner handoff inside the
+//! computation graph: actors run an enqueue op at the end of each rollout,
+//! the learner's update fetches a dequeue op, and a staging area hides
+//! device-transfer latency by double-buffering batches (paper §5.1,
+//! "IMPALA executes updates by letting each actor ... input its samples
+//! into a globally shared blocking queue").
+
+use crate::stateful::StatefulKernel;
+use crate::{GraphError, Result};
+use parking_lot::{Condvar, Mutex};
+use rlgraph_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: std::collections::VecDeque<Vec<Tensor>>,
+    closed: bool,
+}
+
+/// A bounded, blocking multi-producer multi-consumer queue of tensor
+/// records, shareable between graphs running in different threads.
+#[derive(Debug)]
+pub struct TensorQueue {
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    name: String,
+}
+
+impl TensorQueue {
+    /// Creates a queue with the given capacity (in records).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Arc::new(TensorQueue {
+            state: Mutex::new(QueueState::default()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+            name: name.into(),
+        })
+    }
+
+    /// The queue's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current number of queued records.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// `true` when no records are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a record, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Errors once the queue is closed.
+    pub fn enqueue(&self, record: Vec<Tensor>) -> Result<()> {
+        let mut st = self.state.lock();
+        while st.items.len() >= self.capacity && !st.closed {
+            self.not_full.wait(&mut st);
+        }
+        if st.closed {
+            return Err(GraphError::new(format!("queue '{}' is closed", self.name)));
+        }
+        st.items.push_back(record);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues a record, blocking while the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Errors once the queue is closed and drained.
+    pub fn dequeue(&self) -> Result<Vec<Tensor>> {
+        let mut st = self.state.lock();
+        while st.items.is_empty() && !st.closed {
+            self.not_empty.wait(&mut st);
+        }
+        match st.items.pop_front() {
+            Some(r) => {
+                drop(st);
+                self.not_full.notify_one();
+                Ok(r)
+            }
+            None => Err(GraphError::new(format!("queue '{}' is closed", self.name))),
+        }
+    }
+
+    /// Dequeues with a timeout; `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Errors once the queue is closed and drained.
+    pub fn dequeue_timeout(&self, timeout: Duration) -> Result<Option<Vec<Tensor>>> {
+        let mut st = self.state.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        while st.items.is_empty() && !st.closed {
+            if self.not_empty.wait_until(&mut st, deadline).timed_out() {
+                return Ok(None);
+            }
+        }
+        match st.items.pop_front() {
+            Some(r) => {
+                drop(st);
+                self.not_full.notify_one();
+                Ok(Some(r))
+            }
+            None => Err(GraphError::new(format!("queue '{}' is closed", self.name))),
+        }
+    }
+
+    /// Closes the queue: pending and future blocking calls wake up, enqueue
+    /// fails, dequeue drains remaining records then fails.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Stateful kernel that enqueues its inputs as one record.
+#[derive(Debug)]
+pub struct EnqueueKernel {
+    queue: Arc<TensorQueue>,
+}
+
+impl EnqueueKernel {
+    /// Creates an enqueue kernel bound to `queue`.
+    pub fn new(queue: Arc<TensorQueue>) -> Self {
+        EnqueueKernel { queue }
+    }
+}
+
+impl StatefulKernel for EnqueueKernel {
+    fn name(&self) -> &str {
+        "queue_enqueue"
+    }
+
+    fn call(&mut self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        self.queue.enqueue(inputs.iter().map(|&t| t.clone()).collect())?;
+        Ok(vec![])
+    }
+
+    fn num_outputs(&self) -> usize {
+        0
+    }
+}
+
+/// Stateful kernel that dequeues one record of `width` tensors.
+#[derive(Debug)]
+pub struct DequeueKernel {
+    queue: Arc<TensorQueue>,
+    width: usize,
+}
+
+impl DequeueKernel {
+    /// Creates a dequeue kernel expecting records of `width` tensors.
+    pub fn new(queue: Arc<TensorQueue>, width: usize) -> Self {
+        DequeueKernel { queue, width }
+    }
+}
+
+impl StatefulKernel for DequeueKernel {
+    fn name(&self) -> &str {
+        "queue_dequeue"
+    }
+
+    fn call(&mut self, _inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        let rec = self.queue.dequeue()?;
+        if rec.len() != self.width {
+            return Err(GraphError::new(format!(
+                "dequeued record of width {}, expected {}",
+                rec.len(),
+                self.width
+            )));
+        }
+        Ok(rec)
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.width
+    }
+}
+
+/// A one-slot staging area that double-buffers records to hide (simulated)
+/// device-transfer latency: `put` stores the new batch, returning the
+/// previously staged one.
+#[derive(Debug, Default)]
+pub struct StagingArea {
+    slot: Mutex<Option<Vec<Tensor>>>,
+}
+
+impl StagingArea {
+    /// Creates an empty staging area.
+    pub fn new() -> Arc<Self> {
+        Arc::new(StagingArea::default())
+    }
+
+    /// Stages `record`, returning the previously staged record (if any).
+    pub fn put(&self, record: Vec<Tensor>) -> Option<Vec<Tensor>> {
+        self.slot.lock().replace(record)
+    }
+
+    /// Takes the staged record without replacing it.
+    pub fn take(&self) -> Option<Vec<Tensor>> {
+        self.slot.lock().take()
+    }
+
+    /// Whether a record is currently staged.
+    pub fn is_staged(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+}
+
+/// Stateful kernel wrapping [`StagingArea::put`]: stages its inputs and
+/// outputs the previously staged record (or the new one on the first call,
+/// which "warms" the pipeline).
+#[derive(Debug)]
+pub struct StageKernel {
+    area: Arc<StagingArea>,
+    width: usize,
+}
+
+impl StageKernel {
+    /// Creates a staging kernel over `area` for records of `width` tensors.
+    pub fn new(area: Arc<StagingArea>, width: usize) -> Self {
+        StageKernel { area, width }
+    }
+}
+
+impl StatefulKernel for StageKernel {
+    fn name(&self) -> &str {
+        "staging_area"
+    }
+
+    fn call(&mut self, inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+        if inputs.len() != self.width {
+            return Err(GraphError::new(format!(
+                "staging area received {} tensors, expected {}",
+                inputs.len(),
+                self.width
+            )));
+        }
+        let record: Vec<Tensor> = inputs.iter().map(|&t| t.clone()).collect();
+        let out = self.area.put(record.clone()).unwrap_or(record);
+        Ok(out)
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = TensorQueue::new("q", 4);
+        q.enqueue(vec![Tensor::scalar(1.0)]).unwrap();
+        q.enqueue(vec![Tensor::scalar(2.0)]).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue().unwrap()[0].scalar_value().unwrap(), 1.0);
+        assert_eq!(q.dequeue().unwrap()[0].scalar_value().unwrap(), 2.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn blocking_handoff_between_threads() {
+        let q = TensorQueue::new("q", 1);
+        let q2 = q.clone();
+        let producer = thread::spawn(move || {
+            for i in 0..10 {
+                q2.enqueue(vec![Tensor::scalar(i as f32)]).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(q.dequeue().unwrap()[0].scalar_value().unwrap());
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = TensorQueue::new("q", 1);
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || q2.dequeue());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(consumer.join().unwrap().is_err());
+        assert!(q.enqueue(vec![]).is_err());
+    }
+
+    #[test]
+    fn close_drains_remaining() {
+        let q = TensorQueue::new("q", 2);
+        q.enqueue(vec![Tensor::scalar(1.0)]).unwrap();
+        q.close();
+        assert!(q.dequeue().is_ok());
+        assert!(q.dequeue().is_err());
+    }
+
+    #[test]
+    fn dequeue_timeout_returns_none() {
+        let q = TensorQueue::new("q", 1);
+        let r = q.dequeue_timeout(Duration::from_millis(10)).unwrap();
+        assert!(r.is_none());
+        q.enqueue(vec![Tensor::scalar(5.0)]).unwrap();
+        let r = q.dequeue_timeout(Duration::from_millis(10)).unwrap();
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn kernels_roundtrip() {
+        let q = TensorQueue::new("q", 4);
+        let mut enq = EnqueueKernel::new(q.clone());
+        let mut deq = DequeueKernel::new(q, 2);
+        let a = Tensor::scalar(1.0);
+        let b = Tensor::scalar(2.0);
+        enq.call(&[&a, &b]).unwrap();
+        let out = deq.call(&[]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].scalar_value().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn dequeue_width_checked() {
+        let q = TensorQueue::new("q", 4);
+        q.enqueue(vec![Tensor::scalar(1.0)]).unwrap();
+        let mut deq = DequeueKernel::new(q, 2);
+        assert!(deq.call(&[]).is_err());
+    }
+
+    #[test]
+    fn staging_double_buffers() {
+        let area = StagingArea::new();
+        let mut stage = StageKernel::new(area.clone(), 1);
+        let a = Tensor::scalar(1.0);
+        let b = Tensor::scalar(2.0);
+        // First call warms the pipeline with its own input.
+        let o1 = stage.call(&[&a]).unwrap();
+        assert_eq!(o1[0].scalar_value().unwrap(), 1.0);
+        // Second call returns the previously staged batch.
+        let o2 = stage.call(&[&b]).unwrap();
+        assert_eq!(o2[0].scalar_value().unwrap(), 1.0);
+        assert!(area.is_staged());
+        assert_eq!(area.take().unwrap()[0].scalar_value().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn staging_width_checked() {
+        let area = StagingArea::new();
+        let mut stage = StageKernel::new(area, 2);
+        let a = Tensor::scalar(1.0);
+        assert!(stage.call(&[&a]).is_err());
+    }
+}

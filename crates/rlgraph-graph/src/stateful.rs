@@ -1,0 +1,72 @@
+//! Stateful kernels: graph nodes with internal state.
+//!
+//! Replay memories, FIFO queues, staging areas, and fused environment
+//! steppers are *stateful ops*: invoked from inside the graph by the
+//! session, exactly once per run, with tensors in and tensors out. They are
+//! the analogue of the TensorFlow variables + control-flow machinery the
+//! paper uses to keep buffers inside the graph (Fig. 2), packaged behind a
+//! trait so the same state object also backs the define-by-run path.
+
+use crate::Result;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A graph op with internal mutable state.
+pub trait StatefulKernel: Send {
+    /// Display name (profiling / visualisation).
+    fn name(&self) -> &str;
+
+    /// Invokes the kernel. May block (e.g. queue dequeue).
+    ///
+    /// # Errors
+    ///
+    /// Kernel-specific validation errors.
+    fn call(&mut self, inputs: &[&rlgraph_tensor::Tensor]) -> Result<Vec<rlgraph_tensor::Tensor>>;
+
+    /// Number of outputs the kernel produces (for `StatefulOutput`
+    /// projection validation).
+    fn num_outputs(&self) -> usize;
+}
+
+/// Shared handle to a stateful kernel: the graph stores these, and external
+/// code (e.g. the define-by-run executor or a test) can hold a reference to
+/// inspect or drive the same state.
+pub type SharedKernel = Arc<Mutex<dyn StatefulKernel>>;
+
+/// Wraps a kernel for registration.
+pub fn shared_kernel<K: StatefulKernel + 'static>(kernel: K) -> SharedKernel {
+    Arc::new(Mutex::new(kernel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_tensor::Tensor;
+
+    struct Counter {
+        count: i64,
+    }
+
+    impl StatefulKernel for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn call(&mut self, _inputs: &[&Tensor]) -> Result<Vec<Tensor>> {
+            self.count += 1;
+            Ok(vec![Tensor::scalar_i64(self.count)])
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn kernel_keeps_state() {
+        let k = shared_kernel(Counter { count: 0 });
+        let mut guard = k.lock();
+        assert_eq!(guard.call(&[]).unwrap()[0].scalar_value_i64().unwrap(), 1);
+        assert_eq!(guard.call(&[]).unwrap()[0].scalar_value_i64().unwrap(), 2);
+        assert_eq!(guard.name(), "counter");
+        assert_eq!(guard.num_outputs(), 1);
+    }
+}

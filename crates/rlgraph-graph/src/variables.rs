@@ -1,0 +1,199 @@
+//! Variable storage, shareable across sessions.
+
+use crate::node::VarId;
+use crate::{GraphError, Result};
+use parking_lot::RwLock;
+use rlgraph_tensor::Tensor;
+use std::sync::Arc;
+
+/// Metadata and current value of one variable.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// fully scoped name, e.g. `"dqn/policy/dense-0/weight"`
+    pub name: String,
+    /// current value
+    pub value: Tensor,
+    /// participates in `trainable_variables`
+    pub trainable: bool,
+}
+
+/// The mutable state behind a graph: variable values.
+///
+/// A store can be shared between sessions through
+/// [`SharedVariableStore`] — this is how the distributed-TensorFlow-style
+/// executor implements a parameter server: workers' sessions read and the
+/// learner's session assigns the *same* store.
+#[derive(Debug, Default)]
+pub struct VariableStore {
+    vars: Vec<Variable>,
+}
+
+impl VariableStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a variable and returns its id.
+    pub fn create(&mut self, name: impl Into<String>, init: Tensor, trainable: bool) -> VarId {
+        self.vars.push(Variable { name: name.into(), value: init, trainable });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` when no variables exist.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Reads a variable's current value.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown ids.
+    pub fn read(&self, id: VarId) -> Result<&Tensor> {
+        self.vars
+            .get(id.0)
+            .map(|v| &v.value)
+            .ok_or_else(|| GraphError::new(format!("unknown variable id {}", id.0)))
+    }
+
+    /// Overwrites a variable's value.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown ids or shape/dtype changes.
+    pub fn write(&mut self, id: VarId, value: Tensor) -> Result<()> {
+        let var = self
+            .vars
+            .get_mut(id.0)
+            .ok_or_else(|| GraphError::new(format!("unknown variable id {}", id.0)))?;
+        if var.value.shape() != value.shape() || var.value.dtype() != value.dtype() {
+            return Err(GraphError::new(format!(
+                "variable '{}' shape/dtype change: {:?}/{} -> {:?}/{}",
+                var.name,
+                var.value.shape(),
+                var.value.dtype(),
+                value.shape(),
+                value.dtype()
+            )));
+        }
+        var.value = value;
+        Ok(())
+    }
+
+    /// Variable metadata by id.
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown ids.
+    pub fn meta(&self, id: VarId) -> Result<&Variable> {
+        self.vars.get(id.0).ok_or_else(|| GraphError::new(format!("unknown variable id {}", id.0)))
+    }
+
+    /// Ids of all trainable variables, in creation order.
+    pub fn trainable_ids(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.trainable)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Snapshot of all variables as `(name, value)` pairs (weights export).
+    pub fn export(&self) -> Vec<(String, Tensor)> {
+        self.vars.iter().map(|v| (v.name.clone(), v.value.clone())).collect()
+    }
+
+    /// Imports values by name (weights import / sync).
+    ///
+    /// # Errors
+    ///
+    /// Errors if a name is unknown or shapes mismatch.
+    pub fn import(&mut self, weights: &[(String, Tensor)]) -> Result<()> {
+        for (name, value) in weights {
+            let id = self
+                .vars
+                .iter()
+                .position(|v| &v.name == name)
+                .map(VarId)
+                .ok_or_else(|| GraphError::new(format!("unknown variable '{}'", name)))?;
+            self.write(id, value.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Iterates `(VarId, &Variable)`.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Variable)> {
+        self.vars.iter().enumerate().map(|(i, v)| (VarId(i), v))
+    }
+}
+
+/// A variable store shared between threads/sessions (parameter-server
+/// analogue).
+pub type SharedVariableStore = Arc<RwLock<VariableStore>>;
+
+/// Creates a new shared store.
+pub fn shared_store() -> SharedVariableStore {
+    Arc::new(RwLock::new(VariableStore::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_read_write() {
+        let mut s = VariableStore::new();
+        let w = s.create("w", Tensor::scalar(1.0), true);
+        assert_eq!(s.read(w).unwrap().scalar_value().unwrap(), 1.0);
+        s.write(w, Tensor::scalar(2.0)).unwrap();
+        assert_eq!(s.read(w).unwrap().scalar_value().unwrap(), 2.0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn write_shape_change_rejected() {
+        let mut s = VariableStore::new();
+        let w = s.create("w", Tensor::zeros(&[2], rlgraph_tensor::DType::F32), true);
+        assert!(s.write(w, Tensor::zeros(&[3], rlgraph_tensor::DType::F32)).is_err());
+        assert!(s.write(w, Tensor::zeros(&[2], rlgraph_tensor::DType::I64)).is_err());
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        let s = VariableStore::new();
+        assert!(s.read(VarId(0)).is_err());
+        assert!(s.meta(VarId(3)).is_err());
+    }
+
+    #[test]
+    fn trainable_filter() {
+        let mut s = VariableStore::new();
+        let a = s.create("a", Tensor::scalar(0.0), true);
+        let _b = s.create("b", Tensor::scalar(0.0), false);
+        let c = s.create("c", Tensor::scalar(0.0), true);
+        assert_eq!(s.trainable_ids(), vec![a, c]);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut s = VariableStore::new();
+        s.create("w", Tensor::scalar(1.5), true);
+        s.create("b", Tensor::scalar(-0.5), true);
+        let snap = s.export();
+        let mut s2 = VariableStore::new();
+        s2.create("w", Tensor::scalar(0.0), true);
+        s2.create("b", Tensor::scalar(0.0), true);
+        s2.import(&snap).unwrap();
+        assert_eq!(s2.read(VarId(0)).unwrap().scalar_value().unwrap(), 1.5);
+        assert_eq!(s2.read(VarId(1)).unwrap().scalar_value().unwrap(), -0.5);
+        assert!(s2.import(&[("zz".to_string(), Tensor::scalar(0.0))]).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: static-graph autodiff agrees with the eager tape and
+//! with finite differences — the two backends share one set of gradient
+//! rules, so any divergence is a wiring bug.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rlgraph_graph::{Graph, Session};
+use rlgraph_tensor::{DType, OpKind, Tape, Tensor};
+
+/// Builds `loss = mean(tanh(x @ w + b)^2)` on the static graph and returns
+/// (dw, db) evaluated at the given values.
+fn static_grads(x: &Tensor, w: &Tensor, b: &Tensor) -> (Tensor, Tensor) {
+    let mut g = Graph::new();
+    let xv = g.placeholder("x", DType::F32);
+    let wv = g.variable("w", w.clone(), true);
+    let bv = g.variable("b", b.clone(), true);
+    let wr = g.read_var(wv);
+    let br = g.read_var(bv);
+    let mm = g.op(OpKind::MatMul, &[xv, wr]).unwrap();
+    let z = g.op(OpKind::Add, &[mm, br]).unwrap();
+    let t = g.op(OpKind::Tanh, &[z]).unwrap();
+    let sq = g.op(OpKind::Square, &[t]).unwrap();
+    let loss = g.op(OpKind::Mean { axes: None, keep_dims: false }, &[sq]).unwrap();
+    let grads = g.gradients(loss, &[wr, br]).unwrap();
+    let (gw, gb) = (grads[0].unwrap(), grads[1].unwrap());
+    let mut sess = Session::new(g);
+    let out = sess.run(&[gw, gb], &[(xv, x.clone())]).unwrap();
+    (out[0].clone(), out[1].clone())
+}
+
+/// Same computation on the eager tape.
+fn tape_grads(x: &Tensor, w: &Tensor, b: &Tensor) -> (Tensor, Tensor) {
+    let mut tape = Tape::new();
+    let xv = tape.leaf(x.clone(), false);
+    let wv = tape.leaf(w.clone(), true);
+    let bv = tape.leaf(b.clone(), true);
+    let mm = tape.apply(OpKind::MatMul, &[xv, wv]).unwrap();
+    let z = tape.apply(OpKind::Add, &[mm, bv]).unwrap();
+    let t = tape.apply(OpKind::Tanh, &[z]).unwrap();
+    let sq = tape.apply(OpKind::Square, &[t]).unwrap();
+    let loss = tape.apply(OpKind::Mean { axes: None, keep_dims: false }, &[sq]).unwrap();
+    let grads = tape.backward(loss).unwrap();
+    (grads[&wv].clone(), grads[&bv].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Static graph-transformation gradients equal tape gradients.
+    #[test]
+    fn static_equals_tape(seed in 0u64..10_000, rows in 1usize..5, inner in 1usize..5, cols in 1usize..4) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&[rows, inner], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[inner, cols], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[cols], -0.5, 0.5, &mut rng);
+        let (sw, sb) = static_grads(&x, &w, &b);
+        let (tw, tb) = tape_grads(&x, &w, &b);
+        prop_assert!(sw.allclose(&tw, 1e-5), "dw: {:?} vs {:?}", sw, tw);
+        prop_assert!(sb.allclose(&tb, 1e-5), "db: {:?} vs {:?}", sb, tb);
+    }
+
+    /// Static gradients match central finite differences.
+    #[test]
+    fn static_matches_finite_difference(seed in 0u64..2_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[2], -0.5, 0.5, &mut rng);
+        let (gw, _) = static_grads(&x, &w, &b);
+        let loss = |w: &Tensor| -> f32 {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone(), false);
+            let wv = tape.leaf(w.clone(), false);
+            let bv = tape.leaf(b.clone(), false);
+            let mm = tape.apply(OpKind::MatMul, &[xv, wv]).unwrap();
+            let z = tape.apply(OpKind::Add, &[mm, bv]).unwrap();
+            let t = tape.apply(OpKind::Tanh, &[z]).unwrap();
+            let sq = tape.apply(OpKind::Square, &[t]).unwrap();
+            let l = tape.apply(OpKind::Mean { axes: None, keep_dims: false }, &[sq]).unwrap();
+            tape.value(l).scalar_value().unwrap()
+        };
+        let eps = 1e-3f32;
+        for idx in [0usize, 3, 5] {
+            let mut wp = w.clone();
+            wp.as_f32_mut().unwrap()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_f32_mut().unwrap()[idx] -= eps;
+            let num = (loss(&wp) - loss(&wm)) / (2.0 * eps);
+            let ana = gw.as_f32().unwrap()[idx];
+            prop_assert!((num - ana).abs() < 5e-3, "idx {}: {} vs {}", idx, num, ana);
+        }
+    }
+
+    /// Gradient nodes never change the forward value (the transformation
+    /// is purely additive).
+    #[test]
+    fn gradient_construction_preserves_forward(seed in 0u64..2_000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&[2, 2], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[2, 2], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[2], -0.5, 0.5, &mut rng);
+
+        let forward = |with_grads: bool| -> f32 {
+            let mut g = Graph::new();
+            let xv = g.placeholder("x", DType::F32);
+            let wv = g.variable("w", w.clone(), true);
+            let wr = g.read_var(wv);
+            let bvv = g.variable("b", b.clone(), true);
+            let br = g.read_var(bvv);
+            let mm = g.op(OpKind::MatMul, &[xv, wr]).unwrap();
+            let z = g.op(OpKind::Add, &[mm, br]).unwrap();
+            let t = g.op(OpKind::Tanh, &[z]).unwrap();
+            let sq = g.op(OpKind::Square, &[t]).unwrap();
+            let loss = g.op(OpKind::Mean { axes: None, keep_dims: false }, &[sq]).unwrap();
+            if with_grads {
+                g.gradients(loss, &[wr, br]).unwrap();
+            }
+            let mut sess = Session::new(g);
+            sess.run_one(loss, &[(xv, x.clone())]).unwrap().scalar_value().unwrap()
+        };
+        prop_assert_eq!(forward(false), forward(true));
+    }
+}

@@ -1,0 +1,22 @@
+//! Replay memories for rlgraph.
+//!
+//! Implements the storage substrate behind the paper's memory components
+//! (Fig. 2): a plain ring buffer, sum/min segment trees, prioritized
+//! experience replay (Schaul et al. 2016, as used by Ape-X), and the n-step
+//! reward adjustment Ape-X workers apply before insertion.
+//!
+//! These are pure data structures: the component layer wraps them either as
+//! stateful graph kernels (static backend) or direct calls (define-by-run),
+//! and the distributed layer hosts them inside replay-shard actors.
+
+pub mod nstep;
+pub mod prioritized;
+pub mod ring;
+pub mod segment_tree;
+pub mod transition;
+
+pub use nstep::NStepAdjuster;
+pub use prioritized::{PrioritizedReplay, SampleBatch};
+pub use ring::RingReplay;
+pub use segment_tree::SegmentTree;
+pub use transition::Transition;

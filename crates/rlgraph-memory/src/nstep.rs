@@ -1,0 +1,153 @@
+//! n-step reward adjustment (Ape-X worker-side post-processing).
+
+use crate::transition::Transition;
+use std::collections::VecDeque;
+
+/// Rewrites 1-step transitions into n-step transitions:
+/// `r' = Σ_{k<n} γ^k r_k`, `s'` taken n steps ahead, cutting at episode
+/// boundaries. Ape-X workers run this before computing initial priorities
+/// and shipping samples to the replay shards (paper §5.1).
+#[derive(Debug, Clone)]
+pub struct NStepAdjuster {
+    n: usize,
+    gamma: f32,
+    pending: VecDeque<Transition>,
+}
+
+impl NStepAdjuster {
+    /// Creates an adjuster with horizon `n` and discount `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, gamma: f32) -> Self {
+        assert!(n > 0, "n-step horizon must be positive");
+        NStepAdjuster { n, gamma, pending: VecDeque::new() }
+    }
+
+    /// The horizon.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of transitions waiting for lookahead.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Pushes a freshly observed 1-step transition; returns any n-step
+    /// transitions that became complete.
+    pub fn push(&mut self, t: Transition) -> Vec<Transition> {
+        let terminal = t.terminal;
+        self.pending.push_back(t);
+        let mut out = Vec::new();
+        if terminal {
+            // Episode over: flush everything with truncated horizons.
+            while let Some(adj) = self.pop_front_adjusted() {
+                out.push(adj);
+                self.pending.pop_front();
+            }
+        } else if self.pending.len() >= self.n {
+            if let Some(adj) = self.pop_front_adjusted() {
+                out.push(adj);
+            }
+            self.pending.pop_front();
+        }
+        out
+    }
+
+    /// Flushes all pending transitions (end of a rollout window).
+    pub fn flush(&mut self) -> Vec<Transition> {
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            if let Some(adj) = self.pop_front_adjusted() {
+                out.push(adj);
+            }
+            self.pending.pop_front();
+        }
+        out
+    }
+
+    /// Builds the n-step transition starting at the queue front without
+    /// removing it.
+    fn pop_front_adjusted(&self) -> Option<Transition> {
+        let first = self.pending.front()?;
+        let mut reward = 0.0f32;
+        let mut next_state = first.next_state.clone();
+        let mut terminal = first.terminal;
+        for (k, t) in self.pending.iter().take(self.n).enumerate() {
+            reward += self.gamma.powi(k as i32) * t.reward;
+            next_state = t.next_state.clone();
+            terminal = t.terminal;
+            if t.terminal {
+                break;
+            }
+        }
+        Some(Transition::new(first.state.clone(), first.action.clone(), reward, next_state, terminal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_tensor::Tensor;
+
+    fn tr(step: i64, reward: f32, terminal: bool) -> Transition {
+        Transition::new(
+            Tensor::scalar(step as f32),
+            Tensor::scalar_i64(0),
+            reward,
+            Tensor::scalar(step as f32 + 1.0),
+            terminal,
+        )
+    }
+
+    #[test]
+    fn three_step_rewards() {
+        let mut adj = NStepAdjuster::new(3, 0.5);
+        assert!(adj.push(tr(0, 1.0, false)).is_empty());
+        assert!(adj.push(tr(1, 1.0, false)).is_empty());
+        let out = adj.push(tr(2, 1.0, false));
+        assert_eq!(out.len(), 1);
+        // 1 + 0.5 + 0.25
+        assert!((out[0].reward - 1.75).abs() < 1e-6);
+        // next_state from 3 steps ahead
+        assert_eq!(out[0].next_state.scalar_value().unwrap(), 3.0);
+        assert!(!out[0].terminal);
+    }
+
+    #[test]
+    fn terminal_flushes_truncated() {
+        let mut adj = NStepAdjuster::new(3, 1.0);
+        adj.push(tr(0, 1.0, false));
+        let out = adj.push(tr(1, 2.0, true));
+        // both pending transitions flushed, horizons truncated at terminal
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].reward, 3.0);
+        assert!(out[0].terminal);
+        assert_eq!(out[1].reward, 2.0);
+        assert!(out[1].terminal);
+        assert_eq!(adj.pending_len(), 0);
+    }
+
+    #[test]
+    fn one_step_passthrough() {
+        let mut adj = NStepAdjuster::new(1, 0.9);
+        let out = adj.push(tr(0, 5.0, false));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].reward, 5.0);
+        assert_eq!(out[0].next_state.scalar_value().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn flush_emits_rest() {
+        let mut adj = NStepAdjuster::new(4, 1.0);
+        adj.push(tr(0, 1.0, false));
+        adj.push(tr(1, 1.0, false));
+        let out = adj.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].reward, 2.0);
+        assert_eq!(out[1].reward, 1.0);
+        assert_eq!(adj.pending_len(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Prioritized experience replay (proportional variant).
+
+use crate::segment_tree::SegmentTree;
+use rand::RngExt as _;
+
+/// A batch sampled from a [`PrioritizedReplay`].
+#[derive(Debug, Clone)]
+pub struct SampleBatch<T> {
+    /// slot indices (pass back to `update_priorities`)
+    pub indices: Vec<usize>,
+    /// sampled records
+    pub records: Vec<T>,
+    /// normalised importance-sampling weights (max weight = 1)
+    pub weights: Vec<f32>,
+}
+
+/// Proportional prioritized replay: `P(i) ∝ p_i^alpha`, importance weights
+/// `w_i = (N * P(i))^-beta / max_j w_j` (Schaul et al. 2016; the memory
+/// behind Ape-X and the paper's Fig. 5a "Prioritized replay" component).
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay<T> {
+    items: Vec<T>,
+    capacity: usize,
+    head: usize,
+    tree: SegmentTree,
+    alpha: f32,
+    max_priority: f32,
+    inserted: u64,
+}
+
+impl<T: Clone> PrioritizedReplay<T> {
+    /// Creates a memory for up to `capacity` records with priority exponent
+    /// `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `alpha` is negative.
+    pub fn new(capacity: usize, alpha: f32) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        PrioritizedReplay {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            tree: SegmentTree::new(capacity),
+            alpha,
+            max_priority: 1.0,
+            inserted: 0,
+        }
+    }
+
+    /// Maximum record count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current record count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Lifetime insertion count.
+    pub fn total_inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// The priority exponent.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Inserts a record with an explicit priority (worker-side
+    /// prioritisation, as in Ape-X). Returns the slot used.
+    pub fn insert_with_priority(&mut self, item: T, priority: f32) -> usize {
+        let priority = priority.max(1e-8);
+        self.max_priority = self.max_priority.max(priority);
+        let slot = if self.items.len() < self.capacity {
+            self.items.push(item);
+            self.items.len() - 1
+        } else {
+            let s = self.head;
+            self.items[s] = item;
+            self.head = (self.head + 1) % self.capacity;
+            s
+        };
+        self.inserted += 1;
+        self.tree.update(slot, priority.powf(self.alpha));
+        slot
+    }
+
+    /// Inserts with the current maximum priority (fresh samples are always
+    /// replayable at least once).
+    pub fn insert(&mut self, item: T) -> usize {
+        self.insert_with_priority(item, self.max_priority)
+    }
+
+    /// Samples `batch` records proportionally to priority, with
+    /// importance-sampling correction exponent `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is empty.
+    pub fn sample<R: rand::Rng>(&self, batch: usize, beta: f32, rng: &mut R) -> SampleBatch<T> {
+        assert!(!self.is_empty(), "cannot sample from an empty prioritized replay");
+        let total = self.tree.total();
+        let n = self.items.len() as f64;
+        let min_prob = self.tree.min() / total;
+        let max_weight = (min_prob * n).powf(-beta as f64);
+        let mut indices = Vec::with_capacity(batch);
+        let mut records = Vec::with_capacity(batch);
+        let mut weights = Vec::with_capacity(batch);
+        // Stratified sampling: one draw per equal-mass segment.
+        let seg = total / batch as f64;
+        for k in 0..batch {
+            let mass = seg * k as f64 + rng.random_range(0.0..1.0) * seg;
+            let idx = self.tree.prefix_sum_index(mass);
+            let prob = self.tree.get(idx) as f64 / total;
+            let w = ((prob * n).powf(-beta as f64) / max_weight) as f32;
+            indices.push(idx);
+            records.push(self.items[idx].clone());
+            weights.push(w);
+        }
+        SampleBatch { indices, records, weights }
+    }
+
+    /// Updates priorities after a learning step (TD errors).
+    ///
+    /// # Panics
+    ///
+    /// Panics on index/priority arity mismatch or out-of-range indices.
+    pub fn update_priorities(&mut self, indices: &[usize], priorities: &[f32]) {
+        assert_eq!(indices.len(), priorities.len(), "indices/priorities length mismatch");
+        for (&idx, &p) in indices.iter().zip(priorities) {
+            assert!(idx < self.items.len(), "priority update index {} out of range", idx);
+            let p = p.max(1e-8);
+            self.max_priority = self.max_priority.max(p);
+            self.tree.update(idx, p.powf(self.alpha));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut m = PrioritizedReplay::new(4, 0.6);
+        for i in 0..6 {
+            m.insert(i);
+        }
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.capacity(), 4);
+        assert_eq!(m.total_inserted(), 6);
+    }
+
+    #[test]
+    fn high_priority_sampled_more() {
+        let mut m = PrioritizedReplay::new(8, 1.0);
+        for i in 0..8 {
+            m.insert_with_priority(i, if i == 3 { 100.0 } else { 1.0 });
+        }
+        let mut rng = rng();
+        let mut hits = 0;
+        for _ in 0..50 {
+            let b = m.sample(8, 0.4, &mut rng);
+            hits += b.records.iter().filter(|&&r| r == 3).count();
+        }
+        // record 3 holds 100/107 of the mass; expect the vast majority
+        assert!(hits > 250, "expected heavy bias toward record 3, got {}/400", hits);
+    }
+
+    #[test]
+    fn weights_are_normalised_and_inverse() {
+        let mut m = PrioritizedReplay::new(4, 1.0);
+        m.insert_with_priority('a', 1.0);
+        m.insert_with_priority('b', 9.0);
+        let mut rng = rng();
+        let b = m.sample(64, 1.0, &mut rng);
+        for (i, w) in b.indices.iter().zip(&b.weights) {
+            assert!(*w > 0.0 && *w <= 1.0 + 1e-5);
+            if *i == 1 {
+                // high-priority record gets the smaller weight
+                assert!(*w < 0.5, "weight for frequent record should shrink, got {}", w);
+            } else {
+                assert!((*w - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_gives_unit_weights() {
+        let mut m = PrioritizedReplay::new(4, 0.8);
+        m.insert_with_priority(1, 5.0);
+        m.insert_with_priority(2, 1.0);
+        let b = m.sample(16, 0.0, &mut rng());
+        assert!(b.weights.iter().all(|&w| (w - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn update_priorities_shifts_distribution() {
+        let mut m = PrioritizedReplay::new(2, 1.0);
+        m.insert_with_priority('x', 1.0);
+        m.insert_with_priority('y', 1.0);
+        m.update_priorities(&[0], &[1000.0]);
+        let b = m.sample(100, 0.5, &mut rng());
+        let x_hits = b.records.iter().filter(|&&r| r == 'x').count();
+        assert!(x_hits > 90, "x should dominate after priority update, got {}", x_hits);
+    }
+
+    #[test]
+    fn wraparound_clears_old_priority() {
+        let mut m = PrioritizedReplay::new(2, 1.0);
+        m.insert_with_priority(0, 100.0);
+        m.insert_with_priority(1, 1.0);
+        // overwrite slot 0 (oldest) with a low-priority record
+        m.insert_with_priority(2, 1.0);
+        let b = m.sample(200, 0.0, &mut rng());
+        assert!(!b.records.contains(&0), "overwritten record must not be sampled");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn update_arity_checked() {
+        let mut m = PrioritizedReplay::new(2, 1.0);
+        m.insert(1);
+        m.update_priorities(&[0, 1], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sample_empty_panics() {
+        let m: PrioritizedReplay<u8> = PrioritizedReplay::new(2, 0.5);
+        m.sample(1, 0.4, &mut rng());
+    }
+}

@@ -1,0 +1,116 @@
+//! Uniform-sampling ring replay buffer.
+
+use rand::RngExt as _;
+
+/// A fixed-capacity ring buffer with uniform sampling — the plain replay
+/// memory variant (DQN without prioritisation).
+#[derive(Debug, Clone)]
+pub struct RingReplay<T> {
+    items: Vec<T>,
+    capacity: usize,
+    head: usize,
+    inserted: u64,
+}
+
+impl<T: Clone> RingReplay<T> {
+    /// Creates a buffer holding up to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        RingReplay { items: Vec::with_capacity(capacity), capacity, head: 0, inserted: 0 }
+    }
+
+    /// The maximum number of records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of stored records.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total insertions over the buffer's lifetime.
+    pub fn total_inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Inserts a record, overwriting the oldest once full. Returns the slot
+    /// index used.
+    pub fn insert(&mut self, item: T) -> usize {
+        self.inserted += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            self.items.len() - 1
+        } else {
+            let slot = self.head;
+            self.items[slot] = item;
+            self.head = (self.head + 1) % self.capacity;
+            slot
+        }
+    }
+
+    /// Reads the record in `slot`.
+    pub fn get(&self, slot: usize) -> Option<&T> {
+        self.items.get(slot)
+    }
+
+    /// Uniformly samples `batch` records (with replacement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn sample<R: rand::Rng>(&self, batch: usize, rng: &mut R) -> Vec<T> {
+        assert!(!self.is_empty(), "cannot sample from an empty replay buffer");
+        (0..batch).map(|_| self.items[rng.random_range(0..self.items.len())].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut r = RingReplay::new(3);
+        assert_eq!(r.insert(1), 0);
+        assert_eq!(r.insert(2), 1);
+        assert_eq!(r.insert(3), 2);
+        assert_eq!(r.len(), 3);
+        // wrap: overwrites slot 0
+        assert_eq!(r.insert(4), 0);
+        assert_eq!(r.get(0), Some(&4));
+        assert_eq!(r.get(1), Some(&2));
+        assert_eq!(r.insert(5), 1);
+        assert_eq!(r.total_inserted(), 5);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn samples_only_stored() {
+        let mut r = RingReplay::new(8);
+        r.insert(7);
+        r.insert(9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let s = r.sample(100, &mut rng);
+        assert!(s.iter().all(|&x| x == 7 || x == 9));
+        assert!(s.contains(&7) && s.contains(&9));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sample_empty_panics() {
+        let r: RingReplay<u8> = RingReplay::new(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        r.sample(1, &mut rng);
+    }
+}

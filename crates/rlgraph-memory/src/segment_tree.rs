@@ -1,0 +1,178 @@
+//! Sum/min segment tree over priorities.
+
+/// A fixed-capacity segment tree maintaining both the sum and the min of a
+/// priority array, with `O(log n)` updates, prefix-sum search (for
+/// proportional sampling) and min queries (for importance-weight
+/// normalisation).
+///
+/// This is the `SegmentTree` sub-component of the paper's prioritized
+/// replay memory (Fig. 2).
+#[derive(Debug, Clone)]
+pub struct SegmentTree {
+    capacity: usize,
+    size: usize,
+    sum: Vec<f64>,
+    min: Vec<f64>,
+}
+
+impl SegmentTree {
+    /// Creates a tree for up to `capacity` priorities (rounded up to a
+    /// power of two internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "segment tree capacity must be positive");
+        let cap = capacity.next_power_of_two();
+        SegmentTree {
+            capacity: cap,
+            size: capacity,
+            sum: vec![0.0; 2 * cap],
+            min: vec![f64::INFINITY; 2 * cap],
+        }
+    }
+
+    /// The logical capacity (as requested at construction).
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// `true` if the tree holds no positive priority.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0.0
+    }
+
+    /// Sets the priority at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or `priority` is negative/NaN.
+    pub fn update(&mut self, idx: usize, priority: f32) {
+        assert!(idx < self.size, "index {} out of range (capacity {})", idx, self.size);
+        assert!(priority >= 0.0 && priority.is_finite(), "priority must be finite and >= 0");
+        let mut i = idx + self.capacity;
+        self.sum[i] = priority as f64;
+        self.min[i] = priority as f64;
+        while i > 1 {
+            i /= 2;
+            self.sum[i] = self.sum[2 * i] + self.sum[2 * i + 1];
+            self.min[i] = self.min[2 * i].min(self.min[2 * i + 1]);
+        }
+    }
+
+    /// The priority currently stored at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> f32 {
+        assert!(idx < self.size, "index {} out of range", idx);
+        self.sum[idx + self.capacity] as f32
+    }
+
+    /// Sum of all priorities.
+    pub fn total(&self) -> f64 {
+        self.sum[1]
+    }
+
+    /// Minimum of all *set* priorities (`+inf` when none are set).
+    pub fn min(&self) -> f64 {
+        self.min[1]
+    }
+
+    /// Finds the smallest index whose prefix sum exceeds `mass`
+    /// (`0 <= mass < total`). This is the proportional-sampling primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty.
+    pub fn prefix_sum_index(&self, mass: f64) -> usize {
+        assert!(self.total() > 0.0, "cannot sample from an empty segment tree");
+        let mut mass = mass.clamp(0.0, self.total() * (1.0 - 1e-12));
+        let mut i = 1usize;
+        while i < self.capacity {
+            let left = 2 * i;
+            if self.sum[left] > mass {
+                i = left;
+            } else {
+                mass -= self.sum[left];
+                i = left + 1;
+            }
+        }
+        (i - self.capacity).min(self.size - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_mins() {
+        let mut t = SegmentTree::new(4);
+        t.update(0, 1.0);
+        t.update(1, 2.0);
+        t.update(2, 3.0);
+        assert_eq!(t.total(), 6.0);
+        assert_eq!(t.min(), 1.0);
+        assert_eq!(t.get(1), 2.0);
+        t.update(0, 5.0);
+        assert_eq!(t.total(), 10.0);
+        assert_eq!(t.min(), 2.0);
+    }
+
+    #[test]
+    fn prefix_sum_search() {
+        let mut t = SegmentTree::new(4);
+        t.update(0, 1.0);
+        t.update(1, 2.0);
+        t.update(2, 3.0);
+        t.update(3, 4.0);
+        // cumulative: 1, 3, 6, 10
+        assert_eq!(t.prefix_sum_index(0.5), 0);
+        assert_eq!(t.prefix_sum_index(1.0), 1);
+        assert_eq!(t.prefix_sum_index(2.9), 1);
+        assert_eq!(t.prefix_sum_index(3.0), 2);
+        assert_eq!(t.prefix_sum_index(9.99), 3);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity() {
+        let mut t = SegmentTree::new(5);
+        assert_eq!(t.len(), 5);
+        for i in 0..5 {
+            t.update(i, 1.0);
+        }
+        assert_eq!(t.total(), 5.0);
+        assert_eq!(t.prefix_sum_index(4.5), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_out_of_range_panics() {
+        SegmentTree::new(2).update(2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_priority_panics() {
+        SegmentTree::new(2).update(0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sample_empty_panics() {
+        SegmentTree::new(2).prefix_sum_index(0.0);
+    }
+
+    #[test]
+    fn empty_flag() {
+        let mut t = SegmentTree::new(2);
+        assert!(t.is_empty());
+        t.update(0, 0.5);
+        assert!(!t.is_empty());
+        t.update(0, 0.0);
+        assert!(t.is_empty());
+    }
+}

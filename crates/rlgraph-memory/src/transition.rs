@@ -1,0 +1,54 @@
+//! The canonical RL transition record.
+
+use rlgraph_tensor::Tensor;
+
+/// One `(s, a, r, s', t)` experience tuple, as inserted into replay
+/// memories by `observe` and consumed by `update` (paper Listing 2).
+///
+/// States and actions are tensors so the same record type carries vector
+/// observations, image stacks, or container leaves after splitting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// observation before acting
+    pub state: Tensor,
+    /// the chosen action
+    pub action: Tensor,
+    /// immediate (or n-step aggregated) reward
+    pub reward: f32,
+    /// observation after acting (n steps ahead for n-step records)
+    pub next_state: Tensor,
+    /// whether the episode terminated at `next_state`
+    pub terminal: bool,
+}
+
+impl Transition {
+    /// Creates a transition record.
+    pub fn new(state: Tensor, action: Tensor, reward: f32, next_state: Tensor, terminal: bool) -> Self {
+        Transition { state, action, reward, next_state, terminal }
+    }
+
+    /// Approximate memory footprint in bytes (for shard accounting).
+    pub fn size_bytes(&self) -> usize {
+        let t = |x: &Tensor| x.len() * x.dtype().size_bytes();
+        t(&self.state) + t(&self.action) + t(&self.next_state) + 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_size() {
+        let tr = Transition::new(
+            Tensor::zeros(&[4], rlgraph_tensor::DType::F32),
+            Tensor::scalar_i64(1),
+            1.0,
+            Tensor::zeros(&[4], rlgraph_tensor::DType::F32),
+            false,
+        );
+        assert_eq!(tr.reward, 1.0);
+        assert!(!tr.terminal);
+        assert_eq!(tr.size_bytes(), 4 * 4 + 8 + 4 * 4 + 5);
+    }
+}

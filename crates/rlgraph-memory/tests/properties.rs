@@ -1,0 +1,103 @@
+//! Property-based tests for replay memories and segment trees.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rlgraph_memory::{PrioritizedReplay, RingReplay, SegmentTree};
+
+proptest! {
+    /// Segment tree sum and min always match a straight recomputation.
+    #[test]
+    fn segment_tree_invariants(
+        cap in 1usize..40,
+        updates in prop::collection::vec((0usize..40, 0.0f32..100.0), 1..60),
+    ) {
+        let mut tree = SegmentTree::new(cap);
+        let mut shadow = vec![0.0f32; cap];
+        let mut touched = vec![false; cap];
+        for (idx, p) in updates {
+            let idx = idx % cap;
+            tree.update(idx, p);
+            shadow[idx] = p;
+            touched[idx] = true;
+        }
+        let expect_sum: f64 = shadow.iter().map(|&x| x as f64).sum();
+        prop_assert!((tree.total() - expect_sum).abs() < 1e-3);
+        let expect_min = shadow
+            .iter()
+            .zip(&touched)
+            .filter(|(_, &t)| t)
+            .map(|(&x, _)| x as f64)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(tree.min(), expect_min);
+    }
+
+    /// prefix_sum_index returns the index a linear scan would find.
+    #[test]
+    fn prefix_sum_matches_linear_scan(
+        priorities in prop::collection::vec(0.01f32..10.0, 1..32),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut tree = SegmentTree::new(priorities.len());
+        for (i, &p) in priorities.iter().enumerate() {
+            tree.update(i, p);
+        }
+        let mass = frac * tree.total() * 0.999999;
+        let got = tree.prefix_sum_index(mass);
+        let mut acc = 0.0f64;
+        let mut expect = priorities.len() - 1;
+        for (i, &p) in priorities.iter().enumerate() {
+            acc += p as f64;
+            if acc > mass {
+                expect = i;
+                break;
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Ring buffer always holds the most recent `min(inserted, capacity)`
+    /// items.
+    #[test]
+    fn ring_keeps_most_recent(cap in 1usize..16, n in 1usize..64) {
+        let mut ring = RingReplay::new(cap);
+        for i in 0..n {
+            ring.insert(i);
+        }
+        prop_assert_eq!(ring.len(), cap.min(n));
+        let expect_min = n.saturating_sub(cap);
+        for slot in 0..ring.len() {
+            let v = *ring.get(slot).unwrap();
+            prop_assert!(v >= expect_min && v < n, "stale item {} survived", v);
+        }
+    }
+
+    /// Prioritized sampling frequency is monotone in priority.
+    #[test]
+    fn sampling_monotone_in_priority(seed in 0u64..500) {
+        let mut m = PrioritizedReplay::new(4, 1.0);
+        m.insert_with_priority(0u8, 0.5);
+        m.insert_with_priority(1u8, 2.0);
+        m.insert_with_priority(2u8, 8.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut counts = [0usize; 3];
+        for _ in 0..30 {
+            for r in m.sample(16, 0.4, &mut rng).records {
+                counts[r as usize] += 1;
+            }
+        }
+        prop_assert!(counts[2] > counts[1], "counts {:?}", counts);
+        prop_assert!(counts[1] > counts[0], "counts {:?}", counts);
+    }
+
+    /// Importance weights stay in (0, 1] for any beta.
+    #[test]
+    fn weights_bounded(beta in 0.0f32..1.0, seed in 0u64..200) {
+        let mut m = PrioritizedReplay::new(8, 0.7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in 0..8 {
+            m.insert_with_priority(i, (i + 1) as f32);
+        }
+        let b = m.sample(32, beta, &mut rng);
+        prop_assert!(b.weights.iter().all(|&w| w > 0.0 && w <= 1.0 + 1e-4));
+    }
+}

@@ -1,0 +1,353 @@
+//! Functional forward builders, generic over the backend via [`OpEmitter`].
+//!
+//! The same function emits static-graph nodes (when the emitter is a
+//! `Graph`) or computes eagerly (when it is a `Tape`) — one forward
+//! definition per layer, two execution paradigms.
+
+use crate::spec::{Activation, LayerSpec, NetworkSpec};
+use rlgraph_tensor::{tensor_err, OpEmitter, OpKind, Result};
+
+/// Applies an activation.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn activate<E: OpEmitter>(em: &mut E, x: E::Ref, act: Activation) -> Result<E::Ref> {
+    match act {
+        Activation::Linear => Ok(x),
+        Activation::Relu => em.emit(OpKind::Relu, &[x]),
+        Activation::Tanh => em.emit(OpKind::Tanh, &[x]),
+        Activation::Sigmoid => em.emit(OpKind::Sigmoid, &[x]),
+    }
+}
+
+/// Fully connected layer: `act(x @ w + b)` with `x [b, in]`, `w [in, out]`,
+/// `b [out]`.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn dense<E: OpEmitter>(
+    em: &mut E,
+    x: E::Ref,
+    weight: E::Ref,
+    bias: E::Ref,
+    act: Activation,
+) -> Result<E::Ref> {
+    let mm = em.emit(OpKind::MatMul, &[x, weight])?;
+    let z = em.emit(OpKind::Add, &[mm, bias])?;
+    activate(em, z, act)
+}
+
+/// Convolution layer: `act(conv2d(x, f) + b)` with NCHW `x`, OIHW `f`, and
+/// `b [o,1,1]` broadcast over batch and space.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn conv2d<E: OpEmitter>(
+    em: &mut E,
+    x: E::Ref,
+    filters: E::Ref,
+    bias: E::Ref,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+) -> Result<E::Ref> {
+    let c = em.emit(OpKind::Conv2d { stride, padding }, &[x, filters])?;
+    let z = em.emit(OpKind::Add, &[c, bias])?;
+    activate(em, z, act)
+}
+
+/// Recurrent state of an LSTM.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState<R: Copy> {
+    /// hidden state `[b, units]`
+    pub h: R,
+    /// cell state `[b, units]`
+    pub c: R,
+}
+
+/// One LSTM step. Gate layout along the `4h` axis: input, forget, cell,
+/// output.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn lstm_step<E: OpEmitter>(
+    em: &mut E,
+    x_t: E::Ref,
+    state: LstmState<E::Ref>,
+    w_ih: E::Ref,
+    w_hh: E::Ref,
+    bias: E::Ref,
+    units: usize,
+) -> Result<LstmState<E::Ref>> {
+    let xm = em.emit(OpKind::MatMul, &[x_t, w_ih])?;
+    let hm = em.emit(OpKind::MatMul, &[state.h, w_hh])?;
+    let s = em.emit(OpKind::Add, &[xm, hm])?;
+    let z = em.emit(OpKind::Add, &[s, bias])?;
+    let gate = |em: &mut E, idx: usize| {
+        em.emit(OpKind::Slice { axis: 1, start: idx * units, len: units }, &[z])
+    };
+    let i_raw = gate(em, 0)?;
+    let f_raw = gate(em, 1)?;
+    let g_raw = gate(em, 2)?;
+    let o_raw = gate(em, 3)?;
+    let i = em.emit(OpKind::Sigmoid, &[i_raw])?;
+    let f = em.emit(OpKind::Sigmoid, &[f_raw])?;
+    let g = em.emit(OpKind::Tanh, &[g_raw])?;
+    let o = em.emit(OpKind::Sigmoid, &[o_raw])?;
+    let fc = em.emit(OpKind::Mul, &[f, state.c])?;
+    let ig = em.emit(OpKind::Mul, &[i, g])?;
+    let c_new = em.emit(OpKind::Add, &[fc, ig])?;
+    let ct = em.emit(OpKind::Tanh, &[c_new])?;
+    let h_new = em.emit(OpKind::Mul, &[o, ct])?;
+    Ok(LstmState { h: h_new, c: c_new })
+}
+
+/// Statically unrolled LSTM over `[b, t, in]`, returning `[b, t, units]`
+/// and the final state.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn lstm_unroll<E: OpEmitter>(
+    em: &mut E,
+    x: E::Ref,
+    time_steps: usize,
+    initial: LstmState<E::Ref>,
+    w_ih: E::Ref,
+    w_hh: E::Ref,
+    bias: E::Ref,
+    units: usize,
+) -> Result<(E::Ref, LstmState<E::Ref>)> {
+    if time_steps == 0 {
+        return Err(tensor_err!("lstm_unroll needs at least one time step"));
+    }
+    let mut state = initial;
+    let mut outputs = Vec::with_capacity(time_steps);
+    for t in 0..time_steps {
+        let sl = em.emit(OpKind::Slice { axis: 1, start: t, len: 1 }, &[x])?;
+        let x_t = em.emit(OpKind::Squeeze { axis: 1 }, &[sl])?;
+        state = lstm_step(em, x_t, state, w_ih, w_hh, bias, units)?;
+        outputs.push(state.h);
+    }
+    let stacked = em.emit(OpKind::Stack { axis: 1 }, &outputs)?;
+    Ok((stacked, state))
+}
+
+/// Dueling-head combination (paper's evaluation architecture):
+/// `q = v + a - mean(a, actions)`, with `v [b,1]` and `a [b,n]`.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn dueling_combine<E: OpEmitter>(em: &mut E, value: E::Ref, advantage: E::Ref) -> Result<E::Ref> {
+    let mean_a = em.emit(OpKind::Mean { axes: Some(vec![1]), keep_dims: true }, &[advantage])?;
+    let centered = em.emit(OpKind::Sub, &[advantage, mean_a])?;
+    em.emit(OpKind::Add, &[value, centered])
+}
+
+/// Applies a [`NetworkSpec`] to `x [b, ...core]`, consuming `params` in
+/// [`NetworkSpec::all_params`] order (one `Vec` per layer).
+///
+/// LSTM layers are not supported here (they need a time axis); use
+/// [`lstm_unroll`] in a time-aware head instead.
+///
+/// # Errors
+///
+/// Errors on parameter arity mismatch or unsupported layers.
+pub fn network_forward<E: OpEmitter>(
+    em: &mut E,
+    x: E::Ref,
+    spec: &NetworkSpec,
+    params: &[Vec<E::Ref>],
+) -> Result<E::Ref> {
+    if params.len() != spec.layers.len() {
+        return Err(tensor_err!(
+            "network has {} layers but {} parameter sets were provided",
+            spec.layers.len(),
+            params.len()
+        ));
+    }
+    let mut h = x;
+    for (layer, ps) in spec.layers.iter().zip(params) {
+        h = match layer {
+            LayerSpec::Dense { activation, .. } => {
+                let [w, b] = ps[..] else {
+                    return Err(tensor_err!("dense layer expects 2 params, got {}", ps.len()));
+                };
+                dense(em, h, w, b, *activation)?
+            }
+            LayerSpec::Conv2d { stride, padding, activation, .. } => {
+                let [f, b] = ps[..] else {
+                    return Err(tensor_err!("conv2d layer expects 2 params, got {}", ps.len()));
+                };
+                conv2d(em, h, f, b, *stride, *padding, *activation)?
+            }
+            LayerSpec::Flatten => flatten_keep_batch(em, h)?,
+            LayerSpec::Lstm { .. } => {
+                return Err(tensor_err!(
+                    "lstm layers require a time axis; use lstm_unroll in a recurrent head"
+                ));
+            }
+        };
+    }
+    Ok(h)
+}
+
+/// Flattens all dimensions after the batch axis. Works with runtime batch
+/// sizes by folding into `[-1, 1]` rows per element and regrouping against
+/// the input's leading dim.
+fn flatten_keep_batch<E: OpEmitter>(em: &mut E, x: E::Ref) -> Result<E::Ref> {
+    // [b, rest...] -> flat [b*rest] -> unfold first dim like x's batch
+    // (n = 1 leading dim), giving [b, rest_flat].
+    let flat = em.emit(OpKind::Reshape { shape: vec![-1] }, &[x])?;
+    let two_d = em.emit(OpKind::UnfoldLike { n: 1 }, &[flat, x])?;
+    Ok(two_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_tensor::{Tape, Tensor};
+
+    #[test]
+    fn dense_computes_affine() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap(), false);
+        let w = tape.leaf(Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(), false);
+        let b = tape.leaf(Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap(), false);
+        let y = dense(&mut tape, x, w, b, Activation::Linear).unwrap();
+        assert_eq!(tape.value(y).as_f32().unwrap(), &[11.0, 22.0]);
+        let yr = dense(&mut tape, x, w, b, Activation::Relu).unwrap();
+        assert_eq!(tape.value(yr).as_f32().unwrap(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn conv_bias_broadcasts() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[1, 1, 3, 3]), false);
+        let f = tape.leaf(Tensor::ones(&[2, 1, 2, 2]), false);
+        let b = tape.leaf(
+            Tensor::from_vec(vec![0.5, -0.5], &[2, 1, 1]).unwrap(),
+            false,
+        );
+        let y = conv2d(&mut tape, x, f, b, 1, 0, Activation::Linear).unwrap();
+        let v = tape.value(y);
+        assert_eq!(v.shape(), &[1, 2, 2, 2]);
+        assert_eq!(v.get_f32(&[0, 0, 0, 0]).unwrap(), 4.5);
+        assert_eq!(v.get_f32(&[0, 1, 0, 0]).unwrap(), 3.5);
+    }
+
+    #[test]
+    fn lstm_step_shapes_and_bounds() {
+        let mut tape = Tape::new();
+        let b = 2;
+        let (input, units) = (3, 4);
+        let x = tape.leaf(Tensor::full(&[b, input], 0.5), false);
+        let h0 = tape.leaf(Tensor::zeros(&[b, units], rlgraph_tensor::DType::F32), false);
+        let c0 = tape.leaf(Tensor::zeros(&[b, units], rlgraph_tensor::DType::F32), false);
+        let w_ih = tape.leaf(Tensor::full(&[input, 4 * units], 0.1), false);
+        let w_hh = tape.leaf(Tensor::full(&[units, 4 * units], 0.1), false);
+        let bias = tape.leaf(Tensor::zeros(&[4 * units], rlgraph_tensor::DType::F32), false);
+        let s = lstm_step(&mut tape, x, LstmState { h: h0, c: c0 }, w_ih, w_hh, bias, units).unwrap();
+        let h = tape.value(s.h);
+        assert_eq!(h.shape(), &[b, units]);
+        // h = o * tanh(c) is bounded by (-1, 1)
+        assert!(h.as_f32().unwrap().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn lstm_unroll_stacks_time() {
+        let mut tape = Tape::new();
+        let (b, t, input, units) = (2, 3, 2, 2);
+        let x = tape.leaf(Tensor::full(&[b, t, input], 0.3), false);
+        let h0 = tape.leaf(Tensor::zeros(&[b, units], rlgraph_tensor::DType::F32), false);
+        let c0 = tape.leaf(Tensor::zeros(&[b, units], rlgraph_tensor::DType::F32), false);
+        let w_ih = tape.leaf(Tensor::full(&[input, 4 * units], 0.2), false);
+        let w_hh = tape.leaf(Tensor::full(&[units, 4 * units], 0.2), false);
+        let bias = tape.leaf(Tensor::zeros(&[4 * units], rlgraph_tensor::DType::F32), false);
+        let (ys, _last) = lstm_unroll(
+            &mut tape,
+            x,
+            t,
+            LstmState { h: h0, c: c0 },
+            w_ih,
+            w_hh,
+            bias,
+            units,
+        )
+        .unwrap();
+        assert_eq!(tape.value(ys).shape(), &[b, t, units]);
+        // state accumulates: later steps differ from the first
+        let v = tape.value(ys);
+        assert!(v.get_f32(&[0, 0, 0]).unwrap() != v.get_f32(&[0, 2, 0]).unwrap());
+    }
+
+    #[test]
+    fn dueling_identity_when_centered() {
+        let mut tape = Tape::new();
+        let v = tape.leaf(Tensor::from_vec(vec![1.0], &[1, 1]).unwrap(), false);
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap(), false);
+        let q = dueling_combine(&mut tape, v, a).unwrap();
+        // mean(a) = 0, so q = v + a
+        assert_eq!(tape.value(q).as_f32().unwrap(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn network_forward_mlp() {
+        use crate::init::initialize;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let spec = NetworkSpec::mlp(&[4, 2], Activation::Relu);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_uniform(&[3, 6], -1.0, 1.0, &mut rng), false);
+        let mut params = Vec::new();
+        for (_i, defs) in spec.all_params(&[6]).unwrap() {
+            let refs: Vec<_> = defs
+                .iter()
+                .map(|d| tape.leaf(initialize(&d.init, &d.shape, &mut rng), false))
+                .collect();
+            params.push(refs);
+        }
+        let y = network_forward(&mut tape, x, &spec, &params).unwrap();
+        assert_eq!(tape.value(y).shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn network_forward_conv_then_dense() {
+        use crate::init::initialize;
+        use crate::spec::LayerSpec;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let spec = NetworkSpec::new(vec![
+            LayerSpec::Conv2d { filters: 2, kernel: 3, stride: 1, padding: 1, activation: Activation::Relu },
+            LayerSpec::Flatten,
+            LayerSpec::Dense { units: 3, activation: Activation::Linear },
+        ]);
+        let in_shape = [1usize, 4, 4];
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::rand_uniform(&[2, 1, 4, 4], -1.0, 1.0, &mut rng), false);
+        let mut params = Vec::new();
+        for (_i, defs) in spec.all_params(&in_shape).unwrap() {
+            let refs: Vec<_> = defs
+                .iter()
+                .map(|d| tape.leaf(initialize(&d.init, &d.shape, &mut rng), false))
+                .collect();
+            params.push(refs);
+        }
+        let y = network_forward(&mut tape, x, &spec, &params).unwrap();
+        assert_eq!(tape.value(y).shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn network_forward_param_arity_checked() {
+        let spec = NetworkSpec::mlp(&[4], Activation::Relu);
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[1, 2]), false);
+        assert!(network_forward(&mut tape, x, &spec, &[]).is_err());
+        assert!(network_forward(&mut tape, x, &spec, &[vec![x]]).is_err());
+    }
+}

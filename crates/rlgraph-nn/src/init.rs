@@ -1,0 +1,55 @@
+//! Parameter initialisation.
+
+use crate::spec::ParamInit;
+use rlgraph_tensor::Tensor;
+
+/// Materialises an initial value for a parameter.
+pub fn initialize<R: rand::Rng>(init: &ParamInit, shape: &[usize], rng: &mut R) -> Tensor {
+    match init {
+        ParamInit::XavierUniform { fan_in, fan_out } => {
+            let a = (6.0f32 / (*fan_in as f32 + *fan_out as f32)).sqrt();
+            Tensor::rand_uniform(shape, -a, a, rng)
+        }
+        ParamInit::HeUniform { fan_in } => {
+            let a = (6.0f32 / *fan_in as f32).sqrt();
+            Tensor::rand_uniform(shape, -a, a, rng)
+        }
+        ParamInit::Constant(v) => Tensor::full(shape, *v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let t = initialize(&ParamInit::XavierUniform { fan_in: 10, fan_out: 10 }, &[100], &mut rng);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(t.as_f32().unwrap().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn he_within_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let t = initialize(&ParamInit::HeUniform { fan_in: 6 }, &[100], &mut rng);
+        assert!(t.as_f32().unwrap().iter().all(|&x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn constant_fill() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let t = initialize(&ParamInit::Constant(0.5), &[3], &mut rng);
+        assert_eq!(t.as_f32().unwrap(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(7);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
+        let init = ParamInit::XavierUniform { fan_in: 4, fan_out: 4 };
+        assert_eq!(initialize(&init, &[8], &mut r1), initialize(&init, &[8], &mut r2));
+    }
+}

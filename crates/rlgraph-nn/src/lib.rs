@@ -1,0 +1,26 @@
+//! Backend-agnostic neural-network building blocks for rlgraph.
+//!
+//! Layers are *parameterised pure functions over an
+//! [`OpEmitter`](rlgraph_tensor::OpEmitter)*: the same forward definition
+//! emits static-graph nodes when driven by a `Graph` and computes eagerly
+//! when driven by a `Tape`. Parameter shapes and initial values are
+//! declared separately ([`LayerSpec::params`]) so each backend can create
+//! its variables wherever it stores state — the separation the RLgraph
+//! paper's build phases require (variables are created only once input
+//! spaces are known, §3.3).
+//!
+//! * [`LayerSpec`]/[`NetworkSpec`] — serde-serialisable layer configs
+//!   (JSON network definitions, paper §3.4).
+//! * [`forward`] — functional forward builders (dense, conv2d, LSTM step,
+//!   dueling head).
+//! * [`init`] — Xavier/He/constant initializers.
+//! * [`optim`] — SGD/momentum/RMSProp/Adam update math emitted as ops.
+
+pub mod forward;
+pub mod init;
+pub mod optim;
+pub mod spec;
+
+pub use forward::{dense, dueling_combine, lstm_step, network_forward, LstmState};
+pub use optim::{adam_step, momentum_step, rmsprop_step, sgd_step, OptimizerSpec};
+pub use spec::{Activation, LayerSpec, NetworkSpec, ParamDef, ParamInit};

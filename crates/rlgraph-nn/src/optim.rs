@@ -1,0 +1,264 @@
+//! Optimizer update math, emitted as ops.
+//!
+//! Each `*_step` function expresses one parameter update as emitted ops and
+//! returns the new slot states plus the weight delta. Backends persist the
+//! slots their own way: the static graph assigns them to variables, the
+//! define-by-run executor stores tensors in the optimizer component.
+
+use rlgraph_tensor::{OpEmitter, OpKind, Result};
+
+/// Which optimizer an agent uses, with its hyper-parameters
+/// (serde-serialisable for JSON agent configs).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum OptimizerSpec {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// learning rate
+        lr: f32,
+    },
+    /// SGD with classical momentum.
+    Momentum {
+        /// learning rate
+        lr: f32,
+        /// momentum coefficient
+        momentum: f32,
+    },
+    /// RMSProp (as used by the paper's IMPALA configuration).
+    RmsProp {
+        /// learning rate
+        lr: f32,
+        /// moving-average decay
+        decay: f32,
+        /// numerical stabiliser
+        epsilon: f32,
+    },
+    /// Adam (as used by the paper's Ape-X configuration).
+    Adam {
+        /// learning rate
+        lr: f32,
+        /// first-moment decay
+        beta1: f32,
+        /// second-moment decay
+        beta2: f32,
+        /// numerical stabiliser
+        epsilon: f32,
+    },
+}
+
+impl OptimizerSpec {
+    /// Adam with the common defaults.
+    pub fn adam(lr: f32) -> Self {
+        OptimizerSpec::Adam { lr, beta1: 0.9, beta2: 0.999, epsilon: 1e-8 }
+    }
+
+    /// RMSProp with common defaults.
+    pub fn rmsprop(lr: f32) -> Self {
+        OptimizerSpec::RmsProp { lr, decay: 0.99, epsilon: 1e-6 }
+    }
+
+    /// Number of per-parameter slot tensors this optimizer maintains.
+    pub fn num_slots(&self) -> usize {
+        match self {
+            OptimizerSpec::Sgd { .. } => 0,
+            OptimizerSpec::Momentum { .. } | OptimizerSpec::RmsProp { .. } => 1,
+            OptimizerSpec::Adam { .. } => 2,
+        }
+    }
+}
+
+/// Result of one optimizer step for one parameter.
+#[derive(Debug, Clone)]
+pub struct StepResult<R: Copy> {
+    /// amount to subtract from the weight
+    pub delta: R,
+    /// updated slot states, in the same order as the inputs
+    pub new_slots: Vec<R>,
+}
+
+/// SGD: `delta = lr * grad`.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn sgd_step<E: OpEmitter>(em: &mut E, grad: E::Ref, lr: f32) -> Result<StepResult<E::Ref>> {
+    let lr_c = em.scalar_const(lr);
+    let delta = em.emit(OpKind::Mul, &[grad, lr_c])?;
+    Ok(StepResult { delta, new_slots: vec![] })
+}
+
+/// Momentum: `v' = mu * v + grad; delta = lr * v'`.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn momentum_step<E: OpEmitter>(
+    em: &mut E,
+    grad: E::Ref,
+    velocity: E::Ref,
+    lr: f32,
+    momentum: f32,
+) -> Result<StepResult<E::Ref>> {
+    let mu = em.scalar_const(momentum);
+    let scaled = em.emit(OpKind::Mul, &[velocity, mu])?;
+    let v_new = em.emit(OpKind::Add, &[scaled, grad])?;
+    let lr_c = em.scalar_const(lr);
+    let delta = em.emit(OpKind::Mul, &[v_new, lr_c])?;
+    Ok(StepResult { delta, new_slots: vec![v_new] })
+}
+
+/// RMSProp: `s' = d*s + (1-d)*g²; delta = lr * g / sqrt(s' + eps)`.
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+pub fn rmsprop_step<E: OpEmitter>(
+    em: &mut E,
+    grad: E::Ref,
+    sq_avg: E::Ref,
+    lr: f32,
+    decay: f32,
+    epsilon: f32,
+) -> Result<StepResult<E::Ref>> {
+    let d = em.scalar_const(decay);
+    let omd = em.scalar_const(1.0 - decay);
+    let g2 = em.emit(OpKind::Square, &[grad])?;
+    let s_old = em.emit(OpKind::Mul, &[sq_avg, d])?;
+    let s_inc = em.emit(OpKind::Mul, &[g2, omd])?;
+    let s_new = em.emit(OpKind::Add, &[s_old, s_inc])?;
+    let eps = em.scalar_const(epsilon);
+    let s_eps = em.emit(OpKind::Add, &[s_new, eps])?;
+    let denom = em.emit(OpKind::Sqrt, &[s_eps])?;
+    let lr_c = em.scalar_const(lr);
+    let lg = em.emit(OpKind::Mul, &[grad, lr_c])?;
+    let delta = em.emit(OpKind::Div, &[lg, denom])?;
+    Ok(StepResult { delta, new_slots: vec![s_new] })
+}
+
+/// Adam with bias correction driven by the step count `t` (1-based).
+///
+/// # Errors
+///
+/// Propagates emitter errors.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_step<E: OpEmitter>(
+    em: &mut E,
+    grad: E::Ref,
+    m: E::Ref,
+    v: E::Ref,
+    t: u64,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+) -> Result<StepResult<E::Ref>> {
+    let b1 = em.scalar_const(beta1);
+    let omb1 = em.scalar_const(1.0 - beta1);
+    let b2 = em.scalar_const(beta2);
+    let omb2 = em.scalar_const(1.0 - beta2);
+    let m_old = em.emit(OpKind::Mul, &[m, b1])?;
+    let m_inc = em.emit(OpKind::Mul, &[grad, omb1])?;
+    let m_new = em.emit(OpKind::Add, &[m_old, m_inc])?;
+    let g2 = em.emit(OpKind::Square, &[grad])?;
+    let v_old = em.emit(OpKind::Mul, &[v, b2])?;
+    let v_inc = em.emit(OpKind::Mul, &[g2, omb2])?;
+    let v_new = em.emit(OpKind::Add, &[v_old, v_inc])?;
+    // Bias-corrected learning rate (scalar, computed host-side).
+    let t = t.max(1) as i32;
+    let corr = lr * (1.0 - beta2.powi(t)).sqrt() / (1.0 - beta1.powi(t));
+    let corr_c = em.scalar_const(corr);
+    let eps = em.scalar_const(epsilon);
+    let sq = em.emit(OpKind::Sqrt, &[v_new])?;
+    let denom = em.emit(OpKind::Add, &[sq, eps])?;
+    let num = em.emit(OpKind::Mul, &[m_new, corr_c])?;
+    let delta = em.emit(OpKind::Div, &[num, denom])?;
+    Ok(StepResult { delta, new_slots: vec![m_new, v_new] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_tensor::{Tape, Tensor};
+
+    #[test]
+    fn sgd_scales_gradient() {
+        let mut tape = Tape::new();
+        let g = tape.leaf(Tensor::from_vec(vec![2.0, -4.0], &[2]).unwrap(), false);
+        let r = sgd_step(&mut tape, g, 0.5).unwrap();
+        assert_eq!(tape.value(r.delta).as_f32().unwrap(), &[1.0, -2.0]);
+        assert!(r.new_slots.is_empty());
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut tape = Tape::new();
+        let g = tape.leaf(Tensor::scalar(1.0), false);
+        let v0 = tape.leaf(Tensor::scalar(0.0), false);
+        let s1 = momentum_step(&mut tape, g, v0, 1.0, 0.9).unwrap();
+        assert_eq!(tape.value(s1.delta).scalar_value().unwrap(), 1.0);
+        let s2 = momentum_step(&mut tape, g, s1.new_slots[0], 1.0, 0.9).unwrap();
+        assert!((tape.value(s2.delta).scalar_value().unwrap() - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmsprop_normalises_scale() {
+        // With decay 0 the step is lr * g / sqrt(g² + eps) ≈ lr * sign(g).
+        let mut tape = Tape::new();
+        let g = tape.leaf(Tensor::from_vec(vec![100.0, -0.01], &[2]).unwrap(), false);
+        let s = tape.leaf(Tensor::zeros(&[2], rlgraph_tensor::DType::F32), false);
+        let r = rmsprop_step(&mut tape, g, s, 0.1, 0.0, 1e-8).unwrap();
+        let d = tape.value(r.delta).as_f32().unwrap().to_vec();
+        assert!((d[0] - 0.1).abs() < 1e-3);
+        assert!((d[1] + 0.1).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_first_step_matches_reference() {
+        // After one step from zero slots, delta ≈ lr * sign(g).
+        let mut tape = Tape::new();
+        let g = tape.leaf(Tensor::from_vec(vec![0.5, -3.0], &[2]).unwrap(), false);
+        let m = tape.leaf(Tensor::zeros(&[2], rlgraph_tensor::DType::F32), false);
+        let v = tape.leaf(Tensor::zeros(&[2], rlgraph_tensor::DType::F32), false);
+        let r = adam_step(&mut tape, g, m, v, 1, 0.001, 0.9, 0.999, 1e-8).unwrap();
+        let d = tape.value(r.delta).as_f32().unwrap().to_vec();
+        assert!((d[0] - 0.001).abs() < 1e-5, "got {}", d[0]);
+        assert!((d[1] + 0.001).abs() < 1e-5, "got {}", d[1]);
+        assert_eq!(r.new_slots.len(), 2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimise (w-3)² with eager Adam; w should approach 3.
+        let mut w = Tensor::scalar(0.0);
+        let mut m = Tensor::scalar(0.0);
+        let mut v = Tensor::scalar(0.0);
+        for t in 1..=2000u64 {
+            let mut tape = Tape::new();
+            let wi = tape.leaf(w.clone(), true);
+            let c = tape.leaf(Tensor::scalar(3.0), false);
+            let diff = tape.apply(OpKind::Sub, &[wi, c]).unwrap();
+            let loss = tape.apply(OpKind::Square, &[diff]).unwrap();
+            let grads = tape.backward(loss).unwrap();
+            let gi = tape.leaf(grads[&wi].clone(), false);
+            let mi = tape.leaf(m.clone(), false);
+            let vi = tape.leaf(v.clone(), false);
+            let r = adam_step(&mut tape, gi, mi, vi, t, 0.05, 0.9, 0.999, 1e-8).unwrap();
+            let delta = tape.value(r.delta).scalar_value().unwrap();
+            m = tape.value(r.new_slots[0]).clone();
+            v = tape.value(r.new_slots[1]).clone();
+            w = Tensor::scalar(w.scalar_value().unwrap() - delta);
+        }
+        assert!((w.scalar_value().unwrap() - 3.0).abs() < 0.05, "w = {:?}", w);
+    }
+
+    #[test]
+    fn spec_defaults_and_slots() {
+        assert_eq!(OptimizerSpec::adam(0.001).num_slots(), 2);
+        assert_eq!(OptimizerSpec::rmsprop(0.01).num_slots(), 1);
+        assert_eq!(OptimizerSpec::Sgd { lr: 0.1 }.num_slots(), 0);
+        assert_eq!(OptimizerSpec::Momentum { lr: 0.1, momentum: 0.9 }.num_slots(), 1);
+        let json = serde_json::to_string(&OptimizerSpec::adam(0.001)).unwrap();
+        let back: OptimizerSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, OptimizerSpec::adam(0.001));
+    }
+}

@@ -1,0 +1,284 @@
+//! Discrete-event simulation of the Ape-X coordination loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Measured per-task costs and topology of an Ape-X deployment.
+#[derive(Debug, Clone)]
+pub struct ApexSimParams {
+    /// number of worker actors
+    pub num_workers: usize,
+    /// environment frames produced per collection task
+    pub frames_per_task: f64,
+    /// seconds per collection task (measured per implementation)
+    pub task_time: f64,
+    /// shard service time per insert request
+    pub insert_time: f64,
+    /// shard service time per sample request
+    pub sample_time: f64,
+    /// shard service time per priority update
+    pub priority_update_time: f64,
+    /// learner training-step time
+    pub train_time: f64,
+    /// number of replay shards
+    pub num_shards: usize,
+    /// seconds of queued shard work tolerated before workers block
+    /// (object-store backpressure)
+    pub max_shard_backlog: f64,
+    /// whether a learner competes for the shards (the paper notes RLlib's
+    /// early numbers excluded updating)
+    pub learner_enabled: bool,
+    /// simulated duration in seconds
+    pub duration: f64,
+}
+
+impl Default for ApexSimParams {
+    fn default() -> Self {
+        ApexSimParams {
+            num_workers: 16,
+            frames_per_task: 800.0,
+            task_time: 0.5,
+            insert_time: 0.002,
+            sample_time: 0.002,
+            priority_update_time: 0.001,
+            train_time: 0.02,
+            num_shards: 4,
+            max_shard_backlog: 0.5,
+            learner_enabled: true,
+            duration: 60.0,
+        }
+    }
+}
+
+/// Output of an Ape-X simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApexSimResult {
+    /// aggregate environment frames per second
+    pub frames_per_second: f64,
+    /// learner updates per second
+    pub updates_per_second: f64,
+    /// fraction of time the average worker spent collecting (vs blocked)
+    pub worker_utilisation: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// worker finished a collection task
+    WorkerDone(usize),
+    /// learner finished its current phase
+    LearnerDone(LearnerPhase),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LearnerPhase {
+    Sampled,
+    Trained,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed for a min-heap
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs the discrete-event Ape-X model.
+///
+/// Mechanics: each worker cyclically spends `task_time` collecting, then
+/// posts an insert to a round-robin shard (FCFS server). When a shard's
+/// backlog exceeds `max_shard_backlog` seconds, the worker blocks until its
+/// insert completes. The learner (once any shard holds data) cycles
+/// sample-on-shard → train → priority-update-on-shard. Throughput flattens
+/// exactly when shard/learner service rates saturate, which is the
+/// mechanism behind the paper's Fig. 6 plateau.
+///
+/// # Panics
+///
+/// Panics when `num_workers` or `num_shards` is zero.
+pub fn simulate_apex(params: &ApexSimParams) -> ApexSimResult {
+    assert!(params.num_workers > 0, "need at least one worker");
+    assert!(params.num_shards > 0, "need at least one shard");
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Scheduled>, time: f64, event: Event| {
+        heap.push(Scheduled { time, seq, event });
+        seq += 1;
+    };
+
+    let mut shard_free = vec![0.0f64; params.num_shards];
+    let mut shard_rr = 0usize;
+    let mut learner_rr = 0usize;
+    let mut frames = 0.0f64;
+    let mut tasks_done = 0u64;
+    let mut updates = 0u64;
+    let mut learner_started = false;
+    let mut blocked_time = 0.0f64;
+
+    for w in 0..params.num_workers {
+        // small stagger so the first wave does not collide artificially
+        let jitter = params.task_time * (w as f64 / params.num_workers as f64) * 0.1;
+        push(&mut heap, params.task_time + jitter, Event::WorkerDone(w));
+    }
+
+    while let Some(Scheduled { time, event, .. }) = heap.pop() {
+        if time > params.duration {
+            break;
+        }
+        match event {
+            Event::WorkerDone(w) => {
+                frames += params.frames_per_task;
+                tasks_done += 1;
+                let s = shard_rr % params.num_shards;
+                shard_rr += 1;
+                let start = shard_free[s].max(time);
+                let backlog = start - time;
+                shard_free[s] = start + params.insert_time;
+                let resume = if backlog > params.max_shard_backlog {
+                    // backpressure: wait for the insert to finish
+                    blocked_time += shard_free[s] - time;
+                    shard_free[s]
+                } else {
+                    time
+                };
+                push(&mut heap, resume + params.task_time, Event::WorkerDone(w));
+                if params.learner_enabled && !learner_started && tasks_done >= 1 {
+                    learner_started = true;
+                    // first sample request
+                    let s = learner_rr % params.num_shards;
+                    learner_rr += 1;
+                    let start = shard_free[s].max(time);
+                    shard_free[s] = start + params.sample_time;
+                    push(&mut heap, shard_free[s], Event::LearnerDone(LearnerPhase::Sampled));
+                }
+            }
+            Event::LearnerDone(LearnerPhase::Sampled) => {
+                push(&mut heap, time + params.train_time, Event::LearnerDone(LearnerPhase::Trained));
+            }
+            Event::LearnerDone(LearnerPhase::Trained) => {
+                updates += 1;
+                // post the priority update, then request the next sample
+                let s_upd = learner_rr % params.num_shards;
+                let start_upd = shard_free[s_upd].max(time);
+                shard_free[s_upd] = start_upd + params.priority_update_time;
+                let s = (learner_rr + 1) % params.num_shards;
+                learner_rr += 2;
+                let start = shard_free[s].max(time);
+                shard_free[s] = start + params.sample_time;
+                push(&mut heap, shard_free[s], Event::LearnerDone(LearnerPhase::Sampled));
+            }
+        }
+    }
+
+    let total_worker_time = params.duration * params.num_workers as f64;
+    ApexSimResult {
+        frames_per_second: frames / params.duration,
+        updates_per_second: updates as f64 / params.duration,
+        worker_utilisation: 1.0 - (blocked_time / total_worker_time).clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_then_saturates() {
+        let base = ApexSimParams { duration: 30.0, ..Default::default() };
+        let fps = |w: usize| {
+            simulate_apex(&ApexSimParams { num_workers: w, ..base.clone() }).frames_per_second
+        };
+        let f16 = fps(16);
+        let f64w = fps(64);
+        let f256 = fps(256);
+        // linear-ish early scaling
+        assert!(f64w > f16 * 2.5, "16→64 should scale: {} vs {}", f16, f64w);
+        // saturation: 4x more workers gives < 4x frames
+        assert!(f256 < f64w * 4.0, "should saturate: {} vs {}", f64w, f256);
+        assert!(f256 >= f64w * 0.9, "more workers shouldn't collapse throughput");
+    }
+
+    #[test]
+    fn faster_tasks_give_more_throughput() {
+        let slow = simulate_apex(&ApexSimParams { task_time: 1.0, ..Default::default() });
+        let fast = simulate_apex(&ApexSimParams { task_time: 0.35, ..Default::default() });
+        assert!(fast.frames_per_second > slow.frames_per_second * 2.0);
+    }
+
+    #[test]
+    fn more_shards_relieve_backpressure() {
+        let congested = ApexSimParams {
+            num_workers: 256,
+            insert_time: 0.01,
+            num_shards: 1,
+            max_shard_backlog: 0.05,
+            duration: 30.0,
+            ..Default::default()
+        };
+        let relieved = ApexSimParams { num_shards: 8, ..congested.clone() };
+        let a = simulate_apex(&congested);
+        let b = simulate_apex(&relieved);
+        assert!(b.frames_per_second > a.frames_per_second);
+        assert!(b.worker_utilisation >= a.worker_utilisation);
+    }
+
+    #[test]
+    fn learner_updates_bounded_by_train_time() {
+        let r = simulate_apex(&ApexSimParams {
+            train_time: 0.05,
+            duration: 20.0,
+            ..Default::default()
+        });
+        assert!(r.updates_per_second <= 1.0 / 0.05 + 1.0);
+        assert!(r.updates_per_second > 5.0);
+    }
+
+    #[test]
+    fn disabling_learner_frees_shards() {
+        let with = simulate_apex(&ApexSimParams {
+            num_workers: 128,
+            sample_time: 0.02,
+            num_shards: 1,
+            max_shard_backlog: 0.01,
+            duration: 20.0,
+            ..Default::default()
+        });
+        let without = simulate_apex(&ApexSimParams {
+            learner_enabled: false,
+            num_workers: 128,
+            sample_time: 0.02,
+            num_shards: 1,
+            max_shard_backlog: 0.01,
+            duration: 20.0,
+            ..Default::default()
+        });
+        assert!(without.frames_per_second >= with.frames_per_second);
+        assert_eq!(without.updates_per_second, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        simulate_apex(&ApexSimParams { num_workers: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,78 @@
+//! Virtual-time accounting for learning-curve experiments.
+
+/// Accumulates virtual seconds while real work executes serially on one
+/// core, dividing time spent in declared parallel regions by their degree
+/// of parallelism.
+///
+/// Used for the paper's learning-curve figures: e.g. Fig. 8 charges the
+/// measured update time divided by the simulated GPU count (plus a sync
+/// overhead), and Fig. 7b charges worker collection time divided by the
+/// worker count — so curves plot reward against the wall-clock a parallel
+/// deployment would have seen.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    seconds: f64,
+}
+
+impl VirtualClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Charges serial work.
+    pub fn charge(&mut self, seconds: f64) {
+        self.seconds += seconds.max(0.0);
+    }
+
+    /// Charges work executed across `parallelism` identical units plus a
+    /// fixed synchronisation overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn charge_parallel(&mut self, seconds: f64, parallelism: usize, sync_overhead: f64) {
+        assert!(parallelism > 0, "parallelism must be positive");
+        self.seconds += seconds.max(0.0) / parallelism as f64 + sync_overhead.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_accumulates() {
+        let mut c = VirtualClock::new();
+        c.charge(1.5);
+        c.charge(0.5);
+        assert!((c.seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_divides_and_adds_sync() {
+        let mut c = VirtualClock::new();
+        c.charge_parallel(4.0, 2, 0.1);
+        assert!((c.seconds() - 2.1).abs() < 1e-12);
+        c.charge_parallel(4.0, 4, 0.0);
+        assert!((c.seconds() - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_charges_clamped() {
+        let mut c = VirtualClock::new();
+        c.charge(-5.0);
+        assert_eq!(c.seconds(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism")]
+    fn zero_parallelism_panics() {
+        VirtualClock::new().charge_parallel(1.0, 0, 0.0);
+    }
+}

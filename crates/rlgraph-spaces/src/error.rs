@@ -1,0 +1,49 @@
+//! Error type for space operations.
+
+use std::fmt;
+
+/// Error produced by space validation, flattening, or sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceError {
+    message: String,
+}
+
+impl SpaceError {
+    /// Creates a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        SpaceError { message: message.into() }
+    }
+
+    /// The human-readable error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+impl From<rlgraph_tensor::TensorError> for SpaceError {
+    fn from(e: rlgraph_tensor::TensorError) -> Self {
+        SpaceError::new(e.message())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = SpaceError::new("bad space");
+        assert_eq!(e.to_string(), "bad space");
+        let t = rlgraph_tensor::TensorError::new("tensor oops");
+        let s: SpaceError = t.into();
+        assert_eq!(s.message(), "tensor oops");
+    }
+}

@@ -1,0 +1,43 @@
+//! Space objects: the typed tensor layouts that drive rlgraph's build.
+//!
+//! In RLgraph (SysML 2019), users never create placeholders or variables by
+//! hand. They declare the *spaces* of the data entering the root component
+//! (state/action layouts with optional batch and time ranks), and the build
+//! infers every internal shape from there. Spaces also power sub-graph
+//! testing: any component can be built from example spaces and fed sampled
+//! inputs (paper §3.3, Listing 1).
+//!
+//! * [`Space`] — `FloatBox`, `IntBox`, `BoolBox`, and the `Dict`/`Tuple`
+//!   containers, with `add_batch_rank`/`add_time_rank` markers.
+//! * [`SpaceValue`] — a concrete value drawn from a space (tensor or nested
+//!   containers of tensors).
+//! * Flattening — containers flatten to ordered `(scope-path, leaf)` lists,
+//!   the mechanism behind rlgraph's automatic split/merge of nested spaces.
+//!
+//! # Example
+//!
+//! ```
+//! use rlgraph_spaces::Space;
+//! use rand::SeedableRng;
+//!
+//! let space = Space::dict([
+//!     ("pixels", Space::float_box(&[4, 4])),
+//!     ("speed", Space::int_box(5)),
+//! ]).with_batch_rank();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let value = space.sample_batch(3, &mut rng);
+//! assert!(space.contains(&value));
+//! assert_eq!(space.flatten().len(), 2);
+//! ```
+
+pub mod error;
+pub mod space;
+pub mod value;
+
+pub use error::SpaceError;
+pub use space::{Space, SpaceKind};
+pub use value::SpaceValue;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpaceError>;

@@ -1,0 +1,574 @@
+//! The [`Space`] type: boxes, containers, and rank markers.
+
+use crate::value::SpaceValue;
+use crate::{Result, SpaceError};
+use rand::RngExt as _;
+use rlgraph_tensor::{DType, Tensor};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The structural kind of a space.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SpaceKind {
+    /// Continuous box with per-space bounds.
+    Float {
+        /// core shape (without batch/time ranks)
+        shape: Vec<usize>,
+        /// inclusive lower bound
+        low: f32,
+        /// exclusive upper bound used for sampling; inclusive for `contains`
+        high: f32,
+    },
+    /// Discrete categorical values `0..num_categories` (scalar core shape
+    /// unless `shape` says otherwise).
+    Int {
+        /// core shape
+        shape: Vec<usize>,
+        /// number of categories
+        num_categories: i64,
+    },
+    /// Boolean flags.
+    Bool {
+        /// core shape
+        shape: Vec<usize>,
+    },
+    /// Named, ordered mapping of sub-spaces.
+    Dict(BTreeMap<String, Space>),
+    /// Positional collection of sub-spaces.
+    Tuple(Vec<Space>),
+}
+
+/// A typed tensor layout with optional batch and time ranks.
+///
+/// The rank markers mirror RLgraph's `add_batch_rank` / `add_time_rank`
+/// options: they declare that concrete values carry extra leading
+/// dimensions whose sizes are unknown until runtime (batch first, then
+/// time: `[batch, time, ...core]`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Space {
+    kind: SpaceKind,
+    batch_rank: bool,
+    time_rank: bool,
+}
+
+impl Space {
+    // ----- constructors -----
+
+    /// Continuous box in `[0, 1)` with the given core shape.
+    pub fn float_box(shape: &[usize]) -> Self {
+        Space::float_box_bounded(shape, 0.0, 1.0)
+    }
+
+    /// Continuous box with explicit bounds.
+    pub fn float_box_bounded(shape: &[usize], low: f32, high: f32) -> Self {
+        Space {
+            kind: SpaceKind::Float { shape: shape.to_vec(), low, high },
+            batch_rank: false,
+            time_rank: false,
+        }
+    }
+
+    /// Scalar categorical space with `num_categories` values.
+    pub fn int_box(num_categories: i64) -> Self {
+        Space {
+            kind: SpaceKind::Int { shape: vec![], num_categories },
+            batch_rank: false,
+            time_rank: false,
+        }
+    }
+
+    /// Shaped categorical space.
+    pub fn int_box_shaped(shape: &[usize], num_categories: i64) -> Self {
+        Space {
+            kind: SpaceKind::Int { shape: shape.to_vec(), num_categories },
+            batch_rank: false,
+            time_rank: false,
+        }
+    }
+
+    /// Scalar boolean space.
+    pub fn bool_box() -> Self {
+        Space { kind: SpaceKind::Bool { shape: vec![] }, batch_rank: false, time_rank: false }
+    }
+
+    /// Shaped boolean space.
+    pub fn bool_box_shaped(shape: &[usize]) -> Self {
+        Space {
+            kind: SpaceKind::Bool { shape: shape.to_vec() },
+            batch_rank: false,
+            time_rank: false,
+        }
+    }
+
+    /// Dict container from `(key, space)` pairs (ordered by key).
+    pub fn dict<K: Into<String>>(entries: impl IntoIterator<Item = (K, Space)>) -> Self {
+        let map = entries.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        Space { kind: SpaceKind::Dict(map), batch_rank: false, time_rank: false }
+    }
+
+    /// Tuple container.
+    pub fn tuple(entries: impl IntoIterator<Item = Space>) -> Self {
+        Space {
+            kind: SpaceKind::Tuple(entries.into_iter().collect()),
+            batch_rank: false,
+            time_rank: false,
+        }
+    }
+
+    /// Marks this space (and all leaves) as carrying a batch rank.
+    pub fn with_batch_rank(mut self) -> Self {
+        self.set_batch_rank(true);
+        self
+    }
+
+    /// Marks this space (and all leaves) as carrying a time rank.
+    pub fn with_time_rank(mut self) -> Self {
+        self.set_time_rank(true);
+        self
+    }
+
+    /// Returns a copy with both rank markers cleared (the "core" space).
+    pub fn strip_ranks(&self) -> Self {
+        let mut s = self.clone();
+        s.set_batch_rank(false);
+        s.set_time_rank(false);
+        s
+    }
+
+    fn set_batch_rank(&mut self, on: bool) {
+        self.batch_rank = on;
+        match &mut self.kind {
+            SpaceKind::Dict(m) => m.values_mut().for_each(|s| s.set_batch_rank(on)),
+            SpaceKind::Tuple(v) => v.iter_mut().for_each(|s| s.set_batch_rank(on)),
+            _ => {}
+        }
+    }
+
+    fn set_time_rank(&mut self, on: bool) {
+        self.time_rank = on;
+        match &mut self.kind {
+            SpaceKind::Dict(m) => m.values_mut().for_each(|s| s.set_time_rank(on)),
+            SpaceKind::Tuple(v) => v.iter_mut().for_each(|s| s.set_time_rank(on)),
+            _ => {}
+        }
+    }
+
+    // ----- accessors -----
+
+    /// The structural kind.
+    pub fn kind(&self) -> &SpaceKind {
+        &self.kind
+    }
+
+    /// Whether values carry a leading batch dimension.
+    pub fn has_batch_rank(&self) -> bool {
+        self.batch_rank
+    }
+
+    /// Whether values carry a leading time dimension.
+    pub fn has_time_rank(&self) -> bool {
+        self.time_rank
+    }
+
+    /// `true` for `Dict`/`Tuple` spaces.
+    pub fn is_container(&self) -> bool {
+        matches!(self.kind, SpaceKind::Dict(_) | SpaceKind::Tuple(_))
+    }
+
+    /// Core shape of a primitive space.
+    ///
+    /// # Errors
+    ///
+    /// Errors for container spaces, which have no single shape.
+    pub fn shape(&self) -> Result<&[usize]> {
+        match &self.kind {
+            SpaceKind::Float { shape, .. }
+            | SpaceKind::Int { shape, .. }
+            | SpaceKind::Bool { shape } => Ok(shape),
+            _ => Err(SpaceError::new("container spaces have no single shape")),
+        }
+    }
+
+    /// Element dtype of a primitive space.
+    ///
+    /// # Errors
+    ///
+    /// Errors for container spaces.
+    pub fn dtype(&self) -> Result<DType> {
+        match &self.kind {
+            SpaceKind::Float { .. } => Ok(DType::F32),
+            SpaceKind::Int { .. } => Ok(DType::I64),
+            SpaceKind::Bool { .. } => Ok(DType::Bool),
+            _ => Err(SpaceError::new("container spaces have no single dtype")),
+        }
+    }
+
+    /// Number of categories for an [`SpaceKind::Int`] space.
+    ///
+    /// # Errors
+    ///
+    /// Errors for non-Int spaces.
+    pub fn num_categories(&self) -> Result<i64> {
+        match &self.kind {
+            SpaceKind::Int { num_categories, .. } => Ok(*num_categories),
+            _ => Err(SpaceError::new("num_categories is only defined for int spaces")),
+        }
+    }
+
+    /// Flat element count of a primitive core shape (1 for scalars).
+    ///
+    /// # Errors
+    ///
+    /// Errors for container spaces.
+    pub fn flat_dim(&self) -> Result<usize> {
+        Ok(self.shape()?.iter().product())
+    }
+
+    /// Total number of rank dimensions prepended at runtime (batch + time).
+    pub fn leading_ranks(&self) -> usize {
+        usize::from(self.batch_rank) + usize::from(self.time_rank)
+    }
+
+    // ----- flattening -----
+
+    /// Depth-first flattening into ordered `(scope-path, leaf-space)` pairs.
+    ///
+    /// Scope paths use `/` separators (`"/obs/pixels"`); a primitive space
+    /// flattens to a single pair with the empty path.
+    pub fn flatten(&self) -> Vec<(String, Space)> {
+        let mut out = Vec::new();
+        self.flatten_into("", &mut out);
+        out
+    }
+
+    fn flatten_into(&self, prefix: &str, out: &mut Vec<(String, Space)>) {
+        match &self.kind {
+            SpaceKind::Dict(m) => {
+                for (k, v) in m {
+                    v.flatten_into(&format!("{}/{}", prefix, k), out);
+                }
+            }
+            SpaceKind::Tuple(v) => {
+                for (i, s) in v.iter().enumerate() {
+                    s.flatten_into(&format!("{}/{}", prefix, i), out);
+                }
+            }
+            _ => out.push((prefix.to_string(), self.clone())),
+        }
+    }
+
+    /// Looks up a sub-space by scope path (as produced by [`Space::flatten`]).
+    ///
+    /// # Errors
+    ///
+    /// Errors if the path does not resolve.
+    pub fn lookup(&self, path: &str) -> Result<&Space> {
+        if path.is_empty() {
+            return Ok(self);
+        }
+        let (head, rest) = match path.trim_start_matches('/').split_once('/') {
+            Some((h, r)) => (h, format!("/{}", r)),
+            None => (path.trim_start_matches('/'), String::new()),
+        };
+        match &self.kind {
+            SpaceKind::Dict(m) => m
+                .get(head)
+                .ok_or_else(|| SpaceError::new(format!("no key '{}' in dict space", head)))?
+                .lookup(&rest),
+            SpaceKind::Tuple(v) => {
+                let idx: usize = head
+                    .parse()
+                    .map_err(|_| SpaceError::new(format!("invalid tuple index '{}'", head)))?;
+                v.get(idx)
+                    .ok_or_else(|| SpaceError::new(format!("tuple index {} out of range", idx)))?
+                    .lookup(&rest)
+            }
+            _ => Err(SpaceError::new(format!("cannot descend into primitive space at '{}'", head))),
+        }
+    }
+
+    // ----- sampling / validation -----
+
+    /// Samples a value with explicit leading dimensions prepended to every
+    /// leaf (ignores the rank markers; used by the test harness).
+    pub fn sample_with_leading<R: rand::Rng>(&self, leading: &[usize], rng: &mut R) -> SpaceValue {
+        match &self.kind {
+            SpaceKind::Float { shape, low, high } => {
+                let mut s = leading.to_vec();
+                s.extend_from_slice(shape);
+                SpaceValue::Tensor(Tensor::rand_uniform(&s, *low, *high, rng))
+            }
+            SpaceKind::Int { shape, num_categories } => {
+                let mut s = leading.to_vec();
+                s.extend_from_slice(shape);
+                SpaceValue::Tensor(Tensor::rand_int(&s, 0, *num_categories, rng))
+            }
+            SpaceKind::Bool { shape } => {
+                let mut s = leading.to_vec();
+                s.extend_from_slice(shape);
+                let n: usize = s.iter().product();
+                let data: Vec<bool> = (0..n).map(|_| rng.random_range(0..2) == 1).collect();
+                SpaceValue::Tensor(Tensor::from_vec_bool(data, &s).expect("shape consistent"))
+            }
+            SpaceKind::Dict(m) => SpaceValue::Dict(
+                m.iter().map(|(k, v)| (k.clone(), v.sample_with_leading(leading, rng))).collect(),
+            ),
+            SpaceKind::Tuple(v) => SpaceValue::Tuple(
+                v.iter().map(|s| s.sample_with_leading(leading, rng)).collect(),
+            ),
+        }
+    }
+
+    /// Samples a single un-batched value.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> SpaceValue {
+        self.sample_with_leading(&[], rng)
+    }
+
+    /// Samples a batch of values (the batch rank must be declared).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the space has a batch rank.
+    pub fn sample_batch<R: rand::Rng>(&self, batch: usize, rng: &mut R) -> SpaceValue {
+        debug_assert!(self.batch_rank, "sample_batch on a space without batch rank");
+        self.sample_with_leading(&[batch], rng)
+    }
+
+    /// A zero value with explicit leading dimensions.
+    pub fn zeros_with_leading(&self, leading: &[usize]) -> SpaceValue {
+        match &self.kind {
+            SpaceKind::Float { shape, .. } => {
+                let mut s = leading.to_vec();
+                s.extend_from_slice(shape);
+                SpaceValue::Tensor(Tensor::zeros(&s, DType::F32))
+            }
+            SpaceKind::Int { shape, .. } => {
+                let mut s = leading.to_vec();
+                s.extend_from_slice(shape);
+                SpaceValue::Tensor(Tensor::zeros(&s, DType::I64))
+            }
+            SpaceKind::Bool { shape } => {
+                let mut s = leading.to_vec();
+                s.extend_from_slice(shape);
+                SpaceValue::Tensor(Tensor::zeros(&s, DType::Bool))
+            }
+            SpaceKind::Dict(m) => SpaceValue::Dict(
+                m.iter().map(|(k, v)| (k.clone(), v.zeros_with_leading(leading))).collect(),
+            ),
+            SpaceKind::Tuple(v) => {
+                SpaceValue::Tuple(v.iter().map(|s| s.zeros_with_leading(leading)).collect())
+            }
+        }
+    }
+
+    /// Whether `value` structurally and numerically belongs to this space
+    /// (leading rank dimensions of any size are accepted).
+    pub fn contains(&self, value: &SpaceValue) -> bool {
+        match (&self.kind, value) {
+            (SpaceKind::Float { shape, low, high }, SpaceValue::Tensor(t)) => {
+                t.dtype() == DType::F32
+                    && self.shape_matches(shape, t.shape())
+                    && t.as_f32().map(|d| d.iter().all(|&x| x >= *low && x <= *high)).unwrap_or(false)
+            }
+            (SpaceKind::Int { shape, num_categories }, SpaceValue::Tensor(t)) => {
+                t.dtype() == DType::I64
+                    && self.shape_matches(shape, t.shape())
+                    && t.as_i64()
+                        .map(|d| d.iter().all(|&x| x >= 0 && x < *num_categories))
+                        .unwrap_or(false)
+            }
+            (SpaceKind::Bool { shape }, SpaceValue::Tensor(t)) => {
+                t.dtype() == DType::Bool && self.shape_matches(shape, t.shape())
+            }
+            (SpaceKind::Dict(m), SpaceValue::Dict(vm)) => {
+                m.len() == vm.len()
+                    && m.iter().all(|(k, s)| vm.get(k).map(|v| s.contains(v)).unwrap_or(false))
+            }
+            (SpaceKind::Tuple(ss), SpaceValue::Tuple(vs)) => {
+                ss.len() == vs.len() && ss.iter().zip(vs).all(|(s, v)| s.contains(v))
+            }
+            _ => false,
+        }
+    }
+
+    fn shape_matches(&self, core: &[usize], actual: &[usize]) -> bool {
+        if actual.len() < core.len() {
+            return false;
+        }
+        let extra = actual.len() - core.len();
+        extra <= self.leading_ranks() && actual[extra..] == *core
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SpaceKind::Float { shape, low, high } => {
+                write!(f, "FloatBox{:?}[{}, {})", shape, low, high)?;
+            }
+            SpaceKind::Int { shape, num_categories } => {
+                write!(f, "IntBox{:?}<{}>", shape, num_categories)?;
+            }
+            SpaceKind::Bool { shape } => write!(f, "BoolBox{:?}", shape)?,
+            SpaceKind::Dict(m) => {
+                write!(f, "Dict{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}: {}", k, v)?;
+                }
+                write!(f, "}}")?;
+            }
+            SpaceKind::Tuple(v) => {
+                write!(f, "Tuple(")?;
+                for (i, s) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", s)?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        if self.batch_rank {
+            write!(f, "+B")?;
+        }
+        if self.time_rank {
+            write!(f, "+T")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn float_box_sample_contains() {
+        let s = Space::float_box_bounded(&[3], -1.0, 1.0);
+        let v = s.sample(&mut rng());
+        assert!(s.contains(&v));
+        let SpaceValue::Tensor(t) = &v else { panic!("expected tensor") };
+        assert_eq!(t.shape(), &[3]);
+    }
+
+    #[test]
+    fn int_box_bounds() {
+        let s = Space::int_box(4);
+        let v = s.sample(&mut rng());
+        assert!(s.contains(&v));
+        let bad = SpaceValue::Tensor(Tensor::scalar_i64(4));
+        assert!(!s.contains(&bad));
+        let neg = SpaceValue::Tensor(Tensor::scalar_i64(-1));
+        assert!(!s.contains(&neg));
+    }
+
+    #[test]
+    fn batch_rank_accepts_leading_dim() {
+        let s = Space::float_box(&[2]).with_batch_rank();
+        let v = s.sample_batch(5, &mut rng());
+        assert!(s.contains(&v));
+        let SpaceValue::Tensor(t) = &v else { panic!() };
+        assert_eq!(t.shape(), &[5, 2]);
+        // without batch rank, a leading dim is rejected
+        let s2 = Space::float_box(&[2]);
+        assert!(!s2.contains(&v));
+    }
+
+    #[test]
+    fn batch_and_time_ranks() {
+        let s = Space::float_box(&[2]).with_batch_rank().with_time_rank();
+        assert_eq!(s.leading_ranks(), 2);
+        let v = s.sample_with_leading(&[4, 6], &mut rng());
+        assert!(s.contains(&v));
+    }
+
+    #[test]
+    fn dict_flatten_order_and_lookup() {
+        let s = Space::dict([
+            ("b", Space::int_box(3)),
+            ("a", Space::float_box(&[2])),
+        ]);
+        let flat = s.flatten();
+        assert_eq!(flat.len(), 2);
+        // BTreeMap: sorted by key
+        assert_eq!(flat[0].0, "/a");
+        assert_eq!(flat[1].0, "/b");
+        assert_eq!(s.lookup("/a").unwrap().dtype().unwrap(), DType::F32);
+        assert!(s.lookup("/c").is_err());
+        assert!(s.lookup("/a/b").is_err());
+    }
+
+    #[test]
+    fn nested_containers_flatten() {
+        let s = Space::dict([(
+            "obs",
+            Space::tuple([Space::float_box(&[1]), Space::bool_box()]),
+        )]);
+        let flat = s.flatten();
+        assert_eq!(flat.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>(), vec!["/obs/0", "/obs/1"]);
+        assert_eq!(s.lookup("/obs/1").unwrap().dtype().unwrap(), DType::Bool);
+    }
+
+    #[test]
+    fn rank_markers_propagate_to_leaves() {
+        let s = Space::dict([("x", Space::float_box(&[1]))]).with_batch_rank();
+        let flat = s.flatten();
+        assert!(flat[0].1.has_batch_rank());
+        let stripped = s.strip_ranks();
+        assert!(!stripped.flatten()[0].1.has_batch_rank());
+    }
+
+    #[test]
+    fn container_sample_contains() {
+        let s = Space::dict([
+            ("discrete", Space::int_box(2)),
+            ("cont", Space::float_box(&[3])),
+        ])
+        .with_batch_rank();
+        let v = s.sample_batch(4, &mut rng());
+        assert!(s.contains(&v));
+    }
+
+    #[test]
+    fn zeros_belongs_to_space() {
+        let s = Space::dict([("a", Space::float_box(&[2])), ("b", Space::bool_box())]);
+        let z = s.zeros_with_leading(&[]);
+        assert!(s.contains(&z));
+    }
+
+    #[test]
+    fn flat_dim_and_categories() {
+        assert_eq!(Space::float_box(&[3, 4]).flat_dim().unwrap(), 12);
+        assert_eq!(Space::int_box(7).num_categories().unwrap(), 7);
+        assert!(Space::float_box(&[1]).num_categories().is_err());
+        assert!(Space::dict([("a", Space::bool_box())]).shape().is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Space::dict([("a", Space::float_box(&[2]))]).with_batch_rank();
+        let d = s.to_string();
+        assert!(d.contains("FloatBox"));
+        assert!(d.contains("+B"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Space::dict([
+            ("x", Space::float_box_bounded(&[4], -2.0, 2.0)),
+            ("y", Space::int_box(6)),
+        ])
+        .with_batch_rank();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Space = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

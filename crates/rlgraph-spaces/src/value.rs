@@ -1,0 +1,212 @@
+//! Concrete values drawn from spaces.
+
+use crate::{Result, SpaceError};
+use rlgraph_tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// A concrete value belonging to a [`Space`](crate::Space): a tensor, or
+/// nested containers of tensors mirroring the space's structure.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SpaceValue {
+    /// Leaf tensor.
+    Tensor(Tensor),
+    /// Named container.
+    Dict(BTreeMap<String, SpaceValue>),
+    /// Positional container.
+    Tuple(Vec<SpaceValue>),
+}
+
+impl SpaceValue {
+    /// Borrows the leaf tensor.
+    ///
+    /// # Errors
+    ///
+    /// Errors for container values.
+    pub fn as_tensor(&self) -> Result<&Tensor> {
+        match self {
+            SpaceValue::Tensor(t) => Ok(t),
+            _ => Err(SpaceError::new("expected a leaf tensor, found a container value")),
+        }
+    }
+
+    /// Takes ownership of the leaf tensor.
+    ///
+    /// # Errors
+    ///
+    /// Errors for container values.
+    pub fn into_tensor(self) -> Result<Tensor> {
+        match self {
+            SpaceValue::Tensor(t) => Ok(t),
+            _ => Err(SpaceError::new("expected a leaf tensor, found a container value")),
+        }
+    }
+
+    /// Depth-first flattening into `(scope-path, tensor)` pairs, matching
+    /// [`Space::flatten`](crate::Space::flatten) ordering.
+    pub fn flatten(&self) -> Vec<(String, &Tensor)> {
+        let mut out = Vec::new();
+        self.flatten_into("", &mut out);
+        out
+    }
+
+    fn flatten_into<'a>(&'a self, prefix: &str, out: &mut Vec<(String, &'a Tensor)>) {
+        match self {
+            SpaceValue::Tensor(t) => out.push((prefix.to_string(), t)),
+            SpaceValue::Dict(m) => {
+                for (k, v) in m {
+                    v.flatten_into(&format!("{}/{}", prefix, k), out);
+                }
+            }
+            SpaceValue::Tuple(v) => {
+                for (i, item) in v.iter().enumerate() {
+                    item.flatten_into(&format!("{}/{}", prefix, i), out);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a value with the structure of `space` from flattened leaves
+    /// in [`Space::flatten`](crate::Space::flatten) order.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the number of leaves does not match the space.
+    pub fn unflatten(space: &crate::Space, leaves: &[Tensor]) -> Result<SpaceValue> {
+        let mut iter = leaves.iter();
+        let v = Self::unflatten_inner(space, &mut iter)?;
+        if iter.next().is_some() {
+            return Err(SpaceError::new("too many leaves for space during unflatten"));
+        }
+        Ok(v)
+    }
+
+    fn unflatten_inner<'a>(
+        space: &crate::Space,
+        leaves: &mut impl Iterator<Item = &'a Tensor>,
+    ) -> Result<SpaceValue> {
+        use crate::SpaceKind;
+        match space.kind() {
+            SpaceKind::Dict(m) => {
+                let mut out = BTreeMap::new();
+                for (k, s) in m {
+                    out.insert(k.clone(), Self::unflatten_inner(s, leaves)?);
+                }
+                Ok(SpaceValue::Dict(out))
+            }
+            SpaceKind::Tuple(v) => {
+                let mut out = Vec::with_capacity(v.len());
+                for s in v {
+                    out.push(Self::unflatten_inner(s, leaves)?);
+                }
+                Ok(SpaceValue::Tuple(out))
+            }
+            _ => leaves
+                .next()
+                .cloned()
+                .map(SpaceValue::Tensor)
+                .ok_or_else(|| SpaceError::new("not enough leaves for space during unflatten")),
+        }
+    }
+
+    /// Looks up a leaf by scope path.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the path does not resolve to a leaf.
+    pub fn lookup(&self, path: &str) -> Result<&Tensor> {
+        if path.is_empty() {
+            return self.as_tensor();
+        }
+        let (head, rest) = match path.trim_start_matches('/').split_once('/') {
+            Some((h, r)) => (h, format!("/{}", r)),
+            None => (path.trim_start_matches('/'), String::new()),
+        };
+        match self {
+            SpaceValue::Dict(m) => m
+                .get(head)
+                .ok_or_else(|| SpaceError::new(format!("no key '{}' in dict value", head)))?
+                .lookup(&rest),
+            SpaceValue::Tuple(v) => {
+                let idx: usize = head
+                    .parse()
+                    .map_err(|_| SpaceError::new(format!("invalid tuple index '{}'", head)))?;
+                v.get(idx)
+                    .ok_or_else(|| SpaceError::new(format!("tuple index {} out of range", idx)))?
+                    .lookup(&rest)
+            }
+            SpaceValue::Tensor(_) => {
+                Err(SpaceError::new(format!("cannot descend into tensor at '{}'", head)))
+            }
+        }
+    }
+}
+
+impl From<Tensor> for SpaceValue {
+    fn from(t: Tensor) -> Self {
+        SpaceValue::Tensor(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Space;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let space = Space::dict([
+            ("a", Space::float_box(&[2])),
+            ("nest", Space::tuple([Space::int_box(3), Space::bool_box()])),
+        ]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let v = space.sample(&mut rng);
+        let flat: Vec<Tensor> = v.flatten().into_iter().map(|(_, t)| t.clone()).collect();
+        assert_eq!(flat.len(), 3);
+        let back = SpaceValue::unflatten(&space, &flat).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn unflatten_arity_checked() {
+        let space = Space::tuple([Space::float_box(&[1]), Space::float_box(&[1])]);
+        let one = vec![Tensor::scalar(1.0)];
+        assert!(SpaceValue::unflatten(&space, &one).is_err());
+        let three = vec![Tensor::scalar(1.0); 3];
+        assert!(SpaceValue::unflatten(&space, &three).is_err());
+    }
+
+    #[test]
+    fn lookup_paths() {
+        let space = Space::dict([("x", Space::tuple([Space::float_box(&[1])]))]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let v = space.sample(&mut rng);
+        assert!(v.lookup("/x/0").is_ok());
+        assert!(v.lookup("/x/1").is_err());
+        assert!(v.lookup("/y").is_err());
+        assert!(v.lookup("/x/0/deep").is_err());
+    }
+
+    #[test]
+    fn tensor_conversions() {
+        let v: SpaceValue = Tensor::scalar(2.0).into();
+        assert_eq!(v.as_tensor().unwrap().scalar_value().unwrap(), 2.0);
+        assert_eq!(v.clone().into_tensor().unwrap().scalar_value().unwrap(), 2.0);
+        let d = SpaceValue::Dict(BTreeMap::new());
+        assert!(d.as_tensor().is_err());
+        assert!(d.into_tensor().is_err());
+    }
+
+    #[test]
+    fn flatten_paths_match_space() {
+        let space = Space::dict([
+            ("b", Space::bool_box()),
+            ("a", Space::float_box(&[1])),
+        ]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let v = space.sample(&mut rng);
+        let space_paths: Vec<String> = space.flatten().into_iter().map(|(p, _)| p).collect();
+        let value_paths: Vec<String> = v.flatten().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(space_paths, value_paths);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests on space invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rlgraph_spaces::{Space, SpaceValue};
+
+/// Strategy generating arbitrary (nested) spaces up to depth 2.
+fn arb_space() -> impl Strategy<Value = Space> {
+    let leaf = prop_oneof![
+        prop::collection::vec(1usize..4, 0..3)
+            .prop_map(|shape| Space::float_box_bounded(&shape, -2.0, 2.0)),
+        (1i64..8).prop_map(Space::int_box),
+        Just(Space::bool_box()),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Space::tuple),
+            prop::collection::vec(inner, 1..3).prop_map(|spaces| {
+                Space::dict(
+                    spaces.into_iter().enumerate().map(|(i, s)| (format!("k{}", i), s)),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Samples always belong to the space that produced them.
+    #[test]
+    fn contains_its_samples(space in arb_space(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = space.sample(&mut rng);
+        prop_assert!(space.contains(&v));
+    }
+
+    /// Batched samples belong to the batch-ranked space.
+    #[test]
+    fn contains_batched_samples(space in arb_space(), batch in 1usize..5, seed in 0u64..1000) {
+        let space = space.with_batch_rank();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = space.sample_batch(batch, &mut rng);
+        prop_assert!(space.contains(&v));
+    }
+
+    /// Flatten → unflatten is the identity on sampled values.
+    #[test]
+    fn flatten_unflatten_roundtrip(space in arb_space(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = space.sample(&mut rng);
+        let leaves: Vec<_> = v.flatten().into_iter().map(|(_, t)| t.clone()).collect();
+        let back = SpaceValue::unflatten(&space, &leaves).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Space paths and value paths coincide in order and name.
+    #[test]
+    fn paths_align(space in arb_space(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = space.sample(&mut rng);
+        let sp: Vec<String> = space.flatten().into_iter().map(|(p, _)| p).collect();
+        let vp: Vec<String> = v.flatten().into_iter().map(|(p, _)| p).collect();
+        prop_assert_eq!(sp, vp);
+    }
+
+    /// Every flattened path resolves through lookup on both space and value.
+    #[test]
+    fn lookup_resolves_all_paths(space in arb_space(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = space.sample(&mut rng);
+        for (path, _) in space.flatten() {
+            prop_assert!(space.lookup(&path).is_ok(), "space lookup failed for '{}'", path);
+            prop_assert!(v.lookup(&path).is_ok(), "value lookup failed for '{}'", path);
+        }
+    }
+
+    /// Zeros belong to the space whenever the box bounds include zero.
+    #[test]
+    fn zeros_contained(space in arb_space()) {
+        let z = space.zeros_with_leading(&[]);
+        prop_assert!(space.contains(&z));
+    }
+
+    /// Serde JSON round-trips arbitrary spaces exactly.
+    #[test]
+    fn serde_roundtrip(space in arb_space()) {
+        let json = serde_json::to_string(&space).unwrap();
+        let back: Space = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, space);
+    }
+}

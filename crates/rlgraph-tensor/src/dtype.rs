@@ -1,0 +1,71 @@
+//! Element data types.
+
+use std::fmt;
+
+/// The element type of a [`Tensor`](crate::Tensor).
+///
+/// RL workloads need three element families: floating point data (model
+/// inputs, weights, rewards), integers (discrete actions, indices), and
+/// booleans (terminal flags, masks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes, as stored.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+
+    /// `true` if this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::I64.to_string(), "i64");
+        assert_eq!(DType::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn float_predicate() {
+        assert!(DType::F32.is_float());
+        assert!(!DType::I64.is_float());
+        assert!(!DType::Bool.is_float());
+    }
+}

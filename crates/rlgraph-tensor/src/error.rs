@@ -1,0 +1,64 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Error produced by tensor kernels and autodiff.
+///
+/// The message is lowercase, concise, and describes what went wrong, e.g.
+/// `"shape mismatch in matmul: [2, 3] x [4, 5]"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorError {
+    message: String,
+}
+
+impl TensorError {
+    /// Creates a new error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        TensorError { message: message.into() }
+    }
+
+    /// The human-readable error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Shorthand for building a [`TensorError`] with format arguments.
+#[macro_export]
+macro_rules! tensor_err {
+    ($($arg:tt)*) => {
+        $crate::TensorError::new(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_message() {
+        let e = TensorError::new("bad shape");
+        assert_eq!(e.to_string(), "bad shape");
+        assert_eq!(e.message(), "bad shape");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn macro_formats() {
+        let e = tensor_err!("axis {} out of range", 3);
+        assert_eq!(e.message(), "axis 3 out of range");
+    }
+}

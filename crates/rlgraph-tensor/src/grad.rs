@@ -1,0 +1,352 @@
+//! Reverse-mode gradient rules, written once for both backends.
+//!
+//! Each rule expresses the vector–Jacobian product of an [`OpKind`] as *more
+//! ops*, emitted through an [`OpEmitter`]. The static-graph backend
+//! implements [`OpEmitter`] by appending nodes to the graph (so taking
+//! gradients is a graph transformation, exactly as in TensorFlow); the
+//! define-by-run tape implements it by evaluating kernels eagerly (as in
+//! PyTorch). This is the "single-stream graph function" design the RLgraph
+//! paper anticipates for backend unification (§4.2).
+
+use crate::kernels::OpKind;
+use crate::{tensor_err, DType, Result};
+
+/// Abstraction over "a place ops can be emitted to".
+///
+/// `Ref` identifies a value in the emitter's world: a graph `NodeId` for the
+/// static backend, a tape value id for the define-by-run backend.
+pub trait OpEmitter {
+    /// Handle to an emitted value.
+    type Ref: Copy;
+
+    /// Emits one op application and returns a handle to its output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/shape errors (eager emitters) or graph-construction
+    /// errors (static emitters).
+    fn emit(&mut self, kind: OpKind, inputs: &[Self::Ref]) -> Result<Self::Ref>;
+
+    /// Emits an f32 scalar constant.
+    fn scalar_const(&mut self, v: f32) -> Self::Ref;
+}
+
+/// Emits the gradients of one op application.
+///
+/// * `inputs` — handles of the op's original inputs.
+/// * `output` — handle of the op's original output.
+/// * `grad_out` — handle of the incoming gradient (same shape as `output`).
+///
+/// Returns one optional gradient per input; `None` marks a
+/// non-differentiable path (e.g. indices, conditions, `StopGradient`).
+///
+/// # Errors
+///
+/// Errors for ops that have no gradient defined (pure bookkeeping kernels
+/// such as the `*Grad` helpers, which never appear on a forward path).
+pub fn emit_grad<E: OpEmitter>(
+    em: &mut E,
+    kind: &OpKind,
+    inputs: &[E::Ref],
+    output: E::Ref,
+    grad_out: E::Ref,
+) -> Result<Vec<Option<E::Ref>>> {
+    use OpKind::*;
+    let g = grad_out;
+    match kind {
+        Add => {
+            let ga = em.emit(ReduceToLike, &[g, inputs[0]])?;
+            let gb = em.emit(ReduceToLike, &[g, inputs[1]])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        Sub => {
+            let ga = em.emit(ReduceToLike, &[g, inputs[0]])?;
+            let ng = em.emit(Neg, &[g])?;
+            let gb = em.emit(ReduceToLike, &[ng, inputs[1]])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        Mul => {
+            let ga_full = em.emit(Mul, &[g, inputs[1]])?;
+            let gb_full = em.emit(Mul, &[g, inputs[0]])?;
+            let ga = em.emit(ReduceToLike, &[ga_full, inputs[0]])?;
+            let gb = em.emit(ReduceToLike, &[gb_full, inputs[1]])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        Div => {
+            // d/da (a/b) = 1/b ; d/db (a/b) = -a/b^2 = -out/b
+            let ga_full = em.emit(Div, &[g, inputs[1]])?;
+            let ga = em.emit(ReduceToLike, &[ga_full, inputs[0]])?;
+            let out_over_b = em.emit(Div, &[output, inputs[1]])?;
+            let gb_full0 = em.emit(Mul, &[g, out_over_b])?;
+            let gb_full = em.emit(Neg, &[gb_full0])?;
+            let gb = em.emit(ReduceToLike, &[gb_full, inputs[1]])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        Pow => {
+            // d/da a^b = b * a^(b-1); d/db a^b = out * ln(a)
+            let one = em.scalar_const(1.0);
+            let bm1 = em.emit(Sub, &[inputs[1], one])?;
+            let apow = em.emit(Pow, &[inputs[0], bm1])?;
+            let ga_full0 = em.emit(Mul, &[inputs[1], apow])?;
+            let ga_full = em.emit(Mul, &[g, ga_full0])?;
+            let ga = em.emit(ReduceToLike, &[ga_full, inputs[0]])?;
+            let lna = em.emit(Log, &[inputs[0]])?;
+            let gb_full0 = em.emit(Mul, &[output, lna])?;
+            let gb_full = em.emit(Mul, &[g, gb_full0])?;
+            let gb = em.emit(ReduceToLike, &[gb_full, inputs[1]])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        Maximum | Minimum => {
+            let mask_bool = if matches!(kind, Maximum) {
+                em.emit(GreaterEqual, &[inputs[0], inputs[1]])?
+            } else {
+                em.emit(LessEqual, &[inputs[0], inputs[1]])?
+            };
+            let mask = em.emit(Cast { to: DType::F32 }, &[mask_bool])?;
+            let one = em.scalar_const(1.0);
+            let inv = em.emit(Sub, &[one, mask])?;
+            let ga_full = em.emit(Mul, &[g, mask])?;
+            let gb_full = em.emit(Mul, &[g, inv])?;
+            let ga = em.emit(ReduceToLike, &[ga_full, inputs[0]])?;
+            let gb = em.emit(ReduceToLike, &[gb_full, inputs[1]])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        Greater | GreaterEqual | Less | LessEqual | Equal | NotEqual | LogicalAnd
+        | LogicalOr | Not | Sign | Floor | ArgMax { .. } | OneHot { .. } | ZerosLike
+        | OnesLike | Cast { .. } => Ok(vec![None; inputs.len()]),
+        Neg => Ok(vec![Some(em.emit(Neg, &[g])?)]),
+        Abs => {
+            let s = em.emit(Sign, &[inputs[0]])?;
+            Ok(vec![Some(em.emit(Mul, &[g, s])?)])
+        }
+        Exp => Ok(vec![Some(em.emit(Mul, &[g, output])?)]),
+        Log => Ok(vec![Some(em.emit(Div, &[g, inputs[0]])?)]),
+        Sqrt => {
+            // 0.5 / sqrt(a) = 0.5 / out
+            let half = em.scalar_const(0.5);
+            let h = em.emit(Div, &[half, output])?;
+            Ok(vec![Some(em.emit(Mul, &[g, h])?)])
+        }
+        Square => {
+            let two = em.scalar_const(2.0);
+            let t = em.emit(Mul, &[inputs[0], two])?;
+            Ok(vec![Some(em.emit(Mul, &[g, t])?)])
+        }
+        Relu => {
+            let zero = em.scalar_const(0.0);
+            let mask_bool = em.emit(Greater, &[inputs[0], zero])?;
+            let mask = em.emit(Cast { to: DType::F32 }, &[mask_bool])?;
+            Ok(vec![Some(em.emit(Mul, &[g, mask])?)])
+        }
+        Tanh => {
+            // 1 - out^2
+            let sq = em.emit(Square, &[output])?;
+            let one = em.scalar_const(1.0);
+            let d = em.emit(Sub, &[one, sq])?;
+            Ok(vec![Some(em.emit(Mul, &[g, d])?)])
+        }
+        Sigmoid => {
+            // out * (1 - out)
+            let one = em.scalar_const(1.0);
+            let om = em.emit(Sub, &[one, output])?;
+            let d = em.emit(Mul, &[output, om])?;
+            Ok(vec![Some(em.emit(Mul, &[g, d])?)])
+        }
+        Clip { lo, hi } => {
+            let lo_c = em.scalar_const(*lo);
+            let hi_c = em.scalar_const(*hi);
+            let ge = em.emit(GreaterEqual, &[inputs[0], lo_c])?;
+            let le = em.emit(LessEqual, &[inputs[0], hi_c])?;
+            let in_range = em.emit(LogicalAnd, &[ge, le])?;
+            let mask = em.emit(Cast { to: DType::F32 }, &[in_range])?;
+            Ok(vec![Some(em.emit(Mul, &[g, mask])?)])
+        }
+        Identity => Ok(vec![Some(g)]),
+        StopGradient => Ok(vec![None]),
+        Where => {
+            let mask = em.emit(Cast { to: DType::F32 }, &[inputs[0]])?;
+            let one = em.scalar_const(1.0);
+            let inv = em.emit(Sub, &[one, mask])?;
+            let ga_full = em.emit(Mul, &[g, mask])?;
+            let gb_full = em.emit(Mul, &[g, inv])?;
+            let ga = em.emit(ReduceToLike, &[ga_full, inputs[1]])?;
+            let gb = em.emit(ReduceToLike, &[gb_full, inputs[2]])?;
+            Ok(vec![None, Some(ga), Some(gb)])
+        }
+        MatMul => {
+            // gA = g @ B^T ; gB = A^T @ g
+            let bt = em.emit(Transpose { perm: vec![1, 0] }, &[inputs[1]])?;
+            let at = em.emit(Transpose { perm: vec![1, 0] }, &[inputs[0]])?;
+            let ga = em.emit(MatMul, &[g, bt])?;
+            let gb = em.emit(MatMul, &[at, g])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        Conv2d { stride, padding } => {
+            let gx = em.emit(
+                Conv2dBackpropInput { stride: *stride, padding: *padding },
+                &[inputs[1], g, inputs[0]],
+            )?;
+            let gf = em.emit(
+                Conv2dBackpropFilter { stride: *stride, padding: *padding },
+                &[inputs[0], g, inputs[1]],
+            )?;
+            Ok(vec![Some(gx), Some(gf)])
+        }
+        Sum { axes, keep_dims } => {
+            let gx = em.emit(
+                Unreduce { axes: axes.clone(), keep_dims: *keep_dims, mean: false },
+                &[g, inputs[0]],
+            )?;
+            Ok(vec![Some(gx)])
+        }
+        Mean { axes, keep_dims } => {
+            let gx = em.emit(
+                Unreduce { axes: axes.clone(), keep_dims: *keep_dims, mean: true },
+                &[g, inputs[0]],
+            )?;
+            Ok(vec![Some(gx)])
+        }
+        MaxReduce { axes, keep_dims } | MinReduce { axes, keep_dims } => {
+            // Route the gradient to the extremal element(s): mask where
+            // input equals the broadcast output. Ties split the gradient
+            // across all maximising positions (like TF's behaviour of
+            // sending it to each tied element; we normalise by tie count to
+            // conserve the gradient sum).
+            let ub = Unreduce { axes: axes.clone(), keep_dims: *keep_dims, mean: false };
+            let out_b = em.emit(ub.clone(), &[output, inputs[0]])?;
+            let g_b = em.emit(ub, &[g, inputs[0]])?;
+            let eq = em.emit(Equal, &[inputs[0], out_b])?;
+            let mask = em.emit(Cast { to: DType::F32 }, &[eq])?;
+            // tie count per lane
+            let ties = em.emit(
+                Sum { axes: axes.clone(), keep_dims: *keep_dims },
+                &[mask],
+            )?;
+            let ties_b = em.emit(
+                Unreduce { axes: axes.clone(), keep_dims: *keep_dims, mean: false },
+                &[ties, inputs[0]],
+            )?;
+            let weighted = em.emit(Mul, &[g_b, mask])?;
+            let gx = em.emit(Div, &[weighted, ties_b])?;
+            Ok(vec![Some(gx)])
+        }
+        Softmax { axis } => {
+            // g_in = out * (g - sum(g * out, axis, keep))
+            let go = em.emit(Mul, &[g, output])?;
+            let s = em.emit(Sum { axes: Some(vec![*axis]), keep_dims: true }, &[go])?;
+            let diff = em.emit(Sub, &[g, s])?;
+            Ok(vec![Some(em.emit(Mul, &[output, diff])?)])
+        }
+        LogSoftmax { axis } => {
+            // g_in = g - exp(out) * sum(g, axis, keep)
+            let s = em.emit(Sum { axes: Some(vec![*axis]), keep_dims: true }, &[g])?;
+            let sm = em.emit(Exp, &[output])?;
+            let corr = em.emit(Mul, &[sm, s])?;
+            Ok(vec![Some(em.emit(Sub, &[g, corr])?)])
+        }
+        Gather => {
+            let gx = em.emit(GatherGrad, &[g, inputs[1], inputs[0]])?;
+            Ok(vec![Some(gx), None])
+        }
+        SelectIndex => {
+            let gx = em.emit(SelectIndexGrad, &[g, inputs[1], inputs[0]])?;
+            Ok(vec![Some(gx), None])
+        }
+        Reshape { .. } | ExpandDims { .. } | Squeeze { .. } => {
+            Ok(vec![Some(em.emit(ReshapeLike, &[g, inputs[0]])?)])
+        }
+        ReshapeLike | UnfoldLike { .. } => {
+            Ok(vec![Some(em.emit(ReshapeLike, &[g, inputs[0]])?), None])
+        }
+        Transpose { perm } => {
+            let mut inv = vec![0usize; perm.len()];
+            for (i, &p) in perm.iter().enumerate() {
+                inv[p] = i;
+            }
+            Ok(vec![Some(em.emit(Transpose { perm: inv }, &[g])?)])
+        }
+        Concat { axis } => {
+            let mut grads = Vec::with_capacity(inputs.len());
+            for index in 0..inputs.len() {
+                let mut args = vec![g];
+                args.extend_from_slice(inputs);
+                grads.push(Some(em.emit(ConcatGrad { axis: *axis, index }, &args)?));
+            }
+            Ok(grads)
+        }
+        Stack { axis } => {
+            let mut grads = Vec::with_capacity(inputs.len());
+            for (i, input) in inputs.iter().enumerate() {
+                let sl = em.emit(Slice { axis: *axis, start: i, len: 1 }, &[g])?;
+                grads.push(Some(em.emit(ReshapeLike, &[sl, *input])?));
+            }
+            Ok(grads)
+        }
+        Slice { axis, start, len } => {
+            let gx = em.emit(
+                SliceGrad { axis: *axis, start: *start, len: *len },
+                &[g, inputs[0]],
+            )?;
+            Ok(vec![Some(gx)])
+        }
+        Tile { reps } => {
+            let gx = em.emit(TileGrad { reps: reps.clone() }, &[g, inputs[0]])?;
+            Ok(vec![Some(gx)])
+        }
+        ReduceToLike | Unreduce { .. } | GatherGrad | SelectIndexGrad | ConcatGrad { .. }
+        | SliceGrad { .. } | TileGrad { .. } | Conv2dBackpropInput { .. }
+        | Conv2dBackpropFilter { .. } => Err(tensor_err!(
+            "no gradient rule for helper op {} (it should not appear on a forward path)",
+            kind.name()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The gradient rules are exercised end-to-end through the tape tests in
+    // `crate::tape` and through the static-graph gradient tests in
+    // `rlgraph-graph`; here we only sanity-check the helper-op rejection.
+    use super::*;
+    use crate::Tensor;
+
+    struct Eager {
+        vals: Vec<Tensor>,
+    }
+
+    impl OpEmitter for Eager {
+        type Ref = usize;
+        fn emit(&mut self, kind: OpKind, inputs: &[usize]) -> Result<usize> {
+            let tensors: Vec<&Tensor> = inputs.iter().map(|&i| &self.vals[i]).collect();
+            let out = crate::kernels::forward(&kind, &tensors)?;
+            self.vals.push(out);
+            Ok(self.vals.len() - 1)
+        }
+        fn scalar_const(&mut self, v: f32) -> usize {
+            self.vals.push(Tensor::scalar(v));
+            self.vals.len() - 1
+        }
+    }
+
+    #[test]
+    fn helper_ops_have_no_grad() {
+        let mut em = Eager { vals: vec![Tensor::scalar(1.0), Tensor::scalar(1.0)] };
+        let err = emit_grad(&mut em, &OpKind::ReduceToLike, &[0, 1], 0, 1);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn identity_passes_gradient_through() {
+        let mut em = Eager { vals: vec![Tensor::scalar(2.0), Tensor::scalar(5.0)] };
+        let grads = emit_grad(&mut em, &OpKind::Identity, &[0], 0, 1).unwrap();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(em.vals[grads[0].unwrap()].scalar_value().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn stop_gradient_blocks() {
+        let mut em = Eager { vals: vec![Tensor::scalar(2.0), Tensor::scalar(5.0)] };
+        let grads = emit_grad(&mut em, &OpKind::StopGradient, &[0], 0, 1).unwrap();
+        assert!(grads[0].is_none());
+    }
+}

@@ -1,0 +1,290 @@
+//! 2-D convolution and its two backprop kernels (NCHW / OIHW layout).
+
+use crate::{tensor_err, Result, Tensor};
+
+fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Result<usize> {
+    let padded = input + 2 * padding;
+    if padded < kernel {
+        return Err(tensor_err!(
+            "conv kernel {} larger than padded input {}",
+            kernel,
+            padded
+        ));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+fn check(input: &Tensor, filters: &Tensor, stride: usize) -> Result<()> {
+    if input.rank() != 4 {
+        return Err(tensor_err!("conv2d input must be [b,c,h,w], found {:?}", input.shape()));
+    }
+    if filters.rank() != 4 {
+        return Err(tensor_err!("conv2d filters must be [o,c,kh,kw], found {:?}", filters.shape()));
+    }
+    if input.shape()[1] != filters.shape()[1] {
+        return Err(tensor_err!(
+            "conv2d channel mismatch: input {:?} vs filters {:?}",
+            input.shape(),
+            filters.shape()
+        ));
+    }
+    if stride == 0 {
+        return Err(tensor_err!("conv2d stride must be positive"));
+    }
+    Ok(())
+}
+
+/// Forward convolution: input `[b,c,h,w]`, filters `[o,c,kh,kw]` →
+/// `[b,o,h',w']`.
+pub fn conv2d(input: &Tensor, filters: &Tensor, stride: usize, padding: usize) -> Result<Tensor> {
+    check(input, filters, stride)?;
+    let (b, c, h, w) = dims4(input);
+    let (o, _, kh, kw) = dims4(filters);
+    let oh = conv_out_dim(h, kh, stride, padding)?;
+    let ow = conv_out_dim(w, kw, stride, padding)?;
+    let x = input.as_f32()?;
+    let f = filters.as_f32()?;
+    let mut out = vec![0.0f32; b * o * oh * ow];
+    for bi in 0..b {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi = ((bi * c + ci) * h + iy as usize) * w + ix as usize;
+                                let fi = ((oi * c + ci) * kh + ky) * kw + kx;
+                                acc += x[xi] * f[fi];
+                            }
+                        }
+                    }
+                    out[((bi * o + oi) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, o, oh, ow])
+}
+
+/// Gradient of [`conv2d`] w.r.t. the input.
+///
+/// Arguments: `filters [o,c,kh,kw]`, `grad_out [b,o,h',w']`, and the original
+/// input (only its shape is read).
+pub fn conv2d_backprop_input(
+    filters: &Tensor,
+    grad_out: &Tensor,
+    input_ref: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    check(input_ref, filters, stride)?;
+    let (b, c, h, w) = dims4(input_ref);
+    let (o, _, kh, kw) = dims4(filters);
+    let (gb, go, oh, ow) = dims4(grad_out);
+    if gb != b || go != o {
+        return Err(tensor_err!(
+            "conv2d_backprop_input grad shape {:?} inconsistent with input {:?} filters {:?}",
+            grad_out.shape(),
+            input_ref.shape(),
+            filters.shape()
+        ));
+    }
+    let g = grad_out.as_f32()?;
+    let f = filters.as_f32()?;
+    let mut out = vec![0.0f32; b * c * h * w];
+    for bi in 0..b {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gval = g[((bi * o + oi) * oh + oy) * ow + ox];
+                    if gval == 0.0 {
+                        continue;
+                    }
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi = ((bi * c + ci) * h + iy as usize) * w + ix as usize;
+                                let fi = ((oi * c + ci) * kh + ky) * kw + kx;
+                                out[xi] += gval * f[fi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, c, h, w])
+}
+
+/// Gradient of [`conv2d`] w.r.t. the filters.
+///
+/// Arguments: `input [b,c,h,w]`, `grad_out [b,o,h',w']`, and the original
+/// filters (only their shape is read).
+pub fn conv2d_backprop_filter(
+    input: &Tensor,
+    grad_out: &Tensor,
+    filter_ref: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    check(input, filter_ref, stride)?;
+    let (b, c, h, w) = dims4(input);
+    let (o, _, kh, kw) = dims4(filter_ref);
+    let (gb, go, oh, ow) = dims4(grad_out);
+    if gb != b || go != o {
+        return Err(tensor_err!(
+            "conv2d_backprop_filter grad shape {:?} inconsistent with input {:?} filters {:?}",
+            grad_out.shape(),
+            input.shape(),
+            filter_ref.shape()
+        ));
+    }
+    let x = input.as_f32()?;
+    let g = grad_out.as_f32()?;
+    let mut out = vec![0.0f32; o * c * kh * kw];
+    for bi in 0..b {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gval = g[((bi * o + oi) * oh + oy) * ow + ox];
+                    if gval == 0.0 {
+                        continue;
+                    }
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi = ((bi * c + ci) * h + iy as usize) * w + ix as usize;
+                                let fi = ((oi * c + ci) * kh + ky) * kw + kx;
+                                out[fi] += gval * x[xi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[o, c, kh, kw])
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel() {
+        // 1x1 kernel of value 1 reproduces the input.
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 1, 3, 3]).unwrap();
+        let f = Tensor::from_vec(vec![1.0], &[1, 1, 1, 1]).unwrap();
+        let y = conv2d(&x, &f, 1, 0).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.as_f32().unwrap(), x.as_f32().unwrap());
+    }
+
+    #[test]
+    fn box_filter() {
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let f = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv2d(&x, &f, 1, 0).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn stride_and_padding() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let f = Tensor::ones(&[1, 1, 2, 2]);
+        let y = conv2d(&x, &f, 2, 0).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        let yp = conv2d(&x, &f, 1, 1).unwrap();
+        assert_eq!(yp.shape(), &[1, 1, 5, 5]);
+        // corner sees only one input element
+        assert_eq!(yp.get_f32(&[0, 0, 0, 0]).unwrap(), 1.0);
+        // interior sees four
+        assert_eq!(yp.get_f32(&[0, 0, 2, 2]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn multi_channel_sum() {
+        // 2 input channels, each filter sums both channels.
+        let x = Tensor::from_vec(vec![1.0; 2 * 2 * 2], &[1, 2, 2, 2]).unwrap();
+        let f = Tensor::from_vec(vec![1.0; 2], &[1, 2, 1, 1]).unwrap();
+        let y = conv2d(&x, &f, 1, 0).unwrap();
+        assert_eq!(y.as_f32().unwrap(), &[2.0; 4]);
+    }
+
+    #[test]
+    fn shape_checks() {
+        let x3 = Tensor::ones(&[1, 2, 2]);
+        let f = Tensor::ones(&[1, 1, 1, 1]);
+        assert!(conv2d(&x3, &f, 1, 0).is_err());
+        let x = Tensor::ones(&[1, 2, 2, 2]);
+        assert!(conv2d(&x, &f, 1, 0).is_err()); // channel mismatch
+        let f2 = Tensor::ones(&[1, 2, 1, 1]);
+        assert!(conv2d(&x, &f2, 0, 0).is_err()); // zero stride
+        let fbig = Tensor::ones(&[1, 2, 5, 5]);
+        assert!(conv2d(&x, &fbig, 1, 0).is_err()); // kernel too large
+    }
+
+    /// Finite-difference check of both backprop kernels.
+    #[test]
+    fn backprops_match_finite_difference() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = Tensor::rand_uniform(&[2, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let f = Tensor::rand_uniform(&[3, 2, 2, 2], -1.0, 1.0, &mut rng);
+        let (stride, padding) = (1, 1);
+        let y = conv2d(&x, &f, stride, padding).unwrap();
+        // Loss = sum(y); so grad_out = ones.
+        let g = Tensor::ones(y.shape());
+        let gx = conv2d_backprop_input(&f, &g, &x, stride, padding).unwrap();
+        let gf = conv2d_backprop_filter(&x, &g, &f, stride, padding).unwrap();
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, f: &Tensor| -> f32 {
+            conv2d(x, f, stride, padding).unwrap().as_f32().unwrap().iter().sum()
+        };
+        // Spot-check a few coordinates of each gradient.
+        for idx in [0usize, 7, 31] {
+            let mut xp = x.clone();
+            xp.as_f32_mut().unwrap()[idx] += eps;
+            let num = (loss(&xp, &f) - loss(&x, &f)) / eps;
+            let ana = gx.as_f32().unwrap()[idx];
+            assert!((num - ana).abs() < 0.05, "input grad {}: {} vs {}", idx, num, ana);
+        }
+        for idx in [0usize, 5, 23] {
+            let mut fp = f.clone();
+            fp.as_f32_mut().unwrap()[idx] += eps;
+            let num = (loss(&x, &fp) - loss(&x, &f)) / eps;
+            let ana = gf.as_f32().unwrap()[idx];
+            assert!((num - ana).abs() < 0.05, "filter grad {}: {} vs {}", idx, num, ana);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Elementwise kernels with NumPy-style broadcasting.
+
+use super::OpKind;
+use crate::shape::{broadcast_shapes, broadcast_strides, num_elements, ravel, unravel};
+use crate::{tensor_err, DType, Result, Tensor};
+
+/// Applies `f` over broadcast f32 inputs.
+fn zip_f32(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    let (av, bv) = (coerce_f32(a)?, coerce_f32(b)?);
+    let out_shape = broadcast_shapes(a.shape(), b.shape())?;
+    let n = num_elements(&out_shape);
+    let mut out = Vec::with_capacity(n);
+    if a.shape() == b.shape() {
+        for i in 0..n {
+            out.push(f(av[i], bv[i]));
+        }
+    } else {
+        let sa = broadcast_strides(a.shape(), &out_shape);
+        let sb = broadcast_strides(b.shape(), &out_shape);
+        for flat in 0..n {
+            let coords = unravel(flat, &out_shape);
+            out.push(f(av[ravel(&coords, &sa)], bv[ravel(&coords, &sb)]));
+        }
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+fn coerce_f32(t: &Tensor) -> Result<std::borrow::Cow<'_, [f32]>> {
+    match t.dtype() {
+        DType::F32 => Ok(std::borrow::Cow::Borrowed(t.as_f32()?)),
+        _ => Ok(std::borrow::Cow::Owned(t.to_f32_vec())),
+    }
+}
+
+/// Binary arithmetic kernels.
+pub fn binary(kind: &OpKind, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    match kind {
+        OpKind::Add => zip_f32(a, b, |x, y| x + y),
+        OpKind::Sub => zip_f32(a, b, |x, y| x - y),
+        OpKind::Mul => zip_f32(a, b, |x, y| x * y),
+        OpKind::Div => zip_f32(a, b, |x, y| x / y),
+        OpKind::Pow => zip_f32(a, b, f32::powf),
+        OpKind::Maximum => zip_f32(a, b, f32::max),
+        OpKind::Minimum => zip_f32(a, b, f32::min),
+        _ => Err(tensor_err!("{} is not a binary arithmetic op", kind.name())),
+    }
+}
+
+/// Comparison kernels producing bool tensors.
+pub fn compare(kind: &OpKind, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    // Exact integer comparison when both sides are i64; otherwise f32.
+    if a.dtype() == DType::I64 && b.dtype() == DType::I64 {
+        let (av, bv) = (a.as_i64()?, b.as_i64()?);
+        let out_shape = broadcast_shapes(a.shape(), b.shape())?;
+        let n = num_elements(&out_shape);
+        let sa = broadcast_strides(a.shape(), &out_shape);
+        let sb = broadcast_strides(b.shape(), &out_shape);
+        let mut out = Vec::with_capacity(n);
+        for flat in 0..n {
+            let coords = unravel(flat, &out_shape);
+            let (x, y) = (av[ravel(&coords, &sa)], bv[ravel(&coords, &sb)]);
+            out.push(cmp_i64(kind, x, y)?);
+        }
+        return Tensor::from_vec_bool(out, &out_shape);
+    }
+    let t = zip_f32(a, b, |x, y| {
+        let r = match kind {
+            OpKind::Greater => x > y,
+            OpKind::GreaterEqual => x >= y,
+            OpKind::Less => x < y,
+            OpKind::LessEqual => x <= y,
+            OpKind::Equal => x == y,
+            OpKind::NotEqual => x != y,
+            _ => false,
+        };
+        if r {
+            1.0
+        } else {
+            0.0
+        }
+    })?;
+    Ok(t.cast(DType::Bool))
+}
+
+fn cmp_i64(kind: &OpKind, x: i64, y: i64) -> Result<bool> {
+    Ok(match kind {
+        OpKind::Greater => x > y,
+        OpKind::GreaterEqual => x >= y,
+        OpKind::Less => x < y,
+        OpKind::LessEqual => x <= y,
+        OpKind::Equal => x == y,
+        OpKind::NotEqual => x != y,
+        _ => return Err(tensor_err!("{} is not a comparison op", kind.name())),
+    })
+}
+
+/// Boolean and/or with broadcasting.
+pub fn logical(kind: &OpKind, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (av, bv) = (a.as_bool()?, b.as_bool()?);
+    let out_shape = broadcast_shapes(a.shape(), b.shape())?;
+    let n = num_elements(&out_shape);
+    let sa = broadcast_strides(a.shape(), &out_shape);
+    let sb = broadcast_strides(b.shape(), &out_shape);
+    let mut out = Vec::with_capacity(n);
+    for flat in 0..n {
+        let coords = unravel(flat, &out_shape);
+        let (x, y) = (av[ravel(&coords, &sa)], bv[ravel(&coords, &sb)]);
+        out.push(match kind {
+            OpKind::LogicalAnd => x && y,
+            OpKind::LogicalOr => x || y,
+            _ => return Err(tensor_err!("{} is not a logical op", kind.name())),
+        });
+    }
+    Tensor::from_vec_bool(out, &out_shape)
+}
+
+/// Unary f32 kernels.
+pub fn unary(kind: &OpKind, a: &Tensor) -> Result<Tensor> {
+    let av = a.as_f32()?;
+    let f: fn(f32) -> f32 = match kind {
+        OpKind::Neg => |x| -x,
+        OpKind::Abs => f32::abs,
+        OpKind::Exp => f32::exp,
+        OpKind::Log => f32::ln,
+        OpKind::Sqrt => f32::sqrt,
+        OpKind::Square => |x| x * x,
+        OpKind::Relu => |x| x.max(0.0),
+        OpKind::Tanh => f32::tanh,
+        OpKind::Sigmoid => |x| 1.0 / (1.0 + (-x).exp()),
+        OpKind::Sign => f32::signum,
+        OpKind::Floor => f32::floor,
+        _ => return Err(tensor_err!("{} is not a unary op", kind.name())),
+    };
+    Tensor::from_vec(av.iter().map(|&x| f(x)).collect(), a.shape())
+}
+
+/// Boolean negation.
+pub fn not(a: &Tensor) -> Result<Tensor> {
+    Tensor::from_vec_bool(a.as_bool()?.iter().map(|&x| !x).collect(), a.shape())
+}
+
+/// Clamp into `[lo, hi]`.
+pub fn clip(a: &Tensor, lo: f32, hi: f32) -> Result<Tensor> {
+    if lo > hi {
+        return Err(tensor_err!("clip bounds inverted: lo {} > hi {}", lo, hi));
+    }
+    Tensor::from_vec(a.as_f32()?.iter().map(|&x| x.clamp(lo, hi)).collect(), a.shape())
+}
+
+/// `cond ? a : b` with broadcasting.
+pub fn where_op(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if cond.dtype() != DType::Bool {
+        return Err(tensor_err!("where condition must be bool, found {}", cond.dtype()));
+    }
+    let (av, bv) = (coerce_f32(a)?, coerce_f32(b)?);
+    let cv = cond.as_bool()?;
+    let ab = broadcast_shapes(a.shape(), b.shape())?;
+    let out_shape = broadcast_shapes(cond.shape(), &ab)?;
+    let n = num_elements(&out_shape);
+    let sc = broadcast_strides(cond.shape(), &out_shape);
+    let sa = broadcast_strides(a.shape(), &out_shape);
+    let sb = broadcast_strides(b.shape(), &out_shape);
+    let mut out = Vec::with_capacity(n);
+    for flat in 0..n {
+        let coords = unravel(flat, &out_shape);
+        let v = if cv[ravel(&coords, &sc)] {
+            av[ravel(&coords, &sa)]
+        } else {
+            bv[ravel(&coords, &sb)]
+        };
+        out.push(v);
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::forward;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let r = forward(&OpKind::Add, &[&t(&[1.0, 2.0], &[2]), &t(&[10.0, 20.0], &[2])]).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn broadcast_row() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[10.0, 20.0, 30.0], &[3]);
+        let r = forward(&OpKind::Add, &[&a, &b]).unwrap();
+        assert_eq!(r.shape(), &[2, 3]);
+        assert_eq!(r.as_f32().unwrap(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let r = forward(&OpKind::Mul, &[&a, &Tensor::scalar(3.0)]).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0, 3.0], &[3]);
+        assert!(forward(&OpKind::Add, &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn sub_div_pow_max_min() {
+        let a = t(&[4.0, 9.0], &[2]);
+        let b = t(&[2.0, 3.0], &[2]);
+        assert_eq!(forward(&OpKind::Sub, &[&a, &b]).unwrap().as_f32().unwrap(), &[2.0, 6.0]);
+        assert_eq!(forward(&OpKind::Div, &[&a, &b]).unwrap().as_f32().unwrap(), &[2.0, 3.0]);
+        assert_eq!(forward(&OpKind::Pow, &[&a, &b]).unwrap().as_f32().unwrap(), &[16.0, 729.0]);
+        assert_eq!(forward(&OpKind::Maximum, &[&a, &b]).unwrap().as_f32().unwrap(), &[4.0, 9.0]);
+        assert_eq!(forward(&OpKind::Minimum, &[&a, &b]).unwrap().as_f32().unwrap(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[2.0, 2.0, 2.0], &[3]);
+        assert_eq!(
+            forward(&OpKind::Greater, &[&a, &b]).unwrap().as_bool().unwrap(),
+            &[false, false, true]
+        );
+        assert_eq!(
+            forward(&OpKind::LessEqual, &[&a, &b]).unwrap().as_bool().unwrap(),
+            &[true, true, false]
+        );
+        assert_eq!(
+            forward(&OpKind::Equal, &[&a, &b]).unwrap().as_bool().unwrap(),
+            &[false, true, false]
+        );
+    }
+
+    #[test]
+    fn i64_compare_exact() {
+        let a = Tensor::from_vec_i64(vec![1, 5], &[2]).unwrap();
+        let b = Tensor::from_vec_i64(vec![1, 4], &[2]).unwrap();
+        assert_eq!(
+            forward(&OpKind::Equal, &[&a, &b]).unwrap().as_bool().unwrap(),
+            &[true, false]
+        );
+    }
+
+    #[test]
+    fn logicals() {
+        let a = Tensor::from_vec_bool(vec![true, true, false], &[3]).unwrap();
+        let b = Tensor::from_vec_bool(vec![true, false, false], &[3]).unwrap();
+        assert_eq!(
+            forward(&OpKind::LogicalAnd, &[&a, &b]).unwrap().as_bool().unwrap(),
+            &[true, false, false]
+        );
+        assert_eq!(
+            forward(&OpKind::LogicalOr, &[&a, &b]).unwrap().as_bool().unwrap(),
+            &[true, true, false]
+        );
+        assert_eq!(forward(&OpKind::Not, &[&a]).unwrap().as_bool().unwrap(), &[false, false, true]);
+    }
+
+    #[test]
+    fn unaries() {
+        let a = t(&[-2.0, 0.0, 2.0], &[3]);
+        assert_eq!(forward(&OpKind::Neg, &[&a]).unwrap().as_f32().unwrap(), &[2.0, 0.0, -2.0]);
+        assert_eq!(forward(&OpKind::Abs, &[&a]).unwrap().as_f32().unwrap(), &[2.0, 0.0, 2.0]);
+        assert_eq!(forward(&OpKind::Relu, &[&a]).unwrap().as_f32().unwrap(), &[0.0, 0.0, 2.0]);
+        assert_eq!(forward(&OpKind::Square, &[&a]).unwrap().as_f32().unwrap(), &[4.0, 0.0, 4.0]);
+        let s = forward(&OpKind::Sigmoid, &[&t(&[0.0], &[1])]).unwrap();
+        assert!((s.as_f32().unwrap()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_bounds() {
+        let a = t(&[-5.0, 0.5, 5.0], &[3]);
+        let r = forward(&OpKind::Clip { lo: -1.0, hi: 1.0 }, &[&a]).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[-1.0, 0.5, 1.0]);
+        assert!(forward(&OpKind::Clip { lo: 1.0, hi: -1.0 }, &[&a]).is_err());
+    }
+
+    #[test]
+    fn where_selects() {
+        let c = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let r = forward(&OpKind::Where, &[&c, &t(&[1.0, 1.0], &[2]), &t(&[9.0, 9.0], &[2])]).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[1.0, 9.0]);
+        // cond must be bool
+        assert!(forward(&OpKind::Where, &[&t(&[1.0], &[1]), &t(&[1.0], &[1]), &t(&[0.0], &[1])]).is_err());
+    }
+
+    #[test]
+    fn zeros_ones_like() {
+        let a = t(&[3.0, 4.0], &[2]);
+        assert_eq!(forward(&OpKind::ZerosLike, &[&a]).unwrap().as_f32().unwrap(), &[0.0, 0.0]);
+        assert_eq!(forward(&OpKind::OnesLike, &[&a]).unwrap().as_f32().unwrap(), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Indexing kernels: gather, per-row select, one-hot, and their gradients.
+
+use crate::shape::num_elements;
+use crate::{tensor_err, DType, Result, Tensor};
+
+/// Selects rows of `params` along axis 0 by i64 `indices`.
+///
+/// Output shape is `indices.shape() ++ params.shape()[1..]`.
+pub fn gather(params: &Tensor, indices: &Tensor) -> Result<Tensor> {
+    if indices.dtype() != DType::I64 {
+        return Err(tensor_err!("gather indices must be i64, found {}", indices.dtype()));
+    }
+    if params.rank() == 0 {
+        return Err(tensor_err!("cannot gather from a scalar"));
+    }
+    let n = params.shape()[0];
+    let inner: usize = params.shape()[1..].iter().product();
+    let idx = indices.as_i64()?;
+    let mut out_shape = indices.shape().to_vec();
+    out_shape.extend_from_slice(&params.shape()[1..]);
+    let x = params.as_f32()?;
+    let mut out = Vec::with_capacity(num_elements(&out_shape));
+    for &i in idx {
+        if i < 0 || i as usize >= n {
+            return Err(tensor_err!("gather index {} out of range [0, {})", i, n));
+        }
+        let i = i as usize;
+        out.extend_from_slice(&x[i * inner..(i + 1) * inner]);
+    }
+    Tensor::from_vec(out, &out_shape)
+}
+
+/// Gradient of [`gather`]: scatter-adds `grad` rows into a zero tensor
+/// shaped like `params_ref`.
+pub fn gather_grad(grad: &Tensor, indices: &Tensor, params_ref: &Tensor) -> Result<Tensor> {
+    let idx = indices.as_i64()?;
+    let inner: usize = params_ref.shape()[1..].iter().product();
+    let g = grad.as_f32()?;
+    if g.len() != idx.len() * inner {
+        return Err(tensor_err!(
+            "gather_grad: grad shape {:?} inconsistent with {} indices and inner size {}",
+            grad.shape(),
+            idx.len(),
+            inner
+        ));
+    }
+    let mut out = vec![0.0f32; params_ref.len()];
+    for (k, &i) in idx.iter().enumerate() {
+        let i = i as usize;
+        for j in 0..inner {
+            out[i * inner + j] += g[k * inner + j];
+        }
+    }
+    Tensor::from_vec(out, params_ref.shape())
+}
+
+/// Per-row selection: `params [b,n]`, `indices [b]` -> `[b]` where
+/// `out[i] = params[i, indices[i]]`. This is the Q(s, a) lookup in DQN.
+pub fn select_index(params: &Tensor, indices: &Tensor) -> Result<Tensor> {
+    if params.rank() != 2 {
+        return Err(tensor_err!("select_index params must be rank 2, found {:?}", params.shape()));
+    }
+    let (b, n) = (params.shape()[0], params.shape()[1]);
+    let idx = indices.as_i64()?;
+    if indices.shape() != [b] {
+        return Err(tensor_err!(
+            "select_index indices shape {:?} must be [{}]",
+            indices.shape(),
+            b
+        ));
+    }
+    let x = params.as_f32()?;
+    let mut out = Vec::with_capacity(b);
+    for (row, &i) in idx.iter().enumerate() {
+        if i < 0 || i as usize >= n {
+            return Err(tensor_err!("select_index {} out of range [0, {})", i, n));
+        }
+        out.push(x[row * n + i as usize]);
+    }
+    Tensor::from_vec(out, &[b])
+}
+
+/// Gradient of [`select_index`]: places `grad[i]` at `[i, indices[i]]` in a
+/// zero tensor shaped like `params_ref`.
+pub fn select_index_grad(grad: &Tensor, indices: &Tensor, params_ref: &Tensor) -> Result<Tensor> {
+    let (b, n) = (params_ref.shape()[0], params_ref.shape()[1]);
+    let g = grad.as_f32()?;
+    let idx = indices.as_i64()?;
+    if g.len() != b || idx.len() != b {
+        return Err(tensor_err!("select_index_grad shape mismatch"));
+    }
+    let mut out = vec![0.0f32; b * n];
+    for row in 0..b {
+        out[row * n + idx[row] as usize] += g[row];
+    }
+    Tensor::from_vec(out, params_ref.shape())
+}
+
+/// One-hot encodes i64 `indices` into f32 with a new trailing axis of size
+/// `depth`.
+pub fn one_hot(indices: &Tensor, depth: usize) -> Result<Tensor> {
+    if depth == 0 {
+        return Err(tensor_err!("one_hot depth must be positive"));
+    }
+    let idx = indices.as_i64()?;
+    let mut shape = indices.shape().to_vec();
+    shape.push(depth);
+    let mut out = vec![0.0f32; idx.len() * depth];
+    for (k, &i) in idx.iter().enumerate() {
+        if i < 0 || i as usize >= depth {
+            return Err(tensor_err!("one_hot index {} out of range [0, {})", i, depth));
+        }
+        out[k * depth + i as usize] = 1.0;
+    }
+    Tensor::from_vec(out, &shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_rows() {
+        let p = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        let i = Tensor::from_vec_i64(vec![2, 0], &[2]).unwrap();
+        let g = gather(&p, &i).unwrap();
+        assert_eq!(g.shape(), &[2, 2]);
+        assert_eq!(g.as_f32().unwrap(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_scalar_index() {
+        let p = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let i = Tensor::scalar_i64(1);
+        let g = gather(&p, &i).unwrap();
+        assert_eq!(g.shape(), &[] as &[usize]);
+        assert_eq!(g.scalar_value().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn gather_bounds() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert!(gather(&p, &Tensor::scalar_i64(2)).is_err());
+        assert!(gather(&p, &Tensor::scalar_i64(-1)).is_err());
+        assert!(gather(&p, &Tensor::scalar(1.0)).is_err());
+    }
+
+    #[test]
+    fn gather_grad_accumulates_duplicates() {
+        let p = Tensor::zeros(&[3, 1], DType::F32);
+        let i = Tensor::from_vec_i64(vec![1, 1, 0], &[3]).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 2.0, 5.0], &[3, 1]).unwrap();
+        let r = gather_grad(&g, &i, &p).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[5.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn select_and_grad() {
+        let q = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let a = Tensor::from_vec_i64(vec![1, 0], &[2]).unwrap();
+        let s = select_index(&q, &a).unwrap();
+        assert_eq!(s.as_f32().unwrap(), &[2.0, 3.0]);
+        let g = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let r = select_index_grad(&g, &a, &q).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[0.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn select_index_validation() {
+        let q = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        assert!(select_index(&q, &Tensor::from_vec_i64(vec![2], &[1]).unwrap()).is_err());
+        assert!(select_index(&q, &Tensor::from_vec_i64(vec![0, 1], &[2]).unwrap()).is_err());
+        let q1 = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        assert!(select_index(&q1, &Tensor::from_vec_i64(vec![0], &[1]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn one_hot_encodes() {
+        let i = Tensor::from_vec_i64(vec![0, 2], &[2]).unwrap();
+        let h = one_hot(&i, 3).unwrap();
+        assert_eq!(h.shape(), &[2, 3]);
+        assert_eq!(h.as_f32().unwrap(), &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(one_hot(&i, 2).is_err());
+        assert!(one_hot(&i, 0).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! 2-D matrix multiplication.
+
+use crate::{tensor_err, Result, Tensor};
+
+/// `[m,k] x [k,n] -> [m,n]`, row-major, ikj loop order for cache locality.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(tensor_err!(
+            "matmul requires rank-2 tensors, found {:?} x {:?}",
+            a.shape(),
+            b.shape()
+        ));
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(tensor_err!("shape mismatch in matmul: {:?} x {:?}", a.shape(), b.shape()));
+    }
+    let av = a.as_f32()?;
+    let bv = b.as_f32()?;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for j in 0..n {
+                orow[j] += aval * brow[j];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let r = matmul(&a, &b).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let r = matmul(&a, &b).unwrap();
+        assert_eq!(r.shape(), &[2, 2]);
+        assert_eq!(r.as_f32().unwrap(), &[4.0, 5.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn identity_preserves() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(matmul(&a, &eye).unwrap(), a);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert!(matmul(&a, &b).is_err());
+        let a2 = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b2 = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]).unwrap();
+        assert!(matmul(&a2, &b2).is_err());
+    }
+}

@@ -1,0 +1,503 @@
+//! Operation vocabulary and forward kernels.
+//!
+//! [`OpKind`] is the closed set of numeric operations understood by both
+//! rlgraph backends. The static-graph interpreter stores an `OpKind` per
+//! node; the define-by-run tape applies kernels eagerly. Gradient rules for
+//! each op live in [`crate::grad`].
+
+mod conv;
+mod elementwise;
+mod index;
+mod matmul;
+mod reduce;
+mod shape_ops;
+
+use crate::{tensor_err, DType, Result, Tensor};
+
+/// One numeric operation with its static attributes.
+///
+/// Operations whose names end in `Grad`/`Backprop` are forward kernels used
+/// only to *express* gradients of other ops (they take the original
+/// input/output tensors as extra arguments so shapes are available at
+/// runtime, which keeps the graph free of static batch sizes).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum OpKind {
+    // ----- binary elementwise (f32, broadcasting) -----
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `a.powf(b)`
+    Pow,
+    /// elementwise max
+    Maximum,
+    /// elementwise min
+    Minimum,
+    // ----- comparisons (-> bool, broadcasting) -----
+    /// `a > b`
+    Greater,
+    /// `a >= b`
+    GreaterEqual,
+    /// `a < b`
+    Less,
+    /// `a <= b`
+    LessEqual,
+    /// `a == b`
+    Equal,
+    /// `a != b`
+    NotEqual,
+    /// boolean and
+    LogicalAnd,
+    /// boolean or
+    LogicalOr,
+    // ----- unary elementwise -----
+    /// `-a`
+    Neg,
+    /// `|a|`
+    Abs,
+    /// `e^a`
+    Exp,
+    /// natural log
+    Log,
+    /// square root
+    Sqrt,
+    /// `a * a`
+    Square,
+    /// `max(a, 0)`
+    Relu,
+    /// hyperbolic tangent
+    Tanh,
+    /// logistic sigmoid
+    Sigmoid,
+    /// -1 / 0 / +1
+    Sign,
+    /// floor
+    Floor,
+    /// boolean not
+    Not,
+    /// clamp into `[lo, hi]`
+    Clip {
+        /// lower bound
+        lo: f32,
+        /// upper bound
+        hi: f32,
+    },
+    /// dtype cast
+    Cast {
+        /// target dtype
+        to: DType,
+    },
+    /// pass-through
+    Identity,
+    /// pass-through that blocks gradients
+    StopGradient,
+    /// zeros with the input's shape and dtype
+    ZerosLike,
+    /// f32 ones with the input's shape
+    OnesLike,
+    // ----- ternary -----
+    /// `cond ? a : b` (cond is bool, broadcasting)
+    Where,
+    // ----- linear algebra -----
+    /// 2-D matrix product `[m,k] x [k,n] -> [m,n]`
+    MatMul,
+    /// 2-D convolution, NCHW input `[b,c,h,w]`, OIHW filters `[o,c,kh,kw]`
+    Conv2d {
+        /// spatial stride
+        stride: usize,
+        /// symmetric zero padding
+        padding: usize,
+    },
+    /// gradient of [`OpKind::Conv2d`] w.r.t. its input: `(filters, grad_out, input_ref)`
+    Conv2dBackpropInput {
+        /// spatial stride
+        stride: usize,
+        /// symmetric zero padding
+        padding: usize,
+    },
+    /// gradient of [`OpKind::Conv2d`] w.r.t. its filters: `(input, grad_out, filter_ref)`
+    Conv2dBackpropFilter {
+        /// spatial stride
+        stride: usize,
+        /// symmetric zero padding
+        padding: usize,
+    },
+    // ----- reductions -----
+    /// sum over axes (`None` = all)
+    Sum {
+        /// axes to reduce; `None` reduces all
+        axes: Option<Vec<usize>>,
+        /// keep reduced axes as size 1
+        keep_dims: bool,
+    },
+    /// arithmetic mean over axes
+    Mean {
+        /// axes to reduce; `None` reduces all
+        axes: Option<Vec<usize>>,
+        /// keep reduced axes as size 1
+        keep_dims: bool,
+    },
+    /// max over axes
+    MaxReduce {
+        /// axes to reduce; `None` reduces all
+        axes: Option<Vec<usize>>,
+        /// keep reduced axes as size 1
+        keep_dims: bool,
+    },
+    /// min over axes
+    MinReduce {
+        /// axes to reduce; `None` reduces all
+        axes: Option<Vec<usize>>,
+        /// keep reduced axes as size 1
+        keep_dims: bool,
+    },
+    /// index of the maximum along `axis` (-> i64)
+    ArgMax {
+        /// axis to reduce
+        axis: usize,
+    },
+    /// inverse of a reduction for gradients: `(reduced, input_ref)` expands
+    /// `reduced` back to `input_ref`'s shape (dividing by the lane size when
+    /// `mean` is set)
+    Unreduce {
+        /// axes the forward reduction removed
+        axes: Option<Vec<usize>>,
+        /// whether the forward kept dims
+        keep_dims: bool,
+        /// divide by lane count (gradient of mean)
+        mean: bool,
+    },
+    /// numerically stable softmax along `axis`
+    Softmax {
+        /// normalisation axis
+        axis: usize,
+    },
+    /// numerically stable log-softmax along `axis`
+    LogSoftmax {
+        /// normalisation axis
+        axis: usize,
+    },
+    // ----- indexing -----
+    /// select rows of `params` along axis 0 by i64 `indices`
+    Gather,
+    /// gradient of [`OpKind::Gather`]: `(grad, indices, params_ref)` scatter-adds
+    GatherGrad,
+    /// per-row selection: `params [b,n]`, `indices [b]` -> `[b]`
+    SelectIndex,
+    /// gradient of [`OpKind::SelectIndex`]: `(grad, indices, params_ref)`
+    SelectIndexGrad,
+    /// i64 -> f32 one-hot with the given depth appended as a new last axis
+    OneHot {
+        /// number of classes
+        depth: usize,
+    },
+    // ----- shape manipulation -----
+    /// reshape with optional `-1` wildcard
+    Reshape {
+        /// target shape; one entry may be -1
+        shape: Vec<isize>,
+    },
+    /// reshape `a` to `b`'s shape: `(a, shape_ref)`
+    ReshapeLike,
+    /// splits `a`'s leading dimension into `ref`'s first `n` dims:
+    /// `(a [prod(ref[..n]), rest...], ref)` → `[ref[0], .., ref[n-1], rest...]`.
+    /// The inverse of folding batch/time dims with a `[-1, rest]` reshape.
+    UnfoldLike {
+        /// how many leading dims to take from the reference
+        n: usize,
+    },
+    /// sum `a` over broadcast axes so its shape matches `b`: `(a, shape_ref)`
+    ReduceToLike,
+    /// permute axes
+    Transpose {
+        /// axis permutation
+        perm: Vec<usize>,
+    },
+    /// insert a size-1 axis
+    ExpandDims {
+        /// position of the new axis
+        axis: usize,
+    },
+    /// remove a size-1 axis
+    Squeeze {
+        /// axis to remove (must have size 1)
+        axis: usize,
+    },
+    /// concatenate n inputs along `axis`
+    Concat {
+        /// concatenation axis
+        axis: usize,
+    },
+    /// gradient of [`OpKind::Concat`] for input `index`: `(grad, in_0, .., in_{n-1})`
+    ConcatGrad {
+        /// concatenation axis
+        axis: usize,
+        /// which input's slice to extract
+        index: usize,
+    },
+    /// stack n same-shaped inputs along a new `axis`
+    Stack {
+        /// position of the new axis
+        axis: usize,
+    },
+    /// static slice `[start, start+len)` along `axis`
+    Slice {
+        /// sliced axis
+        axis: usize,
+        /// start offset
+        start: usize,
+        /// slice length
+        len: usize,
+    },
+    /// gradient of [`OpKind::Slice`]: `(grad, input_ref)` zero-pads back
+    SliceGrad {
+        /// sliced axis
+        axis: usize,
+        /// start offset
+        start: usize,
+        /// slice length
+        len: usize,
+    },
+    /// repeat along each axis
+    Tile {
+        /// per-axis repetition counts
+        reps: Vec<usize>,
+    },
+    /// gradient of [`OpKind::Tile`]: `(grad, input_ref)` sums repeats
+    TileGrad {
+        /// per-axis repetition counts
+        reps: Vec<usize>,
+    },
+}
+
+impl OpKind {
+    /// A short lowercase name for profiling and visualisation.
+    pub fn name(&self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Pow => "pow",
+            Maximum => "maximum",
+            Minimum => "minimum",
+            Greater => "greater",
+            GreaterEqual => "greater_equal",
+            Less => "less",
+            LessEqual => "less_equal",
+            Equal => "equal",
+            NotEqual => "not_equal",
+            LogicalAnd => "logical_and",
+            LogicalOr => "logical_or",
+            Neg => "neg",
+            Abs => "abs",
+            Exp => "exp",
+            Log => "log",
+            Sqrt => "sqrt",
+            Square => "square",
+            Relu => "relu",
+            Tanh => "tanh",
+            Sigmoid => "sigmoid",
+            Sign => "sign",
+            Floor => "floor",
+            Not => "not",
+            Clip { .. } => "clip",
+            Cast { .. } => "cast",
+            Identity => "identity",
+            StopGradient => "stop_gradient",
+            ZerosLike => "zeros_like",
+            OnesLike => "ones_like",
+            Where => "where",
+            MatMul => "matmul",
+            Conv2d { .. } => "conv2d",
+            Conv2dBackpropInput { .. } => "conv2d_backprop_input",
+            Conv2dBackpropFilter { .. } => "conv2d_backprop_filter",
+            Sum { .. } => "sum",
+            Mean { .. } => "mean",
+            MaxReduce { .. } => "max",
+            MinReduce { .. } => "min",
+            ArgMax { .. } => "argmax",
+            Unreduce { .. } => "unreduce",
+            Softmax { .. } => "softmax",
+            LogSoftmax { .. } => "log_softmax",
+            Gather => "gather",
+            GatherGrad => "gather_grad",
+            SelectIndex => "select_index",
+            SelectIndexGrad => "select_index_grad",
+            OneHot { .. } => "one_hot",
+            Reshape { .. } => "reshape",
+            ReshapeLike => "reshape_like",
+            UnfoldLike { .. } => "unfold_like",
+            ReduceToLike => "reduce_to_like",
+            Transpose { .. } => "transpose",
+            ExpandDims { .. } => "expand_dims",
+            Squeeze { .. } => "squeeze",
+            Concat { .. } => "concat",
+            ConcatGrad { .. } => "concat_grad",
+            Stack { .. } => "stack",
+            Slice { .. } => "slice",
+            SliceGrad { .. } => "slice_grad",
+            Tile { .. } => "tile",
+            TileGrad { .. } => "tile_grad",
+        }
+    }
+
+    /// Expected input arity; `None` means variadic (with a minimum of 1).
+    pub fn arity(&self) -> Option<usize> {
+        use OpKind::*;
+        match self {
+            Neg | Abs | Exp | Log | Sqrt | Square | Relu | Tanh | Sigmoid | Sign | Floor
+            | Not | Clip { .. } | Cast { .. } | Identity | StopGradient | ZerosLike
+            | OnesLike | ArgMax { .. } | Softmax { .. } | LogSoftmax { .. }
+            | OneHot { .. } | Reshape { .. } | Transpose { .. } | ExpandDims { .. }
+            | Squeeze { .. } | Slice { .. } | Tile { .. } => Some(1),
+            Add | Sub | Mul | Div | Pow | Maximum | Minimum | Greater | GreaterEqual | Less
+            | LessEqual | Equal | NotEqual | LogicalAnd | LogicalOr | MatMul | Gather
+            | SelectIndex | Unreduce { .. } | ReshapeLike | UnfoldLike { .. } | ReduceToLike | SliceGrad { .. }
+            | TileGrad { .. } | Sum { .. } | Mean { .. } | MaxReduce { .. }
+            | MinReduce { .. } => match self {
+                Sum { .. } | Mean { .. } | MaxReduce { .. } | MinReduce { .. } => Some(1),
+                _ => Some(2),
+            },
+            Where | Conv2d { .. } | Conv2dBackpropInput { .. } | Conv2dBackpropFilter { .. }
+            | GatherGrad | SelectIndexGrad => match self {
+                Conv2d { .. } => Some(2),
+                _ => Some(3),
+            },
+            Concat { .. } | Stack { .. } | ConcatGrad { .. } => None,
+        }
+    }
+}
+
+/// Result dtype of an op given input dtypes (best-effort; kernels perform
+/// the authoritative checks).
+pub fn result_dtype(kind: &OpKind, inputs: &[DType]) -> DType {
+    use OpKind::*;
+    match kind {
+        Greater | GreaterEqual | Less | LessEqual | Equal | NotEqual | LogicalAnd
+        | LogicalOr | Not => DType::Bool,
+        ArgMax { .. } => DType::I64,
+        Cast { to } => *to,
+        OneHot { .. } | OnesLike => DType::F32,
+        Identity | StopGradient | ZerosLike | Reshape { .. } | ReshapeLike
+        | UnfoldLike { .. } | Transpose { .. } | ExpandDims { .. } | Squeeze { .. } | Slice { .. }
+        | SliceGrad { .. } | Tile { .. } | TileGrad { .. } | Gather | Where => {
+            inputs.first().copied().unwrap_or(DType::F32)
+        }
+        _ => DType::F32,
+    }
+}
+
+/// Applies the forward kernel for `kind` to `inputs`.
+///
+/// # Errors
+///
+/// Errors on arity, shape, or dtype mismatches.
+pub fn forward(kind: &OpKind, inputs: &[&Tensor]) -> Result<Tensor> {
+    if let Some(n) = kind.arity() {
+        if inputs.len() != n {
+            return Err(tensor_err!(
+                "op {} expects {} inputs, got {}",
+                kind.name(),
+                n,
+                inputs.len()
+            ));
+        }
+    } else if inputs.is_empty() {
+        return Err(tensor_err!("op {} expects at least one input", kind.name()));
+    }
+
+    use OpKind::*;
+    match kind {
+        Add | Sub | Mul | Div | Pow | Maximum | Minimum => {
+            elementwise::binary(kind, inputs[0], inputs[1])
+        }
+        Greater | GreaterEqual | Less | LessEqual | Equal | NotEqual => {
+            elementwise::compare(kind, inputs[0], inputs[1])
+        }
+        LogicalAnd | LogicalOr => elementwise::logical(kind, inputs[0], inputs[1]),
+        Neg | Abs | Exp | Log | Sqrt | Square | Relu | Tanh | Sigmoid | Sign | Floor => {
+            elementwise::unary(kind, inputs[0])
+        }
+        Not => elementwise::not(inputs[0]),
+        Clip { lo, hi } => elementwise::clip(inputs[0], *lo, *hi),
+        Cast { to } => Ok(inputs[0].cast(*to)),
+        Identity | StopGradient => Ok(inputs[0].clone()),
+        ZerosLike => Ok(Tensor::zeros(inputs[0].shape(), inputs[0].dtype())),
+        OnesLike => Ok(Tensor::ones(inputs[0].shape())),
+        Where => elementwise::where_op(inputs[0], inputs[1], inputs[2]),
+        MatMul => matmul::matmul(inputs[0], inputs[1]),
+        Conv2d { stride, padding } => conv::conv2d(inputs[0], inputs[1], *stride, *padding),
+        Conv2dBackpropInput { stride, padding } => {
+            conv::conv2d_backprop_input(inputs[0], inputs[1], inputs[2], *stride, *padding)
+        }
+        Conv2dBackpropFilter { stride, padding } => {
+            conv::conv2d_backprop_filter(inputs[0], inputs[1], inputs[2], *stride, *padding)
+        }
+        Sum { axes, keep_dims } => reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Sum),
+        Mean { axes, keep_dims } => reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Mean),
+        MaxReduce { axes, keep_dims } => reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Max),
+        MinReduce { axes, keep_dims } => reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Min),
+        ArgMax { axis } => reduce::argmax(inputs[0], *axis),
+        Unreduce { axes, keep_dims, mean } => {
+            reduce::unreduce(inputs[0], inputs[1], axes.as_deref(), *keep_dims, *mean)
+        }
+        Softmax { axis } => reduce::softmax(inputs[0], *axis, false),
+        LogSoftmax { axis } => reduce::softmax(inputs[0], *axis, true),
+        Gather => index::gather(inputs[0], inputs[1]),
+        GatherGrad => index::gather_grad(inputs[0], inputs[1], inputs[2]),
+        SelectIndex => index::select_index(inputs[0], inputs[1]),
+        SelectIndexGrad => index::select_index_grad(inputs[0], inputs[1], inputs[2]),
+        OneHot { depth } => index::one_hot(inputs[0], *depth),
+        Reshape { shape } => shape_ops::reshape(inputs[0], shape),
+        ReshapeLike => inputs[0].reshaped(inputs[1].shape()),
+        UnfoldLike { n } => shape_ops::unfold_like(inputs[0], inputs[1], *n),
+        ReduceToLike => shape_ops::reduce_to_like(inputs[0], inputs[1]),
+        Transpose { perm } => shape_ops::transpose(inputs[0], perm),
+        ExpandDims { axis } => shape_ops::expand_dims(inputs[0], *axis),
+        Squeeze { axis } => shape_ops::squeeze(inputs[0], *axis),
+        Concat { axis } => shape_ops::concat(inputs, *axis),
+        ConcatGrad { axis, index } => shape_ops::concat_grad(inputs, *axis, *index),
+        Stack { axis } => shape_ops::stack(inputs, *axis),
+        Slice { axis, start, len } => shape_ops::slice(inputs[0], *axis, *start, *len),
+        SliceGrad { axis, start, len } => {
+            shape_ops::slice_grad(inputs[0], inputs[1], *axis, *start, *len)
+        }
+        Tile { reps } => shape_ops::tile(inputs[0], reps),
+        TileGrad { reps } => shape_ops::tile_grad(inputs[0], inputs[1], reps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_enforced() {
+        let a = Tensor::scalar(1.0);
+        assert!(forward(&OpKind::Add, &[&a]).is_err());
+        assert!(forward(&OpKind::Neg, &[&a, &a]).is_err());
+        assert!(forward(&OpKind::Concat { axis: 0 }, &[]).is_err());
+    }
+
+    #[test]
+    fn names_are_lowercase() {
+        for kind in [OpKind::Add, OpKind::MatMul, OpKind::Softmax { axis: 0 }] {
+            assert_eq!(kind.name(), kind.name().to_lowercase());
+        }
+    }
+
+    #[test]
+    fn result_dtypes() {
+        assert_eq!(result_dtype(&OpKind::Greater, &[DType::F32, DType::F32]), DType::Bool);
+        assert_eq!(result_dtype(&OpKind::ArgMax { axis: 0 }, &[DType::F32]), DType::I64);
+        assert_eq!(result_dtype(&OpKind::Cast { to: DType::I64 }, &[DType::F32]), DType::I64);
+        assert_eq!(result_dtype(&OpKind::Add, &[DType::F32, DType::F32]), DType::F32);
+        assert_eq!(result_dtype(&OpKind::Gather, &[DType::I64, DType::I64]), DType::I64);
+    }
+}

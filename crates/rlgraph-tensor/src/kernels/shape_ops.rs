@@ -1,0 +1,495 @@
+//! Shape-manipulation kernels (dtype-generic): reshape, transpose, concat,
+//! stack, slice, tile, and their gradient helpers.
+
+use crate::shape::{num_elements, ravel, resolve_reshape, strides, unravel};
+use crate::{tensor_err, DType, Result, Tensor};
+
+/// Builds an output of `out_shape` where element `i` is input element
+/// `map(i)`. Preserves dtype.
+fn remap(t: &Tensor, out_shape: &[usize], map: impl Fn(usize) -> usize) -> Result<Tensor> {
+    let n = num_elements(out_shape);
+    match t.dtype() {
+        DType::F32 => {
+            let x = t.as_f32()?;
+            Tensor::from_vec((0..n).map(|i| x[map(i)]).collect(), out_shape)
+        }
+        DType::I64 => {
+            let x = t.as_i64()?;
+            Tensor::from_vec_i64((0..n).map(|i| x[map(i)]).collect(), out_shape)
+        }
+        DType::Bool => {
+            let x = t.as_bool()?;
+            Tensor::from_vec_bool((0..n).map(|i| x[map(i)]).collect(), out_shape)
+        }
+    }
+}
+
+/// Reshape with an optional `-1` wildcard.
+pub fn reshape(t: &Tensor, spec: &[isize]) -> Result<Tensor> {
+    let shape = resolve_reshape(spec, t.len())?;
+    t.reshaped(&shape)
+}
+
+/// Splits `a`'s leading dimension into `shape_ref`'s first `n` dims.
+///
+/// `a` must have shape `[prod(ref[..n]), rest...]`; the result has shape
+/// `[ref[0], .., ref[n-1], rest...]`. Together with a `[-1, rest]` reshape
+/// this implements rlgraph's batch/time fold–unfold utilities.
+pub fn unfold_like(a: &Tensor, shape_ref: &Tensor, n: usize) -> Result<Tensor> {
+    if n > shape_ref.rank() {
+        return Err(tensor_err!(
+            "unfold_like: n {} exceeds reference rank {}",
+            n,
+            shape_ref.rank()
+        ));
+    }
+    if a.rank() == 0 {
+        return Err(tensor_err!("unfold_like: cannot unfold a scalar"));
+    }
+    let lead: usize = shape_ref.shape()[..n].iter().product();
+    let mut shape: Vec<usize> = shape_ref.shape()[..n].to_vec();
+    if a.shape()[0] == lead {
+        shape.extend_from_slice(&a.shape()[1..]);
+    } else if a.rank() == 1 && lead > 0 && a.len() % lead == 0 {
+        // Rank-1 fallback: distribute the remaining elements into a single
+        // trailing dimension (used to flatten-after-batch with a runtime
+        // batch size).
+        shape.push(a.len() / lead);
+    } else {
+        return Err(tensor_err!(
+            "unfold_like: shape {:?} incompatible with leading product {} of reference dims {:?}",
+            a.shape(),
+            lead,
+            &shape_ref.shape()[..n]
+        ));
+    }
+    a.reshaped(&shape)
+}
+
+/// Sums `a` over its broadcast axes so the result has `shape_ref`'s shape
+/// (the gradient helper for broadcasting binary ops).
+pub fn reduce_to_like(a: &Tensor, shape_ref: &Tensor) -> Result<Tensor> {
+    let target = shape_ref.shape();
+    if a.shape() == target {
+        return Ok(a.clone());
+    }
+    let rank_a = a.rank();
+    let rank_t = target.len();
+    if rank_t > rank_a {
+        return Err(tensor_err!(
+            "reduce_to_like: cannot reduce {:?} to larger-rank {:?}",
+            a.shape(),
+            target
+        ));
+    }
+    // Axes introduced by broadcasting (leading) are summed away; axes where
+    // the target had size 1 are summed with keep_dims.
+    let offset = rank_a - rank_t;
+    let lead: Vec<usize> = (0..offset).collect();
+    let x = a.as_f32()?;
+    let mut keep_axes: Vec<usize> = Vec::new();
+    for i in 0..rank_t {
+        if target[i] == 1 && a.shape()[offset + i] != 1 {
+            keep_axes.push(offset + i);
+        } else if target[i] != a.shape()[offset + i] {
+            return Err(tensor_err!(
+                "reduce_to_like: {:?} is not a broadcast of {:?}",
+                a.shape(),
+                target
+            ));
+        }
+    }
+    let mut out = vec![0.0f32; num_elements(target)];
+    let t_strides = strides(target);
+    for (flat, &v) in x.iter().enumerate() {
+        let coords = unravel(flat, a.shape());
+        let mut tc = Vec::with_capacity(rank_t);
+        for i in 0..rank_t {
+            let c = coords[offset + i];
+            tc.push(if keep_axes.contains(&(offset + i)) { 0 } else { c });
+        }
+        let _ = &lead;
+        out[ravel(&tc, &t_strides)] += v;
+    }
+    Tensor::from_vec(out, target)
+}
+
+/// Permutes axes by `perm`.
+pub fn transpose(t: &Tensor, perm: &[usize]) -> Result<Tensor> {
+    let rank = t.rank();
+    if perm.len() != rank {
+        return Err(tensor_err!("transpose perm {:?} must have rank {}", perm, rank));
+    }
+    let mut seen = vec![false; rank];
+    for &p in perm {
+        if p >= rank || seen[p] {
+            return Err(tensor_err!("invalid transpose permutation {:?}", perm));
+        }
+        seen[p] = true;
+    }
+    let out_shape: Vec<usize> = perm.iter().map(|&p| t.shape()[p]).collect();
+    let in_strides = strides(t.shape());
+    remap(t, &out_shape.clone(), |flat| {
+        let oc = unravel(flat, &out_shape);
+        let mut ic = vec![0usize; rank];
+        for (k, &p) in perm.iter().enumerate() {
+            ic[p] = oc[k];
+        }
+        ravel(&ic, &in_strides)
+    })
+}
+
+/// Inserts a size-1 axis at `axis`.
+pub fn expand_dims(t: &Tensor, axis: usize) -> Result<Tensor> {
+    if axis > t.rank() {
+        return Err(tensor_err!("expand_dims axis {} out of range for rank {}", axis, t.rank()));
+    }
+    let mut shape = t.shape().to_vec();
+    shape.insert(axis, 1);
+    t.reshaped(&shape)
+}
+
+/// Removes the size-1 axis at `axis`.
+pub fn squeeze(t: &Tensor, axis: usize) -> Result<Tensor> {
+    if axis >= t.rank() {
+        return Err(tensor_err!("squeeze axis {} out of range for rank {}", axis, t.rank()));
+    }
+    if t.shape()[axis] != 1 {
+        return Err(tensor_err!(
+            "cannot squeeze axis {} of size {} in {:?}",
+            axis,
+            t.shape()[axis],
+            t.shape()
+        ));
+    }
+    let mut shape = t.shape().to_vec();
+    shape.remove(axis);
+    t.reshaped(&shape)
+}
+
+/// Concatenates along `axis`.
+pub fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor> {
+    let first = inputs[0];
+    let rank = first.rank();
+    if axis >= rank {
+        return Err(tensor_err!("concat axis {} out of range for rank {}", axis, rank));
+    }
+    let mut axis_total = 0usize;
+    for t in inputs {
+        if t.rank() != rank || t.dtype() != first.dtype() {
+            return Err(tensor_err!("concat inputs must share rank and dtype"));
+        }
+        for d in 0..rank {
+            if d != axis && t.shape()[d] != first.shape()[d] {
+                return Err(tensor_err!(
+                    "concat shape mismatch at axis {}: {:?} vs {:?}",
+                    d,
+                    t.shape(),
+                    first.shape()
+                ));
+            }
+        }
+        axis_total += t.shape()[axis];
+    }
+    let mut out_shape = first.shape().to_vec();
+    out_shape[axis] = axis_total;
+    let outer: usize = first.shape()[..axis].iter().product();
+    let inner: usize = first.shape()[axis + 1..].iter().product();
+
+    match first.dtype() {
+        DType::F32 => {
+            let mut out = Vec::with_capacity(num_elements(&out_shape));
+            for o in 0..outer {
+                for t in inputs {
+                    let block = t.shape()[axis] * inner;
+                    let x = t.as_f32()?;
+                    out.extend_from_slice(&x[o * block..(o + 1) * block]);
+                }
+            }
+            Tensor::from_vec(out, &out_shape)
+        }
+        DType::I64 => {
+            let mut out = Vec::with_capacity(num_elements(&out_shape));
+            for o in 0..outer {
+                for t in inputs {
+                    let block = t.shape()[axis] * inner;
+                    let x = t.as_i64()?;
+                    out.extend_from_slice(&x[o * block..(o + 1) * block]);
+                }
+            }
+            Tensor::from_vec_i64(out, &out_shape)
+        }
+        DType::Bool => {
+            let mut out = Vec::with_capacity(num_elements(&out_shape));
+            for o in 0..outer {
+                for t in inputs {
+                    let block = t.shape()[axis] * inner;
+                    let x = t.as_bool()?;
+                    out.extend_from_slice(&x[o * block..(o + 1) * block]);
+                }
+            }
+            Tensor::from_vec_bool(out, &out_shape)
+        }
+    }
+}
+
+/// Gradient of [`concat`] for input `index`: inputs are
+/// `(grad, in_0, .., in_{n-1})`; extracts the slice of `grad` matching that
+/// input's extent.
+pub fn concat_grad(inputs: &[&Tensor], axis: usize, index: usize) -> Result<Tensor> {
+    if inputs.len() < 2 {
+        return Err(tensor_err!("concat_grad needs the grad plus the original inputs"));
+    }
+    let grad = inputs[0];
+    let originals = &inputs[1..];
+    if index >= originals.len() {
+        return Err(tensor_err!("concat_grad index {} out of range", index));
+    }
+    let start: usize = originals[..index].iter().map(|t| t.shape()[axis]).sum();
+    let len = originals[index].shape()[axis];
+    slice(grad, axis, start, len)
+}
+
+/// Stacks same-shaped inputs along a new `axis`.
+pub fn stack(inputs: &[&Tensor], axis: usize) -> Result<Tensor> {
+    let first = inputs[0];
+    if axis > first.rank() {
+        return Err(tensor_err!("stack axis {} out of range for rank {}", axis, first.rank()));
+    }
+    // Stack = expand_dims on each input, then concat.
+    let expanded: Vec<Tensor> =
+        inputs.iter().map(|t| expand_dims(t, axis)).collect::<Result<_>>()?;
+    let refs: Vec<&Tensor> = expanded.iter().collect();
+    concat(&refs, axis)
+}
+
+/// Static slice `[start, start+len)` along `axis`.
+pub fn slice(t: &Tensor, axis: usize, start: usize, len: usize) -> Result<Tensor> {
+    let rank = t.rank();
+    if axis >= rank {
+        return Err(tensor_err!("slice axis {} out of range for rank {}", axis, rank));
+    }
+    if start + len > t.shape()[axis] {
+        return Err(tensor_err!(
+            "slice [{}, {}) out of range for axis {} of size {}",
+            start,
+            start + len,
+            axis,
+            t.shape()[axis]
+        ));
+    }
+    let mut out_shape = t.shape().to_vec();
+    out_shape[axis] = len;
+    let in_strides = strides(t.shape());
+    let shape_for_map = out_shape.clone();
+    remap(t, &out_shape, move |flat| {
+        let mut c = unravel(flat, &shape_for_map);
+        c[axis] += start;
+        ravel(&c, &in_strides)
+    })
+}
+
+/// Gradient of [`slice`]: zero-pads `grad` back to `input_ref`'s shape.
+pub fn slice_grad(
+    grad: &Tensor,
+    input_ref: &Tensor,
+    axis: usize,
+    start: usize,
+    len: usize,
+) -> Result<Tensor> {
+    let mut expect = input_ref.shape().to_vec();
+    if axis >= expect.len() || start + len > expect[axis] {
+        return Err(tensor_err!("slice_grad parameters out of range"));
+    }
+    expect[axis] = len;
+    if grad.shape() != expect.as_slice() {
+        return Err(tensor_err!(
+            "slice_grad: grad shape {:?} expected {:?}",
+            grad.shape(),
+            expect
+        ));
+    }
+    let g = grad.as_f32()?;
+    let out_strides = strides(input_ref.shape());
+    let mut out = vec![0.0f32; input_ref.len()];
+    for (flat, &v) in g.iter().enumerate() {
+        let mut c = unravel(flat, grad.shape());
+        c[axis] += start;
+        out[ravel(&c, &out_strides)] = v;
+    }
+    Tensor::from_vec(out, input_ref.shape())
+}
+
+/// Repeats the tensor `reps[d]` times along each axis `d`.
+pub fn tile(t: &Tensor, reps: &[usize]) -> Result<Tensor> {
+    if reps.len() != t.rank() {
+        return Err(tensor_err!("tile reps {:?} must match rank {}", reps, t.rank()));
+    }
+    if reps.iter().any(|&r| r == 0) {
+        return Err(tensor_err!("tile repetitions must be positive"));
+    }
+    let out_shape: Vec<usize> = t.shape().iter().zip(reps).map(|(d, r)| d * r).collect();
+    let in_shape = t.shape().to_vec();
+    let in_strides = strides(&in_shape);
+    let shape_for_map = out_shape.clone();
+    remap(t, &out_shape, move |flat| {
+        let oc = unravel(flat, &shape_for_map);
+        let ic: Vec<usize> = oc.iter().zip(&in_shape).map(|(&c, &d)| c % d).collect();
+        ravel(&ic, &in_strides)
+    })
+}
+
+/// Gradient of [`tile`]: sums all repeats back onto the input shape.
+pub fn tile_grad(grad: &Tensor, input_ref: &Tensor, reps: &[usize]) -> Result<Tensor> {
+    if reps.len() != input_ref.rank() {
+        return Err(tensor_err!("tile_grad reps {:?} must match rank {}", reps, input_ref.rank()));
+    }
+    let expect: Vec<usize> = input_ref.shape().iter().zip(reps).map(|(d, r)| d * r).collect();
+    if grad.shape() != expect.as_slice() {
+        return Err(tensor_err!("tile_grad: grad shape {:?} expected {:?}", grad.shape(), expect));
+    }
+    let g = grad.as_f32()?;
+    let in_strides = strides(input_ref.shape());
+    let mut out = vec![0.0f32; input_ref.len()];
+    for (flat, &v) in g.iter().enumerate() {
+        let oc = unravel(flat, grad.shape());
+        let ic: Vec<usize> =
+            oc.iter().zip(input_ref.shape()).map(|(&c, &d)| c % d).collect();
+        out[ravel(&ic, &in_strides)] += v;
+    }
+    Tensor::from_vec(out, input_ref.shape())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn reshape_wildcard() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let r = reshape(&x, &[-1]).unwrap();
+        assert_eq!(r.shape(), &[6]);
+        let r2 = reshape(&x, &[3, -1]).unwrap();
+        assert_eq!(r2.shape(), &[3, 2]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let r = transpose(&x, &[1, 0]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.as_f32().unwrap(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert!(transpose(&x, &[0, 0]).is_err());
+        assert!(transpose(&x, &[0]).is_err());
+    }
+
+    #[test]
+    fn transpose_3d_roundtrip() {
+        let x = t(&(0..24).map(|v| v as f32).collect::<Vec<_>>(), &[2, 3, 4]);
+        let r = transpose(&x, &[2, 0, 1]).unwrap();
+        assert_eq!(r.shape(), &[4, 2, 3]);
+        let back = transpose(&r, &[1, 2, 0]).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn expand_squeeze_roundtrip() {
+        let x = t(&[1.0, 2.0], &[2]);
+        let e = expand_dims(&x, 0).unwrap();
+        assert_eq!(e.shape(), &[1, 2]);
+        let s = squeeze(&e, 0).unwrap();
+        assert_eq!(s, x);
+        assert!(squeeze(&x, 0).is_err());
+        assert!(expand_dims(&x, 2).is_err());
+    }
+
+    #[test]
+    fn concat_axis0_and_1() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[3.0, 4.0], &[1, 2]);
+        let c0 = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c0.shape(), &[2, 2]);
+        assert_eq!(c0.as_f32().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+        let c1 = concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c1.shape(), &[1, 4]);
+        assert_eq!(c1.as_f32().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_i64_and_bool() {
+        let a = Tensor::from_vec_i64(vec![1, 2], &[2]).unwrap();
+        let b = Tensor::from_vec_i64(vec![3], &[1]).unwrap();
+        assert_eq!(concat(&[&a, &b], 0).unwrap().as_i64().unwrap(), &[1, 2, 3]);
+        let c = Tensor::from_vec_bool(vec![true], &[1]).unwrap();
+        let d = Tensor::from_vec_bool(vec![false], &[1]).unwrap();
+        assert_eq!(concat(&[&c, &d], 0).unwrap().as_bool().unwrap(), &[true, false]);
+    }
+
+    #[test]
+    fn concat_grad_extracts_slice() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[3.0, 4.0, 5.0], &[1, 3]);
+        let g = t(&[10.0, 20.0, 30.0, 40.0, 50.0], &[1, 5]);
+        let ga = concat_grad(&[&g, &a, &b], 1, 0).unwrap();
+        assert_eq!(ga.as_f32().unwrap(), &[10.0, 20.0]);
+        let gb = concat_grad(&[&g, &a, &b], 1, 1).unwrap();
+        assert_eq!(gb.as_f32().unwrap(), &[30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn stack_new_axis() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 4.0], &[2]);
+        let s = stack(&[&a, &b], 0).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        let s1 = stack(&[&a, &b], 1).unwrap();
+        assert_eq!(s1.shape(), &[2, 2]);
+        assert_eq!(s1.as_f32().unwrap(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_and_grad() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0], &[5]);
+        let s = slice(&x, 0, 1, 3).unwrap();
+        assert_eq!(s.as_f32().unwrap(), &[2.0, 3.0, 4.0]);
+        assert!(slice(&x, 0, 3, 3).is_err());
+        let g = t(&[10.0, 20.0, 30.0], &[3]);
+        let r = slice_grad(&g, &x, 0, 1, 3).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[0.0, 10.0, 20.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn tile_and_grad() {
+        let x = t(&[1.0, 2.0], &[2]);
+        let r = tile(&x, &[3]).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        let g = t(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0], &[6]);
+        let tg = tile_grad(&g, &x, &[3]).unwrap();
+        assert_eq!(tg.as_f32().unwrap(), &[3.0, 3.0]);
+        assert!(tile(&x, &[0]).is_err());
+        assert!(tile(&x, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn reduce_to_like_broadcast_axes() {
+        // grad of a [3] bias broadcast into [2,3]
+        let g = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let bias = t(&[0.0, 0.0, 0.0], &[3]);
+        let r = reduce_to_like(&g, &bias).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[5.0, 7.0, 9.0]);
+        // keep-dims style: [2,1] target
+        let col = t(&[0.0, 0.0], &[2, 1]);
+        let r2 = reduce_to_like(&g, &col).unwrap();
+        assert_eq!(r2.as_f32().unwrap(), &[6.0, 15.0]);
+        // same shape: identity
+        let same = reduce_to_like(&g, &g).unwrap();
+        assert_eq!(same, g);
+        // not a broadcast
+        let bad = t(&[0.0, 0.0], &[2]);
+        assert!(reduce_to_like(&g, &bad).is_err());
+    }
+}

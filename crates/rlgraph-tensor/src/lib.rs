@@ -1,0 +1,51 @@
+//! Eager tensors, operation kernels, and shared reverse-mode gradient rules.
+//!
+//! This crate is the numeric substrate for `rlgraph`. It plays the role that
+//! TensorFlow/PyTorch kernels play for the original RLgraph (SysML 2019):
+//!
+//! * [`Tensor`] — a dense n-dimensional array over `f32`, `i64` or `bool`
+//!   with NumPy-style broadcasting.
+//! * [`OpKind`] — the closed vocabulary of operations. Every op has a
+//!   *forward kernel* ([`forward`]) shared by the static-graph interpreter
+//!   and the define-by-run backend.
+//! * [`OpEmitter`] — the abstraction against which *gradient rules* are
+//!   written exactly once ([`grad::emit_grad`]). The static backend
+//!   implements [`OpEmitter`] by appending graph nodes (gradients become a
+//!   graph transformation, as in TensorFlow); the define-by-run backend
+//!   implements it by evaluating kernels eagerly (tape backward, as in
+//!   PyTorch).
+//! * [`Tape`] — eager reverse-mode autodiff for the define-by-run backend.
+//!
+//! # Example
+//!
+//! ```
+//! use rlgraph_tensor::{Tensor, Tape, OpKind};
+//!
+//! # fn main() -> Result<(), rlgraph_tensor::TensorError> {
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![1.0f32, 2.0, 3.0], &[3])?, true);
+//! let y = tape.apply(OpKind::Square, &[x])?;
+//! let loss = tape.apply(OpKind::Sum { axes: None, keep_dims: false }, &[y])?;
+//! let grads = tape.backward(loss)?;
+//! assert_eq!(grads[&x].as_f32()?, &[2.0, 4.0, 6.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dtype;
+pub mod error;
+pub mod grad;
+pub mod kernels;
+pub mod shape;
+pub mod tape;
+pub mod tensor;
+
+pub use dtype::DType;
+pub use error::TensorError;
+pub use grad::{emit_grad, OpEmitter};
+pub use kernels::{forward, result_dtype, OpKind};
+pub use tape::{Tape, ValId};
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,192 @@
+//! Shape arithmetic: strides, broadcasting, and index iteration.
+
+use crate::{tensor_err, Result};
+
+/// Number of elements implied by a shape.
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a shape.
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut out = vec![0usize; shape.len()];
+    let mut acc = 1usize;
+    for i in (0..shape.len()).rev() {
+        out[i] = acc;
+        acc *= shape[i];
+    }
+    out
+}
+
+/// Computes the NumPy-style broadcast of two shapes.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are not broadcast-compatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
+        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return Err(tensor_err!("shapes {:?} and {:?} are not broadcastable", a, b));
+        };
+    }
+    Ok(out)
+}
+
+/// Strides for reading a tensor of shape `from` as if broadcast to `to`
+/// (stride 0 on broadcast axes). `from` must be broadcastable to `to`.
+pub fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
+    let base = strides(from);
+    let offset = to.len() - from.len();
+    let mut out = vec![0usize; to.len()];
+    for i in 0..to.len() {
+        if i < offset {
+            out[i] = 0;
+        } else {
+            let d = from[i - offset];
+            out[i] = if d == 1 && to[i] != 1 { 0 } else { base[i - offset] };
+        }
+    }
+    out
+}
+
+/// Converts a flat index in `shape` into its multi-dimensional coordinates.
+pub fn unravel(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let st = strides(shape);
+    let mut coords = vec![0usize; shape.len()];
+    for i in 0..shape.len() {
+        coords[i] = flat / st[i];
+        flat %= st[i];
+    }
+    coords
+}
+
+/// Dot product of coordinates with strides (flat offset).
+pub fn ravel(coords: &[usize], strides: &[usize]) -> usize {
+    coords.iter().zip(strides).map(|(c, s)| c * s).sum()
+}
+
+/// Resolves a shape spec that may contain a single `-1` wildcard against a
+/// known element count (as in `reshape`).
+///
+/// # Errors
+///
+/// Errors if more than one `-1` appears, or the element counts disagree.
+pub fn resolve_reshape(spec: &[isize], num: usize) -> Result<Vec<usize>> {
+    let wilds = spec.iter().filter(|&&d| d == -1).count();
+    if wilds > 1 {
+        return Err(tensor_err!("reshape spec {:?} has more than one -1", spec));
+    }
+    let known: usize = spec.iter().filter(|&&d| d != -1).map(|&d| d as usize).product();
+    let mut out = Vec::with_capacity(spec.len());
+    for &d in spec {
+        if d == -1 {
+            if known == 0 || num % known != 0 {
+                return Err(tensor_err!("cannot infer -1 in reshape {:?} for {} elements", spec, num));
+            }
+            out.push(num / known);
+        } else if d < 0 {
+            return Err(tensor_err!("negative dimension {} in reshape {:?}", d, spec));
+        } else {
+            out.push(d as usize);
+        }
+    }
+    if num_elements(&out) != num {
+        return Err(tensor_err!("reshape {:?} incompatible with {} elements", spec, num));
+    }
+    Ok(out)
+}
+
+/// Normalises reduction axes: `None` means all axes; validates bounds and
+/// returns a sorted, deduplicated list.
+pub fn normalize_axes(axes: Option<&[usize]>, rank: usize) -> Result<Vec<usize>> {
+    match axes {
+        None => Ok((0..rank).collect()),
+        Some(list) => {
+            let mut v: Vec<usize> = list.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            if let Some(&bad) = v.iter().find(|&&a| a >= rank) {
+                return Err(tensor_err!("axis {} out of range for rank {}", bad, rank));
+            }
+            Ok(v)
+        }
+    }
+}
+
+/// The shape remaining after reducing `axes` of `shape` (axes sorted).
+pub fn reduced_shape(shape: &[usize], axes: &[usize], keep_dims: bool) -> Vec<usize> {
+    let mut out = Vec::with_capacity(shape.len());
+    for (i, &d) in shape.iter().enumerate() {
+        if axes.contains(&i) {
+            if keep_dims {
+                out.push(1);
+            }
+        } else {
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(broadcast_shapes(&[], &[5]).unwrap(), vec![5]);
+        assert!(broadcast_shapes(&[2, 3], &[4]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded() {
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 1], &[2, 4]), vec![1, 0]);
+    }
+
+    #[test]
+    fn unravel_ravel_roundtrip() {
+        let shape = [2, 3, 4];
+        let st = strides(&shape);
+        for flat in 0..num_elements(&shape) {
+            let coords = unravel(flat, &shape);
+            assert_eq!(ravel(&coords, &st), flat);
+        }
+    }
+
+    #[test]
+    fn reshape_wildcard() {
+        assert_eq!(resolve_reshape(&[-1, 4], 12).unwrap(), vec![3, 4]);
+        assert_eq!(resolve_reshape(&[2, 6], 12).unwrap(), vec![2, 6]);
+        assert!(resolve_reshape(&[-1, -1], 12).is_err());
+        assert!(resolve_reshape(&[5], 12).is_err());
+        assert!(resolve_reshape(&[-1, 5], 12).is_err());
+    }
+
+    #[test]
+    fn axes_and_reduced_shape() {
+        assert_eq!(normalize_axes(None, 3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(normalize_axes(Some(&[2, 0, 2]), 3).unwrap(), vec![0, 2]);
+        assert!(normalize_axes(Some(&[3]), 3).is_err());
+        assert_eq!(reduced_shape(&[2, 3, 4], &[1], false), vec![2, 4]);
+        assert_eq!(reduced_shape(&[2, 3, 4], &[1], true), vec![2, 1, 4]);
+    }
+}

@@ -1,0 +1,573 @@
+//! The dense n-dimensional array type.
+
+use crate::shape::{num_elements, strides};
+use crate::{tensor_err, DType, Result};
+use rand::RngExt as _;
+use std::fmt;
+
+/// Storage for tensor elements.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Buffer {
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+}
+
+impl Buffer {
+    fn len(&self) -> usize {
+        match self {
+            Buffer::F32(v) => v.len(),
+            Buffer::I64(v) => v.len(),
+            Buffer::Bool(v) => v.len(),
+        }
+    }
+
+    fn dtype(&self) -> DType {
+        match self {
+            Buffer::F32(_) => DType::F32,
+            Buffer::I64(_) => DType::I64,
+            Buffer::Bool(_) => DType::Bool,
+        }
+    }
+}
+
+/// A dense, row-major n-dimensional array.
+///
+/// Tensors are the values that flow through both rlgraph backends. A rank-0
+/// tensor (empty shape) is a scalar.
+///
+/// # Example
+///
+/// ```
+/// use rlgraph_tensor::Tensor;
+///
+/// # fn main() -> Result<(), rlgraph_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0f32, 2.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(t.shape(), &[2, 2]);
+/// assert_eq!(t.get_f32(&[1, 0])?, 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    buffer: Buffer,
+}
+
+impl Tensor {
+    // ----- constructors -----
+
+    /// Builds an f32 tensor from a flat vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `data.len()` does not match the element count of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        if data.len() != num_elements(shape) {
+            return Err(tensor_err!(
+                "data length {} does not match shape {:?} ({} elements)",
+                data.len(),
+                shape,
+                num_elements(shape)
+            ));
+        }
+        Ok(Tensor { shape: shape.to_vec(), buffer: Buffer::F32(data) })
+    }
+
+    /// Builds an i64 tensor from a flat vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `data.len()` does not match the element count of `shape`.
+    pub fn from_vec_i64(data: Vec<i64>, shape: &[usize]) -> Result<Self> {
+        if data.len() != num_elements(shape) {
+            return Err(tensor_err!(
+                "data length {} does not match shape {:?}",
+                data.len(),
+                shape
+            ));
+        }
+        Ok(Tensor { shape: shape.to_vec(), buffer: Buffer::I64(data) })
+    }
+
+    /// Builds a bool tensor from a flat vector and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `data.len()` does not match the element count of `shape`.
+    pub fn from_vec_bool(data: Vec<bool>, shape: &[usize]) -> Result<Self> {
+        if data.len() != num_elements(shape) {
+            return Err(tensor_err!(
+                "data length {} does not match shape {:?}",
+                data.len(),
+                shape
+            ));
+        }
+        Ok(Tensor { shape: shape.to_vec(), buffer: Buffer::Bool(data) })
+    }
+
+    /// A rank-0 f32 scalar.
+    pub fn scalar(v: f32) -> Self {
+        Tensor { shape: vec![], buffer: Buffer::F32(vec![v]) }
+    }
+
+    /// A rank-0 i64 scalar.
+    pub fn scalar_i64(v: i64) -> Self {
+        Tensor { shape: vec![], buffer: Buffer::I64(vec![v]) }
+    }
+
+    /// A rank-0 bool scalar.
+    pub fn scalar_bool(v: bool) -> Self {
+        Tensor { shape: vec![], buffer: Buffer::Bool(vec![v]) }
+    }
+
+    /// All-zero tensor of the given dtype.
+    pub fn zeros(shape: &[usize], dtype: DType) -> Self {
+        let n = num_elements(shape);
+        let buffer = match dtype {
+            DType::F32 => Buffer::F32(vec![0.0; n]),
+            DType::I64 => Buffer::I64(vec![0; n]),
+            DType::Bool => Buffer::Bool(vec![false; n]),
+        };
+        Tensor { shape: shape.to_vec(), buffer }
+    }
+
+    /// All-one f32 tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// f32 tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor { shape: shape.to_vec(), buffer: Buffer::F32(vec![value; num_elements(shape)]) }
+    }
+
+    // ----- accessors -----
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// `true` when the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The element type.
+    pub fn dtype(&self) -> DType {
+        self.buffer.dtype()
+    }
+
+    /// Borrows the f32 data.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the tensor is not [`DType::F32`].
+    pub fn as_f32(&self) -> Result<&[f32]> {
+        match &self.buffer {
+            Buffer::F32(v) => Ok(v),
+            other => Err(tensor_err!("expected f32 tensor, found {}", other.dtype())),
+        }
+    }
+
+    /// Mutably borrows the f32 data.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the tensor is not [`DType::F32`].
+    pub fn as_f32_mut(&mut self) -> Result<&mut [f32]> {
+        match &mut self.buffer {
+            Buffer::F32(v) => Ok(v),
+            other => Err(tensor_err!("expected f32 tensor, found {}", other.dtype())),
+        }
+    }
+
+    /// Borrows the i64 data.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the tensor is not [`DType::I64`].
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match &self.buffer {
+            Buffer::I64(v) => Ok(v),
+            other => Err(tensor_err!("expected i64 tensor, found {}", other.dtype())),
+        }
+    }
+
+    /// Borrows the bool data.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the tensor is not [`DType::Bool`].
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match &self.buffer {
+            Buffer::Bool(v) => Ok(v),
+            other => Err(tensor_err!("expected bool tensor, found {}", other.dtype())),
+        }
+    }
+
+    /// The single value of a rank-0/one-element f32 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the tensor has more than one element or is not f32.
+    pub fn scalar_value(&self) -> Result<f32> {
+        let data = self.as_f32()?;
+        if data.len() != 1 {
+            return Err(tensor_err!("expected scalar, found shape {:?}", self.shape));
+        }
+        Ok(data[0])
+    }
+
+    /// The single value of a rank-0/one-element i64 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the tensor has more than one element or is not i64.
+    pub fn scalar_value_i64(&self) -> Result<i64> {
+        let data = self.as_i64()?;
+        if data.len() != 1 {
+            return Err(tensor_err!("expected scalar, found shape {:?}", self.shape));
+        }
+        Ok(data[0])
+    }
+
+    /// Reads the f32 element at the given coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Errors on rank mismatch, out-of-bounds coordinates, or wrong dtype.
+    pub fn get_f32(&self, coords: &[usize]) -> Result<f32> {
+        let idx = self.flat_index(coords)?;
+        Ok(self.as_f32()?[idx])
+    }
+
+    /// Reads the i64 element at the given coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Errors on rank mismatch, out-of-bounds coordinates, or wrong dtype.
+    pub fn get_i64(&self, coords: &[usize]) -> Result<i64> {
+        let idx = self.flat_index(coords)?;
+        Ok(self.as_i64()?[idx])
+    }
+
+    fn flat_index(&self, coords: &[usize]) -> Result<usize> {
+        if coords.len() != self.rank() {
+            return Err(tensor_err!(
+                "coordinate rank {} does not match tensor rank {}",
+                coords.len(),
+                self.rank()
+            ));
+        }
+        for (i, (&c, &d)) in coords.iter().zip(&self.shape).enumerate() {
+            if c >= d {
+                return Err(tensor_err!("index {} out of bounds for axis {} (size {})", c, i, d));
+            }
+        }
+        Ok(coords.iter().zip(strides(&self.shape)).map(|(c, s)| c * s).sum())
+    }
+
+    // ----- conversions -----
+
+    /// Casts to another dtype. Bool becomes 0/1; floats truncate toward zero
+    /// when cast to i64; nonzero numbers become `true` when cast to bool.
+    pub fn cast(&self, to: DType) -> Tensor {
+        if self.dtype() == to {
+            return self.clone();
+        }
+        let buffer = match (&self.buffer, to) {
+            (Buffer::F32(v), DType::I64) => Buffer::I64(v.iter().map(|&x| x as i64).collect()),
+            (Buffer::F32(v), DType::Bool) => Buffer::Bool(v.iter().map(|&x| x != 0.0).collect()),
+            (Buffer::I64(v), DType::F32) => Buffer::F32(v.iter().map(|&x| x as f32).collect()),
+            (Buffer::I64(v), DType::Bool) => Buffer::Bool(v.iter().map(|&x| x != 0).collect()),
+            (Buffer::Bool(v), DType::F32) => {
+                Buffer::F32(v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect())
+            }
+            (Buffer::Bool(v), DType::I64) => {
+                Buffer::I64(v.iter().map(|&x| i64::from(x)).collect())
+            }
+            _ => unreachable!("same-dtype cast handled above"),
+        };
+        Tensor { shape: self.shape.clone(), buffer }
+    }
+
+    /// Returns the data as f32, casting if necessary.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        match &self.buffer {
+            Buffer::F32(v) => v.clone(),
+            Buffer::I64(v) => v.iter().map(|&x| x as f32).collect(),
+            Buffer::Bool(v) => v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect(),
+        }
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Errors if element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Result<Tensor> {
+        if num_elements(shape) != self.len() {
+            return Err(tensor_err!(
+                "cannot reshape {:?} ({} elements) to {:?}",
+                self.shape,
+                self.len(),
+                shape
+            ));
+        }
+        Ok(Tensor { shape: shape.to_vec(), buffer: self.buffer.clone() })
+    }
+
+    /// Concatenates `items` along a new leading axis (they must share shape
+    /// and dtype). Used for batching environment observations.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `items` is empty or shapes/dtypes disagree.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor> {
+        let first = items
+            .first()
+            .ok_or_else(|| tensor_err!("cannot stack zero tensors"))?;
+        let mut shape = vec![items.len()];
+        shape.extend_from_slice(first.shape());
+        for t in items {
+            if t.shape() != first.shape() || t.dtype() != first.dtype() {
+                return Err(tensor_err!("stack requires identical shapes and dtypes"));
+            }
+        }
+        let buffer = match first.dtype() {
+            DType::F32 => {
+                let mut v = Vec::with_capacity(num_elements(&shape));
+                for t in items {
+                    v.extend_from_slice(t.as_f32()?);
+                }
+                Buffer::F32(v)
+            }
+            DType::I64 => {
+                let mut v = Vec::with_capacity(num_elements(&shape));
+                for t in items {
+                    v.extend_from_slice(t.as_i64()?);
+                }
+                Buffer::I64(v)
+            }
+            DType::Bool => {
+                let mut v = Vec::with_capacity(num_elements(&shape));
+                for t in items {
+                    v.extend_from_slice(t.as_bool()?);
+                }
+                Buffer::Bool(v)
+            }
+        };
+        Ok(Tensor { shape, buffer })
+    }
+
+    /// Splits along the leading axis into `shape[0]` tensors.
+    ///
+    /// # Errors
+    ///
+    /// Errors on rank-0 tensors.
+    pub fn unstack(&self) -> Result<Vec<Tensor>> {
+        if self.rank() == 0 {
+            return Err(tensor_err!("cannot unstack a scalar"));
+        }
+        let n = self.shape[0];
+        let inner: Vec<usize> = self.shape[1..].to_vec();
+        let chunk = num_elements(&inner);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let buffer = match &self.buffer {
+                Buffer::F32(v) => Buffer::F32(v[i * chunk..(i + 1) * chunk].to_vec()),
+                Buffer::I64(v) => Buffer::I64(v[i * chunk..(i + 1) * chunk].to_vec()),
+                Buffer::Bool(v) => Buffer::Bool(v[i * chunk..(i + 1) * chunk].to_vec()),
+            };
+            out.push(Tensor { shape: inner.clone(), buffer });
+        }
+        Ok(out)
+    }
+
+    // ----- random constructors -----
+
+    /// Uniform random f32 tensor in `[lo, hi)`.
+    pub fn rand_uniform<R: rand::Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let n = num_elements(shape);
+        let data: Vec<f32> = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+        Tensor { shape: shape.to_vec(), buffer: Buffer::F32(data) }
+    }
+
+    /// Standard-normal random f32 tensor scaled by `std` around `mean`
+    /// (Box–Muller transform; no external distribution crate needed).
+    pub fn rand_normal<R: rand::Rng>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Self {
+        let n = num_elements(shape);
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.random_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor { shape: shape.to_vec(), buffer: Buffer::F32(data) }
+    }
+
+    /// Uniform random i64 tensor in `[lo, hi)`.
+    pub fn rand_int<R: rand::Rng>(shape: &[usize], lo: i64, hi: i64, rng: &mut R) -> Self {
+        let n = num_elements(shape);
+        let data: Vec<i64> = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+        Tensor { shape: shape.to_vec(), buffer: Buffer::I64(data) }
+    }
+
+    /// Approximate element-wise equality for f32 tensors (absolute
+    /// tolerance); exact equality for other dtypes.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        if self.shape != other.shape || self.dtype() != other.dtype() {
+            return false;
+        }
+        match (&self.buffer, &other.buffer) {
+            (Buffer::F32(a), Buffer::F32(b)) => {
+                a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol || (x.is_nan() && y.is_nan()))
+            }
+            _ => self.buffer == other.buffer,
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor<{}>{:?}", self.dtype(), self.shape)?;
+        const MAX: usize = 16;
+        match &self.buffer {
+            Buffer::F32(v) => write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" }),
+            Buffer::I64(v) => write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" }),
+            Buffer::Bool(v) => write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" }),
+        }
+    }
+}
+
+impl From<f32> for Tensor {
+    fn from(v: f32) -> Self {
+        Tensor::scalar(v)
+    }
+}
+
+impl From<i64> for Tensor {
+    fn from(v: i64) -> Self {
+        Tensor::scalar_i64(v)
+    }
+}
+
+impl From<bool> for Tensor {
+    fn from(v: bool) -> Self {
+        Tensor::scalar_bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_index() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.get_f32(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(t.get_f32(&[1, 2]).unwrap(), 6.0);
+        assert!(t.get_f32(&[2, 0]).is_err());
+        assert!(t.get_f32(&[0]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec_i64(vec![1], &[2]).is_err());
+        assert!(Tensor::from_vec_bool(vec![true], &[0]).is_err());
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(Tensor::scalar(3.5).scalar_value().unwrap(), 3.5);
+        assert_eq!(Tensor::scalar_i64(7).scalar_value_i64().unwrap(), 7);
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap().scalar_value().is_err());
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[2, 2], DType::F32).as_f32().unwrap(), &[0.0; 4]);
+        assert_eq!(Tensor::zeros(&[3], DType::I64).as_i64().unwrap(), &[0; 3]);
+        assert_eq!(Tensor::ones(&[2]).as_f32().unwrap(), &[1.0, 1.0]);
+        assert_eq!(Tensor::full(&[2], 4.5).as_f32().unwrap(), &[4.5, 4.5]);
+    }
+
+    #[test]
+    fn casting() {
+        let t = Tensor::from_vec(vec![0.0, 1.9, -2.5], &[3]).unwrap();
+        assert_eq!(t.cast(DType::I64).as_i64().unwrap(), &[0, 1, -2]);
+        assert_eq!(t.cast(DType::Bool).as_bool().unwrap(), &[false, true, true]);
+        let b = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        assert_eq!(b.cast(DType::F32).as_f32().unwrap(), &[1.0, 0.0]);
+        assert_eq!(b.cast(DType::I64).as_i64().unwrap(), &[1, 0]);
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        let parts = s.unstack().unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn stack_rejects_mismatch() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0], &[1]).unwrap();
+        assert!(Tensor::stack(&[a, b]).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn random_constructors_in_range() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let u = Tensor::rand_uniform(&[100], -1.0, 1.0, &mut rng);
+        assert!(u.as_f32().unwrap().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let i = Tensor::rand_int(&[100], 0, 5, &mut rng);
+        assert!(i.as_i64().unwrap().iter().all(|&x| (0..5).contains(&x)));
+        let n = Tensor::rand_normal(&[1001], 0.0, 1.0, &mut rng);
+        let mean: f32 = n.as_f32().unwrap().iter().sum::<f32>() / 1001.0;
+        assert!(mean.abs() < 0.2, "sample mean {} too far from 0", mean);
+    }
+
+    #[test]
+    fn allclose_tolerance() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0005, 2.0], &[2]).unwrap();
+        assert!(a.allclose(&b, 1e-3));
+        assert!(!a.allclose(&b, 1e-5));
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(&[100], DType::F32);
+        let s = t.to_string();
+        assert!(s.contains("…"));
+        assert!(s.starts_with("Tensor<f32>"));
+    }
+}

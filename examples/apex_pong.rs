@@ -1,0 +1,55 @@
+//! Distributed Ape-X on GridPong: workers, replay shards, and a learner
+//! coordinated Ray-style on threads (paper §5.1, Figs. 6/7).
+//!
+//! ```text
+//! cargo run --release --example apex_pong
+//! ```
+
+use rlgraph::prelude::*;
+use rlgraph_dist::{run_apex, ApexRunConfig};
+use rlgraph_envs::gridpong::PongObs;
+use std::time::Duration;
+
+fn main() -> rlgraph_core::Result<()> {
+    let agent = DqnConfig {
+        backend: Backend::Static,
+        network: NetworkSpec::mlp(&[64, 64], Activation::Tanh),
+        memory_capacity: 50_000,
+        batch_size: 32,
+        n_step: 3,
+        target_sync_every: 200,
+        epsilon: EpsilonSchedule { start: 1.0, end: 0.05, decay_steps: 20_000 },
+        seed: 3,
+        ..DqnConfig::default()
+    };
+    let config = ApexRunConfig {
+        agent,
+        num_workers: 2,
+        envs_per_worker: 4,
+        task_size: 200,
+        num_shards: 2,
+        weight_sync_interval: 16,
+        run_duration: Duration::from_secs(30),
+        max_updates: None,
+    };
+    println!(
+        "running Ape-X: {} workers x {} envs, {} shards, {:?} budget ...",
+        config.num_workers, config.envs_per_worker, config.num_shards, config.run_duration
+    );
+    let stats = run_apex(config, |w, e| {
+        let mut cfg = GridPongConfig::learnable((w * 100 + e) as u64);
+        cfg.obs = PongObs::Vector;
+        Box::new(GridPong::new(cfg))
+    })?;
+    println!("env frames:        {}", stats.env_frames);
+    println!("samples shipped:   {}", stats.samples_collected);
+    println!("learner updates:   {}", stats.updates);
+    println!("throughput:        {:.0} env frames/s", stats.frames_per_second);
+    if let Some(r) = stats.mean_recent_return(50) {
+        println!("mean recent return: {:.2} (game to 5 points, range -5..5)", r);
+    }
+    if let (Some(first), Some(last)) = (stats.losses.first(), stats.losses.last()) {
+        println!("learner loss:      {:.4} -> {:.4}", first, last);
+    }
+    Ok(())
+}

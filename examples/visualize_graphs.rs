@@ -1,0 +1,83 @@
+//! Graph visualisation (paper Appendix A): exports component-scoped,
+//! device-coloured Graphviz renderings of the Ape-X/DQN learner and the
+//! IMPALA actor.
+//!
+//! ```text
+//! cargo run --release --example visualize_graphs
+//! dot -Tsvg target/dqn_learner.dot -o dqn.svg   # if graphviz is installed
+//! ```
+
+use rlgraph::prelude::*;
+use rlgraph_agents::dqn::{dqn_api_spaces, DqnRoot};
+use rlgraph_agents::impala::ImpalaActorRoot;
+use rlgraph_core::dot::{graph_to_dot, meta_to_dot};
+use rlgraph_core::DeviceMap;
+use rlgraph_envs::RandomEnv;
+use rlgraph_graph::{Device, TensorQueue};
+use std::fs;
+
+fn main() -> rlgraph_core::Result<()> {
+    fs::create_dir_all("target").ok();
+
+    // ----- DQN / Ape-X learner -----
+    let config = DqnConfig {
+        network: NetworkSpec::mlp(&[32, 32], Activation::Relu),
+        batch_size: 8,
+        ..DqnConfig::default()
+    };
+    let mut store = ComponentStore::new();
+    let root = DqnRoot::compose(&mut store, &config, 4);
+    let root_id = store.add(root);
+    // Device map: policy on the (simulated) GPU, everything else CPU —
+    // the colouring the paper's Appendix A highlights.
+    let mut devices = DeviceMap::new();
+    devices.assign("", Device::Cpu);
+    devices.assign("dqn/policy", Device::Gpu(0));
+    devices.assign("dqn/target-policy", Device::Gpu(0));
+    let mut builder =
+        ComponentGraphBuilder::new(root_id).device_map(devices).dummy_batch(config.batch_size);
+    for (m, s) in dqn_api_spaces(&Space::float_box(&[6]), &Space::int_box(4)) {
+        builder = builder.api_method(&m, s);
+    }
+    let (executor, report) = builder.build_static(store)?;
+    let graph = executor.session().graph();
+    let dot = graph_to_dot(graph, "rlgraph Ape-X learner");
+    fs::write("target/dqn_learner.dot", &dot).expect("write dot file");
+    let meta_dot = meta_to_dot(rlgraph_core::GraphExecutor::meta(&executor), "DQN component graph");
+    fs::write("target/dqn_components.dot", &meta_dot).expect("write dot file");
+    println!(
+        "DQN learner: {} components, {} nodes -> target/dqn_learner.dot ({} bytes)",
+        report.num_components,
+        report.num_nodes,
+        dot.len()
+    );
+
+    // ----- IMPALA actor (fused env stepping) -----
+    let impala_cfg = ImpalaConfig {
+        network: NetworkSpec::mlp(&[32], Activation::Relu),
+        rollout_len: 4,
+        ..ImpalaConfig::default()
+    };
+    let queue = TensorQueue::new("rollouts", 2);
+    let envs = VectorEnv::from_factory(2, |i| {
+        Box::new(RandomEnv::new(&[6], 4, 50, i as u64)) as Box<dyn Env>
+    })
+    .map_err(|e| rlgraph_core::CoreError::new(e.message()))?;
+    let mut store = ComponentStore::new();
+    let (actor_root, _envs_handle) = ImpalaActorRoot::compose(&mut store, &impala_cfg, envs, queue);
+    let actor_id = store.add(actor_root);
+    let builder = ComponentGraphBuilder::new(actor_id)
+        .api_method("rollout_and_enqueue", vec![])
+        .dummy_batch(2);
+    let (actor_exec, actor_report) = builder.build_static(store)?;
+    let actor_dot = graph_to_dot(actor_exec.session().graph(), "rlgraph IMPALA actor");
+    fs::write("target/impala_actor.dot", &actor_dot).expect("write dot file");
+    println!(
+        "IMPALA actor: {} components, {} nodes -> target/impala_actor.dot ({} bytes)",
+        actor_report.num_components,
+        actor_report.num_nodes,
+        actor_dot.len()
+    );
+    println!("render with: dot -Tsvg target/dqn_learner.dot -o dqn.svg");
+    Ok(())
+}

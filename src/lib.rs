@@ -1,0 +1,88 @@
+//! # rlgraph
+//!
+//! A Rust reproduction of **RLgraph: Modular Computation Graphs for Deep
+//! Reinforcement Learning** (Schaarschmidt, Mika, Fricke, Yoneki —
+//! SysML 2019), including every substrate the paper depends on: a
+//! static-graph backend, a define-by-run backend, neural-network layers,
+//! replay memories, simulation environments, distributed executors, and a
+//! calibrated cluster simulator for paper-scale experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rlgraph::prelude::*;
+//!
+//! # fn main() -> rlgraph_core::Result<()> {
+//! // Declare the input spaces; the build infers every internal shape.
+//! let state_space = Space::float_box_bounded(&[4], -5.0, 5.0);
+//! let action_space = Space::int_box(2);
+//!
+//! // A declarative agent config (also loadable from JSON).
+//! let config = DqnConfig {
+//!     network: NetworkSpec::mlp(&[32], Activation::Tanh),
+//!     batch_size: 8,
+//!     memory_capacity: 1000,
+//!     ..DqnConfig::default()
+//! };
+//! let mut agent = DqnAgent::new(config, &state_space, &action_space)?;
+//!
+//! // Act, observe, learn — each a single backend call.
+//! let states = Tensor::zeros(&[2, 4], DType::F32);
+//! let actions = agent.get_actions(states, true)?;
+//! assert_eq!(actions.shape(), &[2]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`rlgraph_core`] | component graphs, three-phase build, executors |
+//! | [`rlgraph_tensor`] | tensors, kernels, shared gradient rules |
+//! | [`rlgraph_graph`] | static dataflow graph, sessions, queues |
+//! | [`rlgraph_spaces`] | typed space objects |
+//! | [`rlgraph_nn`] | layers, initializers, optimizer math |
+//! | [`rlgraph_memory`] | replay buffers, segment trees, n-step |
+//! | [`rlgraph_envs`] | GridPong, SeekAvoid, CartPole, vector envs |
+//! | [`rlgraph_agents`] | DQN, Ape-X pieces, IMPALA with V-trace |
+//! | [`rlgraph_dist`] | Ray-style and parameter-server-style execution |
+//! | [`rlgraph_sim`] | calibrated discrete-event cluster simulation |
+//! | [`rlgraph_baselines`] | RLlib-style / hand-tuned / DM-style baselines |
+
+pub use rlgraph_agents as agents;
+pub use rlgraph_baselines as baselines;
+pub use rlgraph_core as core;
+pub use rlgraph_dist as dist;
+pub use rlgraph_envs as envs;
+pub use rlgraph_graph as graph;
+pub use rlgraph_memory as memory;
+pub use rlgraph_nn as nn;
+pub use rlgraph_sim as sim;
+pub use rlgraph_spaces as spaces;
+pub use rlgraph_tensor as tensor;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use rlgraph_agents::{Backend, DqnAgent, DqnConfig, EpsilonSchedule, ImpalaConfig};
+    pub use rlgraph_core::{
+        BuildCtx, Component, ComponentGraphBuilder, ComponentId, ComponentStore, ComponentTest,
+        GraphExecutor, OpRef, TestBackend,
+    };
+    pub use rlgraph_envs::{CartPole, Env, GridPong, GridPongConfig, SeekAvoid, VectorEnv};
+    pub use rlgraph_nn::{Activation, LayerSpec, NetworkSpec, OptimizerSpec};
+    pub use rlgraph_spaces::{Space, SpaceValue};
+    pub use rlgraph_tensor::{DType, OpKind, Tensor};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_links() {
+        use crate::prelude::*;
+        let s = Space::float_box(&[2]);
+        assert_eq!(s.flat_dim().unwrap(), 2);
+        let t = Tensor::scalar(1.0);
+        assert_eq!(t.dtype(), DType::F32);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-backend integration: the same component graph built for the
+//! static backend and the define-by-run backend must behave identically
+//! given identical seeds — the paper's central "unified execution
+//! interface" claim (§4.2).
+
+use rlgraph::prelude::*;
+
+fn spaces() -> (Space, Space) {
+    (Space::float_box_bounded(&[5], -3.0, 3.0), Space::int_box(3))
+}
+
+fn config(backend: Backend) -> DqnConfig {
+    DqnConfig {
+        backend,
+        network: NetworkSpec::mlp(&[24, 24], Activation::Tanh),
+        memory_capacity: 256,
+        batch_size: 8,
+        target_sync_every: 1000,
+        seed: 21,
+        ..DqnConfig::default()
+    }
+}
+
+fn observe_fixed(agent: &mut DqnAgent) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let n = 32;
+    agent
+        .observe(
+            Tensor::rand_uniform(&[n, 5], -1.0, 1.0, &mut rng),
+            Tensor::rand_int(&[n], 0, 3, &mut rng),
+            Tensor::rand_uniform(&[n], -1.0, 1.0, &mut rng),
+            Tensor::rand_uniform(&[n, 5], -1.0, 1.0, &mut rng),
+            Tensor::zeros(&[n], DType::Bool),
+        )
+        .unwrap();
+}
+
+#[test]
+fn greedy_actions_identical_across_backends() {
+    let (ss, asp) = spaces();
+    let mut a = DqnAgent::new(config(Backend::Static), &ss, &asp).unwrap();
+    let mut b = DqnAgent::new(config(Backend::DefineByRun), &ss, &asp).unwrap();
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let states = Tensor::rand_uniform(&[7, 5], -1.0, 1.0, &mut rng);
+        let act_a = a.get_actions(states.clone(), false).unwrap();
+        let act_b = b.get_actions(states, false).unwrap();
+        assert_eq!(act_a, act_b);
+    }
+}
+
+#[test]
+fn exploratory_actions_identical_across_backends() {
+    // Exploration randomness comes from a seeded kernel shared by design,
+    // so even exploring action streams must match.
+    let (ss, asp) = spaces();
+    let mut a = DqnAgent::new(config(Backend::Static), &ss, &asp).unwrap();
+    let mut b = DqnAgent::new(config(Backend::DefineByRun), &ss, &asp).unwrap();
+    let states = Tensor::full(&[16, 5], 0.25);
+    for _ in 0..4 {
+        let act_a = a.get_actions(states.clone(), true).unwrap();
+        let act_b = b.get_actions(states.clone(), true).unwrap();
+        assert_eq!(act_a, act_b);
+    }
+}
+
+#[test]
+fn update_losses_identical_across_backends() {
+    // Identical init seeds + identical memory-sampling seeds → the entire
+    // loss trajectory must agree between backends.
+    let (ss, asp) = spaces();
+    let mut a = DqnAgent::new(config(Backend::Static), &ss, &asp).unwrap();
+    let mut b = DqnAgent::new(config(Backend::DefineByRun), &ss, &asp).unwrap();
+    observe_fixed(&mut a);
+    observe_fixed(&mut b);
+    for step in 0..10 {
+        let la = a.update().unwrap().expect("data available");
+        let lb = b.update().unwrap().expect("data available");
+        assert!(
+            (la - lb).abs() < 1e-4,
+            "losses diverged at step {}: static {} vs dbr {}",
+            step,
+            la,
+            lb
+        );
+    }
+}
+
+#[test]
+fn weights_transfer_across_backends() {
+    let (ss, asp) = spaces();
+    let mut a = DqnAgent::new(config(Backend::Static), &ss, &asp).unwrap();
+    observe_fixed(&mut a);
+    for _ in 0..5 {
+        a.update().unwrap();
+    }
+    let mut cfg_b = config(Backend::DefineByRun);
+    cfg_b.seed = 999; // different init — must be overwritten by import
+    let mut b = DqnAgent::new(cfg_b, &ss, &asp).unwrap();
+    b.import_model(&a.export_model()).unwrap();
+    let states = Tensor::full(&[4, 5], -0.4);
+    assert_eq!(
+        a.get_actions(states.clone(), false).unwrap(),
+        b.get_actions(states, false).unwrap()
+    );
+}
