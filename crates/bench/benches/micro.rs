@@ -43,9 +43,7 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("build");
     group.sample_size(10);
     group.bench_function("dqn_static", |bench| bench.iter(|| agent(Backend::Static)));
-    group.bench_function("dqn_define_by_run", |bench| {
-        bench.iter(|| agent(Backend::DefineByRun))
-    });
+    group.bench_function("dqn_define_by_run", |bench| bench.iter(|| agent(Backend::DefineByRun)));
     group.finish();
 }
 

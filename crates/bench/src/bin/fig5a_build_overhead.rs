@@ -17,9 +17,11 @@ use rlgraph_core::{BuildReport, ComponentGraphBuilder, ComponentStore};
 use rlgraph_spaces::Space;
 use std::time::Duration;
 
-fn replay_component_store() -> (ComponentStore, rlgraph_core::ComponentId, Vec<(String, Vec<Space>)>) {
+fn replay_component_store() -> (ComponentStore, rlgraph_core::ComponentId, Vec<(String, Vec<Space>)>)
+{
     let mut store = ComponentStore::new();
-    let comp = PrioritizedReplayComponent::new("prioritized-replay", shared_replay(1024, 0.6), 32, 0.4, 0);
+    let comp =
+        PrioritizedReplayComponent::new("prioritized-replay", shared_replay(1024, 0.6), 32, 0.4, 0);
     let id = store.add(comp);
     let s = Space::float_box(&[84]).with_batch_rank();
     let a = Space::int_box(6).with_batch_rank();
@@ -82,10 +84,10 @@ fn dqn_store() -> (ComponentStore, rlgraph_core::ComponentId, Vec<(String, Vec<S
     (store, root_id, api)
 }
 
-fn build_once(
-    make: fn() -> (ComponentStore, rlgraph_core::ComponentId, Vec<(String, Vec<Space>)>),
-    backend: Backend,
-) -> BuildReport {
+/// A case constructor: component store, root id, and the API signature.
+type MakeCase = fn() -> (ComponentStore, rlgraph_core::ComponentId, Vec<(String, Vec<Space>)>);
+
+fn build_once(make: MakeCase, backend: Backend) -> BuildReport {
     let (store, root, api) = make();
     let mut builder = ComponentGraphBuilder::new(root).dummy_batch(32);
     for (m, s) in api {
@@ -97,11 +99,7 @@ fn build_once(
     }
 }
 
-fn mean_report(
-    make: fn() -> (ComponentStore, rlgraph_core::ComponentId, Vec<(String, Vec<Space>)>),
-    backend: Backend,
-    runs: usize,
-) -> (Duration, Duration, BuildReport) {
+fn mean_report(make: MakeCase, backend: Backend, runs: usize) -> (Duration, Duration, BuildReport) {
     let mut trace = Duration::ZERO;
     let mut build = Duration::ZERO;
     let mut last = build_once(make, backend); // warm-up
@@ -126,10 +124,12 @@ fn main() {
         "variables",
     ]);
     let runs = 10;
-    let cases: [(&str, fn() -> (ComponentStore, rlgraph_core::ComponentId, Vec<(String, Vec<Space>)>)); 2] =
+    let cases: [(&str, MakeCase); 2] =
         [("prioritized-replay", replay_component_store), ("dueling-dqn", dqn_store)];
     for (name, make) in cases {
-        for (backend, label) in [(Backend::Static, "static"), (Backend::DefineByRun, "define-by-run")] {
+        for (backend, label) in
+            [(Backend::Static, "static"), (Backend::DefineByRun, "define-by-run")]
+        {
             let (trace, build, report) = mean_report(make, backend, runs);
             tsv_row(&[
                 name.to_string(),

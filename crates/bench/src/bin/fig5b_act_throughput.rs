@@ -130,7 +130,9 @@ fn main() {
 /// path armed for greedy acting.
 fn run_fast_path(n_envs: usize) -> f64 {
     use rlgraph_agents::components::Policy;
-    use rlgraph_core::{BuildCtx, Component, ComponentGraphBuilder, ComponentId, ComponentStore, OpRef};
+    use rlgraph_core::{
+        BuildCtx, Component, ComponentGraphBuilder, ComponentId, ComponentStore, OpRef,
+    };
     use rlgraph_spaces::Space;
 
     struct ActRoot {

@@ -68,10 +68,9 @@ struct Calibration {
 }
 
 fn calibrate_rlgraph() -> Calibration {
-    let vec_env = VectorEnv::from_factory(ENVS_PER_WORKER, |i| {
-        Box::new(env(i as u64)) as Box<dyn Env>
-    })
-    .expect("envs");
+    let vec_env =
+        VectorEnv::from_factory(ENVS_PER_WORKER, |i| Box::new(env(i as u64)) as Box<dyn Env>)
+            .expect("envs");
     let mut worker = ApexWorker::new(agent_config(), vec_env).expect("worker");
     worker.collect(TASK_SIZE).expect("warm-up");
     let runs = 5;
@@ -84,13 +83,19 @@ fn calibrate_rlgraph() -> Calibration {
     let frames_per_task = frames as f64 / runs as f64;
     let (insert_time, sample_time, priority_update_time) = calibrate_shard();
     let train_time = calibrate_learner();
-    Calibration { task_time, frames_per_task, insert_time, sample_time, priority_update_time, train_time }
+    Calibration {
+        task_time,
+        frames_per_task,
+        insert_time,
+        sample_time,
+        priority_update_time,
+        train_time,
+    }
 }
 
 fn calibrate_rllib_style() -> Calibration {
-    let envs: Vec<Box<dyn Env>> = (0..ENVS_PER_WORKER)
-        .map(|i| Box::new(env(i as u64)) as Box<dyn Env>)
-        .collect();
+    let envs: Vec<Box<dyn Env>> =
+        (0..ENVS_PER_WORKER).map(|i| Box::new(env(i as u64)) as Box<dyn Env>).collect();
     let mut worker = RllibStyleWorker::new(agent_config(), envs).expect("worker");
     worker.collect(TASK_SIZE).expect("warm-up");
     let runs = 5;
@@ -104,7 +109,14 @@ fn calibrate_rllib_style() -> Calibration {
     // shards and learner are shared infrastructure: same costs
     let (insert_time, sample_time, priority_update_time) = calibrate_shard();
     let train_time = calibrate_learner();
-    Calibration { task_time, frames_per_task, insert_time, sample_time, priority_update_time, train_time }
+    Calibration {
+        task_time,
+        frames_per_task,
+        insert_time,
+        sample_time,
+        priority_update_time,
+        train_time,
+    }
 }
 
 /// Measures shard service times directly on the replay structure.
@@ -147,7 +159,8 @@ fn calibrate_shard() -> (f64, f64, f64) {
 fn calibrate_learner() -> f64 {
     use rand::SeedableRng;
     let e = env(0);
-    let mut learner = DqnAgent::new(agent_config(), &e.state_space(), &e.action_space()).expect("learner");
+    let mut learner =
+        DqnAgent::new(agent_config(), &e.state_space(), &e.action_space()).expect("learner");
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let mut batch = move || {
         [
@@ -170,6 +183,7 @@ fn calibrate_learner() -> f64 {
 }
 
 fn main() {
+    let trace_path = bench::trace_arg();
     println!("# Figure 6: distributed Ape-X throughput (simulated cluster, measured costs)");
     println!("# calibrating rlgraph worker ...");
     let rlgraph = calibrate_rlgraph();
@@ -209,4 +223,24 @@ fn main() {
     }
     println!("# paper shape: rlgraph leads at every count (paper: +185% @16, +60% @256),");
     println!("# both curves flattening as shard/learner service saturates.");
+    if let Some(path) = trace_path {
+        // Chrome trace of a 16-worker simulated run with the measured
+        // rlgraph costs, on the virtual clock (load in chrome://tracing).
+        let params = ApexSimParams {
+            num_workers: 16,
+            frames_per_task: rlgraph.frames_per_task,
+            task_time: rlgraph.task_time,
+            insert_time: rlgraph.insert_time,
+            sample_time: rlgraph.sample_time,
+            priority_update_time: rlgraph.priority_update_time,
+            train_time: rlgraph.train_time,
+            num_shards: 4,
+            max_shard_backlog: 0.25,
+            learner_enabled: true,
+            duration: 30.0,
+        };
+        let json = bench::apex_sim_chrome_trace(&params);
+        std::fs::write(&path, json).expect("write trace file");
+        println!("# wrote Chrome trace of the simulated 16-worker run to {}", path.display());
+    }
 }

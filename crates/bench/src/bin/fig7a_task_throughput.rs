@@ -73,6 +73,8 @@ fn main() {
             ]);
         }
     }
-    println!("# paper shape: rlgraph above rllib at every point, with the gap growing with env count");
+    println!(
+        "# paper shape: rlgraph above rllib at every point, with the gap growing with env count"
+    );
     println!("# (batched acting) and with larger tasks (batched vs per-record post-processing).");
 }

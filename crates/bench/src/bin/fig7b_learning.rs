@@ -74,8 +74,9 @@ fn run(label: &str, mut collector: Collector, seed: u64) -> Vec<(f64, f32)> {
         let [s, a, r, s2, t] =
             rlgraph_agents::components::memory::transitions_to_batch(&batch.transitions)
                 .expect("batch");
-        let p = rlgraph_tensor::Tensor::from_vec(batch.priorities.clone(), &[batch.priorities.len()])
-            .expect("priorities");
+        let p =
+            rlgraph_tensor::Tensor::from_vec(batch.priorities.clone(), &[batch.priorities.len()])
+                .expect("priorities");
         learner.observe_with_priorities(s, a, r, s2, t, p).expect("insert");
         // Learner runs concurrently with collection on its own node.
         let t1 = Instant::now();
@@ -124,7 +125,8 @@ fn main() {
     );
     let envs: Vec<Box<dyn Env>> = (0..4)
         .map(|i| {
-            Box::new(GridPong::new(GridPongConfig::learnable(seed * 100 + i as u64))) as Box<dyn Env>
+            Box::new(GridPong::new(GridPongConfig::learnable(seed * 100 + i as u64)))
+                as Box<dyn Env>
         })
         .collect();
     let rllib_curve = run(
@@ -140,9 +142,8 @@ fn main() {
         tsv_row(&[format!("{:.1}", t), "rllib_style".into(), format!("{:.3}", r)]);
     }
     // Headline: time to reach a reward threshold.
-    let first_above = |curve: &[(f64, f32)], thr: f32| {
-        curve.iter().find(|(_, r)| *r >= thr).map(|(t, _)| *t)
-    };
+    let first_above =
+        |curve: &[(f64, f32)], thr: f32| curve.iter().find(|(_, r)| *r >= thr).map(|(t, _)| *t);
     for thr in [-2.0f32, 0.0, 2.0] {
         let a = first_above(&rlgraph_curve, thr);
         let b = first_above(&rllib_curve, thr);

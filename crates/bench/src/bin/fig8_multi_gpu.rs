@@ -55,8 +55,7 @@ fn run(gpus: usize, seed: u64) -> Vec<(f64, f32)> {
     let mut curve = Vec::new();
     let mut recent: Vec<f32> = Vec::new();
     let real_start = Instant::now();
-    while clock.seconds() < VIRTUAL_BUDGET_S && real_start.elapsed().as_secs_f64() < REAL_BUDGET_S
-    {
+    while clock.seconds() < VIRTUAL_BUDGET_S && real_start.elapsed().as_secs_f64() < REAL_BUDGET_S {
         let t0 = Instant::now();
         let batch = worker.collect(TASK_SIZE).expect("collect");
         let collect_dt = t0.elapsed().as_secs_f64();
@@ -64,8 +63,9 @@ fn run(gpus: usize, seed: u64) -> Vec<(f64, f32)> {
         let [s, a, r, s2, t] =
             rlgraph_agents::components::memory::transitions_to_batch(&batch.transitions)
                 .expect("batch");
-        let p = rlgraph_tensor::Tensor::from_vec(batch.priorities.clone(), &[batch.priorities.len()])
-            .expect("priorities");
+        let p =
+            rlgraph_tensor::Tensor::from_vec(batch.priorities.clone(), &[batch.priorities.len()])
+                .expect("priorities");
         learner.observe_with_priorities(s, a, r, s2, t, p).expect("insert");
         let t1 = Instant::now();
         if learner.ready_to_update() {
@@ -76,7 +76,11 @@ fn run(gpus: usize, seed: u64) -> Vec<(f64, f32)> {
         let update_dt = t1.elapsed().as_secs_f64();
         // The update is data-parallel over `gpus` towers; sampling is not.
         let mut update_clock = VirtualClock::new();
-        update_clock.charge_parallel(update_dt, gpus.max(1), GPU_SYNC_OVERHEAD_S * UPDATES_PER_TASK as f64);
+        update_clock.charge_parallel(
+            update_dt,
+            gpus.max(1),
+            GPU_SYNC_OVERHEAD_S * UPDATES_PER_TASK as f64,
+        );
         let step_dt = (collect_dt / VIRTUAL_WORKERS as f64).max(update_clock.seconds());
         clock.charge(step_dt);
         worker.agent_mut().set_weights(&learner.get_weights()).expect("sync");
@@ -110,9 +114,8 @@ fn main() {
     for (t, r) in &multi {
         tsv_row(&[format!("{:.1}", t), "2".into(), format!("{:.3}", r)]);
     }
-    let first_above = |curve: &[(f64, f32)], thr: f32| {
-        curve.iter().find(|(_, r)| *r >= thr).map(|(t, _)| *t)
-    };
+    let first_above =
+        |curve: &[(f64, f32)], thr: f32| curve.iter().find(|(_, r)| *r >= thr).map(|(t, _)| *t);
     for thr in [-2.0f32, 0.0, 2.0] {
         println!(
             "# reward {:+.0}: 1 gpu {}  2 gpus {}",

@@ -16,11 +16,11 @@ use rlgraph_agents::impala::{ImpalaActor, ImpalaLearner};
 use rlgraph_agents::{Backend, ImpalaConfig};
 use rlgraph_baselines::dm_style_config;
 use rlgraph_envs::{Env, SeekAvoid, SeekAvoidConfig, VectorEnv};
-#[allow(unused_imports)]
-use rlgraph_spaces::Space as _Space;
 use rlgraph_graph::TensorQueue;
 use rlgraph_nn::{Activation, LayerSpec, NetworkSpec};
 use rlgraph_sim::{simulate_impala, ImpalaSimParams};
+#[allow(unused_imports)]
+use rlgraph_spaces::Space as _Space;
 use rlgraph_spaces::Space;
 use std::time::Instant;
 
@@ -107,6 +107,7 @@ fn calibrate_learner(cfg: &ImpalaConfig) -> f64 {
 }
 
 fn main() {
+    let trace_path = bench::trace_arg();
     println!("# Figure 9: IMPALA throughput on SeekAvoid (simulated cluster, measured costs)");
     let clean = base_config();
     let dm = dm_style_config(&clean);
@@ -146,4 +147,19 @@ fn main() {
     println!("# the gap closes once both are limited by learner updates. Our crossover sits at");
     println!("# lower worker counts than the paper's because this substrate's renderer is far");
     println!("# cheaper than DM-Lab's real 3-D renderer (see EXPERIMENTS.md).");
+    if let Some(path) = trace_path {
+        // Chrome trace of a 16-actor simulated run with the measured
+        // rlgraph costs, on the virtual clock (load in chrome://tracing).
+        let params = ImpalaSimParams {
+            num_actors: 16,
+            frames_per_rollout,
+            rollout_time: rlgraph_rollout,
+            train_time,
+            queue_capacity: 8,
+            duration: 30.0,
+        };
+        let json = bench::impala_sim_chrome_trace(&params);
+        std::fs::write(&path, json).expect("write trace file");
+        println!("# wrote Chrome trace of the simulated 16-actor run to {}", path.display());
+    }
 }

@@ -161,10 +161,9 @@ mod tests {
     use rlgraph_envs::{Env as _, RandomEnv};
 
     fn worker(n_envs: usize, n_step: usize) -> ApexWorker {
-        let envs = VectorEnv::from_factory(n_envs, |i| {
-            Box::new(RandomEnv::new(&[4], 2, 9, i as u64))
-        })
-        .unwrap();
+        let envs =
+            VectorEnv::from_factory(n_envs, |i| Box::new(RandomEnv::new(&[4], 2, 9, i as u64)))
+                .unwrap();
         let config = DqnConfig {
             backend: Backend::Static,
             network: rlgraph_nn::NetworkSpec::mlp(&[8], rlgraph_nn::Activation::Tanh),
@@ -205,9 +204,8 @@ mod tests {
         let mut w3 = worker(1, 3);
         let b1 = w1.collect(100).unwrap();
         let b3 = w3.collect(100).unwrap();
-        let spread = |b: &WorkerBatch| {
-            b.transitions.iter().map(|t| t.reward.abs()).fold(0.0f32, f32::max)
-        };
+        let spread =
+            |b: &WorkerBatch| b.transitions.iter().map(|t| t.reward.abs()).fold(0.0f32, f32::max);
         assert!(spread(&b3) > spread(&b1) * 0.9);
     }
 

@@ -38,10 +38,7 @@ impl StatefulKernel for ExploreKernel {
         self.steps += b as u64;
         let actions: Vec<i64> = (0..b).map(|_| self.rng.random_range(0..a as i64)).collect();
         let coins: Vec<bool> = (0..b).map(|_| self.rng.random_range(0.0..1.0f32) < eps).collect();
-        Ok(vec![
-            Tensor::from_vec_i64(actions, &[b])?,
-            Tensor::from_vec_bool(coins, &[b])?,
-        ])
+        Ok(vec![Tensor::from_vec_i64(actions, &[b])?, Tensor::from_vec_bool(coins, &[b])?])
     }
 
     fn num_outputs(&self) -> usize {
@@ -130,11 +127,7 @@ mod tests {
 
     fn q_batch() -> Tensor {
         // action 2 clearly best in every row
-        Tensor::from_vec(
-            vec![0.0, 0.1, 5.0, -1.0, 0.2, 3.0],
-            &[2, 3],
-        )
-        .unwrap()
+        Tensor::from_vec(vec![0.0, 0.1, 5.0, -1.0, 0.2, 3.0], &[2, 3]).unwrap()
     }
 
     fn build(schedule: EpsilonSchedule, backend: TestBackend) -> ComponentTest {

@@ -23,7 +23,13 @@ pub struct DqnLoss {
 
 impl DqnLoss {
     /// Creates the loss component.
-    pub fn new(name: impl Into<String>, gamma: f32, n_step: usize, double: bool, huber: bool) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        gamma: f32,
+        n_step: usize,
+        double: bool,
+        huber: bool,
+    ) -> Self {
         DqnLoss { name: name.into(), gamma, n_step: n_step.max(1), double, huber }
     }
 }
@@ -52,8 +58,7 @@ impl Component for DqnLoss {
         }
         let (gamma, n_step, double, huber) = (self.gamma, self.n_step, self.double, self.huber);
         ctx.graph_fn(id, "td_loss", inputs, 2, move |ctx, ins| {
-            let [q_all, actions, rewards, q_next_online, q_next_target, terminals, weights] =
-                *ins
+            let [q_all, actions, rewards, q_next_online, q_next_target, terminals, weights] = *ins
             else {
                 unreachable!("arity checked above")
             };
@@ -185,6 +190,8 @@ mod tests {
         inputs[6] = Tensor::from_vec(vec![0.5], &[1]).unwrap();
         let half = test.test("loss", &inputs).unwrap();
         let full = test.test("loss", &loss_inputs(false)).unwrap();
-        assert!((half[0].scalar_value().unwrap() * 2.0 - full[0].scalar_value().unwrap()).abs() < 1e-4);
+        assert!(
+            (half[0].scalar_value().unwrap() * 2.0 - full[0].scalar_value().unwrap()).abs() < 1e-4
+        );
     }
 }

@@ -12,9 +12,9 @@ use rlgraph_core::{BuildCtx, Component, ComponentId, CoreError, OpRef};
 use rlgraph_graph::{shared_kernel, StatefulKernel};
 use rlgraph_memory::{PrioritizedReplay, Transition};
 use rlgraph_spaces::Space;
-use rlgraph_tensor::Tensor;
 #[cfg(test)]
 use rlgraph_tensor::DType;
+use rlgraph_tensor::Tensor;
 use std::sync::Arc;
 
 /// Shared handle to the replay state (the agent keeps one to check fill
@@ -146,8 +146,10 @@ impl StatefulKernel for SampleKernel {
         drop(mem);
         let [s, a, r, s2, t] = transitions_to_batch(&batch.records).map_err(err)?;
         let weights = Tensor::from_vec(batch.weights, &[self.batch_size])?;
-        let indices =
-            Tensor::from_vec_i64(batch.indices.iter().map(|&i| i as i64).collect(), &[self.batch_size])?;
+        let indices = Tensor::from_vec_i64(
+            batch.indices.iter().map(|&i| i as i64).collect(),
+            &[self.batch_size],
+        )?;
         Ok(vec![s, a, r, s2, t, weights, indices])
     }
 
@@ -264,9 +266,9 @@ impl Component for PrioritizedReplayComponent {
                 Ok(())
             }
             "update_priorities" => Ok(()),
-            _ => Err(CoreError::input_incomplete(
-                "replay record spaces unknown until insert builds",
-            )),
+            _ => {
+                Err(CoreError::input_incomplete("replay record spaces unknown until insert builds"))
+            }
         }
     }
 
@@ -325,10 +327,7 @@ mod tests {
     use rlgraph_core::{ComponentTest, TestBackend};
 
     fn spaces() -> (Space, Space) {
-        (
-            Space::float_box(&[3]).with_batch_rank(),
-            Space::int_box(4).with_batch_rank(),
-        )
+        (Space::float_box(&[3]).with_batch_rank(), Space::int_box(4).with_batch_rank())
     }
 
     fn batch(n: usize, reward: f32) -> Vec<Tensor> {
@@ -349,15 +348,18 @@ mod tests {
         let test = ComponentTest::with_backend(
             comp,
             &[
-                ("insert", vec![ss.clone(), asp.clone(), scalar_f.clone(), ss.clone(), Space::bool_box().with_batch_rank()]),
-                ("sample", vec![]),
                 (
-                    "update_priorities",
+                    "insert",
                     vec![
-                        Space::int_box(i64::MAX).with_batch_rank(),
-                        scalar_f,
+                        ss.clone(),
+                        asp.clone(),
+                        scalar_f.clone(),
+                        ss.clone(),
+                        Space::bool_box().with_batch_rank(),
                     ],
                 ),
+                ("sample", vec![]),
+                ("update_priorities", vec![Space::int_box(i64::MAX).with_batch_rank(), scalar_f]),
             ],
             backend,
         )

@@ -46,7 +46,9 @@ impl Network {
                         layer_seed,
                     ))
                 }
-                LayerSpec::Flatten => store.add(FlattenLayer::new(format!("{}-flatten-{}", name, i))),
+                LayerSpec::Flatten => {
+                    store.add(FlattenLayer::new(format!("{}-flatten-{}", name, i)))
+                }
                 LayerSpec::Lstm { .. } => {
                     // Recurrent heads are assembled explicitly by the IMPALA
                     // agent (static unroll needs the time dimension).

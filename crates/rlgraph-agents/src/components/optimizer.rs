@@ -257,7 +257,8 @@ mod tests {
         )
         .unwrap();
         // target function y = 2*x0 - x1 + 1 on a fixed batch
-        let x = Tensor::from_vec(vec![0.5, -0.5, -0.2, 0.8, 0.9, 0.1, -0.7, -0.3], &[4, 2]).unwrap();
+        let x =
+            Tensor::from_vec(vec![0.5, -0.5, -0.2, 0.8, 0.9, 0.1, -0.7, -0.3], &[4, 2]).unwrap();
         let y = Tensor::from_vec(
             (0..4)
                 .map(|i| {

@@ -54,7 +54,12 @@ impl Policy {
         Ok(ctx.call(self.network, "call", inputs)?[0])
     }
 
-    fn q_from_features(&self, ctx: &mut BuildCtx, id: ComponentId, features: OpRef) -> Result<OpRef> {
+    fn q_from_features(
+        &self,
+        ctx: &mut BuildCtx,
+        id: ComponentId,
+        features: OpRef,
+    ) -> Result<OpRef> {
         let adv = ctx.call(self.adv_head, "call", &[features])?[0];
         if self.dueling {
             let value = ctx.call(self.value_head, "call", &[features])?[0];
@@ -166,8 +171,7 @@ mod tests {
         let (inputs, q) = test.test_with_samples("q_values", 2, &mut rng).unwrap();
         let v = test.test("value", &inputs).unwrap();
         for row in 0..2 {
-            let mean_q: f32 =
-                (0..4).map(|a| q[0].get_f32(&[row, a]).unwrap()).sum::<f32>() / 4.0;
+            let mean_q: f32 = (0..4).map(|a| q[0].get_f32(&[row, a]).unwrap()).sum::<f32>() / 4.0;
             let val = v[0].get_f32(&[row, 0]).unwrap();
             assert!((mean_q - val).abs() < 1e-5, "mean q {} != v {}", mean_q, val);
         }

@@ -208,9 +208,8 @@ mod tests {
     fn step_shapes_on_both_backends() {
         for backend in [TestBackend::Static, TestBackend::DefineByRun] {
             let mut test = build(backend);
-            let out = test
-                .test("step", &[Tensor::full(&[3, 8], 0.2), zeros(3, 8), zeros(3, 8)])
-                .unwrap();
+            let out =
+                test.test("step", &[Tensor::full(&[3, 8], 0.2), zeros(3, 8), zeros(3, 8)]).unwrap();
             assert_eq!(out[0].shape(), &[3, 4]); // logits
             assert_eq!(out[1].shape(), &[3, 1]); // value
             assert_eq!(out[2].shape(), &[3, 8]); // h
@@ -226,13 +225,8 @@ mod tests {
         let x = Tensor::full(&[1, 8], 0.3);
         let fresh = test.test("step", &[x.clone(), zeros(1, 8), zeros(1, 8)]).unwrap();
         // advance the state once, then feed the same x
-        let carried = test
-            .test("step", &[x, fresh[2].clone(), fresh[3].clone()])
-            .unwrap();
-        assert!(
-            !fresh[0].allclose(&carried[0], 1e-7),
-            "logits ignored the recurrent state"
-        );
+        let carried = test.test("step", &[x, fresh[2].clone(), fresh[3].clone()]).unwrap();
+        assert!(!fresh[0].allclose(&carried[0], 1e-7), "logits ignored the recurrent state");
     }
 
     #[test]

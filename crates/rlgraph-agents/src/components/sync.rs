@@ -123,10 +123,7 @@ mod tests {
             let mut test = ComponentTest::with_store(
                 store,
                 root,
-                &[
-                    ("both", vec![Space::float_box(&[2]).with_batch_rank()]),
-                    ("sync", vec![]),
-                ],
+                &[("both", vec![Space::float_box(&[2]).with_batch_rank()]), ("sync", vec![])],
                 backend,
             )
             .unwrap();

@@ -21,9 +21,7 @@ pub fn feature_shape(space: &Space) -> Result<Vec<usize>> {
         Ok(shape.to_vec())
     } else {
         if shape.is_empty() {
-            return Err(CoreError::new(
-                "derived space has no batch dimension to strip",
-            ));
+            return Err(CoreError::new("derived space has no batch dimension to strip"));
         }
         Ok(shape[1..].to_vec())
     }

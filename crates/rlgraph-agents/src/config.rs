@@ -7,17 +7,13 @@ use rlgraph_nn::{Activation, NetworkSpec, OptimizerSpec};
 /// Which execution backend an agent builds for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 #[serde(rename_all = "snake_case")]
+#[derive(Default)]
 pub enum Backend {
     /// static graph + session (TensorFlow analogue)
+    #[default]
     Static,
     /// define-by-run (PyTorch analogue)
     DefineByRun,
-}
-
-impl Default for Backend {
-    fn default() -> Self {
-        Backend::Static
-    }
 }
 
 /// Linear epsilon-greedy exploration schedule.
@@ -101,6 +97,9 @@ pub struct DqnConfig {
     pub seed: u64,
 }
 
+// referenced only by #[serde(default = "...")] attributes, which the
+// offline serde stub's derive does not expand
+#[allow(dead_code)]
 fn default_true() -> bool {
     true
 }
@@ -119,6 +118,9 @@ fn default_batch() -> usize {
 fn default_gamma() -> f32 {
     0.99
 }
+// referenced only by #[serde(default = "...")] attributes, which the
+// offline serde stub's derive does not expand
+#[allow(dead_code)]
 fn default_nstep() -> usize {
     3
 }
@@ -221,6 +223,9 @@ pub struct ImpalaConfig {
 fn default_rollout() -> usize {
     20
 }
+// referenced only by #[serde(default = "...")] attributes, which the
+// offline serde stub's derive does not expand
+#[allow(dead_code)]
 fn default_one() -> f32 {
     1.0
 }

@@ -11,6 +11,7 @@ use rlgraph_core::{
     BuildCtx, BuildReport, Component, ComponentGraphBuilder, ComponentId, ComponentStore,
     CoreError, GraphExecutor, OpRef,
 };
+use rlgraph_obs::{Gauge, Recorder};
 use rlgraph_spaces::Space;
 use rlgraph_tensor::{OpKind, Tensor};
 
@@ -67,8 +68,7 @@ impl DqnRoot {
             config.double,
             config.huber,
         ));
-        let optimizer =
-            store.add(Optimizer::new("optimizer", config.optimizer.clone(), policy_id));
+        let optimizer = store.add(Optimizer::new("optimizer", config.optimizer.clone(), policy_id));
         let syncer = store.add(Syncer::new("target-syncer", policy_id, target_id));
         DqnRoot {
             preprocessor,
@@ -101,11 +101,8 @@ impl DqnRoot {
         let q_all = ctx.call(self.policy, "q_values", &[sp])?[0];
         let q_next_online = ctx.call(self.policy, "q_values", &[s2p])?[0];
         let q_next_target = ctx.call(self.target, "q_values", &[s2p])?[0];
-        let out = ctx.call(
-            self.loss,
-            "loss",
-            &[q_all, a, r, q_next_online, q_next_target, t, w],
-        )?;
+        let out =
+            ctx.call(self.loss, "loss", &[q_all, a, r, q_next_online, q_next_target, t, w])?;
         Ok((out[0], out[1]))
     }
 
@@ -180,14 +177,11 @@ impl Component for DqnRoot {
             "get_actions" | "get_actions_greedy" => {
                 let s = ctx.call(self.preprocessor, "preprocess", &[inputs[0]])?[0];
                 let q = ctx.call(self.policy, "q_values", &[s])?[0];
-                let pick =
-                    if method == "get_actions" { "get_action" } else { "get_action_greedy" };
+                let pick = if method == "get_actions" { "get_action" } else { "get_action_greedy" };
                 ctx.call(self.exploration, pick, &[q])
             }
             "observe" => ctx.call(self.memory, "insert", inputs),
-            "observe_with_priorities" => {
-                ctx.call(self.memory, "insert_with_priorities", inputs)
-            }
+            "observe_with_priorities" => ctx.call(self.memory, "insert_with_priorities", inputs),
             "update" => {
                 let sample = ctx.call(self.memory, "sample", &[])?;
                 let [s, a, r, s2, t, w, idx] = sample[..] else {
@@ -271,6 +265,8 @@ pub struct DqnAgent {
     config: DqnConfig,
     report: BuildReport,
     updates: u64,
+    loss_gauge: Gauge,
+    replay_gauge: Gauge,
 }
 
 impl DqnAgent {
@@ -281,7 +277,7 @@ impl DqnAgent {
     /// Errors if the config is inconsistent or the build fails.
     pub fn new(config: DqnConfig, state_space: &Space, action_space: &Space) -> Result<Self> {
         let num_actions = action_space.num_categories()? as usize;
-        if config.towers > 1 && config.batch_size % config.towers != 0 {
+        if config.towers > 1 && !config.batch_size.is_multiple_of(config.towers) {
             return Err(CoreError::new(format!(
                 "batch size {} is not divisible into {} towers",
                 config.batch_size, config.towers
@@ -291,8 +287,7 @@ impl DqnAgent {
         let root = DqnRoot::compose(&mut store, &config, num_actions);
         let memory = store.get_as::<PrioritizedReplayComponent>(root.memory)?.memory();
         let root_id = store.add(root);
-        let mut builder =
-            ComponentGraphBuilder::new(root_id).dummy_batch(config.batch_size.max(2));
+        let mut builder = ComponentGraphBuilder::new(root_id).dummy_batch(config.batch_size.max(2));
         for (method, spaces) in dqn_api_spaces(state_space, action_space) {
             builder = builder.api_method(&method, spaces);
         }
@@ -306,7 +301,24 @@ impl DqnAgent {
                 (Box::new(e), r)
             }
         };
-        Ok(DqnAgent { executor, memory, config, report, updates: 0 })
+        Ok(DqnAgent {
+            executor,
+            memory,
+            config,
+            report,
+            updates: 0,
+            loss_gauge: Gauge::noop(),
+            replay_gauge: Gauge::noop(),
+        })
+    }
+
+    /// Installs an observability recorder on the underlying executor and
+    /// caches the agent's training-signal gauges (`train.loss`,
+    /// `train.replay_size`).
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.loss_gauge = recorder.gauge("train.loss");
+        self.replay_gauge = recorder.gauge("train.replay_size");
+        self.executor.set_recorder(recorder.clone());
     }
 
     /// Builds from a JSON config document.
@@ -361,8 +373,7 @@ impl DqnAgent {
         next_states: Tensor,
         terminals: Tensor,
     ) -> Result<()> {
-        self.executor
-            .execute("observe", &[states, actions, rewards, next_states, terminals])?;
+        self.executor.execute("observe", &[states, actions, rewards, next_states, terminals])?;
         Ok(())
     }
 
@@ -405,8 +416,10 @@ impl DqnAgent {
         }
         let out = self.executor.execute("update", &[])?;
         let loss = out[0].scalar_value()?;
+        self.loss_gauge.set(loss as f64);
+        self.replay_gauge.set(self.memory.lock().len() as f64);
         self.updates += 1;
-        if self.updates % self.config.target_sync_every == 0 {
+        if self.updates.is_multiple_of(self.config.target_sync_every) {
             self.sync_target()?;
         }
         Ok(Some(loss))
@@ -421,8 +434,9 @@ impl DqnAgent {
     pub fn update_from_batch(&mut self, batch: [Tensor; 6]) -> Result<(f32, Tensor)> {
         let out = self.executor.execute("update_from_batch", &batch)?;
         let loss = out[0].scalar_value()?;
+        self.loss_gauge.set(loss as f64);
         self.updates += 1;
-        if self.updates % self.config.target_sync_every == 0 {
+        if self.updates.is_multiple_of(self.config.target_sync_every) {
             self.sync_target()?;
         }
         Ok((loss, out[1].clone()))

@@ -285,7 +285,7 @@ impl Component for ImpalaActorRoot {
         let obs0 = ctx.graph_fn(id, "read-obs", &[], 1, {
             let kernel = self.obs_kernel.clone();
             let obs_space = obs_space.clone();
-            move |ctx, _| ctx.stateful(kernel, &[], &[obs_space.clone()])
+            move |ctx, _| ctx.stateful(kernel, &[], std::slice::from_ref(&obs_space))
         })?[0];
 
         let policy_id = self.policy;
@@ -331,7 +331,8 @@ impl Component for ImpalaActorRoot {
                 let term_space = term_space.clone();
                 move |ctx, ins| {
                     let logits = ins[0];
-                    let a = ctx.stateful(sample, &[logits], &[action_space.clone()])?[0];
+                    let a =
+                        ctx.stateful(sample, &[logits], std::slice::from_ref(&action_space))?[0];
                     let logp_all = ctx.emit(OpKind::LogSoftmax { axis: 1 }, &[logits])?;
                     let logp = ctx.emit(OpKind::SelectIndex, &[logp_all, a])?;
                     let mut out = ctx.stateful(
@@ -347,8 +348,7 @@ impl Component for ImpalaActorRoot {
                         // DM-reference-style inefficiency: re-assign every
                         // policy variable to itself each step, chained onto
                         // the reward so lazy backends must execute it.
-                        let vars =
-                            rlgraph_core::collect_var_handles(ctx.components(), policy_id)?;
+                        let vars = rlgraph_core::collect_var_handles(ctx.components(), policy_id)?;
                         let mut assigns = Vec::with_capacity(vars.len());
                         for v in vars {
                             let value = ctx.read_var(v)?;
@@ -574,10 +574,12 @@ impl Component for ImpalaLearnerRoot {
                 let mut logits_rows = Vec::with_capacity(self.config.rollout_len);
                 let mut value_rows = Vec::with_capacity(self.config.rollout_len);
                 for t in 0..self.config.rollout_len {
-                    let x_t = ctx.graph_fn(id, &format!("slice-{}", t), &[pre], 1, move |ctx, ins| {
-                        let sl = ctx.emit(OpKind::Slice { axis: 0, start: t, len: 1 }, &[ins[0]])?;
-                        Ok(vec![ctx.emit(OpKind::Squeeze { axis: 0 }, &[sl])?])
-                    })?[0];
+                    let x_t =
+                        ctx.graph_fn(id, &format!("slice-{}", t), &[pre], 1, move |ctx, ins| {
+                            let sl =
+                                ctx.emit(OpKind::Slice { axis: 0, start: t, len: 1 }, &[ins[0]])?;
+                            Ok(vec![ctx.emit(OpKind::Squeeze { axis: 0 }, &[sl])?])
+                        })?[0];
                     let out = ctx.call(self.policy, "step", &[x_t, h, c])?;
                     logits_rows.push(out[0]);
                     value_rows.push(out[1]);
@@ -634,8 +636,7 @@ impl Component for ImpalaLearnerRoot {
             &[logits_flat, values_flat, boot_value, a, blogp, r, disc, s],
             4,
             move |ctx, ins| {
-                let [logits_flat, values_flat, boot_value, a, blogp, r, disc, s_ref] = *ins
-                else {
+                let [logits_flat, values_flat, boot_value, a, blogp, r, disc, s_ref] = *ins else {
                     unreachable!("arity checked")
                 };
                 // target log-probs of the taken actions
@@ -652,13 +653,22 @@ impl Component for ImpalaLearnerRoot {
                 let boot0 = ctx.emit(OpKind::Reshape { shape: vec![-1] }, &[boot_value])?;
                 let boot_ng = ctx.emit(OpKind::StopGradient, &[boot0])?;
                 let vt = vtrace_ops(
-                    ctx, log_rhos, disc, r, values_ng, boot_ng, t_len, cfg.rho_clip, cfg.c_clip,
+                    ctx,
+                    log_rhos,
+                    disc,
+                    r,
+                    values_ng,
+                    boot_ng,
+                    t_len,
+                    cfg.rho_clip,
+                    cfg.c_clip,
                 )?;
                 let vs = ctx.emit(OpKind::StopGradient, &[vt.vs])?;
                 let pg_adv = ctx.emit(OpKind::StopGradient, &[vt.pg_advantages])?;
                 // policy gradient: -mean(pg_adv * log pi(a))
                 let weighted = ctx.emit(OpKind::Mul, &[pg_adv, tlogp])?;
-                let pg_mean = ctx.emit(OpKind::Mean { axes: None, keep_dims: false }, &[weighted])?;
+                let pg_mean =
+                    ctx.emit(OpKind::Mean { axes: None, keep_dims: false }, &[weighted])?;
                 let pg_loss = ctx.emit(OpKind::Neg, &[pg_mean])?;
                 // baseline: 0.5 mean((vs - V)^2) — gradient flows into V
                 let diff = ctx.emit(OpKind::Sub, &[vs, values])?;
@@ -687,9 +697,8 @@ impl Component for ImpalaLearnerRoot {
             },
         )?;
         let step_done = ctx.call(self.optimizer, "step", &[loss_out[0]])?[0];
-        let done = ctx.graph_fn(id, "learn-group", &[step_done], 1, |ctx, ins| {
-            Ok(vec![ctx.group(ins)?])
-        })?[0];
+        let done = ctx
+            .graph_fn(id, "learn-group", &[step_done], 1, |ctx, ins| Ok(vec![ctx.group(ins)?]))?[0];
         Ok(vec![loss_out[0], loss_out[1], loss_out[2], loss_out[3], done])
     }
 
@@ -775,8 +784,7 @@ impl ImpalaActor {
     ///
     /// Errors on mismatched variables.
     pub fn set_weights(&mut self, weights: &[(String, Tensor)]) -> Result<()> {
-        let own: Vec<String> =
-            self.executor.export_weights().into_iter().map(|(n, _)| n).collect();
+        let own: Vec<String> = self.executor.export_weights().into_iter().map(|(n, _)| n).collect();
         let mut renamed = Vec::with_capacity(weights.len());
         for (name, value) in weights {
             let suffix = strip_root(name);
@@ -826,11 +834,11 @@ impl ImpalaLearner {
         queue: Arc<TensorQueue>,
     ) -> Result<Self> {
         let mut store = ComponentStore::new();
-        let root = ImpalaLearnerRoot::compose(&mut store, config, state_space, num_actions, n_envs, queue);
+        let root =
+            ImpalaLearnerRoot::compose(&mut store, config, state_space, num_actions, n_envs, queue);
         let root_id = store.add(root);
-        let builder = ComponentGraphBuilder::new(root_id)
-            .api_method("learn", vec![])
-            .dummy_batch(n_envs);
+        let builder =
+            ComponentGraphBuilder::new(root_id).api_method("learn", vec![]).dummy_batch(n_envs);
         let (executor, report): (Box<dyn GraphExecutor>, BuildReport) = match config.backend {
             Backend::Static => {
                 let (e, r) = builder.build_static(store)?;
@@ -915,7 +923,7 @@ mod tests {
             assert_eq!(rec[1].shape(), &[4, 2]); // actions
             assert_eq!(rec[1].dtype(), DType::I64);
             assert_eq!(rec[5].shape(), &[2, 3]); // bootstrap obs
-            // frames: 4 steps × 2 envs
+                                                 // frames: 4 steps × 2 envs
             assert_eq!(actor.env_frames(), 8);
         }
     }

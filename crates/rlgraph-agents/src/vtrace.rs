@@ -41,11 +41,7 @@ pub fn vtrace_reference(
         return Err(tensor_err!("v-trace needs at least one step"));
     }
     let b = bootstrap.len();
-    for (name, seq) in [
-        ("discounts", discounts),
-        ("rewards", rewards),
-        ("values", values),
-    ] {
+    for (name, seq) in [("discounts", discounts), ("rewards", rewards), ("values", values)] {
         if seq.len() != t_len || seq.iter().any(|row| row.len() != b) {
             return Err(tensor_err!("v-trace input '{}' has inconsistent dims", name));
         }

@@ -61,9 +61,9 @@ mod tests {
     #[test]
     fn redundant_assigns_slow_rollouts() {
         let rollouts = 30;
-        let time_for = |cfg: ImpalaConfig| {
+        let time_for = |cfg: &ImpalaConfig| {
             let queue = TensorQueue::new("q", rollouts + 1);
-            let mut actor = ImpalaActor::new(&cfg, envs(), queue).unwrap();
+            let mut actor = ImpalaActor::new(cfg, envs(), queue).unwrap();
             actor.rollout().unwrap(); // warm-up
             let t0 = Instant::now();
             for _ in 0..rollouts {
@@ -71,13 +71,17 @@ mod tests {
             }
             t0.elapsed()
         };
-        let clean = time_for(base_config());
-        let dm = time_for(dm_style_config(&base_config()));
-        assert!(
-            dm > clean,
-            "dm-style {:?} should be slower than clean {:?}",
-            dm,
-            clean
-        );
+        // Alternate trials and compare minima: the minimum is robust to
+        // load spikes from concurrently running tests, where a single
+        // strict comparison was flaky.
+        let clean_cfg = base_config();
+        let dm_cfg = dm_style_config(&base_config());
+        let mut clean = std::time::Duration::MAX;
+        let mut dm = std::time::Duration::MAX;
+        for _ in 0..3 {
+            clean = clean.min(time_for(&clean_cfg));
+            dm = dm.min(time_for(&dm_cfg));
+        }
+        assert!(dm > clean, "dm-style {:?} should be slower than clean {:?}", dm, clean);
     }
 }

@@ -130,7 +130,13 @@ mod tests {
     #[test]
     fn matches_policy_architecture_shapes() {
         let spec = NetworkSpec::new(vec![
-            LayerSpec::Conv2d { filters: 4, kernel: 3, stride: 2, padding: 1, activation: Activation::Relu },
+            LayerSpec::Conv2d {
+                filters: 4,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+                activation: Activation::Relu,
+            },
             LayerSpec::Flatten,
             LayerSpec::Dense { units: 16, activation: Activation::Relu },
         ]);

@@ -88,22 +88,24 @@ impl RllibStyleWorker {
             for i in 0..self.envs.len() {
                 // (1) one act call per environment — a batch of one
                 let obs = self.last_obs[i].clone();
-                let batched = Tensor::stack(&[obs.clone()]).map_err(CoreError::from)?;
+                let batched = Tensor::stack(std::slice::from_ref(&obs)).map_err(CoreError::from)?;
                 let action_b = self.agent.get_actions(batched, true)?;
                 let action = action_b.unstack().map_err(CoreError::from)?.remove(0);
-                let EnvStep { obs: next, reward, terminal } = self.envs[i]
-                    .step(&action)
-                    .map_err(|e| CoreError::new(e.message()))?;
+                let EnvStep { obs: next, reward, terminal } =
+                    self.envs[i].step(&action).map_err(|e| CoreError::new(e.message()))?;
                 self.frames += self.envs[i].frame_skip() as u64;
                 // (3) string-keyed per-step accounting
                 let dict = &mut self.episode_state[i];
                 dict.entry("rewards".to_string()).or_default().push(reward);
-                dict.entry("dones".to_string())
-                    .or_default()
-                    .push(if terminal { 1.0 } else { 0.0 });
+                dict.entry("dones".to_string()).or_default().push(if terminal { 1.0 } else { 0.0 });
                 dict.entry("action_logp".to_string()).or_default().push(0.0);
-                let completed =
-                    self.adjusters[i].push(Transition::new(obs, action, reward, next.clone(), terminal));
+                let completed = self.adjusters[i].push(Transition::new(
+                    obs,
+                    action,
+                    reward,
+                    next.clone(),
+                    terminal,
+                ));
                 for tr in completed {
                     // (2) incremental per-record post-processing: one
                     // TD-error backend call per transition
@@ -113,8 +115,7 @@ impl RllibStyleWorker {
                     transitions.push(tr);
                 }
                 if terminal {
-                    let ep_return: f32 =
-                        dict.get("rewards").map(|r| r.iter().sum()).unwrap_or(0.0);
+                    let ep_return: f32 = dict.get("rewards").map(|r| r.iter().sum()).unwrap_or(0.0);
                     self.episode_returns.push(ep_return);
                     episode_returns.push(ep_return);
                     dict.clear();
@@ -157,9 +158,7 @@ mod tests {
     }
 
     fn envs(n: usize) -> Vec<Box<dyn Env>> {
-        (0..n)
-            .map(|i| Box::new(RandomEnv::new(&[4], 2, 11, i as u64)) as Box<dyn Env>)
-            .collect()
+        (0..n).map(|i| Box::new(RandomEnv::new(&[4], 2, 11, i as u64)) as Box<dyn Env>).collect()
     }
 
     #[test]
@@ -187,10 +186,9 @@ mod tests {
         use rlgraph_envs::VectorEnv;
         let task = 128;
         let mut fragmented = RllibStyleWorker::new(config(), envs(4)).unwrap();
-        let vec_env = VectorEnv::from_factory(4, |i| {
-            Box::new(RandomEnv::new(&[4], 2, 11, i as u64))
-        })
-        .unwrap();
+        let vec_env =
+            VectorEnv::from_factory(4, |i| Box::new(RandomEnv::new(&[4], 2, 11, i as u64)))
+                .unwrap();
         let mut batched = ApexWorker::new(config(), vec_env).unwrap();
         // warm-up (build one-offs out of the way)
         fragmented.collect(8).unwrap();

@@ -3,7 +3,7 @@
 use crate::component::{ComponentId, ComponentStore};
 use crate::context::{BuildCtx, Mode, OpRef};
 use crate::devices::DeviceMap;
-use crate::executor::{ApiOps, DbrExecutor, StaticExecutor};
+use crate::executor::{ApiOps, DbrExecutor, GraphExecutor, StaticExecutor};
 use crate::{CoreError, Result};
 use rlgraph_spaces::Space;
 use std::collections::HashMap;
@@ -43,12 +43,27 @@ pub struct ComponentGraphBuilder {
     device_map: DeviceMap,
     dummy_time: usize,
     dummy_batch: usize,
+    recorder: rlgraph_obs::Recorder,
 }
 
 impl ComponentGraphBuilder {
     /// Creates a builder for the given root component.
     pub fn new(root: ComponentId) -> Self {
-        ComponentGraphBuilder { root, api: Vec::new(), device_map: DeviceMap::new(), dummy_time: 2, dummy_batch: crate::context::DUMMY_BATCH }
+        ComponentGraphBuilder {
+            root,
+            api: Vec::new(),
+            device_map: DeviceMap::new(),
+            dummy_time: 2,
+            dummy_batch: crate::context::DUMMY_BATCH,
+            recorder: rlgraph_obs::Recorder::disabled(),
+        }
+    }
+
+    /// Selects the observability recorder installed in the built executor
+    /// (defaults to the no-op recorder, which costs one branch per call).
+    pub fn with_recorder(mut self, recorder: rlgraph_obs::Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Declares a root API method with the spaces of its inputs (the only
@@ -134,7 +149,9 @@ impl ComponentGraphBuilder {
             num_nodes: graph.num_nodes(),
             num_variables: graph.num_variables(),
         };
-        Ok((StaticExecutor::new(graph, api_map, meta), report))
+        let mut exec = StaticExecutor::new(graph, api_map, meta);
+        exec.set_recorder(self.recorder.clone());
+        Ok((exec, report))
     }
 
     /// Full define-by-run build: assembly plus an eager dry run creating
@@ -168,16 +185,14 @@ impl ComponentGraphBuilder {
             num_variables,
         };
         let api: HashMap<String, Vec<Space>> = self.api.iter().cloned().collect();
-        Ok((DbrExecutor::new(ctx, self.root, api, meta), report))
+        let mut exec = DbrExecutor::new(ctx, self.root, api, meta);
+        exec.set_recorder(self.recorder.clone());
+        Ok((exec, report))
     }
 
     /// The breadth-first fixpoint over root API methods: build what can be
     /// built, defer input-incomplete methods, retry until no progress.
-    fn fixpoint_build(
-        &self,
-        ctx: &mut BuildCtx,
-        mode: Mode,
-    ) -> Result<HashMap<String, ApiOps>> {
+    fn fixpoint_build(&self, ctx: &mut BuildCtx, mode: Mode) -> Result<HashMap<String, ApiOps>> {
         let mut pending: Vec<(String, Vec<Space>)> = self.api.clone();
         let mut api_map = HashMap::new();
         while !pending.is_empty() {
@@ -199,10 +214,7 @@ impl ComponentGraphBuilder {
                                 inputs.iter().map(|r| ctx.node_of(*r)).collect::<Result<_>>()?;
                             let outs =
                                 outputs.iter().map(|r| ctx.node_of(*r)).collect::<Result<_>>()?;
-                            api_map.insert(
-                                method.clone(),
-                                ApiOps { placeholders, outputs: outs },
-                            );
+                            api_map.insert(method.clone(), ApiOps { placeholders, outputs: outs });
                         }
                     }
                     Err(e) if e.is_input_incomplete() => {
@@ -416,8 +428,9 @@ mod tests {
                         let space =
                             space.ok_or_else(|| CoreError::input_incomplete("not built"))?;
                         let shape = space.shape().expect("primitive").to_vec();
-                        Ok(vec![ctx
-                            .constant(Tensor::zeros(&shape, space.dtype().expect("primitive")))])
+                        Ok(vec![
+                            ctx.constant(Tensor::zeros(&shape, space.dtype().expect("primitive")))
+                        ])
                     })
                 }
                 other => Err(CoreError::new(format!("unknown method '{}'", other))),

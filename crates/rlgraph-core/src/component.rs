@@ -117,7 +117,9 @@ pub fn collect_var_handles(
 enum Slot {
     Present(Box<dyn Component>),
     /// temporarily taken out while its API executes
-    Borrowed { name: String },
+    Borrowed {
+        name: String,
+    },
 }
 
 /// Arena owning every component of a model.
@@ -202,10 +204,9 @@ impl ComponentStore {
     pub fn get(&self, id: ComponentId) -> Result<&dyn Component> {
         match self.slots.get(id.0) {
             Some(Slot::Present(c)) => Ok(c.as_ref()),
-            Some(Slot::Borrowed { name }) => Err(crate::CoreError::new(format!(
-                "component '{}' is currently executing",
-                name
-            ))),
+            Some(Slot::Borrowed { name }) => {
+                Err(crate::CoreError::new(format!("component '{}' is currently executing", name)))
+            }
             None => Err(crate::CoreError::new(format!("unknown component {}", id))),
         }
     }
@@ -218,10 +219,9 @@ impl ComponentStore {
     pub fn get_mut(&mut self, id: ComponentId) -> Result<&mut dyn Component> {
         match self.slots.get_mut(id.0) {
             Some(Slot::Present(c)) => Ok(c.as_mut()),
-            Some(Slot::Borrowed { name }) => Err(crate::CoreError::new(format!(
-                "component '{}' is currently executing",
-                name
-            ))),
+            Some(Slot::Borrowed { name }) => {
+                Err(crate::CoreError::new(format!("component '{}' is currently executing", name)))
+            }
             None => Err(crate::CoreError::new(format!("unknown component {}", id))),
         }
     }
@@ -233,9 +233,9 @@ impl ComponentStore {
     /// Errors if the component is executing or has a different type.
     pub fn get_as<T: Component>(&self, id: ComponentId) -> Result<&T> {
         let c = self.get(id)?;
-        (c as &dyn Any).downcast_ref::<T>().ok_or_else(|| {
-            crate::CoreError::new(format!("component {} has unexpected type", id))
-        })
+        (c as &dyn Any)
+            .downcast_ref::<T>()
+            .ok_or_else(|| crate::CoreError::new(format!("component {} has unexpected type", id)))
     }
 
     /// Iterates component ids.

@@ -319,7 +319,9 @@ impl BuildCtx {
             Mode::Eager => {
                 let tensor = match value {
                     Some(t) => t,
-                    None if self.dry_run => dummy_for_space(space, self.dummy_batch, self.dummy_time),
+                    None if self.dry_run => {
+                        dummy_for_space(space, self.dummy_batch, self.dummy_time)
+                    }
                     None => {
                         return Err(CoreError::new(format!(
                             "eager execution of input '{}' requires a value",
@@ -569,8 +571,7 @@ impl BuildCtx {
                 }
                 let mut out = Vec::with_capacity(out_spaces.len());
                 for (i, space) in out_spaces.iter().enumerate() {
-                    let node =
-                        if i == 0 { call } else { graph.stateful_output(call, i)? };
+                    let node = if i == 0 { call } else { graph.stateful_output(call, i)? };
                     let dummy = dummy_for_space(space, self.dummy_batch, self.dummy_time);
                     out.push(Record {
                         node: Some(node),
@@ -583,7 +584,10 @@ impl BuildCtx {
             }
             Mode::Eager => {
                 let values: Vec<Tensor> = if self.dry_run {
-                    out_spaces.iter().map(|s| dummy_for_space(s, self.dummy_batch, self.dummy_time)).collect()
+                    out_spaces
+                        .iter()
+                        .map(|s| dummy_for_space(s, self.dummy_batch, self.dummy_time))
+                        .collect()
                 } else {
                     let input_vals: Vec<Tensor> =
                         inputs.iter().map(|r| self.value(*r).cloned()).collect::<Result<_>>()?;
@@ -635,10 +639,9 @@ impl BuildCtx {
                         // one Stateful step; outputs map to slots step..step+n
                         if let Some(state) = &mut self.recording {
                             let step_idx = state.steps.len();
-                            state.steps.push(Step::Stateful {
-                                kernel: kernel.clone(),
-                                inputs: in_slots,
-                            });
+                            state
+                                .steps
+                                .push(Step::Stateful { kernel: kernel.clone(), inputs: in_slots });
                             for (k, r) in out_refs.iter().enumerate() {
                                 // encode projections as synthetic slots
                                 state.slot_of.insert(r.0, encode_projection(step_idx, k));
@@ -663,11 +666,7 @@ impl BuildCtx {
     /// # Errors
     ///
     /// Propagates backend errors.
-    pub fn gradients(
-        &mut self,
-        loss: OpRef,
-        vars: &[VarHandle],
-    ) -> Result<Vec<Option<OpRef>>> {
+    pub fn gradients(&mut self, loss: OpRef, vars: &[VarHandle]) -> Result<Vec<Option<OpRef>>> {
         self.used_gradients = true;
         match self.mode {
             Mode::Assemble => Ok(vars.iter().map(|_| Some(self.symbolic())).collect()),
@@ -693,8 +692,8 @@ impl BuildCtx {
                                     .as_ref()
                                     .expect("static mode has a graph")
                                     .var_defs()[v.0.index()]
-                                    .init
-                                    .clone();
+                                .init
+                                .clone();
                                 out.push(Some(self.push(Record {
                                     node: Some(node),
                                     dummy: Some(dummy),
@@ -718,7 +717,9 @@ impl BuildCtx {
                         Some(g) => {
                             let tape = self.tape.as_mut().expect("eager mode has a tape");
                             let val = tape.leaf(g, false);
-                            out.push(Some(self.push(Record { val: Some(val), ..Default::default() })));
+                            out.push(Some(
+                                self.push(Record { val: Some(val), ..Default::default() }),
+                            ));
                         }
                     }
                 }
@@ -887,7 +888,13 @@ impl BuildCtx {
             return Ok(d.shape().to_vec());
         }
         if let Some(v) = rec.val {
-            return Ok(self.tape.as_ref().expect("eager mode has a tape").value(v).shape().to_vec());
+            return Ok(self
+                .tape
+                .as_ref()
+                .expect("eager mode has a tape")
+                .value(v)
+                .shape()
+                .to_vec());
         }
         Err(CoreError::input_incomplete("record shape not known yet"))
     }

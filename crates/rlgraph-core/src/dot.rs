@@ -6,24 +6,42 @@
 //! colours by device — the property the paper contrasts against
 //! "fragmented" ad-hoc implementations.
 
-use rlgraph_graph::{Device, Graph, NodeOp};
+use rlgraph_graph::{Device, Graph, NodeOp, NodeProfile};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Renders a static graph as Graphviz DOT, clustered by component scope and
 /// coloured by device (green = GPU, blue = CPU, as in the paper's figures).
 pub fn graph_to_dot(graph: &Graph, title: &str) -> String {
+    graph_to_dot_profiled(graph, title, None)
+}
+
+/// Like [`graph_to_dot`], optionally overlaying a measured execution
+/// profile: nodes are shaded on a white→red heat ramp by their share of
+/// cumulative self-time and labelled with executed count and total
+/// microseconds. Pass a profile from
+/// [`Session::node_profile`](rlgraph_graph::Session::node_profile) taken
+/// after an instrumented run.
+pub fn graph_to_dot_profiled(graph: &Graph, title: &str, profile: Option<&NodeProfile>) -> String {
+    let max_time_us = profile.map(|p| p.time_us.iter().copied().max().unwrap_or(0)).unwrap_or(0);
     let mut clusters: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut edges = String::new();
     for (id, node) in graph.nodes() {
-        let color = match node.device {
+        let device_color = match node.device {
             Device::Cpu => "#7da7d9",
             Device::Gpu(_) => "#7fc97f",
         };
-        let label = node.op.name().replace('"', "'");
+        let mut label = node.op.name().replace('"', "'");
+        let mut color = device_color.to_string();
+        if let Some(p) = profile {
+            let count = p.counts.get(id.index()).copied().unwrap_or(0);
+            let t_us = p.time_us.get(id.index()).copied().unwrap_or(0);
+            let _ = write!(label, "\\n{}x, {}us", count, t_us);
+            color = heat_color(t_us, max_time_us);
+        }
         let decl = format!(
-            "    \"{}\" [label=\"{}\", style=filled, fillcolor=\"{}\"];\n",
-            id, label, color
+            "    \"{}\" [label=\"{}\", style=filled, fillcolor=\"{}\", color=\"{}\"];\n",
+            id, label, color, device_color
         );
         clusters.entry(node.scope.clone()).or_default().push(decl);
         for input in &node.inputs {
@@ -60,6 +78,16 @@ pub fn graph_to_dot(graph: &Graph, title: &str) -> String {
     out
 }
 
+/// White→red heat ramp: the node's self-time share of the hottest node.
+fn heat_color(time_us: u64, max_time_us: u64) -> String {
+    if max_time_us == 0 {
+        return "#ffffff".to_string();
+    }
+    let frac = (time_us as f64 / max_time_us as f64).clamp(0.0, 1.0);
+    let gb = (255.0 * (1.0 - frac)).round() as u8;
+    format!("#ff{gb:02x}{gb:02x}")
+}
+
 /// Renders the meta graph (component call structure) as DOT: API-call edges
 /// between components, as assembled in phase 2.
 pub fn meta_to_dot(meta: &crate::meta::MetaGraph, title: &str) -> String {
@@ -74,11 +102,8 @@ pub fn meta_to_dot(meta: &crate::meta::MetaGraph, title: &str) -> String {
             MetaNode::ApiCall { component_name, method, caller_scope, .. } => {
                 let target = format!("{}.{}", component_name, method);
                 if declared.insert(target.clone()) {
-                    let _ = writeln!(
-                        out,
-                        "  \"{}\" [style=filled, fillcolor=\"#fdc086\"];",
-                        target
-                    );
+                    let _ =
+                        writeln!(out, "  \"{}\" [style=filled, fillcolor=\"#fdc086\"];", target);
                 }
                 let caller = if caller_scope.is_empty() { "root" } else { caller_scope };
                 let _ = writeln!(out, "  \"{}\" -> \"{}\";", caller, target);
@@ -121,6 +146,31 @@ mod tests {
         assert!(dot.contains("#7fc97f")); // gpu colour
         assert!(dot.contains("->"));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn profiled_dot_overlays_heat_and_counts() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar(1.0));
+        let b = g.op(OpKind::Neg, &[a]).unwrap();
+        let _ = b;
+        let profile = NodeProfile { counts: vec![3, 3], time_us: vec![10, 1000] };
+        let dot = graph_to_dot_profiled(&g, "prof", Some(&profile));
+        // hottest node saturates to pure red; cold node stays near white
+        assert!(dot.contains("#ff0000"), "{dot}");
+        assert!(dot.contains("3x, 1000us"));
+        assert!(dot.contains("3x, 10us"));
+        // the unprofiled variant stays device-coloured
+        let plain = graph_to_dot(&g, "plain");
+        assert!(plain.contains("#7da7d9"));
+        assert!(!plain.contains("us\\n"));
+    }
+
+    #[test]
+    fn heat_ramp_bounds() {
+        assert_eq!(heat_color(0, 0), "#ffffff");
+        assert_eq!(heat_color(0, 100), "#ffffff");
+        assert_eq!(heat_color(100, 100), "#ff0000");
     }
 
     #[test]

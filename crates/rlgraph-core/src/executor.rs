@@ -1,14 +1,25 @@
 //! Graph executors: the bridge between the agent API and a backend
 //! (paper §4.1).
 
-use crate::context::{decode_projection, BuildCtx, ContractedProgram, OpRef, Step};
 use crate::component::ComponentId;
+use crate::context::{decode_projection, BuildCtx, ContractedProgram, OpRef, Step};
 use crate::meta::MetaGraph;
 use crate::{CoreError, Result};
 use rlgraph_graph::{NodeId, Session, SharedVariableStore};
+use rlgraph_obs::{Counter, Recorder, SpanGuard};
 use rlgraph_spaces::Space;
 use rlgraph_tensor::{forward, Tensor};
 use std::collections::HashMap;
+
+/// Opens an `api.<method>` span, formatting the label only when the
+/// recorder is live (the disabled path must not allocate).
+fn api_span(rec: &Recorder, method: &str) -> Option<SpanGuard> {
+    if rec.is_enabled() {
+        Some(rec.span(format!("api.{method}")))
+    } else {
+        None
+    }
+}
 
 /// The node sets serving one API method on the static backend.
 #[derive(Debug, Clone)]
@@ -46,6 +57,24 @@ pub trait GraphExecutor: Send {
 
     /// The backend's variable store (shared for parameter-server setups).
     fn variable_store(&self) -> SharedVariableStore;
+
+    /// Installs an observability recorder; executors record API-method
+    /// spans and backend-specific dispatch metrics through it. The default
+    /// is the no-op recorder, which keeps instrumentation branches free.
+    fn set_recorder(&mut self, recorder: Recorder);
+
+    /// The installed recorder (disabled unless [`set_recorder`] was
+    /// called).
+    ///
+    /// [`set_recorder`]: GraphExecutor::set_recorder
+    fn recorder(&self) -> &Recorder;
+
+    /// Downcast to the static-graph executor when that is the backend,
+    /// exposing the session's profiling accessors (`stats()`,
+    /// `node_profile()`) through a `dyn GraphExecutor`.
+    fn as_static(&self) -> Option<&StaticExecutor> {
+        None
+    }
 }
 
 /// Static-graph executor: looks up the method's placeholders and output ops
@@ -58,11 +87,23 @@ pub struct StaticExecutor {
     session: Session,
     api: HashMap<String, ApiOps>,
     meta: MetaGraph,
+    recorder: Recorder,
+    requests: Counter,
 }
 
 impl StaticExecutor {
-    pub(crate) fn new(graph: rlgraph_graph::Graph, api: HashMap<String, ApiOps>, meta: MetaGraph) -> Self {
-        StaticExecutor { session: Session::new(graph), api, meta }
+    pub(crate) fn new(
+        graph: rlgraph_graph::Graph,
+        api: HashMap<String, ApiOps>,
+        meta: MetaGraph,
+    ) -> Self {
+        StaticExecutor {
+            session: Session::new(graph),
+            api,
+            meta,
+            recorder: Recorder::disabled(),
+            requests: Counter::noop(),
+        }
     }
 
     /// The underlying session (profiling, advanced use).
@@ -82,7 +123,13 @@ impl StaticExecutor {
 }
 
 impl GraphExecutor for StaticExecutor {
+    fn as_static(&self) -> Option<&StaticExecutor> {
+        Some(self)
+    }
+
     fn execute(&mut self, method: &str, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let _span = api_span(&self.recorder, method);
+        self.requests.inc();
         let ops = self
             .api
             .get(method)
@@ -116,6 +163,19 @@ impl GraphExecutor for StaticExecutor {
     fn variable_store(&self) -> SharedVariableStore {
         self.session.store()
     }
+
+    /// API requests get `api.<method>` spans and an `api.requests`
+    /// counter, and the underlying session records per-op/per-device
+    /// self-times.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.requests = recorder.counter("api.requests");
+        self.session.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
 }
 
 impl std::fmt::Debug for StaticExecutor {
@@ -140,6 +200,10 @@ pub struct DbrExecutor {
     fast_path: HashMap<String, FastPathState>,
     /// cumulative (api_calls, graph_fn_calls) across executions
     dispatch_counters: (u64, u64),
+    recorder: Recorder,
+    obs_api_calls: Counter,
+    obs_fn_calls: Counter,
+    obs_replays: Counter,
 }
 
 enum FastPathState {
@@ -156,7 +220,18 @@ impl DbrExecutor {
         api: HashMap<String, Vec<Space>>,
         meta: MetaGraph,
     ) -> Self {
-        DbrExecutor { ctx, root, api, meta, fast_path: HashMap::new(), dispatch_counters: (0, 0) }
+        DbrExecutor {
+            ctx,
+            root,
+            api,
+            meta,
+            fast_path: HashMap::new(),
+            dispatch_counters: (0, 0),
+            recorder: Recorder::disabled(),
+            obs_api_calls: Counter::noop(),
+            obs_fn_calls: Counter::noop(),
+            obs_replays: Counter::noop(),
+        }
     }
 
     /// Arms edge contraction for a method: the next execution records a
@@ -188,7 +263,11 @@ impl DbrExecutor {
         self.dispatch_counters
     }
 
-    fn replay(program: &ContractedProgram, inputs: &[Tensor], vars: &SharedVariableStore) -> Result<Vec<Tensor>> {
+    fn replay(
+        program: &ContractedProgram,
+        inputs: &[Tensor],
+        vars: &SharedVariableStore,
+    ) -> Result<Vec<Tensor>> {
         let mut slots: Vec<Option<Tensor>> = Vec::with_capacity(program.steps.len());
         let mut stateful_outs: Vec<Option<Vec<Tensor>>> = vec![None; program.steps.len()];
         let resolve = |slot: usize,
@@ -240,11 +319,7 @@ impl DbrExecutor {
             };
             slots.push(value);
         }
-        program
-            .outputs
-            .iter()
-            .map(|s| resolve(*s, &slots, &stateful_outs))
-            .collect()
+        program.outputs.iter().map(|s| resolve(*s, &slots, &stateful_outs)).collect()
     }
 }
 
@@ -265,10 +340,17 @@ impl GraphExecutor for DbrExecutor {
         }
         // Fast path: replay a contracted program when available.
         if let Some(FastPathState::Ready(program)) = self.fast_path.get(method) {
+            let _span = if self.recorder.is_enabled() {
+                Some(self.recorder.span(format!("replay.{method}")))
+            } else {
+                None
+            };
+            self.obs_replays.inc();
             let program = program.clone();
             let vars = self.ctx.eager_vars();
             return Self::replay(&program, inputs, &vars);
         }
+        let _span = api_span(&self.recorder, method);
         let record = matches!(self.fast_path.get(method), Some(FastPathState::Armed));
 
         self.ctx.start_trace(false);
@@ -285,6 +367,8 @@ impl GraphExecutor for DbrExecutor {
         let (api_calls, fn_calls) = self.ctx.trace_counters();
         self.dispatch_counters.0 += api_calls;
         self.dispatch_counters.1 += fn_calls;
+        self.obs_api_calls.add(api_calls);
+        self.obs_fn_calls.add(fn_calls);
         if record {
             if let Some(program) = self.ctx.finish_recording(&outputs) {
                 self.fast_path.insert(method.to_string(), FastPathState::Ready(program));
@@ -310,6 +394,21 @@ impl GraphExecutor for DbrExecutor {
 
     fn variable_store(&self) -> SharedVariableStore {
         self.ctx.eager_vars()
+    }
+
+    /// Requests get `api.<method>` spans (`replay.<method>` on the
+    /// contracted fast path), and the per-trace dispatch counts feed the
+    /// `dbr.api_calls` / `dbr.graph_fn_calls` / `dbr.contracted_replays`
+    /// counters.
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.obs_api_calls = recorder.counter("dbr.api_calls");
+        self.obs_fn_calls = recorder.counter("dbr.graph_fn_calls");
+        self.obs_replays = recorder.counter("dbr.contracted_replays");
+        self.recorder = recorder;
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 }
 

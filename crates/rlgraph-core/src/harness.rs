@@ -147,10 +147,7 @@ impl ComponentTest {
         };
         Ok(ComponentTest {
             executor,
-            input_spaces: method_spaces
-                .iter()
-                .map(|(m, s)| (m.to_string(), s.clone()))
-                .collect(),
+            input_spaces: method_spaces.iter().map(|(m, s)| (m.to_string(), s.clone())).collect(),
         })
     }
 
@@ -184,8 +181,7 @@ impl ComponentTest {
         let inputs: Vec<Tensor> = spaces
             .iter()
             .map(|s| {
-                let leading: Vec<usize> =
-                    if s.has_batch_rank() { vec![batch] } else { vec![] };
+                let leading: Vec<usize> = if s.has_batch_rank() { vec![batch] } else { vec![] };
                 s.sample_with_leading(&leading, rng).into_tensor().map_err(Into::into)
             })
             .collect::<Result<_>>()?;

@@ -52,10 +52,8 @@ pub struct MetaGraph {
 impl MetaGraph {
     /// Registers a root API method.
     pub fn register_api(&mut self, name: &str, num_inputs: usize, num_outputs: usize) {
-        self.api.insert(
-            name.to_string(),
-            ApiEntry { name: name.to_string(), num_inputs, num_outputs },
-        );
+        self.api
+            .insert(name.to_string(), ApiEntry { name: name.to_string(), num_inputs, num_outputs });
     }
 
     /// The API registry.
@@ -86,11 +84,7 @@ impl MetaGraph {
 
     /// Records a graph-function entry.
     pub(crate) fn record_graph_fn(&mut self, component: ComponentId, name: &str, scope: String) {
-        self.calls.push(MetaNode::GraphFn {
-            component,
-            name: name.to_string(),
-            scope,
-        });
+        self.calls.push(MetaNode::GraphFn { component, name: name.to_string(), scope });
     }
 
     /// All recorded call-structure nodes, in traversal order.

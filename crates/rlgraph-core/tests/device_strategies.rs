@@ -103,12 +103,8 @@ fn session_accounts_per_device() {
     // 2 * 2 = 4x
     assert_eq!(out[0].as_f32().unwrap(), &[4.0, 8.0]);
     let stats = exec.session().stats();
-    let gpu_ops: u64 = stats
-        .per_device
-        .iter()
-        .filter(|(d, _)| matches!(d, Device::Gpu(_)))
-        .map(|(_, n)| *n)
-        .sum();
+    let gpu_ops: u64 =
+        stats.per_device.iter().filter(|(d, _)| matches!(d, Device::Gpu(_))).map(|(_, n)| *n).sum();
     let cpu_ops = stats.per_device.get(&Device::Cpu).copied().unwrap_or(0);
     assert!(gpu_ops > 0, "no ops executed under gpu placement: {:?}", stats.per_device);
     assert!(cpu_ops > 0, "no ops executed under cpu placement");

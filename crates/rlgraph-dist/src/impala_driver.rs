@@ -9,6 +9,7 @@ use rlgraph_agents::ImpalaConfig;
 use rlgraph_core::CoreError;
 use rlgraph_envs::{Env, VectorEnv};
 use rlgraph_graph::TensorQueue;
+use rlgraph_obs::Recorder;
 use rlgraph_spaces::Space;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,6 +30,9 @@ pub struct ImpalaDriverConfig {
     pub run_duration: Duration,
     /// optional cap on learner updates
     pub max_updates: Option<u64>,
+    /// observability recorder (disabled by default; pass an enabled one to
+    /// collect actor/learner spans, queue depth, and training gauges)
+    pub recorder: Recorder,
 }
 
 impl Default for ImpalaDriverConfig {
@@ -40,6 +44,7 @@ impl Default for ImpalaDriverConfig {
             weight_sync_interval: 4,
             run_duration: Duration::from_secs(5),
             max_updates: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -75,6 +80,7 @@ where
     F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
 {
     let start = Instant::now();
+    let recorder = config.recorder.clone();
     let queue = TensorQueue::new("impala-rollouts", config.agent.queue_capacity);
     let stop = Arc::new(AtomicBool::new(false));
     let frames_total = Arc::new(AtomicU64::new(0));
@@ -100,33 +106,43 @@ where
         agent_cfg.seed = config.agent.seed.wrapping_add(a as u64 * 6151);
         let envs_per_actor = config.envs_per_actor;
         let sync_every = config.weight_sync_interval;
+        let rec = recorder.clone();
         let handle = std::thread::Builder::new()
             .name(format!("impala-actor-{}", a))
             .spawn(move || -> rlgraph_core::Result<()> {
-                let envs = VectorEnv::new(
-                    (0..envs_per_actor).map(|e| env_factory(a, e)).collect(),
-                )
-                .map_err(|e| CoreError::new(e.message()))?;
+                let envs = VectorEnv::new((0..envs_per_actor).map(|e| env_factory(a, e)).collect())
+                    .map_err(|e| CoreError::new(e.message()))?;
+                let rollout_us = rec.histogram("actor.rollout_us");
+                let frames_ctr = rec.counter("actor.frames");
+                let reward_gauge = rec.gauge("train.episode_reward");
                 let mut actor = ImpalaActor::new(&agent_cfg, envs, queue)?;
                 let mut rollouts: u64 = 0;
                 let mut frames_before = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    if rollouts % sync_every == 0 {
+                    if rollouts.is_multiple_of(sync_every) {
+                        let _span = rec.span("actor.weight_sync");
                         let weights = weight_slot.read().clone();
                         if !weights.is_empty() {
                             actor.set_weights(&weights)?;
                         }
                     }
-                    match actor.rollout() {
-                        Ok(()) => {}
+                    let t0 = Instant::now();
+                    let rollout_res = {
+                        let _span = rec.span("actor.rollout");
+                        actor.rollout()
+                    };
+                    match rollout_res {
+                        Ok(()) => rollout_us.record_duration(t0.elapsed()),
                         Err(_) if stop.load(Ordering::Relaxed) => break,
                         Err(e) => return Err(e),
                     }
                     rollouts += 1;
                     let now = actor.env_frames();
+                    frames_ctr.add(now - frames_before);
                     frames_total.fetch_add(now - frames_before, Ordering::Relaxed);
                     frames_before = now;
                     if let Some(r) = actor.mean_recent_return(20) {
+                        reward_gauge.set(r as f64);
                         returns.lock().push(r);
                     }
                 }
@@ -145,12 +161,25 @@ where
         queue.clone(),
     )?;
     let mut losses = Vec::new();
+    let learn_us = recorder.histogram("learner.step_us");
+    let queue_depth = recorder.gauge("queue.depth");
+    let loss_gauge = recorder.gauge("train.loss");
+    let updates_ctr = recorder.counter("learner.updates");
     let deadline = start + config.run_duration;
     while Instant::now() < deadline
         && config.max_updates.map(|m| learner.num_updates() < m).unwrap_or(true)
     {
-        match learner.learn() {
+        queue_depth.set(queue.len() as f64);
+        let t0 = Instant::now();
+        let learn_res = {
+            let _span = recorder.span("learner.step");
+            learner.learn()
+        };
+        match learn_res {
             Ok(l) => {
+                learn_us.record_duration(t0.elapsed());
+                loss_gauge.set(l.total as f64);
+                updates_ctr.inc();
                 losses.push(l.total);
                 *weight_slot.write() = learner.get_weights();
             }
@@ -206,11 +235,11 @@ mod tests {
             weight_sync_interval: 2,
             run_duration: Duration::from_millis(1200),
             max_updates: Some(30),
+            ..ImpalaDriverConfig::default()
         };
-        let stats = run_impala(config, |a, e| {
-            Box::new(RandomEnv::new(&[3], 2, 16, (a * 10 + e) as u64))
-        })
-        .unwrap();
+        let stats =
+            run_impala(config, |a, e| Box::new(RandomEnv::new(&[3], 2, 16, (a * 10 + e) as u64)))
+                .unwrap();
         assert!(stats.updates > 0, "learner never updated");
         assert!(stats.env_frames > 0);
         assert!(stats.losses.iter().all(|l| l.is_finite()));

@@ -13,6 +13,7 @@ use rlgraph_agents::apex::ApexWorker;
 use rlgraph_agents::{DqnAgent, DqnConfig};
 use rlgraph_core::CoreError;
 use rlgraph_envs::{Env, VectorEnv};
+use rlgraph_obs::Recorder;
 use rlgraph_tensor::Tensor;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,6 +38,9 @@ pub struct ApexRunConfig {
     pub run_duration: Duration,
     /// optional hard cap on learner updates
     pub max_updates: Option<u64>,
+    /// observability recorder shared by learner, workers and shards
+    /// (defaults to the no-op recorder)
+    pub recorder: Recorder,
 }
 
 impl Default for ApexRunConfig {
@@ -50,6 +54,7 @@ impl Default for ApexRunConfig {
             weight_sync_interval: 16,
             run_duration: Duration::from_secs(5),
             max_updates: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -110,14 +115,17 @@ where
     let rewards: Arc<Mutex<Vec<(f64, f32)>>> = Arc::new(Mutex::new(Vec::new()));
     let env_factory = Arc::new(env_factory);
 
+    let recorder = config.recorder.clone();
+
     // Replay shards.
     let shards: Vec<ReplayShard> = (0..config.num_shards)
         .map(|i| {
-            ReplayShard::spawn(
+            ReplayShard::spawn_with_recorder(
                 format!("replay-shard-{}", i),
                 config.agent.memory_capacity,
                 config.agent.alpha,
                 config.agent.seed.wrapping_add(1000 + i as u64),
+                recorder.clone(),
             )
         })
         .collect();
@@ -129,8 +137,11 @@ where
     // Workers.
     let mut worker_handles = Vec::with_capacity(config.num_workers);
     for w in 0..config.num_workers {
-        let (wtx, wrx) = bounded::<Vec<(String, Tensor)>>(1);
+        // Weight snapshots travel with their send timestamp (recorder
+        // clock) so workers can report weight-sync latency.
+        let (wtx, wrx) = bounded::<(u64, Vec<(String, Tensor)>)>(1);
         weight_txs.push(wtx);
+        let rec = recorder.clone();
         let stop = stop.clone();
         let frames = frames.clone();
         let samples = samples.clone();
@@ -147,24 +158,37 @@ where
         let handle = std::thread::Builder::new()
             .name(format!("apex-worker-{}", w))
             .spawn(move || -> rlgraph_core::Result<()> {
-                let envs = VectorEnv::new(
-                    (0..envs_per_worker).map(|e| env_factory(w, e)).collect(),
-                )
-                .map_err(|e| CoreError::new(e.message()))?;
+                let envs =
+                    VectorEnv::new((0..envs_per_worker).map(|e| env_factory(w, e)).collect())
+                        .map_err(|e| CoreError::new(e.message()))?;
                 let mut worker = ApexWorker::new(worker_cfg, envs)?;
+                let task_us = rec.histogram("worker.task_us");
+                let sync_latency_us = rec.histogram("weight_sync.latency_us");
+                let frames_ctr = rec.counter("worker.frames");
+                let reward_gauge = rec.gauge("train.episode_reward");
                 let mut task: u64 = 0;
                 while !stop.load(Ordering::Relaxed) {
-                    if let Ok(weights) = wrx.try_recv() {
+                    if let Ok((sent_us, weights)) = wrx.try_recv() {
+                        sync_latency_us.record(rec.now_micros().saturating_sub(sent_us) as f64);
                         worker.agent_mut().set_weights(&weights)?;
                     }
-                    let batch = worker.collect(task_size)?;
+                    let t0 = Instant::now();
+                    let batch = {
+                        let _span = rec.span("worker.collect");
+                        worker.collect(task_size)?
+                    };
+                    task_us.record_duration(t0.elapsed());
                     frames.fetch_add(batch.env_frames, Ordering::Relaxed);
+                    frames_ctr.add(batch.env_frames);
                     samples.fetch_add(batch.len() as u64, Ordering::Relaxed);
                     {
                         let now = start.elapsed().as_secs_f64();
                         let mut guard = rewards.lock();
                         for r in &batch.episode_returns {
                             guard.push((now, *r));
+                        }
+                        if let Some(r) = batch.episode_returns.last() {
+                            reward_gauge.set(*r as f64);
                         }
                     }
                     let shard = &shard_senders[(task as usize) % shard_senders.len()];
@@ -189,6 +213,10 @@ where
     let state_space = env_factory(0, 0).state_space();
     let action_space = env_factory(0, 0).action_space();
     let mut learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
+    let sample_wait_us = recorder.histogram("learner.sample_wait_us");
+    let step_us = recorder.histogram("learner.step_us");
+    let updates_ctr = recorder.counter("learner.updates");
+    let loss_gauge = recorder.gauge("train.loss");
     let mut losses = Vec::new();
     let mut updates: u64 = 0;
     let deadline = start + config.run_duration;
@@ -207,22 +235,33 @@ where
         {
             break;
         }
+        let t_wait = Instant::now();
         let Ok(reply) = reply_rx.recv_timeout(Duration::from_millis(500)) else { continue };
+        sample_wait_us.record_duration(t_wait.elapsed());
         let Some(batch) = reply else {
             // shard not filled yet
             std::thread::yield_now();
             continue;
         };
         let [s, a, r, s2, t] = batch.tensors;
-        let (loss, td) = learner.update_from_batch([s, a, r, s2, t, batch.weights])?;
+        let t_step = Instant::now();
+        let (loss, td) = {
+            let _span = recorder.span("learner.step");
+            learner.update_from_batch([s, a, r, s2, t, batch.weights])?
+        };
+        step_us.record_duration(t_step.elapsed());
+        loss_gauge.set(loss as f64);
+        updates_ctr.inc();
         losses.push(loss);
         updates += 1;
         let priorities = td.as_f32().map_err(CoreError::from)?.to_vec();
         let _ = shard.send(ShardRequest::UpdatePriorities { indices: batch.indices, priorities });
-        if updates % config.weight_sync_interval == 0 {
+        if updates.is_multiple_of(config.weight_sync_interval) {
+            let _span = recorder.span("learner.weight_broadcast");
             let weights = learner.get_weights();
+            let sent_us = recorder.now_micros();
             for tx in &weight_txs {
-                match tx.try_send(weights.clone()) {
+                match tx.try_send((sent_us, weights.clone())) {
                     Ok(()) | Err(TrySendError::Full(_)) => {}
                     Err(TrySendError::Disconnected(_)) => {}
                 }
@@ -297,11 +336,11 @@ mod tests {
             weight_sync_interval: 4,
             run_duration: Duration::from_millis(1500),
             max_updates: Some(40),
+            ..ApexRunConfig::default()
         };
-        let stats = run_apex(config, |w, e| {
-            Box::new(RandomEnv::new(&[4], 2, 20, (w * 10 + e) as u64))
-        })
-        .unwrap();
+        let stats =
+            run_apex(config, |w, e| Box::new(RandomEnv::new(&[4], 2, 20, (w * 10 + e) as u64)))
+                .unwrap();
         assert!(stats.env_frames > 100, "frames: {}", stats.env_frames);
         assert!(stats.samples_collected > 50);
         assert!(stats.updates > 0, "learner never updated");

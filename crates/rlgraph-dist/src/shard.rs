@@ -5,6 +5,7 @@
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rlgraph_agents::components::memory::transitions_to_batch;
 use rlgraph_memory::{PrioritizedReplay, Transition};
+use rlgraph_obs::Recorder;
 use rlgraph_tensor::Tensor;
 use std::thread::JoinHandle;
 
@@ -58,10 +59,23 @@ pub struct ReplayShard {
 impl ReplayShard {
     /// Spawns a shard actor with the given capacity/alpha.
     pub fn spawn(name: String, capacity: usize, alpha: f32, seed: u64) -> Self {
+        Self::spawn_with_recorder(name, capacity, alpha, seed, Recorder::disabled())
+    }
+
+    /// Like [`ReplayShard::spawn`] with an observability recorder: the
+    /// actor records service-time spans/histograms per request kind, its
+    /// mailbox depth, and the buffer fill level.
+    pub fn spawn_with_recorder(
+        name: String,
+        capacity: usize,
+        alpha: f32,
+        seed: u64,
+        recorder: Recorder,
+    ) -> Self {
         let (tx, rx): (Sender<ShardRequest>, Receiver<ShardRequest>) = bounded(256);
         let handle = std::thread::Builder::new()
             .name(name)
-            .spawn(move || shard_loop(rx, capacity, alpha, seed))
+            .spawn(move || shard_loop(rx, capacity, alpha, seed, recorder))
             .expect("spawn shard thread");
         ReplayShard { tx, handle: Some(handle) }
     }
@@ -87,18 +101,39 @@ impl Drop for ReplayShard {
     }
 }
 
-fn shard_loop(rx: Receiver<ShardRequest>, capacity: usize, alpha: f32, seed: u64) -> u64 {
+fn shard_loop(
+    rx: Receiver<ShardRequest>,
+    capacity: usize,
+    alpha: f32,
+    seed: u64,
+    recorder: Recorder,
+) -> u64 {
     use rand::SeedableRng;
     let mut mem: PrioritizedReplay<Transition> = PrioritizedReplay::new(capacity, alpha);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Handles resolved once; all no-ops under a disabled recorder.
+    let insert_us = recorder.histogram("shard.insert_us");
+    let sample_us = recorder.histogram("shard.sample_us");
+    let update_us = recorder.histogram("shard.update_priorities_us");
+    let mailbox_depth = recorder.gauge("shard.mailbox_depth");
+    let fill = recorder.gauge("shard.size");
     while let Ok(req) = rx.recv() {
+        // Depth of the actor's mailbox *after* taking this request: how far
+        // producers are running ahead of this shard.
+        mailbox_depth.set(rx.len() as f64);
         match req {
             ShardRequest::Insert { transitions, priorities } => {
+                let _span = recorder.span("shard.insert");
+                let t0 = std::time::Instant::now();
                 for (t, p) in transitions.into_iter().zip(priorities) {
                     mem.insert_with_priority(t, p);
                 }
+                insert_us.record_duration(t0.elapsed());
+                fill.set(mem.len() as f64);
             }
             ShardRequest::Sample { batch, beta, reply } => {
+                let _span = recorder.span("shard.sample");
+                let t0 = std::time::Instant::now();
                 if mem.len() < batch {
                     let _ = reply.send(None);
                     continue;
@@ -113,17 +148,18 @@ fn shard_loop(rx: Receiver<ShardRequest>, capacity: usize, alpha: f32, seed: u64
                 };
                 let weights = Tensor::from_vec(sample.weights, &[batch]).expect("batch shape");
                 let _ = reply.send(Some(ShardBatch { tensors, weights, indices: sample.indices }));
+                sample_us.record_duration(t0.elapsed());
             }
             ShardRequest::UpdatePriorities { indices, priorities } => {
+                let _span = recorder.span("shard.update_priorities");
+                let t0 = std::time::Instant::now();
                 // indices may reference overwritten slots after wrap-around;
                 // clamp defensively
-                let pairs: Vec<(usize, f32)> = indices
-                    .into_iter()
-                    .zip(priorities)
-                    .filter(|(i, _)| *i < mem.len())
-                    .collect();
+                let pairs: Vec<(usize, f32)> =
+                    indices.into_iter().zip(priorities).filter(|(i, _)| *i < mem.len()).collect();
                 let (idx, pr): (Vec<usize>, Vec<f32>) = pairs.into_iter().unzip();
                 mem.update_priorities(&idx, &pr);
+                update_us.record_duration(t0.elapsed());
             }
             ShardRequest::Shutdown => break,
         }
@@ -157,10 +193,7 @@ mod tests {
         let (ts, ps) = transitions(16);
         shard.sender().send(ShardRequest::Insert { transitions: ts, priorities: ps }).unwrap();
         let (reply_tx, reply_rx) = bounded(1);
-        shard
-            .sender()
-            .send(ShardRequest::Sample { batch: 8, beta: 0.4, reply: reply_tx })
-            .unwrap();
+        shard.sender().send(ShardRequest::Sample { batch: 8, beta: 0.4, reply: reply_tx }).unwrap();
         let batch = reply_rx.recv().unwrap().expect("enough data");
         assert_eq!(batch.tensors[0].shape(), &[8, 3]);
         assert_eq!(batch.tensors[4].dtype(), DType::Bool);
@@ -172,10 +205,7 @@ mod tests {
     fn sample_underfilled_returns_none() {
         let shard = ReplayShard::spawn("shard-test".into(), 64, 0.6, 0);
         let (reply_tx, reply_rx) = bounded(1);
-        shard
-            .sender()
-            .send(ShardRequest::Sample { batch: 4, beta: 0.4, reply: reply_tx })
-            .unwrap();
+        shard.sender().send(ShardRequest::Sample { batch: 4, beta: 0.4, reply: reply_tx }).unwrap();
         assert!(reply_rx.recv().unwrap().is_none());
     }
 
@@ -193,10 +223,7 @@ mod tests {
             .unwrap();
         // still serving after an update containing a stale index
         let (reply_tx, reply_rx) = bounded(1);
-        shard
-            .sender()
-            .send(ShardRequest::Sample { batch: 4, beta: 0.0, reply: reply_tx })
-            .unwrap();
+        shard.sender().send(ShardRequest::Sample { batch: 4, beta: 0.0, reply: reply_tx }).unwrap();
         assert!(reply_rx.recv().unwrap().is_some());
         shard.shutdown();
     }

@@ -82,8 +82,8 @@ pub struct GridPong {
     ball_y: f32,
     vel_x: f32,
     vel_y: f32,
-    paddle_y: f32,    // agent, right edge
-    opponent_y: f32,  // left edge
+    paddle_y: f32,   // agent, right edge
+    opponent_y: f32, // left edge
     score_agent: u32,
     score_opponent: u32,
     prev_frame: Vec<f32>,
@@ -233,9 +233,7 @@ impl GridPong {
 impl Env for GridPong {
     fn state_space(&self) -> Space {
         match self.cfg.obs {
-            PongObs::Pixels => {
-                Space::float_box(&[2, self.cfg.height, self.cfg.width])
-            }
+            PongObs::Pixels => Space::float_box(&[2, self.cfg.height, self.cfg.width]),
             PongObs::Vector => Space::float_box_bounded(&[6], -2.0, 2.0),
         }
     }

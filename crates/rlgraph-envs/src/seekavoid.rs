@@ -274,10 +274,8 @@ mod tests {
     #[test]
     fn render_cost_scales_time() {
         let time_with = |cost: usize| {
-            let mut env = SeekAvoid::new(SeekAvoidConfig {
-                render_cost: cost,
-                ..Default::default()
-            });
+            let mut env =
+                SeekAvoid::new(SeekAvoidConfig { render_cost: cost, ..Default::default() });
             env.reset();
             let t0 = Instant::now();
             for _ in 0..30 {

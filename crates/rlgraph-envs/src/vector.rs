@@ -56,7 +56,8 @@ impl VectorEnv {
     ///
     /// Errors if `envs` is empty or spaces disagree.
     pub fn new(envs: Vec<Box<dyn Env>>) -> crate::Result<Self> {
-        let first = envs.first().ok_or_else(|| EnvError::new("vector env needs at least one env"))?;
+        let first =
+            envs.first().ok_or_else(|| EnvError::new("vector env needs at least one env"))?;
         let (ss, asp) = (first.state_space(), first.action_space());
         for e in &envs {
             if e.state_space() != ss || e.action_space() != asp {
@@ -169,7 +170,7 @@ impl VectorEnv {
                 self.envs.len()
             )));
         }
-        Ok(batched.unstack().map_err(|e| EnvError::new(e.message()))?)
+        batched.unstack().map_err(|e| EnvError::new(e.message()))
     }
 }
 
@@ -188,10 +189,8 @@ mod tests {
     use crate::random::RandomEnv;
 
     fn vec_env(n: usize, episode_len: u32) -> VectorEnv {
-        VectorEnv::from_factory(n, |i| {
-            Box::new(RandomEnv::new(&[3], 2, episode_len, i as u64))
-        })
-        .unwrap()
+        VectorEnv::from_factory(n, |i| Box::new(RandomEnv::new(&[3], 2, episode_len, i as u64)))
+            .unwrap()
     }
 
     #[test]

@@ -94,12 +94,7 @@ impl Graph {
     pub fn variable(&mut self, name: &str, init: Tensor, trainable: bool) -> VarId {
         let scope = self.current_scope();
         let full = if scope.is_empty() { name.to_string() } else { format!("{}/{}", scope, name) };
-        self.var_defs.push(VarDef {
-            name: full,
-            init,
-            trainable,
-            device: self.current_device,
-        });
+        self.var_defs.push(VarDef { name: full, init, trainable, device: self.current_device });
         VarId(self.var_defs.len() - 1)
     }
 

@@ -46,7 +46,7 @@ pub use error::GraphError;
 pub use graph::Graph;
 pub use node::{Device, Node, NodeId, NodeOp, VarId};
 pub use queue::{StagingArea, TensorQueue};
-pub use session::{RunStats, Session};
+pub use session::{NodeProfile, RunStats, Session};
 pub use stateful::{shared_kernel, SharedKernel, StatefulKernel};
 pub use variables::{SharedVariableStore, VariableStore};
 

@@ -4,6 +4,7 @@ use crate::graph::Graph;
 use crate::node::{AssignMode, Device, NodeId, NodeOp};
 use crate::variables::{shared_store, SharedVariableStore};
 use crate::{GraphError, Result};
+use rlgraph_obs::{Histogram, Recorder};
 use rlgraph_tensor::{forward, OpKind, Tensor};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -14,6 +15,9 @@ use std::time::Instant;
 /// fragmented multi-call post-processing vs. RLgraph's batched single-call
 /// design), so the session counts every run and every executed op, per op
 /// kind and per device.
+///
+/// Built on demand by [`Session::stats`] from per-node counters; op names
+/// are only materialised at snapshot time, never on the run hot path.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// number of `run` invocations
@@ -24,8 +28,40 @@ pub struct RunStats {
     pub per_op: HashMap<String, u64>,
     /// executed-op counts per device
     pub per_device: HashMap<Device, u64>,
+    /// cumulative per-op self time in microseconds (only populated while a
+    /// recorder is attached; empty otherwise)
+    pub per_op_time_us: HashMap<String, u64>,
+    /// cumulative per-device self time in microseconds (recorder-gated like
+    /// `per_op_time_us`)
+    pub per_device_time_us: HashMap<Device, u64>,
     /// wall time spent inside `run`
     pub total_run_time: std::time::Duration,
+}
+
+/// Per-node execution profile, indexed by [`NodeId`] index.
+///
+/// The raw data behind [`RunStats`], exposed for profile overlays (e.g.
+/// dot export coloring nodes by cumulative self-time).
+#[derive(Debug, Clone, Default)]
+pub struct NodeProfile {
+    /// executed count per node
+    pub counts: Vec<u64>,
+    /// cumulative self time per node in microseconds (all zero unless a
+    /// recorder was attached during the runs)
+    pub time_us: Vec<u64>,
+}
+
+/// Internal counters: everything keyed by `NodeId` index so the run loop
+/// never allocates names.
+#[derive(Debug, Clone, Default)]
+struct StatsInner {
+    runs: u64,
+    ops_executed: u64,
+    per_node: Vec<u64>,
+    per_node_time_us: Vec<u64>,
+    per_device: HashMap<Device, u64>,
+    per_device_time_us: HashMap<Device, u64>,
+    total_run_time: std::time::Duration,
 }
 
 /// Executes a [`Graph`] against a [`VariableStore`](crate::VariableStore).
@@ -37,7 +73,9 @@ pub struct RunStats {
 pub struct Session {
     graph: Graph,
     store: SharedVariableStore,
-    stats: RunStats,
+    stats: StatsInner,
+    recorder: Recorder,
+    run_hist: Histogram,
 }
 
 impl Session {
@@ -46,14 +84,40 @@ impl Session {
     pub fn new(graph: Graph) -> Self {
         let store = shared_store();
         *store.write() = graph.build_store();
-        Session { graph, store, stats: RunStats::default() }
+        Session {
+            graph,
+            store,
+            stats: StatsInner::default(),
+            recorder: Recorder::disabled(),
+            run_hist: Histogram::noop(),
+        }
     }
 
     /// Creates a session sharing an existing store (the store must already
     /// contain this graph's variables, e.g. via another session over the
     /// same graph structure).
     pub fn with_store(graph: Graph, store: SharedVariableStore) -> Self {
-        Session { graph, store, stats: RunStats::default() }
+        Session {
+            graph,
+            store,
+            stats: StatsInner::default(),
+            recorder: Recorder::disabled(),
+            run_hist: Histogram::noop(),
+        }
+    }
+
+    /// Attaches an observability recorder: subsequent runs record a
+    /// `session.run` span, a `session.run_us` latency histogram, and
+    /// per-op/per-device self-times. With the default disabled recorder,
+    /// timing is skipped entirely.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.run_hist = recorder.histogram("session.run_us");
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The underlying graph.
@@ -79,13 +143,45 @@ impl Session {
     }
 
     /// Execution statistics so far.
-    pub fn stats(&self) -> &RunStats {
-        &self.stats
+    ///
+    /// Name-keyed maps are assembled here from per-node counters, so the
+    /// run loop itself never formats or allocates op names.
+    pub fn stats(&self) -> RunStats {
+        let mut per_op: HashMap<String, u64> = HashMap::new();
+        let mut per_op_time_us: HashMap<String, u64> = HashMap::new();
+        for (idx, &count) in self.stats.per_node.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let name = self.graph.node(NodeId(idx)).op.name();
+            let t = self.stats.per_node_time_us.get(idx).copied().unwrap_or(0);
+            if t > 0 {
+                *per_op_time_us.entry(name.clone()).or_insert(0) += t;
+            }
+            *per_op.entry(name).or_insert(0) += count;
+        }
+        RunStats {
+            runs: self.stats.runs,
+            ops_executed: self.stats.ops_executed,
+            per_op,
+            per_device: self.stats.per_device.clone(),
+            per_op_time_us,
+            per_device_time_us: self.stats.per_device_time_us.clone(),
+            total_run_time: self.stats.total_run_time,
+        }
+    }
+
+    /// Raw per-node execution profile (counts and self-times by node id).
+    pub fn node_profile(&self) -> NodeProfile {
+        NodeProfile {
+            counts: self.stats.per_node.clone(),
+            time_us: self.stats.per_node_time_us.clone(),
+        }
     }
 
     /// Resets execution statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = RunStats::default();
+        self.stats = StatsInner::default();
     }
 
     /// Evaluates `fetches` given placeholder `feeds`, in one call.
@@ -95,7 +191,13 @@ impl Session {
     /// Errors on unknown nodes, missing/mistyped feeds, or kernel failures.
     pub fn run(&mut self, fetches: &[NodeId], feeds: &[(NodeId, Tensor)]) -> Result<Vec<Tensor>> {
         let t0 = Instant::now();
+        let timed = self.recorder.is_enabled();
+        let _run_span = self.recorder.span("session.run");
         let n = self.graph.num_nodes();
+        if self.stats.per_node.len() < n {
+            self.stats.per_node.resize(n, 0);
+            self.stats.per_node_time_us.resize(n, 0);
+        }
         for &f in fetches {
             if f.index() >= n {
                 return Err(GraphError::new(format!("fetch {} does not exist", f)));
@@ -130,10 +232,17 @@ impl Session {
                 continue;
             }
             stack.pop();
+            let t_node = if timed { Some(Instant::now()) } else { None };
             let value = self.eval_node(id, &feed_map, &memo, &mut stateful_outs)?;
+            let device = self.graph.node(id).device;
+            if let Some(t) = t_node {
+                let us = t.elapsed().as_micros() as u64;
+                self.stats.per_node_time_us[id.index()] += us;
+                *self.stats.per_device_time_us.entry(device).or_insert(0) += us;
+            }
             self.stats.ops_executed += 1;
-            *self.stats.per_op.entry(node_name(&self.graph, id)).or_insert(0) += 1;
-            *self.stats.per_device.entry(self.graph.node(id).device).or_insert(0) += 1;
+            self.stats.per_node[id.index()] += 1;
+            *self.stats.per_device.entry(device).or_insert(0) += 1;
             memo[id.index()] = Some(value);
         }
 
@@ -142,7 +251,9 @@ impl Session {
             .map(|f| memo[f.index()].clone().expect("fetched node evaluated"))
             .collect();
         self.stats.runs += 1;
-        self.stats.total_run_time += t0.elapsed();
+        let elapsed = t0.elapsed();
+        self.stats.total_run_time += elapsed;
+        self.run_hist.record_duration(elapsed);
         Ok(out)
     }
 
@@ -190,12 +301,8 @@ impl Session {
                 let mut store = self.store.write();
                 let new_value = match mode {
                     AssignMode::Set => incoming,
-                    AssignMode::Add => {
-                        forward(&OpKind::Add, &[store.read(*var)?, &incoming])?
-                    }
-                    AssignMode::Sub => {
-                        forward(&OpKind::Sub, &[store.read(*var)?, &incoming])?
-                    }
+                    AssignMode::Add => forward(&OpKind::Add, &[store.read(*var)?, &incoming])?,
+                    AssignMode::Sub => forward(&OpKind::Sub, &[store.read(*var)?, &incoming])?,
                 };
                 store.write(*var, new_value.clone())?;
                 Ok(new_value)
@@ -219,10 +326,6 @@ impl Session {
             NodeOp::Group => Ok(Tensor::scalar(0.0)),
         }
     }
-}
-
-fn node_name(graph: &Graph, id: NodeId) -> String {
-    graph.node(id).op.name()
 }
 
 impl std::fmt::Debug for Session {
@@ -385,6 +488,37 @@ mod tests {
         assert!(sess.stats().ops_executed >= 4);
         sess.reset_stats();
         assert_eq!(sess.stats().runs, 0);
+    }
+
+    #[test]
+    fn recorder_collects_per_op_timing_and_spans() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar(1.0));
+        let b = g.op(OpKind::Neg, &[a]).unwrap();
+        let mut sess = Session::new(g);
+        let rec = rlgraph_obs::Recorder::wall();
+        sess.set_recorder(rec.clone());
+        sess.run(&[b], &[]).unwrap();
+        sess.run(&[b], &[]).unwrap();
+        // run-level histogram + span both recorded
+        assert_eq!(rec.histogram("session.run_us").count(), 2);
+        let totals = rec.span_totals();
+        assert!(totals.iter().any(|(n, t)| n == "session.run" && t.count == 2));
+        // per-op timing accounted under op names (may be 0us for trivial
+        // ops, but the keys must exist in the profile)
+        let profile = sess.node_profile();
+        assert_eq!(profile.counts.iter().sum::<u64>(), 4);
+        // without a recorder, timing stays off
+        let mut plain = Session::new({
+            let mut g = Graph::new();
+            let a = g.constant(Tensor::scalar(1.0));
+            g.op(OpKind::Neg, &[a]).unwrap();
+            g
+        });
+        assert!(!plain.recorder().is_enabled());
+        let fetch = NodeId(1);
+        plain.run(&[fetch], &[]).unwrap();
+        assert!(plain.node_profile().time_us.iter().all(|&t| t == 0));
     }
 
     #[test]

@@ -97,12 +97,7 @@ impl VariableStore {
 
     /// Ids of all trainable variables, in creation order.
     pub fn trainable_ids(&self) -> Vec<VarId> {
-        self.vars
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.trainable)
-            .map(|(i, _)| VarId(i))
-            .collect()
+        self.vars.iter().enumerate().filter(|(_, v)| v.trainable).map(|(i, _)| VarId(i)).collect()
     }
 
     /// Snapshot of all variables as `(name, value)` pairs (weights export).

@@ -83,7 +83,13 @@ impl NStepAdjuster {
                 break;
             }
         }
-        Some(Transition::new(first.state.clone(), first.action.clone(), reward, next_state, terminal))
+        Some(Transition::new(
+            first.state.clone(),
+            first.action.clone(),
+            reward,
+            next_state,
+            terminal,
+        ))
     }
 }
 

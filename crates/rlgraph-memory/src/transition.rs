@@ -23,7 +23,13 @@ pub struct Transition {
 
 impl Transition {
     /// Creates a transition record.
-    pub fn new(state: Tensor, action: Tensor, reward: f32, next_state: Tensor, terminal: bool) -> Self {
+    pub fn new(
+        state: Tensor,
+        action: Tensor,
+        reward: f32,
+        next_state: Tensor,
+        terminal: bool,
+    ) -> Self {
         Transition { state, action, reward, next_state, terminal }
     }
 

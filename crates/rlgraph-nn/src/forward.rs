@@ -112,6 +112,7 @@ pub fn lstm_step<E: OpEmitter>(
 /// # Errors
 ///
 /// Propagates emitter errors.
+#[allow(clippy::too_many_arguments)]
 pub fn lstm_unroll<E: OpEmitter>(
     em: &mut E,
     x: E::Ref,
@@ -143,7 +144,11 @@ pub fn lstm_unroll<E: OpEmitter>(
 /// # Errors
 ///
 /// Propagates emitter errors.
-pub fn dueling_combine<E: OpEmitter>(em: &mut E, value: E::Ref, advantage: E::Ref) -> Result<E::Ref> {
+pub fn dueling_combine<E: OpEmitter>(
+    em: &mut E,
+    value: E::Ref,
+    advantage: E::Ref,
+) -> Result<E::Ref> {
     let mean_a = em.emit(OpKind::Mean { axes: Some(vec![1]), keep_dims: true }, &[advantage])?;
     let centered = em.emit(OpKind::Sub, &[advantage, mean_a])?;
     em.emit(OpKind::Add, &[value, centered])
@@ -230,10 +235,7 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.leaf(Tensor::ones(&[1, 1, 3, 3]), false);
         let f = tape.leaf(Tensor::ones(&[2, 1, 2, 2]), false);
-        let b = tape.leaf(
-            Tensor::from_vec(vec![0.5, -0.5], &[2, 1, 1]).unwrap(),
-            false,
-        );
+        let b = tape.leaf(Tensor::from_vec(vec![0.5, -0.5], &[2, 1, 1]).unwrap(), false);
         let y = conv2d(&mut tape, x, f, b, 1, 0, Activation::Linear).unwrap();
         let v = tape.value(y);
         assert_eq!(v.shape(), &[1, 2, 2, 2]);
@@ -252,7 +254,8 @@ mod tests {
         let w_ih = tape.leaf(Tensor::full(&[input, 4 * units], 0.1), false);
         let w_hh = tape.leaf(Tensor::full(&[units, 4 * units], 0.1), false);
         let bias = tape.leaf(Tensor::zeros(&[4 * units], rlgraph_tensor::DType::F32), false);
-        let s = lstm_step(&mut tape, x, LstmState { h: h0, c: c0 }, w_ih, w_hh, bias, units).unwrap();
+        let s =
+            lstm_step(&mut tape, x, LstmState { h: h0, c: c0 }, w_ih, w_hh, bias, units).unwrap();
         let h = tape.value(s.h);
         assert_eq!(h.shape(), &[b, units]);
         // h = o * tanh(c) is bounded by (-1, 1)
@@ -269,17 +272,9 @@ mod tests {
         let w_ih = tape.leaf(Tensor::full(&[input, 4 * units], 0.2), false);
         let w_hh = tape.leaf(Tensor::full(&[units, 4 * units], 0.2), false);
         let bias = tape.leaf(Tensor::zeros(&[4 * units], rlgraph_tensor::DType::F32), false);
-        let (ys, _last) = lstm_unroll(
-            &mut tape,
-            x,
-            t,
-            LstmState { h: h0, c: c0 },
-            w_ih,
-            w_hh,
-            bias,
-            units,
-        )
-        .unwrap();
+        let (ys, _last) =
+            lstm_unroll(&mut tape, x, t, LstmState { h: h0, c: c0 }, w_ih, w_hh, bias, units)
+                .unwrap();
         assert_eq!(tape.value(ys).shape(), &[b, t, units]);
         // state accumulates: later steps differ from the first
         let v = tape.value(ys);
@@ -323,7 +318,13 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let spec = NetworkSpec::new(vec![
-            LayerSpec::Conv2d { filters: 2, kernel: 3, stride: 1, padding: 1, activation: Activation::Relu },
+            LayerSpec::Conv2d {
+                filters: 2,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                activation: Activation::Relu,
+            },
             LayerSpec::Flatten,
             LayerSpec::Dense { units: 3, activation: Activation::Linear },
         ]);

@@ -134,7 +134,12 @@ impl LayerSpec {
             LayerSpec::Dense { units, .. } => {
                 let in_dim = match input {
                     [d] => *d,
-                    _ => return Err(tensor_err!("dense layer expects flat input, found {:?}", input)),
+                    _ => {
+                        return Err(tensor_err!(
+                            "dense layer expects flat input, found {:?}",
+                            input
+                        ))
+                    }
                 };
                 Ok(vec![
                     ParamDef {
@@ -152,7 +157,9 @@ impl LayerSpec {
             LayerSpec::Conv2d { filters, kernel, .. } => {
                 let c = match input {
                     [c, _, _] => *c,
-                    _ => return Err(tensor_err!("conv2d expects [c,h,w] input, found {:?}", input)),
+                    _ => {
+                        return Err(tensor_err!("conv2d expects [c,h,w] input, found {:?}", input))
+                    }
                 };
                 let fan_in = c * kernel * kernel;
                 Ok(vec![
@@ -323,7 +330,13 @@ mod tests {
     #[test]
     fn network_shape_chain() {
         let net = NetworkSpec::new(vec![
-            LayerSpec::Conv2d { filters: 4, kernel: 3, stride: 1, padding: 1, activation: Activation::Relu },
+            LayerSpec::Conv2d {
+                filters: 4,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                activation: Activation::Relu,
+            },
             LayerSpec::Flatten,
             LayerSpec::Dense { units: 10, activation: Activation::Linear },
         ]);

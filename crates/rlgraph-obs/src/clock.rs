@@ -1,0 +1,135 @@
+//! Time sources for the recorder.
+//!
+//! All instrumentation in the workspace reads time through [`ClockSource`],
+//! so the same span/metric code records wall-clock time inside the real
+//! executors and virtual time inside the cluster simulator. Timestamps are
+//! microseconds since an arbitrary per-clock origin, matching the unit of
+//! the Chrome trace-event format.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotone supplier of microsecond timestamps.
+pub trait ClockSource: Send + Sync + fmt::Debug {
+    /// Current time in microseconds since this clock's origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// Wall-clock time relative to the instant the clock was created.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose origin is "now".
+    pub fn new() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl fmt::Debug for WallClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WallClock").field("elapsed_us", &self.now_micros()).finish()
+    }
+}
+
+impl ClockSource for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Externally-driven virtual time, advanced by a simulator's event loop.
+///
+/// The simulator holds an `Arc<VirtualTime>` and calls [`set_seconds`]
+/// (or [`set_micros`]) as it pops events off its priority queue; any
+/// recorder sharing the clock then stamps spans and samples with the
+/// simulated time instead of real time.
+///
+/// [`set_seconds`]: VirtualTime::set_seconds
+/// [`set_micros`]: VirtualTime::set_micros
+#[derive(Debug, Default)]
+pub struct VirtualTime {
+    micros: AtomicU64,
+}
+
+impl VirtualTime {
+    /// Creates a virtual clock at t = 0, ready to share.
+    pub fn new() -> Arc<Self> {
+        Arc::new(VirtualTime { micros: AtomicU64::new(0) })
+    }
+
+    /// Sets the current virtual time in microseconds.
+    pub fn set_micros(&self, us: u64) {
+        self.micros.store(us, Ordering::Release);
+    }
+
+    /// Sets the current virtual time from seconds (as simulators model it).
+    pub fn set_seconds(&self, seconds: f64) {
+        self.set_micros(seconds_to_micros(seconds));
+    }
+
+    /// Advances the virtual time by `us` microseconds.
+    pub fn advance_micros(&self, us: u64) {
+        self.micros.fetch_add(us, Ordering::AcqRel);
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        self.now_micros() as f64 / 1e6
+    }
+}
+
+impl ClockSource for VirtualTime {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Acquire)
+    }
+}
+
+/// Converts simulator seconds to clock microseconds (saturating at 0).
+pub fn seconds_to_micros(seconds: f64) -> u64 {
+    if seconds <= 0.0 || !seconds.is_finite() {
+        0
+    } else {
+        (seconds * 1e6).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_time_tracks_sets_and_advances() {
+        let v = VirtualTime::new();
+        assert_eq!(v.now_micros(), 0);
+        v.set_seconds(1.5);
+        assert_eq!(v.now_micros(), 1_500_000);
+        v.advance_micros(250);
+        assert_eq!(v.now_micros(), 1_500_250);
+        assert!((v.now_seconds() - 1.50025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_conversion_clamps_garbage() {
+        assert_eq!(seconds_to_micros(-1.0), 0);
+        assert_eq!(seconds_to_micros(f64::NAN), 0);
+        assert_eq!(seconds_to_micros(2.0), 2_000_000);
+    }
+}

@@ -1,0 +1,263 @@
+//! Exporters: plain-text summary table and Chrome trace-event JSON.
+//!
+//! The Chrome format is the trace-event JSON understood by
+//! `chrome://tracing` and Perfetto: an object with a `traceEvents` array
+//! of `"X"` (complete), `"i"` (instant), `"C"` (counter) and `"M"`
+//! (metadata) events. Timestamps (`ts`) and durations (`dur`) are
+//! microseconds; tracks map to `tid`s named via `thread_name` metadata.
+
+use std::fmt::Write as _;
+
+use crate::recorder::Recorder;
+use crate::trace::EventKind;
+
+/// Serializes the recorder's trace buffer to Chrome trace-event JSON.
+///
+/// Events are emitted sorted by `(tid, ts)` with longer spans first at
+/// equal start times, so per-thread timestamps are monotone and parents
+/// precede children.
+pub fn chrome_trace(rec: &Recorder) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"rlgraph\"}}",
+    );
+    if let Some(inner) = &rec.inner {
+        let tr = inner.trace.lock().expect("obs lock");
+        for (tid, name) in tr.tracks.iter().enumerate() {
+            out.push_str(",\n");
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(name)
+            );
+        }
+        for ev in tr.sorted_events() {
+            out.push_str(",\n");
+            match ev.kind {
+                EventKind::Complete { dur_us } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\
+                         \"cat\":\"span\",\"name\":{}}}",
+                        ev.track,
+                        ev.ts_us,
+                        dur_us,
+                        json_str(&ev.name)
+                    );
+                }
+                EventKind::Instant => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{},\"s\":\"t\",\
+                         \"name\":{}}}",
+                        ev.track,
+                        ev.ts_us,
+                        json_str(&ev.name)
+                    );
+                }
+                EventKind::Counter { value } => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"C\",\"pid\":0,\"tid\":{},\"ts\":{},\"name\":{},\
+                         \"args\":{{\"value\":{}}}}}",
+                        ev.track,
+                        ev.ts_us,
+                        json_str(&ev.name),
+                        json_num(value)
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes [`chrome_trace`] output to a file.
+pub fn write_chrome_trace(rec: &Recorder, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace(rec))
+}
+
+/// Renders a plain-text summary: counters, gauges, histogram percentiles,
+/// and cumulative span self-times.
+pub fn summary(rec: &Recorder) -> String {
+    let mut out = String::new();
+    if !rec.is_enabled() {
+        out.push_str("observability disabled (no-op recorder)\n");
+        return out;
+    }
+    let snap = rec.metrics_snapshot();
+
+    if !snap.counters.is_empty() {
+        out.push_str("== counters ==\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "{name:<44} {v:>14}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "{name:<44} {v:>14.4}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("== histograms (us) ==\n");
+        let _ = writeln!(
+            out,
+            "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                name, h.count, h.mean, h.p50, h.p95, h.p99, h.max
+            );
+        }
+    }
+    let spans = rec.span_totals();
+    if !spans.is_empty() {
+        out.push_str("== spans ==\n");
+        let _ = writeln!(out, "{:<32} {:>8} {:>12} {:>12}", "name", "count", "total_ms", "mean_us");
+        for (name, t) in &spans {
+            let total_ms = t.total_us as f64 / 1e3;
+            let mean_us = if t.count == 0 { 0.0 } else { t.total_us as f64 / t.count as f64 };
+            let _ = writeln!(out, "{name:<32} {:>8} {total_ms:>12.3} {mean_us:>12.1}", t.count);
+        }
+    }
+    let dropped = rec.dropped_events();
+    if dropped > 0 {
+        let _ = writeln!(out, "!! trace buffer full: {dropped} events dropped");
+    }
+    if out.is_empty() {
+        out.push_str("no metrics or spans recorded\n");
+    }
+    out
+}
+
+/// Escapes a string into a quoted JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 as a JSON number (non-finite values become 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn disabled_recorder_exports_header_only() {
+        let r = Recorder::disabled();
+        let doc = json::parse(&chrome_trace(&r)).expect("valid json");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 1); // process_name metadata only
+        assert!(summary(&r).contains("disabled"));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_parser() {
+        let (r, clock) = Recorder::virtual_time();
+        let w = r.track("worker \"0\""); // exercise escaping
+        r.complete(w, "task", 10, 30);
+        clock.set_micros(40);
+        r.sample(w, "depth", 2.0);
+        r.instant("marker");
+
+        let text = chrome_trace(&r);
+        let doc = json::parse(&text).expect("valid json");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // process_name + 2 thread_names (worker + instant's thread) + 3 events
+        assert!(evs.len() >= 5, "got {} events", evs.len());
+        let phases: Vec<&str> =
+            evs.iter().filter_map(|e| e.get("ph").and_then(|p| p.as_str())).collect();
+        assert!(phases.contains(&"X"));
+        assert!(phases.contains(&"C"));
+        assert!(phases.contains(&"i"));
+        // The X event carries ts/dur in micros.
+        let x = evs.iter().find(|e| e.get("ph").unwrap().as_str() == Some("X")).unwrap();
+        assert_eq!(x.get("ts").unwrap().as_num(), Some(10.0));
+        assert_eq!(x.get("dur").unwrap().as_num(), Some(20.0));
+    }
+
+    // Satellite requirement: Chrome-trace JSON parses and ts is monotone
+    // per thread.
+    #[test]
+    fn chrome_trace_ts_monotone_per_tid() {
+        let r = Recorder::wall();
+        let a = r.track("a");
+        let b = r.track("b");
+        // Push deliberately out of order.
+        r.complete(a, "s3", 300, 350);
+        r.complete(b, "t1", 50, 60);
+        r.complete(a, "s1", 100, 400);
+        r.complete(a, "s2", 100, 200); // child of s1: same start, shorter
+        let doc = json::parse(&chrome_trace(&r)).expect("valid json");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut last_ts: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+        for e in evs {
+            if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            let tid = e.get("tid").unwrap().as_num().unwrap() as i64;
+            let ts = e.get("ts").unwrap().as_num().unwrap();
+            if let Some(prev) = last_ts.get(&tid) {
+                assert!(ts >= *prev, "ts regressed on tid {tid}");
+            }
+            last_ts.insert(tid, ts);
+        }
+        // Parent before child at equal ts.
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        let i1 = names.iter().position(|n| *n == "s1").unwrap();
+        let i2 = names.iter().position(|n| *n == "s2").unwrap();
+        assert!(i1 < i2);
+    }
+
+    #[test]
+    fn summary_lists_all_metric_kinds() {
+        let r = Recorder::wall();
+        r.counter("frames").add(128);
+        r.gauge("loss").set(0.5);
+        r.histogram("task_us").record(100.0);
+        {
+            let _s = r.span("act");
+        }
+        let s = summary(&r);
+        assert!(s.contains("frames"));
+        assert!(s.contains("loss"));
+        assert!(s.contains("task_us"));
+        assert!(s.contains("act"));
+        assert!(s.contains("p99"));
+    }
+}

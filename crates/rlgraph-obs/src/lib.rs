@@ -1,0 +1,49 @@
+//! Unified observability layer for the rlgraph workspace.
+//!
+//! One [`Recorder`] handle flows through every execution layer — the
+//! static [`Session`], the define-by-run executor, the distributed
+//! actor/learner runtime, and the discrete-event cluster simulator — and
+//! provides:
+//!
+//! * **Metrics**: lock-cheap [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s with p50/p95/p99 estimation.
+//! * **Spans**: RAII scopes on real threads, explicit-timestamp spans on
+//!   named tracks for simulated actors.
+//! * **Clocks**: the [`ClockSource`] abstraction lets identical
+//!   instrumentation record wall-clock time ([`WallClock`]) in executors
+//!   and virtual time ([`VirtualTime`]) inside the simulator.
+//! * **Exporters**: a plain-text [`summary`] table and Chrome trace-event
+//!   JSON ([`chrome_trace`]) loadable in `chrome://tracing` / Perfetto.
+//!
+//! The default recorder is [`Recorder::disabled`]: every instrumentation
+//! call then costs a single branch, so production paths pay nothing when
+//! observability is off.
+//!
+//! ```
+//! use rlgraph_obs::Recorder;
+//!
+//! let (rec, clock) = Recorder::virtual_time();
+//! let worker = rec.track("worker-0");
+//! rec.complete(worker, "collect", 0, 1_500);
+//! clock.set_micros(1_500);
+//! rec.counter("frames").add(128);
+//! let json = rlgraph_obs::chrome_trace(&rec);
+//! assert!(json.contains("\"ph\":\"X\""));
+//! ```
+//!
+//! [`Session`]: https://docs.rs/rlgraph
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use clock::{seconds_to_micros, ClockSource, VirtualTime, WallClock};
+pub use export::{chrome_trace, summary, write_chrome_trace};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use recorder::{HistogramSummary, MetricsSnapshot, Recorder, SpanGuard, SpanTotal};
+pub use trace::TrackId;

@@ -1,0 +1,187 @@
+//! Span-based tracing: nestable scopes, named tracks, and a bounded event
+//! buffer later rendered by the exporters.
+//!
+//! Two recording styles coexist:
+//!
+//! * **RAII spans** ([`crate::Recorder::span`]) for real executors — the
+//!   guard stamps the start from the recorder's clock and records a
+//!   complete event on drop. Nesting falls out of drop order.
+//! * **Explicit spans** ([`crate::Recorder::complete`]) for the simulator —
+//!   the discrete-event loop knows exact virtual start/end times and logical
+//!   actors ("worker-3", "shard-0"), so it records finished spans directly
+//!   onto named tracks.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// Identifies a logical timeline (a thread, or a simulated actor).
+///
+/// Rendered as a `tid` in Chrome traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(pub(crate) u32);
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceEvent {
+    pub name: Cow<'static, str>,
+    pub track: u32,
+    pub ts_us: u64,
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind {
+    /// A span with a duration ("X" in Chrome traces).
+    Complete { dur_us: u64 },
+    /// A point-in-time marker ("i").
+    Instant,
+    /// A sampled series value ("C").
+    Counter { value: f64 },
+}
+
+/// Event buffer plus the track registry. Guarded by one mutex inside the
+/// recorder; spans only touch it once at start (clock read) and once at
+/// drop (event push).
+#[derive(Debug)]
+pub(crate) struct TraceState {
+    pub events: Vec<TraceEvent>,
+    /// Track names by id; index = TrackId.0.
+    pub tracks: Vec<String>,
+    /// Dedup of named tracks.
+    by_name: HashMap<String, u32>,
+    /// Lazily-registered tracks for OS threads.
+    by_thread: HashMap<std::thread::ThreadId, u32>,
+    /// Maximum retained events; the rest are counted in `dropped`.
+    pub capacity: usize,
+    pub dropped: u64,
+}
+
+/// Default bound on retained trace events (~100 MB worst case is far
+/// above any workspace run; this keeps long runs from growing unbounded).
+pub(crate) const DEFAULT_TRACE_CAPACITY: usize = 1_000_000;
+
+impl TraceState {
+    pub fn new(capacity: usize) -> Self {
+        TraceState {
+            events: Vec::new(),
+            tracks: Vec::new(),
+            by_name: HashMap::new(),
+            by_thread: HashMap::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Returns the id for a named track, registering it on first use.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        if let Some(&id) = self.by_name.get(name) {
+            return TrackId(id);
+        }
+        let id = self.tracks.len() as u32;
+        self.tracks.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        TrackId(id)
+    }
+
+    /// Returns the track for the calling OS thread, registering it (with
+    /// the thread's name when set) on first use.
+    pub fn current_thread_track(&mut self) -> TrackId {
+        let cur = std::thread::current();
+        if let Some(&id) = self.by_thread.get(&cur.id()) {
+            return TrackId(id);
+        }
+        let label = match cur.name() {
+            Some(n) => n.to_string(),
+            None => format!("thread-{}", self.by_thread.len()),
+        };
+        let id = self.track(&label);
+        self.by_thread.insert(cur.id(), id.0);
+        id
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    /// Events sorted by (track, ts, -dur): per-track timestamps become
+    /// monotone and parents precede children at equal start times.
+    pub fn sorted_events(&self) -> Vec<TraceEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by(|a, b| {
+            (a.track, a.ts_us).cmp(&(b.track, b.ts_us)).then_with(|| dur_of(b).cmp(&dur_of(a)))
+        });
+        evs
+    }
+}
+
+fn dur_of(e: &TraceEvent) -> u64 {
+    match e.kind {
+        EventKind::Complete { dur_us } => dur_us,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(track: u32, ts: u64, dur: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            name: Cow::Borrowed(name),
+            track,
+            ts_us: ts,
+            kind: EventKind::Complete { dur_us: dur },
+        }
+    }
+
+    #[test]
+    fn tracks_dedup_by_name() {
+        let mut st = TraceState::new(16);
+        let a = st.track("worker-0");
+        let b = st.track("worker-1");
+        let a2 = st.track("worker-0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(st.tracks, vec!["worker-0", "worker-1"]);
+    }
+
+    #[test]
+    fn capacity_bounds_events() {
+        let mut st = TraceState::new(2);
+        for i in 0..5 {
+            st.push(complete(0, i, 1, "e"));
+        }
+        assert_eq!(st.events.len(), 2);
+        assert_eq!(st.dropped, 3);
+    }
+
+    // Satellite requirement: span ordering invariants.
+    #[test]
+    fn sorted_events_are_monotone_per_track_with_parents_first() {
+        let mut st = TraceState::new(64);
+        // Out-of-order pushes across two tracks, including a parent/child
+        // pair starting at the same timestamp.
+        st.push(complete(1, 50, 5, "b2"));
+        st.push(complete(0, 10, 3, "child"));
+        st.push(complete(0, 10, 20, "parent"));
+        st.push(complete(1, 5, 2, "b1"));
+        st.push(complete(0, 40, 1, "a3"));
+
+        let evs = st.sorted_events();
+        // Monotone ts within each track.
+        for w in evs.windows(2) {
+            if w[0].track == w[1].track {
+                assert!(w[0].ts_us <= w[1].ts_us);
+            }
+        }
+        // Parent (longer dur) precedes child at the same start.
+        let names: Vec<&str> = evs.iter().map(|e| e.name.as_ref()).collect();
+        let pi = names.iter().position(|n| *n == "parent").unwrap();
+        let ci = names.iter().position(|n| *n == "child").unwrap();
+        assert!(pi < ci, "parent must sort before child: {names:?}");
+    }
+}

@@ -1,5 +1,6 @@
 //! Discrete-event simulation of the Ape-X coordination loop.
 
+use rlgraph_obs::{seconds_to_micros, Recorder, VirtualTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -96,10 +97,7 @@ impl PartialOrd for Scheduled {
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // reversed for a min-heap
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -117,8 +115,31 @@ impl Ord for Scheduled {
 ///
 /// Panics when `num_workers` or `num_shards` is zero.
 pub fn simulate_apex(params: &ApexSimParams) -> ApexSimResult {
+    simulate_apex_traced(params, &Recorder::disabled(), None)
+}
+
+/// [`simulate_apex`] with span tracing: every collection task, shard
+/// request, and learner phase is recorded as an explicit-timestamp span on
+/// a per-entity track (`worker-i` / `shard-j` / `learner`), in *virtual*
+/// simulated time. If a [`VirtualTime`] clock is supplied (pair it with the
+/// recorder via [`Recorder::virtual_time`]) it is advanced to each event's
+/// timestamp, so instants and RAII spans taken elsewhere against the same
+/// recorder line up with the simulation. The traced run is bit-identical
+/// to the untraced one.
+pub fn simulate_apex_traced(
+    params: &ApexSimParams,
+    recorder: &Recorder,
+    clock: Option<&VirtualTime>,
+) -> ApexSimResult {
     assert!(params.num_workers > 0, "need at least one worker");
     assert!(params.num_shards > 0, "need at least one shard");
+    let traced = recorder.is_enabled();
+    let worker_tracks: Vec<_> =
+        (0..params.num_workers).map(|w| recorder.track(&format!("worker-{w}"))).collect();
+    let shard_tracks: Vec<_> =
+        (0..params.num_shards).map(|s| recorder.track(&format!("shard-{s}"))).collect();
+    let learner_track = recorder.track("learner");
+    let us = seconds_to_micros;
     let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut push = |heap: &mut BinaryHeap<Scheduled>, time: f64, event: Event| {
@@ -145,6 +166,9 @@ pub fn simulate_apex(params: &ApexSimParams) -> ApexSimResult {
         if time > params.duration {
             break;
         }
+        if let Some(vt) = clock {
+            vt.set_micros(us(time));
+        }
         match event {
             Event::WorkerDone(w) => {
                 frames += params.frames_per_task;
@@ -161,6 +185,19 @@ pub fn simulate_apex(params: &ApexSimParams) -> ApexSimResult {
                 } else {
                     time
                 };
+                if traced {
+                    recorder.complete(
+                        worker_tracks[w],
+                        "collect",
+                        us(time - params.task_time),
+                        us(time),
+                    );
+                    recorder.complete(shard_tracks[s], "insert", us(start), us(shard_free[s]));
+                    if resume > time {
+                        recorder.complete(worker_tracks[w], "blocked", us(time), us(resume));
+                    }
+                    recorder.sample_at(learner_track, "frames_total", us(time), frames);
+                }
                 push(&mut heap, resume + params.task_time, Event::WorkerDone(w));
                 if params.learner_enabled && !learner_started && tasks_done >= 1 {
                     learner_started = true;
@@ -169,11 +206,26 @@ pub fn simulate_apex(params: &ApexSimParams) -> ApexSimResult {
                     learner_rr += 1;
                     let start = shard_free[s].max(time);
                     shard_free[s] = start + params.sample_time;
+                    if traced {
+                        recorder.complete(shard_tracks[s], "sample", us(start), us(shard_free[s]));
+                    }
                     push(&mut heap, shard_free[s], Event::LearnerDone(LearnerPhase::Sampled));
                 }
             }
             Event::LearnerDone(LearnerPhase::Sampled) => {
-                push(&mut heap, time + params.train_time, Event::LearnerDone(LearnerPhase::Trained));
+                if traced {
+                    recorder.complete(
+                        learner_track,
+                        "train",
+                        us(time),
+                        us(time + params.train_time),
+                    );
+                }
+                push(
+                    &mut heap,
+                    time + params.train_time,
+                    Event::LearnerDone(LearnerPhase::Trained),
+                );
             }
             Event::LearnerDone(LearnerPhase::Trained) => {
                 updates += 1;
@@ -185,6 +237,16 @@ pub fn simulate_apex(params: &ApexSimParams) -> ApexSimResult {
                 learner_rr += 2;
                 let start = shard_free[s].max(time);
                 shard_free[s] = start + params.sample_time;
+                if traced {
+                    recorder.complete(
+                        shard_tracks[s_upd],
+                        "update_priorities",
+                        us(start_upd),
+                        us(start_upd + params.priority_update_time),
+                    );
+                    recorder.complete(shard_tracks[s], "sample", us(start), us(shard_free[s]));
+                    recorder.sample_at(learner_track, "updates", us(time), updates as f64);
+                }
                 push(&mut heap, shard_free[s], Event::LearnerDone(LearnerPhase::Sampled));
             }
         }
@@ -280,5 +342,53 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         simulate_apex(&ApexSimParams { num_workers: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_advances_virtual_clock() {
+        let params =
+            ApexSimParams { num_workers: 4, num_shards: 2, duration: 10.0, ..Default::default() };
+        let plain = simulate_apex(&params);
+        let (rec, vt) = Recorder::virtual_time();
+        let traced = simulate_apex_traced(&params, &rec, Some(&vt));
+        // tracing must not perturb the simulation
+        assert_eq!(plain, traced);
+        // the virtual clock sits at the last processed event, within horizon
+        assert!(vt.now_seconds() > 0.0);
+        assert!(vt.now_seconds() <= params.duration + 1e-9);
+        assert!(rec.event_count() > 0);
+    }
+
+    #[test]
+    fn traced_spans_agree_with_sim_event_times() {
+        let params = ApexSimParams {
+            num_workers: 2,
+            num_shards: 1,
+            task_time: 0.5,
+            duration: 4.0,
+            ..Default::default()
+        };
+        let (rec, vt) = Recorder::virtual_time();
+        simulate_apex_traced(&params, &rec, Some(&vt));
+        let totals = rec.span_totals();
+        let get = |name: &str| {
+            totals
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing span {name}"))
+                .1
+        };
+        // every collect span lasts exactly task_time in virtual micros
+        let collect = get("collect");
+        assert_eq!(collect.total_us, collect.count * seconds_to_micros(params.task_time));
+        // every train span lasts exactly train_time
+        let train = get("train");
+        assert_eq!(train.total_us, train.count * seconds_to_micros(params.train_time));
+        let insert = get("insert");
+        assert_eq!(insert.total_us, insert.count * seconds_to_micros(params.insert_time));
+        // instants stamped after the run are recorded at the final virtual time
+        let before = rec.event_count();
+        rec.instant("run-end");
+        assert_eq!(rec.event_count(), before + 1);
     }
 }

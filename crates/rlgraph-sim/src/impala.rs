@@ -1,5 +1,6 @@
 //! Discrete-event simulation of the IMPALA actor–queue–learner pipeline.
 
+use rlgraph_obs::{seconds_to_micros, Recorder, VirtualTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
@@ -86,8 +87,27 @@ impl Ord for Scheduled {
 ///
 /// Panics when `num_actors` or `queue_capacity` is zero.
 pub fn simulate_impala(params: &ImpalaSimParams) -> ImpalaSimResult {
+    simulate_impala_traced(params, &Recorder::disabled(), None)
+}
+
+/// [`simulate_impala`] with span tracing: rollouts, blocking intervals, and
+/// learner steps become explicit-timestamp spans on `actor-i` / `learner`
+/// tracks, plus a `queue_depth` counter series, all in virtual simulated
+/// time. A supplied [`VirtualTime`] clock is advanced to each event. The
+/// traced run is bit-identical to the untraced one.
+pub fn simulate_impala_traced(
+    params: &ImpalaSimParams,
+    recorder: &Recorder,
+    clock: Option<&VirtualTime>,
+) -> ImpalaSimResult {
     assert!(params.num_actors > 0, "need at least one actor");
     assert!(params.queue_capacity > 0, "queue capacity must be positive");
+    let traced = recorder.is_enabled();
+    let actor_tracks: Vec<_> =
+        (0..params.num_actors).map(|a| recorder.track(&format!("actor-{a}"))).collect();
+    let learner_track = recorder.track("learner");
+    let queue_track = recorder.track("queue");
+    let us = seconds_to_micros;
     let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut push = |heap: &mut BinaryHeap<Scheduled>, time: f64, event: Event| {
@@ -110,8 +130,19 @@ pub fn simulate_impala(params: &ImpalaSimParams) -> ImpalaSimResult {
         if time > params.duration {
             break;
         }
+        if let Some(vt) = clock {
+            vt.set_micros(us(time));
+        }
         match event {
             Event::ActorDone(a) => {
+                if traced {
+                    recorder.complete(
+                        actor_tracks[a],
+                        "rollout",
+                        us(time - params.rollout_time),
+                        us(time),
+                    );
+                }
                 if queued < params.queue_capacity {
                     queued += 1;
                     push(&mut heap, time + params.rollout_time, Event::ActorDone(a));
@@ -126,9 +157,20 @@ pub fn simulate_impala(params: &ImpalaSimParams) -> ImpalaSimResult {
             }
             Event::LearnerDone => {
                 consumed += 1;
+                if traced {
+                    recorder.complete(
+                        learner_track,
+                        "train",
+                        us(time - params.train_time),
+                        us(time),
+                    );
+                }
                 // wake one blocked actor (its rollout enters the queue)
                 if let Some((a, since)) = waiting.pop_front() {
                     blocked_time += time - since;
+                    if traced {
+                        recorder.complete(actor_tracks[a], "blocked", us(since), us(time));
+                    }
                     queued += 1;
                     push(&mut heap, time + params.rollout_time, Event::ActorDone(a));
                 }
@@ -139,6 +181,9 @@ pub fn simulate_impala(params: &ImpalaSimParams) -> ImpalaSimResult {
                     learner_busy = false;
                 }
             }
+        }
+        if traced {
+            recorder.sample_at(queue_track, "queue_depth", us(time), queued as f64);
         }
     }
 
@@ -228,5 +273,35 @@ mod tests {
     #[should_panic(expected = "queue capacity")]
     fn zero_capacity_panics() {
         simulate_impala(&ImpalaSimParams { queue_capacity: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_with_exact_span_durations() {
+        let params = ImpalaSimParams {
+            num_actors: 8,
+            rollout_time: 0.2,
+            train_time: 0.05,
+            duration: 10.0,
+            ..Default::default()
+        };
+        let plain = simulate_impala(&params);
+        let (rec, vt) = Recorder::virtual_time();
+        let traced = simulate_impala_traced(&params, &rec, Some(&vt));
+        assert_eq!(plain, traced);
+        assert!(vt.now_seconds() > 0.0 && vt.now_seconds() <= params.duration + 1e-9);
+        let totals = rec.span_totals();
+        let get = |name: &str| {
+            totals
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing span {name}"))
+                .1
+        };
+        let rollout = get("rollout");
+        assert_eq!(rollout.total_us, rollout.count * seconds_to_micros(params.rollout_time));
+        let train = get("train");
+        assert_eq!(train.total_us, train.count * seconds_to_micros(params.train_time));
+        // one train span per consumed rollout
+        assert_eq!(train.count, (traced.updates_per_second * params.duration).round() as u64);
     }
 }

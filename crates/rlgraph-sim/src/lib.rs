@@ -19,6 +19,6 @@ pub mod apex;
 pub mod clock;
 pub mod impala;
 
-pub use apex::{simulate_apex, ApexSimParams, ApexSimResult};
+pub use apex::{simulate_apex, simulate_apex_traced, ApexSimParams, ApexSimResult};
 pub use clock::VirtualClock;
-pub use impala::{simulate_impala, ImpalaSimParams, ImpalaSimResult};
+pub use impala::{simulate_impala, simulate_impala_traced, ImpalaSimParams, ImpalaSimResult};

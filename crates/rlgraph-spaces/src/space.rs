@@ -313,9 +313,9 @@ impl Space {
             SpaceKind::Dict(m) => SpaceValue::Dict(
                 m.iter().map(|(k, v)| (k.clone(), v.sample_with_leading(leading, rng))).collect(),
             ),
-            SpaceKind::Tuple(v) => SpaceValue::Tuple(
-                v.iter().map(|s| s.sample_with_leading(leading, rng)).collect(),
-            ),
+            SpaceKind::Tuple(v) => {
+                SpaceValue::Tuple(v.iter().map(|s| s.sample_with_leading(leading, rng)).collect())
+            }
         }
     }
 
@@ -368,7 +368,9 @@ impl Space {
             (SpaceKind::Float { shape, low, high }, SpaceValue::Tensor(t)) => {
                 t.dtype() == DType::F32
                     && self.shape_matches(shape, t.shape())
-                    && t.as_f32().map(|d| d.iter().all(|&x| x >= *low && x <= *high)).unwrap_or(false)
+                    && t.as_f32()
+                        .map(|d| d.iter().all(|&x| x >= *low && x <= *high))
+                        .unwrap_or(false)
             }
             (SpaceKind::Int { shape, num_categories }, SpaceValue::Tensor(t)) => {
                 t.dtype() == DType::I64
@@ -492,10 +494,7 @@ mod tests {
 
     #[test]
     fn dict_flatten_order_and_lookup() {
-        let s = Space::dict([
-            ("b", Space::int_box(3)),
-            ("a", Space::float_box(&[2])),
-        ]);
+        let s = Space::dict([("b", Space::int_box(3)), ("a", Space::float_box(&[2]))]);
         let flat = s.flatten();
         assert_eq!(flat.len(), 2);
         // BTreeMap: sorted by key
@@ -508,12 +507,12 @@ mod tests {
 
     #[test]
     fn nested_containers_flatten() {
-        let s = Space::dict([(
-            "obs",
-            Space::tuple([Space::float_box(&[1]), Space::bool_box()]),
-        )]);
+        let s = Space::dict([("obs", Space::tuple([Space::float_box(&[1]), Space::bool_box()]))]);
         let flat = s.flatten();
-        assert_eq!(flat.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>(), vec!["/obs/0", "/obs/1"]);
+        assert_eq!(
+            flat.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>(),
+            vec!["/obs/0", "/obs/1"]
+        );
         assert_eq!(s.lookup("/obs/1").unwrap().dtype().unwrap(), DType::Bool);
     }
 
@@ -528,11 +527,8 @@ mod tests {
 
     #[test]
     fn container_sample_contains() {
-        let s = Space::dict([
-            ("discrete", Space::int_box(2)),
-            ("cont", Space::float_box(&[3])),
-        ])
-        .with_batch_rank();
+        let s = Space::dict([("discrete", Space::int_box(2)), ("cont", Space::float_box(&[3]))])
+            .with_batch_rank();
         let v = s.sample_batch(4, &mut rng());
         assert!(s.contains(&v));
     }

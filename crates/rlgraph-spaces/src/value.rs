@@ -199,10 +199,7 @@ mod tests {
 
     #[test]
     fn flatten_paths_match_space() {
-        let space = Space::dict([
-            ("b", Space::bool_box()),
-            ("a", Space::float_box(&[1])),
-        ]);
+        let space = Space::dict([("b", Space::bool_box()), ("a", Space::float_box(&[1]))]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let v = space.sample(&mut rng);
         let space_paths: Vec<String> = space.flatten().into_iter().map(|(p, _)| p).collect();

@@ -16,9 +16,7 @@ fn arb_space() -> impl Strategy<Value = Space> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(Space::tuple),
             prop::collection::vec(inner, 1..3).prop_map(|spaces| {
-                Space::dict(
-                    spaces.into_iter().enumerate().map(|(i, s)| (format!("k{}", i), s)),
-                )
+                Space::dict(spaces.into_iter().enumerate().map(|(i, s)| (format!("k{}", i), s)))
             }),
         ]
     })

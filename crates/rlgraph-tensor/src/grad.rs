@@ -111,9 +111,22 @@ pub fn emit_grad<E: OpEmitter>(
             let gb = em.emit(ReduceToLike, &[gb_full, inputs[1]])?;
             Ok(vec![Some(ga), Some(gb)])
         }
-        Greater | GreaterEqual | Less | LessEqual | Equal | NotEqual | LogicalAnd
-        | LogicalOr | Not | Sign | Floor | ArgMax { .. } | OneHot { .. } | ZerosLike
-        | OnesLike | Cast { .. } => Ok(vec![None; inputs.len()]),
+        Greater
+        | GreaterEqual
+        | Less
+        | LessEqual
+        | Equal
+        | NotEqual
+        | LogicalAnd
+        | LogicalOr
+        | Not
+        | Sign
+        | Floor
+        | ArgMax { .. }
+        | OneHot { .. }
+        | ZerosLike
+        | OnesLike
+        | Cast { .. } => Ok(vec![None; inputs.len()]),
         Neg => Ok(vec![Some(em.emit(Neg, &[g])?)]),
         Abs => {
             let s = em.emit(Sign, &[inputs[0]])?;
@@ -218,10 +231,7 @@ pub fn emit_grad<E: OpEmitter>(
             let eq = em.emit(Equal, &[inputs[0], out_b])?;
             let mask = em.emit(Cast { to: DType::F32 }, &[eq])?;
             // tie count per lane
-            let ties = em.emit(
-                Sum { axes: axes.clone(), keep_dims: *keep_dims },
-                &[mask],
-            )?;
+            let ties = em.emit(Sum { axes: axes.clone(), keep_dims: *keep_dims }, &[mask])?;
             let ties_b = em.emit(
                 Unreduce { axes: axes.clone(), keep_dims: *keep_dims, mean: false },
                 &[ties, inputs[0]],
@@ -283,18 +293,22 @@ pub fn emit_grad<E: OpEmitter>(
             Ok(grads)
         }
         Slice { axis, start, len } => {
-            let gx = em.emit(
-                SliceGrad { axis: *axis, start: *start, len: *len },
-                &[g, inputs[0]],
-            )?;
+            let gx =
+                em.emit(SliceGrad { axis: *axis, start: *start, len: *len }, &[g, inputs[0]])?;
             Ok(vec![Some(gx)])
         }
         Tile { reps } => {
             let gx = em.emit(TileGrad { reps: reps.clone() }, &[g, inputs[0]])?;
             Ok(vec![Some(gx)])
         }
-        ReduceToLike | Unreduce { .. } | GatherGrad | SelectIndexGrad | ConcatGrad { .. }
-        | SliceGrad { .. } | TileGrad { .. } | Conv2dBackpropInput { .. }
+        ReduceToLike
+        | Unreduce { .. }
+        | GatherGrad
+        | SelectIndexGrad
+        | ConcatGrad { .. }
+        | SliceGrad { .. }
+        | TileGrad { .. }
+        | Conv2dBackpropInput { .. }
         | Conv2dBackpropFilter { .. } => Err(tensor_err!(
             "no gradient rule for helper op {} (it should not appear on a forward path)",
             kind.name()

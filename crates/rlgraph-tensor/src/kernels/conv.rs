@@ -5,11 +5,7 @@ use crate::{tensor_err, Result, Tensor};
 fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Result<usize> {
     let padded = input + 2 * padding;
     if padded < kernel {
-        return Err(tensor_err!(
-            "conv kernel {} larger than padded input {}",
-            kernel,
-            padded
-        ));
+        return Err(tensor_err!("conv kernel {} larger than padded input {}", kernel, padded));
     }
     Ok((padded - kernel) / stride + 1)
 }

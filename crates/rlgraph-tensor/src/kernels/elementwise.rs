@@ -163,11 +163,8 @@ pub fn where_op(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = Vec::with_capacity(n);
     for flat in 0..n {
         let coords = unravel(flat, &out_shape);
-        let v = if cv[ravel(&coords, &sc)] {
-            av[ravel(&coords, &sa)]
-        } else {
-            bv[ravel(&coords, &sb)]
-        };
+        let v =
+            if cv[ravel(&coords, &sc)] { av[ravel(&coords, &sa)] } else { bv[ravel(&coords, &sb)] };
         out.push(v);
     }
     Tensor::from_vec(out, &out_shape)
@@ -244,10 +241,7 @@ mod tests {
     fn i64_compare_exact() {
         let a = Tensor::from_vec_i64(vec![1, 5], &[2]).unwrap();
         let b = Tensor::from_vec_i64(vec![1, 4], &[2]).unwrap();
-        assert_eq!(
-            forward(&OpKind::Equal, &[&a, &b]).unwrap().as_bool().unwrap(),
-            &[true, false]
-        );
+        assert_eq!(forward(&OpKind::Equal, &[&a, &b]).unwrap().as_bool().unwrap(), &[true, false]);
     }
 
     #[test]
@@ -287,10 +281,12 @@ mod tests {
     #[test]
     fn where_selects() {
         let c = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
-        let r = forward(&OpKind::Where, &[&c, &t(&[1.0, 1.0], &[2]), &t(&[9.0, 9.0], &[2])]).unwrap();
+        let r =
+            forward(&OpKind::Where, &[&c, &t(&[1.0, 1.0], &[2]), &t(&[9.0, 9.0], &[2])]).unwrap();
         assert_eq!(r.as_f32().unwrap(), &[1.0, 9.0]);
         // cond must be bool
-        assert!(forward(&OpKind::Where, &[&t(&[1.0], &[1]), &t(&[1.0], &[1]), &t(&[0.0], &[1])]).is_err());
+        assert!(forward(&OpKind::Where, &[&t(&[1.0], &[1]), &t(&[1.0], &[1]), &t(&[0.0], &[1])])
+            .is_err());
     }
 
     #[test]

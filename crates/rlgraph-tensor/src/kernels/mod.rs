@@ -351,21 +351,71 @@ impl OpKind {
     pub fn arity(&self) -> Option<usize> {
         use OpKind::*;
         match self {
-            Neg | Abs | Exp | Log | Sqrt | Square | Relu | Tanh | Sigmoid | Sign | Floor
-            | Not | Clip { .. } | Cast { .. } | Identity | StopGradient | ZerosLike
-            | OnesLike | ArgMax { .. } | Softmax { .. } | LogSoftmax { .. }
-            | OneHot { .. } | Reshape { .. } | Transpose { .. } | ExpandDims { .. }
-            | Squeeze { .. } | Slice { .. } | Tile { .. } => Some(1),
-            Add | Sub | Mul | Div | Pow | Maximum | Minimum | Greater | GreaterEqual | Less
-            | LessEqual | Equal | NotEqual | LogicalAnd | LogicalOr | MatMul | Gather
-            | SelectIndex | Unreduce { .. } | ReshapeLike | UnfoldLike { .. } | ReduceToLike | SliceGrad { .. }
-            | TileGrad { .. } | Sum { .. } | Mean { .. } | MaxReduce { .. }
+            Neg
+            | Abs
+            | Exp
+            | Log
+            | Sqrt
+            | Square
+            | Relu
+            | Tanh
+            | Sigmoid
+            | Sign
+            | Floor
+            | Not
+            | Clip { .. }
+            | Cast { .. }
+            | Identity
+            | StopGradient
+            | ZerosLike
+            | OnesLike
+            | ArgMax { .. }
+            | Softmax { .. }
+            | LogSoftmax { .. }
+            | OneHot { .. }
+            | Reshape { .. }
+            | Transpose { .. }
+            | ExpandDims { .. }
+            | Squeeze { .. }
+            | Slice { .. }
+            | Tile { .. } => Some(1),
+            Add
+            | Sub
+            | Mul
+            | Div
+            | Pow
+            | Maximum
+            | Minimum
+            | Greater
+            | GreaterEqual
+            | Less
+            | LessEqual
+            | Equal
+            | NotEqual
+            | LogicalAnd
+            | LogicalOr
+            | MatMul
+            | Gather
+            | SelectIndex
+            | Unreduce { .. }
+            | ReshapeLike
+            | UnfoldLike { .. }
+            | ReduceToLike
+            | SliceGrad { .. }
+            | TileGrad { .. }
+            | Sum { .. }
+            | Mean { .. }
+            | MaxReduce { .. }
             | MinReduce { .. } => match self {
                 Sum { .. } | Mean { .. } | MaxReduce { .. } | MinReduce { .. } => Some(1),
                 _ => Some(2),
             },
-            Where | Conv2d { .. } | Conv2dBackpropInput { .. } | Conv2dBackpropFilter { .. }
-            | GatherGrad | SelectIndexGrad => match self {
+            Where
+            | Conv2d { .. }
+            | Conv2dBackpropInput { .. }
+            | Conv2dBackpropFilter { .. }
+            | GatherGrad
+            | SelectIndexGrad => match self {
                 Conv2d { .. } => Some(2),
                 _ => Some(3),
             },
@@ -379,16 +429,26 @@ impl OpKind {
 pub fn result_dtype(kind: &OpKind, inputs: &[DType]) -> DType {
     use OpKind::*;
     match kind {
-        Greater | GreaterEqual | Less | LessEqual | Equal | NotEqual | LogicalAnd
-        | LogicalOr | Not => DType::Bool,
+        Greater | GreaterEqual | Less | LessEqual | Equal | NotEqual | LogicalAnd | LogicalOr
+        | Not => DType::Bool,
         ArgMax { .. } => DType::I64,
         Cast { to } => *to,
         OneHot { .. } | OnesLike => DType::F32,
-        Identity | StopGradient | ZerosLike | Reshape { .. } | ReshapeLike
-        | UnfoldLike { .. } | Transpose { .. } | ExpandDims { .. } | Squeeze { .. } | Slice { .. }
-        | SliceGrad { .. } | Tile { .. } | TileGrad { .. } | Gather | Where => {
-            inputs.first().copied().unwrap_or(DType::F32)
-        }
+        Identity
+        | StopGradient
+        | ZerosLike
+        | Reshape { .. }
+        | ReshapeLike
+        | UnfoldLike { .. }
+        | Transpose { .. }
+        | ExpandDims { .. }
+        | Squeeze { .. }
+        | Slice { .. }
+        | SliceGrad { .. }
+        | Tile { .. }
+        | TileGrad { .. }
+        | Gather
+        | Where => inputs.first().copied().unwrap_or(DType::F32),
         _ => DType::F32,
     }
 }
@@ -439,10 +499,18 @@ pub fn forward(kind: &OpKind, inputs: &[&Tensor]) -> Result<Tensor> {
         Conv2dBackpropFilter { stride, padding } => {
             conv::conv2d_backprop_filter(inputs[0], inputs[1], inputs[2], *stride, *padding)
         }
-        Sum { axes, keep_dims } => reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Sum),
-        Mean { axes, keep_dims } => reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Mean),
-        MaxReduce { axes, keep_dims } => reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Max),
-        MinReduce { axes, keep_dims } => reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Min),
+        Sum { axes, keep_dims } => {
+            reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Sum)
+        }
+        Mean { axes, keep_dims } => {
+            reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Mean)
+        }
+        MaxReduce { axes, keep_dims } => {
+            reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Max)
+        }
+        MinReduce { axes, keep_dims } => {
+            reduce::reduce(inputs[0], axes.as_deref(), *keep_dims, reduce::Reduction::Min)
+        }
         ArgMax { axis } => reduce::argmax(inputs[0], *axis),
         Unreduce { axes, keep_dims, mean } => {
             reduce::unreduce(inputs[0], inputs[1], axes.as_deref(), *keep_dims, *mean)

@@ -50,7 +50,7 @@ pub fn unfold_like(a: &Tensor, shape_ref: &Tensor, n: usize) -> Result<Tensor> {
     let mut shape: Vec<usize> = shape_ref.shape()[..n].to_vec();
     if a.shape()[0] == lead {
         shape.extend_from_slice(&a.shape()[1..]);
-    } else if a.rank() == 1 && lead > 0 && a.len() % lead == 0 {
+    } else if a.rank() == 1 && lead > 0 && a.len().is_multiple_of(lead) {
         // Rank-1 fallback: distribute the remaining elements into a single
         // trailing dimension (used to flatten-after-batch with a runtime
         // batch size).
@@ -303,11 +303,7 @@ pub fn slice_grad(
     }
     expect[axis] = len;
     if grad.shape() != expect.as_slice() {
-        return Err(tensor_err!(
-            "slice_grad: grad shape {:?} expected {:?}",
-            grad.shape(),
-            expect
-        ));
+        return Err(tensor_err!("slice_grad: grad shape {:?} expected {:?}", grad.shape(), expect));
     }
     let g = grad.as_f32()?;
     let out_strides = strides(input_ref.shape());
@@ -325,7 +321,7 @@ pub fn tile(t: &Tensor, reps: &[usize]) -> Result<Tensor> {
     if reps.len() != t.rank() {
         return Err(tensor_err!("tile reps {:?} must match rank {}", reps, t.rank()));
     }
-    if reps.iter().any(|&r| r == 0) {
+    if reps.contains(&0) {
         return Err(tensor_err!("tile repetitions must be positive"));
     }
     let out_shape: Vec<usize> = t.shape().iter().zip(reps).map(|(d, r)| d * r).collect();
@@ -353,8 +349,7 @@ pub fn tile_grad(grad: &Tensor, input_ref: &Tensor, reps: &[usize]) -> Result<Te
     let mut out = vec![0.0f32; input_ref.len()];
     for (flat, &v) in g.iter().enumerate() {
         let oc = unravel(flat, grad.shape());
-        let ic: Vec<usize> =
-            oc.iter().zip(input_ref.shape()).map(|(&c, &d)| c % d).collect();
+        let ic: Vec<usize> = oc.iter().zip(input_ref.shape()).map(|(&c, &d)| c % d).collect();
         out[ravel(&ic, &in_strides)] += v;
     }
     Tensor::from_vec(out, input_ref.shape())

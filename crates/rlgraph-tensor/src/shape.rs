@@ -90,8 +90,12 @@ pub fn resolve_reshape(spec: &[isize], num: usize) -> Result<Vec<usize>> {
     let mut out = Vec::with_capacity(spec.len());
     for &d in spec {
         if d == -1 {
-            if known == 0 || num % known != 0 {
-                return Err(tensor_err!("cannot infer -1 in reshape {:?} for {} elements", spec, num));
+            if known == 0 || !num.is_multiple_of(known) {
+                return Err(tensor_err!(
+                    "cannot infer -1 in reshape {:?} for {} elements",
+                    spec,
+                    num
+                ));
             }
             out.push(num / known);
         } else if d < 0 {

@@ -84,11 +84,7 @@ impl Tensor {
     /// Errors if `data.len()` does not match the element count of `shape`.
     pub fn from_vec_i64(data: Vec<i64>, shape: &[usize]) -> Result<Self> {
         if data.len() != num_elements(shape) {
-            return Err(tensor_err!(
-                "data length {} does not match shape {:?}",
-                data.len(),
-                shape
-            ));
+            return Err(tensor_err!("data length {} does not match shape {:?}", data.len(), shape));
         }
         Ok(Tensor { shape: shape.to_vec(), buffer: Buffer::I64(data) })
     }
@@ -100,11 +96,7 @@ impl Tensor {
     /// Errors if `data.len()` does not match the element count of `shape`.
     pub fn from_vec_bool(data: Vec<bool>, shape: &[usize]) -> Result<Self> {
         if data.len() != num_elements(shape) {
-            return Err(tensor_err!(
-                "data length {} does not match shape {:?}",
-                data.len(),
-                shape
-            ));
+            return Err(tensor_err!("data length {} does not match shape {:?}", data.len(), shape));
         }
         Ok(Tensor { shape: shape.to_vec(), buffer: Buffer::Bool(data) })
     }
@@ -298,9 +290,7 @@ impl Tensor {
             (Buffer::Bool(v), DType::F32) => {
                 Buffer::F32(v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect())
             }
-            (Buffer::Bool(v), DType::I64) => {
-                Buffer::I64(v.iter().map(|&x| i64::from(x)).collect())
-            }
+            (Buffer::Bool(v), DType::I64) => Buffer::I64(v.iter().map(|&x| i64::from(x)).collect()),
             _ => unreachable!("same-dtype cast handled above"),
         };
         Tensor { shape: self.shape.clone(), buffer }
@@ -339,9 +329,7 @@ impl Tensor {
     ///
     /// Errors if `items` is empty or shapes/dtypes disagree.
     pub fn stack(items: &[Tensor]) -> Result<Tensor> {
-        let first = items
-            .first()
-            .ok_or_else(|| tensor_err!("cannot stack zero tensors"))?;
+        let first = items.first().ok_or_else(|| tensor_err!("cannot stack zero tensors"))?;
         let mut shape = vec![items.len()];
         shape.extend_from_slice(first.shape());
         for t in items {
@@ -453,9 +441,15 @@ impl fmt::Display for Tensor {
         write!(f, "Tensor<{}>{:?}", self.dtype(), self.shape)?;
         const MAX: usize = 16;
         match &self.buffer {
-            Buffer::F32(v) => write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" }),
-            Buffer::I64(v) => write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" }),
-            Buffer::Bool(v) => write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" }),
+            Buffer::F32(v) => {
+                write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" })
+            }
+            Buffer::I64(v) => {
+                write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" })
+            }
+            Buffer::Bool(v) => {
+                write!(f, " {:?}{}", &v[..v.len().min(MAX)], if v.len() > MAX { "…" } else { "" })
+            }
         }
     }
 }

@@ -31,6 +31,7 @@ fn main() -> rlgraph_core::Result<()> {
         weight_sync_interval: 16,
         run_duration: Duration::from_secs(30),
         max_updates: None,
+        ..ApexRunConfig::default()
     };
     println!(
         "running Ape-X: {} workers x {} envs, {} shards, {:?} budget ...",

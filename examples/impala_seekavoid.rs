@@ -34,6 +34,7 @@ fn main() -> rlgraph_core::Result<()> {
         weight_sync_interval: 2,
         run_duration: Duration::from_secs(20),
         max_updates: None,
+        ..ImpalaDriverConfig::default()
     };
     println!(
         "running IMPALA: {} actors x {} envs, rollout {}, lstm {:?} ...",

@@ -1,0 +1,460 @@
+//! Offline stub of `proptest`: a miniature property-testing runtime that
+//! covers the API surface this workspace uses. Cases are generated from a
+//! deterministic seeded PRNG; there is **no shrinking** — a failing case
+//! panics with the raw assertion message.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! Value-generation strategies (generate-only, no shrink trees).
+
+    use super::StdRng;
+    use rand::RngExt;
+    use std::sync::Arc;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then draws from the strategy
+        /// it induces.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(
+            self,
+            f: F,
+        ) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive structures: `self` is the leaf; `f` lifts an inner
+        /// strategy one level. `depth` bounds the recursion.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _items: u32,
+            f: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            Recursive { leaf: self.boxed(), depth, lift: Arc::new(move |s| f(s).boxed()) }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe view of a strategy.
+    trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut StdRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A shared, type-erased strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_recursive`].
+    pub struct Recursive<V> {
+        leaf: BoxedStrategy<V>,
+        depth: u32,
+        lift: Arc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+    }
+
+    impl<V: 'static> Strategy for Recursive<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let mut strat = self.leaf.clone();
+            // expand up to `depth` levels, stopping early at random so
+            // leaves stay common
+            for _ in 0..self.depth {
+                if rng.random_range(0.0..1.0f64) < 0.5 {
+                    break;
+                }
+                strat = (self.lift)(strat);
+            }
+            strat.generate(rng)
+        }
+    }
+
+    impl<V: 'static> Clone for Recursive<V> {
+        fn clone(&self) -> Self {
+            Recursive { leaf: self.leaf.clone(), depth: self.depth, lift: self.lift.clone() }
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$i:tt),*) => {
+            impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+                type Value = ($($s::Value,)*);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)*)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A/0, B/1);
+    impl_tuple_strategy!(A/0, B/1, C/2);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+
+    /// Uniform choice between boxed alternative strategies.
+    pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut StdRng) -> V {
+            assert!(!self.0.is_empty(), "prop_oneof needs at least one arm");
+            let idx = rng.random_range(0..self.0.len());
+            self.0[idx].generate(rng)
+        }
+    }
+
+    /// Canonical strategy for a type ([`super::prelude::any`]).
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy.
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            (0..2usize).prop_map(|v| v == 1).boxed()
+        }
+    }
+
+    macro_rules! impl_arbitrary_num {
+        ($($t:ty => $lo:expr, $hi:expr);*;) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    ($lo..$hi).boxed()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_num!(
+        i64 => -1_000_000i64, 1_000_000i64;
+        u64 => 0u64, 1_000_000u64;
+        usize => 0usize, 1_000_000usize;
+        f32 => -1.0e6f32, 1.0e6f32;
+        f64 => -1.0e6f64, 1.0e6f64;
+    );
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::RngExt;
+
+    /// Vector of values from `element`, with a length drawn from `size`
+    /// (any range form, as with the real crate's `SizeRange`).
+    pub fn vec<S: Strategy>(
+        element: S,
+        size: impl std::ops::RangeBounds<usize>,
+    ) -> VecStrategy<S> {
+        use std::ops::Bound;
+        let start = match size.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match size.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => start.saturating_add(100),
+        };
+        VecStrategy { element, size: start..end.max(start) }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.start..self.size.end)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The miniature case runner.
+
+    use super::{SeedableRng, StdRng};
+
+    /// Per-test configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// number of generated cases
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Failure raised by `prop_assert*` (carried as a panic payload).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    /// Deterministic runner: fixed seed stream, no shrinking.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for `config`.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config, rng: StdRng::seed_from_u64(0x5EED_CAFE) }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The case PRNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// `proptest::prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+
+    /// Canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary()
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), runner.rng());)*
+                    let run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    if let Err(e) = run() {
+                        panic!("proptest stub: case {} failed: {}", case, e.0);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts within a property (no shrinking: fails the whole test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {:?} != {:?}", a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Skips a case whose preconditions do not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn shapes() -> impl Strategy<Value = Vec<usize>> {
+        collection::vec(1usize..5, 1..4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, f in -1.0f32..1.0, b in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_flat_map(shape in shapes().prop_flat_map(|s| (Just(s.clone()), 0..s.len()))) {
+            let (s, idx) = shape;
+            prop_assert!(idx < s.len());
+            prop_assert!(s.iter().all(|&d| (1..5).contains(&d)));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1i64), (5i64..7), (0i64..2).prop_map(|x| x + 10)]) {
+            prop_assert!(v == 1 || v == 5 || v == 6 || v == 10 || v == 11, "v = {}", v);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline stub of `rand` 0.10 covering the API surface this workspace
+//! uses: `Rng`, `RngExt::random_range`, `SeedableRng::seed_from_u64`,
+//! and `rngs::StdRng` (an xoshiro256++ generator seeded via SplitMix64).
+
+/// Core RNG trait: a source of uniformly distributed machine words.
+pub trait Rng {
+    /// Next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniformly distributed 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be drawn uniformly from a half-open `lo..hi` range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a value in `[lo, hi)` from `rng`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in random_range");
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        let v = lo + unit * (hi - lo);
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f32::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range in random_range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let v = lo + unit * (hi - lo);
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
+/// Extension methods over [`Rng`] (the 0.10 `random_*` family).
+pub trait RngExt: Rng {
+    /// Uniform draw from the half-open range `r`.
+    fn random_range<T: SampleUniform>(&mut self, r: std::ops::Range<T>) -> T {
+        T::sample_range(self, r.start, r.end)
+    }
+
+    /// Uniform draw over a whole primitive's unit interval / domain.
+    fn random<T: SampleUniform + Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.random_range(0.0..1.0f64)) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Full-domain draws backing [`RngExt::random`].
+pub trait Random: Sized {
+    /// Draws a canonical value (unit interval for floats).
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        f32::sample_range(rng, 0.0, 1.0)
+    }
+}
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        f64::sample_range(rng, 0.0, 1.0)
+    }
+}
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically expands a 64-bit seed into a generator.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Standard generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Stub standard RNG: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Deterministic per seed, statistically reasonable; the stream does
+    /// NOT match the real `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: f32 = a.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            assert_eq!(x, b.random_range(-2.0..3.0));
+        }
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[a.random_range(0..4usize)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{:?}", counts);
+    }
+}

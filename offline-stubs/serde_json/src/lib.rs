@@ -1,0 +1,35 @@
+//! Offline stub of `serde_json`. Typechecks against the stub `serde`
+//! marker traits; `to_string*` returns a placeholder document and
+//! `from_str` always errors (real deserialization needs real serde).
+
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Returns a placeholder document (stub cannot introspect values).
+pub fn to_string<T: Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Ok("{\"__offline_stub\":true}".to_string())
+}
+
+/// Returns a placeholder document (stub cannot introspect values).
+pub fn to_string_pretty<T: Serialize + ?Sized>(_value: &T) -> Result<String> {
+    to_string(_value)
+}
+
+/// Always errors: the stub cannot construct values from JSON.
+pub fn from_str<'a, T: Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error("from_str unavailable offline".to_string()))
+}

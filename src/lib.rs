@@ -49,6 +49,7 @@
 //! | [`rlgraph_dist`] | Ray-style and parameter-server-style execution |
 //! | [`rlgraph_sim`] | calibrated discrete-event cluster simulation |
 //! | [`rlgraph_baselines`] | RLlib-style / hand-tuned / DM-style baselines |
+//! | [`rlgraph_obs`] | metrics, span tracing, Chrome-trace export |
 
 pub use rlgraph_agents as agents;
 pub use rlgraph_baselines as baselines;
@@ -58,6 +59,7 @@ pub use rlgraph_envs as envs;
 pub use rlgraph_graph as graph;
 pub use rlgraph_memory as memory;
 pub use rlgraph_nn as nn;
+pub use rlgraph_obs as obs;
 pub use rlgraph_sim as sim;
 pub use rlgraph_spaces as spaces;
 pub use rlgraph_tensor as tensor;
@@ -71,6 +73,7 @@ pub mod prelude {
     };
     pub use rlgraph_envs::{CartPole, Env, GridPong, GridPongConfig, SeekAvoid, VectorEnv};
     pub use rlgraph_nn::{Activation, LayerSpec, NetworkSpec, OptimizerSpec};
+    pub use rlgraph_obs::Recorder;
     pub use rlgraph_spaces::{Space, SpaceValue};
     pub use rlgraph_tensor::{DType, OpKind, Tensor};
 }

@@ -27,6 +27,7 @@ fn apex_on_gridpong_collects_and_learns() {
         weight_sync_interval: 8,
         run_duration: Duration::from_millis(2500),
         max_updates: Some(60),
+        ..ApexRunConfig::default()
     };
     let stats = run_apex(config, |w, e| {
         let mut cfg = GridPongConfig::learnable((w * 10 + e) as u64);
@@ -62,6 +63,7 @@ fn impala_on_seekavoid_runs_the_full_pipeline() {
         weight_sync_interval: 2,
         run_duration: Duration::from_millis(2500),
         max_updates: Some(40),
+        ..ImpalaDriverConfig::default()
     };
     let stats = run_impala(config, |a, e| {
         Box::new(SeekAvoid::new(SeekAvoidConfig {

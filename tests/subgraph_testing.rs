@@ -67,10 +67,7 @@ fn nested_space_flatten_split_merge() {
     // The space utilities behind rlgraph's auto split/merge of containers.
     let space = Space::dict([
         ("camera", Space::float_box(&[3, 8, 8])),
-        (
-            "proprio",
-            Space::tuple([Space::float_box(&[7]), Space::int_box(4)]),
-        ),
+        ("proprio", Space::tuple([Space::float_box(&[7]), Space::int_box(4)])),
     ])
     .with_batch_rank();
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
