@@ -1,0 +1,205 @@
+//! Serving throughput: M synthetic clients against 1..K policy replicas.
+//!
+//! Each configuration drives a fixed number of blocking clients in closed
+//! loop against a `PolicyServer` for a fixed wall-clock window and reports
+//! requests/sec plus the p50/p95/p99 end-to-end request latency from the
+//! server's own `serve.request_us` histogram. The `batch=1 replicas=1`
+//! row is the no-batching baseline; the batched multi-replica rows are
+//! the payoff of the serving layer.
+//!
+//! Usage: serve_throughput [--clients M] [--max-replicas K] [--secs S]
+
+use bench::{tsv_header, tsv_row};
+use rlgraph_nn::{Activation, NetworkSpec};
+use rlgraph_obs::Recorder;
+use rlgraph_serve::{greedy_policy_replica, PolicyServer, ServeConfig};
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const OBS_DIM: usize = 32;
+const NUM_ACTIONS: usize = 8;
+
+fn flag(name: &str, default: usize) -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix(&format!("{}=", name)) {
+            if let Ok(v) = v.parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+struct RunResult {
+    completed: u64,
+    rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_batch: f64,
+}
+
+fn run(clients: usize, replicas: usize, max_batch: usize, secs: f64) -> RunResult {
+    let recorder = Recorder::wall();
+    let space = Space::float_box_bounded(&[OBS_DIM], -1.0, 1.0);
+    let network = NetworkSpec::mlp(&[64, 64], Activation::Tanh);
+    let space2 = space.clone();
+    let server = PolicyServer::spawn(
+        ServeConfig {
+            num_replicas: replicas,
+            max_batch,
+            max_delay: Duration::from_micros(500),
+            queue_capacity: clients.max(16) * 2,
+            ..ServeConfig::default()
+        },
+        space,
+        recorder.clone(),
+        move |_| Ok(Box::new(greedy_policy_replica(&network, &space2, NUM_ACTIONS, false, 1234)?)),
+    )
+    .expect("spawn policy server");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let client = server.client();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let obs = Tensor::from_vec(
+                    (0..OBS_DIM)
+                        .map(|i| ((c * OBS_DIM + i) as f32 * 0.13).sin())
+                        .collect::<Vec<f32>>(),
+                    &[OBS_DIM],
+                )
+                .unwrap();
+                let mut done = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    client.act(obs.clone()).expect("act");
+                    done += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+    let completed: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let snap = recorder.metrics_snapshot();
+    let latency = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "serve.request_us")
+        .map(|(_, h)| *h)
+        .unwrap_or_default();
+    let batch = snap
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "serve.batch_size")
+        .map(|(_, h)| *h)
+        .unwrap_or_default();
+    RunResult {
+        completed,
+        rps: completed as f64 / elapsed,
+        p50_us: latency.p50,
+        p95_us: latency.p95,
+        p99_us: latency.p99,
+        mean_batch: batch.mean,
+    }
+}
+
+fn main() {
+    let clients = flag("--clients", 16);
+    let max_replicas = flag("--max-replicas", 4);
+    let secs = flag("--millis", 500) as f64 / 1e3;
+
+    eprintln!(
+        "# serve_throughput: {} closed-loop clients, {:.1}s per config, obs=[{}], mlp 64x64",
+        clients, secs, OBS_DIM
+    );
+    tsv_header(&[
+        "replicas",
+        "max_batch",
+        "clients",
+        "requests",
+        "rps",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "mean_batch",
+    ]);
+
+    let mut baseline_rps = None;
+    let mut best: Option<(usize, usize, f64)> = None;
+    let mut best_multi: Option<(usize, f64)> = None;
+    let mut configs = vec![(1usize, 1usize)];
+    let mut k = 1;
+    while k <= max_replicas {
+        configs.push((k, 16));
+        k *= 2;
+    }
+    for (replicas, max_batch) in configs {
+        let r = run(clients, replicas, max_batch, secs);
+        tsv_row(&[
+            replicas.to_string(),
+            max_batch.to_string(),
+            clients.to_string(),
+            r.completed.to_string(),
+            format!("{:.0}", r.rps),
+            format!("{:.0}", r.p50_us),
+            format!("{:.0}", r.p95_us),
+            format!("{:.0}", r.p99_us),
+            format!("{:.1}", r.mean_batch),
+        ]);
+        if replicas == 1 && max_batch == 1 {
+            baseline_rps = Some(r.rps);
+        } else {
+            if best.map(|(_, _, rps)| r.rps > rps).unwrap_or(true) {
+                best = Some((replicas, max_batch, r.rps));
+            }
+            if replicas > 1 && best_multi.map(|(_, rps)| r.rps > rps).unwrap_or(true) {
+                best_multi = Some((replicas, r.rps));
+            }
+        }
+    }
+
+    if let (Some(base), Some((replicas, max_batch, rps))) = (baseline_rps, best) {
+        eprintln!(
+            "# best batched config: {} replicas x batch {} -> {:.0} rps ({:.2}x over unbatched single replica)",
+            replicas,
+            max_batch,
+            rps,
+            rps / base
+        );
+        assert!(
+            rps > base,
+            "batched serving ({:.0} rps) must beat the unbatched single replica ({:.0} rps)",
+            rps,
+            base
+        );
+    }
+    if let (Some(base), Some((replicas, rps))) = (baseline_rps, best_multi) {
+        eprintln!(
+            "# best multi-replica config: {} replicas -> {:.0} rps ({:.2}x over unbatched single replica)",
+            replicas,
+            rps,
+            rps / base
+        );
+        assert!(
+            rps > base,
+            "batched multi-replica serving ({:.0} rps) must beat the unbatched single replica ({:.0} rps)",
+            rps,
+            base
+        );
+    }
+}

@@ -97,9 +97,6 @@ pub struct DqnConfig {
     pub seed: u64,
 }
 
-// referenced only by #[serde(default = "...")] attributes, which the
-// offline serde stub's derive does not expand
-#[allow(dead_code)]
 fn default_true() -> bool {
     true
 }
@@ -118,9 +115,6 @@ fn default_batch() -> usize {
 fn default_gamma() -> f32 {
     0.99
 }
-// referenced only by #[serde(default = "...")] attributes, which the
-// offline serde stub's derive does not expand
-#[allow(dead_code)]
 fn default_nstep() -> usize {
     3
 }
@@ -223,9 +217,6 @@ pub struct ImpalaConfig {
 fn default_rollout() -> usize {
     20
 }
-// referenced only by #[serde(default = "...")] attributes, which the
-// offline serde stub's derive does not expand
-#[allow(dead_code)]
 fn default_one() -> f32 {
     1.0
 }

@@ -4,6 +4,7 @@
 //! the shared in-graph blocking queue (rollouts) and periodic weight
 //! snapshots (parameter-server pull) — no central coordination loop.
 
+use crate::sync::WeightHub;
 use rlgraph_agents::impala::{ImpalaActor, ImpalaLearner};
 use rlgraph_agents::ImpalaConfig;
 use rlgraph_core::CoreError;
@@ -90,9 +91,9 @@ where
     let state_space: Space = env_factory(0, 0).state_space();
     let num_actions = env_factory(0, 0).action_space().num_categories()?;
 
-    // Learner weights shared via a snapshot slot actors pull from.
-    let weight_slot: Arc<parking_lot::RwLock<Vec<(String, rlgraph_tensor::Tensor)>>> =
-        Arc::new(parking_lot::RwLock::new(Vec::new()));
+    // Learner weights published through a versioned hub; actors poll and
+    // only touch the snapshot lock when a newer version exists.
+    let weight_hub = Arc::new(WeightHub::new());
 
     let mut actor_handles = Vec::with_capacity(config.num_actors);
     for a in 0..config.num_actors {
@@ -101,7 +102,7 @@ where
         let frames_total = frames_total.clone();
         let returns = returns.clone();
         let env_factory = env_factory.clone();
-        let weight_slot = weight_slot.clone();
+        let weight_hub = weight_hub.clone();
         let mut agent_cfg = config.agent.clone();
         agent_cfg.seed = config.agent.seed.wrapping_add(a as u64 * 6151);
         let envs_per_actor = config.envs_per_actor;
@@ -118,12 +119,13 @@ where
                 let mut actor = ImpalaActor::new(&agent_cfg, envs, queue)?;
                 let mut rollouts: u64 = 0;
                 let mut frames_before = 0u64;
+                let mut weight_version = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     if rollouts.is_multiple_of(sync_every) {
-                        let _span = rec.span("actor.weight_sync");
-                        let weights = weight_slot.read().clone();
-                        if !weights.is_empty() {
-                            actor.set_weights(&weights)?;
+                        if let Some(snap) = weight_hub.poll(weight_version) {
+                            let _span = rec.span("actor.weight_sync");
+                            actor.set_weights(&snap.weights)?;
+                            weight_version = snap.version;
                         }
                     }
                     let t0 = Instant::now();
@@ -181,7 +183,7 @@ where
                 loss_gauge.set(l.total as f64);
                 updates_ctr.inc();
                 losses.push(l.total);
-                *weight_slot.write() = learner.get_weights();
+                weight_hub.publish(learner.get_weights());
             }
             Err(_) => break,
         }

@@ -19,7 +19,9 @@
 pub mod impala_driver;
 pub mod ray;
 pub mod shard;
+pub mod sync;
 
 pub use impala_driver::{run_impala, ImpalaDriverConfig, ImpalaRunStats};
 pub use ray::{run_apex, ApexRunConfig, ApexRunStats};
-pub use shard::{ReplayShard, ShardRequest};
+pub use shard::{MailboxError, ReplayShard, ShardRequest};
+pub use sync::{WeightHub, WeightsSnapshot};

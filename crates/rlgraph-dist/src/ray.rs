@@ -166,6 +166,7 @@ where
                 let sync_latency_us = rec.histogram("weight_sync.latency_us");
                 let frames_ctr = rec.counter("worker.frames");
                 let reward_gauge = rec.gauge("train.episode_reward");
+                let mailbox_full_ctr = rec.counter("shard.mailbox_full");
                 let mut task: u64 = 0;
                 while !stop.load(Ordering::Relaxed) {
                     if let Ok((sent_us, weights)) = wrx.try_recv() {
@@ -192,14 +193,22 @@ where
                         }
                     }
                     let shard = &shard_senders[(task as usize) % shard_senders.len()];
-                    if shard
-                        .send(ShardRequest::Insert {
-                            transitions: batch.transitions,
-                            priorities: batch.priorities,
-                        })
-                        .is_err()
-                    {
-                        break;
+                    // Typed saturation: count Full before falling back to a
+                    // blocking send (workers apply Block backpressure rather
+                    // than shedding replay data).
+                    let insert = ShardRequest::Insert {
+                        transitions: batch.transitions,
+                        priorities: batch.priorities,
+                    };
+                    match shard.try_send(insert) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(req)) => {
+                            mailbox_full_ctr.inc();
+                            if shard.send(req).is_err() {
+                                break;
+                            }
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
                     }
                     task += 1;
                 }

@@ -2,7 +2,7 @@
 //! serves inserts, samples, and priority updates over channels (the
 //! paper's "4 instances of replay memories to feed the learner").
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use rlgraph_agents::components::memory::transitions_to_batch;
 use rlgraph_memory::{PrioritizedReplay, Transition};
 use rlgraph_obs::Recorder;
@@ -50,9 +50,59 @@ pub enum ShardRequest {
     Shutdown,
 }
 
+/// Why a non-blocking shard submission was not accepted.
+///
+/// Carries the rejected request back so callers can decide to retry,
+/// block, or shed — saturation is an explicit, typed condition rather
+/// than a silent drop.
+#[derive(Debug)]
+pub enum MailboxError {
+    /// The mailbox holds `capacity` pending requests; the actor is
+    /// saturated.
+    Full {
+        /// the mailbox bound
+        capacity: usize,
+        /// the rejected request, returned for retry/fallback
+        request: ShardRequest,
+    },
+    /// The actor has shut down and will never drain the mailbox.
+    Disconnected(ShardRequest),
+}
+
+impl std::fmt::Display for MailboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MailboxError::Full { capacity, .. } => {
+                write!(f, "shard mailbox full ({} pending requests)", capacity)
+            }
+            MailboxError::Disconnected(_) => write!(f, "shard actor disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for MailboxError {}
+
+impl std::fmt::Debug for ShardRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardRequest::Insert { transitions, .. } => {
+                write!(f, "Insert({} transitions)", transitions.len())
+            }
+            ShardRequest::Sample { batch, beta, .. } => {
+                write!(f, "Sample(batch={}, beta={})", batch, beta)
+            }
+            ShardRequest::UpdatePriorities { indices, .. } => {
+                write!(f, "UpdatePriorities({} indices)", indices.len())
+            }
+            ShardRequest::Shutdown => write!(f, "Shutdown"),
+        }
+    }
+}
+
 /// Handle to a running replay-shard actor.
 pub struct ReplayShard {
     tx: Sender<ShardRequest>,
+    mailbox_capacity: usize,
     handle: Option<JoinHandle<u64>>,
 }
 
@@ -72,15 +122,47 @@ impl ReplayShard {
         seed: u64,
         recorder: Recorder,
     ) -> Self {
-        let (tx, rx): (Sender<ShardRequest>, Receiver<ShardRequest>) = bounded(256);
+        let (tx, rx): (Sender<ShardRequest>, Receiver<ShardRequest>) =
+            bounded(Self::DEFAULT_MAILBOX_CAPACITY);
         let handle = std::thread::Builder::new()
             .name(name)
             .spawn(move || shard_loop(rx, capacity, alpha, seed, recorder))
             .expect("spawn shard thread");
-        ReplayShard { tx, handle: Some(handle) }
+        ReplayShard { tx, mailbox_capacity: Self::DEFAULT_MAILBOX_CAPACITY, handle: Some(handle) }
     }
 
-    /// The request channel.
+    /// Bound of the actor's request mailbox.
+    pub const DEFAULT_MAILBOX_CAPACITY: usize = 256;
+
+    /// The mailbox bound: how many requests may be pending before
+    /// submissions block ([`ReplayShard::sender`]) or are rejected
+    /// ([`ReplayShard::try_send`]).
+    pub fn mailbox_capacity(&self) -> usize {
+        self.mailbox_capacity
+    }
+
+    /// Requests currently pending in the mailbox.
+    pub fn mailbox_depth(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MailboxError::Full`] (carrying the rejected request and
+    /// the mailbox bound) when the actor is saturated, and
+    /// [`MailboxError::Disconnected`] when it has shut down.
+    pub fn try_send(&self, request: ShardRequest) -> Result<(), MailboxError> {
+        self.tx.try_send(request).map_err(|e| match e {
+            TrySendError::Full(request) => {
+                MailboxError::Full { capacity: self.mailbox_capacity, request }
+            }
+            TrySendError::Disconnected(request) => MailboxError::Disconnected(request),
+        })
+    }
+
+    /// The request channel (blocking submission).
     pub fn sender(&self) -> Sender<ShardRequest> {
         self.tx.clone()
     }
@@ -207,6 +289,41 @@ mod tests {
         let (reply_tx, reply_rx) = bounded(1);
         shard.sender().send(ShardRequest::Sample { batch: 4, beta: 0.4, reply: reply_tx }).unwrap();
         assert!(reply_rx.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn saturated_mailbox_reports_typed_full_error() {
+        let shard = ReplayShard::spawn("shard-test".into(), 32, 1.0, 0);
+        assert_eq!(shard.mailbox_capacity(), ReplayShard::DEFAULT_MAILBOX_CAPACITY);
+        // Wedge the actor: give it a Sample whose reply channel is already
+        // full, so its blocking reply-send parks the actor thread while we
+        // flood the mailbox.
+        let (reply_tx, reply_rx) = bounded(1);
+        reply_tx.send(None).unwrap();
+        shard.sender().send(ShardRequest::Sample { batch: 4, beta: 0.4, reply: reply_tx }).unwrap();
+        let mut full = None;
+        for _ in 0..=shard.mailbox_capacity() + 1 {
+            match shard
+                .try_send(ShardRequest::UpdatePriorities { indices: vec![], priorities: vec![] })
+            {
+                Ok(()) => {}
+                Err(e) => {
+                    full = Some(e);
+                    break;
+                }
+            }
+        }
+        match full.expect("mailbox should saturate") {
+            MailboxError::Full { capacity, request } => {
+                assert_eq!(capacity, ReplayShard::DEFAULT_MAILBOX_CAPACITY);
+                assert!(matches!(request, ShardRequest::UpdatePriorities { .. }));
+            }
+            other => panic!("expected Full, got {:?}", other),
+        }
+        // Unwedge and drain.
+        assert!(reply_rx.recv().unwrap().is_none());
+        assert!(reply_rx.recv().unwrap().is_none());
+        shard.shutdown();
     }
 
     #[test]

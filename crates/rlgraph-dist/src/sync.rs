@@ -1,0 +1,140 @@
+//! Versioned weight distribution between a learner and inference replicas.
+//!
+//! [`WeightHub`] is a single-publisher / many-subscriber snapshot slot: the
+//! learner publishes immutable [`WeightsSnapshot`]s with monotonically
+//! increasing versions, and consumers poll cheaply — a relaxed atomic
+//! version check on the hot path, with the lock taken only when a newer
+//! snapshot actually exists. Snapshots are `Arc`-shared, so a subscriber
+//! holding version *n* never blocks the learner publishing *n+1*, and the
+//! learner never blocks a replica mid-inference.
+
+use parking_lot::RwLock;
+use rlgraph_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An immutable, versioned set of named weights.
+#[derive(Debug)]
+pub struct WeightsSnapshot {
+    /// Monotonically increasing version, starting at 1 for the first
+    /// publish (version 0 means "nothing published yet").
+    pub version: u64,
+    /// Named weight tensors, as produced by `GraphExecutor::export_weights`.
+    pub weights: Vec<(String, Tensor)>,
+}
+
+/// Shared slot through which a learner publishes weight snapshots.
+#[derive(Debug)]
+pub struct WeightHub {
+    /// Version of the snapshot currently in `slot`; checked lock-free.
+    version: AtomicU64,
+    slot: RwLock<Option<Arc<WeightsSnapshot>>>,
+}
+
+impl Default for WeightHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeightHub {
+    /// Creates an empty hub at version 0.
+    pub fn new() -> Self {
+        WeightHub { version: AtomicU64::new(0), slot: RwLock::new(None) }
+    }
+
+    /// Publishes a new snapshot, returning its version.
+    pub fn publish(&self, weights: Vec<(String, Tensor)>) -> u64 {
+        let mut guard = self.slot.write();
+        let version = guard.as_ref().map(|s| s.version).unwrap_or(0) + 1;
+        *guard = Some(Arc::new(WeightsSnapshot { version, weights }));
+        // Publish the version only after the slot holds the snapshot, so a
+        // subscriber observing `version() > seen` always finds it.
+        self.version.store(version, Ordering::Release);
+        version
+    }
+
+    /// Latest published version (0 before the first publish). Lock-free.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Latest snapshot, if any has been published.
+    pub fn snapshot(&self) -> Option<Arc<WeightsSnapshot>> {
+        self.slot.read().clone()
+    }
+
+    /// Returns the latest snapshot only if it is newer than `seen`.
+    ///
+    /// This is the subscriber fast path: when no new version exists the
+    /// call is a single atomic load and never touches the lock.
+    pub fn poll(&self, seen: u64) -> Option<Arc<WeightsSnapshot>> {
+        if self.version() <= seen {
+            return None;
+        }
+        self.slot.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(tag: f32) -> Vec<(String, Tensor)> {
+        vec![("w".to_string(), Tensor::full(&[2], tag))]
+    }
+
+    #[test]
+    fn versions_are_monotonic() {
+        let hub = WeightHub::new();
+        assert_eq!(hub.version(), 0);
+        assert!(hub.snapshot().is_none());
+        assert_eq!(hub.publish(w(1.0)), 1);
+        assert_eq!(hub.publish(w(2.0)), 2);
+        assert_eq!(hub.version(), 2);
+        assert_eq!(hub.snapshot().unwrap().version, 2);
+    }
+
+    #[test]
+    fn poll_is_quiet_when_current() {
+        let hub = WeightHub::new();
+        assert!(hub.poll(0).is_none());
+        hub.publish(w(1.0));
+        let snap = hub.poll(0).expect("new version");
+        assert_eq!(snap.version, 1);
+        assert!(hub.poll(snap.version).is_none());
+    }
+
+    #[test]
+    fn old_snapshot_survives_new_publish() {
+        let hub = WeightHub::new();
+        hub.publish(w(1.0));
+        let old = hub.snapshot().unwrap();
+        hub.publish(w(2.0));
+        // The Arc keeps the old snapshot alive and unchanged.
+        assert_eq!(old.version, 1);
+        assert_eq!(old.weights[0].1.as_f32().unwrap()[0], 1.0);
+        assert_eq!(hub.snapshot().unwrap().version, 2);
+    }
+
+    #[test]
+    fn concurrent_publish_and_poll() {
+        let hub = Arc::new(WeightHub::new());
+        let pub_hub = hub.clone();
+        let publisher = std::thread::spawn(move || {
+            for i in 1..=200 {
+                pub_hub.publish(w(i as f32));
+            }
+        });
+        let mut seen = 0u64;
+        while seen < 200 {
+            if let Some(snap) = hub.poll(seen) {
+                assert!(snap.version > seen, "version went backwards");
+                // Snapshot contents must match their version tag.
+                assert_eq!(snap.weights[0].1.as_f32().unwrap()[0], snap.version as f32);
+                seen = snap.version;
+            }
+        }
+        publisher.join().unwrap();
+    }
+}

@@ -26,6 +26,9 @@ pub struct Variable {
 #[derive(Debug, Default)]
 pub struct VariableStore {
     vars: Vec<Variable>,
+    /// name → index, so by-name lookups (weight import / hot swap) stay
+    /// O(1) per entry instead of scanning `vars`.
+    by_name: std::collections::HashMap<String, usize>,
 }
 
 impl VariableStore {
@@ -36,8 +39,15 @@ impl VariableStore {
 
     /// Registers a variable and returns its id.
     pub fn create(&mut self, name: impl Into<String>, init: Tensor, trainable: bool) -> VarId {
-        self.vars.push(Variable { name: name.into(), value: init, trainable });
+        let name = name.into();
+        self.by_name.insert(name.clone(), self.vars.len());
+        self.vars.push(Variable { name, value: init, trainable });
         VarId(self.vars.len() - 1)
+    }
+
+    /// Looks up a variable id by its fully scoped name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied().map(VarId)
     }
 
     /// Number of variables.
@@ -113,10 +123,7 @@ impl VariableStore {
     pub fn import(&mut self, weights: &[(String, Tensor)]) -> Result<()> {
         for (name, value) in weights {
             let id = self
-                .vars
-                .iter()
-                .position(|v| &v.name == name)
-                .map(VarId)
+                .lookup(name)
                 .ok_or_else(|| GraphError::new(format!("unknown variable '{}'", name)))?;
             self.write(id, value.clone())?;
         }
@@ -175,6 +182,14 @@ mod tests {
         let _b = s.create("b", Tensor::scalar(0.0), false);
         let c = s.create("c", Tensor::scalar(0.0), true);
         assert_eq!(s.trainable_ids(), vec![a, c]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut s = VariableStore::new();
+        let w = s.create("scope/w", Tensor::scalar(1.0), true);
+        assert_eq!(s.lookup("scope/w"), Some(w));
+        assert_eq!(s.lookup("scope/missing"), None);
     }
 
     #[test]

@@ -282,6 +282,21 @@ impl NetworkSpec {
         }
         Ok(out)
     }
+
+    /// Total number of scalar parameters for the given input core shape
+    /// (e.g. to size weight-snapshot transfer budgets in serving/sync).
+    ///
+    /// # Errors
+    ///
+    /// Errors if any layer rejects its input shape.
+    pub fn param_count(&self, input: &[usize]) -> Result<usize> {
+        Ok(self
+            .all_params(input)?
+            .iter()
+            .flat_map(|(_, defs)| defs.iter())
+            .map(|d| d.shape.iter().product::<usize>())
+            .sum())
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +369,14 @@ mod tests {
         let atari = NetworkSpec::atari_conv(1);
         // 16x16 input runs through the stack
         assert_eq!(atari.output_shape(&[4, 16, 16]).unwrap(), vec![64]);
+    }
+
+    #[test]
+    fn param_count_matches_hand_count() {
+        let net = NetworkSpec::mlp(&[32, 16], Activation::Tanh);
+        // dense(8→32): 8*32+32; dense(32→16): 32*16+16
+        assert_eq!(net.param_count(&[8]).unwrap(), 8 * 32 + 32 + 32 * 16 + 16);
+        assert!(NetworkSpec::new(vec![LayerSpec::Flatten]).param_count(&[4]).unwrap() == 0);
     }
 
     #[test]

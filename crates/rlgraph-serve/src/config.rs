@@ -1,0 +1,66 @@
+//! Serving configuration: replica fleet size, micro-batching window, and
+//! admission-control policy.
+
+use std::time::Duration;
+
+/// What happens when a request arrives while the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// The submitting client blocks until the queue has room. Never loses
+    /// requests; pushes latency back onto callers.
+    #[default]
+    Block,
+    /// The new request fails immediately with
+    /// [`ServeError::QueueFull`](crate::ServeError::QueueFull).
+    Reject,
+    /// The oldest queued request is evicted (failing with
+    /// [`ServeError::Shed`](crate::ServeError::Shed)) to admit the new
+    /// one — freshest-first serving under overload.
+    ShedOldest,
+}
+
+/// Configuration of a [`PolicyServer`](crate::PolicyServer).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each holding one policy replica.
+    pub num_replicas: usize,
+    /// Maximum requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker waits for more requests after the first before
+    /// flushing a partial batch.
+    pub max_delay: Duration,
+    /// Admission-queue bound (requests pending across all replicas).
+    pub queue_capacity: usize,
+    /// Policy applied when the admission queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Deadline applied to requests submitted without an explicit one;
+    /// `None` means such requests never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            num_replicas: 1,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 256,
+            backpressure: BackpressurePolicy::Block,
+            default_deadline: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.num_replicas >= 1);
+        assert!(c.max_batch >= 1);
+        assert!(c.queue_capacity >= c.max_batch);
+        assert_eq!(c.backpressure, BackpressurePolicy::Block);
+    }
+}

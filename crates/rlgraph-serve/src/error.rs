@@ -1,0 +1,57 @@
+//! Typed serving errors: every way a request can fail is distinguishable,
+//! so callers can retry, back off, or shed load deliberately.
+
+use std::fmt;
+
+/// Why a serving request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue is at capacity and the server's backpressure
+    /// policy is [`Reject`](crate::BackpressurePolicy::Reject).
+    QueueFull {
+        /// the admission-queue bound
+        capacity: usize,
+    },
+    /// The request was evicted from the queue to admit a newer one
+    /// ([`ShedOldest`](crate::BackpressurePolicy::ShedOldest)).
+    Shed,
+    /// The request's deadline passed before a replica executed it.
+    DeadlineExpired,
+    /// The server is shutting down (or shut down mid-request).
+    Shutdown,
+    /// The policy replica failed while executing the batch.
+    Exec(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({} pending requests)", capacity)
+            }
+            ServeError::Shed => write!(f, "request shed to admit newer work"),
+            ServeError::DeadlineExpired => write!(f, "request deadline expired before execution"),
+            ServeError::Shutdown => write!(f, "policy server shut down"),
+            ServeError::Exec(msg) => write!(f, "replica execution failed: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<rlgraph_core::CoreError> for ServeError {
+    fn from(e: rlgraph_core::CoreError) -> Self {
+        ServeError::Exec(e.message().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeError::QueueFull { capacity: 8 }.to_string().contains('8'));
+        assert!(ServeError::Exec("boom".into()).to_string().contains("boom"));
+    }
+}

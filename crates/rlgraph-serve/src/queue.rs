@@ -1,0 +1,267 @@
+//! Bounded admission queue with pluggable backpressure.
+//!
+//! One queue feeds all replica workers (single-queue / multi-server, so a
+//! slow replica never strands requests behind it). Implemented on
+//! `std::sync` Mutex + Condvar rather than a channel because the
+//! [`ShedOldest`](crate::BackpressurePolicy::ShedOldest) policy requires
+//! evicting from the *front* on a full push, which channels cannot do.
+
+use crate::config::BackpressurePolicy;
+use crate::error::ServeError;
+use crossbeam::channel::Sender;
+use rlgraph_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued `act` request.
+pub(crate) struct Request {
+    /// single observation, core shape (no batch rank)
+    pub obs: Tensor,
+    /// absolute expiry; expired requests are shed before execution
+    pub deadline: Option<Instant>,
+    /// submission time, for end-to-end latency accounting
+    pub enqueued_at: Instant,
+    /// where the action (or error) goes
+    pub reply: Sender<Result<Tensor, ServeError>>,
+}
+
+impl Request {
+    /// Whether the deadline has passed at `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline.map(|d| d <= now).unwrap_or(false)
+    }
+}
+
+struct State {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue between clients and replica workers.
+pub(crate) struct AdmissionQueue {
+    state: Mutex<State>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission queue capacity must be positive");
+        AdmissionQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Admits a request under the given backpressure policy.
+    ///
+    /// On `ShedOldest` eviction the victim's reply channel receives
+    /// [`ServeError::Shed`]; the return value reports whether a shed
+    /// happened so the caller can count it.
+    pub fn push(
+        &self,
+        request: Request,
+        policy: BackpressurePolicy,
+    ) -> Result<PushOutcome, ServeError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(ServeError::Shutdown);
+        }
+        let mut outcome = PushOutcome::Admitted;
+        if state.items.len() >= self.capacity {
+            match policy {
+                BackpressurePolicy::Reject => {
+                    return Err(ServeError::QueueFull { capacity: self.capacity });
+                }
+                BackpressurePolicy::ShedOldest => {
+                    if let Some(victim) = state.items.pop_front() {
+                        let _ = victim.reply.send(Err(ServeError::Shed));
+                        outcome = PushOutcome::AdmittedAfterShed;
+                    }
+                }
+                BackpressurePolicy::Block => {
+                    while state.items.len() >= self.capacity && !state.closed {
+                        state = self.not_full.wait(state).expect("queue poisoned");
+                    }
+                    if state.closed {
+                        return Err(ServeError::Shutdown);
+                    }
+                }
+            }
+        }
+        state.items.push_back(request);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(outcome)
+    }
+
+    /// Blocks until a request is available (returned) or the queue is
+    /// closed and drained (`None`: the worker should exit).
+    pub fn pop_wait(&self) -> Option<Request> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(req) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(req);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Waits for another request until `flush_at` (batch coalescing).
+    /// `None` means the delay window elapsed (or the queue closed empty):
+    /// flush what you have.
+    pub fn pop_until(&self, flush_at: Instant) -> Option<Request> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(req) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(req);
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= flush_at {
+                return None;
+            }
+            let (guard, timeout) =
+                self.not_empty.wait_timeout(state, flush_at - now).expect("queue poisoned");
+            state = guard;
+            if timeout.timed_out() && state.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Closes the queue: pending pushes fail, workers drain then exit.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// How a push was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushOutcome {
+    Admitted,
+    /// admitted, but the oldest queued request was evicted to make room
+    AdmittedAfterShed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use std::time::Duration;
+
+    fn request() -> (Request, crossbeam::channel::Receiver<Result<Tensor, ServeError>>) {
+        let (tx, rx) = bounded(1);
+        (
+            Request {
+                obs: Tensor::scalar(0.0),
+                deadline: None,
+                enqueued_at: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = AdmissionQueue::new(4);
+        for i in 0..3 {
+            let (mut r, _rx) = request();
+            r.obs = Tensor::scalar(i as f32);
+            q.push(r, BackpressurePolicy::Block).unwrap();
+        }
+        for i in 0..3 {
+            let r = q.pop_wait().unwrap();
+            assert_eq!(r.obs.scalar_value().unwrap(), i as f32);
+        }
+    }
+
+    #[test]
+    fn reject_when_full() {
+        let q = AdmissionQueue::new(1);
+        let (r1, _rx1) = request();
+        q.push(r1, BackpressurePolicy::Reject).unwrap();
+        let (r2, _rx2) = request();
+        assert_eq!(
+            q.push(r2, BackpressurePolicy::Reject).unwrap_err(),
+            ServeError::QueueFull { capacity: 1 }
+        );
+    }
+
+    #[test]
+    fn shed_oldest_evicts_front() {
+        let q = AdmissionQueue::new(1);
+        let (r1, rx1) = request();
+        q.push(r1, BackpressurePolicy::ShedOldest).unwrap();
+        let (mut r2, _rx2) = request();
+        r2.obs = Tensor::scalar(2.0);
+        assert_eq!(
+            q.push(r2, BackpressurePolicy::ShedOldest).unwrap(),
+            PushOutcome::AdmittedAfterShed
+        );
+        // The victim got a typed Shed error; the newer request survived.
+        assert_eq!(rx1.recv().unwrap().unwrap_err(), ServeError::Shed);
+        assert_eq!(q.pop_wait().unwrap().obs.scalar_value().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn block_waits_for_room() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(1));
+        let (r1, _rx1) = request();
+        q.push(r1, BackpressurePolicy::Block).unwrap();
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || {
+            let (r2, _rx2) = request();
+            q2.push(r2, BackpressurePolicy::Block).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.depth(), 1, "pusher should still be blocked");
+        q.pop_wait().unwrap();
+        pusher.join().unwrap();
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn pop_until_times_out() {
+        let q = AdmissionQueue::new(4);
+        let t0 = Instant::now();
+        assert!(q.pop_until(t0 + Duration::from_millis(10)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn close_unblocks_everyone() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(4));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || q2.pop_wait().is_none());
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(popper.join().unwrap());
+        let (r, _rx) = request();
+        assert_eq!(q.push(r, BackpressurePolicy::Block).unwrap_err(), ServeError::Shutdown);
+    }
+}

@@ -1,0 +1,624 @@
+//! The policy server: admission queue in front of N replica workers.
+//!
+//! Request lifecycle: a [`PolicyClient`] submits one observation → the
+//! request passes admission control (bounded queue + backpressure policy)
+//! → an idle worker takes it and coalesces more requests up to
+//! `max_batch`/`max_delay` → expired requests are shed → observations are
+//! stacked through the space's batch rank → one forward pass on the
+//! worker's replica → actions are unstacked and sent back per request.
+//! Between batches each worker polls the shared
+//! [`WeightHub`](rlgraph_dist::WeightHub) and hot-swaps to the newest
+//! snapshot — the act path never takes a lock during inference.
+
+use crate::config::{BackpressurePolicy, ServeConfig};
+use crate::error::ServeError;
+use crate::queue::{AdmissionQueue, PushOutcome, Request};
+use crate::replica::PolicyReplica;
+use crossbeam::channel::bounded;
+use rlgraph_dist::WeightHub;
+use rlgraph_obs::Recorder;
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A running serving fleet: N worker threads, each owning one policy
+/// replica, fed by one bounded admission queue.
+pub struct PolicyServer {
+    queue: Arc<AdmissionQueue>,
+    hub: Arc<WeightHub>,
+    config: ServeConfig,
+    recorder: Recorder,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PolicyServer {
+    /// Spawns a server whose replicas come from `factory(replica_index)`.
+    ///
+    /// `obs_space` is the **single-observation** space clients submit in;
+    /// its batch-ranked form is what replicas execute on. Replicas are
+    /// built in the calling thread so construction errors surface here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first replica-construction failure.
+    pub fn spawn<F>(
+        config: ServeConfig,
+        obs_space: Space,
+        recorder: Recorder,
+        factory: F,
+    ) -> rlgraph_core::Result<Self>
+    where
+        F: Fn(usize) -> rlgraph_core::Result<Box<dyn PolicyReplica>>,
+    {
+        assert!(config.num_replicas >= 1, "need at least one replica");
+        assert!(config.max_batch >= 1, "max_batch must be positive");
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
+        let hub = Arc::new(WeightHub::new());
+        let mut workers = Vec::with_capacity(config.num_replicas);
+        for i in 0..config.num_replicas {
+            let replica = factory(i)?;
+            let ctx = WorkerCtx {
+                queue: queue.clone(),
+                hub: hub.clone(),
+                obs_space: obs_space.strip_ranks(),
+                max_batch: config.max_batch,
+                max_delay: config.max_delay,
+                recorder: recorder.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-replica-{}", i))
+                .spawn(move || worker_loop(replica, ctx))
+                .expect("spawn serve worker");
+            workers.push(handle);
+        }
+        Ok(PolicyServer { queue, hub, config, recorder, workers })
+    }
+
+    /// A client handle; cheap to clone across submitting threads.
+    pub fn client(&self) -> PolicyClient {
+        PolicyClient {
+            queue: self.queue.clone(),
+            backpressure: self.config.backpressure,
+            default_deadline: self.config.default_deadline,
+            requests: self.recorder.counter("serve.requests"),
+            rejected: self.recorder.counter("serve.rejected"),
+            shed: self.recorder.counter("serve.shed"),
+            depth_gauge: self.recorder.gauge("serve.queue_depth"),
+        }
+    }
+
+    /// The weight hub replicas subscribe to; publish learner snapshots
+    /// here for hot swap.
+    pub fn weight_hub(&self) -> Arc<WeightHub> {
+        self.hub.clone()
+    }
+
+    /// Publishes a weight snapshot to all replicas, returning its version.
+    pub fn publish_weights(&self, weights: Vec<(String, Tensor)>) -> u64 {
+        self.hub.publish(weights)
+    }
+
+    /// Requests currently pending admission.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// The admission-queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+
+    /// Stops accepting requests, drains the queue, and joins all workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PolicyServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Handle through which clients submit observations.
+#[derive(Clone)]
+pub struct PolicyClient {
+    queue: Arc<AdmissionQueue>,
+    backpressure: BackpressurePolicy,
+    default_deadline: Option<std::time::Duration>,
+    requests: rlgraph_obs::Counter,
+    rejected: rlgraph_obs::Counter,
+    shed: rlgraph_obs::Counter,
+    depth_gauge: rlgraph_obs::Gauge,
+}
+
+impl PolicyClient {
+    /// Submits one observation (core shape, no batch dim) and blocks for
+    /// the action, applying the server's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`] for each admission/execution failure mode.
+    pub fn act(&self, observation: Tensor) -> Result<Tensor, ServeError> {
+        self.act_with_deadline(observation, self.default_deadline)
+    }
+
+    /// Like [`PolicyClient::act`] with an explicit per-request deadline
+    /// (`None` = never expires).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`] for each admission/execution failure mode.
+    pub fn act_with_deadline(
+        &self,
+        observation: Tensor,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Tensor, ServeError> {
+        self.requests.inc();
+        let now = Instant::now();
+        let (reply_tx, reply_rx) = bounded(1);
+        let request = Request {
+            obs: observation,
+            deadline: deadline.map(|d| now + d),
+            enqueued_at: now,
+            reply: reply_tx,
+        };
+        let outcome = self.queue.push(request, self.backpressure).inspect_err(|e| {
+            if matches!(e, ServeError::QueueFull { .. }) {
+                self.rejected.inc();
+            }
+        })?;
+        if outcome == PushOutcome::AdmittedAfterShed {
+            self.shed.inc();
+        }
+        self.depth_gauge.set(self.queue.depth() as f64);
+        // A worker dropping the reply channel without answering means the
+        // server tore down mid-request.
+        reply_rx.recv().map_err(|_| ServeError::Shutdown)?
+    }
+}
+
+struct WorkerCtx {
+    queue: Arc<AdmissionQueue>,
+    hub: Arc<WeightHub>,
+    obs_space: Space,
+    max_batch: usize,
+    max_delay: std::time::Duration,
+    recorder: Recorder,
+}
+
+fn worker_loop(mut replica: Box<dyn PolicyReplica>, ctx: WorkerCtx) {
+    let batch_size_hist = ctx.recorder.histogram("serve.batch_size");
+    let request_us = ctx.recorder.histogram("serve.request_us");
+    let exec_us = ctx.recorder.histogram("serve.exec_us");
+    let batches = ctx.recorder.counter("serve.batches");
+    let empty_flushes = ctx.recorder.counter("serve.empty_flushes");
+    let deadline_expired = ctx.recorder.counter("serve.deadline_expired");
+    let weight_swaps = ctx.recorder.counter("serve.weight_swaps");
+    let weight_lag = ctx.recorder.gauge("serve.weight_lag");
+    let depth_gauge = ctx.recorder.gauge("serve.queue_depth");
+    let mut weight_version = 0u64;
+    while let Some(first) = ctx.queue.pop_wait() {
+        // Coalesce: wait up to max_delay after the first request, flushing
+        // early once max_batch is reached.
+        let flush_at = Instant::now() + ctx.max_delay;
+        let mut batch = vec![first];
+        while batch.len() < ctx.max_batch {
+            match ctx.queue.pop_until(flush_at) {
+                Some(req) => batch.push(req),
+                None => break,
+            }
+        }
+        depth_gauge.set(ctx.queue.depth() as f64);
+
+        // Hot weight swap between batches: a lock-free version check, with
+        // the snapshot import only when the learner published something new.
+        if let Some(snap) = ctx.hub.poll(weight_version) {
+            let _span = ctx.recorder.span("serve.weight_swap");
+            if replica.load_weights(&snap.weights).is_ok() {
+                weight_version = snap.version;
+                weight_swaps.inc();
+            }
+        }
+        weight_lag.set(ctx.hub.version().saturating_sub(weight_version) as f64);
+
+        // Shed expired requests before paying for execution.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for req in batch {
+            if req.expired(now) {
+                deadline_expired.inc();
+                let _ = req.reply.send(Err(ServeError::DeadlineExpired));
+            } else {
+                live.push(req);
+            }
+        }
+        if live.is_empty() {
+            // Deadline flush with nothing executable left.
+            empty_flushes.inc();
+            continue;
+        }
+
+        batch_size_hist.record(live.len() as f64);
+        batches.inc();
+        let observations: Vec<Tensor> = live.iter().map(|r| r.obs.clone()).collect();
+        let stacked = match ctx.obs_space.stack_batch(&observations) {
+            Ok(t) => t,
+            Err(e) => {
+                for req in live {
+                    let _ = req.reply.send(Err(ServeError::Exec(e.message().to_string())));
+                }
+                continue;
+            }
+        };
+        let t_exec = Instant::now();
+        let result = {
+            let _span = ctx.recorder.span("serve.act_batch");
+            replica.act_batch(&stacked)
+        };
+        exec_us.record_duration(t_exec.elapsed());
+        match result.and_then(|actions| actions.unstack().map_err(rlgraph_core::CoreError::from)) {
+            Ok(actions) if actions.len() == live.len() => {
+                let done = Instant::now();
+                for (req, action) in live.into_iter().zip(actions) {
+                    request_us.record_duration(done.duration_since(req.enqueued_at));
+                    let _ = req.reply.send(Ok(action));
+                }
+            }
+            Ok(actions) => {
+                let msg = format!(
+                    "replica returned {} actions for a batch of {}",
+                    actions.len(),
+                    live.len()
+                );
+                for req in live {
+                    let _ = req.reply.send(Err(ServeError::Exec(msg.clone())));
+                }
+            }
+            Err(e) => {
+                let msg = e.message().to_string();
+                for req in live {
+                    let _ = req.reply.send(Err(ServeError::Exec(msg.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::greedy_policy_replica;
+    use rlgraph_nn::{Activation, NetworkSpec};
+    use rlgraph_tensor::DType;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    /// A replica whose action is the "weight tag" it last loaded, so
+    /// tests can observe exactly which snapshot served each request.
+    struct TagReplica {
+        tag: f32,
+        delay: Duration,
+        batch_sizes: Arc<parking_lot::Mutex<Vec<usize>>>,
+    }
+
+    impl TagReplica {
+        fn new(delay: Duration) -> Self {
+            TagReplica {
+                tag: 0.0,
+                delay,
+                batch_sizes: Arc::new(parking_lot::Mutex::new(Vec::new())),
+            }
+        }
+    }
+
+    impl PolicyReplica for TagReplica {
+        fn act_batch(&mut self, observations: &Tensor) -> rlgraph_core::Result<Tensor> {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            let b = observations.shape()[0];
+            self.batch_sizes.lock().push(b);
+            Ok(Tensor::from_vec(vec![self.tag; b], &[b]).expect("tag batch"))
+        }
+
+        fn load_weights(&mut self, weights: &[(String, Tensor)]) -> rlgraph_core::Result<()> {
+            self.tag = weights[0].1.scalar_value()?;
+            Ok(())
+        }
+
+        fn export_weights(&self) -> Vec<(String, Tensor)> {
+            vec![("tag".to_string(), Tensor::scalar(self.tag))]
+        }
+    }
+
+    fn tag_weights(tag: f32) -> Vec<(String, Tensor)> {
+        vec![("tag".to_string(), Tensor::scalar(tag))]
+    }
+
+    fn scalar_space() -> Space {
+        Space::float_box_bounded(&[1], -1.0, 1.0)
+    }
+
+    fn obs() -> Tensor {
+        Tensor::zeros(&[1], DType::F32)
+    }
+
+    #[test]
+    fn serves_batch_of_one() {
+        let server = PolicyServer::spawn(
+            ServeConfig { max_delay: Duration::from_millis(1), ..ServeConfig::default() },
+            scalar_space(),
+            Recorder::wall(),
+            |_| Ok(Box::new(TagReplica::new(Duration::ZERO))),
+        )
+        .unwrap();
+        server.publish_weights(tag_weights(42.0));
+        let action = server.client().act(obs()).unwrap();
+        assert_eq!(action.scalar_value().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn coalesces_concurrent_requests_into_one_batch() {
+        let sizes = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sizes2 = sizes.clone();
+        let server = PolicyServer::spawn(
+            ServeConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(50),
+                ..ServeConfig::default()
+            },
+            scalar_space(),
+            Recorder::wall(),
+            move |_| {
+                let mut r = TagReplica::new(Duration::ZERO);
+                r.batch_sizes = sizes2.clone();
+                Ok(Box::new(r))
+            },
+        )
+        .unwrap();
+        let client = server.client();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = client.clone();
+                std::thread::spawn(move || c.act(obs()).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 8 concurrent requests inside a 50ms window must not take 8
+        // separate forward passes.
+        let sizes = sizes.lock();
+        let batches = sizes.len();
+        assert!(batches < 8, "expected coalescing, got batch sizes {:?}", *sizes);
+        assert_eq!(sizes.iter().sum::<usize>(), 8);
+        drop(sizes);
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_requests_are_shed_before_execution() {
+        let recorder = Recorder::wall();
+        let server = PolicyServer::spawn(
+            ServeConfig { max_delay: Duration::from_millis(1), ..ServeConfig::default() },
+            scalar_space(),
+            recorder.clone(),
+            // Slow replica: while the first batch executes, a
+            // zero-deadline request expires in the queue.
+            |_| Ok(Box::new(TagReplica::new(Duration::from_millis(30)))),
+        )
+        .unwrap();
+        let client = server.client();
+        let warm = {
+            let c = client.clone();
+            std::thread::spawn(move || c.act(obs()))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        let late = client.act_with_deadline(obs(), Some(Duration::ZERO));
+        assert_eq!(late.unwrap_err(), ServeError::DeadlineExpired);
+        warm.join().unwrap().unwrap();
+        let snap = recorder.metrics_snapshot();
+        let expired =
+            snap.counters.iter().find(|(n, _)| n == "serve.deadline_expired").map(|(_, v)| *v);
+        assert_eq!(expired, Some(1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn all_expired_batch_is_an_empty_flush() {
+        let recorder = Recorder::wall();
+        let server = PolicyServer::spawn(
+            ServeConfig { max_delay: Duration::from_millis(1), ..ServeConfig::default() },
+            scalar_space(),
+            recorder.clone(),
+            |_| Ok(Box::new(TagReplica::new(Duration::from_millis(30)))),
+        )
+        .unwrap();
+        let client = server.client();
+        let warm = {
+            let c = client.clone();
+            std::thread::spawn(move || c.act(obs()))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        // Both queued requests carry already-passed deadlines, so the next
+        // flush sheds everything and executes nothing.
+        let late: Vec<_> = (0..2)
+            .map(|_| {
+                let c = client.clone();
+                std::thread::spawn(move || c.act_with_deadline(obs(), Some(Duration::ZERO)))
+            })
+            .collect();
+        for h in late {
+            assert_eq!(h.join().unwrap().unwrap_err(), ServeError::DeadlineExpired);
+        }
+        warm.join().unwrap().unwrap();
+        let snap = recorder.metrics_snapshot();
+        let empty = snap.counters.iter().find(|(n, _)| n == "serve.empty_flushes").map(|(_, v)| *v);
+        assert!(empty.unwrap_or(0) >= 1, "expected an empty flush, got {:?}", empty);
+        server.shutdown();
+    }
+
+    #[test]
+    fn weight_swap_is_visible_across_all_replicas() {
+        // Stress: 3 replicas serving while versions 1..=20 are published.
+        // Every action must be a tag that was published at some point, and
+        // the final version must eventually serve on every replica.
+        let server = PolicyServer::spawn(
+            ServeConfig {
+                num_replicas: 3,
+                max_batch: 4,
+                max_delay: Duration::from_micros(200),
+                ..ServeConfig::default()
+            },
+            scalar_space(),
+            Recorder::wall(),
+            |_| Ok(Box::new(TagReplica::new(Duration::ZERO))),
+        )
+        .unwrap();
+        server.publish_weights(tag_weights(1.0));
+        let client = server.client();
+        let stop = Arc::new(AtomicU64::new(0));
+        let stop2 = stop.clone();
+        let hub = server.weight_hub();
+        let publisher = std::thread::spawn(move || {
+            for v in 2..=20u64 {
+                hub.publish(tag_weights(v as f32));
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            stop2.store(1, Ordering::Release);
+        });
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let c = client.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while stop.load(Ordering::Acquire) == 0 {
+                        seen.push(c.act(obs()).unwrap().scalar_value().unwrap());
+                    }
+                    seen
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        let mut all_tags = Vec::new();
+        for h in clients {
+            all_tags.extend(h.join().unwrap());
+        }
+        // Every served action corresponds to a published version, and
+        // tags never run ahead of the publish sequence.
+        assert!(!all_tags.is_empty());
+        for t in &all_tags {
+            assert!((1.0..=20.0).contains(t), "unpublished weight tag {} served", t);
+        }
+        // After the publisher finishes, each subsequent request must see
+        // the final version (workers poll before every batch).
+        for _ in 0..6 {
+            assert_eq!(client.act(obs()).unwrap().scalar_value().unwrap(), 20.0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn reject_backpressure_surfaces_queue_full() {
+        let server = PolicyServer::spawn(
+            ServeConfig {
+                max_batch: 1,
+                max_delay: Duration::ZERO,
+                queue_capacity: 1,
+                backpressure: BackpressurePolicy::Reject,
+                ..ServeConfig::default()
+            },
+            scalar_space(),
+            Recorder::wall(),
+            |_| Ok(Box::new(TagReplica::new(Duration::from_millis(40)))),
+        )
+        .unwrap();
+        let client = server.client();
+        // Saturate: one request executing (slow), then fill the
+        // capacity-1 queue, then overflow it.
+        let inflight: Vec<_> = (0..4)
+            .map(|_| {
+                let c = client.clone();
+                std::thread::spawn(move || c.act(obs()))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        let mut saw_queue_full = false;
+        for _ in 0..20 {
+            if let Err(ServeError::QueueFull { capacity }) = client.act(obs()) {
+                assert_eq!(capacity, 1);
+                saw_queue_full = true;
+                break;
+            }
+        }
+        assert!(saw_queue_full, "never hit QueueFull under saturation");
+        for h in inflight {
+            let _ = h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_new_requests_with_typed_error() {
+        let server = PolicyServer::spawn(
+            ServeConfig::default(),
+            scalar_space(),
+            Recorder::disabled(),
+            |_| Ok(Box::new(TagReplica::new(Duration::ZERO))),
+        )
+        .unwrap();
+        let client = server.client();
+        client.act(obs()).unwrap();
+        server.shutdown();
+        assert_eq!(client.act(obs()).unwrap_err(), ServeError::Shutdown);
+    }
+
+    #[test]
+    fn real_policy_replicas_serve_end_to_end() {
+        let space = Space::float_box_bounded(&[4], -1.0, 1.0);
+        let net = NetworkSpec::mlp(&[16], Activation::Tanh);
+        let space2 = space.clone();
+        let server = PolicyServer::spawn(
+            ServeConfig {
+                num_replicas: 2,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+            space.clone(),
+            Recorder::wall(),
+            move |_| Ok(Box::new(greedy_policy_replica(&net, &space2, 5, true, 11)?)),
+        )
+        .unwrap();
+        let client = server.client();
+        let handles: Vec<_> = (0..12)
+            .map(|i| {
+                let c = client.clone();
+                std::thread::spawn(move || {
+                    let obs = Tensor::from_vec(
+                        (0..4).map(|j| ((i * 4 + j) as f32 * 0.11).cos()).collect::<Vec<f32>>(),
+                        &[4],
+                    )
+                    .unwrap();
+                    c.act(obs).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let action = h.join().unwrap();
+            let a = action.as_i64().unwrap()[0];
+            assert!((0..5).contains(&a));
+        }
+        server.shutdown();
+    }
+}

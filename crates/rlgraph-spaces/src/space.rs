@@ -361,6 +361,45 @@ impl Space {
         }
     }
 
+    /// Validates single observations against this space's core shape and
+    /// dtype, then stacks them along a new leading batch dimension.
+    ///
+    /// This is the micro-batching primitive of the serving path: many
+    /// single-observation `act` requests are coalesced into one
+    /// `[batch, ...core]` tensor matching `self.with_batch_rank()`.
+    /// Container spaces (dict/tuple) are rejected, as are empty batches.
+    ///
+    /// # Errors
+    ///
+    /// Errors on container spaces, empty input, or any observation whose
+    /// shape/dtype does not match the space.
+    pub fn stack_batch(&self, observations: &[Tensor]) -> Result<Tensor> {
+        let core = self.shape()?;
+        let dtype = self.dtype()?;
+        if observations.is_empty() {
+            return Err(SpaceError::new("cannot stack an empty observation batch"));
+        }
+        for (i, t) in observations.iter().enumerate() {
+            if t.shape() != core {
+                return Err(SpaceError::new(format!(
+                    "observation {} shape {:?} does not match space core shape {:?}",
+                    i,
+                    t.shape(),
+                    core
+                )));
+            }
+            if t.dtype() != dtype {
+                return Err(SpaceError::new(format!(
+                    "observation {} dtype {} does not match space dtype {}",
+                    i,
+                    t.dtype(),
+                    dtype
+                )));
+            }
+        }
+        Ok(Tensor::stack(observations)?)
+    }
+
     /// Whether `value` structurally and numerically belongs to this space
     /// (leading rank dimensions of any size are accepted).
     pub fn contains(&self, value: &SpaceValue) -> bool {
@@ -470,6 +509,23 @@ mod tests {
         assert!(!s.contains(&bad));
         let neg = SpaceValue::Tensor(Tensor::scalar_i64(-1));
         assert!(!s.contains(&neg));
+    }
+
+    #[test]
+    fn stack_batch_validates_and_stacks() {
+        let s = Space::float_box_bounded(&[2], -1.0, 1.0);
+        let obs = vec![Tensor::full(&[2], 0.5), Tensor::full(&[2], -0.5)];
+        let batch = s.stack_batch(&obs).unwrap();
+        assert_eq!(batch.shape(), &[2, 2]);
+        assert_eq!(batch.as_f32().unwrap(), vec![0.5, 0.5, -0.5, -0.5]);
+        // shape mismatch
+        assert!(s.stack_batch(&[Tensor::full(&[3], 0.0)]).is_err());
+        // dtype mismatch
+        assert!(s.stack_batch(&[Tensor::zeros(&[2], DType::I64)]).is_err());
+        // empty batch
+        assert!(s.stack_batch(&[]).is_err());
+        // container spaces cannot batch
+        assert!(Space::dict([("a", Space::float_box(&[1]))]).stack_batch(&obs).is_err());
     }
 
     #[test]

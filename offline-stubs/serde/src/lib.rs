@@ -1,15 +1,97 @@
-//! Offline stub of `serde`: marker traits with no serialization ability.
+//! Offline stub of `serde` with a small reflective data model.
 //!
-//! `#[derive(serde::Serialize, serde::Deserialize)]` compiles (via the
-//! stub `serde_derive`), but `serde_json`'s stub `from_str` always
-//! errors and `to_string` emits a placeholder — config round-trip tests
-//! will fail under stubs, by design.
+//! Unlike real serde's visitor architecture, this stub routes everything
+//! through one dynamic [`Value`] tree: `Serialize::to_value` lowers a Rust
+//! value into it and `Deserialize::from_value` rebuilds one from it. The
+//! stub `serde_derive` generates real impls of both methods, so
+//! `serde_json`'s stub can round-trip every type this workspace derives
+//! on. The surface is intentionally minimal: exactly what the workspace
+//! uses (derived structs/enums with `default`, `rename_all`, and `tag`
+//! attributes, plus the std container impls below).
 
-/// Marker stand-in for serde's `Serialize`.
-pub trait Serialize {}
+/// Dynamic JSON-shaped value tree: the stub's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer in `i64` range.
+    I64(i64),
+    /// Integer above `i64::MAX`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
 
-/// Marker stand-in for serde's `Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable kind label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A type-mismatch error: wanted `expected`, found `got`.
+    pub fn expected(expected: &str, got: &Value) -> Self {
+        DeError(format!("expected {}, found {}", expected, got.kind()))
+    }
+
+    /// A missing-field error for struct `ty`.
+    pub fn missing(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field '{}' for {}", field, ty))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Stand-in for serde's `Serialize`: lowers into the stub [`Value`].
+pub trait Serialize {
+    /// The value tree this serializes to.
+    fn to_value(&self) -> Value;
+}
+
+/// Stand-in for serde's `Deserialize`: rebuilds from a stub [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Errors on shape or type mismatches.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
 
 /// Marker stand-in for serde's `DeserializeOwned`.
 pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
@@ -19,33 +101,275 @@ impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
-macro_rules! impl_primitives {
+macro_rules! impl_signed {
     ($($t:ty),*) => {$(
-        impl Serialize for $t {}
-        impl<'de> Deserialize<'de> for $t {}
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::I64(i) => *i as i128,
+                    Value::U64(u) => *u as i128,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {} out of range", wide)))
+            }
+        }
     )*};
 }
-impl_primitives!(
-    bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String
-);
+impl_signed!(i8, i16, i32, i64, isize);
 
-impl Serialize for str {}
-impl<T: Serialize> Serialize for Vec<T> {}
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
-impl<T: Serialize> Serialize for Option<T> {}
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
-impl<T: Serialize + ?Sized> Serialize for &T {}
-impl<T: Serialize + ?Sized> Serialize for Box<T> {}
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
-impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
-impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
-    for std::collections::HashMap<K, V>
-{
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u128;
+                if wide <= i64::MAX as u128 {
+                    Value::I64(wide as i64)
+                } else {
+                    Value::U64(wide as u64)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::I64(i) => *i as i128,
+                    Value::U64(u) => *u as i128,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {} out of range", wide)))
+            }
+        }
+    )*};
 }
-impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
-impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
-    for std::collections::BTreeMap<K, V>
-{
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(i) => Ok(*i as $t),
+                    Value::U64(u) => Ok(*u as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
 }
-impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
-impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+/// Renders a map key. Real serde_json requires string (or stringified
+/// numeric) keys; the workspace only uses `String` keys.
+fn key_string(v: Value) -> String {
+    match v {
+        Value::Str(s) => s,
+        Value::I64(i) => i.to_string(),
+        Value::U64(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("serde stub: map keys must be strings or numbers, found {}", other.kind()),
+    }
+}
+
+macro_rules! impl_map {
+    ($map:ident, $($bound:tt)*) => {
+        impl<K: Serialize + $($bound)*, V: Serialize> Serialize for std::collections::$map<K, V> {
+            fn to_value(&self) -> Value {
+                Value::Obj(
+                    self.iter().map(|(k, v)| (key_string(k.to_value()), v.to_value())).collect(),
+                )
+            }
+        }
+        impl<'de, K, V> Deserialize<'de> for std::collections::$map<K, V>
+        where
+            K: Deserialize<'de> + $($bound)*,
+            V: Deserialize<'de>,
+        {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Obj(pairs) => pairs
+                        .iter()
+                        .map(|(k, item)| {
+                            Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(item)?))
+                        })
+                        .collect(),
+                    other => Err(DeError::expected("object", other)),
+                }
+            }
+        }
+    };
+}
+impl_map!(HashMap, std::hash::Hash + Eq);
+impl_map!(BTreeMap, Ord);
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::expected("array of length 2", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(DeError::expected("array of length 3", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_value(&(u64::MAX).to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-5i64).to_value()).unwrap(), -5);
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        let f = 0.1f32;
+        assert_eq!(f32::from_value(&f.to_value()).unwrap(), f);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(<(String, bool)>::from_value(&("x".to_string(), true).to_value()).unwrap().1, true);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1i64, 2, 3];
+        assert_eq!(Vec::<i64>::from_value(&v.to_value()).unwrap(), v);
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        assert_eq!(
+            std::collections::BTreeMap::<String, u32>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+    }
+}

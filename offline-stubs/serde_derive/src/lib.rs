@@ -1,38 +1,548 @@
-//! Offline stub of `serde_derive`: emits empty marker-trait impls for
-//! non-generic structs/enums (the only shapes this workspace derives on)
-//! and accepts-but-ignores `#[serde(...)]` attributes.
+//! Offline stub of `serde_derive` with real codegen.
+//!
+//! Hand-parses the derive input `TokenStream` (no `syn` available
+//! offline) and emits working `serde::Serialize::to_value` /
+//! `serde::Deserialize::from_value` impls against the stub `serde`
+//! crate's reflective [`Value`] data model. Covers the shapes this
+//! workspace actually derives on: non-generic structs with named
+//! fields, and enums with unit / newtype / tuple / struct variants,
+//! externally tagged or internally tagged via `#[serde(tag = "...")]`,
+//! with `#[serde(rename_all = "snake_case")]`, `#[serde(rename)]`, and
+//! `#[serde(default [= "path"])]` support. Anything else panics at
+//! macro-expansion time so gaps surface as compile errors, not silent
+//! misbehavior.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-fn type_name(input: TokenStream) -> String {
-    let mut saw_kw = false;
-    for tt in input {
-        match tt {
-            TokenTree::Ident(id) => {
-                let s = id.to_string();
-                if saw_kw {
-                    return s;
+/// The `#[serde(...)]` attributes this stub understands.
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    rename: Option<String>,
+    default: Option<DefaultKind>,
+}
+
+#[derive(Clone)]
+enum DefaultKind {
+    /// Bare `#[serde(default)]`: `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    json_name: String,
+    default: Option<DefaultKind>,
+    is_option: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    json_name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    Enum(SerdeAttrs, Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn lit_string(tok: &TokenTree) -> String {
+    let s = tok.to_string();
+    s.trim_matches('"').to_string()
+}
+
+/// Applies serde's `rename_all = "snake_case"` rule to a variant name.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn apply_rename(name: &str, rename: &Option<String>, rename_all: &Option<String>) -> String {
+    if let Some(r) = rename {
+        return r.clone();
+    }
+    match rename_all.as_deref() {
+        Some("snake_case") => snake_case(name),
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some(other) => panic!("serde_derive stub: unsupported rename_all = \"{}\"", other),
+        None => name.to_string(),
+    }
+}
+
+/// Parses the token group inside `#[serde(...)]` into `attrs`.
+fn parse_serde_attr(tokens: Vec<TokenTree>, attrs: &mut SerdeAttrs) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("serde_derive stub: unexpected token in #[serde(...)]: {}", other),
+        };
+        let has_value = matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        let value = if has_value { Some(lit_string(&tokens[i + 2])) } else { None };
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("default", Some(v)) => attrs.default = Some(DefaultKind::Path(v)),
+            ("default", None) => attrs.default = Some(DefaultKind::Std),
+            (other, _) => panic!("serde_derive stub: unsupported serde attribute '{}'", other),
+        }
+        i += if has_value { 3 } else { 1 };
+    }
+}
+
+/// Consumes leading `#[...]` attributes at `toks[*i]`, folding any
+/// `#[serde(...)]` contents into the returned attrs.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let TokenTree::Group(g) = &toks[*i + 1] else {
+            panic!("serde_derive stub: expected [...] after #");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                let TokenTree::Group(args) = &inner[1] else {
+                    panic!("serde_derive stub: expected #[serde(...)]");
+                };
+                parse_serde_attr(args.stream().into_iter().collect(), &mut attrs);
+            }
+        }
+        *i += 2;
+    }
+    attrs
+}
+
+/// Skips a `pub` / `pub(...)` visibility qualifier if present.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses `name: Type` fields from a brace-group body.
+fn parse_fields(body: TokenStream, rename_all: &Option<String>) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive stub: expected field name, found {}", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        assert!(
+            matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive stub: expected ':' after field '{}'",
+            name
+        );
+        i += 1;
+        // Consume the type up to a top-level comma, tracking angle-bracket
+        // depth so commas inside `Map<K, V>` don't split the field.
+        let mut depth = 0i32;
+        let mut first_ty_tok: Option<String> = None;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
                 }
-                if s == "struct" || s == "enum" || s == "union" {
-                    saw_kw = true;
+                tok => {
+                    if first_ty_tok.is_none() {
+                        first_ty_tok = Some(tok.to_string());
+                    }
                 }
+            }
+            i += 1;
+        }
+        let is_option = first_ty_tok.as_deref() == Some("Option");
+        fields.push(Field {
+            json_name: apply_rename(&name, &attrs.rename, rename_all),
+            name,
+            default: attrs.default,
+            is_option,
+        });
+    }
+    fields
+}
+
+/// Counts top-level elements of a tuple-variant paren group.
+fn tuple_arity(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for tok in &toks {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
             }
             _ => {}
         }
     }
-    panic!("serde_derive stub: could not find type name");
+    commas + if trailing_comma { 0 } else { 1 }
 }
 
-/// Derives the stub `serde::Serialize` marker.
+fn parse_variants(body: TokenStream, container: &SerdeAttrs) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive stub: expected variant name, found {}", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_fields(g.stream(), &None))
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant {
+            json_name: apply_rename(&name, &attrs.rename, &container.rename_all),
+            name,
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container = take_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, found {}", other),
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde_derive stub: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type '{}' is not supported", name);
+    }
+    let shape = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_fields(g.stream(), &container.rename_all))
+            }
+            other => panic!(
+                "serde_derive stub: only named-field structs are supported for '{}' (found {:?})",
+                name,
+                other.map(|t| t.to_string())
+            ),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream(), &container);
+                Shape::Enum(container, variants)
+            }
+            _ => panic!("serde_derive stub: malformed enum '{}'", name),
+        },
+        other => panic!("serde_derive stub: cannot derive for '{}' items", other),
+    };
+    Input { name, shape }
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `("json_name".to_string(), to_value(&self.field))` pairs for a struct
+/// body; `accessor` is how a field is reached (`&self.` or bare binding).
+fn gen_struct_ser_pairs(fields: &[Field], accessor: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), serde::Serialize::to_value({}{})),",
+                f.json_name, accessor, f.name
+            )
+        })
+        .collect()
+}
+
+/// Expression producing a field value from object expression `obj`.
+fn gen_field_de(f: &Field, obj: &str, ty_name: &str) -> String {
+    let missing = match (&f.default, f.is_option) {
+        (Some(DefaultKind::Std), _) => "std::default::Default::default()".to_string(),
+        (Some(DefaultKind::Path(p)), _) => format!("{}()", p),
+        (None, true) => "None".to_string(),
+        (None, false) => format!(
+            "return Err(serde::DeError::missing({:?}, {:?}))",
+            f.json_name, ty_name
+        ),
+    };
+    format!(
+        "{}: match {}.get({:?}) {{ Some(__x) => serde::Deserialize::from_value(__x)?, None => {} }},",
+        f.name, obj, f.json_name, missing
+    )
+}
+
+fn gen_struct_de_body(fields: &[Field], obj: &str, ctor: &str, ty_name: &str) -> String {
+    let field_exprs: String = fields.iter().map(|f| gen_field_de(f, obj, ty_name)).collect();
+    format!(
+        "if !matches!({obj}, serde::Value::Obj(_)) {{ \
+             return Err(serde::DeError::expected(\"object\", {obj})); \
+         }} \
+         Ok({ctor} {{ {field_exprs} }})"
+    )
+}
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{}", k)).collect()
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            format!("serde::Value::Obj(vec![{}])", gen_struct_ser_pairs(fields, "&self."))
+        }
+        Shape::Enum(container, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| gen_variant_ser_arm(name, v, &container.tag))
+                .collect();
+            format!("match self {{ {} }}", arms)
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] \
+         impl serde::Serialize for {name} {{ \
+             fn to_value(&self) -> serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_variant_ser_arm(name: &str, v: &Variant, tag: &Option<String>) -> String {
+    let vname = &v.name;
+    let jname = &v.json_name;
+    if let Some(tag) = tag {
+        // Internally tagged: `{"<tag>": "<variant>", ...fields}`.
+        return match &v.shape {
+            VariantShape::Unit => format!(
+                "{name}::{vname} => serde::Value::Obj(vec![({tag:?}.to_string(), \
+                 serde::Value::Str({jname:?}.to_string()))]),"
+            ),
+            VariantShape::Struct(fields) => {
+                let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let pairs = gen_struct_ser_pairs(fields, "");
+                format!(
+                    "{name}::{vname} {{ {} }} => serde::Value::Obj(vec![({tag:?}.to_string(), \
+                     serde::Value::Str({jname:?}.to_string())), {pairs}]),",
+                    pat.join(", ")
+                )
+            }
+            VariantShape::Tuple(_) => panic!(
+                "serde_derive stub: tuple variant '{}::{}' under #[serde(tag)] is unsupported",
+                name, vname
+            ),
+        };
+    }
+    // Externally tagged.
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{name}::{vname} => serde::Value::Str({jname:?}.to_string()),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => serde::Value::Obj(vec![({jname:?}.to_string(), \
+             serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds = tuple_bindings(*n);
+            let elems: Vec<String> =
+                binds.iter().map(|b| format!("serde::Serialize::to_value({})", b)).collect();
+            format!(
+                "{name}::{vname}({}) => serde::Value::Obj(vec![({jname:?}.to_string(), \
+                 serde::Value::Arr(vec![{}]))]),",
+                binds.join(", "),
+                elems.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+            let pairs = gen_struct_ser_pairs(fields, "");
+            format!(
+                "{name}::{vname} {{ {} }} => serde::Value::Obj(vec![({jname:?}.to_string(), \
+                 serde::Value::Obj(vec![{pairs}]))]),",
+                pat.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => gen_struct_de_body(fields, "__v", name, name),
+        Shape::Enum(container, variants) => match &container.tag {
+            Some(tag) => gen_enum_de_internal(name, tag, variants),
+            None => gen_enum_de_external(name, variants),
+        },
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] \
+         impl<'de> serde::Deserialize<'de> for {name} {{ \
+             fn from_value(__v: &serde::Value) -> std::result::Result<Self, serde::DeError> {{ \
+                 {body} \
+             }} \
+         }}"
+    )
+}
+
+fn unknown_variant(name: &str) -> String {
+    format!(
+        "__other => Err(serde::DeError(format!(\"unknown variant '{{}}' for {name}\", __other))),"
+    )
+}
+
+fn gen_enum_de_internal(name: &str, tag: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let jname = &v.json_name;
+            match &v.shape {
+                VariantShape::Unit => format!("{jname:?} => Ok({name}::{}),", v.name),
+                VariantShape::Struct(fields) => {
+                    let field_exprs: String =
+                        fields.iter().map(|f| gen_field_de(f, "__v", name)).collect();
+                    format!("{jname:?} => Ok({name}::{} {{ {field_exprs} }}),", v.name)
+                }
+                VariantShape::Tuple(_) => panic!(
+                    "serde_derive stub: tuple variant '{}::{}' under #[serde(tag)] is unsupported",
+                    name, v.name
+                ),
+            }
+        })
+        .collect();
+    format!(
+        "let __tag = match __v.get({tag:?}) {{ \
+             Some(serde::Value::Str(__s)) => __s.clone(), \
+             Some(__o) => return Err(serde::DeError::expected(\"string tag\", __o)), \
+             None => return Err(serde::DeError(format!(\"missing tag '{tag}' for {name}\"))), \
+         }}; \
+         match __tag.as_str() {{ {arms} {unknown} }}",
+        unknown = unknown_variant(name)
+    )
+}
+
+fn gen_enum_de_external(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("{:?} => Ok({name}::{}),", v.json_name, v.name))
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            let jname = &v.json_name;
+            match &v.shape {
+                VariantShape::Tuple(1) => format!(
+                    "{jname:?} => Ok({name}::{}(serde::Deserialize::from_value(__inner)?)),",
+                    v.name
+                ),
+                VariantShape::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("serde::Deserialize::from_value(&__items[{}])?", k))
+                        .collect();
+                    format!(
+                        "{jname:?} => match __inner {{ \
+                             serde::Value::Arr(__items) if __items.len() == {n} => \
+                                 Ok({name}::{}({})), \
+                             __o => Err(serde::DeError::expected(\"array of length {n}\", __o)), \
+                         }},",
+                        v.name,
+                        elems.join(", ")
+                    )
+                }
+                VariantShape::Struct(fields) => {
+                    let body = gen_struct_de_body(fields, "__inner", &format!("{name}::{}", v.name), name);
+                    format!("{jname:?} => {{ {body} }},")
+                }
+                VariantShape::Unit => unreachable!(),
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{ \
+             serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} {unknown} }}, \
+             serde::Value::Obj(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__k, __inner) = &__pairs[0]; \
+                 match __k.as_str() {{ {data_arms} {unknown} }} \
+             }} \
+             __other => Err(serde::DeError::expected(\"string or single-key object\", __other)), \
+         }}",
+        unknown = unknown_variant(name)
+    )
+}
+
+/// Derives `serde::Serialize` (stub `to_value`) for the input type.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl serde::Serialize for {} {{}}", name).parse().expect("valid impl")
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive stub: generated invalid Serialize impl")
 }
 
-/// Derives the stub `serde::Deserialize` marker.
+/// Derives `serde::Deserialize` (stub `from_value`) for the input type.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl<'de> serde::Deserialize<'de> for {} {{}}", name).parse().expect("valid impl")
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde_derive stub: generated invalid Deserialize impl")
 }

@@ -49,6 +49,7 @@
 //! | [`rlgraph_dist`] | Ray-style and parameter-server-style execution |
 //! | [`rlgraph_sim`] | calibrated discrete-event cluster simulation |
 //! | [`rlgraph_baselines`] | RLlib-style / hand-tuned / DM-style baselines |
+//! | [`rlgraph_serve`] | batched multi-replica policy serving |
 //! | [`rlgraph_obs`] | metrics, span tracing, Chrome-trace export |
 
 pub use rlgraph_agents as agents;
@@ -60,6 +61,7 @@ pub use rlgraph_graph as graph;
 pub use rlgraph_memory as memory;
 pub use rlgraph_nn as nn;
 pub use rlgraph_obs as obs;
+pub use rlgraph_serve as serve;
 pub use rlgraph_sim as sim;
 pub use rlgraph_spaces as spaces;
 pub use rlgraph_tensor as tensor;
@@ -74,6 +76,9 @@ pub mod prelude {
     pub use rlgraph_envs::{CartPole, Env, GridPong, GridPongConfig, SeekAvoid, VectorEnv};
     pub use rlgraph_nn::{Activation, LayerSpec, NetworkSpec, OptimizerSpec};
     pub use rlgraph_obs::Recorder;
+    pub use rlgraph_serve::{
+        greedy_policy_replica, BackpressurePolicy, PolicyClient, PolicyServer, ServeConfig,
+    };
     pub use rlgraph_spaces::{Space, SpaceValue};
     pub use rlgraph_tensor::{DType, OpKind, Tensor};
 }
