@@ -1,0 +1,213 @@
+//! Kernel engine benchmark: naive vs cache-blocked vs blocked+parallel
+//! GEMM, and direct vs im2col convolution.
+//!
+//! GEMM sizes are the products that dominate the paper's evaluation
+//! networks: the DQN MLP layers (batch 32, 64/64 hidden) and the larger
+//! FC/im2col products of the IMPALA-style conv net, plus the canonical
+//! 256^3 square. Writes `BENCH_kernels.json` at the repo root; `--smoke`
+//! runs tiny shapes once and writes nothing (tier-1 uses it as a
+//! does-it-run check).
+
+use rlgraph_tensor::kernels::{conv, gemm, reference};
+use rlgraph_tensor::{pool, Tensor};
+use std::time::Instant;
+
+struct GemmCase {
+    label: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+}
+
+const GEMM_CASES: &[GemmCase] = &[
+    GemmCase { label: "dqn_mlp_in", m: 32, k: 128, n: 64 },
+    GemmCase { label: "dqn_mlp_hidden", m: 32, k: 64, n: 64 },
+    GemmCase { label: "impala_fc", m: 256, k: 1024, n: 256 },
+    GemmCase { label: "square256", m: 256, k: 256, n: 256 },
+    GemmCase { label: "square512", m: 512, k: 512, n: 512 },
+];
+
+const SMOKE_CASES: &[GemmCase] = &[GemmCase { label: "smoke", m: 48, k: 48, n: 48 }];
+
+const THREAD_SWEEP: &[usize] = &[1, 2, 4];
+
+/// Best (minimum) seconds per call over enough iterations to fill ~300ms —
+/// the standard noise-rejecting estimator for short compute kernels, and
+/// the same statistic `scripts/bench_seed_gemm.sh` reports.
+fn time_it<F: FnMut()>(mut f: F, smoke: bool) -> f64 {
+    f(); // warmup
+    if smoke {
+        let t = Instant::now();
+        f();
+        return t.elapsed().as_secs_f64();
+    }
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64().max(1e-7);
+    let iters = ((0.3 / once) as usize).clamp(5, 10_000);
+    let mut best = f64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn rng_tensor(shape: &[usize], seed: u64) -> Tensor {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::rand_uniform(shape, -1.0, 1.0, &mut rng)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cases = if smoke { SMOKE_CASES } else { GEMM_CASES };
+    // Pre-engine baseline at 256^3, measured by scripts/bench_seed_gemm.sh
+    // (the seed's loop built with the seed's flags — no -C target-cpu=native,
+    // which this crate's .cargo/config.toml has since added and which also
+    // speeds up the in-binary naive rows below).
+    let seed_build_ms: Option<f64> =
+        std::env::var("RLGRAPH_SEED_GEMM_MS").ok().and_then(|v| v.trim().parse().ok());
+
+    let mut gemm_rows = Vec::new();
+    println!(
+        "{:<16} {:>5} {:>5} {:>5} {:>12} {:>12} {:>10} {:>8}",
+        "case", "m", "k", "n", "naive_ms", "blocked_ms", "gflops", "speedup"
+    );
+    for c in cases {
+        let a = rng_tensor(&[c.m, c.k], 1);
+        let b = rng_tensor(&[c.k, c.n], 2);
+        let flops = 2.0 * c.m as f64 * c.k as f64 * c.n as f64;
+
+        pool::set_threads(Some(1));
+        let naive_s = time_it(|| drop(reference::matmul(&a, &b).unwrap()), smoke);
+        let mut blocked_s = Vec::new();
+        for &t in THREAD_SWEEP {
+            pool::set_threads(Some(t));
+            blocked_s.push(time_it(|| drop(gemm::matmul_nn(&a, &b).unwrap()), smoke));
+        }
+        pool::set_threads(None);
+
+        let speedup = naive_s / blocked_s[0];
+        let gflops = flops / blocked_s[0] / 1e9;
+        println!(
+            "{:<16} {:>5} {:>5} {:>5} {:>12.3} {:>12.3} {:>10.2} {:>7.2}x",
+            c.label,
+            c.m,
+            c.k,
+            c.n,
+            naive_s * 1e3,
+            blocked_s[0] * 1e3,
+            gflops,
+            speedup
+        );
+
+        let threads_json: Vec<String> = THREAD_SWEEP
+            .iter()
+            .zip(&blocked_s)
+            .map(|(t, s)| format!("\"{t}\": {}", json_f(s * 1e3)))
+            .collect();
+        let seed_fields = match seed_build_ms {
+            Some(ms) if c.label == "square256" => format!(
+                ", \"seed_build_naive_ms\": {}, \"speedup_vs_seed_build\": {}",
+                json_f(ms),
+                json_f(ms / (blocked_s[0] * 1e3))
+            ),
+            _ => String::new(),
+        };
+        gemm_rows.push(format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, ",
+                "\"naive_ms\": {}, \"blocked_ms_by_threads\": {{{}}}, ",
+                "\"speedup_blocked_1t_vs_naive\": {}, \"gflops_blocked_1t\": {}{}}}"
+            ),
+            c.label,
+            c.m,
+            c.k,
+            c.n,
+            json_f(naive_s * 1e3),
+            threads_json.join(", "),
+            json_f(speedup),
+            json_f(gflops),
+            seed_fields,
+        ));
+    }
+
+    // conv: one IMPALA-style mid layer, direct loops vs im2col+GEMM
+    let (cx, cf, stride, padding) = if smoke {
+        (rng_tensor(&[1, 4, 8, 8], 3), rng_tensor(&[4, 4, 3, 3], 4), 1, 1)
+    } else {
+        (rng_tensor(&[8, 32, 20, 20], 3), rng_tensor(&[32, 32, 3, 3], 4), 1, 1)
+    };
+    pool::set_threads(Some(1));
+    let direct_s = time_it(|| drop(reference::conv2d(&cx, &cf, stride, padding).unwrap()), smoke);
+    let mut im2col_s = Vec::new();
+    for &t in THREAD_SWEEP {
+        pool::set_threads(Some(t));
+        im2col_s
+            .push(time_it(|| drop(conv::conv2d_im2col(&cx, &cf, stride, padding).unwrap()), smoke));
+    }
+    pool::set_threads(None);
+    println!(
+        "conv2d {:?}*{:?}: direct {:.3} ms, im2col(1t) {:.3} ms ({:.2}x)",
+        cx.shape(),
+        cf.shape(),
+        direct_s * 1e3,
+        im2col_s[0] * 1e3,
+        direct_s / im2col_s[0]
+    );
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_kernels.json");
+        return;
+    }
+
+    let conv_threads_json: Vec<String> = THREAD_SWEEP
+        .iter()
+        .zip(&im2col_s)
+        .map(|(t, s)| format!("\"{t}\": {}", json_f(s * 1e3)))
+        .collect();
+    let seed_note = if seed_build_ms.is_some() {
+        concat!(
+            "  \"seed_baseline_note\": \"seed_build_naive_ms is the seed's naive loop ",
+            "built with the seed's flags (scripts/bench_seed_gemm.sh); naive_ms rows ",
+            "share this build's -C target-cpu=native and are faster than what the ",
+            "seed shipped\",\n"
+        )
+    } else {
+        ""
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"host_available_threads\": {},\n",
+            "{}",
+            "  \"gemm\": [\n{}\n  ],\n",
+            "  \"conv2d\": {{\"input\": {:?}, \"filters\": {:?}, \"stride\": {}, \"padding\": {}, ",
+            "\"direct_ms\": {}, \"im2col_ms_by_threads\": {{{}}}, ",
+            "\"speedup_im2col_1t_vs_direct\": {}}}\n",
+            "}}\n"
+        ),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        seed_note,
+        gemm_rows.join(",\n"),
+        cx.shape(),
+        cf.shape(),
+        stride,
+        padding,
+        json_f(direct_s * 1e3),
+        conv_threads_json.join(", "),
+        json_f(direct_s / im2col_s[0]),
+    );
+    std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

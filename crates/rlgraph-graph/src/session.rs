@@ -110,8 +110,15 @@ impl Session {
     /// `session.run` span, a `session.run_us` latency histogram, and
     /// per-op/per-device self-times. With the default disabled recorder,
     /// timing is skipped entirely.
+    ///
+    /// Also installs the recorder as the process-wide kernel-engine metrics
+    /// sink (`kernel.gemm.*`, `kernel.conv2d.*`, `kernel.pool.*` — see
+    /// `rlgraph_tensor::kernels::observe`), so tensor kernels executed on
+    /// behalf of this session report op counts, flops/bytes, and pool
+    /// queue depth through the same recorder.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.run_hist = recorder.histogram("session.run_us");
+        rlgraph_tensor::kernels::observe::install_recorder(&recorder);
         self.recorder = recorder;
     }
 

@@ -5,7 +5,7 @@
 //! definition per layer, two execution paradigms.
 
 use crate::spec::{Activation, LayerSpec, NetworkSpec};
-use rlgraph_tensor::{tensor_err, OpEmitter, OpKind, Result};
+use rlgraph_tensor::{tensor_err, FusedAct, OpEmitter, OpKind, Result};
 
 /// Applies an activation.
 ///
@@ -21,8 +21,18 @@ pub fn activate<E: OpEmitter>(em: &mut E, x: E::Ref, act: Activation) -> Result<
     }
 }
 
+fn fused_act(act: Activation) -> FusedAct {
+    match act {
+        Activation::Linear => FusedAct::Linear,
+        Activation::Relu => FusedAct::Relu,
+        Activation::Tanh => FusedAct::Tanh,
+        Activation::Sigmoid => FusedAct::Sigmoid,
+    }
+}
+
 /// Fully connected layer: `act(x @ w + b)` with `x [b, in]`, `w [in, out]`,
-/// `b [out]`.
+/// `b [out]`. Bias add and activation are emitted as one fused
+/// [`OpKind::BiasActivation`] node (bit-identical to the unfused pair).
 ///
 /// # Errors
 ///
@@ -35,12 +45,12 @@ pub fn dense<E: OpEmitter>(
     act: Activation,
 ) -> Result<E::Ref> {
     let mm = em.emit(OpKind::MatMul, &[x, weight])?;
-    let z = em.emit(OpKind::Add, &[mm, bias])?;
-    activate(em, z, act)
+    em.emit(OpKind::BiasActivation { act: fused_act(act) }, &[mm, bias])
 }
 
 /// Convolution layer: `act(conv2d(x, f) + b)` with NCHW `x`, OIHW `f`, and
-/// `b [o,1,1]` broadcast over batch and space.
+/// `b [o,1,1]` broadcast over batch and space. Bias add and activation are
+/// emitted as one fused [`OpKind::BiasActivation`] node.
 ///
 /// # Errors
 ///
@@ -55,8 +65,7 @@ pub fn conv2d<E: OpEmitter>(
     act: Activation,
 ) -> Result<E::Ref> {
     let c = em.emit(OpKind::Conv2d { stride, padding }, &[x, filters])?;
-    let z = em.emit(OpKind::Add, &[c, bias])?;
-    activate(em, z, act)
+    em.emit(OpKind::BiasActivation { act: fused_act(act) }, &[c, bias])
 }
 
 /// Recurrent state of an LSTM.

@@ -8,7 +8,7 @@
 //! PyTorch). This is the "single-stream graph function" design the RLgraph
 //! paper anticipates for backend unification (§4.2).
 
-use crate::kernels::OpKind;
+use crate::kernels::{FusedAct, OpKind};
 use crate::{tensor_err, DType, Result};
 
 /// Abstraction over "a place ops can be emitted to".
@@ -187,12 +187,55 @@ pub fn emit_grad<E: OpEmitter>(
             Ok(vec![None, Some(ga), Some(gb)])
         }
         MatMul => {
-            // gA = g @ B^T ; gB = A^T @ g
-            let bt = em.emit(Transpose { perm: vec![1, 0] }, &[inputs[1]])?;
-            let at = em.emit(Transpose { perm: vec![1, 0] }, &[inputs[0]])?;
-            let ga = em.emit(MatMul, &[g, bt])?;
-            let gb = em.emit(MatMul, &[at, g])?;
+            // gA = g @ B^T ; gB = A^T @ g — expressed with the transposing
+            // matmul variants so no transpose is ever materialized.
+            let ga = em.emit(MatMulNT, &[g, inputs[1]])?;
+            let gb = em.emit(MatMulTN, &[inputs[0], g])?;
             Ok(vec![Some(ga), Some(gb)])
+        }
+        MatMulNT => {
+            // out = A @ B^T with A [m,k], B [n,k], g [m,n]
+            // gA = g @ B ; gB = g^T @ A
+            let ga = em.emit(MatMul, &[g, inputs[1]])?;
+            let gb = em.emit(MatMulTN, &[g, inputs[0]])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        MatMulTN => {
+            // out = A^T @ B with A [k,m], B [k,n], g [m,n]
+            // gA = B @ g^T ; gB = A @ g
+            let ga = em.emit(MatMulNT, &[inputs[1], g])?;
+            let gb = em.emit(MatMul, &[inputs[0], g])?;
+            Ok(vec![Some(ga), Some(gb)])
+        }
+        BiasActivation { act } => {
+            // Same local derivative as the standalone activation, computed
+            // from the fused output, then the bias gradient reduces over the
+            // broadcast axes exactly like Add's rule.
+            let gz = match act {
+                FusedAct::Linear => g,
+                FusedAct::Relu => {
+                    // y > 0 ⇔ z > 0 where y = relu(z)
+                    let zero = em.scalar_const(0.0);
+                    let mask_bool = em.emit(Greater, &[output, zero])?;
+                    let mask = em.emit(Cast { to: DType::F32 }, &[mask_bool])?;
+                    em.emit(Mul, &[g, mask])?
+                }
+                FusedAct::Tanh => {
+                    let sq = em.emit(Square, &[output])?;
+                    let one = em.scalar_const(1.0);
+                    let d = em.emit(Sub, &[one, sq])?;
+                    em.emit(Mul, &[g, d])?
+                }
+                FusedAct::Sigmoid => {
+                    let one = em.scalar_const(1.0);
+                    let om = em.emit(Sub, &[one, output])?;
+                    let d = em.emit(Mul, &[output, om])?;
+                    em.emit(Mul, &[g, d])?
+                }
+            };
+            let gx = em.emit(ReduceToLike, &[gz, inputs[0]])?;
+            let gb = em.emit(ReduceToLike, &[gz, inputs[1]])?;
+            Ok(vec![Some(gx), Some(gb)])
         }
         Conv2d { stride, padding } => {
             let gx = em.emit(

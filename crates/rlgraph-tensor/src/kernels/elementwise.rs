@@ -1,26 +1,70 @@
 //! Elementwise kernels with NumPy-style broadcasting.
+//!
+//! Large f32 maps run on the kernel pool ([`crate::pool`]): the output is
+//! split into fixed-size chunks whose boundaries depend only on the element
+//! count, and every element is computed independently inside one chunk, so
+//! results are bit-identical for any thread count.
 
-use super::OpKind;
+use super::{FusedAct, OpKind};
 use crate::shape::{broadcast_shapes, broadcast_strides, num_elements, ravel, unravel};
 use crate::{tensor_err, DType, Result, Tensor};
 
+/// Below this many output elements the dispatch overhead is not worth it.
+const PAR_MIN_ELEMS: usize = 32 * 1024;
+/// Fixed chunk size; never derived from the thread count (determinism).
+const PAR_CHUNK: usize = 16 * 1024;
+
+/// Runs `f(start, chunk)` over `out`, in parallel when it is large enough.
+fn fill_f32(out: &mut [f32], f: impl Fn(usize, &mut [f32]) + Sync) {
+    if out.len() >= PAR_MIN_ELEMS && crate::pool::current_threads() > 1 {
+        crate::pool::parallel_fill(out, PAR_CHUNK, f);
+    } else {
+        f(0, out);
+    }
+}
+
+/// `true` when `small` is a trailing-dim match of `big`, i.e. the broadcast
+/// just repeats `small` along the flattened output.
+fn is_suffix(small: &[usize], big: &[usize]) -> bool {
+    small.len() <= big.len() && big[big.len() - small.len()..] == *small
+}
+
 /// Applies `f` over broadcast f32 inputs.
-fn zip_f32(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+fn zip_f32(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
     let (av, bv) = (coerce_f32(a)?, coerce_f32(b)?);
     let out_shape = broadcast_shapes(a.shape(), b.shape())?;
     let n = num_elements(&out_shape);
-    let mut out = Vec::with_capacity(n);
+    let mut out = vec![0.0f32; n];
     if a.shape() == b.shape() {
-        for i in 0..n {
-            out.push(f(av[i], bv[i]));
-        }
+        fill_f32(&mut out, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(av[start + i], bv[start + i]);
+            }
+        });
+    } else if is_suffix(b.shape(), a.shape()) && !bv.is_empty() {
+        // common dense-layer case: bias repeated along leading dims
+        let lane = bv.len();
+        fill_f32(&mut out, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(av[start + i], bv[(start + i) % lane]);
+            }
+        });
+    } else if is_suffix(a.shape(), b.shape()) && !av.is_empty() {
+        let lane = av.len();
+        fill_f32(&mut out, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(av[(start + i) % lane], bv[start + i]);
+            }
+        });
     } else {
         let sa = broadcast_strides(a.shape(), &out_shape);
         let sb = broadcast_strides(b.shape(), &out_shape);
-        for flat in 0..n {
-            let coords = unravel(flat, &out_shape);
-            out.push(f(av[ravel(&coords, &sa)], bv[ravel(&coords, &sb)]));
-        }
+        fill_f32(&mut out, |start, chunk| {
+            for (i, o) in chunk.iter_mut().enumerate() {
+                let coords = unravel(start + i, &out_shape);
+                *o = f(av[ravel(&coords, &sa)], bv[ravel(&coords, &sb)]);
+            }
+        });
     }
     Tensor::from_vec(out, &out_shape)
 }
@@ -131,7 +175,28 @@ pub fn unary(kind: &OpKind, a: &Tensor) -> Result<Tensor> {
         OpKind::Floor => f32::floor,
         _ => return Err(tensor_err!("{} is not a unary op", kind.name())),
     };
-    Tensor::from_vec(av.iter().map(|&x| f(x)).collect(), a.shape())
+    let mut out = vec![0.0f32; av.len()];
+    fill_f32(&mut out, |start, chunk| {
+        for (i, o) in chunk.iter_mut().enumerate() {
+            *o = f(av[start + i]);
+        }
+    });
+    Tensor::from_vec(out, a.shape())
+}
+
+/// Fused `act(x + bias)` with broadcasting.
+///
+/// Each arm applies the same floating-point expression as `Add` followed by
+/// the standalone activation kernel, so the fusion is bit-identical to the
+/// unfused pair — it only saves the intermediate tensor and one pass over
+/// memory.
+pub fn bias_activation(x: &Tensor, bias: &Tensor, act: FusedAct) -> Result<Tensor> {
+    match act {
+        FusedAct::Linear => zip_f32(x, bias, |v, b| v + b),
+        FusedAct::Relu => zip_f32(x, bias, |v, b| (v + b).max(0.0)),
+        FusedAct::Tanh => zip_f32(x, bias, |v, b| (v + b).tanh()),
+        FusedAct::Sigmoid => zip_f32(x, bias, |v, b| 1.0 / (1.0 + (-(v + b)).exp())),
+    }
 }
 
 /// Boolean negation.
@@ -287,6 +352,32 @@ mod tests {
         // cond must be bool
         assert!(forward(&OpKind::Where, &[&t(&[1.0], &[1]), &t(&[1.0], &[1]), &t(&[0.0], &[1])])
             .is_err());
+    }
+
+    #[test]
+    fn bias_activation_matches_unfused_bitwise() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = Tensor::rand_uniform(&[5, 8], -3.0, 3.0, &mut rng);
+        let b = Tensor::rand_uniform(&[8], -1.0, 1.0, &mut rng);
+        for (act, unary) in [
+            (FusedAct::Relu, Some(OpKind::Relu)),
+            (FusedAct::Tanh, Some(OpKind::Tanh)),
+            (FusedAct::Sigmoid, Some(OpKind::Sigmoid)),
+            (FusedAct::Linear, None),
+        ] {
+            let fused = bias_activation(&x, &b, act).unwrap();
+            let mut expect = forward(&OpKind::Add, &[&x, &b]).unwrap();
+            if let Some(u) = unary {
+                expect = forward(&u, &[&expect]).unwrap();
+            }
+            let fv = fused.as_f32().unwrap();
+            let ev = expect.as_f32().unwrap();
+            assert!(
+                fv.iter().zip(ev).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "fused {act:?} differs from unfused"
+            );
+        }
     }
 
     #[test]

@@ -1,38 +1,54 @@
-//! 2-D matrix multiplication.
+//! 2-D matrix multiplication entry points.
+//!
+//! Each variant dispatches by problem size: tiny products run the naive
+//! loops in [`super::reference`] (packing overhead dominates there), and
+//! everything else runs the cache-blocked engine in [`super::gemm`]. Both
+//! paths accumulate each output element in the same ascending-k order;
+//! the blocked path uses fused multiply-adds, so the two agree within FMA
+//! rounding (1e-4 in the parity suite). The cutoff depends only on the
+//! problem shape, so which path runs — and therefore the result — is a
+//! pure function of the inputs, never of the thread count.
 
-use crate::{tensor_err, Result, Tensor};
+use crate::{Result, Tensor};
 
-/// `[m,k] x [k,n] -> [m,n]`, row-major, ikj loop order for cache locality.
+use super::{gemm, observe, reference};
+
+/// Below this many multiply-adds (`m*n*k`) the naive loops win.
+const BLOCKED_MIN_WORK: usize = 8 * 1024;
+
+fn work(a: &Tensor, b: &Tensor) -> usize {
+    if a.rank() == 2 && b.rank() == 2 {
+        a.shape()[0] * a.shape()[1] * b.shape()[1]
+    } else {
+        0
+    }
+}
+
+/// `[m,k] x [k,n] -> [m,n]`, row-major.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    if a.rank() != 2 || b.rank() != 2 {
-        return Err(tensor_err!(
-            "matmul requires rank-2 tensors, found {:?} x {:?}",
-            a.shape(),
-            b.shape()
-        ));
+    if work(a, b) < BLOCKED_MIN_WORK {
+        observe::record_small_matmul();
+        return reference::matmul(a, b);
     }
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (k2, n) = (b.shape()[0], b.shape()[1]);
-    if k != k2 {
-        return Err(tensor_err!("shape mismatch in matmul: {:?} x {:?}", a.shape(), b.shape()));
+    gemm::matmul_nn(a, b)
+}
+
+/// `[m,k] x [n,k]ᵀ -> [m,n]` without materializing the transpose.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if work(a, b) < BLOCKED_MIN_WORK {
+        observe::record_small_matmul();
+        return reference::matmul_nt(a, b);
     }
-    let av = a.as_f32()?;
-    let bv = b.as_f32()?;
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &bv[p * n..(p + 1) * n];
-            for j in 0..n {
-                orow[j] += aval * brow[j];
-            }
-        }
+    gemm::matmul_nt(a, b)
+}
+
+/// `[k,m]ᵀ x [k,n] -> [m,n]` without materializing the transpose.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if work(a, b) < BLOCKED_MIN_WORK {
+        observe::record_small_matmul();
+        return reference::matmul_tn(a, b);
     }
-    Tensor::from_vec(out, &[m, n])
+    gemm::matmul_tn(a, b)
 }
 
 #[cfg(test)]
@@ -71,5 +87,20 @@ mod tests {
         let a2 = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
         let b2 = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]).unwrap();
         assert!(matmul(&a2, &b2).is_err());
+    }
+
+    #[test]
+    fn dispatch_paths_agree() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        // Straddle the cutoff: both paths compute the same ascending-k sum,
+        // differing only by FMA vs mul+add rounding.
+        for (m, k, n) in [(4, 16, 8), (48, 48, 48), (70, 33, 41)] {
+            let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, &mut rng);
+            let blocked = gemm::matmul_nn(&a, &b).unwrap();
+            let naive = reference::matmul(&a, &b).unwrap();
+            assert!(blocked.allclose(&naive, 1e-4), "blocked and naive differ for {m}x{k}x{n}");
+        }
     }
 }

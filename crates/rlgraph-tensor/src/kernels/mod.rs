@@ -5,14 +5,34 @@
 //! node; the define-by-run tape applies kernels eagerly. Gradient rules for
 //! each op live in [`crate::grad`].
 
-mod conv;
+pub mod conv;
 mod elementwise;
+pub mod gemm;
 mod index;
 mod matmul;
+pub mod observe;
 mod reduce;
+pub mod reference;
 mod shape_ops;
 
 use crate::{tensor_err, DType, Result, Tensor};
+
+/// Activation fused into [`OpKind::BiasActivation`].
+///
+/// Each variant applies the exact same floating-point expression as the
+/// corresponding standalone unary op, so fusing bias-add + activation into
+/// one kernel is bit-identical to emitting `Add` followed by the unary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FusedAct {
+    /// no activation: `x + b`
+    Linear,
+    /// `max(x + b, 0)`
+    Relu,
+    /// `tanh(x + b)`
+    Tanh,
+    /// `sigmoid(x + b)`
+    Sigmoid,
+}
 
 /// One numeric operation with its static attributes.
 ///
@@ -105,6 +125,16 @@ pub enum OpKind {
     // ----- linear algebra -----
     /// 2-D matrix product `[m,k] x [k,n] -> [m,n]`
     MatMul,
+    /// `a x bᵀ`: `[m,k] x [n,k] -> [m,n]` without materializing the transpose
+    MatMulNT,
+    /// `aᵀ x b`: `[k,m] x [k,n] -> [m,n]` without materializing the transpose
+    MatMulTN,
+    /// fused `act(x + bias)` with broadcasting, bit-identical to `Add`
+    /// followed by the standalone activation op
+    BiasActivation {
+        /// activation applied after the bias add
+        act: FusedAct,
+    },
     /// 2-D convolution, NCHW input `[b,c,h,w]`, OIHW filters `[o,c,kh,kw]`
     Conv2d {
         /// spatial stride
@@ -314,6 +344,9 @@ impl OpKind {
             OnesLike => "ones_like",
             Where => "where",
             MatMul => "matmul",
+            MatMulNT => "matmul_nt",
+            MatMulTN => "matmul_tn",
+            BiasActivation { .. } => "bias_activation",
             Conv2d { .. } => "conv2d",
             Conv2dBackpropInput { .. } => "conv2d_backprop_input",
             Conv2dBackpropFilter { .. } => "conv2d_backprop_filter",
@@ -395,6 +428,9 @@ impl OpKind {
             | LogicalAnd
             | LogicalOr
             | MatMul
+            | MatMulNT
+            | MatMulTN
+            | BiasActivation { .. }
             | Gather
             | SelectIndex
             | Unreduce { .. }
@@ -492,6 +528,9 @@ pub fn forward(kind: &OpKind, inputs: &[&Tensor]) -> Result<Tensor> {
         OnesLike => Ok(Tensor::ones(inputs[0].shape())),
         Where => elementwise::where_op(inputs[0], inputs[1], inputs[2]),
         MatMul => matmul::matmul(inputs[0], inputs[1]),
+        MatMulNT => matmul::matmul_nt(inputs[0], inputs[1]),
+        MatMulTN => matmul::matmul_tn(inputs[0], inputs[1]),
+        BiasActivation { act } => elementwise::bias_activation(inputs[0], inputs[1], *act),
         Conv2d { stride, padding } => conv::conv2d(inputs[0], inputs[1], *stride, *padding),
         Conv2dBackpropInput { stride, padding } => {
             conv::conv2d_backprop_input(inputs[0], inputs[1], inputs[2], *stride, *padding)

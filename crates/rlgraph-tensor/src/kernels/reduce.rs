@@ -17,7 +17,19 @@ pub enum Reduction {
     Min,
 }
 
+/// Below this much total work a parallel dispatch is not worth it.
+const PAR_MIN_WORK: usize = 32 * 1024;
+/// Target multiply-add count per parallel chunk.
+const PAR_CHUNK_WORK: usize = 16 * 1024;
+
 /// Reduces `axes` of `input` (all axes when `None`).
+///
+/// Iterates lane-by-lane: each output slot scans its reduced elements in
+/// ascending input order (`normalize_axes` sorts, so the odometer below
+/// visits exactly the order a linear input scan would), which keeps results
+/// bit-identical to the previous element-by-element implementation while
+/// allowing output slots to be computed independently — and therefore in
+/// parallel, with no per-element `unravel` allocation.
 pub fn reduce(
     input: &Tensor,
     axes: Option<&[usize]>,
@@ -33,40 +45,71 @@ pub fn reduce(
     if lane == 0 || input.is_empty() {
         return Err(tensor_err!("cannot reduce an empty tensor of shape {:?}", input.shape()));
     }
+    let in_strides = strides(input.shape());
+    let kept: Vec<usize> = (0..rank).filter(|d| !axes.contains(d)).collect();
+    let kept_sizes: Vec<usize> = kept.iter().map(|&d| input.shape()[d]).collect();
+    let kept_strides: Vec<usize> = kept.iter().map(|&d| in_strides[d]).collect();
+    let rsizes: Vec<usize> = axes.iter().map(|&a| input.shape()[a]).collect();
+    let rstrides: Vec<usize> = axes.iter().map(|&a| in_strides[a]).collect();
     let init = match reduction {
         Reduction::Sum | Reduction::Mean => 0.0f32,
         Reduction::Max => f32::NEG_INFINITY,
         Reduction::Min => f32::INFINITY,
     };
     let mut out = vec![init; n_out];
-    // Map each input element to its output slot by dropping reduced coords.
-    let out_full = reduced_shape(input.shape(), &axes, true); // keep-dims shape
-    let out_strides = strides(&out_full);
-    for (flat, &v) in x.iter().enumerate() {
-        let mut coords = unravel(flat, input.shape());
-        for &a in &axes {
-            coords[a] = 0;
-        }
-        let o = ravel(&coords, &out_strides);
-        match reduction {
-            Reduction::Sum | Reduction::Mean => out[o] += v,
-            Reduction::Max => {
-                if v > out[o] {
-                    out[o] = v;
+    let slot_fn = |slot0: usize, chunk: &mut [f32]| {
+        let mut idx = vec![0usize; rsizes.len()];
+        for (ci, o) in chunk.iter_mut().enumerate() {
+            // base input offset of this slot, from its kept-dim coords
+            let mut rem = slot0 + ci;
+            let mut base = 0usize;
+            for (sz, st) in kept_sizes.iter().zip(&kept_strides).rev() {
+                base += (rem % sz) * st;
+                rem /= sz;
+            }
+            let mut acc = init;
+            idx.iter_mut().for_each(|v| *v = 0);
+            let mut off = base;
+            'lane: loop {
+                let v = x[off];
+                match reduction {
+                    Reduction::Sum | Reduction::Mean => acc += v,
+                    Reduction::Max => {
+                        if v > acc {
+                            acc = v;
+                        }
+                    }
+                    Reduction::Min => {
+                        if v < acc {
+                            acc = v;
+                        }
+                    }
+                }
+                let mut d = rsizes.len();
+                loop {
+                    if d == 0 {
+                        break 'lane;
+                    }
+                    d -= 1;
+                    idx[d] += 1;
+                    off += rstrides[d];
+                    if idx[d] < rsizes[d] {
+                        break;
+                    }
+                    off -= rsizes[d] * rstrides[d];
+                    idx[d] = 0;
                 }
             }
-            Reduction::Min => {
-                if v < out[o] {
-                    out[o] = v;
-                }
-            }
+            *o = if reduction == Reduction::Mean { acc / lane as f32 } else { acc };
         }
-    }
-    if reduction == Reduction::Mean {
-        let denom = lane as f32;
-        for v in &mut out {
-            *v /= denom;
-        }
+    };
+    if n_out > 1 && n_out.saturating_mul(lane) >= PAR_MIN_WORK && crate::pool::current_threads() > 1
+    {
+        // chunk size depends only on the shape, never on the thread count
+        let chunk_len = (PAR_CHUNK_WORK / lane).max(1);
+        crate::pool::parallel_fill(&mut out, chunk_len, slot_fn);
+    } else {
+        slot_fn(0, &mut out);
     }
     Tensor::from_vec(out, &out_shape)
 }

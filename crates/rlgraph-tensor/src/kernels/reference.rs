@@ -1,0 +1,288 @@
+//! Reference kernels: the straightforward loop implementations.
+//!
+//! These are the ground truth for the parity test suite and the fast path
+//! for tiny shapes, where the blocked engine's packing overhead dominates.
+//! The matmul variants accumulate each output element in ascending-k order
+//! with separate multiply and add. The blocked engine in [`super::gemm`]
+//! keeps the same per-element order but uses fused multiply-adds, so the
+//! two agree within FMA rounding (1e-4 in the parity suite); the size-based
+//! dispatch in [`super::matmul`] depends only on the shape, so it never
+//! introduces thread-count or run-to-run variation.
+
+use crate::{tensor_err, Result, Tensor};
+
+use super::conv::{check, conv_out_dim, dims4};
+
+/// Naive `[m,k] x [k,n] -> [m,n]`, row-major, ikj loop order.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(tensor_err!(
+            "matmul requires rank-2 tensors, found {:?} x {:?}",
+            a.shape(),
+            b.shape()
+        ));
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(tensor_err!("shape mismatch in matmul: {:?} x {:?}", a.shape(), b.shape()));
+    }
+    let av = a.as_f32()?;
+    let bv = b.as_f32()?;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            let brow = &bv[p * n..(p + 1) * n];
+            for j in 0..n {
+                orow[j] += aval * brow[j];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Naive `[m,k] x [n,k]ᵀ -> [m,n]` (row-dot-row).
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(tensor_err!(
+            "matmul_nt requires rank-2 tensors, found {:?} x {:?}",
+            a.shape(),
+            b.shape()
+        ));
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(tensor_err!("shape mismatch in matmul_nt: {:?} x {:?}", a.shape(), b.shape()));
+    }
+    let av = a.as_f32()?;
+    let bv = b.as_f32()?;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Naive `[k,m]ᵀ x [k,n] -> [m,n]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(tensor_err!(
+            "matmul_tn requires rank-2 tensors, found {:?} x {:?}",
+            a.shape(),
+            b.shape()
+        ));
+    }
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(tensor_err!("shape mismatch in matmul_tn: {:?} x {:?}", a.shape(), b.shape()));
+    }
+    let av = a.as_f32()?;
+    let bv = b.as_f32()?;
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += av[p * m + i] * bv[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Direct-loop forward convolution: input `[b,c,h,w]`, filters
+/// `[o,c,kh,kw]` → `[b,o,h',w']`.
+pub fn conv2d(input: &Tensor, filters: &Tensor, stride: usize, padding: usize) -> Result<Tensor> {
+    check(input, filters, stride)?;
+    let (b, c, h, w) = dims4(input);
+    let (o, _, kh, kw) = dims4(filters);
+    let oh = conv_out_dim(h, kh, stride, padding)?;
+    let ow = conv_out_dim(w, kw, stride, padding)?;
+    let x = input.as_f32()?;
+    let f = filters.as_f32()?;
+    let mut out = vec![0.0f32; b * o * oh * ow];
+    for bi in 0..b {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi = ((bi * c + ci) * h + iy as usize) * w + ix as usize;
+                                let fi = ((oi * c + ci) * kh + ky) * kw + kx;
+                                acc += x[xi] * f[fi];
+                            }
+                        }
+                    }
+                    out[((bi * o + oi) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, o, oh, ow])
+}
+
+/// Direct-loop gradient of [`conv2d`] w.r.t. the input.
+///
+/// Arguments: `filters [o,c,kh,kw]`, `grad_out [b,o,h',w']`, and the
+/// original input (only its shape is read).
+pub fn conv2d_backprop_input(
+    filters: &Tensor,
+    grad_out: &Tensor,
+    input_ref: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    check(input_ref, filters, stride)?;
+    let (b, c, h, w) = dims4(input_ref);
+    let (o, _, kh, kw) = dims4(filters);
+    let (gb, go, oh, ow) = dims4(grad_out);
+    if gb != b || go != o {
+        return Err(tensor_err!(
+            "conv2d_backprop_input grad shape {:?} inconsistent with input {:?} filters {:?}",
+            grad_out.shape(),
+            input_ref.shape(),
+            filters.shape()
+        ));
+    }
+    let g = grad_out.as_f32()?;
+    let f = filters.as_f32()?;
+    let mut out = vec![0.0f32; b * c * h * w];
+    for bi in 0..b {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gval = g[((bi * o + oi) * oh + oy) * ow + ox];
+                    if gval == 0.0 {
+                        continue;
+                    }
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi = ((bi * c + ci) * h + iy as usize) * w + ix as usize;
+                                let fi = ((oi * c + ci) * kh + ky) * kw + kx;
+                                out[xi] += gval * f[fi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, c, h, w])
+}
+
+/// Direct-loop gradient of [`conv2d`] w.r.t. the filters.
+///
+/// Arguments: `input [b,c,h,w]`, `grad_out [b,o,h',w']`, and the original
+/// filters (only their shape is read).
+pub fn conv2d_backprop_filter(
+    input: &Tensor,
+    grad_out: &Tensor,
+    filter_ref: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    check(input, filter_ref, stride)?;
+    let (b, c, h, w) = dims4(input);
+    let (o, _, kh, kw) = dims4(filter_ref);
+    let (gb, go, oh, ow) = dims4(grad_out);
+    if gb != b || go != o {
+        return Err(tensor_err!(
+            "conv2d_backprop_filter grad shape {:?} inconsistent with input {:?} filters {:?}",
+            grad_out.shape(),
+            input.shape(),
+            filter_ref.shape()
+        ));
+    }
+    let x = input.as_f32()?;
+    let g = grad_out.as_f32()?;
+    let mut out = vec![0.0f32; o * c * kh * kw];
+    for bi in 0..b {
+        for oi in 0..o {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gval = g[((bi * o + oi) * oh + oy) * ow + ox];
+                    if gval == 0.0 {
+                        continue;
+                    }
+                    for ci in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix as usize >= w {
+                                    continue;
+                                }
+                                let xi = ((bi * c + ci) * h + iy as usize) * w + ix as usize;
+                                let fi = ((oi * c + ci) * kh + ky) * kw + kx;
+                                out[fi] += gval * x[xi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[o, c, kh, kw])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let r = matmul(&a, &b).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn nt_tn_agree_with_nn_on_transposed_inputs() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let (m, k, n) = (3, 5, 4);
+        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let at = crate::kernels::shape_ops::transpose(&a, &[1, 0]).unwrap();
+        let bt = crate::kernels::shape_ops::transpose(&b, &[1, 0]).unwrap();
+        let nn = matmul(&a, &b).unwrap();
+        assert_eq!(matmul_nt(&a, &bt).unwrap(), nn);
+        assert_eq!(matmul_tn(&at, &b).unwrap(), nn);
+    }
+}

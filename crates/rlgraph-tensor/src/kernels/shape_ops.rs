@@ -196,35 +196,35 @@ pub fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor> {
     let outer: usize = first.shape()[..axis].iter().product();
     let inner: usize = first.shape()[axis + 1..].iter().product();
 
+    // Hoist dtype validation / slice extraction out of the copy loops: the
+    // per-input block sizes and data slices are loop-invariant.
+    let blocks: Vec<usize> = inputs.iter().map(|t| t.shape()[axis] * inner).collect();
     match first.dtype() {
         DType::F32 => {
+            let xs: Vec<&[f32]> = inputs.iter().map(|t| t.as_f32()).collect::<Result<_>>()?;
             let mut out = Vec::with_capacity(num_elements(&out_shape));
             for o in 0..outer {
-                for t in inputs {
-                    let block = t.shape()[axis] * inner;
-                    let x = t.as_f32()?;
+                for (x, &block) in xs.iter().zip(&blocks) {
                     out.extend_from_slice(&x[o * block..(o + 1) * block]);
                 }
             }
             Tensor::from_vec(out, &out_shape)
         }
         DType::I64 => {
+            let xs: Vec<&[i64]> = inputs.iter().map(|t| t.as_i64()).collect::<Result<_>>()?;
             let mut out = Vec::with_capacity(num_elements(&out_shape));
             for o in 0..outer {
-                for t in inputs {
-                    let block = t.shape()[axis] * inner;
-                    let x = t.as_i64()?;
+                for (x, &block) in xs.iter().zip(&blocks) {
                     out.extend_from_slice(&x[o * block..(o + 1) * block]);
                 }
             }
             Tensor::from_vec_i64(out, &out_shape)
         }
         DType::Bool => {
+            let xs: Vec<&[bool]> = inputs.iter().map(|t| t.as_bool()).collect::<Result<_>>()?;
             let mut out = Vec::with_capacity(num_elements(&out_shape));
             for o in 0..outer {
-                for t in inputs {
-                    let block = t.shape()[axis] * inner;
-                    let x = t.as_bool()?;
+                for (x, &block) in xs.iter().zip(&blocks) {
                     out.extend_from_slice(&x[o * block..(o + 1) * block]);
                 }
             }

@@ -36,6 +36,7 @@ pub mod dtype;
 pub mod error;
 pub mod grad;
 pub mod kernels;
+pub mod pool;
 pub mod shape;
 pub mod tape;
 pub mod tensor;
@@ -43,7 +44,7 @@ pub mod tensor;
 pub use dtype::DType;
 pub use error::TensorError;
 pub use grad::{emit_grad, OpEmitter};
-pub use kernels::{forward, result_dtype, OpKind};
+pub use kernels::{forward, result_dtype, FusedAct, OpKind};
 pub use tape::{Tape, ValId};
 pub use tensor::Tensor;
 

@@ -1,0 +1,291 @@
+//! Persistent intra-op worker pool shared by all kernels.
+//!
+//! The pool is spawned lazily on the first parallel kernel dispatch and
+//! lives for the process. Its size comes from `RLGRAPH_NUM_THREADS`
+//! (default: the machine's available parallelism); a value of `1` disables
+//! the pool entirely and reproduces the single-thread execution path
+//! instruction for instruction.
+//!
+//! # Determinism contract
+//!
+//! [`parallel_for`] distributes *disjoint* block indices to workers; every
+//! output element is computed wholly inside one block, and kernels fix the
+//! accumulation order per element independently of the block partition.
+//! Results are therefore bit-identical for any thread count — parallelism
+//! changes only which core runs a block, never what the block computes.
+//!
+//! Workers claim blocks dynamically from a shared atomic cursor and the
+//! calling thread always participates, so a dispatch completes even when
+//! every pool worker is busy with other jobs (this also makes nested
+//! `parallel_for` calls deadlock-free).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::kernels::observe;
+
+/// Hard cap on spawned workers, a guard against absurd env values.
+const MAX_WORKERS: usize = 64;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// `RLGRAPH_NUM_THREADS`, read once per process.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("RLGRAPH_NUM_THREADS") {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or_else(default_threads),
+        Err(_) => default_threads(),
+    })
+}
+
+/// Process-wide programmatic override of the thread count (0 = none).
+/// Used by benchmarks and the determinism tests to sweep thread counts
+/// within one process; the env var is only read once.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the kernel thread count for subsequent dispatches.
+///
+/// `None` restores the `RLGRAPH_NUM_THREADS` / auto-detected default.
+/// Changing the thread count never changes results (see the module-level
+/// determinism contract); this exists so benchmarks and tests can sweep
+/// thread counts in-process.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0).min(MAX_WORKERS), Ordering::SeqCst);
+}
+
+/// The thread count the next parallel dispatch will use.
+pub fn current_threads() -> usize {
+    match OVERRIDE.load(Ordering::SeqCst) {
+        0 => env_threads().min(MAX_WORKERS),
+        n => n,
+    }
+}
+
+/// Type-erased pointer to the per-block closure of an in-flight dispatch.
+///
+/// The pointee is borrowed from the dispatching stack frame;
+/// [`parallel_for`] blocks until every block has run, so the borrow is live
+/// for as long as any worker can dereference it.
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and `parallel_for` keeps the referent alive until all workers are done
+// with it, so sending the pointer to pool threads is sound.
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+/// Shared state of one `parallel_for` dispatch.
+struct Job {
+    task: TaskRef,
+    blocks: usize,
+    /// next unclaimed block index
+    cursor: AtomicUsize,
+    /// count of completed blocks, guarded for the completion condvar
+    completed: Mutex<usize>,
+    done: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Job {
+    /// Claims and runs blocks until the cursor is exhausted.
+    fn work(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.blocks {
+                return;
+            }
+            let task = self.task.0;
+            // SAFETY: `parallel_for` keeps the closure alive until all
+            // blocks are completed, and this block is not yet counted.
+            let res =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*task)(i) }));
+            if res.is_err() {
+                self.poisoned.store(true, Ordering::SeqCst);
+            }
+            let mut done = self.completed.lock().unwrap();
+            *done += 1;
+            if *done == self.blocks {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+struct Pool {
+    tx: Sender<Arc<Job>>,
+    rx: Receiver<Arc<Job>>,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded();
+        Pool { tx, rx, spawned: Mutex::new(0) }
+    })
+}
+
+impl Pool {
+    /// Grows the worker set to at least `want` threads.
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_WORKERS);
+        let mut spawned = self.spawned.lock().unwrap();
+        while *spawned < want {
+            let rx = self.rx.clone();
+            std::thread::Builder::new()
+                .name(format!("rlgraph-kernel-{}", *spawned))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job.work();
+                    }
+                })
+                .expect("failed to spawn kernel pool worker");
+            *spawned += 1;
+        }
+    }
+}
+
+/// Runs `f(block)` for every `block in 0..blocks`, using up to the
+/// configured number of threads. Blocks are claimed dynamically; the caller
+/// participates and the call returns only when every block has run.
+///
+/// # Panics
+///
+/// Re-raises (as a panic on the calling thread) if any block panicked.
+pub fn parallel_for(blocks: usize, f: &(dyn Fn(usize) + Sync)) {
+    let threads = current_threads().min(blocks);
+    if threads <= 1 {
+        for i in 0..blocks {
+            f(i);
+        }
+        return;
+    }
+    let pool = pool();
+    pool.ensure_workers(threads - 1);
+    // SAFETY: erases `f`'s lifetime to build a sendable pointer. Workers
+    // only dereference it while running a claimed block, and `parallel_for`
+    // blocks until every block has completed, so no dereference happens
+    // after `f` goes out of scope (late workers see an exhausted cursor and
+    // return without touching the pointer).
+    let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let job = Arc::new(Job {
+        task: TaskRef(task as *const (dyn Fn(usize) + Sync)),
+        blocks,
+        cursor: AtomicUsize::new(0),
+        completed: Mutex::new(0),
+        done: Condvar::new(),
+        poisoned: AtomicBool::new(false),
+    });
+    observe::pool_dispatch(pool.tx.len(), threads);
+    for _ in 0..threads - 1 {
+        let _ = pool.tx.send(Arc::clone(&job));
+    }
+    job.work();
+    let mut done = job.completed.lock().unwrap();
+    while *done < blocks {
+        done = job.done.wait(done).unwrap();
+    }
+    drop(done);
+    if job.poisoned.load(Ordering::SeqCst) {
+        panic!("rlgraph-tensor kernel pool worker panicked");
+    }
+}
+
+/// Runs `f(start, chunk)` over disjoint `chunk_len`-sized chunks of `out`
+/// in parallel. Chunk boundaries depend only on `chunk_len`, never on the
+/// thread count.
+pub fn parallel_fill<T, F>(out: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = out.len();
+    assert!(chunk_len > 0, "parallel_fill chunk_len must be positive");
+    if n == 0 {
+        return;
+    }
+    if current_threads() <= 1 || n <= chunk_len {
+        f(0, out);
+        return;
+    }
+    let chunks = n.div_ceil(chunk_len);
+    let base = out.as_mut_ptr() as usize;
+    parallel_for(chunks, &|ci| {
+        let start = ci * chunk_len;
+        let len = chunk_len.min(n - start);
+        // SAFETY: chunks are disjoint subranges of `out`, which outlives
+        // the dispatch (parallel_for blocks until all chunks complete).
+        let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut T).add(start), len) };
+        f(start, chunk);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_when_one_thread() {
+        set_threads(Some(1));
+        let hits = Mutex::new(vec![false; 10]);
+        parallel_for(10, &|i| hits.lock().unwrap()[i] = true);
+        assert!(hits.lock().unwrap().iter().all(|&h| h));
+        set_threads(None);
+    }
+
+    #[test]
+    fn covers_all_blocks_in_parallel() {
+        set_threads(Some(4));
+        let count = AtomicUsize::new(0);
+        parallel_for(100, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+        set_threads(None);
+    }
+
+    #[test]
+    fn parallel_fill_covers_disjoint_chunks() {
+        set_threads(Some(3));
+        let mut out = vec![0usize; 1000];
+        parallel_fill(&mut out, 64, |start, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = start + off;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        set_threads(None);
+    }
+
+    #[test]
+    fn nested_dispatch_completes() {
+        set_threads(Some(2));
+        let total = AtomicUsize::new(0);
+        parallel_for(4, &|_| {
+            parallel_for(4, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+        set_threads(None);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        set_threads(Some(2));
+        let res = std::panic::catch_unwind(|| {
+            parallel_for(8, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(res.is_err());
+        set_threads(None);
+    }
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Measures the pre-kernel-engine GEMM baseline: the seed's naive matmul
+# loop (including its `aval == 0.0` skip branch), built the way the seed
+# built it — plain `rustc -O`, no `-C target-cpu=native`, so the SSE2
+# x86-64 baseline the seed binaries actually ran.
+#
+# Prints the best-of-30 time for 256x256x256 in ms. Export the value as
+# RLGRAPH_SEED_GEMM_MS before running `kernel_bench` to record the
+# engine-vs-seed speedup in BENCH_kernels.json:
+#
+#   export RLGRAPH_SEED_GEMM_MS=$(scripts/bench_seed_gemm.sh)
+#   ./target/release/kernel_bench
+set -euo pipefail
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/seed_gemm.rs" <<'EOF'
+use std::time::Instant;
+
+// The seed's matmul inner loops, verbatim, on raw slices.
+#[inline(never)]
+fn seed_matmul(m: usize, k: usize, n: usize, av: &[f32], bv: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for j in 0..n {
+                orow[j] += aval * brow[j];
+            }
+        }
+    }
+}
+
+fn main() {
+    let (m, k, n) = (256usize, 256, 256);
+    let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 101) as f32 - 50.0) / 50.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 97) as f32 - 48.0) / 48.0).collect();
+    let mut out = vec![0.0f32; m * n];
+    seed_matmul(m, k, n, &a, &b, &mut out); // warmup
+    let mut best = f64::MAX;
+    for _ in 0..30 {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        let t = Instant::now();
+        seed_matmul(m, k, n, &a, &b, &mut out);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    assert!(out.iter().sum::<f32>().is_finite());
+    println!("{:.3}", best * 1e3);
+}
+EOF
+
+# Deliberately no target-cpu flags: reproduce the seed's build environment.
+RUSTFLAGS="" rustc -O -o "$tmp/seed_gemm" "$tmp/seed_gemm.rs"
+"$tmp/seed_gemm"

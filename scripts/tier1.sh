@@ -25,6 +25,11 @@ cargo "${CONFIG[@]}" test -q "${OFFLINE[@]}"
 # Exercise the serving path end to end (batched act + hot weight swap).
 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" --example serve_smoke
 
+# Kernel engine: parity + determinism suite, then a does-it-run bench smoke
+# (tiny shapes, writes nothing).
+cargo "${CONFIG[@]}" test -q "${OFFLINE[@]}" -p rlgraph-tensor --test kernel_parity
+cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin kernel_bench -- --smoke
+
 # clippy is an external subcommand: the --config override must come after it
 cargo clippy "${CONFIG[@]}" --workspace "${OFFLINE[@]}" -- -D warnings
 cargo fmt --check
