@@ -484,6 +484,30 @@ impl DqnAgent {
         self.executor.import_weights(weights)
     }
 
+    /// Snapshot of **all** variables — policy, target network, and
+    /// optimizer slots (e.g. Adam moments) — for checkpoint/restore.
+    /// Contrast [`DqnAgent::get_weights`], which filters to the policy
+    /// weights workers need for action sync.
+    pub fn export_variables(&self) -> Vec<(String, Tensor)> {
+        self.executor.export_weights()
+    }
+
+    /// Restores a full variable snapshot from
+    /// [`DqnAgent::export_variables`].
+    ///
+    /// # Errors
+    ///
+    /// Errors on unknown variable names or shape mismatches.
+    pub fn import_variables(&mut self, variables: &[(String, Tensor)]) -> Result<()> {
+        self.executor.import_weights(variables)
+    }
+
+    /// Overrides the update counter, so a restored learner resumes its
+    /// target-sync/epsilon schedules where the checkpoint left off.
+    pub fn set_num_updates(&mut self, updates: u64) {
+        self.updates = updates;
+    }
+
     /// Exports all variables as a JSON model document.
     pub fn export_model(&self) -> String {
         serde_json::to_string(&self.executor.export_weights()).expect("weights serialise")

@@ -3,13 +3,64 @@
 
 use crate::component::ComponentId;
 use crate::context::{decode_projection, BuildCtx, ContractedProgram, OpRef, Step};
+use crate::error::RlError;
 use crate::meta::MetaGraph;
-use crate::{CoreError, Result};
+use crate::{CoreError, Result, RlResult};
 use rlgraph_graph::{NodeId, Session, SharedVariableStore};
 use rlgraph_obs::{Counter, Recorder, SpanGuard};
 use rlgraph_spaces::Space;
 use rlgraph_tensor::{forward, Tensor};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A point in time by which a call must have completed.
+///
+/// This is the one deadline currency shared by the serving and
+/// distributed layers: retry policies, admission queues, and the
+/// executor call surface ([`GraphExecutor::execute_with_deadline`]) all
+/// speak `Deadline`, so a budget set at the edge propagates unchanged
+/// down to the backend dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline { at: Instant::now() + budget }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at }
+    }
+
+    /// The absolute expiry instant.
+    pub fn instant(&self) -> Instant {
+        self.at
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The earlier of two optional deadlines (used when coalescing
+    /// requests with individual budgets into one batch).
+    pub fn earlier(a: Option<Deadline>, b: Option<Deadline>) -> Option<Deadline> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.at <= y.at { x } else { y }),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+}
 
 /// Opens an `api.<method>` span, formatting the label only when the
 /// recorder is live (the disabled path must not allocate).
@@ -41,6 +92,36 @@ pub trait GraphExecutor: Send {
     ///
     /// Errors on unknown methods, arity mismatches, or backend failures.
     fn execute(&mut self, method: &str, inputs: &[Tensor]) -> Result<Vec<Tensor>>;
+
+    /// The unified deadline-aware call surface: checks the deadline,
+    /// dispatches [`execute`], and reports failures through the
+    /// [`RlError`] taxonomy.
+    ///
+    /// Both backends inherit this default, so the serving and distributed
+    /// retry policies wrap **one** trait method instead of per-backend
+    /// code paths. A backend with a genuinely preemptible runtime may
+    /// override it to also abort mid-flight work.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::DeadlineExpired`] when `deadline` passed before
+    /// dispatch; otherwise [`execute`]'s errors wrapped in
+    /// [`RlError::Core`].
+    ///
+    /// [`execute`]: GraphExecutor::execute
+    fn execute_with_deadline(
+        &mut self,
+        method: &str,
+        inputs: &[Tensor],
+        deadline: Option<Deadline>,
+    ) -> RlResult<Vec<Tensor>> {
+        if let Some(d) = deadline {
+            if d.expired() {
+                return Err(RlError::DeadlineExpired { what: method.to_string() });
+            }
+        }
+        self.execute(method, inputs).map_err(RlError::from)
+    }
 
     /// Snapshot of all variables as `(name, value)` pairs.
     fn export_weights(&self) -> Vec<(String, Tensor)>;
@@ -418,5 +499,74 @@ impl GraphExecutor for DbrExecutor {
 impl std::fmt::Debug for DbrExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DbrExecutor").field("api", &self.api.keys().collect::<Vec<_>>()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expiry_and_remaining() {
+        let d = Deadline::within(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(30));
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn earlier_picks_the_tighter_budget() {
+        let soon = Deadline::within(Duration::from_millis(10));
+        let late = Deadline::within(Duration::from_secs(10));
+        assert_eq!(Deadline::earlier(Some(soon), Some(late)), Some(soon));
+        assert_eq!(Deadline::earlier(Some(late), Some(soon)), Some(soon));
+        assert_eq!(Deadline::earlier(None, Some(late)), Some(late));
+        assert_eq!(Deadline::earlier(Some(soon), None), Some(soon));
+        assert_eq!(Deadline::earlier(None, None), None);
+    }
+
+    /// A minimal executor exercising the default deadline surface.
+    struct NullExec(MetaGraph);
+
+    impl GraphExecutor for NullExec {
+        fn execute(&mut self, _method: &str, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+            Ok(inputs.to_vec())
+        }
+        fn export_weights(&self) -> Vec<(String, Tensor)> {
+            Vec::new()
+        }
+        fn import_weights(&mut self, _weights: &[(String, Tensor)]) -> Result<()> {
+            Ok(())
+        }
+        fn meta(&self) -> &MetaGraph {
+            &self.0
+        }
+        fn variable_store(&self) -> SharedVariableStore {
+            unimplemented!("not needed for the deadline test")
+        }
+        fn set_recorder(&mut self, _recorder: Recorder) {}
+        fn recorder(&self) -> &Recorder {
+            unimplemented!("not needed for the deadline test")
+        }
+    }
+
+    #[test]
+    fn default_deadline_surface_rejects_expired_calls() {
+        let mut exec = NullExec(MetaGraph::default());
+        let x = Tensor::scalar(1.0);
+        // no deadline / live deadline → dispatches
+        assert_eq!(
+            exec.execute_with_deadline("echo", std::slice::from_ref(&x), None).unwrap(),
+            vec![x.clone()]
+        );
+        let live = Some(Deadline::within(Duration::from_secs(30)));
+        assert!(exec.execute_with_deadline("echo", std::slice::from_ref(&x), live).is_ok());
+        // expired deadline → typed, retryable error without dispatch
+        let expired = Some(Deadline::at(Instant::now() - Duration::from_millis(1)));
+        let err = exec.execute_with_deadline("echo", &[x], expired).unwrap_err();
+        assert!(matches!(&err, RlError::DeadlineExpired { what } if what == "echo"));
+        assert!(err.is_retryable());
     }
 }

@@ -34,10 +34,14 @@ pub use builder::{BuildReport, ComponentGraphBuilder};
 pub use component::{collect_var_handles, Component, ComponentId, ComponentStore};
 pub use context::{BuildCtx, Mode, OpRef, VarHandle};
 pub use devices::DeviceMap;
-pub use error::CoreError;
-pub use executor::{DbrExecutor, GraphExecutor, StaticExecutor};
+pub use error::{CoreError, RlError, Severity};
+pub use executor::{DbrExecutor, Deadline, GraphExecutor, StaticExecutor};
 pub use harness::{ComponentTest, TestBackend};
 pub use meta::{ApiEntry, MetaGraph};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Result alias over the unified [`RlError`] taxonomy, used by the
+/// distributed/serving layers and the fault-tolerance machinery.
+pub type RlResult<T> = std::result::Result<T, RlError>;

@@ -1,0 +1,777 @@
+//! Deterministic chaos engine: stepped Ape-X under injected faults.
+//!
+//! The threaded executor ([`crate::ray::run_apex`]) cannot promise
+//! bit-identical results under faults — OS scheduling decides which
+//! worker wins each mailbox slot. This engine runs the *same* production
+//! components (real [`ApexWorker`]s, real [`ShardCore`] replay, a real
+//! [`DqnAgent`] learner) on a single-threaded virtual-time scheduler
+//! (one tick = one collection/learn round), so a given
+//! [`FaultPlan`] seed yields an identical fault schedule, identical
+//! recovery actions, and identical post-recovery [`ApexRunStats`] on
+//! every run. That determinism is what makes fault-tolerance testable:
+//! the chaos bench and the proptest recovery suite both assert exact
+//! reproducibility, not statistical similarity.
+//!
+//! Faults injected per tick, all drawn from the plan's pure hash:
+//!
+//! * **worker crash** — the worker's agent and env state are lost; the
+//!   supervisor model restarts it `worker_restart_delay` ticks later and
+//!   re-syncs weights on revival.
+//! * **shard stall** — the shard stops serving for `shard_stall_steps`
+//!   ticks; inserts fail over to healthy shards, the learner's sample
+//!   retries (through the real [`RetryPolicy`] against virtual time) or
+//!   degrades to the shard quorum.
+//! * **learner slowdown** — the learner loses the tick.
+//! * **dropped weight sync** — one worker misses a broadcast and keeps
+//!   acting on stale weights until `max_weight_lag` forces a pull.
+
+use crate::checkpoint::LearnerCheckpoint;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::ray::{apex_worker_epsilon, ApexRunStats};
+use crate::retry::{RetryPolicy, VirtualSleeper};
+use crate::shard::{ReplayShard, ShardCore};
+use rlgraph_agents::apex::ApexWorker;
+use rlgraph_agents::{DqnAgent, DqnConfig};
+use rlgraph_core::{CoreError, RlError, RlResult};
+use rlgraph_envs::{Env, VectorEnv};
+use rlgraph_obs::{ClockSource, Recorder, VirtualTime};
+use std::time::Duration;
+
+/// Virtual length of one scheduler tick.
+const TICK_US: u64 = 1_000_000;
+
+/// Completed episodes averaged when scoring a checkpoint for
+/// best-checkpoint selection.
+const CHECKPOINT_SCORE_WINDOW: usize = 20;
+
+/// Configuration of a deterministic chaos run. Construct via
+/// [`ChaosApexConfig::builder`]; the engine itself is
+/// [`run_apex_chaos`].
+#[derive(Debug, Clone)]
+pub struct ChaosApexConfig {
+    /// learner/worker agent configuration
+    pub agent: DqnConfig,
+    /// number of (simulated) worker actors
+    pub num_workers: usize,
+    /// vectorised environments per worker
+    pub envs_per_worker: usize,
+    /// samples per collection task (one task per worker per tick)
+    pub task_size: usize,
+    /// replay shards feeding the learner
+    pub num_shards: usize,
+    /// broadcast weights every k learner updates
+    pub weight_sync_interval: u64,
+    /// scheduler ticks to run
+    pub steps: u64,
+    /// the seeded fault schedule
+    pub fault_plan: FaultPlan,
+    /// minimum healthy shards for the learner to sample (graceful
+    /// degradation below `num_shards`, [`RlError::QuorumLost`] below this)
+    pub shard_quorum: usize,
+    /// take a learner checkpoint every k updates (`None` = never)
+    pub checkpoint_every: Option<u64>,
+    /// deterministically crash the learner at this tick and restore from
+    /// the latest checkpoint (tests checkpoint/restore end to end)
+    pub crash_learner_at: Option<u64>,
+    /// ticks a crashed worker stays down before its supervised restart
+    pub worker_restart_delay: u64,
+    /// force a weight pull when a worker falls this many published
+    /// versions behind (bounds stale-weight acting)
+    pub max_weight_lag: u64,
+    /// shards dead for the whole run (quorum-degradation scenarios)
+    pub kill_shards: Vec<usize>,
+    /// retry policy for the learner's cross-shard sample calls
+    pub retry: RetryPolicy,
+    /// observability recorder (chaos.* counters)
+    pub recorder: Recorder,
+}
+
+impl Default for ChaosApexConfig {
+    fn default() -> Self {
+        ChaosApexConfig {
+            agent: DqnConfig::default(),
+            num_workers: 2,
+            envs_per_worker: 2,
+            task_size: 32,
+            num_shards: 2,
+            weight_sync_interval: 8,
+            steps: 50,
+            fault_plan: FaultPlan::disabled(),
+            shard_quorum: 1,
+            checkpoint_every: Some(16),
+            crash_learner_at: None,
+            worker_restart_delay: 2,
+            max_weight_lag: 4,
+            kill_shards: Vec::new(),
+            retry: RetryPolicy::default(),
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+impl ChaosApexConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> ChaosApexConfigBuilder {
+        ChaosApexConfigBuilder { draft: ChaosApexConfig::default() }
+    }
+}
+
+/// Validating builder for [`ChaosApexConfig`].
+#[derive(Debug, Clone)]
+pub struct ChaosApexConfigBuilder {
+    draft: ChaosApexConfig,
+}
+
+impl ChaosApexConfigBuilder {
+    /// Learner/worker agent configuration.
+    pub fn agent(mut self, agent: DqnConfig) -> Self {
+        self.draft.agent = agent;
+        self
+    }
+
+    /// Number of worker actors.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        self.draft.num_workers = n;
+        self
+    }
+
+    /// Environments per worker.
+    pub fn envs_per_worker(mut self, n: usize) -> Self {
+        self.draft.envs_per_worker = n;
+        self
+    }
+
+    /// Samples per collection task.
+    pub fn task_size(mut self, n: usize) -> Self {
+        self.draft.task_size = n;
+        self
+    }
+
+    /// Replay shard count.
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.draft.num_shards = n;
+        self
+    }
+
+    /// Weight broadcast interval (learner updates).
+    pub fn weight_sync_interval(mut self, k: u64) -> Self {
+        self.draft.weight_sync_interval = k;
+        self
+    }
+
+    /// Scheduler ticks to run.
+    pub fn steps(mut self, n: u64) -> Self {
+        self.draft.steps = n;
+        self
+    }
+
+    /// The seeded fault schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.draft.fault_plan = plan;
+        self
+    }
+
+    /// Minimum healthy shards for learner sampling.
+    pub fn shard_quorum(mut self, q: usize) -> Self {
+        self.draft.shard_quorum = q;
+        self
+    }
+
+    /// Checkpoint cadence in learner updates (`None` = never).
+    pub fn checkpoint_every(mut self, k: Option<u64>) -> Self {
+        self.draft.checkpoint_every = k;
+        self
+    }
+
+    /// Crash the learner at this tick (restore from latest checkpoint).
+    pub fn crash_learner_at(mut self, step: Option<u64>) -> Self {
+        self.draft.crash_learner_at = step;
+        self
+    }
+
+    /// Ticks a crashed worker stays down.
+    pub fn worker_restart_delay(mut self, ticks: u64) -> Self {
+        self.draft.worker_restart_delay = ticks;
+        self
+    }
+
+    /// Stale-weight bound in published versions.
+    pub fn max_weight_lag(mut self, versions: u64) -> Self {
+        self.draft.max_weight_lag = versions;
+        self
+    }
+
+    /// Shards dead for the whole run.
+    pub fn kill_shards(mut self, shards: Vec<usize>) -> Self {
+        self.draft.kill_shards = shards;
+        self
+    }
+
+    /// Retry policy for learner sample calls.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.draft.retry = policy;
+        self
+    }
+
+    /// Observability recorder.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.draft.recorder = recorder;
+        self
+    }
+
+    /// Validates range and cross-field invariants and produces the
+    /// config.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Core`] naming the first violated invariant.
+    pub fn build(self) -> RlResult<ChaosApexConfig> {
+        let c = self.draft;
+        let fail = |msg: String| Err(RlError::Core(CoreError::new(msg)));
+        if c.num_workers == 0 {
+            return fail("chaos config: num_workers must be at least 1".into());
+        }
+        if c.envs_per_worker == 0 || c.task_size == 0 {
+            return fail("chaos config: envs_per_worker and task_size must be positive".into());
+        }
+        if c.num_shards == 0 {
+            return fail("chaos config: num_shards must be at least 1".into());
+        }
+        if c.shard_quorum == 0 || c.shard_quorum > c.num_shards {
+            return fail(format!(
+                "chaos config: shard_quorum {} outside 1..={}",
+                c.shard_quorum, c.num_shards
+            ));
+        }
+        if c.steps == 0 || c.weight_sync_interval == 0 {
+            return fail("chaos config: steps and weight_sync_interval must be positive".into());
+        }
+        if c.worker_restart_delay == 0 || c.max_weight_lag == 0 {
+            return fail(
+                "chaos config: worker_restart_delay and max_weight_lag must be positive".into(),
+            );
+        }
+        if let Some(&bad) = c.kill_shards.iter().find(|&&s| s >= c.num_shards) {
+            return fail(format!(
+                "chaos config: kill_shards index {} outside 0..{}",
+                bad, c.num_shards
+            ));
+        }
+        if let Some(step) = c.crash_learner_at {
+            if step >= c.steps {
+                return fail(format!(
+                    "chaos config: crash_learner_at {} beyond step budget {}",
+                    step, c.steps
+                ));
+            }
+        }
+        Ok(c)
+    }
+}
+
+/// What actually happened during a chaos run. Derives `PartialEq` so the
+/// determinism contract can be asserted exactly: same seed, same report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosReport {
+    /// every injected fault, in `(step, kind, target)` order
+    pub events: Vec<FaultEvent>,
+    /// worker crashes injected
+    pub worker_crashes: u64,
+    /// supervised worker restarts performed
+    pub worker_restarts: u64,
+    /// shard stall windows opened
+    pub shard_stalls: u64,
+    /// learner ticks lost to slowdowns
+    pub learner_slowdowns: u64,
+    /// weight broadcasts dropped on the way to a worker
+    pub dropped_syncs: u64,
+    /// stale workers force-pulled at the lag bound
+    pub forced_syncs: u64,
+    /// worst weight lag (published versions) any worker acted on
+    pub max_weight_lag_seen: u64,
+    /// ticks degraded below shard quorum (no learner progress)
+    pub degraded_steps: u64,
+    /// extra learner sample attempts spent in retries
+    pub sample_retries: u64,
+    /// checkpoints captured
+    pub checkpoints: u64,
+    /// learner restores from checkpoint
+    pub restores: u64,
+    /// recovery latency of every crash/restore, in virtual µs
+    pub recovery_latencies_us: Vec<u64>,
+    /// learner state at the end of the run, for post-hoc policy
+    /// evaluation — recorded episode returns under-report a faulted run
+    /// because crashes truncate episodes before they complete
+    pub final_checkpoint: Option<LearnerCheckpoint>,
+    /// the best checkpoint banked during the run, scored by the mean of
+    /// the recent completed-episode returns at capture time — the
+    /// artifact a deployment would restore, and the one to evaluate
+    pub best_checkpoint: Option<LearnerCheckpoint>,
+    /// recorded-return score of [`ChaosReport::best_checkpoint`]
+    pub best_checkpoint_return: f64,
+}
+
+impl ChaosReport {
+    fn percentile(&self, q: f64) -> u64 {
+        if self.recovery_latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.recovery_latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median recovery latency (virtual µs).
+    pub fn recovery_p50_us(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile recovery latency (virtual µs).
+    pub fn recovery_p99_us(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+struct WorkerSlot {
+    worker: ApexWorker,
+    cfg: DqnConfig,
+    seen_version: u64,
+    /// tick at which a crashed worker comes back, if down
+    down_until: Option<u64>,
+    task: u64,
+}
+
+/// Runs Ape-X under the configured fault plan on the deterministic
+/// stepped scheduler and reports run statistics plus fault accounting.
+///
+/// `env_factory(worker, env_index)` builds each environment copy (also
+/// re-invoked when a crashed worker restarts).
+///
+/// # Errors
+///
+/// Build errors and fatal learner errors; injected faults never error
+/// the run — surviving them is the point.
+pub fn run_apex_chaos<F>(
+    config: ChaosApexConfig,
+    env_factory: F,
+) -> RlResult<(ApexRunStats, ChaosReport)>
+where
+    F: Fn(usize, usize) -> Box<dyn Env>,
+{
+    let clock = VirtualTime::new();
+    let sleeper = VirtualSleeper::new(clock.clone());
+    let recorder = config.recorder.clone();
+    let crash_ctr = recorder.counter("chaos.worker_crashes");
+    let restart_ctr = recorder.counter("chaos.worker_restarts");
+    let stall_ctr = recorder.counter("chaos.shard_stalls");
+    let retry_ctr = recorder.counter("chaos.sample_retries");
+    let degraded_ctr = recorder.counter("chaos.degraded_steps");
+    let checkpoint_ctr = recorder.counter("chaos.checkpoints");
+    let restore_ctr = recorder.counter("chaos.restores");
+    let recovery_us_hist = recorder.histogram("chaos.recovery_us");
+
+    let mut report = ChaosReport::default();
+    let plan = &config.fault_plan;
+
+    // Shards: real replay cores, per-shard liveness state.
+    let mut shard_cores: Vec<ShardCore> = (0..config.num_shards)
+        .map(|i| {
+            ShardCore::new(
+                config.agent.memory_capacity,
+                config.agent.alpha,
+                config.agent.seed.wrapping_add(1000 + i as u64),
+            )
+        })
+        .collect();
+    let dead: Vec<bool> = (0..config.num_shards).map(|i| config.kill_shards.contains(&i)).collect();
+    let mut stalled_until: Vec<u64> = vec![0; config.num_shards];
+
+    // Workers: same construction as the threaded executor.
+    let make_worker = |w: usize, cfg: &DqnConfig| -> RlResult<ApexWorker> {
+        let envs = VectorEnv::new((0..config.envs_per_worker).map(|e| env_factory(w, e)).collect())
+            .map_err(|e| RlError::Core(CoreError::new(e.message())))?;
+        ApexWorker::new(cfg.clone(), envs).map_err(RlError::from)
+    };
+    let mut workers: Vec<WorkerSlot> = Vec::with_capacity(config.num_workers);
+    for w in 0..config.num_workers {
+        let mut cfg = config.agent.clone();
+        cfg.memory_capacity = 16; // workers do not learn locally
+        cfg.seed = config.agent.seed.wrapping_add(w as u64 * 7919);
+        let eps = apex_worker_epsilon(w, config.num_workers);
+        cfg.epsilon = rlgraph_agents::EpsilonSchedule { start: eps, end: eps, decay_steps: 1 };
+        let worker = make_worker(w, &cfg)?;
+        workers.push(WorkerSlot { worker, cfg, seen_version: 0, down_until: None, task: 0 });
+    }
+
+    // Learner.
+    let state_space = env_factory(0, 0).state_space();
+    let action_space = env_factory(0, 0).action_space();
+    let mut learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
+    let mut weight_version: u64 = 0;
+    let mut published = learner.get_weights();
+    let mut last_checkpoint: Option<LearnerCheckpoint> = None;
+
+    let mut env_frames: u64 = 0;
+    let mut samples_collected: u64 = 0;
+    let mut updates: u64 = 0;
+    let mut losses: Vec<f32> = Vec::new();
+    let mut reward_timeline: Vec<(f64, f32)> = Vec::new();
+    let mut learner_rr: usize = 0;
+
+    for step in 0..config.steps {
+        // -- shard stall injection -------------------------------------
+        for s in 0..config.num_shards {
+            if !dead[s] && stalled_until[s] <= step && plan.draw(FaultKind::ShardStall, s, step) {
+                stalled_until[s] = step + plan.shard_stall_steps();
+                report.shard_stalls += 1;
+                stall_ctr.inc();
+                report.events.push(FaultEvent { step, kind: FaultKind::ShardStall, target: s });
+            }
+        }
+        let shard_up = |s: usize, stalled: &[u64]| -> bool { !dead[s] && stalled[s] <= step };
+
+        // -- workers ----------------------------------------------------
+        for (w, slot) in workers.iter_mut().enumerate() {
+            if let Some(back_at) = slot.down_until {
+                if step < back_at {
+                    continue; // still down
+                }
+                // Supervised restart: fresh worker, pulls current weights.
+                // The reincarnation gets a new exploration seed — reusing
+                // the old one would replay the exact same action stream
+                // after every crash, filling the replay shards with
+                // duplicated trajectories and freezing learning.
+                slot.cfg.seed = slot.cfg.seed.wrapping_add(0x9E37_79B9);
+                let cfg = slot.cfg.clone();
+                slot.worker = make_worker(w, &cfg)?;
+                slot.worker.agent_mut().set_weights(&published)?;
+                slot.seen_version = weight_version;
+                slot.down_until = None;
+                report.worker_restarts += 1;
+                restart_ctr.inc();
+                let latency = config.worker_restart_delay * TICK_US;
+                report.recovery_latencies_us.push(latency);
+                recovery_us_hist.record(latency as f64);
+            }
+            if plan.draw(FaultKind::WorkerCrash, w, step) {
+                slot.down_until = Some(step + config.worker_restart_delay);
+                report.worker_crashes += 1;
+                crash_ctr.inc();
+                report.events.push(FaultEvent { step, kind: FaultKind::WorkerCrash, target: w });
+                continue; // this tick's task is lost with the crash
+            }
+            // Bounded staleness: force a pull past the lag limit.
+            let lag = weight_version - slot.seen_version;
+            report.max_weight_lag_seen = report.max_weight_lag_seen.max(lag);
+            if lag > config.max_weight_lag {
+                slot.worker.agent_mut().set_weights(&published)?;
+                slot.seen_version = weight_version;
+                report.forced_syncs += 1;
+            }
+            let batch = slot.worker.collect(config.task_size)?;
+            env_frames += batch.env_frames;
+            samples_collected += batch.len() as u64;
+            let now = Duration::from_micros(clock.now_micros()).as_secs_f64();
+            for r in &batch.episode_returns {
+                reward_timeline.push((now, *r));
+            }
+            // Round-robin insert with failover past stalled/dead shards.
+            let home = (slot.task as usize) % config.num_shards;
+            slot.task += 1;
+            if let Some(target) = (0..config.num_shards)
+                .map(|k| (home + k) % config.num_shards)
+                .find(|&s| shard_up(s, &stalled_until))
+            {
+                shard_cores[target].insert(batch.transitions, batch.priorities);
+            }
+            // No shard up at all: the task's experience is lost, which is
+            // exactly what happens when every mailbox is unreachable.
+        }
+
+        // -- deterministic learner crash + restore ----------------------
+        if config.crash_learner_at == Some(step) {
+            learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
+            if let Some(ckpt) = &last_checkpoint {
+                ckpt.restore(&mut learner)?;
+                weight_version = ckpt.weight_version;
+            } else {
+                weight_version = 0;
+            }
+            published = learner.get_weights();
+            report.restores += 1;
+            restore_ctr.inc();
+            report.recovery_latencies_us.push(TICK_US);
+            recovery_us_hist.record(TICK_US as f64);
+            clock.advance_micros(TICK_US); // the restore costs a tick
+            continue;
+        }
+
+        // -- learner ----------------------------------------------------
+        if plan.draw(FaultKind::LearnerSlowdown, 0, step) {
+            report.learner_slowdowns += 1;
+            report.events.push(FaultEvent { step, kind: FaultKind::LearnerSlowdown, target: 0 });
+            clock.advance_micros(TICK_US);
+            continue;
+        }
+        let healthy = (0..config.num_shards).filter(|&s| shard_up(s, &stalled_until)).count();
+        if healthy < config.shard_quorum {
+            // Graceful degradation: below quorum the learner pauses
+            // rather than training on a skewed shard subset.
+            report.degraded_steps += 1;
+            degraded_ctr.inc();
+            clock.advance_micros(TICK_US);
+            continue;
+        }
+        let rr = learner_rr;
+        learner_rr += 1;
+        let mut attempts_used: u32 = 0;
+        let sampled = config.retry.run(&sleeper, |attempt| {
+            attempts_used = attempt + 1;
+            let idx = (rr + attempt as usize) % config.num_shards;
+            if !shard_up(idx, &stalled_until) {
+                return Err(RlError::MailboxFull {
+                    capacity: ReplayShard::DEFAULT_MAILBOX_CAPACITY,
+                });
+            }
+            Ok((idx, shard_cores[idx].sample(config.agent.batch_size, config.agent.beta)))
+        });
+        report.sample_retries += attempts_used.saturating_sub(1) as u64;
+        retry_ctr.add(attempts_used.saturating_sub(1) as u64);
+        let (shard_idx, batch) = match sampled {
+            Ok((idx, Some(batch))) => (idx, batch),
+            Ok((_, None)) => {
+                // under-filled shard: not a fault, just warm-up
+                clock.advance_micros(TICK_US);
+                continue;
+            }
+            Err(e) if !e.is_fatal() => {
+                clock.advance_micros(TICK_US);
+                continue;
+            }
+            Err(RlError::RetriesExhausted { .. }) => {
+                clock.advance_micros(TICK_US);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let [s, a, r, s2, t] = batch.tensors;
+        let (loss, td) = learner.update_from_batch([s, a, r, s2, t, batch.weights])?;
+        losses.push(loss);
+        updates += 1;
+        let priorities = td.as_f32().map_err(CoreError::from)?.to_vec();
+        shard_cores[shard_idx].update_priorities(batch.indices, priorities);
+
+        // -- weight broadcast (with per-worker drops) --------------------
+        if updates.is_multiple_of(config.weight_sync_interval) {
+            weight_version += 1;
+            published = learner.get_weights();
+            for (w, slot) in workers.iter_mut().enumerate() {
+                if slot.down_until.is_some() {
+                    continue;
+                }
+                if plan.draw(FaultKind::DropWeightSync, w, step) {
+                    report.dropped_syncs += 1;
+                    report.events.push(FaultEvent {
+                        step,
+                        kind: FaultKind::DropWeightSync,
+                        target: w,
+                    });
+                    continue;
+                }
+                slot.worker.agent_mut().set_weights(&published)?;
+                slot.seen_version = weight_version;
+            }
+        }
+
+        // -- checkpoint cadence -----------------------------------------
+        if let Some(every) = config.checkpoint_every {
+            if updates > 0 && updates.is_multiple_of(every) {
+                let watermarks = shard_cores.iter().map(|c| c.watermark()).collect();
+                let ckpt = LearnerCheckpoint::capture(&learner, weight_version, watermarks);
+                // Bank the best checkpoint by recent recorded return; a
+                // deployment restores its best known-good snapshot, not
+                // whatever the learner happened to hold when it stopped.
+                let tail = reward_timeline.len().saturating_sub(CHECKPOINT_SCORE_WINDOW);
+                let recent = &reward_timeline[tail..];
+                if !recent.is_empty() {
+                    let score =
+                        recent.iter().map(|(_, r)| *r as f64).sum::<f64>() / recent.len() as f64;
+                    if report.best_checkpoint.is_none() || score > report.best_checkpoint_return {
+                        report.best_checkpoint_return = score;
+                        report.best_checkpoint = Some(ckpt.clone());
+                    }
+                }
+                last_checkpoint = Some(ckpt);
+                report.checkpoints += 1;
+                checkpoint_ctr.inc();
+            }
+        }
+
+        clock.advance_micros(TICK_US);
+    }
+
+    // Final learner snapshot so callers can evaluate the learned policy
+    // on clean environments after the run.
+    let final_watermarks = shard_cores.iter().map(|c| c.watermark()).collect();
+    report.final_checkpoint =
+        Some(LearnerCheckpoint::capture(&learner, weight_version, final_watermarks));
+
+    let wall_time = Duration::from_micros(clock.now_micros());
+    let stats = ApexRunStats {
+        env_frames,
+        samples_collected,
+        wall_time,
+        frames_per_second: env_frames as f64 / wall_time.as_secs_f64().max(1e-9),
+        updates,
+        losses,
+        reward_timeline,
+    };
+    Ok((stats, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_agents::Backend;
+    use rlgraph_envs::RandomEnv;
+    use rlgraph_nn::{Activation, NetworkSpec};
+
+    fn tiny_agent(seed: u64) -> DqnConfig {
+        DqnConfig {
+            backend: Backend::Static,
+            network: NetworkSpec::mlp(&[8], Activation::Tanh),
+            memory_capacity: 256,
+            batch_size: 8,
+            n_step: 2,
+            target_sync_every: 50,
+            seed,
+            ..DqnConfig::default()
+        }
+    }
+
+    fn env_factory(w: usize, e: usize) -> Box<dyn Env> {
+        Box::new(RandomEnv::new(&[4], 2, 20, (w * 10 + e) as u64))
+    }
+
+    fn chaos_config(seed: u64, steps: u64) -> ChaosApexConfig {
+        ChaosApexConfig::builder()
+            .agent(tiny_agent(7))
+            .num_workers(2)
+            .envs_per_worker(2)
+            .task_size(24)
+            .num_shards(2)
+            .steps(steps)
+            .weight_sync_interval(4)
+            .fault_plan(
+                FaultPlan::builder(seed)
+                    .worker_crash_rate(0.2)
+                    .shard_stall(0.1, 3)
+                    .learner_slowdown_rate(0.1)
+                    .weight_drop_rate(0.2)
+                    .build()
+                    .unwrap(),
+            )
+            .checkpoint_every(Some(8))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_enforces_invariants() {
+        assert!(ChaosApexConfig::builder().num_workers(0).build().is_err());
+        assert!(ChaosApexConfig::builder().num_shards(2).shard_quorum(3).build().is_err());
+        assert!(ChaosApexConfig::builder().num_shards(2).kill_shards(vec![5]).build().is_err());
+        assert!(ChaosApexConfig::builder().steps(10).crash_learner_at(Some(12)).build().is_err());
+        assert!(ChaosApexConfig::builder().max_weight_lag(0).build().is_err());
+        assert!(ChaosApexConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn chaos_run_survives_faults_and_learns() {
+        let (stats, report) = run_apex_chaos(chaos_config(42, 30), env_factory).unwrap();
+        assert!(stats.updates > 0, "no learner progress under faults");
+        assert!(stats.env_frames > 0);
+        assert!(stats.losses.iter().all(|l| l.is_finite()));
+        assert!(report.worker_crashes > 0, "plan should have injected crashes");
+        assert_eq!(
+            report.events.iter().filter(|e| e.kind == FaultKind::WorkerCrash).count() as u64,
+            report.worker_crashes
+        );
+        // every completed downtime window produced a supervised restart
+        assert!(report.worker_restarts > 0);
+        assert!(report.checkpoints > 0);
+        assert!(report.recovery_p50_us() >= TICK_US);
+        assert!(report.recovery_p99_us() >= report.recovery_p50_us());
+    }
+
+    #[test]
+    fn same_seed_bit_identical_stats_and_schedule() {
+        let (s1, r1) = run_apex_chaos(chaos_config(11, 25), env_factory).unwrap();
+        let (s2, r2) = run_apex_chaos(chaos_config(11, 25), env_factory).unwrap();
+        assert_eq!(r1, r2, "fault schedule and recovery accounting must be identical");
+        assert_eq!(s1.env_frames, s2.env_frames);
+        assert_eq!(s1.samples_collected, s2.samples_collected);
+        assert_eq!(s1.updates, s2.updates);
+        assert_eq!(s1.losses, s2.losses);
+        assert_eq!(s1.reward_timeline, s2.reward_timeline);
+
+        let (_, r3) = run_apex_chaos(chaos_config(12, 25), env_factory).unwrap();
+        assert_ne!(r1.events, r3.events, "different seed should inject differently");
+    }
+
+    #[test]
+    fn learner_crash_restores_from_checkpoint() {
+        let config = ChaosApexConfig::builder()
+            .agent(tiny_agent(3))
+            .num_workers(1)
+            .envs_per_worker(2)
+            .task_size(32)
+            .num_shards(1)
+            .steps(20)
+            .weight_sync_interval(2)
+            .checkpoint_every(Some(2))
+            .crash_learner_at(Some(12))
+            .build()
+            .unwrap();
+        let (stats, report) = run_apex_chaos(config, env_factory).unwrap();
+        assert_eq!(report.restores, 1);
+        assert!(report.checkpoints >= 1);
+        assert!(stats.updates > 0);
+    }
+
+    #[test]
+    fn quorum_degradation_with_dead_shard() {
+        // 1 of 3 shards permanently dead, quorum 2: learning continues.
+        let progressing = ChaosApexConfig::builder()
+            .agent(tiny_agent(5))
+            .num_workers(1)
+            .envs_per_worker(2)
+            .task_size(32)
+            .num_shards(3)
+            .shard_quorum(2)
+            .steps(15)
+            .kill_shards(vec![1])
+            .build()
+            .unwrap();
+        let (stats, report) = run_apex_chaos(progressing, env_factory).unwrap();
+        assert!(stats.updates > 0, "quorum held, learner must progress");
+        assert_eq!(report.degraded_steps, 0);
+
+        // 2 of 3 dead, quorum 2: every tick degrades, zero updates.
+        let degraded = ChaosApexConfig::builder()
+            .agent(tiny_agent(5))
+            .num_workers(1)
+            .envs_per_worker(2)
+            .task_size(32)
+            .num_shards(3)
+            .shard_quorum(2)
+            .steps(10)
+            .kill_shards(vec![0, 2])
+            .build()
+            .unwrap();
+        let (stats, report) = run_apex_chaos(degraded, env_factory).unwrap();
+        assert_eq!(stats.updates, 0);
+        assert_eq!(report.degraded_steps, 10);
+    }
+}

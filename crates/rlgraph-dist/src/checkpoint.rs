@@ -1,0 +1,145 @@
+//! Learner checkpoint/restore.
+//!
+//! A [`LearnerCheckpoint`] captures everything the learner needs to
+//! resume after a crash with its schedules intact: the update counter
+//! (target-sync cadence), the published weight version, the **full**
+//! variable set — policy, target network, *and optimizer slots* (Adam
+//! moments), via [`DqnAgent::export_variables`] — and each replay
+//! shard's high-water mark so recovery can reason about how much
+//! experience the buffers had absorbed.
+//!
+//! Serialization goes through the workspace serde layer to JSON, the
+//! same format as `DqnAgent::export_model`, so checkpoints are plain
+//! text artifacts that diff and survive the offline-stubs build.
+
+use rlgraph_agents::DqnAgent;
+use rlgraph_core::{RlError, RlResult};
+use rlgraph_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time snapshot of learner state plus shard watermarks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnerCheckpoint {
+    /// learner updates performed when the snapshot was taken
+    pub updates: u64,
+    /// weight version last published to workers
+    pub weight_version: u64,
+    /// all variables: policy, target, optimizer slots
+    pub variables: Vec<(String, Tensor)>,
+    /// per-shard total-inserted high-water marks, in shard order
+    pub shard_watermarks: Vec<u64>,
+}
+
+impl LearnerCheckpoint {
+    /// Captures a checkpoint from a learner agent.
+    pub fn capture(agent: &DqnAgent, weight_version: u64, shard_watermarks: Vec<u64>) -> Self {
+        LearnerCheckpoint {
+            updates: agent.num_updates(),
+            weight_version,
+            variables: agent.export_variables(),
+            shard_watermarks,
+        }
+    }
+
+    /// Restores this snapshot into a (freshly built) learner agent:
+    /// variables and update counter both come back, so target-sync and
+    /// exploration schedules resume exactly where the checkpoint was cut.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Checkpoint`] when variables don't match the agent's
+    /// graph (wrong architecture or corrupt snapshot).
+    pub fn restore(&self, agent: &mut DqnAgent) -> RlResult<()> {
+        agent
+            .import_variables(&self.variables)
+            .map_err(|e| RlError::Checkpoint(format!("variable restore failed: {}", e)))?;
+        agent.set_num_updates(self.updates);
+        Ok(())
+    }
+
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialises")
+    }
+
+    /// Parses a document produced by [`LearnerCheckpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Checkpoint`] on malformed documents.
+    pub fn from_json(json: &str) -> RlResult<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| RlError::Checkpoint(format!("invalid checkpoint document: {}", e)))
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Checkpoint`] on I/O failure.
+    pub fn save(&self, path: &std::path::Path) -> RlResult<()> {
+        std::fs::write(path, self.to_json())
+            .map_err(|e| RlError::Checkpoint(format!("write {}: {}", path.display(), e)))
+    }
+
+    /// Reads a checkpoint written by [`LearnerCheckpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Checkpoint`] on I/O failure or a malformed document.
+    pub fn load(path: &std::path::Path) -> RlResult<Self> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| RlError::Checkpoint(format!("read {}: {}", path.display(), e)))?;
+        Self::from_json(&json)
+    }
+
+    /// Bytes of tensor payload held (diagnostic; JSON is larger).
+    pub fn payload_elems(&self) -> usize {
+        self.variables.iter().map(|(_, t)| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_without_agent() {
+        let ckpt = LearnerCheckpoint {
+            updates: 17,
+            weight_version: 5,
+            variables: vec![
+                ("policy/w".into(), Tensor::from_vec(vec![1.0, -2.5, 3.0], &[3]).unwrap()),
+                ("adam/m/policy/w".into(), Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3]).unwrap()),
+            ],
+            shard_watermarks: vec![100, 98, 103],
+        };
+        let back = LearnerCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.payload_elems(), 6);
+    }
+
+    #[test]
+    fn malformed_document_is_typed_checkpoint_error() {
+        let err = LearnerCheckpoint::from_json("{not json").unwrap_err();
+        assert!(matches!(err, RlError::Checkpoint(_)));
+        assert!(err.is_fatal());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ckpt = LearnerCheckpoint {
+            updates: 3,
+            weight_version: 1,
+            variables: vec![("v".into(), Tensor::from_vec(vec![9.0], &[1]).unwrap())],
+            shard_watermarks: vec![4],
+        };
+        let dir = std::env::temp_dir();
+        let path = dir.join("rlgraph_ckpt_test.json");
+        ckpt.save(&path).unwrap();
+        let back = LearnerCheckpoint::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, ckpt);
+        assert!(LearnerCheckpoint::load(&dir.join("rlgraph_ckpt_missing.json")).is_err());
+    }
+}

@@ -4,19 +4,27 @@
 //! the shared in-graph blocking queue (rollouts) and periodic weight
 //! snapshots (parameter-server pull) — no central coordination loop.
 
+use crate::fault::{FaultKind, FaultPlan};
+use crate::retry::RetryPolicy;
+use crate::supervisor::{ActorOutcome, Supervisor};
 use crate::sync::WeightHub;
 use rlgraph_agents::impala::{ImpalaActor, ImpalaLearner};
 use rlgraph_agents::ImpalaConfig;
-use rlgraph_core::CoreError;
+use rlgraph_core::{CoreError, RlError, RlResult};
 use rlgraph_envs::{Env, VectorEnv};
 use rlgraph_graph::TensorQueue;
 use rlgraph_obs::Recorder;
 use rlgraph_spaces::Space;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of an IMPALA run.
+///
+/// Prefer [`ImpalaDriverConfig::builder`], which validates invariants up
+/// front. Struct-literal construction is kept for backward compatibility
+/// but **deprecated in favour of the builder** — literals bypass
+/// validation.
 #[derive(Debug, Clone)]
 pub struct ImpalaDriverConfig {
     /// agent configuration
@@ -34,6 +42,14 @@ pub struct ImpalaDriverConfig {
     /// observability recorder (disabled by default; pass an enabled one to
     /// collect actor/learner spans, queue depth, and training gauges)
     pub recorder: Recorder,
+    /// seeded fault injection (defaults to [`FaultPlan::disabled`])
+    pub fault_plan: FaultPlan,
+    /// force an off-cadence weight pull when an actor falls more than
+    /// this many published versions behind (bounds policy-lag, which
+    /// V-trace corrects but only up to a point)
+    pub max_weight_lag: u64,
+    /// restart budget per supervised actor
+    pub max_actor_restarts: u32,
 }
 
 impl Default for ImpalaDriverConfig {
@@ -46,7 +62,111 @@ impl Default for ImpalaDriverConfig {
             run_duration: Duration::from_secs(5),
             max_updates: None,
             recorder: Recorder::disabled(),
+            fault_plan: FaultPlan::disabled(),
+            max_weight_lag: 16,
+            max_actor_restarts: 16,
         }
+    }
+}
+
+impl ImpalaDriverConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> ImpalaDriverConfigBuilder {
+        ImpalaDriverConfigBuilder { draft: ImpalaDriverConfig::default() }
+    }
+}
+
+/// Validating builder for [`ImpalaDriverConfig`].
+#[derive(Debug, Clone)]
+pub struct ImpalaDriverConfigBuilder {
+    draft: ImpalaDriverConfig,
+}
+
+impl ImpalaDriverConfigBuilder {
+    /// Agent configuration.
+    pub fn agent(mut self, agent: ImpalaConfig) -> Self {
+        self.draft.agent = agent;
+        self
+    }
+
+    /// Number of actor threads.
+    pub fn num_actors(mut self, n: usize) -> Self {
+        self.draft.num_actors = n;
+        self
+    }
+
+    /// Environments per actor.
+    pub fn envs_per_actor(mut self, n: usize) -> Self {
+        self.draft.envs_per_actor = n;
+        self
+    }
+
+    /// Weight refresh cadence in rollouts.
+    pub fn weight_sync_interval(mut self, k: u64) -> Self {
+        self.draft.weight_sync_interval = k;
+        self
+    }
+
+    /// Wall-clock run budget.
+    pub fn run_duration(mut self, d: Duration) -> Self {
+        self.draft.run_duration = d;
+        self
+    }
+
+    /// Optional learner update cap.
+    pub fn max_updates(mut self, cap: Option<u64>) -> Self {
+        self.draft.max_updates = cap;
+        self
+    }
+
+    /// Observability recorder.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.draft.recorder = recorder;
+        self
+    }
+
+    /// Seeded fault injection plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.draft.fault_plan = plan;
+        self
+    }
+
+    /// Policy-lag bound in published weight versions.
+    pub fn max_weight_lag(mut self, versions: u64) -> Self {
+        self.draft.max_weight_lag = versions;
+        self
+    }
+
+    /// Restart budget per supervised actor.
+    pub fn max_actor_restarts(mut self, n: u32) -> Self {
+        self.draft.max_actor_restarts = n;
+        self
+    }
+
+    /// Validates invariants and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Core`] naming the first violated invariant.
+    pub fn build(self) -> RlResult<ImpalaDriverConfig> {
+        let c = self.draft;
+        let fail = |msg: &str| Err(RlError::Core(CoreError::new(msg)));
+        if c.num_actors == 0 || c.envs_per_actor == 0 {
+            return fail("impala config: num_actors and envs_per_actor must be positive");
+        }
+        if c.weight_sync_interval == 0 {
+            return fail("impala config: weight_sync_interval must be positive");
+        }
+        if c.run_duration.is_zero() {
+            return fail("impala config: run_duration must be positive");
+        }
+        if c.max_updates == Some(0) {
+            return fail("impala config: max_updates cap of 0 would never run");
+        }
+        if c.max_weight_lag == 0 || c.max_actor_restarts == 0 {
+            return fail("impala config: max_weight_lag and max_actor_restarts must be positive");
+        }
+        Ok(c)
     }
 }
 
@@ -70,34 +190,48 @@ pub struct ImpalaRunStats {
 /// Runs IMPALA: actors produce fused rollouts into the queue, the learner
 /// consumes them with V-trace.
 ///
+/// Actors run under a [`Supervisor`]: panics and injected crashes
+/// ([`ImpalaDriverConfig::fault_plan`]) restart the actor with backoff
+/// (its next rollout re-syncs weights). Policy lag is bounded: an actor
+/// more than [`ImpalaDriverConfig::max_weight_lag`] versions stale pulls
+/// off-cadence.
+///
 /// # Errors
 ///
-/// Propagates build errors; actor errors abort the run.
-pub fn run_impala<F>(
-    config: ImpalaDriverConfig,
-    env_factory: F,
-) -> rlgraph_core::Result<ImpalaRunStats>
+/// Propagates build errors; an actor that dies for good surfaces as
+/// [`RlError::ActorCrashed`].
+pub fn run_impala<F>(config: ImpalaDriverConfig, env_factory: F) -> RlResult<ImpalaRunStats>
 where
     F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
 {
     let start = Instant::now();
     let recorder = config.recorder.clone();
     let queue = TensorQueue::new("impala-rollouts", config.agent.queue_capacity);
-    let stop = Arc::new(AtomicBool::new(false));
     let frames_total = Arc::new(AtomicU64::new(0));
     let returns: Arc<parking_lot::Mutex<Vec<f32>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let env_factory = Arc::new(env_factory);
 
     let state_space: Space = env_factory(0, 0).state_space();
-    let num_actions = env_factory(0, 0).action_space().num_categories()?;
+    let num_actions = env_factory(0, 0)
+        .action_space()
+        .num_categories()
+        .map_err(|e| RlError::Core(CoreError::from(e)))?;
 
     // Learner weights published through a versioned hub; actors poll and
     // only touch the snapshot lock when a newer version exists.
     let weight_hub = Arc::new(WeightHub::new());
 
-    let mut actor_handles = Vec::with_capacity(config.num_actors);
+    let mut supervisor = Supervisor::with_recorder(
+        RetryPolicy {
+            max_attempts: config.max_actor_restarts,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            multiplier: 2.0,
+            deadline: None,
+        },
+        recorder.clone(),
+    );
     for a in 0..config.num_actors {
-        let stop = stop.clone();
         let queue = queue.clone();
         let frames_total = frames_total.clone();
         let returns = returns.clone();
@@ -107,52 +241,70 @@ where
         agent_cfg.seed = config.agent.seed.wrapping_add(a as u64 * 6151);
         let envs_per_actor = config.envs_per_actor;
         let sync_every = config.weight_sync_interval;
+        let max_lag = config.max_weight_lag;
+        let fault_plan = config.fault_plan.clone();
         let rec = recorder.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("impala-actor-{}", a))
-            .spawn(move || -> rlgraph_core::Result<()> {
-                let envs = VectorEnv::new((0..envs_per_actor).map(|e| env_factory(a, e)).collect())
-                    .map_err(|e| CoreError::new(e.message()))?;
-                let rollout_us = rec.histogram("actor.rollout_us");
-                let frames_ctr = rec.counter("actor.frames");
-                let reward_gauge = rec.gauge("train.episode_reward");
-                let mut actor = ImpalaActor::new(&agent_cfg, envs, queue)?;
-                let mut rollouts: u64 = 0;
-                let mut frames_before = 0u64;
-                let mut weight_version = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    if rollouts.is_multiple_of(sync_every) {
-                        if let Some(snap) = weight_hub.poll(weight_version) {
-                            let _span = rec.span("actor.weight_sync");
-                            actor.set_weights(&snap.weights)?;
-                            weight_version = snap.version;
+        // Persist across supervised restarts so injected-fault draws
+        // advance instead of re-crashing at the same coordinate.
+        let mut rollouts: u64 = 0;
+        supervisor.spawn(&format!("impala-actor-{}", a), move |stop| {
+            let envs = VectorEnv::new((0..envs_per_actor).map(|e| env_factory(a, e)).collect())
+                .map_err(|e| RlError::Core(CoreError::new(e.message())))?;
+            let rollout_us = rec.histogram("actor.rollout_us");
+            let frames_ctr = rec.counter("actor.frames");
+            let reward_gauge = rec.gauge("train.episode_reward");
+            let forced_sync_ctr = rec.counter("chaos.forced_syncs");
+            let crash_ctr = rec.counter("chaos.worker_crashes");
+            let mut actor = ImpalaActor::new(&agent_cfg, envs, queue.clone())?;
+            let mut frames_before = 0u64;
+            let mut weight_version = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Scheduled pull every `sync_every` rollouts, plus a
+                // forced pull whenever the published version has run
+                // more than `max_lag` ahead (bounded staleness).
+                let lagging = weight_hub.version().saturating_sub(weight_version) > max_lag;
+                if rollouts.is_multiple_of(sync_every) || lagging {
+                    if let Some(snap) = weight_hub.poll(weight_version) {
+                        let _span = rec.span("actor.weight_sync");
+                        if lagging {
+                            forced_sync_ctr.inc();
                         }
-                    }
-                    let t0 = Instant::now();
-                    let rollout_res = {
-                        let _span = rec.span("actor.rollout");
-                        actor.rollout()
-                    };
-                    match rollout_res {
-                        Ok(()) => rollout_us.record_duration(t0.elapsed()),
-                        Err(_) if stop.load(Ordering::Relaxed) => break,
-                        Err(e) => return Err(e),
-                    }
-                    rollouts += 1;
-                    let now = actor.env_frames();
-                    frames_ctr.add(now - frames_before);
-                    frames_total.fetch_add(now - frames_before, Ordering::Relaxed);
-                    frames_before = now;
-                    if let Some(r) = actor.mean_recent_return(20) {
-                        reward_gauge.set(r as f64);
-                        returns.lock().push(r);
+                        actor.set_weights(&snap.weights)?;
+                        weight_version = snap.version;
                     }
                 }
-                Ok(())
-            })
-            .expect("spawn actor thread");
-        actor_handles.push(handle);
+                if fault_plan.draw(FaultKind::WorkerCrash, a, rollouts) {
+                    rollouts += 1;
+                    crash_ctr.inc();
+                    return Err(RlError::ActorCrashed {
+                        actor: format!("impala-actor-{}", a),
+                        reason: "injected fault".into(),
+                    });
+                }
+                let t0 = Instant::now();
+                let rollout_res = {
+                    let _span = rec.span("actor.rollout");
+                    actor.rollout()
+                };
+                match rollout_res {
+                    Ok(()) => rollout_us.record_duration(t0.elapsed()),
+                    Err(_) if stop.load(Ordering::Relaxed) => break,
+                    Err(e) => return Err(RlError::from(e)),
+                }
+                rollouts += 1;
+                let now = actor.env_frames();
+                frames_ctr.add(now - frames_before);
+                frames_total.fetch_add(now - frames_before, Ordering::Relaxed);
+                frames_before = now;
+                if let Some(r) = actor.mean_recent_return(20) {
+                    reward_gauge.set(r as f64);
+                    returns.lock().push(r);
+                }
+            }
+            Ok(())
+        });
     }
+    let stop = supervisor.stop_flag();
 
     // Learner loop.
     let mut learner = ImpalaLearner::new(
@@ -191,10 +343,13 @@ where
 
     stop.store(true, Ordering::Relaxed);
     queue.close();
-    for h in actor_handles {
-        match h.join() {
-            Ok(res) => res?,
-            Err(_) => return Err(CoreError::new("actor thread panicked")),
+    let report = supervisor.join();
+    for actor in &report.actors {
+        if let ActorOutcome::Fatal(reason) | ActorOutcome::GaveUp(reason) = &actor.outcome {
+            return Err(RlError::ActorCrashed {
+                actor: actor.name.clone(),
+                reason: reason.clone(),
+            });
         }
     }
 
@@ -220,6 +375,44 @@ mod tests {
     use rlgraph_agents::Backend;
     use rlgraph_envs::RandomEnv;
     use rlgraph_nn::{Activation, NetworkSpec};
+
+    #[test]
+    fn builder_validates() {
+        assert!(ImpalaDriverConfig::builder().build().is_ok());
+        assert!(ImpalaDriverConfig::builder().num_actors(0).build().is_err());
+        assert!(ImpalaDriverConfig::builder().weight_sync_interval(0).build().is_err());
+        assert!(ImpalaDriverConfig::builder().run_duration(Duration::ZERO).build().is_err());
+        assert!(ImpalaDriverConfig::builder().max_weight_lag(0).build().is_err());
+    }
+
+    #[test]
+    fn impala_survives_injected_actor_crashes() {
+        let config = ImpalaDriverConfig::builder()
+            .agent(ImpalaConfig {
+                backend: Backend::Static,
+                network: NetworkSpec::mlp(&[8], Activation::Tanh),
+                rollout_len: 4,
+                queue_capacity: 4,
+                seed: 5,
+                ..ImpalaConfig::default()
+            })
+            .num_actors(2)
+            .envs_per_actor(2)
+            .weight_sync_interval(2)
+            .run_duration(Duration::from_millis(1200))
+            .max_updates(Some(15))
+            .fault_plan(
+                crate::fault::FaultPlan::builder(21).worker_crash_rate(0.25).build().unwrap(),
+            )
+            .max_actor_restarts(64)
+            .build()
+            .unwrap();
+        let stats =
+            run_impala(config, |a, e| Box::new(RandomEnv::new(&[3], 2, 16, (a * 10 + e) as u64)))
+                .unwrap();
+        assert!(stats.updates > 0, "learner starved by actor crashes");
+        assert!(stats.env_frames > 0);
+    }
 
     #[test]
     fn impala_pipeline_runs() {

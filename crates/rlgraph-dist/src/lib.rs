@@ -16,12 +16,25 @@
 //! the calibrated discrete-event simulator in `rlgraph-sim` instead (see
 //! DESIGN.md).
 
+pub mod chaos;
+pub mod checkpoint;
+pub mod fault;
 pub mod impala_driver;
 pub mod ray;
+pub mod retry;
 pub mod shard;
+pub mod supervisor;
 pub mod sync;
 
-pub use impala_driver::{run_impala, ImpalaDriverConfig, ImpalaRunStats};
-pub use ray::{run_apex, ApexRunConfig, ApexRunStats};
-pub use shard::{MailboxError, ReplayShard, ShardRequest};
+pub use chaos::{run_apex_chaos, ChaosApexConfig, ChaosApexConfigBuilder, ChaosReport};
+pub use checkpoint::LearnerCheckpoint;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};
+pub use impala_driver::{
+    run_impala, ImpalaDriverConfig, ImpalaDriverConfigBuilder, ImpalaRunStats,
+};
+pub use ray::{run_apex, ApexRunConfig, ApexRunConfigBuilder, ApexRunStats};
+pub use retry::{RetryPolicy, RetryPolicyBuilder, Sleep, ThreadSleeper, VirtualSleeper};
+pub use rlgraph_core::{RlError, RlResult, Severity};
+pub use shard::{MailboxError, ReplayShard, ShardCore, ShardRequest};
+pub use supervisor::{ActorOutcome, ActorReport, SupervisionReport, Supervisor};
 pub use sync::{WeightHub, WeightsSnapshot};

@@ -6,20 +6,29 @@
 //! shards round-robin, update, push priorities back, and broadcast weights
 //! on a schedule. Threads + channels stand in for Ray actors + RPC.
 
+use crate::fault::{FaultKind, FaultPlan};
+use crate::retry::{RetryPolicy, ThreadSleeper};
 use crate::shard::{ReplayShard, ShardRequest};
+use crate::supervisor::Supervisor;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use rlgraph_agents::apex::ApexWorker;
 use rlgraph_agents::{DqnAgent, DqnConfig};
-use rlgraph_core::CoreError;
+use rlgraph_core::{CoreError, RlError, RlResult};
 use rlgraph_envs::{Env, VectorEnv};
 use rlgraph_obs::Recorder;
 use rlgraph_tensor::Tensor;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of an Ape-X run.
+///
+/// Prefer [`ApexRunConfig::builder`], which validates ranges and
+/// cross-field invariants before the run starts. Direct struct-literal
+/// construction (`ApexRunConfig { .. }`) is kept for backward
+/// compatibility but **deprecated in favour of the builder**: literals
+/// bypass validation, so an inconsistent config only surfaces mid-run.
 #[derive(Debug, Clone)]
 pub struct ApexRunConfig {
     /// learner/worker agent configuration
@@ -41,6 +50,15 @@ pub struct ApexRunConfig {
     /// observability recorder shared by learner, workers and shards
     /// (defaults to the no-op recorder)
     pub recorder: Recorder,
+    /// seeded fault injection (defaults to [`FaultPlan::disabled`]);
+    /// active plans crash workers and drop weight broadcasts, exercising
+    /// the supervision/retry machinery on the real threaded executor
+    pub fault_plan: FaultPlan,
+    /// retry policy for worker→shard submissions (backoff on a saturated
+    /// mailbox before falling back to a blocking send)
+    pub retry: RetryPolicy,
+    /// restart budget per supervised worker (body invocations)
+    pub max_worker_restarts: u32,
 }
 
 impl Default for ApexRunConfig {
@@ -55,7 +73,130 @@ impl Default for ApexRunConfig {
             run_duration: Duration::from_secs(5),
             max_updates: None,
             recorder: Recorder::disabled(),
+            fault_plan: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+            max_worker_restarts: 16,
         }
+    }
+}
+
+impl ApexRunConfig {
+    /// Starts a validating builder seeded with the defaults.
+    pub fn builder() -> ApexRunConfigBuilder {
+        ApexRunConfigBuilder { draft: ApexRunConfig::default() }
+    }
+}
+
+/// Validating builder for [`ApexRunConfig`].
+#[derive(Debug, Clone)]
+pub struct ApexRunConfigBuilder {
+    draft: ApexRunConfig,
+}
+
+impl ApexRunConfigBuilder {
+    /// Learner/worker agent configuration.
+    pub fn agent(mut self, agent: DqnConfig) -> Self {
+        self.draft.agent = agent;
+        self
+    }
+
+    /// Number of worker actors.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        self.draft.num_workers = n;
+        self
+    }
+
+    /// Environments per worker.
+    pub fn envs_per_worker(mut self, n: usize) -> Self {
+        self.draft.envs_per_worker = n;
+        self
+    }
+
+    /// Samples per collection task.
+    pub fn task_size(mut self, n: usize) -> Self {
+        self.draft.task_size = n;
+        self
+    }
+
+    /// Replay shard count.
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.draft.num_shards = n;
+        self
+    }
+
+    /// Weight broadcast interval in learner updates.
+    pub fn weight_sync_interval(mut self, k: u64) -> Self {
+        self.draft.weight_sync_interval = k;
+        self
+    }
+
+    /// Wall-clock run budget.
+    pub fn run_duration(mut self, d: Duration) -> Self {
+        self.draft.run_duration = d;
+        self
+    }
+
+    /// Optional learner update cap.
+    pub fn max_updates(mut self, cap: Option<u64>) -> Self {
+        self.draft.max_updates = cap;
+        self
+    }
+
+    /// Observability recorder.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.draft.recorder = recorder;
+        self
+    }
+
+    /// Seeded fault injection plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.draft.fault_plan = plan;
+        self
+    }
+
+    /// Retry policy for worker→shard submissions.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.draft.retry = policy;
+        self
+    }
+
+    /// Restart budget per supervised worker.
+    pub fn max_worker_restarts(mut self, n: u32) -> Self {
+        self.draft.max_worker_restarts = n;
+        self
+    }
+
+    /// Validates range and cross-field invariants and produces the
+    /// config.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Core`] naming the first violated invariant
+    /// (`num_workers/envs_per_worker/task_size/num_shards ≥ 1`,
+    /// `weight_sync_interval ≥ 1`, positive `run_duration`, non-zero
+    /// `max_updates` cap, `max_worker_restarts ≥ 1`).
+    pub fn build(self) -> RlResult<ApexRunConfig> {
+        let c = self.draft;
+        let fail = |msg: String| Err(RlError::Core(CoreError::new(msg)));
+        if c.num_workers == 0 || c.envs_per_worker == 0 {
+            return fail("apex config: num_workers and envs_per_worker must be positive".into());
+        }
+        if c.task_size == 0 || c.num_shards == 0 {
+            return fail("apex config: task_size and num_shards must be positive".into());
+        }
+        if c.weight_sync_interval == 0 {
+            return fail("apex config: weight_sync_interval must be positive".into());
+        }
+        if c.run_duration.is_zero() {
+            return fail("apex config: run_duration must be positive".into());
+        }
+        if c.max_updates == Some(0) {
+            return fail("apex config: max_updates cap of 0 would never run".into());
+        }
+        if c.max_worker_restarts == 0 {
+            return fail("apex config: max_worker_restarts must be at least 1".into());
+        }
+        Ok(c)
     }
 }
 
@@ -99,17 +240,24 @@ pub fn apex_worker_epsilon(worker: usize, num_workers: usize) -> f32 {
 /// Runs distributed prioritized experience replay and returns throughput
 /// and learning statistics.
 ///
-/// `env_factory(worker, env_index)` builds each environment copy.
+/// `env_factory(worker, env_index)` builds each environment copy (also
+/// re-invoked when a supervised worker restarts after a crash).
+///
+/// Workers run under a [`Supervisor`]: a panic or an injected crash
+/// ([`ApexRunConfig::fault_plan`]) restarts the worker with backoff
+/// instead of silently losing its actor for the rest of the run.
+/// Worker→shard submissions retry per [`ApexRunConfig::retry`] before
+/// falling back to a blocking send.
 ///
 /// # Errors
 ///
-/// Propagates build errors; worker errors abort the run.
-pub fn run_apex<F>(config: ApexRunConfig, env_factory: F) -> rlgraph_core::Result<ApexRunStats>
+/// Propagates build errors; a worker that ends fatally (or exhausts its
+/// restart budget) surfaces as [`RlError::ActorCrashed`].
+pub fn run_apex<F>(config: ApexRunConfig, env_factory: F) -> RlResult<ApexRunStats>
 where
     F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
 {
     let start = Instant::now();
-    let stop = Arc::new(AtomicBool::new(false));
     let frames = Arc::new(AtomicU64::new(0));
     let samples = Arc::new(AtomicU64::new(0));
     let rewards: Arc<Mutex<Vec<(f64, f32)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -134,15 +282,24 @@ where
     // Weight broadcast channels (capacity 1; stale snapshots are dropped).
     let mut weight_txs = Vec::with_capacity(config.num_workers);
 
-    // Workers.
-    let mut worker_handles = Vec::with_capacity(config.num_workers);
+    // Workers, under one-for-one supervision: crashes (injected or real
+    // panics) restart the worker with backoff instead of losing it.
+    let mut supervisor = Supervisor::with_recorder(
+        RetryPolicy {
+            max_attempts: config.max_worker_restarts,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            multiplier: 2.0,
+            deadline: None,
+        },
+        recorder.clone(),
+    );
     for w in 0..config.num_workers {
         // Weight snapshots travel with their send timestamp (recorder
         // clock) so workers can report weight-sync latency.
         let (wtx, wrx) = bounded::<(u64, Vec<(String, Tensor)>)>(1);
         weight_txs.push(wtx);
         let rec = recorder.clone();
-        let stop = stop.clone();
         let frames = frames.clone();
         let samples = samples.clone();
         let rewards = rewards.clone();
@@ -155,68 +312,103 @@ where
         worker_cfg.epsilon =
             rlgraph_agents::EpsilonSchedule { start: eps, end: eps, decay_steps: 1 };
         let (task_size, envs_per_worker) = (config.task_size, config.envs_per_worker);
-        let handle = std::thread::Builder::new()
-            .name(format!("apex-worker-{}", w))
-            .spawn(move || -> rlgraph_core::Result<()> {
-                let envs =
-                    VectorEnv::new((0..envs_per_worker).map(|e| env_factory(w, e)).collect())
-                        .map_err(|e| CoreError::new(e.message()))?;
-                let mut worker = ApexWorker::new(worker_cfg, envs)?;
-                let task_us = rec.histogram("worker.task_us");
-                let sync_latency_us = rec.histogram("weight_sync.latency_us");
-                let frames_ctr = rec.counter("worker.frames");
-                let reward_gauge = rec.gauge("train.episode_reward");
-                let mailbox_full_ctr = rec.counter("shard.mailbox_full");
-                let mut task: u64 = 0;
-                while !stop.load(Ordering::Relaxed) {
-                    if let Ok((sent_us, weights)) = wrx.try_recv() {
-                        sync_latency_us.record(rec.now_micros().saturating_sub(sent_us) as f64);
-                        worker.agent_mut().set_weights(&weights)?;
+        let fault_plan = config.fault_plan.clone();
+        let retry = config.retry.clone();
+        // The body is re-invoked on every supervised restart: envs and
+        // the local agent are rebuilt, pending weight snapshots on `wrx`
+        // re-sync it, and the task counter keeps advancing so fault draws
+        // never repeat. Each reincarnation draws a fresh exploration seed
+        // — reusing the old one would replay the same action stream after
+        // every crash and fill the shards with duplicated trajectories.
+        let mut task: u64 = 0;
+        let mut incarnation: u64 = 0;
+        supervisor.spawn(&format!("apex-worker-{}", w), move |stop| {
+            let envs = VectorEnv::new((0..envs_per_worker).map(|e| env_factory(w, e)).collect())
+                .map_err(|e| RlError::Core(CoreError::new(e.message())))?;
+            let mut cfg = worker_cfg.clone();
+            cfg.seed = cfg.seed.wrapping_add(incarnation.wrapping_mul(0x9E37_79B9));
+            incarnation += 1;
+            let mut worker = ApexWorker::new(cfg, envs)?;
+            let sleeper = ThreadSleeper::new();
+            let task_us = rec.histogram("worker.task_us");
+            let sync_latency_us = rec.histogram("weight_sync.latency_us");
+            let frames_ctr = rec.counter("worker.frames");
+            let reward_gauge = rec.gauge("train.episode_reward");
+            let mailbox_full_ctr = rec.counter("shard.mailbox_full");
+            let crash_ctr = rec.counter("chaos.worker_crashes");
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok((sent_us, weights)) = wrx.try_recv() {
+                    sync_latency_us.record(rec.now_micros().saturating_sub(sent_us) as f64);
+                    worker.agent_mut().set_weights(&weights)?;
+                }
+                if fault_plan.draw(FaultKind::WorkerCrash, w, task) {
+                    task += 1;
+                    crash_ctr.inc();
+                    return Err(RlError::ActorCrashed {
+                        actor: format!("apex-worker-{}", w),
+                        reason: "injected fault".into(),
+                    });
+                }
+                let t0 = Instant::now();
+                let batch = {
+                    let _span = rec.span("worker.collect");
+                    worker.collect(task_size)?
+                };
+                task_us.record_duration(t0.elapsed());
+                frames.fetch_add(batch.env_frames, Ordering::Relaxed);
+                frames_ctr.add(batch.env_frames);
+                samples.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                {
+                    let now = start.elapsed().as_secs_f64();
+                    let mut guard = rewards.lock();
+                    for r in &batch.episode_returns {
+                        guard.push((now, *r));
                     }
-                    let t0 = Instant::now();
-                    let batch = {
-                        let _span = rec.span("worker.collect");
-                        worker.collect(task_size)?
-                    };
-                    task_us.record_duration(t0.elapsed());
-                    frames.fetch_add(batch.env_frames, Ordering::Relaxed);
-                    frames_ctr.add(batch.env_frames);
-                    samples.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    {
-                        let now = start.elapsed().as_secs_f64();
-                        let mut guard = rewards.lock();
-                        for r in &batch.episode_returns {
-                            guard.push((now, *r));
-                        }
-                        if let Some(r) = batch.episode_returns.last() {
-                            reward_gauge.set(*r as f64);
-                        }
+                    if let Some(r) = batch.episode_returns.last() {
+                        reward_gauge.set(*r as f64);
                     }
-                    let shard = &shard_senders[(task as usize) % shard_senders.len()];
-                    // Typed saturation: count Full before falling back to a
-                    // blocking send (workers apply Block backpressure rather
-                    // than shedding replay data).
-                    let insert = ShardRequest::Insert {
-                        transitions: batch.transitions,
-                        priorities: batch.priorities,
-                    };
-                    match shard.try_send(insert) {
-                        Ok(()) => {}
+                }
+                let shard = &shard_senders[(task as usize) % shard_senders.len()];
+                // Typed saturation: retry with backoff on a full mailbox
+                // (Block backpressure — replay data is never shed), then
+                // fall back to a blocking send if the policy gives up.
+                let mut insert = Some(ShardRequest::Insert {
+                    transitions: batch.transitions,
+                    priorities: batch.priorities,
+                });
+                let submitted = retry.run(&sleeper, |_| {
+                    let req = insert.take().expect("request in flight");
+                    match shard.try_send(req) {
+                        Ok(()) => Ok(()),
                         Err(TrySendError::Full(req)) => {
                             mailbox_full_ctr.inc();
-                            if shard.send(req).is_err() {
-                                break;
-                            }
+                            insert = Some(req);
+                            Err(RlError::MailboxFull {
+                                capacity: ReplayShard::DEFAULT_MAILBOX_CAPACITY,
+                            })
                         }
-                        Err(TrySendError::Disconnected(_)) => break,
+                        Err(TrySendError::Disconnected(req)) => {
+                            insert = Some(req);
+                            Err(RlError::disconnected("replay shard"))
+                        }
                     }
-                    task += 1;
+                });
+                match submitted {
+                    Ok(()) => {}
+                    Err(RlError::RetriesExhausted { .. }) => {
+                        let req = insert.take().expect("request returned by retry");
+                        if shard.send(req).is_err() {
+                            break; // shards gone: shutting down
+                        }
+                    }
+                    Err(_) => break, // disconnected: shutting down
                 }
-                Ok(())
-            })
-            .expect("spawn worker thread");
-        worker_handles.push(handle);
+                task += 1;
+            }
+            Ok(())
+        });
     }
+    let stop = supervisor.stop_flag();
 
     // Learner loop (this thread).
     let state_space = env_factory(0, 0).state_space();
@@ -226,6 +418,7 @@ where
     let step_us = recorder.histogram("learner.step_us");
     let updates_ctr = recorder.counter("learner.updates");
     let loss_gauge = recorder.gauge("train.loss");
+    let dropped_sync_ctr = recorder.counter("chaos.dropped_syncs");
     let mut losses = Vec::new();
     let mut updates: u64 = 0;
     let deadline = start + config.run_duration;
@@ -269,7 +462,13 @@ where
             let _span = recorder.span("learner.weight_broadcast");
             let weights = learner.get_weights();
             let sent_us = recorder.now_micros();
-            for tx in &weight_txs {
+            for (w, tx) in weight_txs.iter().enumerate() {
+                // Injected sync fault: this worker misses the broadcast
+                // and keeps acting on stale weights until the next one.
+                if config.fault_plan.draw(FaultKind::DropWeightSync, w, updates) {
+                    dropped_sync_ctr.inc();
+                    continue;
+                }
                 match tx.try_send((sent_us, weights.clone())) {
                     Ok(()) | Err(TrySendError::Full(_)) => {}
                     Err(TrySendError::Disconnected(_)) => {}
@@ -283,14 +482,24 @@ where
         std::thread::sleep(Duration::from_millis(10));
     }
     stop.store(true, Ordering::Relaxed);
-    for h in worker_handles {
-        match h.join() {
-            Ok(res) => res?,
-            Err(_) => return Err(CoreError::new("worker thread panicked")),
-        }
-    }
+    let report = supervisor.join();
     for s in shards {
         s.shutdown();
+    }
+    // A worker that died for good (fatal error or exhausted restart
+    // budget) fails the run, as the un-supervised executor did — but
+    // only after a full supervised recovery attempt.
+    for actor in &report.actors {
+        match &actor.outcome {
+            crate::supervisor::ActorOutcome::Fatal(reason)
+            | crate::supervisor::ActorOutcome::GaveUp(reason) => {
+                return Err(RlError::ActorCrashed {
+                    actor: actor.name.clone(),
+                    reason: reason.clone(),
+                });
+            }
+            _ => {}
+        }
     }
 
     let wall_time = start.elapsed();
@@ -325,6 +534,50 @@ mod tests {
             seed: 11,
             ..DqnConfig::default()
         }
+    }
+
+    #[test]
+    fn builder_validates_and_matches_defaults() {
+        let built = ApexRunConfig::builder().build().unwrap();
+        let defaults = ApexRunConfig::default();
+        assert_eq!(built.num_workers, defaults.num_workers);
+        assert_eq!(built.weight_sync_interval, defaults.weight_sync_interval);
+        assert!(!built.fault_plan.is_active());
+
+        assert!(ApexRunConfig::builder().num_workers(0).build().is_err());
+        assert!(ApexRunConfig::builder().task_size(0).build().is_err());
+        assert!(ApexRunConfig::builder().run_duration(Duration::ZERO).build().is_err());
+        assert!(ApexRunConfig::builder().max_updates(Some(0)).build().is_err());
+        assert!(ApexRunConfig::builder().max_worker_restarts(0).build().is_err());
+    }
+
+    #[test]
+    fn threaded_apex_survives_injected_worker_crashes() {
+        let config = ApexRunConfig::builder()
+            .agent(tiny_agent())
+            .num_workers(2)
+            .envs_per_worker(2)
+            .task_size(32)
+            .num_shards(2)
+            .weight_sync_interval(4)
+            .run_duration(Duration::from_millis(1200))
+            .max_updates(Some(20))
+            .fault_plan(
+                crate::fault::FaultPlan::builder(9)
+                    .worker_crash_rate(0.3)
+                    .weight_drop_rate(0.3)
+                    .build()
+                    .unwrap(),
+            )
+            .max_worker_restarts(64)
+            .build()
+            .unwrap();
+        let stats =
+            run_apex(config, |w, e| Box::new(RandomEnv::new(&[4], 2, 20, (w * 10 + e) as u64)))
+                .unwrap();
+        // the run must make progress despite ~30% of tasks crashing workers
+        assert!(stats.env_frames > 0);
+        assert!(stats.updates > 0, "learner starved by crashes");
     }
 
     #[test]

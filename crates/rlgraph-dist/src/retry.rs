@@ -1,0 +1,407 @@
+//! Retry-with-exponential-backoff and deadline policies for cross-actor
+//! calls (shard sends, weight pulls, rollout hand-off, replica rebuilds).
+//!
+//! A [`RetryPolicy`] is pure data: a deterministic, jitter-free backoff
+//! schedule plus an overall deadline. Executing a policy needs a way to
+//! wait, abstracted behind [`Sleep`] so the same policy runs against the
+//! wall clock in the threaded executors ([`ThreadSleeper`]) and against
+//! virtual time in tests and the deterministic chaos engine
+//! ([`VirtualSleeper`]) — identical schedules, zero wall time.
+
+use rlgraph_core::{RlError, RlResult, Severity};
+use rlgraph_obs::{ClockSource, VirtualTime};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How (and how long) to retry a failed cross-actor call.
+///
+/// Only failures with [`Severity::Retryable`] are re-issued; `Fatal`
+/// errors short-circuit and `Degraded` outcomes are returned to the
+/// caller to act on. The backoff schedule is deterministic (no jitter):
+/// attempt *k* waits `min(base_delay * multiplier^k, max_delay)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Cap on any single backoff step.
+    pub max_delay: Duration,
+    /// Geometric growth factor between steps (≥ 1).
+    pub multiplier: f64,
+    /// Overall budget across all attempts and backoffs; `None` = no
+    /// deadline beyond the attempt count.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+            multiplier: 2.0,
+            deadline: Some(Duration::from_secs(2)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A validating builder (the only way to construct checked policies).
+    pub fn builder() -> RetryPolicyBuilder {
+        RetryPolicyBuilder::default()
+    }
+
+    /// A policy that never retries (single attempt, no deadline).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            multiplier: 1.0,
+            deadline: None,
+        }
+    }
+
+    /// Backoff before retry number `retry` (0-based): the wait after the
+    /// first failure is `backoff(0) == base_delay`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = self.multiplier.max(1.0).powi(retry.min(63) as i32);
+        let delay = self.base_delay.as_secs_f64() * factor;
+        Duration::from_secs_f64(delay.min(self.max_delay.as_secs_f64()))
+    }
+
+    /// The full backoff schedule: one entry per possible retry.
+    pub fn schedule(&self) -> Vec<Duration> {
+        (0..self.max_attempts.saturating_sub(1)).map(|k| self.backoff(k)).collect()
+    }
+
+    /// Runs `op` under this policy: re-issues retryable failures after
+    /// backing off through `sleeper`, short-circuits fatal ones, and
+    /// enforces the overall deadline against `sleeper`'s clock.
+    ///
+    /// `op` receives the 0-based attempt index.
+    ///
+    /// # Errors
+    ///
+    /// The last error wrapped in [`RlError::RetriesExhausted`] once
+    /// attempts or the deadline budget run out; fatal errors unchanged.
+    pub fn run<T>(
+        &self,
+        sleeper: &dyn Sleep,
+        mut op: impl FnMut(u32) -> RlResult<T>,
+    ) -> RlResult<T> {
+        let start = sleeper.now();
+        let attempts = self.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.severity() == Severity::Retryable => last = Some(e),
+                Err(e) => return Err(e),
+            }
+            if attempt + 1 == attempts {
+                break;
+            }
+            let wait = self.backoff(attempt);
+            if let Some(budget) = self.deadline {
+                let elapsed = sleeper.now().saturating_sub(start);
+                if elapsed + wait >= budget {
+                    return Err(RlError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: Box::new(
+                            last.take().unwrap_or(RlError::DeadlineExpired {
+                                what: "retry budget".into(),
+                            }),
+                        ),
+                    });
+                }
+            }
+            sleeper.sleep(wait);
+        }
+        Err(RlError::RetriesExhausted {
+            attempts,
+            last: Box::new(last.unwrap_or(RlError::Exec("retry loop produced no error".into()))),
+        })
+    }
+}
+
+/// Builder with range checks and cross-field invariants.
+#[derive(Debug, Clone, Default)]
+pub struct RetryPolicyBuilder {
+    draft: RetryPolicy,
+}
+
+impl RetryPolicyBuilder {
+    /// Total attempts including the first.
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.draft.max_attempts = n;
+        self
+    }
+
+    /// Backoff before the first retry.
+    pub fn base_delay(mut self, d: Duration) -> Self {
+        self.draft.base_delay = d;
+        self
+    }
+
+    /// Cap on any single backoff step.
+    pub fn max_delay(mut self, d: Duration) -> Self {
+        self.draft.max_delay = d;
+        self
+    }
+
+    /// Geometric growth factor.
+    pub fn multiplier(mut self, m: f64) -> Self {
+        self.draft.multiplier = m;
+        self
+    }
+
+    /// Overall budget across attempts and backoffs.
+    pub fn deadline(mut self, d: Option<Duration>) -> Self {
+        self.draft.deadline = d;
+        self
+    }
+
+    /// Validates and produces the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Core`] describing the first violated invariant:
+    /// `max_attempts ≥ 1`, `multiplier ≥ 1`, `base_delay ≤ max_delay`,
+    /// and `max_delay ≤ deadline` when a deadline is set (a single step
+    /// longer than the whole budget can never fire).
+    pub fn build(self) -> RlResult<RetryPolicy> {
+        let p = self.draft;
+        if p.max_attempts == 0 {
+            return Err(RlError::Core(rlgraph_core::CoreError::new(
+                "retry policy: max_attempts must be at least 1",
+            )));
+        }
+        if p.multiplier.is_nan() || p.multiplier < 1.0 {
+            return Err(RlError::Core(rlgraph_core::CoreError::new(format!(
+                "retry policy: multiplier {} must be >= 1",
+                p.multiplier
+            ))));
+        }
+        if p.base_delay > p.max_delay {
+            return Err(RlError::Core(rlgraph_core::CoreError::new(format!(
+                "retry policy: base_delay {:?} exceeds max_delay {:?}",
+                p.base_delay, p.max_delay
+            ))));
+        }
+        if let Some(budget) = p.deadline {
+            if p.max_delay > budget {
+                return Err(RlError::Core(rlgraph_core::CoreError::new(format!(
+                    "retry policy: max_delay {:?} exceeds deadline {:?}",
+                    p.max_delay, budget
+                ))));
+            }
+        }
+        Ok(p)
+    }
+}
+
+/// How a retry loop waits between attempts, and which clock its overall
+/// deadline is measured on.
+pub trait Sleep: Send + Sync {
+    /// Blocks (or advances virtual time) for `d`.
+    fn sleep(&self, d: Duration);
+
+    /// Elapsed time on this sleeper's clock since an arbitrary origin.
+    fn now(&self) -> Duration;
+}
+
+/// Wall-clock sleeper for the threaded executors.
+#[derive(Debug)]
+pub struct ThreadSleeper {
+    origin: std::time::Instant,
+}
+
+impl Default for ThreadSleeper {
+    fn default() -> Self {
+        ThreadSleeper { origin: std::time::Instant::now() }
+    }
+}
+
+impl ThreadSleeper {
+    /// A sleeper whose clock starts now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sleep for ThreadSleeper {
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// Virtual-time sleeper: "sleeping" advances the shared [`VirtualTime`],
+/// so backoff/deadline behaviour is exact and instantaneous under test
+/// and inside the deterministic chaos engine.
+#[derive(Debug, Clone)]
+pub struct VirtualSleeper {
+    clock: Arc<VirtualTime>,
+}
+
+impl VirtualSleeper {
+    /// Wraps a shared virtual clock.
+    pub fn new(clock: Arc<VirtualTime>) -> Self {
+        VirtualSleeper { clock }
+    }
+
+    /// The underlying clock.
+    pub fn clock(&self) -> &Arc<VirtualTime> {
+        &self.clock
+    }
+}
+
+impl Sleep for VirtualSleeper {
+    fn sleep(&self, d: Duration) {
+        self.clock.advance_micros(d.as_micros() as u64);
+    }
+
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.clock.now_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn policy(attempts: u32, base_ms: u64, max_ms: u64, deadline_ms: Option<u64>) -> RetryPolicy {
+        RetryPolicy::builder()
+            .max_attempts(attempts)
+            .base_delay(Duration::from_millis(base_ms))
+            .max_delay(Duration::from_millis(max_ms))
+            .multiplier(2.0)
+            .deadline(deadline_ms.map(Duration::from_millis))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn backoff_schedule_is_exact_and_capped() {
+        let p = policy(5, 10, 40, None);
+        assert_eq!(
+            p.schedule(),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(40), // capped
+            ]
+        );
+        assert_eq!(RetryPolicy::none().schedule(), Vec::<Duration>::new());
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_policies() {
+        assert!(RetryPolicy::builder().max_attempts(0).build().is_err());
+        assert!(RetryPolicy::builder().multiplier(0.5).build().is_err());
+        assert!(RetryPolicy::builder()
+            .base_delay(Duration::from_secs(1))
+            .max_delay(Duration::from_millis(1))
+            .build()
+            .is_err());
+        // cross-field invariant: max_delay <= deadline
+        assert!(RetryPolicy::builder()
+            .max_delay(Duration::from_secs(5))
+            .deadline(Some(Duration::from_secs(1)))
+            .build()
+            .is_err());
+        assert!(RetryPolicy::builder()
+            .max_delay(Duration::from_millis(100))
+            .deadline(Some(Duration::from_secs(1)))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn run_retries_until_success_with_virtual_backoff() {
+        let clock = VirtualTime::new();
+        let sleeper = VirtualSleeper::new(clock.clone());
+        let p = policy(5, 10, 40, None);
+        let calls = Cell::new(0u32);
+        let out = p
+            .run(&sleeper, |attempt| {
+                calls.set(calls.get() + 1);
+                if attempt < 3 {
+                    Err(RlError::MailboxFull { capacity: 8 })
+                } else {
+                    Ok(attempt)
+                }
+            })
+            .unwrap();
+        assert_eq!(out, 3);
+        assert_eq!(calls.get(), 4);
+        // slept exactly 10 + 20 + 40 ms of virtual time, jitter-free
+        assert_eq!(clock.now_micros(), 70_000);
+    }
+
+    #[test]
+    fn fatal_errors_short_circuit() {
+        let sleeper = VirtualSleeper::new(VirtualTime::new());
+        let p = policy(5, 10, 40, None);
+        let calls = Cell::new(0u32);
+        let err = p
+            .run(&sleeper, |_| -> RlResult<()> {
+                calls.set(calls.get() + 1);
+                Err(RlError::Shutdown)
+            })
+            .unwrap_err();
+        assert_eq!(err, RlError::Shutdown);
+        assert_eq!(calls.get(), 1, "fatal error must not be retried");
+    }
+
+    #[test]
+    fn exhaustion_wraps_last_error() {
+        let sleeper = VirtualSleeper::new(VirtualTime::new());
+        let p = policy(3, 1, 4, None);
+        let err =
+            p.run(&sleeper, |_| -> RlResult<()> { Err(RlError::deadline("pull")) }).unwrap_err();
+        match err {
+            RlError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, RlError::DeadlineExpired { .. }));
+            }
+            other => panic!("expected RetriesExhausted, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_total_retry_time() {
+        let clock = VirtualTime::new();
+        let sleeper = VirtualSleeper::new(clock.clone());
+        // 10ms, 20ms, 40ms, ... backoffs against a 25ms budget: the loop
+        // must give up before the second backoff (10 + 20 >= 25).
+        let p = policy(10, 10, 20, Some(25));
+        let calls = Cell::new(0u32);
+        let err = p
+            .run(&sleeper, |_| -> RlResult<()> {
+                calls.set(calls.get() + 1);
+                Err(RlError::MailboxFull { capacity: 1 })
+            })
+            .unwrap_err();
+        assert!(matches!(err, RlError::RetriesExhausted { .. }));
+        assert_eq!(calls.get(), 2);
+        assert!(clock.now_micros() <= 25_000, "slept past the deadline");
+    }
+
+    #[test]
+    fn thread_sleeper_tracks_wall_time() {
+        let s = ThreadSleeper::new();
+        let before = s.now();
+        s.sleep(Duration::from_millis(2));
+        assert!(s.now() >= before + Duration::from_millis(2));
+    }
+}

@@ -4,10 +4,78 @@
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use rlgraph_agents::components::memory::transitions_to_batch;
+use rlgraph_core::RlError;
 use rlgraph_memory::{PrioritizedReplay, Transition};
 use rlgraph_obs::Recorder;
 use rlgraph_tensor::Tensor;
 use std::thread::JoinHandle;
+
+/// The storage + sampling state of one replay shard, detached from any
+/// actor/thread: a prioritized buffer and its seeded sampling RNG.
+///
+/// `shard_loop` (the threaded actor) and the deterministic chaos
+/// engine (`chaos` module) both drive this same core, so fault-injection
+/// runs exercise the production replay path rather than a model of it.
+pub struct ShardCore {
+    mem: PrioritizedReplay<Transition>,
+    rng: rand::rngs::StdRng,
+}
+
+impl ShardCore {
+    /// Creates a shard core with the given buffer capacity, priority
+    /// exponent, and RNG seed.
+    pub fn new(capacity: usize, alpha: f32, seed: u64) -> Self {
+        use rand::SeedableRng;
+        ShardCore {
+            mem: PrioritizedReplay::new(capacity, alpha),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Inserts transitions with worker-side initial priorities.
+    pub fn insert(&mut self, transitions: Vec<Transition>, priorities: Vec<f32>) {
+        for (t, p) in transitions.into_iter().zip(priorities) {
+            self.mem.insert_with_priority(t, p);
+        }
+    }
+
+    /// Samples a batch, or `None` while under-filled (or on a batching
+    /// failure).
+    pub fn sample(&mut self, batch: usize, beta: f32) -> Option<ShardBatch> {
+        if self.mem.len() < batch {
+            return None;
+        }
+        let sample = self.mem.sample(batch, beta, &mut self.rng);
+        let tensors = transitions_to_batch(&sample.records).ok()?;
+        let weights = Tensor::from_vec(sample.weights, &[batch]).expect("batch shape");
+        Some(ShardBatch { tensors, weights, indices: sample.indices })
+    }
+
+    /// Applies a learner's post-step priority updates; stale indices
+    /// (overwritten slots after wrap-around) are dropped defensively.
+    pub fn update_priorities(&mut self, indices: Vec<usize>, priorities: Vec<f32>) {
+        let pairs: Vec<(usize, f32)> =
+            indices.into_iter().zip(priorities).filter(|(i, _)| *i < self.mem.len()).collect();
+        let (idx, pr): (Vec<usize>, Vec<f32>) = pairs.into_iter().unzip();
+        self.mem.update_priorities(&idx, &pr);
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.mem.len() == 0
+    }
+
+    /// The shard's high-water mark: total records ever inserted. This is
+    /// what learner checkpoints persist per shard.
+    pub fn watermark(&self) -> u64 {
+        self.mem.total_inserted()
+    }
+}
 
 /// A batch served by a shard, with the shard-local slot indices.
 #[derive(Debug, Clone)]
@@ -46,6 +114,12 @@ pub enum ShardRequest {
         /// new priorities
         priorities: Vec<f32>,
     },
+    /// report the shard's high-water mark (total records ever inserted);
+    /// used by learner checkpoints
+    Watermark {
+        /// reply channel
+        reply: Sender<u64>,
+    },
     /// stop the actor
     Shutdown,
 }
@@ -82,6 +156,18 @@ impl std::fmt::Display for MailboxError {
 
 impl std::error::Error for MailboxError {}
 
+/// Folds a mailbox failure into the unified taxonomy. The rejected
+/// request payload is dropped — use the typed [`MailboxError`] directly
+/// when the request must be recovered for a retry with the same value.
+impl From<MailboxError> for RlError {
+    fn from(e: MailboxError) -> Self {
+        match e {
+            MailboxError::Full { capacity, .. } => RlError::MailboxFull { capacity },
+            MailboxError::Disconnected(_) => RlError::disconnected("replay shard"),
+        }
+    }
+}
+
 impl std::fmt::Debug for ShardRequest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -94,6 +180,7 @@ impl std::fmt::Debug for ShardRequest {
             ShardRequest::UpdatePriorities { indices, .. } => {
                 write!(f, "UpdatePriorities({} indices)", indices.len())
             }
+            ShardRequest::Watermark { .. } => write!(f, "Watermark"),
             ShardRequest::Shutdown => write!(f, "Shutdown"),
         }
     }
@@ -167,6 +254,14 @@ impl ReplayShard {
         self.tx.clone()
     }
 
+    /// The shard's current high-water mark (total records ever inserted),
+    /// fetched synchronously; `None` if the actor has shut down.
+    pub fn watermark(&self) -> Option<u64> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx.send(ShardRequest::Watermark { reply: reply_tx }).ok()?;
+        reply_rx.recv().ok()
+    }
+
     /// Stops the actor and returns the total number of inserted records.
     pub fn shutdown(mut self) -> u64 {
         let _ = self.tx.send(ShardRequest::Shutdown);
@@ -190,9 +285,7 @@ fn shard_loop(
     seed: u64,
     recorder: Recorder,
 ) -> u64 {
-    use rand::SeedableRng;
-    let mut mem: PrioritizedReplay<Transition> = PrioritizedReplay::new(capacity, alpha);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut core = ShardCore::new(capacity, alpha, seed);
     // Handles resolved once; all no-ops under a disabled recorder.
     let insert_us = recorder.histogram("shard.insert_us");
     let sample_us = recorder.histogram("shard.sample_us");
@@ -207,46 +300,29 @@ fn shard_loop(
             ShardRequest::Insert { transitions, priorities } => {
                 let _span = recorder.span("shard.insert");
                 let t0 = std::time::Instant::now();
-                for (t, p) in transitions.into_iter().zip(priorities) {
-                    mem.insert_with_priority(t, p);
-                }
+                core.insert(transitions, priorities);
                 insert_us.record_duration(t0.elapsed());
-                fill.set(mem.len() as f64);
+                fill.set(core.len() as f64);
             }
             ShardRequest::Sample { batch, beta, reply } => {
                 let _span = recorder.span("shard.sample");
                 let t0 = std::time::Instant::now();
-                if mem.len() < batch {
-                    let _ = reply.send(None);
-                    continue;
-                }
-                let sample = mem.sample(batch, beta, &mut rng);
-                let tensors = match transitions_to_batch(&sample.records) {
-                    Ok(t) => t,
-                    Err(_) => {
-                        let _ = reply.send(None);
-                        continue;
-                    }
-                };
-                let weights = Tensor::from_vec(sample.weights, &[batch]).expect("batch shape");
-                let _ = reply.send(Some(ShardBatch { tensors, weights, indices: sample.indices }));
+                let _ = reply.send(core.sample(batch, beta));
                 sample_us.record_duration(t0.elapsed());
             }
             ShardRequest::UpdatePriorities { indices, priorities } => {
                 let _span = recorder.span("shard.update_priorities");
                 let t0 = std::time::Instant::now();
-                // indices may reference overwritten slots after wrap-around;
-                // clamp defensively
-                let pairs: Vec<(usize, f32)> =
-                    indices.into_iter().zip(priorities).filter(|(i, _)| *i < mem.len()).collect();
-                let (idx, pr): (Vec<usize>, Vec<f32>) = pairs.into_iter().unzip();
-                mem.update_priorities(&idx, &pr);
+                core.update_priorities(indices, priorities);
                 update_us.record_duration(t0.elapsed());
+            }
+            ShardRequest::Watermark { reply } => {
+                let _ = reply.send(core.watermark());
             }
             ShardRequest::Shutdown => break,
         }
     }
-    mem.total_inserted()
+    core.watermark()
 }
 
 #[cfg(test)]
@@ -324,6 +400,39 @@ mod tests {
         assert!(reply_rx.recv().unwrap().is_none());
         assert!(reply_rx.recv().unwrap().is_none());
         shard.shutdown();
+    }
+
+    #[test]
+    fn watermark_tracks_total_inserts_and_converts_to_rlerror() {
+        let shard = ReplayShard::spawn("shard-test".into(), 8, 0.6, 0);
+        let (ts, ps) = transitions(12); // capacity 8: wraps, watermark keeps counting
+        shard.sender().send(ShardRequest::Insert { transitions: ts, priorities: ps }).unwrap();
+        assert_eq!(shard.watermark(), Some(12));
+        assert_eq!(shard.shutdown(), 12);
+
+        let full = MailboxError::Full {
+            capacity: 4,
+            request: ShardRequest::UpdatePriorities { indices: vec![], priorities: vec![] },
+        };
+        let rl: RlError = full.into();
+        assert!(rl.is_retryable());
+        assert!(matches!(rl, RlError::MailboxFull { capacity: 4 }));
+        let disc = MailboxError::Disconnected(ShardRequest::Shutdown);
+        assert!(RlError::from(disc).is_fatal());
+    }
+
+    #[test]
+    fn shard_core_is_deterministic_per_seed() {
+        let mut a = ShardCore::new(32, 0.6, 9);
+        let mut b = ShardCore::new(32, 0.6, 9);
+        for core in [&mut a, &mut b] {
+            let (ts, ps) = transitions(16);
+            core.insert(ts, ps);
+        }
+        let sa = a.sample(8, 0.4).unwrap();
+        let sb = b.sample(8, 0.4).unwrap();
+        assert_eq!(sa.indices, sb.indices);
+        assert_eq!(a.watermark(), 16);
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Serving configuration: replica fleet size, micro-batching window, and
 //! admission-control policy.
+//!
+//! Prefer [`ServeConfig::builder`] over struct-literal construction: the
+//! builder validates every field and the cross-field invariants (e.g. the
+//! coalescing window must fit inside the default deadline) and returns a
+//! typed [`RlError`](rlgraph_core::RlError) on violation.
 
+use rlgraph_core::{RlError, RlResult};
 use std::time::Duration;
 
 /// What happens when a request arrives while the admission queue is full.
@@ -20,6 +26,11 @@ pub enum BackpressurePolicy {
 }
 
 /// Configuration of a [`PolicyServer`](crate::PolicyServer).
+///
+/// Construct via [`ServeConfig::builder`]; building the struct literally
+/// (or with `..Default::default()`) still compiles but is deprecated in
+/// favour of the builder, which enforces the field invariants documented
+/// on [`ServeConfigBuilder::build`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads, each holding one policy replica.
@@ -38,6 +49,13 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
 }
 
+impl ServeConfig {
+    /// A validating builder starting from [`ServeConfig::default`].
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -48,6 +66,95 @@ impl Default for ServeConfig {
             backpressure: BackpressurePolicy::Block,
             default_deadline: None,
         }
+    }
+}
+
+/// Builder for [`ServeConfig`]; every setter overrides one default.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    draft: Option<ServeConfig>,
+}
+
+impl ServeConfigBuilder {
+    fn draft(&mut self) -> &mut ServeConfig {
+        self.draft.get_or_insert_with(ServeConfig::default)
+    }
+
+    /// Worker threads, each holding one policy replica.
+    #[must_use]
+    pub fn num_replicas(mut self, n: usize) -> Self {
+        self.draft().num_replicas = n;
+        self
+    }
+
+    /// Maximum requests coalesced into one forward pass.
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.draft().max_batch = n;
+        self
+    }
+
+    /// Coalescing window after the first request of a batch.
+    #[must_use]
+    pub fn max_delay(mut self, d: Duration) -> Self {
+        self.draft().max_delay = d;
+        self
+    }
+
+    /// Admission-queue bound.
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.draft().queue_capacity = n;
+        self
+    }
+
+    /// Policy applied when the admission queue is full.
+    #[must_use]
+    pub fn backpressure(mut self, p: BackpressurePolicy) -> Self {
+        self.draft().backpressure = p;
+        self
+    }
+
+    /// Deadline applied to requests submitted without an explicit one.
+    #[must_use]
+    pub fn default_deadline(mut self, d: Option<Duration>) -> Self {
+        self.draft().default_deadline = d;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Core`] describing the first violated invariant:
+    /// `num_replicas ≥ 1`, `max_batch ≥ 1`, `queue_capacity ≥ max_batch`
+    /// (a full batch must fit in the queue), and
+    /// `max_delay ≤ default_deadline` when a deadline is set (otherwise
+    /// the coalescing window alone expires every default request).
+    pub fn build(mut self) -> RlResult<ServeConfig> {
+        let invalid = |msg: String| RlError::Core(rlgraph_core::CoreError::new(msg));
+        let c = self.draft().clone();
+        if c.num_replicas == 0 {
+            return Err(invalid("serve config: num_replicas must be at least 1".into()));
+        }
+        if c.max_batch == 0 {
+            return Err(invalid("serve config: max_batch must be at least 1".into()));
+        }
+        if c.queue_capacity < c.max_batch {
+            return Err(invalid(format!(
+                "serve config: queue_capacity {} is smaller than max_batch {}",
+                c.queue_capacity, c.max_batch
+            )));
+        }
+        if let Some(deadline) = c.default_deadline {
+            if c.max_delay > deadline {
+                return Err(invalid(format!(
+                    "serve config: max_delay {:?} exceeds default_deadline {:?}",
+                    c.max_delay, deadline
+                )));
+            }
+        }
+        Ok(c)
     }
 }
 
@@ -62,5 +169,42 @@ mod tests {
         assert!(c.max_batch >= 1);
         assert!(c.queue_capacity >= c.max_batch);
         assert_eq!(c.backpressure, BackpressurePolicy::Block);
+    }
+
+    #[test]
+    fn builder_matches_defaults_and_sets_fields() {
+        let d = ServeConfig::default();
+        let b = ServeConfig::builder().build().unwrap();
+        assert_eq!(b.num_replicas, d.num_replicas);
+        assert_eq!(b.max_batch, d.max_batch);
+        assert_eq!(b.queue_capacity, d.queue_capacity);
+
+        let c = ServeConfig::builder()
+            .num_replicas(3)
+            .max_batch(16)
+            .max_delay(Duration::from_millis(1))
+            .queue_capacity(64)
+            .backpressure(BackpressurePolicy::ShedOldest)
+            .default_deadline(Some(Duration::from_millis(10)))
+            .build()
+            .unwrap();
+        assert_eq!(c.num_replicas, 3);
+        assert_eq!(c.max_batch, 16);
+        assert_eq!(c.backpressure, BackpressurePolicy::ShedOldest);
+        assert_eq!(c.default_deadline, Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert!(ServeConfig::builder().num_replicas(0).build().is_err());
+        assert!(ServeConfig::builder().max_batch(0).build().is_err());
+        assert!(ServeConfig::builder().max_batch(16).queue_capacity(8).build().is_err());
+        // Coalescing window longer than the default deadline: every
+        // default-deadline request would expire while batching.
+        assert!(ServeConfig::builder()
+            .max_delay(Duration::from_millis(20))
+            .default_deadline(Some(Duration::from_millis(5)))
+            .build()
+            .is_err());
     }
 }

@@ -1,6 +1,13 @@
 //! Typed serving errors: every way a request can fail is distinguishable,
 //! so callers can retry, back off, or shed load deliberately.
+//!
+//! [`ServeError`] converts losslessly into the unified
+//! [`RlError`](rlgraph_core::RlError) taxonomy, so serving call sites can
+//! participate in the same retry / degradation policies as the
+//! distributed-execution layer (`?` works in functions returning
+//! [`RlResult`](rlgraph_core::RlResult)).
 
+use rlgraph_core::{RlError, Severity};
 use std::fmt;
 
 /// Why a serving request failed.
@@ -39,9 +46,51 @@ impl fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+impl ServeError {
+    /// How severe this failure is under the unified
+    /// [`Severity`](rlgraph_core::Severity) taxonomy — delegates to the
+    /// [`RlError`] this error converts into.
+    pub fn severity(&self) -> Severity {
+        RlError::from(self.clone()).severity()
+    }
+
+    /// Whether a caller may retry the request (queue pressure, shed, or
+    /// an expired deadline — all transient).
+    pub fn is_retryable(&self) -> bool {
+        self.severity() == Severity::Retryable
+    }
+}
+
 impl From<rlgraph_core::CoreError> for ServeError {
     fn from(e: rlgraph_core::CoreError) -> Self {
         ServeError::Exec(e.message().to_string())
+    }
+}
+
+impl From<ServeError> for RlError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::QueueFull { capacity } => RlError::QueueFull { capacity },
+            ServeError::Shed => RlError::Shed,
+            ServeError::DeadlineExpired => RlError::deadline("serve request"),
+            ServeError::Shutdown => RlError::Shutdown,
+            ServeError::Exec(msg) => RlError::Exec(msg),
+        }
+    }
+}
+
+impl From<RlError> for ServeError {
+    fn from(e: RlError) -> Self {
+        match e {
+            RlError::QueueFull { capacity } | RlError::MailboxFull { capacity } => {
+                ServeError::QueueFull { capacity }
+            }
+            RlError::Shed => ServeError::Shed,
+            RlError::DeadlineExpired { .. } => ServeError::DeadlineExpired,
+            RlError::Shutdown | RlError::Disconnected { .. } => ServeError::Shutdown,
+            RlError::Exec(msg) => ServeError::Exec(msg),
+            other => ServeError::Exec(other.to_string()),
+        }
     }
 }
 
@@ -53,5 +102,29 @@ mod tests {
     fn display_is_informative() {
         assert!(ServeError::QueueFull { capacity: 8 }.to_string().contains('8'));
         assert!(ServeError::Exec("boom".into()).to_string().contains("boom"));
+    }
+
+    #[test]
+    fn converts_to_rl_error_and_back() {
+        let round = |e: ServeError| ServeError::from(RlError::from(e.clone()));
+        for e in [
+            ServeError::QueueFull { capacity: 4 },
+            ServeError::Shed,
+            ServeError::DeadlineExpired,
+            ServeError::Shutdown,
+            ServeError::Exec("boom".into()),
+        ] {
+            assert_eq!(round(e.clone()), e, "lossy round trip for {:?}", e);
+        }
+        assert_eq!(RlError::from(ServeError::Shed), RlError::Shed);
+    }
+
+    #[test]
+    fn severity_matches_unified_taxonomy() {
+        assert!(ServeError::QueueFull { capacity: 1 }.is_retryable());
+        assert!(ServeError::Shed.is_retryable());
+        assert!(ServeError::DeadlineExpired.is_retryable());
+        assert_eq!(ServeError::Shutdown.severity(), Severity::Fatal);
+        assert_eq!(ServeError::Exec("x".into()).severity(), Severity::Fatal);
     }
 }

@@ -36,7 +36,7 @@ mod queue;
 mod replica;
 mod server;
 
-pub use config::{BackpressurePolicy, ServeConfig};
+pub use config::{BackpressurePolicy, ServeConfig, ServeConfigBuilder};
 pub use error::ServeError;
 pub use replica::{greedy_policy_replica, ExecutorReplica, PolicyReplica};
 pub use server::{PolicyClient, PolicyServer};

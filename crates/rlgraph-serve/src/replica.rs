@@ -12,7 +12,7 @@
 use rlgraph_agents::components::Policy;
 use rlgraph_agents::DqnAgent;
 use rlgraph_core::{
-    BuildCtx, Component, ComponentGraphBuilder, ComponentId, ComponentStore, DbrExecutor,
+    BuildCtx, Component, ComponentGraphBuilder, ComponentId, ComponentStore, DbrExecutor, Deadline,
     GraphExecutor, OpRef, Result,
 };
 use rlgraph_nn::NetworkSpec;
@@ -28,6 +28,25 @@ pub trait PolicyReplica: Send {
     ///
     /// Errors when the underlying executor rejects the batch.
     fn act_batch(&mut self, observations: &Tensor) -> Result<Tensor>;
+
+    /// Deadline-aware variant of [`PolicyReplica::act_batch`]: `deadline`
+    /// is the earliest expiry among the coalesced requests. The default
+    /// ignores it; executor-backed replicas route through
+    /// [`GraphExecutor::execute_with_deadline`] so an already-expired
+    /// batch is refused before the forward pass.
+    ///
+    /// # Errors
+    ///
+    /// As [`PolicyReplica::act_batch`], plus a deadline-expiry error for
+    /// implementations that check the budget.
+    fn act_batch_with_deadline(
+        &mut self,
+        observations: &Tensor,
+        deadline: Option<Deadline>,
+    ) -> Result<Tensor> {
+        let _ = deadline;
+        self.act_batch(observations)
+    }
 
     /// Installs a weight snapshot (hot swap between batches).
     ///
@@ -56,7 +75,18 @@ impl ExecutorReplica {
 
 impl PolicyReplica for ExecutorReplica {
     fn act_batch(&mut self, observations: &Tensor) -> Result<Tensor> {
-        let mut out = self.exec.execute(&self.method, std::slice::from_ref(observations))?;
+        self.act_batch_with_deadline(observations, None)
+    }
+
+    fn act_batch_with_deadline(
+        &mut self,
+        observations: &Tensor,
+        deadline: Option<Deadline>,
+    ) -> Result<Tensor> {
+        let mut out = self
+            .exec
+            .execute_with_deadline(&self.method, std::slice::from_ref(observations), deadline)
+            .map_err(rlgraph_core::CoreError::from)?;
         if out.is_empty() {
             return Err(rlgraph_core::CoreError::new(format!(
                 "act method '{}' produced no outputs",

@@ -9,19 +9,32 @@
 //! Between batches each worker polls the shared
 //! [`WeightHub`](rlgraph_dist::WeightHub) and hot-swaps to the newest
 //! snapshot — the act path never takes a lock during inference.
+//!
+//! Workers supervise their replica: a panic inside the forward pass fails
+//! only the in-flight batch (each request gets a typed
+//! [`ServeError::Exec`]), after which the worker rebuilds a fresh replica
+//! from the spawn factory and re-syncs weights from the hub before the
+//! next batch. `serve.replica_restarts` counts these recoveries.
 
 use crate::config::{BackpressurePolicy, ServeConfig};
 use crate::error::ServeError;
 use crate::queue::{AdmissionQueue, PushOutcome, Request};
 use crate::replica::PolicyReplica;
 use crossbeam::channel::bounded;
+use rlgraph_core::Deadline;
 use rlgraph_dist::WeightHub;
 use rlgraph_obs::Recorder;
 use rlgraph_spaces::Space;
 use rlgraph_tensor::Tensor;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Shared replica factory: workers call it again to rebuild a replica
+/// after a panic, so it must be callable from any worker thread.
+type ReplicaFactory =
+    dyn Fn(usize) -> rlgraph_core::Result<Box<dyn PolicyReplica>> + Send + Sync + 'static;
 
 /// A running serving fleet: N worker threads, each owning one policy
 /// replica, fed by one bounded admission queue.
@@ -38,7 +51,9 @@ impl PolicyServer {
     ///
     /// `obs_space` is the **single-observation** space clients submit in;
     /// its batch-ranked form is what replicas execute on. Replicas are
-    /// built in the calling thread so construction errors surface here.
+    /// built in the calling thread so construction errors surface here;
+    /// the factory is retained so workers can rebuild a replica that
+    /// panics mid-batch.
     ///
     /// # Errors
     ///
@@ -50,16 +65,19 @@ impl PolicyServer {
         factory: F,
     ) -> rlgraph_core::Result<Self>
     where
-        F: Fn(usize) -> rlgraph_core::Result<Box<dyn PolicyReplica>>,
+        F: Fn(usize) -> rlgraph_core::Result<Box<dyn PolicyReplica>> + Send + Sync + 'static,
     {
         assert!(config.num_replicas >= 1, "need at least one replica");
         assert!(config.max_batch >= 1, "max_batch must be positive");
+        let factory: Arc<ReplicaFactory> = Arc::new(factory);
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity));
         let hub = Arc::new(WeightHub::new());
         let mut workers = Vec::with_capacity(config.num_replicas);
         for i in 0..config.num_replicas {
             let replica = factory(i)?;
             let ctx = WorkerCtx {
+                index: i,
+                factory: factory.clone(),
                 queue: queue.clone(),
                 hub: hub.clone(),
                 obs_space: obs_space.strip_ranks(),
@@ -188,6 +206,8 @@ impl PolicyClient {
 }
 
 struct WorkerCtx {
+    index: usize,
+    factory: Arc<ReplicaFactory>,
     queue: Arc<AdmissionQueue>,
     hub: Arc<WeightHub>,
     obs_space: Space,
@@ -204,6 +224,7 @@ fn worker_loop(mut replica: Box<dyn PolicyReplica>, ctx: WorkerCtx) {
     let empty_flushes = ctx.recorder.counter("serve.empty_flushes");
     let deadline_expired = ctx.recorder.counter("serve.deadline_expired");
     let weight_swaps = ctx.recorder.counter("serve.weight_swaps");
+    let replica_restarts = ctx.recorder.counter("serve.replica_restarts");
     let weight_lag = ctx.recorder.gauge("serve.weight_lag");
     let depth_gauge = ctx.recorder.gauge("serve.queue_depth");
     let mut weight_version = 0u64;
@@ -260,12 +281,48 @@ fn worker_loop(mut replica: Box<dyn PolicyReplica>, ctx: WorkerCtx) {
                 continue;
             }
         };
+        // The batch inherits the earliest request deadline, so an
+        // executor-backed replica can refuse an expired batch pre-pass.
+        let batch_deadline = live.iter().filter_map(|r| r.deadline).min().map(Deadline::at);
         let t_exec = Instant::now();
-        let result = {
+        let outcome = {
             let _span = ctx.recorder.span("serve.act_batch");
-            replica.act_batch(&stacked)
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                replica.act_batch_with_deadline(&stacked, batch_deadline)
+            }))
         };
         exec_us.record_duration(t_exec.elapsed());
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                // The replica is poisoned by the panic: fail this batch
+                // with a typed error, then rebuild from the factory. The
+                // fresh replica re-syncs weights on the next hub poll.
+                let msg = panic_payload_message(&payload);
+                replica_restarts.inc();
+                match (ctx.factory)(ctx.index) {
+                    Ok(fresh) => {
+                        replica = fresh;
+                        weight_version = 0;
+                        Err(rlgraph_core::CoreError::new(format!("replica panicked: {}", msg)))
+                    }
+                    Err(e) => {
+                        // Unrecoverable: no replacement replica. Fail the
+                        // batch and close admission so future requests get
+                        // a typed Shutdown instead of hanging.
+                        for req in live {
+                            let _ = req.reply.send(Err(ServeError::Exec(format!(
+                                "replica panicked ({}) and rebuild failed: {}",
+                                msg,
+                                e.message()
+                            ))));
+                        }
+                        ctx.queue.close();
+                        return;
+                    }
+                }
+            }
+        };
         match result.and_then(|actions| actions.unstack().map_err(rlgraph_core::CoreError::from)) {
             Ok(actions) if actions.len() == live.len() => {
                 let done = Instant::now();
@@ -291,6 +348,16 @@ fn worker_loop(mut replica: Box<dyn PolicyReplica>, ctx: WorkerCtx) {
                 }
             }
         }
+    }
+}
+
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -529,8 +596,21 @@ mod tests {
         server.shutdown();
     }
 
+    /// Polls `cond` for up to ~2s; panics if it never holds. Replaces
+    /// fixed sleeps so saturation tests stay deterministic on slow hosts.
+    fn wait_for(what: &str, cond: impl Fn() -> bool) {
+        for _ in 0..4000 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        panic!("condition not reached in time: {}", what);
+    }
+
     #[test]
     fn reject_backpressure_surfaces_queue_full() {
+        let recorder = Recorder::wall();
         let server = PolicyServer::spawn(
             ServeConfig {
                 max_batch: 1,
@@ -540,32 +620,92 @@ mod tests {
                 ..ServeConfig::default()
             },
             scalar_space(),
-            Recorder::wall(),
-            |_| Ok(Box::new(TagReplica::new(Duration::from_millis(40)))),
+            recorder.clone(),
+            |_| Ok(Box::new(TagReplica::new(Duration::from_millis(250)))),
         )
         .unwrap();
         let client = server.client();
-        // Saturate: one request executing (slow), then fill the
-        // capacity-1 queue, then overflow it.
-        let inflight: Vec<_> = (0..4)
-            .map(|_| {
-                let c = client.clone();
-                std::thread::spawn(move || c.act(obs()))
-            })
-            .collect();
-        std::thread::sleep(Duration::from_millis(10));
-        let mut saw_queue_full = false;
-        for _ in 0..20 {
-            if let Err(ServeError::QueueFull { capacity }) = client.act(obs()) {
-                assert_eq!(capacity, 1);
-                saw_queue_full = true;
-                break;
-            }
+        // First request: admitted, popped, and executing for 250ms.
+        let executing = {
+            let c = client.clone();
+            std::thread::spawn(move || c.act(obs()))
+        };
+        wait_for("first request executing", || {
+            let snap = recorder.metrics_snapshot();
+            snap.counters.iter().any(|(n, v)| n == "serve.batches" && *v >= 1)
+        });
+        // Second request: occupies the single queue slot while the
+        // replica is busy, so the next submission must overflow.
+        let queued = {
+            let c = client.clone();
+            std::thread::spawn(move || c.act(obs()))
+        };
+        wait_for("second request queued", || server.queue_depth() >= 1);
+        match client.act(obs()) {
+            Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+            other => panic!("expected QueueFull, got {:?}", other),
         }
-        assert!(saw_queue_full, "never hit QueueFull under saturation");
-        for h in inflight {
-            let _ = h.join().unwrap();
+        executing.join().unwrap().unwrap();
+        queued.join().unwrap().unwrap();
+        server.shutdown();
+    }
+
+    /// Panics on any observation whose first element exceeds 100 —
+    /// lets a test poison one batch deliberately.
+    struct FragileReplica {
+        tag: f32,
+    }
+
+    impl PolicyReplica for FragileReplica {
+        fn act_batch(&mut self, observations: &Tensor) -> rlgraph_core::Result<Tensor> {
+            let vals = observations.as_f32()?;
+            assert!(vals.iter().all(|&v| v <= 100.0), "poison observation");
+            let b = observations.shape()[0];
+            Ok(Tensor::from_vec(vec![self.tag; b], &[b]).expect("tag batch"))
         }
+
+        fn load_weights(&mut self, weights: &[(String, Tensor)]) -> rlgraph_core::Result<()> {
+            self.tag = weights[0].1.scalar_value()?;
+            Ok(())
+        }
+
+        fn export_weights(&self) -> Vec<(String, Tensor)> {
+            vec![("tag".to_string(), Tensor::scalar(self.tag))]
+        }
+    }
+
+    #[test]
+    fn replica_panic_fails_batch_and_restarts_replica() {
+        let recorder = Recorder::wall();
+        let server = PolicyServer::spawn(
+            ServeConfig::builder()
+                .max_batch(1)
+                .max_delay(Duration::from_millis(1))
+                .build()
+                .unwrap(),
+            scalar_space(),
+            recorder.clone(),
+            |_| Ok(Box::new(FragileReplica { tag: 0.0 })),
+        )
+        .unwrap();
+        server.publish_weights(tag_weights(7.0));
+        let client = server.client();
+        assert_eq!(client.act(obs()).unwrap().scalar_value().unwrap(), 7.0);
+
+        // Poison one batch: its request fails with a typed Exec error...
+        let poison = Tensor::from_vec(vec![999.0f32], &[1]).unwrap();
+        match client.act(poison).unwrap_err() {
+            ServeError::Exec(msg) => assert!(msg.contains("panicked"), "msg: {}", msg),
+            other => panic!("expected Exec, got {:?}", other),
+        }
+
+        // ...and the worker rebuilds a fresh replica that re-syncs from
+        // the hub, so the server keeps serving the published weights.
+        assert_eq!(client.act(obs()).unwrap().scalar_value().unwrap(), 7.0);
+        let snap = recorder.metrics_snapshot();
+        let restarts =
+            snap.counters.iter().find(|(n, _)| n == "serve.replica_restarts").map(|(_, v)| *v);
+        assert_eq!(restarts, Some(1));
         server.shutdown();
     }
 

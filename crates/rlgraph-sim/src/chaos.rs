@@ -1,0 +1,316 @@
+//! Chaos extension of the Ape-X discrete-event model: worker crashes and
+//! shard stalls injected into [`simulate_apex`](crate::simulate_apex)'s
+//! coordination loop.
+//!
+//! Fault draws use the same coordinate-hashing scheme as
+//! `rlgraph_dist::fault::FaultPlan` — each decision hashes
+//! `(seed, kind, entity, occurrence)` through splitmix64, so a given seed
+//! produces one immutable fault schedule regardless of event interleaving.
+//! The hash is duplicated here (≈10 lines) rather than importing
+//! `rlgraph-dist`, keeping the simulator's dependency set at
+//! `rlgraph-obs` only.
+
+use crate::apex::{ApexSimParams, ApexSimResult};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Fault model layered over the measured Ape-X parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosSimParams {
+    /// the fault-free deployment being perturbed
+    pub base: ApexSimParams,
+    /// seed of the deterministic fault schedule
+    pub seed: u64,
+    /// probability a worker crashes at the end of any collection task
+    pub worker_crash_rate: f64,
+    /// seconds a crashed worker is offline before its supervisor restarts it
+    pub worker_restart_time: f64,
+    /// probability any shard insert triggers a stall of that shard
+    pub shard_stall_rate: f64,
+    /// seconds a stalled shard stops serving requests
+    pub shard_stall_time: f64,
+}
+
+impl Default for ChaosSimParams {
+    fn default() -> Self {
+        ChaosSimParams {
+            base: ApexSimParams::default(),
+            seed: 0,
+            worker_crash_rate: 0.0,
+            worker_restart_time: 2.0,
+            shard_stall_rate: 0.0,
+            shard_stall_time: 1.0,
+        }
+    }
+}
+
+/// Output of a chaos simulation; derives `PartialEq` so determinism can
+/// be asserted bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSimResult {
+    /// aggregate environment frames per second under faults
+    pub frames_per_second: f64,
+    /// learner updates per second under faults
+    pub updates_per_second: f64,
+    /// fraction of time the average worker spent collecting
+    pub worker_utilisation: f64,
+    /// worker crashes injected
+    pub crashes: u64,
+    /// shard stalls injected
+    pub stalls: u64,
+    /// total worker-seconds lost to restarts
+    pub downtime: f64,
+}
+
+impl ChaosSimResult {
+    /// Throughput retained relative to a fault-free run of the same base
+    /// parameters (1.0 = no degradation).
+    pub fn retention(&self, fault_free: &ApexSimResult) -> f64 {
+        if fault_free.frames_per_second <= 0.0 {
+            return 1.0;
+        }
+        self.frames_per_second / fault_free.frames_per_second
+    }
+}
+
+const CRASH_TAG: u64 = 0x9e37_79b9_7f4a_7c15;
+const STALL_TAG: u64 = 0xbf58_476d_1ce4_e5b9;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One order-independent Bernoulli draw for `(seed, tag, entity, n)`.
+fn draw(seed: u64, tag: u64, entity: u64, n: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    let h = splitmix64(splitmix64(seed ^ tag ^ entity.wrapping_mul(0xd6e8_feb8_6659_fd93)) ^ n);
+    ((h >> 11) as f64) / ((1u64 << 53) as f64) < rate
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    WorkerDone(usize),
+    LearnerSampled,
+    LearnerTrained,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs the Ape-X model under the fault schedule of `params.seed`.
+///
+/// Mechanics are [`simulate_apex`](crate::apex::simulate_apex)'s, with two perturbations: a worker
+/// may crash as it finishes a task (it loses that task's frames and sits
+/// out `worker_restart_time` before its supervisor restarts it), and a
+/// shard may stall on an insert (its service frontier jumps by
+/// `shard_stall_time`, delaying every queued request behind it). With
+/// both rates zero the result matches [`simulate_apex`](crate::apex::simulate_apex) exactly.
+///
+/// # Panics
+///
+/// Panics when `num_workers` or `num_shards` is zero, or a rate is
+/// outside `[0, 1]`.
+pub fn simulate_apex_chaos(params: &ChaosSimParams) -> ChaosSimResult {
+    let p = &params.base;
+    assert!(p.num_workers > 0, "need at least one worker");
+    assert!(p.num_shards > 0, "need at least one shard");
+    for rate in [params.worker_crash_rate, params.shard_stall_rate] {
+        assert!((0.0..=1.0).contains(&rate), "fault rate {rate} outside [0, 1]");
+    }
+
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Scheduled>, time: f64, event: Event| {
+        heap.push(Scheduled { time, seq, event });
+        seq += 1;
+    };
+
+    let mut shard_free = vec![0.0f64; p.num_shards];
+    let mut shard_inserts = vec![0u64; p.num_shards];
+    let mut worker_tasks = vec![0u64; p.num_workers];
+    let mut shard_rr = 0usize;
+    let mut learner_rr = 0usize;
+    let mut frames = 0.0f64;
+    let mut tasks_done = 0u64;
+    let mut updates = 0u64;
+    let mut learner_started = false;
+    let mut blocked_time = 0.0f64;
+    let mut crashes = 0u64;
+    let mut stalls = 0u64;
+    let mut downtime = 0.0f64;
+
+    for w in 0..p.num_workers {
+        let jitter = p.task_time * (w as f64 / p.num_workers as f64) * 0.1;
+        push(&mut heap, p.task_time + jitter, Event::WorkerDone(w));
+    }
+
+    while let Some(Scheduled { time, event, .. }) = heap.pop() {
+        if time > p.duration {
+            break;
+        }
+        match event {
+            Event::WorkerDone(w) => {
+                let task_no = worker_tasks[w];
+                worker_tasks[w] += 1;
+                if draw(params.seed, CRASH_TAG, w as u64, task_no, params.worker_crash_rate) {
+                    // The task's frames die with the worker; the
+                    // supervisor brings it back after the restart delay.
+                    crashes += 1;
+                    downtime += params.worker_restart_time;
+                    blocked_time += params.worker_restart_time;
+                    push(
+                        &mut heap,
+                        time + params.worker_restart_time + p.task_time,
+                        Event::WorkerDone(w),
+                    );
+                    continue;
+                }
+                frames += p.frames_per_task;
+                tasks_done += 1;
+                let s = shard_rr % p.num_shards;
+                shard_rr += 1;
+                let insert_no = shard_inserts[s];
+                shard_inserts[s] += 1;
+                let start = shard_free[s].max(time);
+                let backlog = start - time;
+                shard_free[s] = start + p.insert_time;
+                if draw(params.seed, STALL_TAG, s as u64, insert_no, params.shard_stall_rate) {
+                    stalls += 1;
+                    shard_free[s] += params.shard_stall_time;
+                }
+                let resume = if backlog > p.max_shard_backlog {
+                    blocked_time += shard_free[s] - time;
+                    shard_free[s]
+                } else {
+                    time
+                };
+                push(&mut heap, resume + p.task_time, Event::WorkerDone(w));
+                if p.learner_enabled && !learner_started && tasks_done >= 1 {
+                    learner_started = true;
+                    let s = learner_rr % p.num_shards;
+                    learner_rr += 1;
+                    let start = shard_free[s].max(time);
+                    shard_free[s] = start + p.sample_time;
+                    push(&mut heap, shard_free[s], Event::LearnerSampled);
+                }
+            }
+            Event::LearnerSampled => {
+                push(&mut heap, time + p.train_time, Event::LearnerTrained);
+            }
+            Event::LearnerTrained => {
+                updates += 1;
+                let s_upd = learner_rr % p.num_shards;
+                let start_upd = shard_free[s_upd].max(time);
+                shard_free[s_upd] = start_upd + p.priority_update_time;
+                let s = (learner_rr + 1) % p.num_shards;
+                learner_rr += 2;
+                let start = shard_free[s].max(time);
+                shard_free[s] = start + p.sample_time;
+                push(&mut heap, shard_free[s], Event::LearnerSampled);
+            }
+        }
+    }
+
+    let total_worker_time = p.duration * p.num_workers as f64;
+    ChaosSimResult {
+        frames_per_second: frames / p.duration,
+        updates_per_second: updates as f64 / p.duration,
+        worker_utilisation: 1.0 - (blocked_time / total_worker_time).clamp(0.0, 1.0),
+        crashes,
+        stalls,
+        downtime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apex::simulate_apex;
+
+    fn chaos(seed: u64, crash: f64, stall: f64) -> ChaosSimParams {
+        ChaosSimParams {
+            base: ApexSimParams { num_workers: 32, duration: 30.0, ..Default::default() },
+            seed,
+            worker_crash_rate: crash,
+            worker_restart_time: 2.0,
+            shard_stall_rate: stall,
+            shard_stall_time: 1.0,
+        }
+    }
+
+    #[test]
+    fn zero_rates_match_fault_free_simulation() {
+        let params = chaos(7, 0.0, 0.0);
+        let faulted = simulate_apex_chaos(&params);
+        let clean = simulate_apex(&params.base);
+        assert_eq!(faulted.frames_per_second, clean.frames_per_second);
+        assert_eq!(faulted.updates_per_second, clean.updates_per_second);
+        assert_eq!(faulted.crashes, 0);
+        assert_eq!(faulted.stalls, 0);
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_different_seed_differs() {
+        let a = simulate_apex_chaos(&chaos(42, 0.2, 0.05));
+        let b = simulate_apex_chaos(&chaos(42, 0.2, 0.05));
+        assert_eq!(a, b);
+        let c = simulate_apex_chaos(&chaos(43, 0.2, 0.05));
+        assert_ne!(a.crashes, 0);
+        assert!(a.crashes != c.crashes || a.frames_per_second != c.frames_per_second);
+    }
+
+    #[test]
+    fn faults_degrade_throughput_gracefully() {
+        let clean = simulate_apex(&chaos(9, 0.0, 0.0).base);
+        let light = simulate_apex_chaos(&chaos(9, 0.1, 0.0));
+        let heavy = simulate_apex_chaos(&chaos(9, 0.5, 0.0));
+        assert!(light.frames_per_second < clean.frames_per_second);
+        assert!(heavy.frames_per_second < light.frames_per_second);
+        // degradation, not collapse: the fleet keeps collecting
+        assert!(heavy.frames_per_second > 0.0);
+        assert!(light.retention(&clean) > 0.5, "retention {}", light.retention(&clean));
+    }
+
+    #[test]
+    fn shard_stalls_push_backpressure_onto_workers() {
+        let calm = simulate_apex_chaos(&chaos(11, 0.0, 0.0));
+        let mut stormy_params = chaos(11, 0.0, 0.3);
+        stormy_params.base.num_shards = 1;
+        stormy_params.base.max_shard_backlog = 0.05;
+        let stormy = simulate_apex_chaos(&stormy_params);
+        assert!(stormy.stalls > 0);
+        assert!(stormy.worker_utilisation < calm.worker_utilisation);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_rate_panics() {
+        simulate_apex_chaos(&chaos(1, 1.5, 0.0));
+    }
+}

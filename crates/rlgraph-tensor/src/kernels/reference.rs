@@ -6,7 +6,7 @@
 //! with separate multiply and add. The blocked engine in [`super::gemm`]
 //! keeps the same per-element order but uses fused multiply-adds, so the
 //! two agree within FMA rounding (1e-4 in the parity suite); the size-based
-//! dispatch in [`super::matmul`] depends only on the shape, so it never
+//! dispatch in `super::matmul` depends only on the shape, so it never
 //! introduces thread-count or run-to-run variation.
 
 use crate::{tensor_err, Result, Tensor};

@@ -30,6 +30,13 @@ cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" --example serve_smoke
 cargo "${CONFIG[@]}" test -q "${OFFLINE[@]}" -p rlgraph-tensor --test kernel_parity
 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin kernel_bench -- --smoke
 
+# Fault tolerance: chaos engine smoke (tiny fault plan, asserts the
+# same-seed determinism contract, writes nothing).
+cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin chaos_bench -- --smoke
+
+# The redesigned public API must stay documented: fail on rustdoc warnings.
+RUSTDOCFLAGS="-D warnings" cargo "${CONFIG[@]}" doc --no-deps "${OFFLINE[@]}" --workspace
+
 # clippy is an external subcommand: the --config override must come after it
 cargo clippy "${CONFIG[@]}" --workspace "${OFFLINE[@]}" -- -D warnings
 cargo fmt --check
