@@ -1,0 +1,326 @@
+//! Network transport benchmark: Ape-X across real OS processes on
+//! localhost TCP against the in-process threaded executor at the same
+//! learner-update budget, plus policy-serving latency through the TCP
+//! front-end vs the direct in-process client.
+//!
+//! Writes `BENCH_net.json` at the repo root with:
+//!
+//! 1. **Training throughput** — learner updates/sec for the in-process
+//!    baseline and the multi-process TCP run; the TCP run must stay
+//!    within [`MAX_SLOWDOWN`]× of the baseline (every replay batch,
+//!    priority update and weight snapshot crosses the wire codec).
+//! 2. **Serving latency** — p50/p99 act latency through
+//!    `ServeTcpFrontend`/`NetPolicyClient` vs the direct `PolicyClient`
+//!    against the identical replica fleet.
+//! 3. **Wire accounting** — bytes tx/rx and reconnects from the
+//!    recorder, so a regression in frame overhead shows up in review.
+//!
+//! `--smoke` keeps the real ≥2-OS-process run (tiny budget), skips the
+//! slowdown threshold, and writes nothing — tier-1 uses it as a
+//! does-it-run gate for the whole process-launch + RPC + codec path.
+
+use rlgraph_agents::{Backend, DqnConfig};
+use rlgraph_dist::{run_apex, ApexRunConfig};
+use rlgraph_envs::{Env, RandomEnv};
+use rlgraph_net::{
+    maybe_run_child, run_apex_net, EnvSpec, LaunchMode, NetApexConfig, NetPolicyClient,
+    ServeTcpFrontend,
+};
+use rlgraph_nn::{Activation, NetworkSpec};
+use rlgraph_obs::Recorder;
+use rlgraph_serve::{greedy_policy_replica, PolicyServer, ServeConfig};
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// The TCP multi-process run may be at most this many times slower than
+/// the in-process executor at the same update budget.
+const MAX_SLOWDOWN: f64 = 2.5;
+
+struct Budget {
+    num_workers: usize,
+    envs_per_worker: usize,
+    task_size: usize,
+    num_shards: usize,
+    /// wall-clock window for the in-process baseline; the updates it
+    /// achieves become the TCP run's exact step budget
+    baseline_secs: f64,
+    /// smoke caps the TCP run's update budget to stay a quick gate
+    max_target: u64,
+    serve_requests: usize,
+}
+
+const FULL: Budget = Budget {
+    num_workers: 2,
+    envs_per_worker: 2,
+    task_size: 32,
+    num_shards: 2,
+    baseline_secs: 10.0,
+    max_target: u64::MAX,
+    serve_requests: 300,
+};
+const SMOKE: Budget = Budget {
+    num_workers: 2,
+    envs_per_worker: 2,
+    task_size: 16,
+    num_shards: 2,
+    baseline_secs: 1.5,
+    max_target: 10,
+    serve_requests: 20,
+};
+
+fn agent_config() -> DqnConfig {
+    DqnConfig {
+        backend: Backend::Static,
+        network: NetworkSpec::mlp(&[64], Activation::Tanh),
+        memory_capacity: 8192,
+        batch_size: 32,
+        n_step: 3,
+        target_sync_every: 100,
+        seed: 7,
+        ..DqnConfig::default()
+    }
+}
+
+/// Baseline config: time-boxed, uncapped. `run_apex` deliberately
+/// drains its whole `run_duration` even once a cap is hit, so the
+/// honest baseline measurement is updates-achieved-per-wall-window.
+fn inproc_config(budget: &Budget) -> ApexRunConfig {
+    ApexRunConfig {
+        agent: agent_config(),
+        num_workers: budget.num_workers,
+        envs_per_worker: budget.envs_per_worker,
+        task_size: budget.task_size,
+        num_shards: budget.num_shards,
+        weight_sync_interval: 16,
+        run_duration: Duration::from_secs_f64(budget.baseline_secs),
+        max_updates: None,
+        ..ApexRunConfig::default()
+    }
+}
+
+/// TCP run config: capped at the baseline's achieved update count
+/// (equal step budget); `run_apex_net` returns as soon as the cap is
+/// hit, so its wall time is the time-to-complete measurement.
+fn net_config(budget: &Budget, target_updates: u64, recorder: Recorder) -> NetApexConfig {
+    NetApexConfig {
+        agent: agent_config(),
+        env: EnvSpec::Random { shape: vec![4], actions: 2, episode_len: 20 },
+        num_workers: budget.num_workers,
+        envs_per_worker: budget.envs_per_worker,
+        task_size: budget.task_size,
+        num_shards: budget.num_shards,
+        weight_sync_interval: 16,
+        run_duration: Duration::from_secs(600),
+        max_updates: Some(target_updates),
+        rpc_deadline: Duration::from_secs(10),
+        launch: LaunchMode::Process,
+        shard_proxy: None,
+        recorder,
+    }
+}
+
+/// p-th percentile (0..=100) of raw latency samples.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() - 1) as f64 * p / 100.0).round() as usize;
+    samples[idx]
+}
+
+struct ServeLatency {
+    direct_p50_us: f64,
+    direct_p99_us: f64,
+    tcp_p50_us: f64,
+    tcp_p99_us: f64,
+}
+
+/// Drives the same replica fleet through the direct in-process client
+/// and through the TCP front-end, returning client-observed latency.
+fn serve_latency(requests: usize, recorder: &Recorder) -> ServeLatency {
+    const OBS_DIM: usize = 16;
+    let space = Space::float_box_bounded(&[OBS_DIM], -1.0, 1.0);
+    let network = NetworkSpec::mlp(&[32], Activation::Tanh);
+    let space2 = space.clone();
+    let server = PolicyServer::spawn(
+        ServeConfig {
+            num_replicas: 1,
+            max_batch: 8,
+            max_delay: Duration::from_micros(200),
+            queue_capacity: 64,
+            ..ServeConfig::default()
+        },
+        space,
+        recorder.clone(),
+        move |_| Ok(Box::new(greedy_policy_replica(&network, &space2, 4, false, 7)?)),
+    )
+    .expect("spawn policy server");
+    let frontend =
+        ServeTcpFrontend::spawn(server.client(), recorder.clone()).expect("spawn TCP front-end");
+    let mut tcp_client =
+        NetPolicyClient::connect(frontend.addr(), recorder).expect("connect TCP client");
+    let direct_client = server.client();
+
+    let obs = |i: usize| {
+        Tensor::from_vec(
+            (0..OBS_DIM).map(|j| ((i * OBS_DIM + j) as f32 * 0.13).sin()).collect::<Vec<f32>>(),
+            &[OBS_DIM],
+        )
+        .expect("observation")
+    };
+    let mut direct = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let t0 = Instant::now();
+        direct_client.act(obs(i)).expect("direct act");
+        direct.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let mut tcp = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let t0 = Instant::now();
+        let action = tcp_client.act(&obs(i)).expect("tcp act");
+        assert!(!action.shape().contains(&0), "empty action tensor over TCP");
+        tcp.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    frontend.shutdown();
+    ServeLatency {
+        direct_p50_us: percentile(&mut direct, 50.0),
+        direct_p99_us: percentile(&mut direct, 99.0),
+        tcp_p50_us: percentile(&mut tcp, 50.0),
+        tcp_p99_us: percentile(&mut tcp, 99.0),
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    // Worker re-entry point: when the runtime re-invokes this binary
+    // with a worker spec in the environment, run the worker and exit.
+    maybe_run_child();
+
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let budget = if smoke { &SMOKE } else { &FULL };
+    println!(
+        "net bench: {} workers x {} envs, {} shards, {:.1}s baseline window{}",
+        budget.num_workers,
+        budget.envs_per_worker,
+        budget.num_shards,
+        budget.baseline_secs,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let recorder = Recorder::wall();
+
+    // In-process baseline: threads + channels, no sockets.
+    let base = run_apex(inproc_config(budget), |w, e| -> Box<dyn Env> {
+        Box::new(RandomEnv::new(&[4], 2, 20, (w * 10 + e) as u64))
+    })
+    .expect("in-process run");
+    let base_ups = base.updates as f64 / base.wall_time.as_secs_f64().max(1e-9);
+    println!(
+        "in-process: {} updates in {:.2}s ({:.1} updates/s, {} frames)",
+        base.updates,
+        base.wall_time.as_secs_f64(),
+        base_ups,
+        base.env_frames
+    );
+    assert!(base.updates > 0, "baseline learner never updated");
+    let target_updates = base.updates.min(budget.max_target);
+
+    // Multi-process run: every worker is a real OS process, every
+    // replay/weight byte crosses the TCP wire codec, at the baseline's
+    // achieved update budget.
+    let net = run_apex_net(net_config(budget, target_updates, recorder.clone()))
+        .expect("multi-process run");
+    assert_eq!(net.updates, target_updates, "TCP run must hit the full update budget");
+    assert_eq!(net.workers_clean, budget.num_workers, "every worker process must exit cleanly");
+    assert!(net.losses.iter().all(|l| l.is_finite()), "non-finite loss over TCP");
+    let net_ups = net.updates as f64 / net.wall_time.as_secs_f64().max(1e-9);
+    let slowdown = base_ups / net_ups.max(1e-9);
+    println!(
+        "tcp multi-process: {} updates in {:.2}s ({:.1} updates/s, {} frames, {} heartbeats)",
+        net.updates,
+        net.wall_time.as_secs_f64(),
+        net_ups,
+        net.env_frames,
+        net.heartbeats
+    );
+    println!(
+        "slowdown vs in-process: {:.2}x (bytes tx {} rx {}, reconnects {})",
+        slowdown,
+        recorder.counter("net.bytes_tx").value(),
+        recorder.counter("net.bytes_rx").value(),
+        recorder.counter("net.reconnects").value()
+    );
+    if !smoke {
+        assert!(
+            slowdown <= MAX_SLOWDOWN,
+            "TCP run is {slowdown:.2}x slower than in-process (budget {MAX_SLOWDOWN}x)"
+        );
+        println!("throughput: within {MAX_SLOWDOWN}x of in-process ✓");
+    }
+
+    let serve = serve_latency(budget.serve_requests, &recorder);
+    println!(
+        "serve latency: direct p50 {:.0}us p99 {:.0}us | tcp p50 {:.0}us p99 {:.0}us",
+        serve.direct_p50_us, serve.direct_p99_us, serve.tcp_p50_us, serve.tcp_p99_us
+    );
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_net.json");
+        return;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"budget\": {{\"workers\": {}, \"envs_per_worker\": {}, \"shards\": {}, ",
+            "\"task_size\": {}, \"baseline_secs\": {}, \"target_updates\": {}}},\n",
+            "  \"in_process\": {{\"updates\": {}, \"wall_s\": {}, \"updates_per_s\": {}, ",
+            "\"env_frames\": {}}},\n",
+            "  \"tcp_multi_process\": {{\"updates\": {}, \"wall_s\": {}, \"updates_per_s\": {}, ",
+            "\"env_frames\": {}, \"heartbeats\": {}, \"workers_clean\": {}, ",
+            "\"shard_watermarks\": {:?}}},\n",
+            "  \"slowdown\": {{\"ratio\": {}, \"budget\": {}}},\n",
+            "  \"wire\": {{\"bytes_tx\": {}, \"bytes_rx\": {}, \"reconnects\": {}}},\n",
+            "  \"serve_latency_us\": {{\"direct_p50\": {}, \"direct_p99\": {}, ",
+            "\"tcp_p50\": {}, \"tcp_p99\": {}}}\n",
+            "}}\n"
+        ),
+        budget.num_workers,
+        budget.envs_per_worker,
+        budget.num_shards,
+        budget.task_size,
+        json_f(budget.baseline_secs),
+        target_updates,
+        base.updates,
+        json_f(base.wall_time.as_secs_f64()),
+        json_f(base_ups),
+        base.env_frames,
+        net.updates,
+        json_f(net.wall_time.as_secs_f64()),
+        json_f(net_ups),
+        net.env_frames,
+        net.heartbeats,
+        net.workers_clean,
+        net.shard_watermarks,
+        json_f(slowdown),
+        MAX_SLOWDOWN,
+        recorder.counter("net.bytes_tx").value(),
+        recorder.counter("net.bytes_rx").value(),
+        recorder.counter("net.reconnects").value(),
+        json_f(serve.direct_p50_us),
+        json_f(serve.direct_p99_us),
+        json_f(serve.tcp_p50_us),
+        json_f(serve.tcp_p99_us),
+    );
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    println!("wrote BENCH_net.json");
+}

@@ -152,16 +152,37 @@ pub enum RlError {
         /// panic payload / error message
         reason: String,
     },
+    /// An OS-level I/O failure (socket, pipe, file), classified by its
+    /// [`std::io::ErrorKind`]: `WouldBlock`/`TimedOut`/`ConnectionReset`
+    /// are [`Severity::Retryable`] (re-issue, possibly after a
+    /// reconnect), every other kind is [`Severity::Fatal`].
+    Io {
+        /// the OS error kind driving severity classification
+        kind: std::io::ErrorKind,
+        /// the OS error message
+        message: String,
+    },
+    /// A peer violated the wire protocol: bad magic, unsupported
+    /// version, a corrupt checksum, an over-long frame, or a payload
+    /// that does not decode. The connection cannot be trusted further.
+    Protocol(String),
 }
 
 impl RlError {
     /// The severity class retry/supervision policies dispatch on.
     pub fn severity(&self) -> Severity {
+        use std::io::ErrorKind;
         match self {
             RlError::MailboxFull { .. }
             | RlError::DeadlineExpired { .. }
             | RlError::Shed
             | RlError::QueueFull { .. } => Severity::Retryable,
+            RlError::Io { kind, .. } => match kind {
+                ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::ConnectionReset => {
+                    Severity::Retryable
+                }
+                _ => Severity::Fatal,
+            },
             RlError::QuorumLost { .. } => Severity::Degraded,
             RlError::Core(_)
             | RlError::Disconnected { .. }
@@ -169,7 +190,8 @@ impl RlError {
             | RlError::Exec(_)
             | RlError::RetriesExhausted { .. }
             | RlError::Checkpoint(_)
-            | RlError::ActorCrashed { .. } => Severity::Fatal,
+            | RlError::ActorCrashed { .. }
+            | RlError::Protocol(_) => Severity::Fatal,
         }
     }
 
@@ -224,6 +246,8 @@ impl fmt::Display for RlError {
             RlError::ActorCrashed { actor, reason } => {
                 write!(f, "actor '{}' crashed: {}", actor, reason)
             }
+            RlError::Io { kind, message } => write!(f, "i/o error ({:?}): {}", kind, message),
+            RlError::Protocol(msg) => write!(f, "protocol violation: {}", msg),
         }
     }
 }
@@ -244,6 +268,15 @@ impl From<RlError> for CoreError {
             RlError::Core(c) => c,
             other => CoreError::new(other.to_string()),
         }
+    }
+}
+
+/// Classifies an OS I/O failure into the taxonomy so network and file
+/// code needs no ad-hoc error mapping: `WouldBlock`, `TimedOut`, and
+/// `ConnectionReset` become retryable, everything else is fatal.
+impl From<std::io::Error> for RlError {
+    fn from(e: std::io::Error) -> Self {
+        RlError::Io { kind: e.kind(), message: e.to_string() }
     }
 }
 
@@ -295,6 +328,34 @@ mod tests {
         assert!(RlError::disconnected("shard-0").is_fatal());
         assert!(RlError::Core(CoreError::new("bad build")).is_fatal());
         assert!(RlError::Checkpoint("truncated".into()).is_fatal());
+    }
+
+    #[test]
+    fn io_errors_classify_by_kind() {
+        use std::io::{Error, ErrorKind};
+        for kind in [ErrorKind::WouldBlock, ErrorKind::TimedOut, ErrorKind::ConnectionReset] {
+            let e: RlError = Error::new(kind, "transient").into();
+            assert!(e.is_retryable(), "{:?} should be retryable", kind);
+        }
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::BrokenPipe,
+            ErrorKind::ConnectionRefused,
+            ErrorKind::UnexpectedEof,
+        ] {
+            let e: RlError = Error::new(kind, "permanent").into();
+            assert!(e.is_fatal(), "{:?} should be fatal", kind);
+        }
+        let e: RlError = Error::new(ErrorKind::TimedOut, "slow peer").into();
+        assert!(e.to_string().contains("slow peer"));
+    }
+
+    #[test]
+    fn protocol_violations_are_fatal() {
+        let e = RlError::Protocol("bad magic 0xdeadbeef".into());
+        assert!(e.is_fatal());
+        assert!(e.to_string().contains("bad magic"));
     }
 
     #[test]

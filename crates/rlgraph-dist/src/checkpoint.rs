@@ -72,25 +72,56 @@ impl LearnerCheckpoint {
             .map_err(|e| RlError::Checkpoint(format!("invalid checkpoint document: {}", e)))
     }
 
-    /// Writes the checkpoint to a file.
+    /// Streams the checkpoint document into any writer — a file, a
+    /// `TcpStream`, an in-memory buffer — so checkpoints can be shipped
+    /// over the wire without a temp file.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Checkpoint`] on I/O failure.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> RlResult<()> {
+        w.write_all(self.to_json().as_bytes())
+            .and_then(|()| w.flush())
+            .map_err(|e| RlError::Checkpoint(format!("stream write: {}", e)))
+    }
+
+    /// Reads a checkpoint document from any reader (the reader is
+    /// consumed to EOF; frame the stream upstream when it carries more
+    /// than one document).
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Checkpoint`] on I/O failure or a malformed document.
+    pub fn read_from(r: &mut impl std::io::Read) -> RlResult<Self> {
+        let mut json = String::new();
+        r.read_to_string(&mut json)
+            .map_err(|e| RlError::Checkpoint(format!("stream read: {}", e)))?;
+        Self::from_json(&json)
+    }
+
+    /// Writes the checkpoint to a file (streams via
+    /// [`LearnerCheckpoint::write_to`]).
     ///
     /// # Errors
     ///
     /// [`RlError::Checkpoint`] on I/O failure.
     pub fn save(&self, path: &std::path::Path) -> RlResult<()> {
-        std::fs::write(path, self.to_json())
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| RlError::Checkpoint(format!("create {}: {}", path.display(), e)))?;
+        self.write_to(&mut file)
             .map_err(|e| RlError::Checkpoint(format!("write {}: {}", path.display(), e)))
     }
 
-    /// Reads a checkpoint written by [`LearnerCheckpoint::save`].
+    /// Reads a checkpoint written by [`LearnerCheckpoint::save`]
+    /// (streams via [`LearnerCheckpoint::read_from`]).
     ///
     /// # Errors
     ///
     /// [`RlError::Checkpoint`] on I/O failure or a malformed document.
     pub fn load(path: &std::path::Path) -> RlResult<Self> {
-        let json = std::fs::read_to_string(path)
+        let mut file = std::fs::File::open(path)
             .map_err(|e| RlError::Checkpoint(format!("read {}: {}", path.display(), e)))?;
-        Self::from_json(&json)
+        Self::read_from(&mut file)
     }
 
     /// Bytes of tensor payload held (diagnostic; JSON is larger).
@@ -124,6 +155,28 @@ mod tests {
         let err = LearnerCheckpoint::from_json("{not json").unwrap_err();
         assert!(matches!(err, RlError::Checkpoint(_)));
         assert!(err.is_fatal());
+    }
+
+    #[test]
+    fn stream_roundtrip_without_a_path() {
+        let ckpt = LearnerCheckpoint {
+            updates: 8,
+            weight_version: 2,
+            variables: vec![("w".into(), Tensor::from_vec(vec![1.5, -0.5], &[2]).unwrap())],
+            shard_watermarks: vec![7, 9],
+        };
+        // Any Write/Read pair works — here an in-memory pipe, the same
+        // shape as shipping the document over a socket.
+        let mut wire: Vec<u8> = Vec::new();
+        ckpt.write_to(&mut wire).unwrap();
+        let back = LearnerCheckpoint::read_from(&mut wire.as_slice()).unwrap();
+        assert_eq!(back, ckpt);
+        // A truncated stream is a typed checkpoint error, not a panic.
+        let cut = &wire[..wire.len() / 2];
+        assert!(matches!(
+            LearnerCheckpoint::read_from(&mut cut.to_vec().as_slice()),
+            Err(RlError::Checkpoint(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! The multi-process Ape-X runtime: real OS processes on localhost,
+//! wired together with the crate's RPC layer.
+//!
+//! Topology (all sockets on 127.0.0.1):
+//!
+//! ```text
+//!   child process per worker ──TCP──▶ shard RPC servers (parent)
+//!        │  collect / insert              ▲ sample / update_priorities
+//!        │                               │
+//!        └──TCP──▶ coordinator ◀── WeightHub ◀── learner loop (parent)
+//!            get_weights / heartbeat
+//! ```
+//!
+//! The parent hosts the replay shards and the coordinator; workers are
+//! launched by re-invoking the current executable ([`crate::proc`]).
+//! The learner samples from its own shards **over TCP too** — every
+//! replay byte crosses the wire codec in both directions, so the
+//! measured gap to the in-process executor prices the full transport,
+//! not half of it. Weight sync is parameter-server style: the learner
+//! publishes into the same [`WeightHub`] the serving stack uses, and
+//! workers poll versioned snapshots out through the coordinator.
+
+use crate::proc::{run_worker, spawn_worker, EnvSpec, WorkerSpec};
+use crate::proxy::{FaultProxy, FaultProxyConfig};
+use crate::rpc::RpcServer;
+use crate::services::{CoordService, ShardClient, ShardService};
+use rlgraph_agents::{DqnAgent, DqnConfig};
+use rlgraph_core::{CoreError, RlResult};
+use rlgraph_dist::checkpoint::LearnerCheckpoint;
+use rlgraph_dist::sync::WeightHub;
+use rlgraph_obs::Recorder;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How workers are hosted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchMode {
+    /// Real OS processes via [`crate::proc::spawn_worker`]. The driving
+    /// binary **must** call [`crate::proc::maybe_run_child`] first thing
+    /// in `main`.
+    Process,
+    /// Threads in this process running the same [`run_worker`] loop
+    /// over the same TCP sockets. For tests and harnesses that cannot
+    /// safely re-exec themselves.
+    Thread,
+}
+
+/// Configuration of a multi-process Ape-X run.
+#[derive(Clone)]
+pub struct NetApexConfig {
+    /// learner/worker agent configuration
+    pub agent: DqnConfig,
+    /// environment constructor shipped to workers
+    pub env: EnvSpec,
+    /// worker count (one OS process each in [`LaunchMode::Process`])
+    pub num_workers: usize,
+    /// vectorised environments per worker
+    pub envs_per_worker: usize,
+    /// samples per collection task
+    pub task_size: usize,
+    /// replay shards (each its own RPC server)
+    pub num_shards: usize,
+    /// publish weights every k learner updates
+    pub weight_sync_interval: u64,
+    /// stop after this wall-clock duration
+    pub run_duration: Duration,
+    /// optional hard cap on learner updates
+    pub max_updates: Option<u64>,
+    /// per-RPC deadline on worker and learner calls
+    pub rpc_deadline: Duration,
+    /// worker hosting mode
+    pub launch: LaunchMode,
+    /// optional fault proxy interposed between workers and every shard
+    pub shard_proxy: Option<FaultProxyConfig>,
+    /// observability recorder (servers, clients, learner)
+    pub recorder: Recorder,
+}
+
+impl Default for NetApexConfig {
+    fn default() -> Self {
+        NetApexConfig {
+            agent: DqnConfig::default(),
+            env: EnvSpec::Random { shape: vec![4], actions: 2, episode_len: 20 },
+            num_workers: 2,
+            envs_per_worker: 4,
+            task_size: 64,
+            num_shards: 2,
+            weight_sync_interval: 16,
+            run_duration: Duration::from_secs(5),
+            max_updates: None,
+            rpc_deadline: Duration::from_secs(5),
+            launch: LaunchMode::Process,
+            shard_proxy: None,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// Statistics of a multi-process run.
+#[derive(Debug, Clone, Default)]
+pub struct NetApexStats {
+    /// env frames consumed across worker processes (from heartbeats)
+    pub env_frames: u64,
+    /// post-processed samples shipped to shards
+    pub samples_collected: u64,
+    /// learner updates performed
+    pub updates: u64,
+    /// learner losses over time
+    pub losses: Vec<f32>,
+    /// wall time of the run
+    pub wall_time: Duration,
+    /// frames per second
+    pub frames_per_second: f64,
+    /// heartbeats received by the coordinator
+    pub heartbeats: u64,
+    /// episode returns in heartbeat arrival order
+    pub returns: Vec<f32>,
+    /// workers that exited cleanly (status 0 / `Ok`)
+    pub workers_clean: usize,
+    /// total records ever inserted, per shard (watermarks at shutdown)
+    pub shard_watermarks: Vec<u64>,
+}
+
+/// Runs Ape-X across OS processes (or threads) on localhost TCP.
+///
+/// # Errors
+///
+/// Server bind/spawn failures, learner errors, or a fatal RPC failure
+/// in the parent. Worker-side failures surface in
+/// [`NetApexStats::workers_clean`] rather than failing the run — the
+/// transport's whole point is that the learner outlives flaky peers.
+pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
+    let start = Instant::now();
+    let recorder = config.recorder.clone();
+
+    // Replay shards, each behind its own RPC server.
+    let mut shard_servers = Vec::with_capacity(config.num_shards);
+    for i in 0..config.num_shards {
+        let service = Arc::new(ShardService::new(
+            config.agent.memory_capacity,
+            config.agent.alpha,
+            config.agent.seed.wrapping_add(1000 + i as u64),
+        ));
+        shard_servers.push(RpcServer::spawn(&format!("shard-{}", i), service, recorder.clone())?);
+    }
+
+    // Optional fault proxies: workers dial the proxy, the proxy dials
+    // the shard. The learner's own shard clients stay direct, so
+    // injected faults hit exactly the worker↔shard edge.
+    let mut proxies = Vec::new();
+    let worker_shard_addrs: Vec<String> = if let Some(pcfg) = &config.shard_proxy {
+        let mut addrs = Vec::with_capacity(config.num_shards);
+        for (i, s) in shard_servers.iter().enumerate() {
+            let mut pc = pcfg.clone();
+            pc.seed = pcfg.seed.wrapping_add(i as u64);
+            let proxy = FaultProxy::spawn(s.addr(), pc, recorder.clone())?;
+            addrs.push(proxy.addr().to_string());
+            proxies.push(proxy);
+        }
+        addrs
+    } else {
+        shard_servers.iter().map(|s| s.addr().to_string()).collect()
+    };
+
+    // Coordinator: weight distribution + progress + stop propagation.
+    let hub = Arc::new(WeightHub::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let coord_service = Arc::new(CoordService::new(hub.clone(), stop.clone()));
+    let coord_server = RpcServer::spawn("coord", coord_service.clone(), recorder.clone())?;
+
+    // Workers.
+    enum WorkerHandle {
+        Process(std::process::Child),
+        Thread(std::thread::JoinHandle<RlResult<()>>),
+    }
+    let mut workers = Vec::with_capacity(config.num_workers);
+    for w in 0..config.num_workers {
+        let spec = WorkerSpec {
+            worker: w as u32,
+            num_workers: config.num_workers as u32,
+            agent: config.agent.clone(),
+            env: config.env.clone(),
+            envs_per_worker: config.envs_per_worker as u32,
+            task_size: config.task_size as u32,
+            coord_addr: coord_server.addr().to_string(),
+            shard_addrs: worker_shard_addrs.clone(),
+            rpc_deadline_ms: config.rpc_deadline.as_millis() as u64,
+        };
+        workers.push(match config.launch {
+            LaunchMode::Process => WorkerHandle::Process(spawn_worker(&spec)?),
+            LaunchMode::Thread => WorkerHandle::Thread(
+                std::thread::Builder::new()
+                    .name(format!("net-worker-{}", w))
+                    .spawn(move || run_worker(&spec))
+                    .expect("spawn worker thread"),
+            ),
+        });
+    }
+
+    // Learner loop, sampling from its shards over TCP.
+    let mut shard_clients = Vec::with_capacity(config.num_shards);
+    for (i, s) in shard_servers.iter().enumerate() {
+        let mut c = ShardClient::connect(&format!("shard-{}", i), s.addr(), &recorder)?;
+        c.set_deadline(Some(config.rpc_deadline));
+        shard_clients.push(c);
+    }
+    let state_space = config.env.build(0).state_space();
+    let action_space = config.env.build(0).action_space();
+    let mut learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
+    let step_us = recorder.histogram("learner.step_us");
+    let updates_ctr = recorder.counter("learner.updates");
+    let mut losses = Vec::new();
+    let mut updates = 0u64;
+    let mut rr = 0usize;
+    let deadline = start + config.run_duration;
+    while Instant::now() < deadline && config.max_updates.map(|m| updates < m).unwrap_or(true) {
+        let idx = rr % shard_clients.len();
+        rr += 1;
+        let batch = match shard_clients[idx].sample(config.agent.batch_size, config.agent.beta) {
+            Ok(Some(b)) => b,
+            Ok(None) => {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(e) if e.is_retryable() => continue,
+            Err(e) => return Err(e),
+        };
+        let [s, a, r, s2, t] = batch.tensors;
+        let t0 = Instant::now();
+        let (loss, td) = learner.update_from_batch([s, a, r, s2, t, batch.weights])?;
+        step_us.record_duration(t0.elapsed());
+        updates_ctr.inc();
+        losses.push(loss);
+        updates += 1;
+        let priorities = td.as_f32().map_err(CoreError::from)?.to_vec();
+        if let Err(e) = shard_clients[idx].update_priorities(&batch.indices, &priorities) {
+            if !e.is_retryable() {
+                return Err(e);
+            }
+        }
+        if updates.is_multiple_of(config.weight_sync_interval) {
+            let version = hub.publish(learner.get_weights());
+            let mut watermarks = Vec::with_capacity(shard_clients.len());
+            for c in &mut shard_clients {
+                watermarks.push(c.watermark().unwrap_or(0));
+            }
+            coord_service.set_checkpoint(LearnerCheckpoint {
+                updates,
+                weight_version: version,
+                variables: learner.export_variables(),
+                shard_watermarks: watermarks,
+            });
+        }
+    }
+
+    // Tell workers (via heartbeat replies) the run is over, then reap.
+    stop.store(true, Ordering::Relaxed);
+    let mut workers_clean = 0usize;
+    let reap_deadline = Instant::now() + config.rpc_deadline + Duration::from_secs(10);
+    for w in workers {
+        match w {
+            WorkerHandle::Process(mut child) => loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        if status.success() {
+                            workers_clean += 1;
+                        }
+                        break;
+                    }
+                    Ok(None) if Instant::now() < reap_deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            },
+            WorkerHandle::Thread(h) => {
+                if matches!(h.join(), Ok(Ok(()))) {
+                    workers_clean += 1;
+                }
+            }
+        }
+    }
+
+    let shard_watermarks: Vec<u64> =
+        shard_clients.iter_mut().map(|c| c.watermark().unwrap_or(0)).collect();
+    let progress = coord_service.progress();
+    drop(proxies);
+    for s in shard_servers {
+        s.shutdown();
+    }
+    coord_server.shutdown();
+
+    let wall_time = start.elapsed();
+    Ok(NetApexStats {
+        env_frames: progress.env_frames,
+        samples_collected: progress.samples,
+        updates,
+        losses,
+        wall_time,
+        frames_per_second: progress.env_frames as f64 / wall_time.as_secs_f64().max(1e-9),
+        heartbeats: progress.heartbeats,
+        returns: progress.returns,
+        workers_clean,
+        shard_watermarks,
+    })
+}

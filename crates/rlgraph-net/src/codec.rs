@@ -1,0 +1,641 @@
+//! Binary encodings for the values rlgraph ships across processes:
+//! tensors, spaces, transitions/sample batches, weight snapshots, learner
+//! checkpoints, and the unified error taxonomy.
+//!
+//! Encodings are little-endian, fixed-layout element streams with no
+//! per-element tags or escaping — on little-endian hosts the element
+//! loops compile down to straight buffer copies, so a tensor's trip
+//! through the codec costs two memcpy-shaped passes and no intermediate
+//! text. Every decoder is bounds-checked and returns
+//! [`RlError::Protocol`] on malformed input; decoders never panic on
+//! attacker-controlled bytes.
+
+use crate::wire::{ByteReader, ByteWriter};
+use rlgraph_core::RlError;
+use rlgraph_core::RlResult;
+use rlgraph_dist::LearnerCheckpoint;
+use rlgraph_dist::WeightsSnapshot;
+use rlgraph_memory::Transition;
+use rlgraph_spaces::{Space, SpaceKind};
+use rlgraph_tensor::{DType, Tensor};
+
+// ----- dtype -----
+
+fn dtype_tag(d: DType) -> u8 {
+    match d {
+        DType::F32 => 0,
+        DType::I64 => 1,
+        DType::Bool => 2,
+    }
+}
+
+fn dtype_from_tag(t: u8) -> RlResult<DType> {
+    match t {
+        0 => Ok(DType::F32),
+        1 => Ok(DType::I64),
+        2 => Ok(DType::Bool),
+        other => Err(RlError::Protocol(format!("unknown dtype tag {}", other))),
+    }
+}
+
+// ----- tensor -----
+
+/// Appends a tensor: `[dtype u8][rank u8][dim u32 …][raw elements]`.
+pub fn put_tensor(w: &mut ByteWriter, t: &Tensor) {
+    w.put_u8(dtype_tag(t.dtype()));
+    w.put_u8(t.rank() as u8);
+    for &d in t.shape() {
+        w.put_u32(d as u32);
+    }
+    match t.dtype() {
+        DType::F32 => {
+            for &v in t.as_f32().expect("dtype checked") {
+                w.put_f32(v);
+            }
+        }
+        DType::I64 => {
+            for &v in t.as_i64().expect("dtype checked") {
+                w.put_i64(v);
+            }
+        }
+        DType::Bool => {
+            for &v in t.as_bool().expect("dtype checked") {
+                w.put_u8(v as u8);
+            }
+        }
+    }
+}
+
+/// Reads a tensor written by [`put_tensor`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on truncation, an unknown dtype tag, or a
+/// boolean byte that is neither 0 nor 1.
+pub fn get_tensor(r: &mut ByteReader<'_>) -> RlResult<Tensor> {
+    let dtype = dtype_from_tag(r.get_u8()?)?;
+    let rank = r.get_u8()? as usize;
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(r.get_u32()? as usize);
+    }
+    let n = shape.iter().try_fold(1usize, |a, &d| a.checked_mul(d)).ok_or_else(|| {
+        RlError::Protocol(format!("tensor shape {:?} overflows element count", shape))
+    })?;
+    let bytes = r.get_bytes(n.checked_mul(dtype.size_bytes()).ok_or_else(|| {
+        RlError::Protocol(format!("tensor payload of {} elements overflows", n))
+    })?)?;
+    let tensor = match dtype {
+        DType::F32 => Tensor::from_vec(
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4"))).collect(),
+            &shape,
+        ),
+        DType::I64 => Tensor::from_vec_i64(
+            bytes.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("8"))).collect(),
+            &shape,
+        ),
+        DType::Bool => {
+            let mut vals = Vec::with_capacity(n);
+            for &b in bytes {
+                match b {
+                    0 => vals.push(false),
+                    1 => vals.push(true),
+                    other => {
+                        return Err(RlError::Protocol(format!("bool byte 0x{:02x}", other)));
+                    }
+                }
+            }
+            Tensor::from_vec_bool(vals, &shape)
+        }
+    };
+    tensor.map_err(|e| RlError::Protocol(format!("tensor rebuild failed: {}", e.message())))
+}
+
+// ----- space -----
+
+/// Appends a space: recursive `[tag u8]…` plus the batch/time rank flags
+/// on the outermost space.
+pub fn put_space(w: &mut ByteWriter, s: &Space) {
+    w.put_u8(s.has_batch_rank() as u8);
+    w.put_u8(s.has_time_rank() as u8);
+    put_space_kind(w, s);
+}
+
+fn put_space_kind(w: &mut ByteWriter, s: &Space) {
+    match s.kind() {
+        SpaceKind::Float { shape, low, high } => {
+            w.put_u8(0);
+            put_shape(w, shape);
+            w.put_f32(*low);
+            w.put_f32(*high);
+        }
+        SpaceKind::Int { shape, num_categories } => {
+            w.put_u8(1);
+            put_shape(w, shape);
+            w.put_i64(*num_categories);
+        }
+        SpaceKind::Bool { shape } => {
+            w.put_u8(2);
+            put_shape(w, shape);
+        }
+        SpaceKind::Dict(entries) => {
+            w.put_u8(3);
+            w.put_u32(entries.len() as u32);
+            for (name, sub) in entries {
+                w.put_str(name);
+                put_space_kind(w, sub);
+            }
+        }
+        SpaceKind::Tuple(entries) => {
+            w.put_u8(4);
+            w.put_u32(entries.len() as u32);
+            for sub in entries {
+                put_space_kind(w, sub);
+            }
+        }
+    }
+}
+
+fn put_shape(w: &mut ByteWriter, shape: &[usize]) {
+    w.put_u8(shape.len() as u8);
+    for &d in shape {
+        w.put_u32(d as u32);
+    }
+}
+
+/// Reads a space written by [`put_space`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on truncation or an unknown structure tag.
+pub fn get_space(r: &mut ByteReader<'_>) -> RlResult<Space> {
+    let batch = r.get_u8()? != 0;
+    let time = r.get_u8()? != 0;
+    let mut s = get_space_kind(r, 0)?;
+    if batch {
+        s = s.with_batch_rank();
+    }
+    if time {
+        s = s.with_time_rank();
+    }
+    Ok(s)
+}
+
+fn get_space_kind(r: &mut ByteReader<'_>, depth: u8) -> RlResult<Space> {
+    if depth > 16 {
+        return Err(RlError::Protocol("space nesting deeper than 16".into()));
+    }
+    match r.get_u8()? {
+        0 => {
+            let shape = get_shape(r)?;
+            let low = r.get_f32()?;
+            let high = r.get_f32()?;
+            Ok(Space::float_box_bounded(&shape, low, high))
+        }
+        1 => {
+            let shape = get_shape(r)?;
+            let n = r.get_i64()?;
+            Ok(Space::int_box_shaped(&shape, n))
+        }
+        2 => Ok(Space::bool_box_shaped(&get_shape(r)?)),
+        3 => {
+            let n = r.get_u32()? as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.get_str()?;
+                entries.push((name, get_space_kind(r, depth + 1)?));
+            }
+            Ok(Space::dict(entries))
+        }
+        4 => {
+            let n = r.get_u32()? as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_space_kind(r, depth + 1)?);
+            }
+            Ok(Space::tuple(entries))
+        }
+        other => Err(RlError::Protocol(format!("unknown space tag {}", other))),
+    }
+}
+
+fn get_shape(r: &mut ByteReader<'_>) -> RlResult<Vec<usize>> {
+    let rank = r.get_u8()? as usize;
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(r.get_u32()? as usize);
+    }
+    Ok(shape)
+}
+
+// ----- transitions / sample batches -----
+
+/// Appends one transition record.
+pub fn put_transition(w: &mut ByteWriter, t: &Transition) {
+    put_tensor(w, &t.state);
+    put_tensor(w, &t.action);
+    w.put_f32(t.reward);
+    put_tensor(w, &t.next_state);
+    w.put_u8(t.terminal as u8);
+}
+
+/// Reads a transition written by [`put_transition`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input.
+pub fn get_transition(r: &mut ByteReader<'_>) -> RlResult<Transition> {
+    let state = get_tensor(r)?;
+    let action = get_tensor(r)?;
+    let reward = r.get_f32()?;
+    let next_state = get_tensor(r)?;
+    let terminal = r.get_u8()? != 0;
+    Ok(Transition::new(state, action, reward, next_state, terminal))
+}
+
+/// Appends a trajectory batch: transitions plus worker-side priorities,
+/// the payload of a replay-shard insert.
+pub fn put_trajectory(w: &mut ByteWriter, transitions: &[Transition], priorities: &[f32]) {
+    w.put_u32(transitions.len() as u32);
+    for t in transitions {
+        put_transition(w, t);
+    }
+    w.put_f32_slice(priorities);
+}
+
+/// Reads a trajectory batch written by [`put_trajectory`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input or a priority count that
+/// does not match the transition count.
+pub fn get_trajectory(r: &mut ByteReader<'_>) -> RlResult<(Vec<Transition>, Vec<f32>)> {
+    let n = r.get_u32()? as usize;
+    let mut transitions = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        transitions.push(get_transition(r)?);
+    }
+    let priorities = r.get_f32_vec()?;
+    if priorities.len() != transitions.len() {
+        return Err(RlError::Protocol(format!(
+            "{} priorities for {} transitions",
+            priorities.len(),
+            transitions.len()
+        )));
+    }
+    Ok((transitions, priorities))
+}
+
+// ----- named weights / snapshots -----
+
+/// Appends a named weight list (`export_weights` output).
+pub fn put_weights(w: &mut ByteWriter, weights: &[(String, Tensor)]) {
+    w.put_u32(weights.len() as u32);
+    for (name, t) in weights {
+        w.put_str(name);
+        put_tensor(w, t);
+    }
+}
+
+/// Reads a named weight list written by [`put_weights`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input.
+pub fn get_weights(r: &mut ByteReader<'_>) -> RlResult<Vec<(String, Tensor)>> {
+    let n = r.get_u32()? as usize;
+    let mut weights = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let name = r.get_str()?;
+        weights.push((name, get_tensor(r)?));
+    }
+    Ok(weights)
+}
+
+/// Appends a versioned weight snapshot (the parameter-server payload).
+pub fn put_snapshot(w: &mut ByteWriter, snap: &WeightsSnapshot) {
+    w.put_u64(snap.version);
+    put_weights(w, &snap.weights);
+}
+
+/// Reads a snapshot written by [`put_snapshot`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input.
+pub fn get_snapshot(r: &mut ByteReader<'_>) -> RlResult<WeightsSnapshot> {
+    let version = r.get_u64()?;
+    let weights = get_weights(r)?;
+    Ok(WeightsSnapshot { version, weights })
+}
+
+// ----- learner checkpoints -----
+
+/// Appends a learner checkpoint in binary form (an order of magnitude
+/// denser than its JSON document; the JSON path remains for on-disk
+/// artifacts).
+pub fn put_checkpoint(w: &mut ByteWriter, c: &LearnerCheckpoint) {
+    w.put_u64(c.updates);
+    w.put_u64(c.weight_version);
+    put_weights(w, &c.variables);
+    w.put_u32(c.shard_watermarks.len() as u32);
+    for &m in &c.shard_watermarks {
+        w.put_u64(m);
+    }
+}
+
+/// Reads a checkpoint written by [`put_checkpoint`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input.
+pub fn get_checkpoint(r: &mut ByteReader<'_>) -> RlResult<LearnerCheckpoint> {
+    let updates = r.get_u64()?;
+    let weight_version = r.get_u64()?;
+    let variables = get_weights(r)?;
+    let n = r.get_u32()? as usize;
+    let mut shard_watermarks = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        shard_watermarks.push(r.get_u64()?);
+    }
+    Ok(LearnerCheckpoint { updates, weight_version, variables, shard_watermarks })
+}
+
+// ----- errors -----
+
+/// Appends an [`RlError`] so a server can return typed failures. The
+/// encoding is variant-tagged and carries every field the taxonomy's
+/// severity classification depends on, so a decoded error retries,
+/// degrades, or fails exactly like the original.
+pub fn put_rl_error(w: &mut ByteWriter, e: &RlError) {
+    match e {
+        RlError::DeadlineExpired { what } => {
+            w.put_u8(0);
+            w.put_str(what);
+        }
+        RlError::MailboxFull { capacity } => {
+            w.put_u8(1);
+            w.put_u64(*capacity as u64);
+        }
+        RlError::QueueFull { capacity } => {
+            w.put_u8(2);
+            w.put_u64(*capacity as u64);
+        }
+        RlError::Shed => w.put_u8(3),
+        RlError::Shutdown => w.put_u8(4),
+        RlError::Disconnected { actor } => {
+            w.put_u8(5);
+            w.put_str(actor);
+        }
+        RlError::Exec(msg) => {
+            w.put_u8(6);
+            w.put_str(msg);
+        }
+        RlError::Checkpoint(msg) => {
+            w.put_u8(7);
+            w.put_str(msg);
+        }
+        RlError::QuorumLost { healthy, required } => {
+            w.put_u8(8);
+            w.put_u64(*healthy as u64);
+            w.put_u64(*required as u64);
+        }
+        RlError::ActorCrashed { actor, reason } => {
+            w.put_u8(9);
+            w.put_str(actor);
+            w.put_str(reason);
+        }
+        RlError::Io { kind, message } => {
+            w.put_u8(10);
+            w.put_u8(io_kind_tag(*kind));
+            w.put_str(message);
+        }
+        RlError::Protocol(msg) => {
+            w.put_u8(11);
+            w.put_str(msg);
+        }
+        RlError::RetriesExhausted { attempts, last } => {
+            w.put_u8(12);
+            w.put_u32(*attempts);
+            put_rl_error(w, last);
+        }
+        // Core build errors don't cross process boundaries structurally;
+        // the message is what matters remotely.
+        RlError::Core(c) => {
+            w.put_u8(13);
+            w.put_str(c.message());
+        }
+    }
+}
+
+/// Reads an error written by [`put_rl_error`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input.
+pub fn get_rl_error(r: &mut ByteReader<'_>) -> RlResult<RlError> {
+    get_rl_error_depth(r, 0)
+}
+
+fn get_rl_error_depth(r: &mut ByteReader<'_>, depth: u8) -> RlResult<RlError> {
+    if depth > 4 {
+        return Err(RlError::Protocol("error nesting deeper than 4".into()));
+    }
+    Ok(match r.get_u8()? {
+        0 => RlError::DeadlineExpired { what: r.get_str()? },
+        1 => RlError::MailboxFull { capacity: r.get_u64()? as usize },
+        2 => RlError::QueueFull { capacity: r.get_u64()? as usize },
+        3 => RlError::Shed,
+        4 => RlError::Shutdown,
+        5 => RlError::Disconnected { actor: r.get_str()? },
+        6 => RlError::Exec(r.get_str()?),
+        7 => RlError::Checkpoint(r.get_str()?),
+        8 => {
+            RlError::QuorumLost { healthy: r.get_u64()? as usize, required: r.get_u64()? as usize }
+        }
+        9 => RlError::ActorCrashed { actor: r.get_str()?, reason: r.get_str()? },
+        10 => {
+            let kind = io_kind_from_tag(r.get_u8()?);
+            RlError::Io { kind, message: r.get_str()? }
+        }
+        11 => RlError::Protocol(r.get_str()?),
+        12 => {
+            let attempts = r.get_u32()?;
+            let last = get_rl_error_depth(r, depth + 1)?;
+            RlError::RetriesExhausted { attempts, last: Box::new(last) }
+        }
+        13 => RlError::Core(rlgraph_core::CoreError::new(r.get_str()?)),
+        other => return Err(RlError::Protocol(format!("unknown error tag {}", other))),
+    })
+}
+
+/// The io kinds whose identity matters remotely are the ones severity
+/// classification depends on; every other kind collapses to `Other`.
+fn io_kind_tag(kind: std::io::ErrorKind) -> u8 {
+    use std::io::ErrorKind;
+    match kind {
+        ErrorKind::WouldBlock => 0,
+        ErrorKind::TimedOut => 1,
+        ErrorKind::ConnectionReset => 2,
+        ErrorKind::ConnectionRefused => 3,
+        ErrorKind::BrokenPipe => 4,
+        ErrorKind::UnexpectedEof => 5,
+        _ => 255,
+    }
+}
+
+fn io_kind_from_tag(tag: u8) -> std::io::ErrorKind {
+    use std::io::ErrorKind;
+    match tag {
+        0 => ErrorKind::WouldBlock,
+        1 => ErrorKind::TimedOut,
+        2 => ErrorKind::ConnectionReset,
+        3 => ErrorKind::ConnectionRefused,
+        4 => ErrorKind::BrokenPipe,
+        5 => ErrorKind::UnexpectedEof,
+        _ => ErrorKind::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_tensor(t: &Tensor) -> Tensor {
+        let mut w = ByteWriter::new();
+        put_tensor(&mut w, t);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_tensor(&mut r).unwrap();
+        r.expect_end().unwrap();
+        back
+    }
+
+    #[test]
+    fn tensor_roundtrips_all_dtypes() {
+        let f = Tensor::from_vec(vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0], &[2, 2]).unwrap();
+        assert_eq!(roundtrip_tensor(&f), f);
+        let i = Tensor::from_vec_i64(vec![i64::MIN, -1, 0, i64::MAX], &[4]).unwrap();
+        assert_eq!(roundtrip_tensor(&i), i);
+        let b = Tensor::from_vec_bool(vec![true, false, true], &[3]).unwrap();
+        assert_eq!(roundtrip_tensor(&b), b);
+        let scalar = Tensor::scalar(4.25);
+        assert_eq!(roundtrip_tensor(&scalar), scalar);
+    }
+
+    #[test]
+    fn nan_payloads_survive_bitwise() {
+        let t = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, -0.0], &[3]).unwrap();
+        let back = roundtrip_tensor(&t);
+        let (a, b) = (t.as_f32().unwrap(), back.as_f32().unwrap());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn space_roundtrips_nested_containers() {
+        let space = Space::dict([
+            ("obs", Space::float_box_bounded(&[3, 4], -1.0, 1.0)),
+            ("meta", Space::tuple([Space::int_box(6), Space::bool_box()])),
+        ])
+        .with_batch_rank();
+        let mut w = ByteWriter::new();
+        put_space(&mut w, &space);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_space(&mut r).unwrap(), space);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn trajectory_roundtrip_and_mismatch_rejection() {
+        let ts: Vec<Transition> = (0..3)
+            .map(|i| {
+                Transition::new(
+                    Tensor::full(&[2], i as f32),
+                    Tensor::scalar_i64(i),
+                    0.5 * i as f32,
+                    Tensor::full(&[2], i as f32 + 1.0),
+                    i == 2,
+                )
+            })
+            .collect();
+        let mut w = ByteWriter::new();
+        put_trajectory(&mut w, &ts, &[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let (back_ts, back_ps) = get_trajectory(&mut r).unwrap();
+        assert_eq!(back_ts, ts);
+        assert_eq!(back_ps, vec![1.0, 2.0, 3.0]);
+
+        let mut w = ByteWriter::new();
+        put_trajectory(&mut w, &ts, &[1.0]); // wrong count
+        let bytes = w.into_bytes();
+        assert!(matches!(get_trajectory(&mut ByteReader::new(&bytes)), Err(RlError::Protocol(_))));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ckpt = LearnerCheckpoint {
+            updates: 31,
+            weight_version: 4,
+            variables: vec![
+                ("policy/w".into(), Tensor::from_vec(vec![0.25; 6], &[2, 3]).unwrap()),
+                ("adam/m".into(), Tensor::from_vec(vec![-1.0, 1.0], &[2]).unwrap()),
+            ],
+            shard_watermarks: vec![10, 20, 30],
+        };
+        let mut w = ByteWriter::new();
+        put_checkpoint(&mut w, &ckpt);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_checkpoint(&mut r).unwrap(), ckpt);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn errors_roundtrip_with_severity_preserved() {
+        let cases = [
+            RlError::deadline("shard.sample"),
+            RlError::MailboxFull { capacity: 256 },
+            RlError::QueueFull { capacity: 64 },
+            RlError::Shed,
+            RlError::Shutdown,
+            RlError::disconnected("learner"),
+            RlError::Exec("nan loss".into()),
+            RlError::Checkpoint("short read".into()),
+            RlError::QuorumLost { healthy: 1, required: 2 },
+            RlError::ActorCrashed { actor: "w3".into(), reason: "panic".into() },
+            RlError::Io { kind: std::io::ErrorKind::TimedOut, message: "slow".into() },
+            RlError::Protocol("bad magic".into()),
+            RlError::RetriesExhausted {
+                attempts: 4,
+                last: Box::new(RlError::MailboxFull { capacity: 8 }),
+            },
+            RlError::Core(rlgraph_core::CoreError::new("build failed")),
+        ];
+        for e in cases {
+            let mut w = ByteWriter::new();
+            put_rl_error(&mut w, &e);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            let back = get_rl_error(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(back, e);
+            assert_eq!(back.severity(), e.severity());
+        }
+    }
+
+    #[test]
+    fn unknown_io_kind_collapses_but_stays_fatal() {
+        let e =
+            RlError::Io { kind: std::io::ErrorKind::PermissionDenied, message: "denied".into() };
+        let mut w = ByteWriter::new();
+        put_rl_error(&mut w, &e);
+        let bytes = w.into_bytes();
+        let back = get_rl_error(&mut ByteReader::new(&bytes)).unwrap();
+        assert!(matches!(back, RlError::Io { kind: std::io::ErrorKind::Other, .. }));
+        assert!(back.is_fatal());
+    }
+}

@@ -1,0 +1,200 @@
+//! Length-prefixed frames with a magic/version header and CRC32 trailer.
+//!
+//! Every message on an rlgraph-net socket is one frame:
+//!
+//! ```text
+//! ┌────────────┬──────────┬─────────┬──────────┬───────────┬──────────┐
+//! │ magic u32  │ ver u16  │ kind u16│ len u32  │ payload…  │ crc32 u32│
+//! │ 0x524C4E46 │ 1        │         │ N        │ N bytes   │ (payload)│
+//! └────────────┴──────────┴─────────┴──────────┴───────────┴──────────┘
+//! ```
+//!
+//! All integers are little-endian. The CRC covers the payload only (the
+//! header is validated field-by-field). Frames longer than
+//! [`MAX_FRAME_LEN`] are rejected before any allocation, so a corrupt
+//! length field cannot OOM the receiver. Every violation surfaces as
+//! [`RlError::Protocol`]; transport
+//! failures surface as `RlError::Io` via the blanket
+//! `From<std::io::Error>` conversion.
+
+use crate::wire::crc32;
+use rlgraph_core::{RlError, RlResult};
+use std::io::{Read, Write};
+
+/// Frame magic: ASCII "RLNF" (rlgraph net frame).
+pub const MAGIC: u32 = 0x524C_4E46;
+
+/// Current protocol version. Bumped on any wire-incompatible change;
+/// peers reject frames from other versions outright.
+pub const VERSION: u16 = 1;
+
+/// Hard ceiling on payload length (256 MiB): large enough for any
+/// checkpoint this workspace produces, small enough that a corrupt
+/// length field fails fast instead of allocating the heap away.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+/// Bytes of framing overhead around a payload (header + CRC trailer).
+pub const FRAME_OVERHEAD: usize = 4 + 2 + 2 + 4 + 4;
+
+/// What a frame carries; the dispatch tag peers switch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An RPC request: `[req_id u64][method u16][body…]`.
+    Request,
+    /// An RPC response: `[req_id u64][status u8][body… | error…]`.
+    Response,
+}
+
+impl FrameKind {
+    fn to_u16(self) -> u16 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+        }
+    }
+
+    fn from_u16(v: u16) -> RlResult<Self> {
+        match v {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            other => Err(RlError::Protocol(format!("unknown frame kind {}", other))),
+        }
+    }
+}
+
+/// Writes one frame (header, payload, CRC) and flushes.
+///
+/// # Errors
+///
+/// `RlError::Io` on transport failure; [`RlError::Protocol`] if the
+/// payload exceeds [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> RlResult<()> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(RlError::Protocol(format!(
+            "frame payload of {} bytes exceeds the {} byte limit",
+            payload.len(),
+            MAX_FRAME_LEN
+        )));
+    }
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6..8].copy_from_slice(&kind.to_u16().to_le_bytes());
+    header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, validating magic, version, length bound, and CRC.
+///
+/// # Errors
+///
+/// `RlError::Io` on transport failure (including read timeouts, which
+/// classify as retryable); [`RlError::Protocol`] on any header or
+/// checksum violation.
+pub fn read_frame(r: &mut impl Read) -> RlResult<(FrameKind, Vec<u8>)> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(RlError::Protocol(format!("bad magic 0x{:08x}", magic)));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(RlError::Protocol(format!(
+            "unsupported protocol version {} (this peer speaks {})",
+            version, VERSION
+        )));
+    }
+    let kind = FrameKind::from_u16(u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")))?;
+    let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(RlError::Protocol(format!(
+            "declared payload of {} bytes exceeds the {} byte limit",
+            len, MAX_FRAME_LEN
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let expected = u32::from_le_bytes(crc_bytes);
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(RlError::Protocol(format!(
+            "payload checksum mismatch: computed 0x{:08x}, frame says 0x{:08x}",
+            actual, expected
+        )));
+    }
+    Ok((kind, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, kind, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = frame_bytes(FrameKind::Request, b"payload bytes");
+        assert_eq!(bytes.len(), b"payload bytes".len() + FRAME_OVERHEAD);
+        let (kind, payload) = read_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(payload, b"payload bytes");
+        // empty payloads are legal frames
+        let empty = frame_bytes(FrameKind::Response, b"");
+        let (kind, payload) = read_frame(&mut empty.as_slice()).unwrap();
+        assert_eq!(kind, FrameKind::Response);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = frame_bytes(FrameKind::Request, b"x");
+        bytes[0] ^= 0xFF;
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, RlError::Protocol(ref m) if m.contains("magic")), "{}", err);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = frame_bytes(FrameKind::Request, b"x");
+        bytes[4] = VERSION as u8 + 1;
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, RlError::Protocol(ref m) if m.contains("version")), "{}", err);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let mut bytes = frame_bytes(FrameKind::Request, b"sensitive payload");
+        let flip = 12 + 3; // a payload byte
+        bytes[flip] ^= 0x01;
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, RlError::Protocol(ref m) if m.contains("checksum")), "{}", err);
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let bytes = frame_bytes(FrameKind::Request, b"cut short");
+        let cut = &bytes[..bytes.len() - 6];
+        let err = read_frame(&mut &cut[..]).unwrap_err();
+        assert!(matches!(err, RlError::Io { .. }), "{}", err);
+        assert!(err.is_fatal(), "truncation mid-frame cannot be retried on the same stream");
+    }
+
+    #[test]
+    fn oversized_length_field_rejected_before_allocation() {
+        let mut bytes = frame_bytes(FrameKind::Request, b"x");
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, RlError::Protocol(ref m) if m.contains("limit")), "{}", err);
+    }
+}

@@ -1,0 +1,227 @@
+//! Worker processes: spec serialization, the re-exec launcher, and the
+//! worker main loop.
+//!
+//! The launcher re-invokes the **current executable** with a JSON
+//! [`WorkerSpec`] in the `RLGRAPH_NET_WORKER` environment variable; a
+//! cooperating binary calls [`maybe_run_child`] as its very first
+//! statement, which hijacks the process into [`run_worker`] and exits
+//! before the host program's own logic runs. This is the
+//! single-binary-cluster idiom: no separate worker executable to build,
+//! install, or version-skew against.
+//!
+//! Because a worker is (re)constructed in a fresh address space, its
+//! spec must carry everything needed to rebuild the actor: the agent
+//! config, an [`EnvSpec`] (environments cannot be serialized — their
+//! *constructors* can), and the coordinator/shard socket addresses.
+
+use crate::services::{CoordClient, Heartbeat, ShardClient};
+use rlgraph_agents::apex::ApexWorker;
+use rlgraph_agents::DqnConfig;
+use rlgraph_core::{CoreError, RlError, RlResult};
+use rlgraph_dist::ray::apex_worker_epsilon;
+use rlgraph_dist::retry::{RetryPolicy, ThreadSleeper};
+use rlgraph_envs::{CartPole, Env, RandomEnv, VectorEnv};
+use rlgraph_obs::Recorder;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Environment variable carrying a child's JSON [`WorkerSpec`].
+pub const WORKER_ENV_VAR: &str = "RLGRAPH_NET_WORKER";
+
+/// A serializable environment constructor: which environment to build
+/// in a worker process, minus the per-copy seed (assigned at build time
+/// from worker and env indices).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum EnvSpec {
+    /// `RandomEnv::new(&shape, actions, episode_len, seed)`
+    Random {
+        /// observation shape
+        shape: Vec<usize>,
+        /// number of discrete actions
+        actions: i64,
+        /// steps per episode
+        episode_len: u32,
+    },
+    /// `CartPole::new(seed, max_steps)`
+    CartPole {
+        /// episode step cap
+        max_steps: u32,
+    },
+}
+
+impl EnvSpec {
+    /// Builds one environment copy with the given seed.
+    pub fn build(&self, seed: u64) -> Box<dyn Env> {
+        match self {
+            EnvSpec::Random { shape, actions, episode_len } => {
+                Box::new(RandomEnv::new(shape, *actions, *episode_len, seed))
+            }
+            EnvSpec::CartPole { max_steps } => Box::new(CartPole::new(seed, *max_steps)),
+        }
+    }
+}
+
+/// Everything a worker process needs to reconstruct its actor and join
+/// the run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WorkerSpec {
+    /// this worker's index
+    pub worker: u32,
+    /// total workers in the run (fixes the exploration ladder)
+    pub num_workers: u32,
+    /// agent configuration (exploration is overridden per the ladder)
+    pub agent: DqnConfig,
+    /// environment constructor
+    pub env: EnvSpec,
+    /// vectorised environments in this worker
+    pub envs_per_worker: u32,
+    /// samples per collection task
+    pub task_size: u32,
+    /// coordinator RPC address, `host:port`
+    pub coord_addr: String,
+    /// replay-shard RPC addresses, `host:port` each
+    pub shard_addrs: Vec<String>,
+    /// per-RPC deadline in milliseconds (0 = none)
+    pub rpc_deadline_ms: u64,
+}
+
+/// If this process was launched as a worker child, runs the worker to
+/// completion and **exits the process** (status 0 on a clean stop, 1 on
+/// error). Returns quietly when the process is not a child.
+///
+/// Call this first thing in `main` of any binary that drives
+/// [`run_apex_net`](crate::run_apex_net) with process-mode workers.
+pub fn maybe_run_child() {
+    let Ok(json) = std::env::var(WORKER_ENV_VAR) else { return };
+    let spec: WorkerSpec = match serde_json::from_str(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rlgraph-net worker: bad {} spec: {}", WORKER_ENV_VAR, e);
+            std::process::exit(1);
+        }
+    };
+    match run_worker(&spec) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("rlgraph-net worker {}: {}", spec.worker, e);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Launches one worker child: the current executable re-invoked with
+/// the spec in [`WORKER_ENV_VAR`].
+///
+/// # Errors
+///
+/// `RlError::Io` when the executable path cannot be resolved or the
+/// child fails to spawn.
+pub fn spawn_worker(spec: &WorkerSpec) -> RlResult<std::process::Child> {
+    let exe = std::env::current_exe()?;
+    let json = serde_json::to_string(spec)
+        .map_err(|e| RlError::Protocol(format!("worker spec does not serialize: {}", e)))?;
+    let child = std::process::Command::new(exe)
+        .env(WORKER_ENV_VAR, json)
+        .stdin(std::process::Stdio::null())
+        .spawn()?;
+    Ok(child)
+}
+
+fn parse_addr(s: &str) -> RlResult<SocketAddr> {
+    s.parse::<SocketAddr>()
+        .map_err(|e| RlError::Protocol(format!("bad socket address {:?}: {}", s, e)))
+}
+
+fn connect_retrying<T>(mut connect: impl FnMut() -> RlResult<T>, what: &str) -> RlResult<T> {
+    // Generous because a freshly forked sibling may still be binding.
+    let mut last = None;
+    for _ in 0..50 {
+        match connect() {
+            Ok(t) => return Ok(t),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| RlError::disconnected(what)))
+}
+
+/// The worker main loop: sync weights from the coordinator, collect,
+/// ship trajectories to shards round-robin, heartbeat until told to
+/// stop.
+///
+/// Runs identically inside a child process ([`maybe_run_child`]) and on
+/// a plain thread (tests, [`crate::LaunchMode::Thread`]) — either way
+/// all traffic crosses real TCP sockets.
+///
+/// # Errors
+///
+/// Fatal RPC errors, agent build errors, or retry exhaustion against a
+/// persistently unreachable peer.
+pub fn run_worker(spec: &WorkerSpec) -> RlResult<()> {
+    let recorder = Recorder::disabled();
+    let deadline = (spec.rpc_deadline_ms > 0).then(|| Duration::from_millis(spec.rpc_deadline_ms));
+    let mut coord = connect_retrying(
+        || CoordClient::connect(parse_addr(&spec.coord_addr)?, &recorder),
+        "coordinator",
+    )?;
+    coord.set_deadline(deadline);
+    let mut shards = Vec::with_capacity(spec.shard_addrs.len());
+    for (i, addr) in spec.shard_addrs.iter().enumerate() {
+        let mut c = connect_retrying(
+            || ShardClient::connect(&format!("shard-{}", i), parse_addr(addr)?, &recorder),
+            "replay shard",
+        )?;
+        c.set_deadline(deadline);
+        shards.push(c);
+    }
+
+    // Same per-worker setup as the in-process executor: tiny local
+    // memory (workers never learn), ladder exploration, decorrelated
+    // seed.
+    let mut cfg = spec.agent.clone();
+    cfg.memory_capacity = 16;
+    cfg.seed = spec.agent.seed.wrapping_add(spec.worker as u64 * 7919);
+    let eps = apex_worker_epsilon(spec.worker as usize, spec.num_workers as usize);
+    cfg.epsilon = rlgraph_agents::EpsilonSchedule { start: eps, end: eps, decay_steps: 1 };
+    let envs = VectorEnv::new(
+        (0..spec.envs_per_worker).map(|e| spec.env.build((spec.worker * 10 + e) as u64)).collect(),
+    )
+    .map_err(|e| RlError::Core(CoreError::new(e.message())))?;
+    let mut worker = ApexWorker::new(cfg, envs)?;
+
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(200),
+        multiplier: 2.0,
+        deadline: None,
+    };
+    let sleeper = ThreadSleeper::new();
+    let mut seen_version = 0u64;
+    let mut task = 0u64;
+    loop {
+        // Weight sync: one cheap poll per task; the coordinator answers
+        // with a snapshot only when the hub moved past `seen_version`.
+        let snap = policy.run(&sleeper, |_| coord.get_weights(seen_version))?;
+        if let Some(snap) = snap {
+            worker.agent_mut().set_weights(&snap.weights)?;
+            seen_version = snap.version;
+        }
+        let batch = worker.collect(spec.task_size as usize)?;
+        let beat = Heartbeat {
+            worker: spec.worker,
+            frames: batch.env_frames,
+            samples: batch.len() as u64,
+            returns: batch.episode_returns.clone(),
+        };
+        let shard = &mut shards[(task as usize) % spec.shard_addrs.len()];
+        policy.run(&sleeper, |_| shard.insert(&batch.transitions, &batch.priorities))?;
+        let stop = policy.run(&sleeper, |_| coord.heartbeat(&beat))?;
+        if stop {
+            return Ok(());
+        }
+        task += 1;
+    }
+}

@@ -1,0 +1,467 @@
+//! Request/response RPC over `std::net::TcpStream`.
+//!
+//! The server is thread-per-connection: an accept loop hands each peer
+//! to a handler thread that reads request frames, dispatches into an
+//! [`RpcService`], and writes response frames back on the same socket.
+//! Requests carry a client-assigned id echoed in the response, so a
+//! desynchronized stream is detected instead of silently answering the
+//! wrong call.
+//!
+//! The client is synchronous (one outstanding call per client). Every
+//! call takes an optional **deadline**: socket read/write timeouts are
+//! armed from the remaining budget, and expiry surfaces as
+//! [`RlError::DeadlineExpired`] — the same retryable severity class the
+//! in-process executors use, so one [`RetryPolicy`] governs both worlds.
+//! After any transport failure the client drops its stream and
+//! reconnects on the next call (counted by `net.reconnects`): a stream
+//! that timed out mid-frame can never be trusted again.
+//!
+//! Error mapping note: once a connection has been established, a
+//! `BrokenPipe` on send or an `UnexpectedEof` mid-frame both mean "the
+//! peer went away" exactly like `ConnectionReset` does; the client
+//! normalizes them to `ConnectionReset` so the severity taxonomy sees
+//! one retryable "connection died, reconnect and retry" class. Refused
+//! connections (`ConnectionRefused`) stay fatal: there is no server to
+//! reconnect to.
+//!
+//! Observability (all through the injected [`Recorder`]): `net.bytes_tx`
+//! / `net.bytes_rx` counters on both sides, `net.rpc_us` per-call
+//! latency histograms, `net.reconnects` on the client,
+//! `net.server.conns` on the server.
+
+use crate::codec::{get_rl_error, put_rl_error};
+use crate::frame::{read_frame, write_frame, FrameKind, FRAME_OVERHEAD};
+use crate::wire::{ByteReader, ByteWriter};
+use rlgraph_core::{RlError, RlResult};
+use rlgraph_dist::retry::{RetryPolicy, Sleep, ThreadSleeper};
+use rlgraph_obs::Recorder;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A dispatch target for one server: maps `(method, body)` to a reply.
+///
+/// Implementations are shared across connection handler threads, so
+/// interior state needs its own synchronization (the services in this
+/// crate wrap their state in a mutex or use lock-free hubs).
+pub trait RpcService: Send + Sync + 'static {
+    /// Handles one request; the returned bytes become the response body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RlError`] — it is encoded and shipped to the caller with
+    /// its severity class intact.
+    fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>>;
+}
+
+/// `Read` adapter that turns socket-timeout poll ticks into a blocking
+/// read, exiting with an error only on EOF, a real failure, or the
+/// server's stop flag. Partial frame progress survives poll ticks, so
+/// the 100ms liveness timeout can never desynchronize a stream.
+struct StopReader<'a> {
+    stream: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for StopReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match (&mut self.stream).read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.stop.load(Ordering::Relaxed) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "server shutting down",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A running RPC server bound to a localhost ephemeral port.
+pub struct RpcServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RpcServer {
+    /// Binds `127.0.0.1:0` and starts accepting connections, dispatching
+    /// every request into `service` from per-connection threads.
+    ///
+    /// # Errors
+    ///
+    /// `RlError::Io` when the listener cannot bind.
+    pub fn spawn(name: &str, service: Arc<dyn RpcService>, recorder: Recorder) -> RlResult<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let thread_name = format!("rpc-accept-{}", name);
+        let accept_handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                accept_loop(listener, service, accept_stop, recorder);
+            })
+            .expect("spawn rpc accept thread");
+        Ok(RpcServer { addr, stop, accept_handle: Some(accept_handle) })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks handler threads, and joins them all.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<dyn RpcService>,
+    stop: Arc<AtomicBool>,
+    recorder: Recorder,
+) {
+    let conns = recorder.counter("net.server.conns");
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                conns.inc();
+                let service = service.clone();
+                let stop = stop.clone();
+                let recorder = recorder.clone();
+                let handle = std::thread::Builder::new()
+                    .name("rpc-conn".to_string())
+                    .spawn(move || connection_loop(stream, service, stop, recorder))
+                    .expect("spawn rpc connection thread");
+                handlers.push(handle);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    service: Arc<dyn RpcService>,
+    stop: Arc<AtomicBool>,
+    recorder: Recorder,
+) {
+    // A finite read timeout turns the blocking read into a poll tick so
+    // the handler notices the stop flag; StopReader hides the ticks.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let bytes_rx = recorder.counter("net.bytes_rx");
+    let bytes_tx = recorder.counter("net.bytes_tx");
+    let rpc_us = recorder.histogram("net.server.rpc_us");
+    loop {
+        let mut reader = StopReader { stream: &stream, stop: &stop };
+        let (kind, payload) = match read_frame(&mut reader) {
+            Ok(f) => f,
+            // EOF, reset, stop: the connection is done either way. A
+            // protocol violation also closes — the stream is untrusted.
+            Err(_) => return,
+        };
+        bytes_rx.add((payload.len() + FRAME_OVERHEAD) as u64);
+        if kind != FrameKind::Request {
+            return; // a client sending responses is not speaking our protocol
+        }
+        let t0 = Instant::now();
+        let mut req = ByteReader::new(&payload);
+        let (req_id, method) = match (req.get_u64(), req.get_u16()) {
+            (Ok(id), Ok(m)) => (id, m),
+            _ => return, // malformed request header: close
+        };
+        let body = req.get_bytes(req.remaining()).expect("remaining bytes");
+        let result = service.call(method, body);
+        rpc_us.record_duration(t0.elapsed());
+        let mut resp = ByteWriter::with_capacity(16);
+        resp.put_u64(req_id);
+        match result {
+            Ok(reply) => {
+                resp.put_u8(0);
+                resp.put_bytes(&reply);
+            }
+            Err(e) => {
+                resp.put_u8(1);
+                put_rl_error(&mut resp, &e);
+            }
+        }
+        let out = resp.into_bytes();
+        if write_frame(&mut &stream, FrameKind::Response, &out).is_err() {
+            return;
+        }
+        bytes_tx.add((out.len() + FRAME_OVERHEAD) as u64);
+    }
+}
+
+/// Synchronous RPC client with per-call deadlines and transparent
+/// reconnect-on-next-call after transport failures.
+pub struct RpcClient {
+    peer: String,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    next_req_id: u64,
+    connect_timeout: Duration,
+    ever_connected: bool,
+    bytes_tx: rlgraph_obs::Counter,
+    bytes_rx: rlgraph_obs::Counter,
+    rpc_us: rlgraph_obs::Histogram,
+    reconnects: rlgraph_obs::Counter,
+}
+
+impl RpcClient {
+    /// Creates a client for `addr` and eagerly connects.
+    ///
+    /// `peer` names the remote for diagnostics ("replay-shard-2").
+    ///
+    /// # Errors
+    ///
+    /// `RlError::Io` when the initial connection fails.
+    pub fn connect(peer: &str, addr: SocketAddr, recorder: &Recorder) -> RlResult<Self> {
+        let mut client = RpcClient {
+            peer: peer.to_string(),
+            addr,
+            stream: None,
+            next_req_id: 0,
+            connect_timeout: Duration::from_secs(5),
+            ever_connected: false,
+            bytes_tx: recorder.counter("net.bytes_tx"),
+            bytes_rx: recorder.counter("net.bytes_rx"),
+            rpc_us: recorder.histogram("net.rpc_us"),
+            reconnects: recorder.counter("net.reconnects"),
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// The remote address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Overrides the TCP connect timeout (default 5s).
+    pub fn set_connect_timeout(&mut self, t: Duration) {
+        self.connect_timeout = t;
+    }
+
+    fn ensure_connected(&mut self) -> RlResult<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        if self.ever_connected {
+            self.reconnects.inc();
+        }
+        self.ever_connected = true;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Normalizes "the established connection died" io kinds onto
+    /// `ConnectionReset` so they share one retryable class (see module
+    /// docs), and maps timeout kinds onto [`RlError::DeadlineExpired`]
+    /// when the call carried a deadline.
+    fn classify_transport(&self, e: RlError, method: u16, had_deadline: bool) -> RlError {
+        use std::io::ErrorKind;
+        match e {
+            RlError::Io { kind, message } => match kind {
+                ErrorKind::WouldBlock | ErrorKind::TimedOut if had_deadline => {
+                    RlError::DeadlineExpired { what: format!("rpc {}:{}", self.peer, method) }
+                }
+                ErrorKind::BrokenPipe | ErrorKind::UnexpectedEof => RlError::Io {
+                    kind: ErrorKind::ConnectionReset,
+                    message: format!("{} went away ({:?}: {})", self.peer, kind, message),
+                },
+                _ => RlError::Io { kind, message },
+            },
+            other => other,
+        }
+    }
+
+    /// Issues one call and blocks for the response.
+    ///
+    /// `deadline` bounds the whole call (send + server time + receive);
+    /// `None` blocks indefinitely. On expiry the stream is dropped (it
+    /// may hold a half-read frame) and the call returns
+    /// [`RlError::DeadlineExpired`]; the next call reconnects.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::DeadlineExpired`] on deadline expiry, `RlError::Io` on
+    /// transport failure, [`RlError::Protocol`] if the peer violates the
+    /// wire protocol, or whatever typed [`RlError`] the remote service
+    /// returned.
+    pub fn call(
+        &mut self,
+        method: u16,
+        body: &[u8],
+        deadline: Option<Duration>,
+    ) -> RlResult<Vec<u8>> {
+        let t0 = Instant::now();
+        let expiry = deadline.map(|d| t0 + d);
+        let result = self.call_inner(method, body, expiry);
+        self.rpc_us.record_duration(t0.elapsed());
+        match result {
+            // A typed error the remote service returned arrives on a
+            // clean, well-framed stream — keep the connection.
+            Ok(reply) => reply,
+            // Transport, protocol, or deadline failures poison the
+            // stream (it may hold a half-read frame): drop it and let
+            // the next call reconnect.
+            Err(e) => {
+                self.stream = None;
+                Err(self.classify_transport(e, method, deadline.is_some()))
+            }
+        }
+    }
+
+    /// Outer error: transport/protocol failure (stream poisoned).
+    /// Inner error: the remote service's typed reply (stream healthy).
+    fn call_inner(
+        &mut self,
+        method: u16,
+        body: &[u8],
+        expiry: Option<Instant>,
+    ) -> RlResult<RlResult<Vec<u8>>> {
+        self.ensure_connected()?;
+        self.next_req_id += 1;
+        let req_id = self.next_req_id;
+        let mut payload = ByteWriter::with_capacity(10 + body.len());
+        payload.put_u64(req_id);
+        payload.put_u16(method);
+        payload.put_bytes(body);
+        let payload = payload.into_bytes();
+        let stream = self.stream.as_ref().expect("connected above");
+        arm_timeouts(stream, expiry)?;
+        write_frame(&mut &*stream, FrameKind::Request, &payload)?;
+        self.bytes_tx.add((payload.len() + FRAME_OVERHEAD) as u64);
+        arm_timeouts(stream, expiry)?;
+        let (kind, resp) = read_frame(&mut &*stream)?;
+        self.bytes_rx.add((resp.len() + FRAME_OVERHEAD) as u64);
+        if kind != FrameKind::Response {
+            return Err(RlError::Protocol(format!(
+                "{} sent a {:?} frame to a client",
+                self.peer, kind
+            )));
+        }
+        let mut r = ByteReader::new(&resp);
+        let got_id = r.get_u64()?;
+        if got_id != req_id {
+            return Err(RlError::Protocol(format!(
+                "{} answered request {} while {} was pending",
+                self.peer, got_id, req_id
+            )));
+        }
+        match r.get_u8()? {
+            0 => Ok(Ok(r.get_bytes(r.remaining()).expect("remaining").to_vec())),
+            1 => Ok(Err(get_rl_error(&mut r)?)),
+            other => Err(RlError::Protocol(format!("unknown response status {}", other))),
+        }
+    }
+
+    /// Issues the call under a [`RetryPolicy`]: retryable failures
+    /// (deadline expiry, reset connections, saturated remote mailboxes)
+    /// back off and re-issue — reconnecting transparently — while fatal
+    /// errors short-circuit.
+    ///
+    /// `deadline` applies per attempt; the policy's own deadline bounds
+    /// the whole loop.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::RetriesExhausted`] wrapping the last failure, or the
+    /// first fatal error.
+    pub fn call_retry(
+        &mut self,
+        method: u16,
+        body: &[u8],
+        deadline: Option<Duration>,
+        policy: &RetryPolicy,
+    ) -> RlResult<Vec<u8>> {
+        let sleeper = ThreadSleeper::new();
+        self.call_retry_with(method, body, deadline, policy, &sleeper)
+    }
+
+    /// [`RpcClient::call_retry`] against an explicit [`Sleep`] (virtual
+    /// time in tests).
+    ///
+    /// # Errors
+    ///
+    /// As [`RpcClient::call_retry`].
+    pub fn call_retry_with(
+        &mut self,
+        method: u16,
+        body: &[u8],
+        deadline: Option<Duration>,
+        policy: &RetryPolicy,
+        sleeper: &dyn Sleep,
+    ) -> RlResult<Vec<u8>> {
+        policy.run(sleeper, |_| self.call(method, body, deadline))
+    }
+}
+
+/// Arms socket timeouts from the remaining deadline budget; an already
+/// expired deadline fails without touching the socket.
+fn arm_timeouts(stream: &TcpStream, expiry: Option<Instant>) -> RlResult<()> {
+    match expiry {
+        None => {
+            stream.set_read_timeout(None)?;
+            stream.set_write_timeout(None)?;
+        }
+        Some(at) => {
+            let remaining = at.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RlError::Io {
+                    kind: std::io::ErrorKind::TimedOut,
+                    message: "deadline already expired".into(),
+                });
+            }
+            stream.set_read_timeout(Some(remaining))?;
+            stream.set_write_timeout(Some(remaining))?;
+        }
+    }
+    Ok(())
+}

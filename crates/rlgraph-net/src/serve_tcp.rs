@@ -1,0 +1,140 @@
+//! TCP front-end for the serving stack: act requests over the wire.
+//!
+//! The front-end is an [`RpcServer`] whose service holds a
+//! [`PolicyClient`]. Each connection gets its own handler thread, and
+//! every handler submits into the **same admission queue** — so
+//! concurrent TCP clients coalesce in the existing micro-batcher, and
+//! the server's backpressure/deadline machinery (queue bounds, shed
+//! policies, expiry) governs network traffic exactly as it governs
+//! in-process callers. Remote failures arrive as typed
+//! [`ServeError`]s with their severity class intact.
+
+use crate::codec::{get_tensor, put_tensor};
+use crate::rpc::{RpcClient, RpcServer, RpcService};
+use crate::wire::{ByteReader, ByteWriter};
+use rlgraph_core::{RlError, RlResult};
+use rlgraph_obs::Recorder;
+use rlgraph_serve::{PolicyClient, ServeError};
+use rlgraph_tensor::Tensor;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Method ids of the serve front-end.
+pub mod serve_method {
+    /// `Act { deadline_us, observation }` → action tensor
+    pub const ACT: u16 = 1;
+}
+
+struct ServeFrontendService {
+    client: PolicyClient,
+}
+
+impl RpcService for ServeFrontendService {
+    fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>> {
+        match method {
+            serve_method::ACT => {
+                let mut r = ByteReader::new(body);
+                let deadline_us = r.get_u64()?;
+                let obs = get_tensor(&mut r)?;
+                r.expect_end()?;
+                let deadline = (deadline_us > 0).then(|| Duration::from_micros(deadline_us));
+                let action = self.client.act_with_deadline(obs, deadline).map_err(RlError::from)?;
+                let mut out = ByteWriter::new();
+                put_tensor(&mut out, &action);
+                Ok(out.into_bytes())
+            }
+            other => Err(RlError::Protocol(format!("serve front-end: unknown method {}", other))),
+        }
+    }
+}
+
+/// A running TCP front-end in front of one policy server.
+pub struct ServeTcpFrontend {
+    server: RpcServer,
+}
+
+impl ServeTcpFrontend {
+    /// Spawns the front-end on a localhost ephemeral port.
+    ///
+    /// `client` comes from
+    /// [`PolicyServer::client`](rlgraph_serve::PolicyServer::client); the
+    /// policy server itself stays wherever it lives — the front-end only
+    /// relays admissions.
+    ///
+    /// # Errors
+    ///
+    /// `RlError::Io` when the listener cannot bind.
+    pub fn spawn(client: PolicyClient, recorder: Recorder) -> RlResult<Self> {
+        let service = Arc::new(ServeFrontendService { client });
+        Ok(ServeTcpFrontend { server: RpcServer::spawn("serve", service, recorder)? })
+    }
+
+    /// The address remote policy clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Stops the front-end (the policy server keeps running).
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+/// A remote policy client: [`PolicyClient`]'s API over TCP.
+pub struct NetPolicyClient {
+    rpc: RpcClient,
+}
+
+impl NetPolicyClient {
+    /// Connects to a [`ServeTcpFrontend`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shutdown`] when the front-end is unreachable.
+    pub fn connect(addr: SocketAddr, recorder: &Recorder) -> Result<Self, ServeError> {
+        let rpc = RpcClient::connect("serve-frontend", addr, recorder).map_err(ServeError::from)?;
+        Ok(NetPolicyClient { rpc })
+    }
+
+    /// Submits one observation and blocks for the action, under the
+    /// server's default deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`] — remote admission/execution failures keep
+    /// their type across the wire; transport failures fold in via
+    /// `From<RlError>`.
+    pub fn act(&mut self, observation: &Tensor) -> Result<Tensor, ServeError> {
+        self.act_with_deadline(observation, None)
+    }
+
+    /// Like [`NetPolicyClient::act`] with an explicit deadline, enforced
+    /// on **both** sides: the server expires the queued request, and the
+    /// RPC call times out if even the expiry answer cannot arrive in
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetPolicyClient::act`].
+    pub fn act_with_deadline(
+        &mut self,
+        observation: &Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Tensor, ServeError> {
+        let mut w = ByteWriter::new();
+        w.put_u64(deadline.map(|d| d.as_micros() as u64).unwrap_or(0));
+        put_tensor(&mut w, observation);
+        // Grace so a deadline expiring *inside* the server still reports
+        // as the server's typed expiry rather than a client-side timeout.
+        let rpc_deadline = deadline.map(|d| d + Duration::from_millis(250));
+        let resp = self
+            .rpc
+            .call(serve_method::ACT, &w.into_bytes(), rpc_deadline)
+            .map_err(ServeError::from)?;
+        let mut r = ByteReader::new(&resp);
+        let action = get_tensor(&mut r).map_err(ServeError::from)?;
+        r.expect_end().map_err(ServeError::from)?;
+        Ok(action)
+    }
+}

@@ -1,0 +1,391 @@
+//! The RPC services of the multi-process Ape-X runtime: replay shards
+//! and the learner-side coordinator, each with a typed client.
+//!
+//! A [`ShardService`] exposes one [`ShardCore`] — the exact replay state
+//! machine the in-process executor drives through channels — over the
+//! wire, so the TCP runtime exercises the production replay path rather
+//! than a re-implementation. A [`CoordService`] is the parameter-server
+//! face of the learner: workers poll versioned weight snapshots out of
+//! the shared [`WeightHub`] and report progress through heartbeats whose
+//! replies double as the shutdown signal.
+
+use crate::codec::{
+    get_checkpoint, get_snapshot, get_tensor, get_trajectory, put_checkpoint, put_snapshot,
+    put_tensor, put_trajectory,
+};
+use crate::rpc::{RpcClient, RpcService};
+use crate::wire::{ByteReader, ByteWriter};
+use parking_lot::Mutex;
+use rlgraph_core::{RlError, RlResult};
+use rlgraph_dist::checkpoint::LearnerCheckpoint;
+use rlgraph_dist::shard::{ShardBatch, ShardCore};
+use rlgraph_dist::sync::{WeightHub, WeightsSnapshot};
+use rlgraph_memory::Transition;
+use rlgraph_obs::Recorder;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Method ids of the replay-shard service.
+pub mod shard_method {
+    /// `Insert { transitions, priorities }` → `()`
+    pub const INSERT: u16 = 1;
+    /// `Sample { batch, beta }` → `Option<ShardBatch>`
+    pub const SAMPLE: u16 = 2;
+    /// `UpdatePriorities { indices, priorities }` → `()`
+    pub const UPDATE_PRIORITIES: u16 = 3;
+    /// `Watermark` → `u64`
+    pub const WATERMARK: u16 = 4;
+}
+
+/// Method ids of the learner coordinator service.
+pub mod coord_method {
+    /// `GetWeights { seen }` → `Option<WeightsSnapshot>`
+    pub const GET_WEIGHTS: u16 = 1;
+    /// `Heartbeat { worker, frames, samples, returns }` → `stop: bool`
+    pub const HEARTBEAT: u16 = 2;
+    /// `GetCheckpoint` → `LearnerCheckpoint`
+    pub const GET_CHECKPOINT: u16 = 3;
+}
+
+/// One replay shard behind an RPC server.
+///
+/// Requests from all connections serialize on an internal mutex — the
+/// same total-order guarantee the channel-mailbox actor gives, so the
+/// shard's determinism-per-seed property carries over to the wire.
+pub struct ShardService {
+    core: Mutex<ShardCore>,
+}
+
+impl ShardService {
+    /// Wraps a fresh [`ShardCore`] with the given capacity, priority
+    /// exponent, and sampling seed.
+    pub fn new(capacity: usize, alpha: f32, seed: u64) -> Self {
+        ShardService { core: Mutex::new(ShardCore::new(capacity, alpha, seed)) }
+    }
+}
+
+impl RpcService for ShardService {
+    fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>> {
+        let mut r = ByteReader::new(body);
+        let mut out = ByteWriter::new();
+        match method {
+            shard_method::INSERT => {
+                let (transitions, priorities) = get_trajectory(&mut r)?;
+                r.expect_end()?;
+                self.core.lock().insert(transitions, priorities);
+            }
+            shard_method::SAMPLE => {
+                let batch = r.get_u32()? as usize;
+                let beta = r.get_f32()?;
+                r.expect_end()?;
+                match self.core.lock().sample(batch, beta) {
+                    None => out.put_u8(0),
+                    Some(b) => {
+                        out.put_u8(1);
+                        put_shard_batch(&mut out, &b);
+                    }
+                }
+            }
+            shard_method::UPDATE_PRIORITIES => {
+                let n = r.get_u32()? as usize;
+                let mut indices = Vec::with_capacity(n);
+                for _ in 0..n {
+                    indices.push(r.get_u64()? as usize);
+                }
+                let priorities = r.get_f32_vec()?;
+                r.expect_end()?;
+                self.core.lock().update_priorities(indices, priorities);
+            }
+            shard_method::WATERMARK => {
+                r.expect_end()?;
+                out.put_u64(self.core.lock().watermark());
+            }
+            other => {
+                return Err(RlError::Protocol(format!("shard service: unknown method {}", other)))
+            }
+        }
+        Ok(out.into_bytes())
+    }
+}
+
+fn put_shard_batch(w: &mut ByteWriter, b: &ShardBatch) {
+    for t in &b.tensors {
+        put_tensor(w, t);
+    }
+    put_tensor(w, &b.weights);
+    w.put_u32(b.indices.len() as u32);
+    for &i in &b.indices {
+        w.put_u64(i as u64);
+    }
+}
+
+fn get_shard_batch(r: &mut ByteReader<'_>) -> RlResult<ShardBatch> {
+    let tensors = [get_tensor(r)?, get_tensor(r)?, get_tensor(r)?, get_tensor(r)?, get_tensor(r)?];
+    let weights = get_tensor(r)?;
+    let n = r.get_u32()? as usize;
+    let mut indices = Vec::with_capacity(n);
+    for _ in 0..n {
+        indices.push(r.get_u64()? as usize);
+    }
+    Ok(ShardBatch { tensors, weights, indices })
+}
+
+/// Typed client of one remote replay shard.
+pub struct ShardClient {
+    rpc: RpcClient,
+    deadline: Option<Duration>,
+}
+
+impl ShardClient {
+    /// Connects to a shard server.
+    ///
+    /// # Errors
+    ///
+    /// `RlError::Io` when the connection fails.
+    pub fn connect(name: &str, addr: SocketAddr, recorder: &Recorder) -> RlResult<Self> {
+        Ok(ShardClient { rpc: RpcClient::connect(name, addr, recorder)?, deadline: None })
+    }
+
+    /// Applies a per-call deadline to every subsequent request.
+    pub fn set_deadline(&mut self, d: Option<Duration>) {
+        self.deadline = d;
+    }
+
+    /// Ships transitions with worker-side priorities.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn insert(&mut self, transitions: &[Transition], priorities: &[f32]) -> RlResult<()> {
+        let mut w = ByteWriter::new();
+        put_trajectory(&mut w, transitions, priorities);
+        self.rpc.call(shard_method::INSERT, &w.into_bytes(), self.deadline)?;
+        Ok(())
+    }
+
+    /// Samples a batch; `None` while the shard is under-filled.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn sample(&mut self, batch: usize, beta: f32) -> RlResult<Option<ShardBatch>> {
+        let mut w = ByteWriter::new();
+        w.put_u32(batch as u32);
+        w.put_f32(beta);
+        let resp = self.rpc.call(shard_method::SAMPLE, &w.into_bytes(), self.deadline)?;
+        let mut r = ByteReader::new(&resp);
+        let out = match r.get_u8()? {
+            0 => None,
+            1 => Some(get_shard_batch(&mut r)?),
+            other => return Err(RlError::Protocol(format!("bad sample flag {}", other))),
+        };
+        r.expect_end()?;
+        Ok(out)
+    }
+
+    /// Applies the learner's post-step priority updates.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn update_priorities(&mut self, indices: &[usize], priorities: &[f32]) -> RlResult<()> {
+        let mut w = ByteWriter::new();
+        w.put_u32(indices.len() as u32);
+        for &i in indices {
+            w.put_u64(i as u64);
+        }
+        w.put_f32_slice(priorities);
+        self.rpc.call(shard_method::UPDATE_PRIORITIES, &w.into_bytes(), self.deadline)?;
+        Ok(())
+    }
+
+    /// The shard's high-water mark (total records ever inserted).
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn watermark(&mut self) -> RlResult<u64> {
+        let resp = self.rpc.call(shard_method::WATERMARK, &[], self.deadline)?;
+        let mut r = ByteReader::new(&resp);
+        let v = r.get_u64()?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+/// A worker's heartbeat: cumulative-progress deltas since its last beat.
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat {
+    /// worker index
+    pub worker: u32,
+    /// env frames consumed since the last beat
+    pub frames: u64,
+    /// post-processed samples shipped since the last beat
+    pub samples: u64,
+    /// episode returns completed since the last beat
+    pub returns: Vec<f32>,
+}
+
+/// Aggregated worker progress, folded from heartbeats.
+#[derive(Debug, Clone, Default)]
+pub struct CoordProgress {
+    /// total env frames across workers
+    pub env_frames: u64,
+    /// total samples shipped to shards
+    pub samples: u64,
+    /// episode returns in arrival order
+    pub returns: Vec<f32>,
+    /// heartbeats received
+    pub heartbeats: u64,
+}
+
+/// The learner coordinator: weight distribution + progress aggregation
+/// + shutdown propagation, behind one RPC server.
+pub struct CoordService {
+    hub: Arc<WeightHub>,
+    stop: Arc<AtomicBool>,
+    progress: Mutex<CoordProgress>,
+    checkpoint: Mutex<Option<LearnerCheckpoint>>,
+}
+
+impl CoordService {
+    /// Creates a coordinator bridging the given hub and stop flag.
+    pub fn new(hub: Arc<WeightHub>, stop: Arc<AtomicBool>) -> Self {
+        CoordService {
+            hub,
+            stop,
+            progress: Mutex::new(CoordProgress::default()),
+            checkpoint: Mutex::new(None),
+        }
+    }
+
+    /// Takes the progress aggregated so far.
+    pub fn progress(&self) -> CoordProgress {
+        self.progress.lock().clone()
+    }
+
+    /// Publishes the checkpoint served to `GET_CHECKPOINT` callers.
+    pub fn set_checkpoint(&self, c: LearnerCheckpoint) {
+        *self.checkpoint.lock() = Some(c);
+    }
+}
+
+impl RpcService for CoordService {
+    fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>> {
+        let mut r = ByteReader::new(body);
+        let mut out = ByteWriter::new();
+        match method {
+            coord_method::GET_WEIGHTS => {
+                let seen = r.get_u64()?;
+                r.expect_end()?;
+                match self.hub.poll(seen) {
+                    None => out.put_u8(0),
+                    Some(snap) => {
+                        out.put_u8(1);
+                        put_snapshot(&mut out, &snap);
+                    }
+                }
+            }
+            coord_method::HEARTBEAT => {
+                let worker = r.get_u32()?;
+                let frames = r.get_u64()?;
+                let samples = r.get_u64()?;
+                let returns = r.get_f32_vec()?;
+                r.expect_end()?;
+                let _ = worker;
+                let mut p = self.progress.lock();
+                p.env_frames += frames;
+                p.samples += samples;
+                p.returns.extend(returns);
+                p.heartbeats += 1;
+                out.put_u8(u8::from(self.stop.load(Ordering::Relaxed)));
+            }
+            coord_method::GET_CHECKPOINT => {
+                r.expect_end()?;
+                match self.checkpoint.lock().as_ref() {
+                    None => return Err(RlError::Checkpoint("no checkpoint published yet".into())),
+                    Some(c) => put_checkpoint(&mut out, c),
+                }
+            }
+            other => {
+                return Err(RlError::Protocol(format!("coord service: unknown method {}", other)))
+            }
+        }
+        Ok(out.into_bytes())
+    }
+}
+
+/// Typed client of the coordinator service (held by worker processes).
+pub struct CoordClient {
+    rpc: RpcClient,
+    deadline: Option<Duration>,
+}
+
+impl CoordClient {
+    /// Connects to the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// `RlError::Io` when the connection fails.
+    pub fn connect(addr: SocketAddr, recorder: &Recorder) -> RlResult<Self> {
+        Ok(CoordClient { rpc: RpcClient::connect("coordinator", addr, recorder)?, deadline: None })
+    }
+
+    /// Applies a per-call deadline to every subsequent request.
+    pub fn set_deadline(&mut self, d: Option<Duration>) {
+        self.deadline = d;
+    }
+
+    /// Fetches a weight snapshot newer than `seen`, if one exists.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn get_weights(&mut self, seen: u64) -> RlResult<Option<WeightsSnapshot>> {
+        let mut w = ByteWriter::new();
+        w.put_u64(seen);
+        let resp = self.rpc.call(coord_method::GET_WEIGHTS, &w.into_bytes(), self.deadline)?;
+        let mut r = ByteReader::new(&resp);
+        let out = match r.get_u8()? {
+            0 => None,
+            1 => Some(get_snapshot(&mut r)?),
+            other => return Err(RlError::Protocol(format!("bad weights flag {}", other))),
+        };
+        r.expect_end()?;
+        Ok(out)
+    }
+
+    /// Reports progress; the reply says whether the run is over.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn heartbeat(&mut self, beat: &Heartbeat) -> RlResult<bool> {
+        let mut w = ByteWriter::new();
+        w.put_u32(beat.worker);
+        w.put_u64(beat.frames);
+        w.put_u64(beat.samples);
+        w.put_f32_slice(&beat.returns);
+        let resp = self.rpc.call(coord_method::HEARTBEAT, &w.into_bytes(), self.deadline)?;
+        let mut r = ByteReader::new(&resp);
+        let stop = r.get_u8()? != 0;
+        r.expect_end()?;
+        Ok(stop)
+    }
+
+    /// Fetches the learner's latest checkpoint over the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Checkpoint`] before
+    /// the first publish; transport errors from the RPC layer.
+    pub fn get_checkpoint(&mut self) -> RlResult<LearnerCheckpoint> {
+        let resp = self.rpc.call(coord_method::GET_CHECKPOINT, &[], self.deadline)?;
+        let mut r = ByteReader::new(&resp);
+        let c = get_checkpoint(&mut r)?;
+        r.expect_end()?;
+        Ok(c)
+    }
+}

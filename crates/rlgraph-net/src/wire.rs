@@ -1,0 +1,272 @@
+//! Byte-level wire primitives: little-endian scalar encode/decode and
+//! the CRC32 (IEEE 802.3) checksum that seals every frame.
+//!
+//! The writer appends into a plain `Vec<u8>`; the reader walks a slice
+//! with bounds-checked typed reads that fail as
+//! [`RlError::Protocol`] instead of
+//! panicking, so a corrupt or truncated payload can never take down the
+//! peer that receives it.
+
+use rlgraph_core::{RlError, RlResult};
+
+/// CRC32 lookup table (reflected polynomial `0xEDB88320`), built once at
+/// compile time.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `data` — the checksum every frame carries.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only little-endian byte writer backing all payload encoders.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// A writer with pre-reserved capacity (tensor payloads are large).
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian IEEE-754 `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a `u32`-length-prefixed f32 slice.
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.put_u32(v.len() as u32);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a received payload.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the payload was consumed exactly — trailing garbage
+    /// is a protocol violation, not padding.
+    pub fn expect_end(&self) -> RlResult<()> {
+        if self.remaining() != 0 {
+            return Err(RlError::Protocol(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> RlResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(RlError::Protocol(format!(
+                "payload truncated: wanted {} bytes, {} left",
+                n,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> RlResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> RlResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> RlResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> RlResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> RlResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian IEEE-754 `f32`.
+    pub fn get_f32(&mut self) -> RlResult<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> RlResult<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> RlResult<String> {
+        let n = self.get_u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| RlError::Protocol(format!("string not UTF-8: {}", e)))
+    }
+
+    /// Reads a `u32`-length-prefixed f32 slice.
+    pub fn get_f32_vec(&mut self) -> RlResult<Vec<f32>> {
+        let n = self.get_u32()? as usize;
+        let bytes = self.take(n.checked_mul(4).ok_or_else(|| {
+            RlError::Protocol(format!("f32 slice length overflow: {} elements", n))
+        })?)?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4"))).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-42);
+        w.put_f32(-1.5);
+        w.put_str("hello");
+        w.put_f32_slice(&[1.0, 2.5]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f32().unwrap(), -1.5);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_f32_vec().unwrap(), vec![1.0, 2.5]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_protocol_errors() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.get_u32(), Err(RlError::Protocol(_))));
+        let mut w = ByteWriter::new();
+        w.put_str("long string");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..6]);
+        assert!(matches!(r.get_str(), Err(RlError::Protocol(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut r = ByteReader::new(&[0, 1, 2]);
+        r.get_u8().unwrap();
+        assert!(matches!(r.expect_end(), Err(RlError::Protocol(_))));
+    }
+}

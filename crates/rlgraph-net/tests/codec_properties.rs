@@ -1,0 +1,146 @@
+//! Property tests on the wire codec: anything the workspace can
+//! produce survives encode → decode bit-for-bit, and corrupted or
+//! truncated bytes are rejected with typed errors — never a panic.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rlgraph_memory::Transition;
+use rlgraph_net::codec::{
+    get_space, get_tensor, get_trajectory, put_space, put_tensor, put_trajectory,
+};
+use rlgraph_net::{read_frame, write_frame, ByteReader, ByteWriter, FrameKind, FRAME_OVERHEAD};
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
+
+/// Strategy generating arbitrary (nested) spaces up to depth 2 — same
+/// shape/dtype coverage as the rlgraph-spaces property suite.
+fn arb_space() -> impl Strategy<Value = Space> {
+    let leaf = prop_oneof![
+        prop::collection::vec(1usize..4, 0..3)
+            .prop_map(|shape| Space::float_box_bounded(&shape, -2.0, 2.0)),
+        (1i64..8).prop_map(Space::int_box),
+        Just(Space::bool_box()),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Space::tuple),
+            prop::collection::vec(inner, 1..3).prop_map(|spaces| {
+                Space::dict(spaces.into_iter().enumerate().map(|(i, s)| (format!("k{}", i), s)))
+            }),
+        ]
+    })
+}
+
+fn roundtrip_tensor(t: &Tensor) -> Tensor {
+    let mut w = ByteWriter::new();
+    put_tensor(&mut w, t);
+    let bytes = w.into_bytes();
+    let mut r = ByteReader::new(&bytes);
+    let back = get_tensor(&mut r).expect("decode");
+    r.expect_end().expect("fully consumed");
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every space — all shapes, dtypes, nesting, rank flags — survives
+    /// the wire.
+    #[test]
+    fn space_roundtrip(space in arb_space(), batch in any::<bool>(), time in any::<bool>()) {
+        let mut space = space;
+        if batch { space = space.with_batch_rank(); }
+        if time { space = space.with_time_rank(); }
+        let mut w = ByteWriter::new();
+        put_space(&mut w, &space);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_space(&mut r).unwrap();
+        r.expect_end().unwrap();
+        prop_assert_eq!(back, space);
+    }
+
+    /// Every leaf tensor a space can sample — F32, I64, Bool, any shape
+    /// — round-trips bit-for-bit.
+    #[test]
+    fn sampled_tensors_roundtrip(space in arb_space(), seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v = space.sample(&mut rng);
+        for (_, t) in v.flatten() {
+            prop_assert_eq!(roundtrip_tensor(t), t.clone());
+        }
+    }
+
+    /// Trajectories (transitions + priorities) round-trip exactly.
+    #[test]
+    fn trajectory_roundtrip(
+        n in 1usize..6,
+        dim in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mix = |i: u64, j: u64| (seed ^ i.wrapping_mul(31) ^ j) as f32 * 0.125 - 4.0;
+        let transitions: Vec<Transition> = (0..n)
+            .map(|i| Transition::new(
+                Tensor::from_vec(
+                    (0..dim).map(|j| mix(i as u64, j as u64)).collect(), &[dim]).unwrap(),
+                Tensor::scalar_i64(i as i64 % 3),
+                mix(i as u64, 7),
+                Tensor::from_vec(
+                    (0..dim).map(|j| mix(i as u64 + 1, j as u64)).collect(), &[dim]).unwrap(),
+                i % 2 == 0,
+            ))
+            .collect();
+        let priorities: Vec<f32> = (0..n).map(|i| mix(i as u64, 13).abs()).collect();
+        let mut w = ByteWriter::new();
+        put_trajectory(&mut w, &transitions, &priorities);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let (ts, ps) = get_trajectory(&mut r).unwrap();
+        r.expect_end().unwrap();
+        prop_assert_eq!(ts, transitions);
+        prop_assert_eq!(ps, priorities);
+    }
+
+    /// A frame survives the wire; flipping any single byte makes it
+    /// fail loudly (header check, CRC, or truncation — never Ok).
+    #[test]
+    fn frame_rejects_any_single_byte_corruption(
+        payload in prop::collection::vec(0usize..256, 0..200),
+        flip in any::<usize>(),
+        bit in 0usize..8,
+    ) {
+        let payload: Vec<u8> = payload.into_iter().map(|v| v as u8).collect();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, FrameKind::Request, &payload).unwrap();
+        let (kind, decoded) = read_frame(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(kind, FrameKind::Request);
+        prop_assert_eq!(&decoded, &payload);
+
+        let at = flip % bytes.len();
+        bytes[at] ^= 1 << bit;
+        prop_assert!(read_frame(&mut bytes.as_slice()).is_err());
+    }
+
+    /// Any truncation of a frame is rejected as a (fatal) I/O error or
+    /// protocol violation — a partial frame can never decode.
+    #[test]
+    fn frame_rejects_any_truncation(
+        payload in prop::collection::vec(0usize..256, 0..100),
+        cut in any::<usize>(),
+    ) {
+        let payload: Vec<u8> = payload.into_iter().map(|v| v as u8).collect();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, FrameKind::Response, &payload).unwrap();
+        let keep = cut % bytes.len(); // strictly shorter than the frame
+        prop_assert!(read_frame(&mut &bytes[..keep]).is_err());
+    }
+
+    /// Frame overhead is constant: encoded size is payload + overhead.
+    #[test]
+    fn frame_overhead_is_constant(payload in prop::collection::vec(0usize..256, 0..300)) {
+        let payload: Vec<u8> = payload.into_iter().map(|v| v as u8).collect();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, FrameKind::Request, &payload).unwrap();
+        prop_assert_eq!(bytes.len(), payload.len() + FRAME_OVERHEAD);
+    }
+}

@@ -34,6 +34,13 @@ cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin kernel_bench -
 # same-seed determinism contract, writes nothing).
 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin chaos_bench -- --smoke
 
+# Network transport: multi-process Ape-X over loopback TCP (the example
+# launches 2 real worker processes), then the net bench smoke covering
+# process launch + RPC + wire codec + TCP serving. Socket tests that
+# wedge must fail the gate fast, so both run under a hard timeout.
+timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" --example net_apex
+timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin net_bench -- --smoke
+
 # The redesigned public API must stay documented: fail on rustdoc warnings.
 RUSTDOCFLAGS="-D warnings" cargo "${CONFIG[@]}" doc --no-deps "${OFFLINE[@]}" --workspace
 

@@ -50,6 +50,7 @@
 //! | [`rlgraph_sim`] | calibrated discrete-event cluster simulation |
 //! | [`rlgraph_baselines`] | RLlib-style / hand-tuned / DM-style baselines |
 //! | [`rlgraph_serve`] | batched multi-replica policy serving |
+//! | [`rlgraph_net`] | TCP wire codec, RPC, multi-process runtime |
 //! | [`rlgraph_obs`] | metrics, span tracing, Chrome-trace export |
 
 pub use rlgraph_agents as agents;
@@ -59,6 +60,7 @@ pub use rlgraph_dist as dist;
 pub use rlgraph_envs as envs;
 pub use rlgraph_graph as graph;
 pub use rlgraph_memory as memory;
+pub use rlgraph_net as net;
 pub use rlgraph_nn as nn;
 pub use rlgraph_obs as obs;
 pub use rlgraph_serve as serve;
@@ -74,6 +76,10 @@ pub mod prelude {
         GraphExecutor, OpRef, TestBackend,
     };
     pub use rlgraph_envs::{CartPole, Env, GridPong, GridPongConfig, SeekAvoid, VectorEnv};
+    pub use rlgraph_net::{
+        maybe_run_child, run_apex_net, EnvSpec, LaunchMode, NetApexConfig, NetApexStats,
+        NetPolicyClient, ServeTcpFrontend,
+    };
     pub use rlgraph_nn::{Activation, LayerSpec, NetworkSpec, OptimizerSpec};
     pub use rlgraph_obs::Recorder;
     pub use rlgraph_serve::{
