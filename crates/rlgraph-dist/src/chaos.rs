@@ -458,6 +458,13 @@ where
                 slot.down_until = Some(step + config.worker_restart_delay);
                 report.worker_crashes += 1;
                 crash_ctr.inc();
+                recorder.flight_note(
+                    "chaos.worker_crash",
+                    format!(
+                        "step {}: worker {} down {} ticks",
+                        step, w, config.worker_restart_delay
+                    ),
+                );
                 report.events.push(FaultEvent { step, kind: FaultKind::WorkerCrash, target: w });
                 continue; // this tick's task is lost with the crash
             }
@@ -491,6 +498,14 @@ where
 
         // -- deterministic learner crash + restore ----------------------
         if config.crash_learner_at == Some(step) {
+            // The learner crash is the chaos suite's post-mortem moment:
+            // dump whatever the flight ring retained to stderr before the
+            // restore overwrites state (the report stays dump-free so the
+            // same-seed-same-report determinism contract is unaffected).
+            recorder.flight_note("chaos.learner_crash", format!("step {}: restoring", step));
+            if let Some(dump) = recorder.flight_render("chaos: learner crash injected") {
+                eprintln!("{}", dump);
+            }
             learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
             if let Some(ckpt) = &last_checkpoint {
                 ckpt.restore(&mut learner)?;

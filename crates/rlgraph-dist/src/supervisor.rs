@@ -114,6 +114,7 @@ pub struct Supervisor {
     policy: RetryPolicy,
     stop: Arc<AtomicBool>,
     recorder: Recorder,
+    flight_dump: Option<std::path::PathBuf>,
     slots: Vec<ActorSlot>,
 }
 
@@ -130,7 +131,23 @@ impl Supervisor {
     /// `supervisor.recovery_us` histogram (time from failure to the
     /// restarted body running).
     pub fn with_recorder(policy: RetryPolicy, recorder: Recorder) -> Self {
-        Supervisor { policy, stop: Arc::new(AtomicBool::new(false)), recorder, slots: Vec::new() }
+        Supervisor {
+            policy,
+            stop: Arc::new(AtomicBool::new(false)),
+            recorder,
+            flight_dump: None,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Writes the recorder's flight-ring post-mortem to `path` whenever
+    /// an actor panics (latest crash wins). Without a path, the dump
+    /// goes to stderr. Either way it only fires when the recorder's
+    /// flight ring is enabled ([`Recorder::enable_flight`]).
+    #[must_use]
+    pub fn with_flight_dump(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.flight_dump = Some(path.into());
+        self
     }
 
     /// The shared stop flag; raise it (or call [`Supervisor::stop`]) to
@@ -163,6 +180,8 @@ impl Supervisor {
         let panics_ctr = self.recorder.counter("supervisor.panics");
         let gave_up_ctr = self.recorder.counter("supervisor.gave_up");
         let recovery_us = self.recorder.histogram("supervisor.recovery_us");
+        let recorder = self.recorder.clone();
+        let flight_path = self.flight_dump.clone();
         let handle = std::thread::Builder::new()
             .name(format!("sup-{}", name))
             .spawn(move || {
@@ -179,10 +198,21 @@ impl Supervisor {
                         Err(payload) => {
                             slot_panics.fetch_add(1, Ordering::SeqCst);
                             panics_ctr.inc();
-                            RlError::ActorCrashed {
-                                actor: actor_name.clone(),
-                                reason: panic_message(payload.as_ref()),
+                            let reason = panic_message(payload.as_ref());
+                            // Post-mortem: everything the flight ring
+                            // retained at the moment of the crash.
+                            if let Some(dump) = recorder.flight_render(&format!(
+                                "actor '{}' panicked: {}",
+                                actor_name, reason
+                            )) {
+                                match &flight_path {
+                                    Some(p) => {
+                                        let _ = std::fs::write(p, &dump);
+                                    }
+                                    None => eprintln!("{}", dump),
+                                }
                             }
+                            RlError::ActorCrashed { actor: actor_name.clone(), reason }
                         }
                     };
                     // A fatal *typed* error means restarting cannot help;

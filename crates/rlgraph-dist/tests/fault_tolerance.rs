@@ -150,3 +150,37 @@ fn quorum_loss_degrades_without_erroring() {
     assert_eq!(stats.updates, 0, "below quorum the learner must pause");
     assert_eq!(report.degraded_steps, 8);
 }
+
+#[test]
+fn supervisor_panic_dumps_flight_recorder() {
+    use rlgraph_dist::{RetryPolicy, Supervisor};
+    use rlgraph_obs::Recorder;
+    use std::time::Duration;
+
+    let recorder = Recorder::wall();
+    recorder.enable_flight(256);
+    let path = std::env::temp_dir().join(format!("rlgraph-flight-{}.txt", std::process::id()));
+    let policy = RetryPolicy::builder()
+        .max_attempts(2)
+        .base_delay(Duration::from_micros(100))
+        .max_delay(Duration::from_millis(1))
+        .build()
+        .unwrap();
+    let mut sup = Supervisor::with_recorder(policy, recorder.clone()).with_flight_dump(&path);
+    let rec = recorder.clone();
+    sup.spawn("doomed", move |_stop| {
+        {
+            let _span = rec.span("doomed.work");
+        }
+        rec.flight_note("doomed.state", "about to blow");
+        panic!("kaboom");
+    });
+    let report = sup.join();
+    assert_eq!(report.total_panics(), 2, "both attempts panicked");
+    let dump = std::fs::read_to_string(&path).expect("flight dump written on panic");
+    let _ = std::fs::remove_file(&path);
+    assert!(dump.contains("flight recorder dump"), "header missing:\n{}", dump);
+    assert!(dump.contains("doomed.work"), "span missing:\n{}", dump);
+    assert!(dump.contains("about to blow"), "note missing:\n{}", dump);
+    assert!(dump.contains("kaboom"), "panic reason missing:\n{}", dump);
+}

@@ -23,12 +23,12 @@
 use crate::proc::{run_worker, spawn_worker, EnvSpec, WorkerSpec};
 use crate::proxy::{FaultProxy, FaultProxyConfig};
 use crate::rpc::RpcServer;
-use crate::services::{CoordService, ShardClient, ShardService};
+use crate::services::{CoordClient, CoordService, ShardClient, ShardService};
 use rlgraph_agents::{DqnAgent, DqnConfig};
 use rlgraph_core::{CoreError, RlResult};
 use rlgraph_dist::checkpoint::LearnerCheckpoint;
 use rlgraph_dist::sync::WeightHub;
-use rlgraph_obs::Recorder;
+use rlgraph_obs::{merged_chrome_trace, DeltaTracker, ProcessTrace, Recorder};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -120,6 +120,13 @@ pub struct NetApexStats {
     pub workers_clean: usize,
     /// total records ever inserted, per shard (watermarks at shutdown)
     pub shard_watermarks: Vec<u64>,
+    /// the coordinator's plain-text cluster telemetry report, fetched
+    /// over `GET_TELEMETRY` at shutdown (`None` with a disabled recorder)
+    pub telemetry_dump: Option<String>,
+    /// merged Chrome trace across the coordinator and every worker
+    /// process, on the coordinator's clock (`None` with a disabled
+    /// recorder)
+    pub merged_trace: Option<String>,
 }
 
 /// Runs Ape-X across OS processes (or threads) on localhost TCP.
@@ -166,7 +173,8 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     // Coordinator: weight distribution + progress + stop propagation.
     let hub = Arc::new(WeightHub::new());
     let stop = Arc::new(AtomicBool::new(false));
-    let coord_service = Arc::new(CoordService::new(hub.clone(), stop.clone()));
+    let coord_service =
+        Arc::new(CoordService::new(hub.clone(), stop.clone()).with_recorder(&recorder));
     let coord_server = RpcServer::spawn("coord", coord_service.clone(), recorder.clone())?;
 
     // Workers.
@@ -186,6 +194,7 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
             coord_addr: coord_server.addr().to_string(),
             shard_addrs: worker_shard_addrs.clone(),
             rpc_deadline_ms: config.rpc_deadline.as_millis() as u64,
+            telemetry: recorder.is_enabled(),
         };
         workers.push(match config.launch {
             LaunchMode::Process => WorkerHandle::Process(spawn_worker(&spec)?),
@@ -210,6 +219,10 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     let mut learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
     let step_us = recorder.histogram("learner.step_us");
     let updates_ctr = recorder.counter("learner.updates");
+    let update_rate = recorder.gauge("learner.update_rate");
+    // The parent folds its own metric deltas into the same cluster
+    // registry heartbeats feed, under the "learner" process name.
+    let mut learner_tracker = DeltaTracker::new();
     let mut losses = Vec::new();
     let mut updates = 0u64;
     let mut rr = 0usize;
@@ -240,6 +253,12 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
             }
         }
         if updates.is_multiple_of(config.weight_sync_interval) {
+            if recorder.is_enabled() {
+                update_rate.set(updates as f64 / start.elapsed().as_secs_f64().max(1e-9));
+                coord_service
+                    .cluster()
+                    .fold("learner", &learner_tracker.delta(&recorder.metrics_snapshot()));
+            }
             let version = hub.publish(learner.get_weights());
             let mut watermarks = Vec::with_capacity(shard_clients.len());
             for c in &mut shard_clients {
@@ -289,6 +308,36 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     let shard_watermarks: Vec<u64> =
         shard_clients.iter_mut().map(|c| c.watermark().unwrap_or(0)).collect();
     let progress = coord_service.progress();
+
+    // Telemetry plane shutdown work, while the coordinator still
+    // listens: one last learner fold, the cluster report fetched over
+    // the real GET_TELEMETRY RPC, and the merged cluster trace (worker
+    // dumps arrived via PUSH_TRACE when their stop beats were answered;
+    // each shifts onto the coordinator's clock by its offset estimate).
+    let (telemetry_dump, merged_trace) = if recorder.is_enabled() {
+        update_rate.set(updates as f64 / start.elapsed().as_secs_f64().max(1e-9));
+        coord_service
+            .cluster()
+            .fold("learner", &learner_tracker.delta(&recorder.metrics_snapshot()));
+        let report = CoordClient::connect(coord_server.addr(), &recorder)
+            .and_then(|mut c| {
+                c.set_deadline(Some(config.rpc_deadline));
+                c.get_telemetry()
+            })
+            .ok();
+        let mut procs = vec![ProcessTrace {
+            name: "coordinator".to_string(),
+            offset_us: 0,
+            dump: recorder.trace_dump(),
+        }];
+        for (name, dump) in coord_service.take_traces() {
+            let offset_us = coord_service.cluster().offset(&name).map_or(0, |(o, _)| o);
+            procs.push(ProcessTrace { name, offset_us, dump });
+        }
+        (report, Some(merged_chrome_trace(&procs)))
+    } else {
+        (None, None)
+    };
     drop(proxies);
     for s in shard_servers {
         s.shutdown();
@@ -307,5 +356,7 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
         returns: progress.returns,
         workers_clean,
         shard_watermarks,
+        telemetry_dump,
+        merged_trace,
     })
 }

@@ -361,6 +361,180 @@ pub fn get_checkpoint(r: &mut ByteReader<'_>) -> RlResult<LearnerCheckpoint> {
     Ok(LearnerCheckpoint { updates, weight_version, variables, shard_watermarks })
 }
 
+// ----- telemetry: trace context, metric snapshots, trace dumps -----
+
+/// Inner version byte of the trace-context encoding.
+const TRACE_CONTEXT_VERSION: u8 = 1;
+
+/// Appends a trace context:
+/// `[len u8][ver u8][trace u64][span u64][flags u8]`.
+///
+/// The blob is **length-prefixed** with its own inner version, so a
+/// decoder that understands version 1 skips any trailing fields a newer
+/// writer appended — context evolution never breaks framing.
+pub fn put_trace_context(w: &mut ByteWriter, ctx: &rlgraph_obs::TraceContext) {
+    w.put_u8(1 + 8 + 8 + 1);
+    w.put_u8(TRACE_CONTEXT_VERSION);
+    w.put_u64(ctx.trace_id);
+    w.put_u64(ctx.span_id);
+    w.put_u8(ctx.flags);
+}
+
+/// Reads a context written by [`put_trace_context`], tolerating longer
+/// (newer) encodings by skipping unknown trailing bytes within the
+/// declared length.
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on truncation or an unknown inner version.
+pub fn get_trace_context(r: &mut ByteReader<'_>) -> RlResult<rlgraph_obs::TraceContext> {
+    let len = r.get_u8()? as usize;
+    let blob = r.get_bytes(len)?;
+    let mut inner = ByteReader::new(blob);
+    let ver = inner.get_u8()?;
+    if ver != TRACE_CONTEXT_VERSION {
+        return Err(RlError::Protocol(format!("unknown trace-context version {}", ver)));
+    }
+    let trace_id = inner.get_u64()?;
+    let span_id = inner.get_u64()?;
+    let flags = inner.get_u8()?;
+    // Trailing bytes inside the blob belong to a newer writer: ignored.
+    Ok(rlgraph_obs::TraceContext { trace_id, span_id, flags })
+}
+
+fn put_f64(w: &mut ByteWriter, v: f64) {
+    w.put_u64(v.to_bits());
+}
+
+fn get_f64(r: &mut ByteReader<'_>) -> RlResult<f64> {
+    Ok(f64::from_bits(r.get_u64()?))
+}
+
+/// Appends a metrics snapshot (the heartbeat-piggybacked telemetry
+/// payload): capture timestamp, counters, gauges, and histogram
+/// summaries, each as length-prefixed `(name, value)` lists.
+pub fn put_metrics_snapshot(w: &mut ByteWriter, s: &rlgraph_obs::MetricsSnapshot) {
+    w.put_u64(s.taken_at_us);
+    w.put_u32(s.counters.len() as u32);
+    for (name, v) in &s.counters {
+        w.put_str(name);
+        w.put_u64(*v);
+    }
+    w.put_u32(s.gauges.len() as u32);
+    for (name, v) in &s.gauges {
+        w.put_str(name);
+        put_f64(w, *v);
+    }
+    w.put_u32(s.histograms.len() as u32);
+    for (name, h) in &s.histograms {
+        w.put_str(name);
+        w.put_u64(h.count);
+        put_f64(w, h.mean);
+        put_f64(w, h.p50);
+        put_f64(w, h.p95);
+        put_f64(w, h.p99);
+        put_f64(w, h.max);
+    }
+}
+
+/// Reads a snapshot written by [`put_metrics_snapshot`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input.
+pub fn get_metrics_snapshot(r: &mut ByteReader<'_>) -> RlResult<rlgraph_obs::MetricsSnapshot> {
+    let taken_at_us = r.get_u64()?;
+    let n = r.get_u32()? as usize;
+    let mut counters = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let name = r.get_str()?;
+        counters.push((name, r.get_u64()?));
+    }
+    let n = r.get_u32()? as usize;
+    let mut gauges = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let name = r.get_str()?;
+        gauges.push((name, get_f64(r)?));
+    }
+    let n = r.get_u32()? as usize;
+    let mut histograms = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let name = r.get_str()?;
+        histograms.push((
+            name,
+            rlgraph_obs::HistogramSummary {
+                count: r.get_u64()?,
+                mean: get_f64(r)?,
+                p50: get_f64(r)?,
+                p95: get_f64(r)?,
+                p99: get_f64(r)?,
+                max: get_f64(r)?,
+            },
+        ));
+    }
+    Ok(rlgraph_obs::MetricsSnapshot { taken_at_us, counters, gauges, histograms })
+}
+
+/// Appends a trace dump (a worker's whole span buffer, shipped to the
+/// coordinator for the merged cluster trace).
+pub fn put_trace_dump(w: &mut ByteWriter, d: &rlgraph_obs::TraceDump) {
+    w.put_u32(d.tracks.len() as u32);
+    for t in &d.tracks {
+        w.put_str(t);
+    }
+    w.put_u32(d.events.len() as u32);
+    for ev in &d.events {
+        w.put_str(&ev.name);
+        w.put_u32(ev.track);
+        w.put_u64(ev.ts_us);
+        match &ev.kind {
+            rlgraph_obs::DumpKind::Complete { dur_us } => {
+                w.put_u8(0);
+                w.put_u64(*dur_us);
+            }
+            rlgraph_obs::DumpKind::Instant => w.put_u8(1),
+            rlgraph_obs::DumpKind::Counter { value } => {
+                w.put_u8(2);
+                put_f64(w, *value);
+            }
+        }
+        w.put_u64(ev.flow_in);
+        w.put_u64(ev.flow_out);
+    }
+    w.put_u64(d.dropped);
+}
+
+/// Reads a dump written by [`put_trace_dump`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input.
+pub fn get_trace_dump(r: &mut ByteReader<'_>) -> RlResult<rlgraph_obs::TraceDump> {
+    let n = r.get_u32()? as usize;
+    let mut tracks = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        tracks.push(r.get_str()?);
+    }
+    let n = r.get_u32()? as usize;
+    let mut events = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        let name = r.get_str()?;
+        let track = r.get_u32()?;
+        let ts_us = r.get_u64()?;
+        let kind = match r.get_u8()? {
+            0 => rlgraph_obs::DumpKind::Complete { dur_us: r.get_u64()? },
+            1 => rlgraph_obs::DumpKind::Instant,
+            2 => rlgraph_obs::DumpKind::Counter { value: get_f64(r)? },
+            other => return Err(RlError::Protocol(format!("unknown dump-event tag {}", other))),
+        };
+        let flow_in = r.get_u64()?;
+        let flow_out = r.get_u64()?;
+        events.push(rlgraph_obs::DumpEvent { name, track, ts_us, kind, flow_in, flow_out });
+    }
+    let dropped = r.get_u64()?;
+    Ok(rlgraph_obs::TraceDump { tracks, events, dropped })
+}
+
 // ----- errors -----
 
 /// Appends an [`RlError`] so a server can return typed failures. The
@@ -625,6 +799,106 @@ mod tests {
             assert_eq!(back, e);
             assert_eq!(back.severity(), e.severity());
         }
+    }
+
+    #[test]
+    fn trace_context_roundtrips_and_tolerates_newer_writers() {
+        let ctx = rlgraph_obs::TraceContext { trace_id: 0xDEAD_BEEF, span_id: 7, flags: 1 };
+        let mut w = ByteWriter::new();
+        put_trace_context(&mut w, &ctx);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_trace_context(&mut r).unwrap(), ctx);
+        r.expect_end().unwrap();
+
+        // A "newer" writer appends extra fields inside the blob: the
+        // decoder must skip them and keep the stream aligned.
+        let mut w = ByteWriter::new();
+        w.put_u8(1 + 8 + 8 + 1 + 4); // len includes 4 unknown bytes
+        w.put_u8(1); // version
+        w.put_u64(ctx.trace_id);
+        w.put_u64(ctx.span_id);
+        w.put_u8(ctx.flags);
+        w.put_u32(0xAAAA_AAAA); // future field
+        w.put_u16(0x1234); // unrelated trailing stream data
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_trace_context(&mut r).unwrap(), ctx);
+        assert_eq!(r.get_u16().unwrap(), 0x1234, "stream stays aligned past the blob");
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips() {
+        let snap = rlgraph_obs::MetricsSnapshot {
+            taken_at_us: 123_456,
+            counters: vec![("frames".into(), 99), ("net.bytes_tx".into(), u64::MAX)],
+            gauges: vec![("depth".into(), -2.5), ("nanish".into(), f64::NAN)],
+            histograms: vec![(
+                "rpc_us".into(),
+                rlgraph_obs::HistogramSummary {
+                    count: 10,
+                    mean: 5.5,
+                    p50: 5.0,
+                    p95: 9.0,
+                    p99: 9.9,
+                    max: 10.0,
+                },
+            )],
+        };
+        let mut w = ByteWriter::new();
+        put_metrics_snapshot(&mut w, &snap);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_metrics_snapshot(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.taken_at_us, snap.taken_at_us);
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.histograms, snap.histograms);
+        // NaN survives bitwise, so compare gauges by bits.
+        for ((n1, v1), (n2, v2)) in back.gauges.iter().zip(&snap.gauges) {
+            assert_eq!(n1, n2);
+            assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+    }
+
+    #[test]
+    fn trace_dump_roundtrips_all_event_kinds() {
+        let dump = rlgraph_obs::TraceDump {
+            tracks: vec!["worker-0".into(), "rpc".into()],
+            events: vec![
+                rlgraph_obs::DumpEvent {
+                    name: "collect".into(),
+                    track: 0,
+                    ts_us: 10,
+                    kind: rlgraph_obs::DumpKind::Complete { dur_us: 400 },
+                    flow_in: 0,
+                    flow_out: 7,
+                },
+                rlgraph_obs::DumpEvent {
+                    name: "mark".into(),
+                    track: 1,
+                    ts_us: 20,
+                    kind: rlgraph_obs::DumpKind::Instant,
+                    flow_in: 7,
+                    flow_out: 0,
+                },
+                rlgraph_obs::DumpEvent {
+                    name: "depth".into(),
+                    track: 1,
+                    ts_us: 30,
+                    kind: rlgraph_obs::DumpKind::Counter { value: 3.25 },
+                    flow_in: 0,
+                    flow_out: 0,
+                },
+            ],
+            dropped: 5,
+        };
+        let mut w = ByteWriter::new();
+        put_trace_dump(&mut w, &dump);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_trace_dump(&mut r).unwrap(), dump);
+        r.expect_end().unwrap();
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub enum FrameKind {
     Request,
     /// An RPC response: `[req_id u64][status u8][body… | error…]`.
     Response,
+    /// An RPC request carrying a trace context prefix:
+    /// `[ctx…][req_id u64][method u16][body…]`. Emitted only when the
+    /// caller's recorder is enabled, so untraced runs stay byte-identical
+    /// to plain [`FrameKind::Request`] traffic.
+    RequestTraced,
 }
 
 impl FrameKind {
@@ -50,6 +55,7 @@ impl FrameKind {
         match self {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
+            FrameKind::RequestTraced => 3,
         }
     }
 
@@ -57,7 +63,59 @@ impl FrameKind {
         match v {
             1 => Ok(FrameKind::Request),
             2 => Ok(FrameKind::Response),
+            3 => Ok(FrameKind::RequestTraced),
             other => Err(RlError::Protocol(format!("unknown frame kind {}", other))),
+        }
+    }
+}
+
+/// Wire-level byte meters around frame I/O: one global
+/// `net.bytes_tx`/`net.bytes_rx` pair plus an optional per-service pair
+/// (`net.svc.<service>.bytes_*`), so total traffic and each service's
+/// share are both visible — the baseline any future compression work
+/// gets judged against.
+#[derive(Debug, Clone)]
+pub struct FrameMeter {
+    tx: rlgraph_obs::Counter,
+    rx: rlgraph_obs::Counter,
+    svc_tx: Option<rlgraph_obs::Counter>,
+    svc_rx: Option<rlgraph_obs::Counter>,
+}
+
+impl FrameMeter {
+    /// Global-only meter.
+    pub fn new(recorder: &rlgraph_obs::Recorder) -> Self {
+        FrameMeter {
+            tx: recorder.counter("net.bytes_tx"),
+            rx: recorder.counter("net.bytes_rx"),
+            svc_tx: None,
+            svc_rx: None,
+        }
+    }
+
+    /// Meter that also attributes traffic to a named service.
+    pub fn for_service(recorder: &rlgraph_obs::Recorder, service: &str) -> Self {
+        FrameMeter {
+            tx: recorder.counter("net.bytes_tx"),
+            rx: recorder.counter("net.bytes_rx"),
+            svc_tx: Some(recorder.counter(&format!("net.svc.{}.bytes_tx", service))),
+            svc_rx: Some(recorder.counter(&format!("net.svc.{}.bytes_rx", service))),
+        }
+    }
+
+    fn count_tx(&self, payload_len: usize) {
+        let n = (payload_len + FRAME_OVERHEAD) as u64;
+        self.tx.add(n);
+        if let Some(c) = &self.svc_tx {
+            c.add(n);
+        }
+    }
+
+    fn count_rx(&self, payload_len: usize) {
+        let n = (payload_len + FRAME_OVERHEAD) as u64;
+        self.rx.add(n);
+        if let Some(c) = &self.svc_rx {
+            c.add(n);
         }
     }
 }
@@ -86,6 +144,35 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> RlRes
     w.write_all(&crc32(payload).to_le_bytes())?;
     w.flush()?;
     Ok(())
+}
+
+/// [`write_frame`] with wire-level byte accounting: on success the
+/// payload + framing overhead is added to the meter's tx counters.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_frame_metered(
+    w: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+    meter: &FrameMeter,
+) -> RlResult<()> {
+    write_frame(w, kind, payload)?;
+    meter.count_tx(payload.len());
+    Ok(())
+}
+
+/// [`read_frame`] with wire-level byte accounting: on success the
+/// payload + framing overhead is added to the meter's rx counters.
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_metered(r: &mut impl Read, meter: &FrameMeter) -> RlResult<(FrameKind, Vec<u8>)> {
+    let (kind, payload) = read_frame(r)?;
+    meter.count_rx(payload.len());
+    Ok((kind, payload))
 }
 
 /// Reads one frame, validating magic, version, length bound, and CRC.
@@ -154,6 +241,28 @@ mod tests {
         let (kind, payload) = read_frame(&mut empty.as_slice()).unwrap();
         assert_eq!(kind, FrameKind::Response);
         assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn traced_request_kind_roundtrips() {
+        let bytes = frame_bytes(FrameKind::RequestTraced, b"ctx+req");
+        let (kind, payload) = read_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(kind, FrameKind::RequestTraced);
+        assert_eq!(payload, b"ctx+req");
+    }
+
+    #[test]
+    fn metered_io_counts_payload_plus_overhead_per_service() {
+        let rec = rlgraph_obs::Recorder::wall();
+        let meter = FrameMeter::for_service(&rec, "shard-0");
+        let mut buf = Vec::new();
+        write_frame_metered(&mut buf, FrameKind::Request, b"12345", &meter).unwrap();
+        let expected = (5 + FRAME_OVERHEAD) as u64;
+        assert_eq!(rec.counter("net.bytes_tx").value(), expected);
+        assert_eq!(rec.counter("net.svc.shard-0.bytes_tx").value(), expected);
+        read_frame_metered(&mut buf.as_slice(), &meter).unwrap();
+        assert_eq!(rec.counter("net.bytes_rx").value(), expected);
+        assert_eq!(rec.counter("net.svc.shard-0.bytes_rx").value(), expected);
     }
 
     #[test]

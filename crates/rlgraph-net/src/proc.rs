@@ -21,7 +21,7 @@ use rlgraph_core::{CoreError, RlError, RlResult};
 use rlgraph_dist::ray::apex_worker_epsilon;
 use rlgraph_dist::retry::{RetryPolicy, ThreadSleeper};
 use rlgraph_envs::{CartPole, Env, RandomEnv, VectorEnv};
-use rlgraph_obs::Recorder;
+use rlgraph_obs::{DeltaTracker, Recorder, DEFAULT_FLIGHT_CAPACITY};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -83,6 +83,11 @@ pub struct WorkerSpec {
     pub shard_addrs: Vec<String>,
     /// per-RPC deadline in milliseconds (0 = none)
     pub rpc_deadline_ms: u64,
+    /// whether to run with a live recorder: span capture, metric
+    /// shipping on heartbeats, clock-offset estimation, and a flight
+    /// recorder armed for crash dumps (defaults off so old specs parse)
+    #[serde(default)]
+    pub telemetry: bool,
 }
 
 /// If this process was launched as a worker child, runs the worker to
@@ -160,17 +165,35 @@ fn connect_retrying<T>(mut connect: impl FnMut() -> RlResult<T>, what: &str) -> 
 /// Fatal RPC errors, agent build errors, or retry exhaustion against a
 /// persistently unreachable peer.
 pub fn run_worker(spec: &WorkerSpec) -> RlResult<()> {
-    let recorder = Recorder::disabled();
+    let recorder = if spec.telemetry {
+        let r = Recorder::wall();
+        r.enable_flight(DEFAULT_FLIGHT_CAPACITY);
+        r
+    } else {
+        Recorder::disabled()
+    };
+    let result = run_worker_inner(spec, &recorder);
+    if result.is_err() {
+        // Post-mortem: the last few thousand spans/notes, to stderr so
+        // the parent's reap path can surface them.
+        if let Some(dump) = recorder.flight_render("worker error exit") {
+            eprintln!("{}", dump);
+        }
+    }
+    result
+}
+
+fn run_worker_inner(spec: &WorkerSpec, recorder: &Recorder) -> RlResult<()> {
     let deadline = (spec.rpc_deadline_ms > 0).then(|| Duration::from_millis(spec.rpc_deadline_ms));
     let mut coord = connect_retrying(
-        || CoordClient::connect(parse_addr(&spec.coord_addr)?, &recorder),
+        || CoordClient::connect(parse_addr(&spec.coord_addr)?, recorder),
         "coordinator",
     )?;
     coord.set_deadline(deadline);
     let mut shards = Vec::with_capacity(spec.shard_addrs.len());
     for (i, addr) in spec.shard_addrs.iter().enumerate() {
         let mut c = connect_retrying(
-            || ShardClient::connect(&format!("shard-{}", i), parse_addr(addr)?, &recorder),
+            || ShardClient::connect(&format!("shard-{}", i), parse_addr(addr)?, recorder),
             "replay shard",
         )?;
         c.set_deadline(deadline);
@@ -201,6 +224,13 @@ pub fn run_worker(spec: &WorkerSpec) -> RlResult<()> {
     let sleeper = ThreadSleeper::new();
     let mut seen_version = 0u64;
     let mut task = 0u64;
+    // Telemetry: metric deltas piggyback on heartbeats, and each beat's
+    // RTT refines the worker's estimate of the coordinator's clock
+    // (offset = coord reply time − beat midpoint, min-RTT filtered).
+    let mut tracker = DeltaTracker::new();
+    let mailbox = recorder.gauge("worker.mailbox_depth");
+    let mut best_rtt = 0u64;
+    let mut best_offset = 0i64;
     loop {
         // Weight sync: one cheap poll per task; the coordinator answers
         // with a snapshot only when the hub moved past `seen_version`.
@@ -209,17 +239,48 @@ pub fn run_worker(spec: &WorkerSpec) -> RlResult<()> {
             worker.agent_mut().set_weights(&snap.weights)?;
             seen_version = snap.version;
         }
-        let batch = worker.collect(spec.task_size as usize)?;
+        let batch = {
+            let _span = recorder.span("worker.collect");
+            worker.collect(spec.task_size as usize)?
+        };
+        recorder.flight_note("worker.task", format!("task {}: {} samples", task, batch.len()));
+        let snapshot = if recorder.is_enabled() {
+            mailbox.set(batch.len() as f64);
+            Some(tracker.delta(&recorder.metrics_snapshot()))
+        } else {
+            None
+        };
         let beat = Heartbeat {
             worker: spec.worker,
             frames: batch.env_frames,
             samples: batch.len() as u64,
             returns: batch.episode_returns.clone(),
+            offset_us: best_offset,
+            rtt_us: best_rtt,
+            snapshot,
         };
         let shard = &mut shards[(task as usize) % spec.shard_addrs.len()];
         policy.run(&sleeper, |_| shard.insert(&batch.transitions, &batch.priorities))?;
-        let stop = policy.run(&sleeper, |_| coord.heartbeat(&beat))?;
-        if stop {
+        mailbox.set(0.0);
+        let (reply, t0, t1) = policy.run(&sleeper, |_| {
+            let t0 = recorder.now_micros();
+            let rep = coord.heartbeat(&beat)?;
+            Ok((rep, t0, recorder.now_micros()))
+        })?;
+        if recorder.is_enabled() && reply.coord_now_us != 0 {
+            let rtt = t1.saturating_sub(t0).max(1);
+            if best_rtt == 0 || rtt < best_rtt {
+                best_rtt = rtt;
+                best_offset = reply.coord_now_us as i64 - ((t0 + t1) / 2) as i64;
+            }
+        }
+        if reply.stop {
+            if recorder.is_enabled() {
+                // Ship the span buffer for the coordinator's merged
+                // cluster trace; best-effort — the run is over.
+                let _ =
+                    coord.push_trace(&format!("worker-{}", spec.worker), &recorder.trace_dump());
+            }
             return Ok(());
         }
         task += 1;

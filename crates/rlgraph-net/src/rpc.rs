@@ -25,16 +25,29 @@
 //! reconnect to.
 //!
 //! Observability (all through the injected [`Recorder`]): `net.bytes_tx`
-//! / `net.bytes_rx` counters on both sides, `net.rpc_us` per-call
-//! latency histograms, `net.reconnects` on the client,
-//! `net.server.conns` on the server.
+//! / `net.bytes_rx` counters on both sides (plus per-service
+//! `net.svc.<name>.bytes_*` on the server), `net.rpc_us` overall and
+//! `net.rpc.<method>.us` per-method latency histograms on the client,
+//! `net.server.rpc_us` / `net.rpc.serve.<method>.us` on the server,
+//! `net.reconnects` on the client, `net.server.conns` on the server.
+//!
+//! **Distributed tracing.** When the client's recorder is enabled, every
+//! call derives a child [`TraceContext`] from the calling thread's
+//! current context, records a client span flow-linked to the child's
+//! span id, and ships the context as a [`FrameKind::RequestTraced`]
+//! prefix. The server decodes it, opens a handler span flow-linked to
+//! the same id, and installs the context for the handler thread
+//! ([`ContextScope`]) so nested outbound calls chain onto the same
+//! trace. With a disabled recorder the client emits plain
+//! [`FrameKind::Request`] frames — byte-identical to untraced builds.
 
-use crate::codec::{get_rl_error, put_rl_error};
-use crate::frame::{read_frame, write_frame, FrameKind, FRAME_OVERHEAD};
+use crate::codec::{get_rl_error, get_trace_context, put_rl_error, put_trace_context};
+use crate::frame::{read_frame_metered, write_frame_metered, FrameKind, FrameMeter};
 use crate::wire::{ByteReader, ByteWriter};
 use rlgraph_core::{RlError, RlResult};
 use rlgraph_dist::retry::{RetryPolicy, Sleep, ThreadSleeper};
-use rlgraph_obs::Recorder;
+use rlgraph_obs::{ContextScope, Recorder, TraceContext};
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,6 +67,13 @@ pub trait RpcService: Send + Sync + 'static {
     /// Any [`RlError`] — it is encoded and shipped to the caller with
     /// its severity class intact.
     fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>>;
+
+    /// Human-readable name of a method id, used to label per-method
+    /// latency histograms and handler spans.
+    fn method_name(&self, method: u16) -> &'static str {
+        let _ = method;
+        "other"
+    }
 }
 
 /// `Read` adapter that turns socket-timeout poll ticks into a blocking
@@ -111,10 +131,11 @@ impl RpcServer {
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = stop.clone();
         let thread_name = format!("rpc-accept-{}", name);
+        let svc_name: Arc<str> = Arc::from(name);
         let accept_handle = std::thread::Builder::new()
             .name(thread_name)
             .spawn(move || {
-                accept_loop(listener, service, accept_stop, recorder);
+                accept_loop(listener, service, accept_stop, recorder, svc_name);
             })
             .expect("spawn rpc accept thread");
         Ok(RpcServer { addr, stop, accept_handle: Some(accept_handle) })
@@ -149,6 +170,7 @@ fn accept_loop(
     service: Arc<dyn RpcService>,
     stop: Arc<AtomicBool>,
     recorder: Recorder,
+    svc_name: Arc<str>,
 ) {
     let conns = recorder.counter("net.server.conns");
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -159,9 +181,10 @@ fn accept_loop(
                 let service = service.clone();
                 let stop = stop.clone();
                 let recorder = recorder.clone();
+                let svc_name = svc_name.clone();
                 let handle = std::thread::Builder::new()
-                    .name("rpc-conn".to_string())
-                    .spawn(move || connection_loop(stream, service, stop, recorder))
+                    .name(format!("rpc-conn-{}", svc_name))
+                    .spawn(move || connection_loop(stream, service, stop, recorder, svc_name))
                     .expect("spawn rpc connection thread");
                 handlers.push(handle);
             }
@@ -187,35 +210,60 @@ fn connection_loop(
     service: Arc<dyn RpcService>,
     stop: Arc<AtomicBool>,
     recorder: Recorder,
+    svc_name: Arc<str>,
 ) {
     // A finite read timeout turns the blocking read into a poll tick so
     // the handler notices the stop flag; StopReader hides the ticks.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
-    let bytes_rx = recorder.counter("net.bytes_rx");
-    let bytes_tx = recorder.counter("net.bytes_tx");
+    let meter = FrameMeter::for_service(&recorder, &svc_name);
     let rpc_us = recorder.histogram("net.server.rpc_us");
+    // Per-method histograms, registered lazily on first use so the
+    // registry only holds methods this connection actually served.
+    let mut method_us: HashMap<u16, rlgraph_obs::Histogram> = HashMap::new();
     loop {
         let mut reader = StopReader { stream: &stream, stop: &stop };
-        let (kind, payload) = match read_frame(&mut reader) {
+        let (kind, payload) = match read_frame_metered(&mut reader, &meter) {
             Ok(f) => f,
             // EOF, reset, stop: the connection is done either way. A
             // protocol violation also closes — the stream is untrusted.
             Err(_) => return,
         };
-        bytes_rx.add((payload.len() + FRAME_OVERHEAD) as u64);
-        if kind != FrameKind::Request {
-            return; // a client sending responses is not speaking our protocol
-        }
         let t0 = Instant::now();
         let mut req = ByteReader::new(&payload);
+        let ctx = match kind {
+            FrameKind::Request => None,
+            FrameKind::RequestTraced => match get_trace_context(&mut req) {
+                Ok(c) => Some(c),
+                Err(_) => return, // malformed context prefix: close
+            },
+            // A client sending responses is not speaking our protocol.
+            FrameKind::Response => return,
+        };
         let (req_id, method) = match (req.get_u64(), req.get_u16()) {
             (Ok(id), Ok(m)) => (id, m),
             _ => return, // malformed request header: close
         };
         let body = req.get_bytes(req.remaining()).expect("remaining bytes");
-        let result = service.call(method, body);
-        rpc_us.record_duration(t0.elapsed());
+        let result = {
+            // Handler span flow-linked to the request's span id, with
+            // the context installed so nested outbound calls chain.
+            let _scope = ctx.map(ContextScope::enter);
+            let _span = ctx.filter(|c| recorder.is_enabled() && c.is_sampled()).map(|c| {
+                recorder
+                    .span(format!("rpc.serve.{}", service.method_name(method)))
+                    .flow_in(c.span_id)
+            });
+            service.call(method, body)
+        };
+        let elapsed = t0.elapsed();
+        rpc_us.record_duration(elapsed);
+        method_us
+            .entry(method)
+            .or_insert_with(|| {
+                recorder.histogram(&format!("net.rpc.serve.{}.us", service.method_name(method)))
+            })
+            .record_duration(elapsed);
         let mut resp = ByteWriter::with_capacity(16);
         resp.put_u64(req_id);
         match result {
@@ -229,10 +277,9 @@ fn connection_loop(
             }
         }
         let out = resp.into_bytes();
-        if write_frame(&mut &stream, FrameKind::Response, &out).is_err() {
+        if write_frame_metered(&mut &stream, FrameKind::Response, &out, &meter).is_err() {
             return;
         }
-        bytes_tx.add((out.len() + FRAME_OVERHEAD) as u64);
     }
 }
 
@@ -245,10 +292,17 @@ pub struct RpcClient {
     next_req_id: u64,
     connect_timeout: Duration,
     ever_connected: bool,
-    bytes_tx: rlgraph_obs::Counter,
-    bytes_rx: rlgraph_obs::Counter,
+    recorder: Recorder,
+    meter: FrameMeter,
     rpc_us: rlgraph_obs::Histogram,
     reconnects: rlgraph_obs::Counter,
+    method_names: fn(u16) -> &'static str,
+    /// Per-method latency histogram + span label, cached by method id.
+    method_obs: HashMap<u16, (rlgraph_obs::Histogram, String)>,
+}
+
+fn unnamed_method(_: u16) -> &'static str {
+    "other"
 }
 
 impl RpcClient {
@@ -267,10 +321,12 @@ impl RpcClient {
             next_req_id: 0,
             connect_timeout: Duration::from_secs(5),
             ever_connected: false,
-            bytes_tx: recorder.counter("net.bytes_tx"),
-            bytes_rx: recorder.counter("net.bytes_rx"),
+            recorder: recorder.clone(),
+            meter: FrameMeter::new(recorder),
             rpc_us: recorder.histogram("net.rpc_us"),
             reconnects: recorder.counter("net.reconnects"),
+            method_names: unnamed_method,
+            method_obs: HashMap::new(),
         };
         client.ensure_connected()?;
         Ok(client)
@@ -284,6 +340,22 @@ impl RpcClient {
     /// Overrides the TCP connect timeout (default 5s).
     pub fn set_connect_timeout(&mut self, t: Duration) {
         self.connect_timeout = t;
+    }
+
+    /// Installs the method-id → name table used to label per-method
+    /// latency histograms (`net.rpc.<name>.us`) and client spans.
+    pub fn set_method_names(&mut self, f: fn(u16) -> &'static str) {
+        self.method_names = f;
+        self.method_obs.clear();
+    }
+
+    fn method_obs(&mut self, method: u16) -> &(rlgraph_obs::Histogram, String) {
+        let names = self.method_names;
+        let recorder = &self.recorder;
+        self.method_obs.entry(method).or_insert_with(|| {
+            let name = names(method);
+            (recorder.histogram(&format!("net.rpc.{}.us", name)), format!("rpc.{}", name))
+        })
     }
 
     fn ensure_connected(&mut self) -> RlResult<()> {
@@ -342,8 +414,20 @@ impl RpcClient {
     ) -> RlResult<Vec<u8>> {
         let t0 = Instant::now();
         let expiry = deadline.map(|d| t0 + d);
-        let result = self.call_inner(method, body, expiry);
-        self.rpc_us.record_duration(t0.elapsed());
+        // Tracing: when the recorder records, derive a child context and
+        // open a client span flow-linked to the child's span id — the
+        // remote handler span adopts the same id from the wire.
+        let (ctx, _span) = if self.recorder.is_enabled() {
+            let child = TraceContext::current_or_root().child();
+            let span_name = self.method_obs(method).1.clone();
+            (Some(child), Some(self.recorder.span(span_name).flow_out(child.span_id)))
+        } else {
+            (None, None)
+        };
+        let result = self.call_inner(method, body, expiry, ctx);
+        let elapsed = t0.elapsed();
+        self.rpc_us.record_duration(elapsed);
+        self.method_obs(method).0.record_duration(elapsed);
         match result {
             // A typed error the remote service returned arrives on a
             // clean, well-framed stream — keep the connection.
@@ -365,22 +449,28 @@ impl RpcClient {
         method: u16,
         body: &[u8],
         expiry: Option<Instant>,
+        ctx: Option<TraceContext>,
     ) -> RlResult<RlResult<Vec<u8>>> {
         self.ensure_connected()?;
         self.next_req_id += 1;
         let req_id = self.next_req_id;
-        let mut payload = ByteWriter::with_capacity(10 + body.len());
+        let mut payload = ByteWriter::with_capacity(30 + body.len());
+        let kind = match &ctx {
+            Some(c) => {
+                put_trace_context(&mut payload, c);
+                FrameKind::RequestTraced
+            }
+            None => FrameKind::Request,
+        };
         payload.put_u64(req_id);
         payload.put_u16(method);
         payload.put_bytes(body);
         let payload = payload.into_bytes();
         let stream = self.stream.as_ref().expect("connected above");
         arm_timeouts(stream, expiry)?;
-        write_frame(&mut &*stream, FrameKind::Request, &payload)?;
-        self.bytes_tx.add((payload.len() + FRAME_OVERHEAD) as u64);
+        write_frame_metered(&mut &*stream, kind, &payload, &self.meter)?;
         arm_timeouts(stream, expiry)?;
-        let (kind, resp) = read_frame(&mut &*stream)?;
-        self.bytes_rx.add((resp.len() + FRAME_OVERHEAD) as u64);
+        let (kind, resp) = read_frame_metered(&mut &*stream, &self.meter)?;
         if kind != FrameKind::Response {
             return Err(RlError::Protocol(format!(
                 "{} sent a {:?} frame to a client",

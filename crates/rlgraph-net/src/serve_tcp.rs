@@ -26,11 +26,23 @@ pub mod serve_method {
     pub const ACT: u16 = 1;
 }
 
+/// Method-name table of [`serve_method`], for telemetry labels.
+pub fn serve_method_name(method: u16) -> &'static str {
+    match method {
+        serve_method::ACT => "act",
+        _ => "other",
+    }
+}
+
 struct ServeFrontendService {
     client: PolicyClient,
 }
 
 impl RpcService for ServeFrontendService {
+    fn method_name(&self, method: u16) -> &'static str {
+        serve_method_name(method)
+    }
+
     fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>> {
         match method {
             serve_method::ACT => {
@@ -93,7 +105,9 @@ impl NetPolicyClient {
     ///
     /// [`ServeError::Shutdown`] when the front-end is unreachable.
     pub fn connect(addr: SocketAddr, recorder: &Recorder) -> Result<Self, ServeError> {
-        let rpc = RpcClient::connect("serve-frontend", addr, recorder).map_err(ServeError::from)?;
+        let mut rpc =
+            RpcClient::connect("serve-frontend", addr, recorder).map_err(ServeError::from)?;
+        rpc.set_method_names(serve_method_name);
         Ok(NetPolicyClient { rpc })
     }
 

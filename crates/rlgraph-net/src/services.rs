@@ -10,8 +10,8 @@
 //! replies double as the shutdown signal.
 
 use crate::codec::{
-    get_checkpoint, get_snapshot, get_tensor, get_trajectory, put_checkpoint, put_snapshot,
-    put_tensor, put_trajectory,
+    get_checkpoint, get_metrics_snapshot, get_snapshot, get_tensor, get_trace_dump, get_trajectory,
+    put_checkpoint, put_metrics_snapshot, put_snapshot, put_tensor, put_trace_dump, put_trajectory,
 };
 use crate::rpc::{RpcClient, RpcService};
 use crate::wire::{ByteReader, ByteWriter};
@@ -21,7 +21,7 @@ use rlgraph_dist::checkpoint::LearnerCheckpoint;
 use rlgraph_dist::shard::{ShardBatch, ShardCore};
 use rlgraph_dist::sync::{WeightHub, WeightsSnapshot};
 use rlgraph_memory::Transition;
-use rlgraph_obs::Recorder;
+use rlgraph_obs::{ClusterRegistry, MetricsSnapshot, Recorder, TraceDump};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -43,10 +43,38 @@ pub mod shard_method {
 pub mod coord_method {
     /// `GetWeights { seen }` → `Option<WeightsSnapshot>`
     pub const GET_WEIGHTS: u16 = 1;
-    /// `Heartbeat { worker, frames, samples, returns }` → `stop: bool`
+    /// `Heartbeat { … }` → [`crate::services::HeartbeatReply`]
     pub const HEARTBEAT: u16 = 2;
     /// `GetCheckpoint` → `LearnerCheckpoint`
     pub const GET_CHECKPOINT: u16 = 3;
+    /// `GetTelemetry` → plain-text cluster registry dump
+    pub const GET_TELEMETRY: u16 = 4;
+    /// `PushTrace { process, dump }` → `()` (workers ship their span
+    /// buffers before exiting, for the merged cluster trace)
+    pub const PUSH_TRACE: u16 = 5;
+}
+
+/// Method-name table of [`shard_method`], for telemetry labels.
+pub fn shard_method_name(method: u16) -> &'static str {
+    match method {
+        shard_method::INSERT => "insert",
+        shard_method::SAMPLE => "sample",
+        shard_method::UPDATE_PRIORITIES => "update_priorities",
+        shard_method::WATERMARK => "watermark",
+        _ => "other",
+    }
+}
+
+/// Method-name table of [`coord_method`], for telemetry labels.
+pub fn coord_method_name(method: u16) -> &'static str {
+    match method {
+        coord_method::GET_WEIGHTS => "get_weights",
+        coord_method::HEARTBEAT => "heartbeat",
+        coord_method::GET_CHECKPOINT => "get_checkpoint",
+        coord_method::GET_TELEMETRY => "get_telemetry",
+        coord_method::PUSH_TRACE => "push_trace",
+        _ => "other",
+    }
 }
 
 /// One replay shard behind an RPC server.
@@ -67,6 +95,10 @@ impl ShardService {
 }
 
 impl RpcService for ShardService {
+    fn method_name(&self, method: u16) -> &'static str {
+        shard_method_name(method)
+    }
+
     fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>> {
         let mut r = ByteReader::new(body);
         let mut out = ByteWriter::new();
@@ -145,7 +177,9 @@ impl ShardClient {
     ///
     /// `RlError::Io` when the connection fails.
     pub fn connect(name: &str, addr: SocketAddr, recorder: &Recorder) -> RlResult<Self> {
-        Ok(ShardClient { rpc: RpcClient::connect(name, addr, recorder)?, deadline: None })
+        let mut rpc = RpcClient::connect(name, addr, recorder)?;
+        rpc.set_method_names(shard_method_name);
+        Ok(ShardClient { rpc, deadline: None })
     }
 
     /// Applies a per-call deadline to every subsequent request.
@@ -215,7 +249,9 @@ impl ShardClient {
     }
 }
 
-/// A worker's heartbeat: cumulative-progress deltas since its last beat.
+/// A worker's heartbeat: cumulative-progress deltas since its last beat,
+/// plus the telemetry piggyback (metric deltas and the worker's current
+/// clock-offset estimate, both optional and version-tolerant on the wire).
 #[derive(Debug, Clone, Default)]
 pub struct Heartbeat {
     /// worker index
@@ -226,6 +262,25 @@ pub struct Heartbeat {
     pub samples: u64,
     /// episode returns completed since the last beat
     pub returns: Vec<f32>,
+    /// the worker's estimate of (coordinator clock − its own clock),
+    /// in microseconds; only meaningful when `rtt_us > 0`
+    pub offset_us: i64,
+    /// round-trip time of the beat that produced `offset_us`; `0`
+    /// means "no estimate yet" and the coordinator ignores the pair
+    pub rtt_us: u64,
+    /// metric deltas since the last beat, stamped with the worker's
+    /// own capture clock (`taken_at_us`), not coordinator receive time
+    pub snapshot: Option<MetricsSnapshot>,
+}
+
+/// The coordinator's reply to a [`Heartbeat`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeartbeatReply {
+    /// whether the run is over and the worker should exit
+    pub stop: bool,
+    /// the coordinator's clock at reply time, in microseconds; `0`
+    /// when telemetry is disabled (workers then skip offset estimation)
+    pub coord_now_us: u64,
 }
 
 /// Aggregated worker progress, folded from heartbeats.
@@ -248,6 +303,9 @@ pub struct CoordService {
     stop: Arc<AtomicBool>,
     progress: Mutex<CoordProgress>,
     checkpoint: Mutex<Option<LearnerCheckpoint>>,
+    recorder: Recorder,
+    cluster: Arc<ClusterRegistry>,
+    traces: Mutex<Vec<(String, TraceDump)>>,
 }
 
 impl CoordService {
@@ -258,7 +316,19 @@ impl CoordService {
             stop,
             progress: Mutex::new(CoordProgress::default()),
             checkpoint: Mutex::new(None),
+            recorder: Recorder::disabled(),
+            cluster: Arc::new(ClusterRegistry::new(256)),
+            traces: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Enables the telemetry plane: heartbeat replies carry the
+    /// coordinator's clock (so workers can estimate offsets) and
+    /// shipped snapshots fold into the cluster registry.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        self.recorder = recorder.clone();
+        self
     }
 
     /// Takes the progress aggregated so far.
@@ -270,9 +340,24 @@ impl CoordService {
     pub fn set_checkpoint(&self, c: LearnerCheckpoint) {
         *self.checkpoint.lock() = Some(c);
     }
+
+    /// The cluster-wide metric registry heartbeat snapshots fold into.
+    pub fn cluster(&self) -> &Arc<ClusterRegistry> {
+        &self.cluster
+    }
+
+    /// Takes the trace dumps workers pushed before exiting, as
+    /// `(process name, dump)` pairs in arrival order.
+    pub fn take_traces(&self) -> Vec<(String, TraceDump)> {
+        std::mem::take(&mut *self.traces.lock())
+    }
 }
 
 impl RpcService for CoordService {
+    fn method_name(&self, method: u16) -> &'static str {
+        coord_method_name(method)
+    }
+
     fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>> {
         let mut r = ByteReader::new(body);
         let mut out = ByteWriter::new();
@@ -293,14 +378,33 @@ impl RpcService for CoordService {
                 let frames = r.get_u64()?;
                 let samples = r.get_u64()?;
                 let returns = r.get_f32_vec()?;
+                let offset_us = r.get_u64()? as i64;
+                let rtt_us = r.get_u64()?;
+                let snapshot = match r.get_u8()? {
+                    0 => None,
+                    _ => Some(get_metrics_snapshot(&mut r)?),
+                };
                 r.expect_end()?;
-                let _ = worker;
-                let mut p = self.progress.lock();
-                p.env_frames += frames;
-                p.samples += samples;
-                p.returns.extend(returns);
-                p.heartbeats += 1;
+                {
+                    let mut p = self.progress.lock();
+                    p.env_frames += frames;
+                    p.samples += samples;
+                    p.returns.extend(returns);
+                    p.heartbeats += 1;
+                }
+                let name = format!("worker-{}", worker);
+                if rtt_us > 0 {
+                    self.cluster.set_offset(&name, offset_us, rtt_us);
+                }
+                if let Some(snap) = snapshot {
+                    self.cluster.fold(&name, &snap);
+                }
                 out.put_u8(u8::from(self.stop.load(Ordering::Relaxed)));
+                out.put_u64(if self.recorder.is_enabled() {
+                    self.recorder.now_micros()
+                } else {
+                    0
+                });
             }
             coord_method::GET_CHECKPOINT => {
                 r.expect_end()?;
@@ -308,6 +412,16 @@ impl RpcService for CoordService {
                     None => return Err(RlError::Checkpoint("no checkpoint published yet".into())),
                     Some(c) => put_checkpoint(&mut out, c),
                 }
+            }
+            coord_method::GET_TELEMETRY => {
+                r.expect_end()?;
+                out.put_str(&self.cluster.dump());
+            }
+            coord_method::PUSH_TRACE => {
+                let process = r.get_str()?;
+                let dump = get_trace_dump(&mut r)?;
+                r.expect_end()?;
+                self.traces.lock().push((process, dump));
             }
             other => {
                 return Err(RlError::Protocol(format!("coord service: unknown method {}", other)))
@@ -330,7 +444,9 @@ impl CoordClient {
     ///
     /// `RlError::Io` when the connection fails.
     pub fn connect(addr: SocketAddr, recorder: &Recorder) -> RlResult<Self> {
-        Ok(CoordClient { rpc: RpcClient::connect("coordinator", addr, recorder)?, deadline: None })
+        let mut rpc = RpcClient::connect("coordinator", addr, recorder)?;
+        rpc.set_method_names(coord_method_name);
+        Ok(CoordClient { rpc, deadline: None })
     }
 
     /// Applies a per-call deadline to every subsequent request.
@@ -357,22 +473,60 @@ impl CoordClient {
         Ok(out)
     }
 
-    /// Reports progress; the reply says whether the run is over.
+    /// Reports progress; the reply says whether the run is over and
+    /// carries the coordinator's clock for offset estimation.
     ///
     /// # Errors
     ///
     /// Transport/deadline/protocol errors from the RPC layer.
-    pub fn heartbeat(&mut self, beat: &Heartbeat) -> RlResult<bool> {
+    pub fn heartbeat(&mut self, beat: &Heartbeat) -> RlResult<HeartbeatReply> {
         let mut w = ByteWriter::new();
         w.put_u32(beat.worker);
         w.put_u64(beat.frames);
         w.put_u64(beat.samples);
         w.put_f32_slice(&beat.returns);
+        w.put_u64(beat.offset_us as u64);
+        w.put_u64(beat.rtt_us);
+        match beat.snapshot.as_ref() {
+            None => w.put_u8(0),
+            Some(snap) => {
+                w.put_u8(1);
+                put_metrics_snapshot(&mut w, snap);
+            }
+        }
         let resp = self.rpc.call(coord_method::HEARTBEAT, &w.into_bytes(), self.deadline)?;
         let mut r = ByteReader::new(&resp);
         let stop = r.get_u8()? != 0;
+        let coord_now_us = r.get_u64()?;
         r.expect_end()?;
-        Ok(stop)
+        Ok(HeartbeatReply { stop, coord_now_us })
+    }
+
+    /// Fetches the coordinator's plain-text cluster telemetry report.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn get_telemetry(&mut self) -> RlResult<String> {
+        let resp = self.rpc.call(coord_method::GET_TELEMETRY, &[], self.deadline)?;
+        let mut r = ByteReader::new(&resp);
+        let text = r.get_str()?;
+        r.expect_end()?;
+        Ok(text)
+    }
+
+    /// Ships this process's span buffer to the coordinator for the
+    /// merged cluster trace.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn push_trace(&mut self, process: &str, dump: &TraceDump) -> RlResult<()> {
+        let mut w = ByteWriter::new();
+        w.put_str(process);
+        put_trace_dump(&mut w, dump);
+        self.rpc.call(coord_method::PUSH_TRACE, &w.into_bytes(), self.deadline)?;
+        Ok(())
     }
 
     /// Fetches the learner's latest checkpoint over the wire.

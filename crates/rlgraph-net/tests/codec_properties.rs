@@ -6,9 +6,11 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rlgraph_memory::Transition;
 use rlgraph_net::codec::{
-    get_space, get_tensor, get_trajectory, put_space, put_tensor, put_trajectory,
+    get_metrics_snapshot, get_space, get_tensor, get_trace_context, get_trajectory,
+    put_metrics_snapshot, put_space, put_tensor, put_trace_context, put_trajectory,
 };
 use rlgraph_net::{read_frame, write_frame, ByteReader, ByteWriter, FrameKind, FRAME_OVERHEAD};
+use rlgraph_obs::{HistogramSummary, MetricsSnapshot, TraceContext};
 use rlgraph_spaces::Space;
 use rlgraph_tensor::Tensor;
 
@@ -142,5 +144,80 @@ proptest! {
         let mut bytes = Vec::new();
         write_frame(&mut bytes, FrameKind::Request, &payload).unwrap();
         prop_assert_eq!(bytes.len(), payload.len() + FRAME_OVERHEAD);
+    }
+
+    /// Any trace context survives the wire, including the trailing
+    /// payload that follows it in a traced request frame.
+    #[test]
+    fn trace_context_roundtrip(
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+        flags in 0usize..256,
+        tail in prop::collection::vec(0usize..256, 0..50),
+    ) {
+        let ctx = TraceContext { trace_id, span_id, flags: flags as u8 };
+        let tail: Vec<u8> = tail.into_iter().map(|v| v as u8).collect();
+        let mut w = ByteWriter::new();
+        put_trace_context(&mut w, &ctx);
+        w.put_bytes(&tail);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_trace_context(&mut r).unwrap();
+        prop_assert_eq!(back, ctx);
+        prop_assert_eq!(r.remaining(), tail.len());
+    }
+
+    /// Metric snapshots — counters, gauges, histogram summaries, the
+    /// capture timestamp — round-trip bit-for-bit (f64s by bits, so
+    /// negative zero and infinities survive too).
+    #[test]
+    fn metrics_snapshot_roundtrip(
+        taken_at_us in any::<u64>(),
+        counters in prop::collection::vec(any::<u64>(), 0..6),
+        gauges in prop::collection::vec(any::<f64>(), 0..6),
+        hists in prop::collection::vec((any::<u64>(), any::<f64>(), any::<f64>()), 0..4),
+    ) {
+        let snap = MetricsSnapshot {
+            taken_at_us,
+            counters: counters
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (format!("counter.{}", i), v))
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (format!("gauge.{}", i), if i == 0 { f64::NAN } else { v }))
+                .collect(),
+            histograms: hists
+                .into_iter()
+                .enumerate()
+                .map(|(i, (count, a, b))| {
+                    (
+                        format!("hist.{}", i),
+                        HistogramSummary { count, mean: a, p50: b, p95: a, p99: b, max: a },
+                    )
+                })
+                .collect(),
+        };
+        let mut w = ByteWriter::new();
+        put_metrics_snapshot(&mut w, &snap);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_metrics_snapshot(&mut r).unwrap();
+        r.expect_end().unwrap();
+        prop_assert_eq!(back.taken_at_us, snap.taken_at_us);
+        prop_assert_eq!(back.counters, snap.counters);
+        for ((n1, g1), (n2, g2)) in back.gauges.iter().zip(&snap.gauges) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(g1.to_bits(), g2.to_bits());
+        }
+        for ((n1, h1), (n2, h2)) in back.histograms.iter().zip(&snap.histograms) {
+            prop_assert_eq!(n1, n2);
+            prop_assert_eq!(h1.count, h2.count);
+            prop_assert_eq!(h1.mean.to_bits(), h2.mean.to_bits());
+            prop_assert_eq!(h1.p50.to_bits(), h2.p50.to_bits());
+            prop_assert_eq!(h1.p99.to_bits(), h2.p99.to_bits());
+        }
     }
 }

@@ -97,10 +97,16 @@ fn coordinator_distributes_weights_and_checkpoints_over_tcp() {
     assert_eq!(ck.variables[0].1.as_f32().unwrap(), &[-0.25; 4]);
 
     // Heartbeats aggregate and relay the stop flag.
-    let beat = rlgraph_net::Heartbeat { worker: 0, frames: 100, samples: 32, returns: vec![1.0] };
-    assert!(!client.heartbeat(&beat).unwrap());
+    let beat = rlgraph_net::Heartbeat {
+        worker: 0,
+        frames: 100,
+        samples: 32,
+        returns: vec![1.0],
+        ..Default::default()
+    };
+    assert!(!client.heartbeat(&beat).unwrap().stop);
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
-    assert!(client.heartbeat(&beat).unwrap());
+    assert!(client.heartbeat(&beat).unwrap().stop);
     let progress = service.progress();
     assert_eq!(progress.env_frames, 200);
     assert_eq!(progress.heartbeats, 2);
@@ -131,6 +137,50 @@ fn apex_over_tcp_trains_end_to_end() {
     assert_eq!(stats.workers_clean, 2, "workers did not stop cleanly");
     assert!(stats.losses.iter().all(|l| l.is_finite()));
     assert!(stats.shard_watermarks.iter().sum::<u64>() > 0);
+}
+
+/// The full telemetry plane over real sockets (thread-mode workers run
+/// the exact process-mode loop): worker snapshots fold into the cluster
+/// registry, GET_TELEMETRY serves the report, worker trace dumps arrive
+/// via PUSH_TRACE, and the merged Chrome trace stitches the processes.
+#[test]
+fn telemetry_plane_folds_workers_and_merges_traces() {
+    let config = NetApexConfig {
+        agent: tiny_agent(),
+        env: EnvSpec::Random { shape: vec![4], actions: 2, episode_len: 20 },
+        num_workers: 2,
+        envs_per_worker: 2,
+        task_size: 32,
+        num_shards: 2,
+        weight_sync_interval: 4,
+        run_duration: Duration::from_secs(30),
+        max_updates: Some(12),
+        rpc_deadline: Duration::from_secs(5),
+        launch: LaunchMode::Thread,
+        shard_proxy: None,
+        recorder: Recorder::wall(),
+    };
+    let stats = run_apex_net(config).unwrap();
+    assert_eq!(stats.updates, 12);
+    assert_eq!(stats.workers_clean, 2);
+
+    let report = stats.telemetry_dump.expect("GET_TELEMETRY answered");
+    assert!(report.contains("worker-0"), "missing worker section:\n{}", report);
+    assert!(report.contains("worker-1"), "missing worker section:\n{}", report);
+    assert!(report.contains("learner"), "missing learner section:\n{}", report);
+    assert!(report.contains("worker.mailbox_depth"), "missing mailbox gauge:\n{}", report);
+    assert!(report.contains("learner.update_rate"), "missing update-rate gauge:\n{}", report);
+    assert!(report.contains("net.bytes_tx"), "missing wire accounting:\n{}", report);
+
+    let trace = stats.merged_trace.expect("merged trace rendered");
+    assert!(trace.contains("\"coordinator\""), "missing parent row:\n{}", &trace[..500]);
+    assert!(trace.contains("\"worker-0\""), "missing worker row");
+    assert!(trace.contains("\"worker-1\""), "missing worker row");
+    assert!(trace.contains("worker.collect"), "missing worker-side span");
+    assert!(trace.contains("rpc.serve.heartbeat"), "missing server handler span");
+    // Flow events stitch client call spans to server handler spans.
+    assert!(trace.contains("\"ph\":\"s\""), "missing flow start events");
+    assert!(trace.contains("\"ph\":\"f\""), "missing flow finish events");
 }
 
 #[test]

@@ -3,8 +3,8 @@
 
 use rlgraph_core::{RlError, Severity};
 use rlgraph_dist::retry::RetryPolicy;
-use rlgraph_net::{RpcClient, RpcServer, RpcService};
-use rlgraph_obs::Recorder;
+use rlgraph_net::{read_frame, write_frame, FrameKind, RpcClient, RpcServer, RpcService};
+use rlgraph_obs::{DumpKind, Recorder};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -135,6 +135,56 @@ fn concurrent_clients_each_get_their_own_answers() {
         h.join().unwrap();
     }
     server.shutdown();
+}
+
+/// Zero-cost-when-disabled, asserted at the byte level: with a disabled
+/// recorder the client emits plain `Request` frames whose payload is
+/// exactly `req_id + method + body` — not one byte of trace context.
+#[test]
+fn disabled_recorder_sends_untraced_frames() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let body = b"payload".to_vec();
+    let expect_len = 8 + 2 + body.len(); // req_id u64 + method u16 + body
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let (kind, payload) = read_frame(&mut stream).unwrap();
+        assert_eq!(kind, FrameKind::Request, "tracing off must not change the frame kind");
+        assert_eq!(payload.len(), expect_len, "tracing off must add zero payload bytes");
+        // Minimal valid response: echo req_id, status 0, empty body.
+        let mut resp = payload[..8].to_vec();
+        resp.push(0);
+        write_frame(&mut stream, FrameKind::Response, &resp).unwrap();
+    });
+    let recorder = Recorder::disabled();
+    let mut client = RpcClient::connect("raw", addr, &recorder).unwrap();
+    client.call(ECHO, &body, Some(Duration::from_secs(5))).unwrap();
+    server.join().unwrap();
+}
+
+/// With tracing on, the client's call span and the server's handler
+/// span share a flow id, so the merged trace can stitch the RPC edge
+/// across processes.
+#[test]
+fn traced_calls_link_client_and_server_spans() {
+    let (server, recorder) = spawn_server();
+    let mut client = RpcClient::connect("test", server.addr(), &recorder).unwrap();
+    client.call(ECHO, b"traced", None).unwrap();
+    server.shutdown();
+    let dump = recorder.trace_dump();
+    let call = dump
+        .events
+        .iter()
+        .find(|e| {
+            e.name.starts_with("rpc.") && !e.name.starts_with("rpc.serve.") && e.flow_out != 0
+        })
+        .expect("client call span with a flow out-edge");
+    let handler = dump
+        .events
+        .iter()
+        .find(|e| e.name.starts_with("rpc.serve.") && e.flow_in == call.flow_out)
+        .expect("server handler span linked to the client span");
+    assert!(matches!(handler.kind, DumpKind::Complete { .. }));
 }
 
 #[test]

@@ -1,0 +1,492 @@
+//! Cluster-wide metric aggregation: per-worker and aggregate
+//! time-series ring buffers folded from heartbeat-shipped
+//! [`MetricsSnapshot`] deltas.
+//!
+//! Each worker process periodically snapshots its local registry,
+//! converts it to a **delta** ([`DeltaTracker`]) and ships it with its
+//! heartbeat. The coordinator folds deltas into a [`ClusterRegistry`]:
+//! one bounded series ring per (worker, metric) holding recent
+//! `(timestamp, value)` points, so memory stays fixed regardless of run
+//! length, plus cumulative counter totals and the latest histogram
+//! summaries.
+//!
+//! Timestamps are the **worker's clock** adjusted by the coordinator's
+//! per-worker clock-offset estimate ([`ClusterRegistry::set_offset`]),
+//! not coordinator receive time — a snapshot delayed in flight (fault
+//! proxy, TCP backpressure) still lands at the instant it described.
+//!
+//! Queries: latest values, cumulative totals, and p50/p95/p99 over a
+//! sliding window ([`ClusterRegistry::window_stats`]), either per worker
+//! or aggregated across the fleet. [`ClusterRegistry::dump`] renders the
+//! whole registry as the plain-text report `GetTelemetry` serves.
+
+use crate::recorder::{HistogramSummary, MetricsSnapshot};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One `(timestamp, value)` sample in a series ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// coordinator-clock timestamp, microseconds
+    pub ts_us: u64,
+    /// sampled value (gauge level, or counter delta per interval)
+    pub value: f64,
+}
+
+/// Fixed-capacity overwrite-oldest ring of series points.
+#[derive(Debug)]
+struct SeriesRing {
+    buf: Vec<SeriesPoint>,
+    cap: usize,
+    head: usize,
+}
+
+impl SeriesRing {
+    fn new(cap: usize) -> Self {
+        SeriesRing { buf: Vec::with_capacity(cap.max(1)), cap: cap.max(1), head: 0 }
+    }
+
+    fn push(&mut self, p: SeriesPoint) {
+        if self.buf.len() < self.cap {
+            self.buf.push(p);
+        } else {
+            self.buf[self.head] = p;
+        }
+        self.head = (self.head + 1) % self.cap;
+    }
+
+    fn points(&self) -> Vec<SeriesPoint> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+
+    fn last(&self) -> Option<SeriesPoint> {
+        if self.buf.is_empty() {
+            None
+        } else if self.buf.len() < self.cap {
+            self.buf.last().copied()
+        } else {
+            Some(self.buf[(self.head + self.cap - 1) % self.cap])
+        }
+    }
+}
+
+/// Percentile summary of the points inside one sliding window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowStats {
+    /// points in the window
+    pub count: usize,
+    /// most recent value
+    pub last: f64,
+    /// arithmetic mean
+    pub mean: f64,
+    /// exact median of the windowed points
+    pub p50: f64,
+    /// exact 95th percentile of the windowed points
+    pub p95: f64,
+    /// exact 99th percentile of the windowed points
+    pub p99: f64,
+    /// smallest value
+    pub min: f64,
+    /// largest value
+    pub max: f64,
+}
+
+fn window_stats_of(mut values: Vec<f64>, last: f64) -> WindowStats {
+    let count = values.len();
+    if count == 0 {
+        return WindowStats::default();
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = |frac: f64| {
+        let rank = ((frac * count as f64).ceil() as usize).clamp(1, count);
+        values[rank - 1]
+    };
+    WindowStats {
+        count,
+        last,
+        mean: values.iter().sum::<f64>() / count as f64,
+        p50: q(0.50),
+        p95: q(0.95),
+        p99: q(0.99),
+        min: values[0],
+        max: values[count - 1],
+    }
+}
+
+#[derive(Debug, Default)]
+struct WorkerState {
+    /// coordinator_clock - worker_clock, microseconds
+    offset_us: i64,
+    /// RTT of the heartbeat that produced the offset (trust ∝ 1/rtt)
+    offset_rtt_us: u64,
+    has_offset: bool,
+    counter_totals: BTreeMap<String, u64>,
+    series: BTreeMap<String, SeriesRing>,
+    hist_last: BTreeMap<String, HistogramSummary>,
+    folds: u64,
+    last_ts_us: u64,
+    dropped_series: u64,
+}
+
+/// The coordinator's cluster-wide metric store; see module docs.
+#[derive(Debug)]
+pub struct ClusterRegistry {
+    points_per_series: usize,
+    max_series_per_worker: usize,
+    workers: Mutex<BTreeMap<String, WorkerState>>,
+}
+
+impl Default for ClusterRegistry {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+impl ClusterRegistry {
+    /// Creates a registry retaining `points_per_series` samples per
+    /// (worker, metric) series — the fixed-memory bound.
+    pub fn new(points_per_series: usize) -> Self {
+        ClusterRegistry {
+            points_per_series: points_per_series.max(1),
+            max_series_per_worker: 512,
+            workers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Records the clock-offset estimate for `worker`
+    /// (`coordinator_clock - worker_clock`). Estimates from
+    /// lower-latency heartbeats replace higher-latency ones — minimum
+    /// RTT is the standard filter for one-shot offset estimation.
+    pub fn set_offset(&self, worker: &str, offset_us: i64, rtt_us: u64) {
+        let mut w = self.workers.lock().expect("cluster lock");
+        let st = w.entry(worker.to_string()).or_default();
+        if !st.has_offset || rtt_us <= st.offset_rtt_us {
+            st.offset_us = offset_us;
+            st.offset_rtt_us = rtt_us;
+            st.has_offset = true;
+        }
+    }
+
+    /// The current offset estimate for `worker`, if any heartbeats
+    /// carried one: `(offset_us, rtt_us)`.
+    pub fn offset(&self, worker: &str) -> Option<(i64, u64)> {
+        let w = self.workers.lock().expect("cluster lock");
+        w.get(worker).filter(|s| s.has_offset).map(|s| (s.offset_us, s.offset_rtt_us))
+    }
+
+    /// Folds one delta snapshot from `worker`. `snap.taken_at_us` is the
+    /// worker-clock capture time; it is shifted by the worker's offset
+    /// estimate into coordinator time before the points are stored.
+    pub fn fold(&self, worker: &str, snap: &MetricsSnapshot) {
+        let mut w = self.workers.lock().expect("cluster lock");
+        let cap = self.points_per_series;
+        let max_series = self.max_series_per_worker;
+        let st = w.entry(worker.to_string()).or_default();
+        let ts = if st.has_offset {
+            snap.taken_at_us.saturating_add_signed(st.offset_us)
+        } else {
+            snap.taken_at_us
+        };
+        st.folds += 1;
+        st.last_ts_us = ts.max(st.last_ts_us);
+        for (name, delta) in &snap.counters {
+            *st.counter_totals.entry(name.clone()).or_insert(0) += delta;
+            push_point(st, name, ts, *delta as f64, cap, max_series);
+        }
+        for (name, value) in &snap.gauges {
+            push_point(st, name, ts, *value, cap, max_series);
+        }
+        for (name, h) in &snap.histograms {
+            push_point(st, &format!("{}.p99", name), ts, h.p99, cap, max_series);
+            st.hist_last.insert(name.clone(), *h);
+        }
+    }
+
+    /// Worker names seen so far, sorted.
+    pub fn worker_names(&self) -> Vec<String> {
+        self.workers.lock().expect("cluster lock").keys().cloned().collect()
+    }
+
+    /// Cumulative counter total for one worker (0 when unseen).
+    pub fn counter_total(&self, worker: &str, name: &str) -> u64 {
+        let w = self.workers.lock().expect("cluster lock");
+        w.get(worker).and_then(|s| s.counter_totals.get(name)).copied().unwrap_or(0)
+    }
+
+    /// Cumulative counter total summed across all workers.
+    pub fn aggregate_counter_total(&self, name: &str) -> u64 {
+        let w = self.workers.lock().expect("cluster lock");
+        w.values().filter_map(|s| s.counter_totals.get(name)).sum()
+    }
+
+    /// Latest value of one worker's series (gauge level or last counter
+    /// delta).
+    pub fn latest(&self, worker: &str, name: &str) -> Option<f64> {
+        let w = self.workers.lock().expect("cluster lock");
+        w.get(worker).and_then(|s| s.series.get(name)).and_then(|r| r.last()).map(|p| p.value)
+    }
+
+    /// p50/p95/p99 (exact, over stored points) of one worker's series
+    /// within the sliding window ending at the series' newest point.
+    pub fn window_stats(&self, worker: &str, name: &str, window_us: u64) -> Option<WindowStats> {
+        let w = self.workers.lock().expect("cluster lock");
+        let ring = w.get(worker)?.series.get(name)?;
+        let pts = ring.points();
+        let last = ring.last()?;
+        let cutoff = last.ts_us.saturating_sub(window_us);
+        let vals: Vec<f64> = pts.iter().filter(|p| p.ts_us >= cutoff).map(|p| p.value).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        Some(window_stats_of(vals, last.value))
+    }
+
+    /// [`ClusterRegistry::window_stats`] pooled across every worker that
+    /// has the series.
+    pub fn aggregate_window_stats(&self, name: &str, window_us: u64) -> Option<WindowStats> {
+        let w = self.workers.lock().expect("cluster lock");
+        let mut vals = Vec::new();
+        let mut last: Option<SeriesPoint> = None;
+        let mut newest = 0u64;
+        for st in w.values() {
+            if let Some(ring) = st.series.get(name) {
+                if let Some(l) = ring.last() {
+                    newest = newest.max(l.ts_us);
+                    if last.map(|p| l.ts_us >= p.ts_us).unwrap_or(true) {
+                        last = Some(l);
+                    }
+                }
+            }
+        }
+        let cutoff = newest.saturating_sub(window_us);
+        for st in w.values() {
+            if let Some(ring) = st.series.get(name) {
+                vals.extend(ring.points().iter().filter(|p| p.ts_us >= cutoff).map(|p| p.value));
+            }
+        }
+        if vals.is_empty() {
+            return None;
+        }
+        Some(window_stats_of(vals, last.map(|p| p.value).unwrap_or(0.0)))
+    }
+
+    /// Renders the whole registry as a plain-text report: per-worker
+    /// clock offsets, counter totals, gauge windows, and histogram
+    /// summaries, then fleet-wide aggregates. Deterministic for a given
+    /// fold history (maps are ordered).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let w = self.workers.lock().expect("cluster lock");
+        out.push_str("== cluster telemetry ==\n");
+        for (name, st) in w.iter() {
+            let _ = writeln!(
+                out,
+                "-- {} (folds={}, clock_offset={}us, rtt={}us, last_ts={}us) --",
+                name,
+                st.folds,
+                if st.has_offset { st.offset_us } else { 0 },
+                st.offset_rtt_us,
+                st.last_ts_us
+            );
+            for (k, v) in &st.counter_totals {
+                let _ = writeln!(out, "  counter  {:<40} total={}", k, v);
+            }
+            for (k, ring) in &st.series {
+                // Counter-delta series are already reported via totals.
+                if st.counter_totals.contains_key(k) {
+                    continue;
+                }
+                let pts = ring.points();
+                let last = ring.last().map(|p| p.value).unwrap_or(0.0);
+                let stats = window_stats_of(pts.iter().map(|p| p.value).collect(), last);
+                let _ = writeln!(
+                    out,
+                    "  series   {:<40} last={:.3} p50={:.3} p95={:.3} p99={:.3} n={}",
+                    k, stats.last, stats.p50, stats.p95, stats.p99, stats.count
+                );
+            }
+            for (k, h) in &st.hist_last {
+                let _ = writeln!(
+                    out,
+                    "  hist     {:<40} count={} mean={:.1} p50={:.1} p99={:.1} max={:.1}",
+                    k, h.count, h.mean, h.p50, h.p99, h.max
+                );
+            }
+            if st.dropped_series > 0 {
+                let _ = writeln!(out, "  !! {} series dropped (per-worker cap)", st.dropped_series);
+            }
+        }
+        // Fleet aggregates: counters summed, gauge series pooled.
+        let mut agg_counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauge_names: BTreeMap<String, ()> = BTreeMap::new();
+        for st in w.values() {
+            for (k, v) in &st.counter_totals {
+                *agg_counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for k in st.series.keys() {
+                if !st.counter_totals.contains_key(k) {
+                    gauge_names.insert(k.clone(), ());
+                }
+            }
+        }
+        out.push_str("-- aggregate --\n");
+        for (k, v) in &agg_counters {
+            let _ = writeln!(out, "  counter  {:<40} total={}", k, v);
+        }
+        drop(w);
+        for (k, _) in gauge_names {
+            if let Some(s) = self.aggregate_window_stats(&k, u64::MAX) {
+                let _ = writeln!(
+                    out,
+                    "  series   {:<40} last={:.3} p50={:.3} p95={:.3} p99={:.3} n={}",
+                    k, s.last, s.p50, s.p95, s.p99, s.count
+                );
+            }
+        }
+        out
+    }
+}
+
+fn push_point(
+    st: &mut WorkerState,
+    name: &str,
+    ts: u64,
+    value: f64,
+    cap: usize,
+    max_series: usize,
+) {
+    if let Some(ring) = st.series.get_mut(name) {
+        ring.push(SeriesPoint { ts_us: ts, value });
+        return;
+    }
+    if st.series.len() >= max_series {
+        st.dropped_series += 1;
+        return;
+    }
+    let mut ring = SeriesRing::new(cap);
+    ring.push(SeriesPoint { ts_us: ts, value });
+    st.series.insert(name.to_string(), ring);
+}
+
+/// Turns cumulative local snapshots into per-interval **deltas** for
+/// shipping: counters become increments since the previous snapshot,
+/// gauges and histogram summaries pass through as current values.
+///
+/// One tracker per shipper; feeding it snapshots from the same registry
+/// in capture order yields deltas that sum back to the cumulative
+/// totals.
+#[derive(Debug, Default)]
+pub struct DeltaTracker {
+    last_counters: HashMap<String, u64>,
+}
+
+impl DeltaTracker {
+    /// A fresh tracker (first delta equals the full snapshot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Converts `snap` (cumulative) into the delta since the previous
+    /// call.
+    pub fn delta(&mut self, snap: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = snap.clone();
+        for (name, v) in &mut out.counters {
+            let prev = self.last_counters.insert(name.clone(), *v).unwrap_or(0);
+            *v = v.saturating_sub(prev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(ts: u64, counters: &[(&str, u64)], gauges: &[(&str, f64)]) -> MetricsSnapshot {
+        MetricsSnapshot {
+            taken_at_us: ts,
+            counters: counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            gauges: gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fold_accumulates_counters_and_tracks_gauges() {
+        let reg = ClusterRegistry::new(16);
+        reg.fold("w0", &snap(100, &[("frames", 10)], &[("depth", 3.0)]));
+        reg.fold("w0", &snap(200, &[("frames", 5)], &[("depth", 7.0)]));
+        reg.fold("w1", &snap(150, &[("frames", 2)], &[]));
+        assert_eq!(reg.counter_total("w0", "frames"), 15);
+        assert_eq!(reg.aggregate_counter_total("frames"), 17);
+        assert_eq!(reg.latest("w0", "depth"), Some(7.0));
+        let s = reg.window_stats("w0", "depth", u64::MAX).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn series_rings_bound_memory() {
+        let reg = ClusterRegistry::new(4);
+        for i in 0..100u64 {
+            reg.fold("w0", &snap(i, &[], &[("g", i as f64)]));
+        }
+        let s = reg.window_stats("w0", "g", u64::MAX).unwrap();
+        assert_eq!(s.count, 4, "ring must cap retained points");
+        assert_eq!(s.last, 99.0);
+        assert_eq!(s.min, 96.0);
+    }
+
+    #[test]
+    fn offsets_shift_worker_timestamps() {
+        let reg = ClusterRegistry::new(16);
+        reg.set_offset("w0", 1_000_000, 500);
+        reg.fold("w0", &snap(100, &[], &[("g", 1.0)]));
+        // A worse (higher-rtt) estimate must not replace the current one.
+        reg.set_offset("w0", 9_999_999, 20_000);
+        assert_eq!(reg.offset("w0"), Some((1_000_000, 500)));
+        // Window query anchored at shifted timestamps still sees the point.
+        let s = reg.window_stats("w0", "g", 10).unwrap();
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn dump_is_deterministic_under_interleaving() {
+        let build = |order: &[usize]| {
+            let reg = ClusterRegistry::new(16);
+            let streams = [
+                vec![snap(10, &[("c", 1)], &[("g", 1.0)]), snap(20, &[("c", 2)], &[("g", 2.0)])],
+                vec![snap(15, &[("c", 5)], &[("g", 9.0)])],
+            ];
+            let mut cursors = [0usize, 0usize];
+            for &s in order {
+                let i = cursors[s];
+                reg.fold(if s == 0 { "w0" } else { "w1" }, &streams[s][i]);
+                cursors[s] += 1;
+            }
+            reg.dump()
+        };
+        // Same per-worker order, different cross-worker interleaving.
+        assert_eq!(build(&[0, 0, 1]), build(&[0, 1, 0]));
+        assert_eq!(build(&[0, 0, 1]), build(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn delta_tracker_emits_increments() {
+        let mut t = DeltaTracker::new();
+        let d1 = t.delta(&snap(1, &[("c", 10)], &[("g", 5.0)]));
+        assert_eq!(d1.counters[0].1, 10);
+        let d2 = t.delta(&snap(2, &[("c", 25)], &[("g", 6.0)]));
+        assert_eq!(d2.counters[0].1, 15);
+        assert_eq!(d2.gauges[0].1, 6.0, "gauges pass through");
+    }
+}

@@ -1,0 +1,180 @@
+//! Distributed trace context: the compact identity a request carries
+//! across process boundaries.
+//!
+//! A [`TraceContext`] is `(trace_id, span_id, flags)` — 17 bytes of
+//! payload on the wire. The `trace_id` names one end-to-end operation
+//! (an RPC fan-out, a serve request); every span created on its behalf
+//! shares it. The `span_id` names the *current* hop: an RPC client
+//! stamps a fresh child id into the request frame, the server's handler
+//! span adopts it, and the exporter stitches the two sides with a flow
+//! event keyed by that id — parent→child linking without either side
+//! ever exchanging span tables.
+//!
+//! Propagation inside a process is a thread-local: [`ContextScope`]
+//! installs a context for the current thread and restores the previous
+//! one on drop, so nested scopes behave like a stack. Cross-thread
+//! hand-offs (e.g. a request parked in an admission queue and executed
+//! by a replica thread) carry the context by value.
+//!
+//! Id generation needs no coordination: ids are SplitMix64 draws from a
+//! per-process generator seeded with the process id and creation time,
+//! so two worker processes spawned in the same microsecond still draw
+//! disjoint id streams with overwhelming probability.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Flag bit: this trace is sampled (spans should be recorded).
+pub const FLAG_SAMPLED: u8 = 0x01;
+
+/// Compact cross-process trace identity; see module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// one end-to-end operation; shared by every hop
+    pub trace_id: u64,
+    /// the current hop (one RPC call, one queued request)
+    pub span_id: u64,
+    /// bit flags; bit 0 = sampled
+    pub flags: u8,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// Process-wide id generator state (never zero after first use).
+static ID_STATE: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws the next process-unique nonzero id.
+fn next_id() -> u64 {
+    // Lazily seed from (pid, wall time) so independent processes draw
+    // disjoint streams; afterwards a fetch_add keeps draws unique and
+    // cheap within the process.
+    let mut cur = ID_STATE.load(Ordering::Relaxed);
+    if cur == 0 {
+        let pid = std::process::id() as u64;
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let seed = splitmix64(pid.rotate_left(32) ^ now) | 1;
+        // Racing initializers agree on whoever lands first.
+        let _ = ID_STATE.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+        cur = ID_STATE.load(Ordering::Relaxed);
+    }
+    let raw = ID_STATE.fetch_add(1, Ordering::Relaxed);
+    let _ = cur;
+    let id = splitmix64(raw);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+impl TraceContext {
+    /// Starts a new sampled trace: fresh trace id, fresh root span id.
+    pub fn new_root() -> Self {
+        TraceContext { trace_id: next_id(), span_id: next_id(), flags: FLAG_SAMPLED }
+    }
+
+    /// Derives the context of one child hop: same trace, fresh span id.
+    pub fn child(&self) -> Self {
+        TraceContext { trace_id: self.trace_id, span_id: next_id(), flags: self.flags }
+    }
+
+    /// Whether the sampled flag is set.
+    pub fn is_sampled(&self) -> bool {
+        self.flags & FLAG_SAMPLED != 0
+    }
+
+    /// The calling thread's current context, if any.
+    pub fn current() -> Option<TraceContext> {
+        CURRENT.with(|c| c.get())
+    }
+
+    /// The current context if present, else a fresh root — the pattern
+    /// every egress point (RPC client, serve submit) uses.
+    pub fn current_or_root() -> TraceContext {
+        Self::current().unwrap_or_else(Self::new_root)
+    }
+}
+
+/// RAII install of a context on the calling thread; restores the
+/// previous context (possibly none) on drop, so scopes nest.
+#[derive(Debug)]
+pub struct ContextScope {
+    prev: Option<TraceContext>,
+}
+
+impl ContextScope {
+    /// Installs `ctx` as the thread's current context.
+    pub fn enter(ctx: TraceContext) -> Self {
+        let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+        ContextScope { prev }
+    }
+}
+
+impl Drop for ContextScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| c.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_distinct_and_sampled() {
+        let a = TraceContext::new_root();
+        let b = TraceContext::new_root();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_ne!(a.span_id, b.span_id);
+        assert!(a.is_sampled());
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.span_id, 0);
+    }
+
+    #[test]
+    fn child_keeps_trace_id_with_fresh_span_id() {
+        let root = TraceContext::new_root();
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+        assert_eq!(child.flags, root.flags);
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        assert_eq!(TraceContext::current(), None);
+        let outer = TraceContext::new_root();
+        {
+            let _s = ContextScope::enter(outer);
+            assert_eq!(TraceContext::current(), Some(outer));
+            let inner = outer.child();
+            {
+                let _s2 = ContextScope::enter(inner);
+                assert_eq!(TraceContext::current(), Some(inner));
+            }
+            assert_eq!(TraceContext::current(), Some(outer));
+        }
+        assert_eq!(TraceContext::current(), None);
+    }
+
+    #[test]
+    fn current_or_root_prefers_installed_context() {
+        let ctx = TraceContext::new_root();
+        let _s = ContextScope::enter(ctx);
+        assert_eq!(TraceContext::current_or_root(), ctx);
+    }
+}

@@ -8,72 +8,22 @@
 
 use std::fmt::Write as _;
 
+use crate::merge::{merged_chrome_trace, ProcessTrace};
 use crate::recorder::Recorder;
-use crate::trace::EventKind;
 
 /// Serializes the recorder's trace buffer to Chrome trace-event JSON.
 ///
-/// Events are emitted sorted by `(tid, ts)` with longer spans first at
-/// equal start times, so per-thread timestamps are monotone and parents
-/// precede children.
+/// A single-process view of [`merged_chrome_trace`]: the recorder's dump
+/// renders as one `pid 0` process named `"rlgraph"`, events sorted by
+/// `(tid, ts)` with longer spans first at equal start times, so
+/// per-thread timestamps are monotone and parents precede children.
+/// Spans carrying flow ids emit `s`/`f` flow events alongside.
 pub fn chrome_trace(rec: &Recorder) -> String {
-    let mut out = String::new();
-    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    out.push_str(
-        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
-         \"args\":{\"name\":\"rlgraph\"}}",
-    );
-    if let Some(inner) = &rec.inner {
-        let tr = inner.trace.lock().expect("obs lock");
-        for (tid, name) in tr.tracks.iter().enumerate() {
-            out.push_str(",\n");
-            let _ = write!(
-                out,
-                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":{}}}}}",
-                json_str(name)
-            );
-        }
-        for ev in tr.sorted_events() {
-            out.push_str(",\n");
-            match ev.kind {
-                EventKind::Complete { dur_us } => {
-                    let _ = write!(
-                        out,
-                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\
-                         \"cat\":\"span\",\"name\":{}}}",
-                        ev.track,
-                        ev.ts_us,
-                        dur_us,
-                        json_str(&ev.name)
-                    );
-                }
-                EventKind::Instant => {
-                    let _ = write!(
-                        out,
-                        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{},\"s\":\"t\",\
-                         \"name\":{}}}",
-                        ev.track,
-                        ev.ts_us,
-                        json_str(&ev.name)
-                    );
-                }
-                EventKind::Counter { value } => {
-                    let _ = write!(
-                        out,
-                        "{{\"ph\":\"C\",\"pid\":0,\"tid\":{},\"ts\":{},\"name\":{},\
-                         \"args\":{{\"value\":{}}}}}",
-                        ev.track,
-                        ev.ts_us,
-                        json_str(&ev.name),
-                        json_num(value)
-                    );
-                }
-            }
-        }
-    }
-    out.push_str("\n]}\n");
-    out
+    merged_chrome_trace(&[ProcessTrace {
+        name: "rlgraph".to_string(),
+        offset_us: 0,
+        dump: rec.trace_dump(),
+    }])
 }
 
 /// Writes [`chrome_trace`] output to a file.
@@ -136,36 +86,6 @@ pub fn summary(rec: &Recorder) -> String {
         out.push_str("no metrics or spans recorded\n");
     }
     out
-}
-
-/// Escapes a string into a quoted JSON literal.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Formats an f64 as a JSON number (non-finite values become 0).
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "0".to_string()
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,178 @@
+//! Flight recorder: a bounded ring of the *most recent* spans and
+//! events, kept for post-mortems.
+//!
+//! The main trace buffer keeps the **first** N events of a run (good
+//! for profiles, useless for crashes hours in); the flight recorder
+//! keeps the **last** N (the moments before the crash), overwriting in
+//! place so memory stays fixed no matter how long the process lives.
+//!
+//! It is lock-light by construction: the ring lives inside the
+//! recorder's existing trace state, so a span drop appends to both the
+//! trace buffer and the ring under the one short lock it already takes
+//! — enabling the flight recorder adds no locks and no allocations
+//! beyond the pre-sized ring slots.
+//!
+//! Consumers are the crash paths: `Supervisor`'s panic handler and the
+//! chaos engine render the ring to disk ([`render`]) when an actor dies,
+//! so faults that never reach the coordinator still leave evidence.
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+
+/// What one flight-recorder entry records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightKind {
+    /// A finished span and its duration.
+    Span {
+        /// duration in microseconds
+        dur_us: u64,
+    },
+    /// A point-in-time marker.
+    Instant,
+    /// A free-form note (crash reasons, state dumps) with detail text.
+    Note {
+        /// free-form detail attached to the note
+        detail: String,
+    },
+}
+
+/// One entry in the flight ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// timestamp on the recorder's clock, microseconds
+    pub ts_us: u64,
+    /// the track (thread/actor) the event happened on
+    pub track: u32,
+    /// event name
+    pub name: Cow<'static, str>,
+    /// span / instant / note
+    pub kind: FlightKind,
+}
+
+/// Fixed-capacity overwrite-oldest ring. Not internally synchronized —
+/// lives under the recorder's trace lock.
+#[derive(Debug)]
+pub(crate) struct FlightRing {
+    buf: Vec<FlightEvent>,
+    cap: usize,
+    /// next write position
+    head: usize,
+    /// events ever pushed (so renders can say how many were overwritten)
+    total: u64,
+}
+
+impl FlightRing {
+    pub(crate) fn new(cap: usize) -> Self {
+        FlightRing { buf: Vec::with_capacity(cap.max(1)), cap: cap.max(1), head: 0, total: 0 }
+    }
+
+    pub(crate) fn push(&mut self, ev: FlightEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+        }
+        self.head = (self.head + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// Events oldest-first.
+    pub(crate) fn in_order(&self) -> Vec<FlightEvent> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Renders flight events as the plain-text post-mortem format: a header
+/// line, then one `ts  track  kind  name  [detail]` line per event,
+/// oldest first.
+pub fn render(reason: &str, tracks: &[String], events: &[FlightEvent], total: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== flight recorder dump: {} ({} retained of {} recorded) ==",
+        reason,
+        events.len(),
+        total
+    );
+    for ev in events {
+        let track = tracks.get(ev.track as usize).map(String::as_str).unwrap_or("?");
+        match &ev.kind {
+            FlightKind::Span { dur_us } => {
+                let _ = writeln!(
+                    out,
+                    "{:>12}us  {:<20} span     {:<32} dur={}us",
+                    ev.ts_us, track, ev.name, dur_us
+                );
+            }
+            FlightKind::Instant => {
+                let _ = writeln!(out, "{:>12}us  {:<20} instant  {}", ev.ts_us, track, ev.name);
+            }
+            FlightKind::Note { detail } => {
+                let _ = writeln!(
+                    out,
+                    "{:>12}us  {:<20} note     {:<32} {}",
+                    ev.ts_us, track, ev.name, detail
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, name: &'static str) -> FlightEvent {
+        FlightEvent { ts_us: ts, track: 0, name: Cow::Borrowed(name), kind: FlightKind::Instant }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut r = FlightRing::new(3);
+        for i in 0..5u64 {
+            r.push(ev(i, "e"));
+        }
+        let got: Vec<u64> = r.in_order().iter().map(|e| e.ts_us).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(r.total(), 5);
+    }
+
+    #[test]
+    fn ring_under_capacity_keeps_everything() {
+        let mut r = FlightRing::new(8);
+        r.push(ev(1, "a"));
+        r.push(ev(2, "b"));
+        let got: Vec<u64> = r.in_order().iter().map(|e| e.ts_us).collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn render_includes_reason_and_events() {
+        let mut r = FlightRing::new(4);
+        r.push(ev(10, "collect"));
+        r.push(FlightEvent {
+            ts_us: 20,
+            track: 0,
+            name: Cow::Borrowed("worker.crash"),
+            kind: FlightKind::Note { detail: "injected".into() },
+        });
+        let text = render("panic: boom", &["worker-0".to_string()], &r.in_order(), r.total());
+        assert!(text.contains("panic: boom"));
+        assert!(text.contains("collect"));
+        assert!(text.contains("worker.crash"));
+        assert!(text.contains("injected"));
+        assert!(text.contains("2 retained of 2"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Merged cluster traces: one Chrome-trace file for many OS processes.
+//!
+//! Each process serializes its recorder's buffer as a [`TraceDump`]
+//! (workers ship theirs to the coordinator over RPC before exiting).
+//! The coordinator wraps every dump in a [`ProcessTrace`] carrying the
+//! process name and its estimated clock offset, and
+//! [`merged_chrome_trace`] renders them as a single trace-event JSON
+//! document: one named `pid` row per process, per-process `tid` rows for
+//! tracks, and `s`/`f` **flow events** stitching RPC client spans to the
+//! remote handler spans that served them (keyed by the span id the
+//! request carried on the wire — see [`crate::TraceContext`]).
+//!
+//! Timestamps are shifted by each process's offset before rendering, so
+//! spans from different machines line up on one timeline to within the
+//! heartbeat RTT the offset was estimated from.
+
+use std::fmt::Write as _;
+
+/// What one dumped event records (mirror of the recorder's event kinds).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DumpKind {
+    /// A span with a duration ("X").
+    Complete {
+        /// duration in microseconds
+        dur_us: u64,
+    },
+    /// A point-in-time marker ("i").
+    Instant,
+    /// A sampled series value ("C").
+    Counter {
+        /// sampled value
+        value: f64,
+    },
+}
+
+/// One event in a serialized trace dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DumpEvent {
+    /// event name
+    pub name: String,
+    /// index into [`TraceDump::tracks`]
+    pub track: u32,
+    /// timestamp on the *originating* process's clock, microseconds
+    pub ts_us: u64,
+    /// span / instant / counter
+    pub kind: DumpKind,
+    /// incoming flow id (0 = none): this span *serves* that flow
+    pub flow_in: u64,
+    /// outgoing flow id (0 = none): this span *started* that flow
+    pub flow_out: u64,
+}
+
+/// A process's serialized trace buffer, shippable over the wire.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceDump {
+    /// track names; `DumpEvent::track` indexes this
+    pub tracks: Vec<String>,
+    /// buffered events (unsorted; the renderer sorts)
+    pub events: Vec<DumpEvent>,
+    /// events dropped after the buffer filled
+    pub dropped: u64,
+}
+
+/// One process row in a merged trace.
+#[derive(Debug, Clone)]
+pub struct ProcessTrace {
+    /// row label, e.g. `"coordinator"` or `"worker-1"`
+    pub name: String,
+    /// clock offset to add to this process's timestamps (reference
+    /// process uses 0)
+    pub offset_us: i64,
+    /// the process's dump
+    pub dump: TraceDump,
+}
+
+/// Renders process traces as one Chrome trace-event JSON document; see
+/// module docs. Process `i` renders as `pid = i`.
+pub fn merged_chrome_trace(procs: &[ProcessTrace]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |s: &str, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(s);
+    };
+    for (pid, p) in procs.iter().enumerate() {
+        push(
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                json_str(&p.name)
+            ),
+            &mut first,
+        );
+        for (tid, name) in p.dump.tracks.iter().enumerate() {
+            push(
+                &format!(
+                    "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                     \"args\":{{\"name\":{}}}}}",
+                    json_str(name)
+                ),
+                &mut first,
+            );
+        }
+        let mut evs = p.dump.events.clone();
+        sort_events(&mut evs);
+        for ev in &evs {
+            let ts = ev.ts_us.saturating_add_signed(p.offset_us);
+            match &ev.kind {
+                DumpKind::Complete { dur_us } => {
+                    push(
+                        &format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{ts},\
+                             \"dur\":{dur_us},\"cat\":\"span\",\"name\":{}}}",
+                            ev.track,
+                            json_str(&ev.name)
+                        ),
+                        &mut first,
+                    );
+                    // Flow stitching: the outgoing arrow starts inside the
+                    // client span, the incoming arrow binds to the
+                    // enclosing handler span (bp:"e").
+                    if ev.flow_out != 0 {
+                        push(
+                            &format!(
+                                "{{\"ph\":\"s\",\"pid\":{pid},\"tid\":{},\"ts\":{ts},\
+                                 \"cat\":\"rpc\",\"id\":{},\"name\":\"rpc\"}}",
+                                ev.track, ev.flow_out
+                            ),
+                            &mut first,
+                        );
+                    }
+                    if ev.flow_in != 0 {
+                        push(
+                            &format!(
+                                "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{pid},\"tid\":{},\
+                                 \"ts\":{ts},\"cat\":\"rpc\",\"id\":{},\"name\":\"rpc\"}}",
+                                ev.track, ev.flow_in
+                            ),
+                            &mut first,
+                        );
+                    }
+                }
+                DumpKind::Instant => {
+                    push(
+                        &format!(
+                            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{},\"ts\":{ts},\
+                             \"s\":\"t\",\"name\":{}}}",
+                            ev.track,
+                            json_str(&ev.name)
+                        ),
+                        &mut first,
+                    );
+                }
+                DumpKind::Counter { value } => {
+                    push(
+                        &format!(
+                            "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{},\"ts\":{ts},\
+                             \"name\":{},\"args\":{{\"value\":{}}}}}",
+                            ev.track,
+                            json_str(&ev.name),
+                            json_num(*value)
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Sorts dump events the way the renderer emits them: by (track, ts),
+/// parents (longer duration) before children at equal start times, so
+/// per-track timestamps are monotone in the output.
+pub(crate) fn sort_events(evs: &mut [DumpEvent]) {
+    evs.sort_by(|a, b| {
+        (a.track, a.ts_us).cmp(&(b.track, b.ts_us)).then_with(|| dur_of(b).cmp(&dur_of(a)))
+    });
+}
+
+fn dur_of(e: &DumpEvent) -> u64 {
+    match e.kind {
+        DumpKind::Complete { dur_us } => dur_us,
+        _ => 0,
+    }
+}
+
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+pub(crate) fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn span(name: &str, track: u32, ts: u64, dur: u64, fin: u64, fout: u64) -> DumpEvent {
+        DumpEvent {
+            name: name.to_string(),
+            track,
+            ts_us: ts,
+            kind: DumpKind::Complete { dur_us: dur },
+            flow_in: fin,
+            flow_out: fout,
+        }
+    }
+
+    #[test]
+    fn processes_render_as_distinct_named_pids() {
+        let procs = vec![
+            ProcessTrace {
+                name: "coordinator".into(),
+                offset_us: 0,
+                dump: TraceDump {
+                    tracks: vec!["main".into()],
+                    events: vec![span("call", 0, 100, 50, 0, 77)],
+                    dropped: 0,
+                },
+            },
+            ProcessTrace {
+                name: "worker-0".into(),
+                offset_us: 1_000,
+                dump: TraceDump {
+                    tracks: vec!["rpc".into()],
+                    events: vec![span("handle", 0, 10, 20, 77, 0)],
+                    dropped: 0,
+                },
+            },
+        ];
+        let text = merged_chrome_trace(&procs);
+        let doc = json::parse(&text).expect("valid json");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let proc_names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()))
+            .collect();
+        assert_eq!(proc_names, vec!["coordinator", "worker-0"]);
+        // Clock offset applied: worker span lands at 10 + 1000.
+        let x: Vec<_> =
+            evs.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
+        assert_eq!(x.len(), 2);
+        let handle = x.iter().find(|e| e.get("name").unwrap().as_str() == Some("handle")).unwrap();
+        assert_eq!(handle.get("ts").unwrap().as_num(), Some(1_010.0));
+        assert_eq!(handle.get("pid").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn flow_events_link_client_and_handler_spans() {
+        let procs = vec![ProcessTrace {
+            name: "p".into(),
+            offset_us: 0,
+            dump: TraceDump {
+                tracks: vec!["t".into()],
+                events: vec![span("call", 0, 0, 9, 0, 42), span("handle", 0, 3, 4, 42, 0)],
+                dropped: 0,
+            },
+        }];
+        let doc = json::parse(&merged_chrome_trace(&procs)).expect("valid json");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let s = evs.iter().find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s")).unwrap();
+        let f = evs.iter().find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f")).unwrap();
+        assert_eq!(s.get("id").unwrap().as_num(), Some(42.0));
+        assert_eq!(f.get("id").unwrap().as_num(), Some(42.0));
+        assert_eq!(f.get("bp").and_then(|b| b.as_str()), Some("e"));
+    }
+
+    #[test]
+    fn empty_merge_is_valid_json() {
+        let doc = json::parse(&merged_chrome_trace(&[])).expect("valid json");
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -10,8 +10,14 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::clock::{ClockSource, VirtualTime, WallClock};
+use crate::flight::{self, FlightEvent, FlightKind, FlightRing};
+use crate::merge::TraceDump;
 use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell};
 use crate::trace::{EventKind, TraceEvent, TraceState, TrackId, DEFAULT_TRACE_CAPACITY};
+
+/// Default flight-recorder capacity: enough recent events to explain a
+/// crash without holding a profile's worth of memory.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
 
 /// Shared state behind an enabled recorder.
 #[derive(Debug)]
@@ -106,6 +112,56 @@ impl Recorder {
         }
     }
 
+    // -- flight recorder ----------------------------------------------------
+
+    /// Turns on the flight recorder: a ring of the `cap` most recent
+    /// spans/instants kept for crash dumps. No-op when disabled.
+    pub fn enable_flight(&self, cap: usize) {
+        if let Some(i) = &self.inner {
+            i.trace.lock().expect("obs lock").flight = Some(FlightRing::new(cap));
+        }
+    }
+
+    /// Whether the flight recorder is on.
+    pub fn flight_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace.lock().expect("obs lock").flight.is_some())
+    }
+
+    /// Appends a free-form note (crash reasons, state dumps) to the
+    /// flight ring. No-op unless the flight recorder is enabled.
+    pub fn flight_note(&self, name: impl Into<Cow<'static, str>>, detail: impl Into<String>) {
+        if let Some(i) = &self.inner {
+            let ts = i.clock.now_micros();
+            let mut tr = i.trace.lock().expect("obs lock");
+            let track = tr.current_thread_track();
+            if let Some(ring) = &mut tr.flight {
+                ring.push(FlightEvent {
+                    ts_us: ts,
+                    track: track.0,
+                    name: name.into(),
+                    kind: FlightKind::Note { detail: detail.into() },
+                });
+            }
+        }
+    }
+
+    /// Renders the flight ring as the plain-text post-mortem format;
+    /// `None` when the flight recorder is off (or the recorder is
+    /// disabled).
+    pub fn flight_render(&self, reason: &str) -> Option<String> {
+        let i = self.inner.as_ref()?;
+        let tr = i.trace.lock().expect("obs lock");
+        let ring = tr.flight.as_ref()?;
+        Some(flight::render(reason, &tr.tracks, &ring.in_order(), ring.total()))
+    }
+
+    /// Number of events currently retained in the flight ring.
+    pub fn flight_event_count(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| {
+            i.trace.lock().expect("obs lock").flight.as_ref().map_or(0, |r| r.in_order().len())
+        })
+    }
+
     // -- RAII spans (wall-clock style) --------------------------------------
 
     /// Opens a span on the calling thread's track, closed when the guard
@@ -113,12 +169,14 @@ impl Recorder {
     #[inline]
     pub fn span(&self, name: impl Into<Cow<'static, str>>) -> SpanGuard {
         match &self.inner {
-            None => SpanGuard { rec: None, track: None, name: Cow::Borrowed(""), start_us: 0 },
+            None => SpanGuard::noop(),
             Some(i) => SpanGuard {
                 rec: Some(i.clone()),
                 track: None,
                 name: name.into(),
                 start_us: i.clock.now_micros(),
+                f_in: 0,
+                f_out: 0,
             },
         }
     }
@@ -126,12 +184,14 @@ impl Recorder {
     /// Opens a span on an explicit track, closed when the guard drops.
     pub fn span_on(&self, track: TrackId, name: impl Into<Cow<'static, str>>) -> SpanGuard {
         match &self.inner {
-            None => SpanGuard { rec: None, track: None, name: Cow::Borrowed(""), start_us: 0 },
+            None => SpanGuard::noop(),
             Some(i) => SpanGuard {
                 rec: Some(i.clone()),
                 track: Some(track),
                 name: name.into(),
                 start_us: i.clock.now_micros(),
+                f_in: 0,
+                f_out: 0,
             },
         }
     }
@@ -152,6 +212,8 @@ impl Recorder {
                 track: track.0,
                 ts_us: start_us,
                 kind: EventKind::Complete { dur_us: end_us.saturating_sub(start_us) },
+                flow_in: 0,
+                flow_out: 0,
             });
         }
     }
@@ -168,6 +230,8 @@ impl Recorder {
                 track: track.0,
                 ts_us: ts,
                 kind: EventKind::Instant,
+                flow_in: 0,
+                flow_out: 0,
             });
         }
     }
@@ -187,6 +251,8 @@ impl Recorder {
                 track: track.0,
                 ts_us,
                 kind: EventKind::Counter { value },
+                flow_in: 0,
+                flow_out: 0,
             });
         }
     }
@@ -209,10 +275,17 @@ impl Recorder {
         self.inner.as_ref().map_or(0, |i| i.trace.lock().expect("obs lock").dropped)
     }
 
+    /// Serializes the trace buffer (tracks + events) for cross-process
+    /// merge; empty when disabled.
+    pub fn trace_dump(&self) -> TraceDump {
+        self.inner.as_ref().map(|i| i.trace.lock().expect("obs lock").dump()).unwrap_or_default()
+    }
+
     /// Snapshot of all metrics: (counters, gauges, histogram summaries).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
         if let Some(i) = &self.inner {
+            snap.taken_at_us = i.clock.now_micros();
             for (k, v) in i.counters.lock().expect("obs lock").iter() {
                 snap.counters.push((k.clone(), v.value()));
             }
@@ -268,8 +341,12 @@ pub struct SpanTotal {
 }
 
 /// Point-in-time copy of every registered metric.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
+    /// Capture time on the *taking* recorder's clock, microseconds. The
+    /// cluster registry anchors folded points here (shifted by the
+    /// worker's clock offset), not at receive time.
+    pub taken_at_us: u64,
     /// (name, value), sorted by name.
     pub counters: Vec<(String, u64)>,
     /// (name, value), sorted by name.
@@ -302,12 +379,39 @@ pub struct SpanGuard {
     track: Option<TrackId>,
     name: Cow<'static, str>,
     start_us: u64,
+    f_in: u64,
+    f_out: u64,
 }
 
 impl SpanGuard {
+    fn noop() -> Self {
+        SpanGuard {
+            rec: None,
+            track: None,
+            name: Cow::Borrowed(""),
+            start_us: 0,
+            f_in: 0,
+            f_out: 0,
+        }
+    }
+
     /// Start timestamp (0 when disabled).
     pub fn start_micros(&self) -> u64 {
         self.start_us
+    }
+
+    /// Marks this span as the *target* of flow `id` (an RPC handler
+    /// serving the request that carried `id` as its span id).
+    pub fn flow_in(mut self, id: u64) -> Self {
+        self.f_in = id;
+        self
+    }
+
+    /// Marks this span as the *source* of flow `id` (an RPC client span
+    /// that stamped `id` into the outgoing request).
+    pub fn flow_out(mut self, id: u64) -> Self {
+        self.f_out = id;
+        self
     }
 }
 
@@ -325,6 +429,8 @@ impl Drop for SpanGuard {
                 track: track.0,
                 ts_us: self.start_us,
                 kind: EventKind::Complete { dur_us: end.saturating_sub(self.start_us) },
+                flow_in: self.f_in,
+                flow_out: self.f_out,
             });
         }
     }
@@ -390,6 +496,54 @@ mod tests {
         let totals = r.span_totals();
         assert_eq!(totals[0].0, "step");
         assert_eq!(totals[0].1.total_us, 3_500);
+    }
+
+    #[test]
+    fn flight_ring_mirrors_spans_and_takes_notes() {
+        let r = Recorder::wall();
+        assert!(!r.flight_enabled());
+        r.enable_flight(3);
+        assert!(r.flight_enabled());
+        for _ in 0..5 {
+            let _s = r.span("tick");
+        }
+        r.flight_note("crash", "injected fault");
+        // Ring keeps the most recent 3 (2 ticks + note).
+        assert_eq!(r.flight_event_count(), 3);
+        let text = r.flight_render("panic: boom").expect("flight on");
+        assert!(text.contains("panic: boom"));
+        assert!(text.contains("injected fault"));
+        assert!(text.contains("3 retained of 6"));
+        // Disabled recorders render nothing.
+        assert!(Recorder::disabled().flight_render("x").is_none());
+    }
+
+    #[test]
+    fn trace_dump_carries_flow_ids() {
+        let (r, clock) = Recorder::virtual_time();
+        {
+            let _s = r.span("net.rpc.call").flow_out(42);
+            clock.set_micros(10);
+        }
+        {
+            let _s = r.span("net.server.handle").flow_in(42);
+            clock.set_micros(20);
+        }
+        let dump = r.trace_dump();
+        assert_eq!(dump.events.len(), 2);
+        assert_eq!(dump.events[0].flow_out, 42);
+        assert_eq!(dump.events[1].flow_in, 42);
+        assert!(!dump.tracks.is_empty());
+        assert!(Recorder::disabled().trace_dump().events.is_empty());
+    }
+
+    #[test]
+    fn snapshot_stamps_capture_time_from_own_clock() {
+        let (r, clock) = Recorder::virtual_time();
+        clock.set_micros(12_345);
+        r.counter("c").inc();
+        assert_eq!(r.metrics_snapshot().taken_at_us, 12_345);
+        assert_eq!(Recorder::disabled().metrics_snapshot().taken_at_us, 0);
     }
 
     #[test]

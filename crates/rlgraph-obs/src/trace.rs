@@ -14,6 +14,9 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 
+use crate::flight::{FlightEvent, FlightKind, FlightRing};
+use crate::merge::{DumpEvent, DumpKind, TraceDump};
+
 /// Identifies a logical timeline (a thread, or a simulated actor).
 ///
 /// Rendered as a `tid` in Chrome traces.
@@ -27,6 +30,10 @@ pub(crate) struct TraceEvent {
     pub track: u32,
     pub ts_us: u64,
     pub kind: EventKind,
+    /// Incoming flow id (0 = none): this span served that flow.
+    pub flow_in: u64,
+    /// Outgoing flow id (0 = none): this span started that flow.
+    pub flow_out: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -54,6 +61,9 @@ pub(crate) struct TraceState {
     /// Maximum retained events; the rest are counted in `dropped`.
     pub capacity: usize,
     pub dropped: u64,
+    /// Flight recorder ring (last-N events), when enabled. Lives here so
+    /// a span drop feeds both buffers under the one existing lock.
+    pub flight: Option<FlightRing>,
 }
 
 /// Default bound on retained trace events (~100 MB worst case is far
@@ -69,6 +79,7 @@ impl TraceState {
             by_thread: HashMap::new(),
             capacity,
             dropped: 0,
+            flight: None,
         }
     }
 
@@ -100,6 +111,22 @@ impl TraceState {
     }
 
     pub fn push(&mut self, ev: TraceEvent) {
+        if let Some(ring) = &mut self.flight {
+            let kind = match ev.kind {
+                EventKind::Complete { dur_us } => Some(FlightKind::Span { dur_us }),
+                EventKind::Instant => Some(FlightKind::Instant),
+                // Counter samples are periodic noise in a post-mortem.
+                EventKind::Counter { .. } => None,
+            };
+            if let Some(kind) = kind {
+                ring.push(FlightEvent {
+                    ts_us: ev.ts_us,
+                    track: ev.track,
+                    name: ev.name.clone(),
+                    kind,
+                });
+            }
+        }
         if self.events.len() >= self.capacity {
             self.dropped += 1;
         } else {
@@ -107,21 +134,28 @@ impl TraceState {
         }
     }
 
-    /// Events sorted by (track, ts, -dur): per-track timestamps become
-    /// monotone and parents precede children at equal start times.
-    pub fn sorted_events(&self) -> Vec<TraceEvent> {
-        let mut evs = self.events.clone();
-        evs.sort_by(|a, b| {
-            (a.track, a.ts_us).cmp(&(b.track, b.ts_us)).then_with(|| dur_of(b).cmp(&dur_of(a)))
-        });
-        evs
-    }
-}
-
-fn dur_of(e: &TraceEvent) -> u64 {
-    match e.kind {
-        EventKind::Complete { dur_us } => dur_us,
-        _ => 0,
+    /// Serializes the buffer (tracks + events) for cross-process merge.
+    pub fn dump(&self) -> TraceDump {
+        TraceDump {
+            tracks: self.tracks.clone(),
+            events: self
+                .events
+                .iter()
+                .map(|e| DumpEvent {
+                    name: e.name.to_string(),
+                    track: e.track,
+                    ts_us: e.ts_us,
+                    kind: match e.kind {
+                        EventKind::Complete { dur_us } => DumpKind::Complete { dur_us },
+                        EventKind::Instant => DumpKind::Instant,
+                        EventKind::Counter { value } => DumpKind::Counter { value },
+                    },
+                    flow_in: e.flow_in,
+                    flow_out: e.flow_out,
+                })
+                .collect(),
+            dropped: self.dropped,
+        }
     }
 }
 
@@ -135,6 +169,8 @@ mod tests {
             track,
             ts_us: ts,
             kind: EventKind::Complete { dur_us: dur },
+            flow_in: 0,
+            flow_out: 0,
         }
     }
 
@@ -171,7 +207,8 @@ mod tests {
         st.push(complete(1, 5, 2, "b1"));
         st.push(complete(0, 40, 1, "a3"));
 
-        let evs = st.sorted_events();
+        let mut evs = st.dump().events;
+        crate::merge::sort_events(&mut evs);
         // Monotone ts within each track.
         for w in evs.windows(2) {
             if w[0].track == w[1].track {
@@ -179,7 +216,7 @@ mod tests {
             }
         }
         // Parent (longer dur) precedes child at the same start.
-        let names: Vec<&str> = evs.iter().map(|e| e.name.as_ref()).collect();
+        let names: Vec<&str> = evs.iter().map(|e| e.name.as_str()).collect();
         let pi = names.iter().position(|n| *n == "parent").unwrap();
         let ci = names.iter().position(|n| *n == "child").unwrap();
         assert!(pi < ci, "parent must sort before child: {names:?}");

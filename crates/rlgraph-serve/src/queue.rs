@@ -9,6 +9,7 @@
 use crate::config::BackpressurePolicy;
 use crate::error::ServeError;
 use crossbeam::channel::Sender;
+use rlgraph_obs::TraceContext;
 use rlgraph_tensor::Tensor;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -24,6 +25,9 @@ pub(crate) struct Request {
     pub enqueued_at: Instant,
     /// where the action (or error) goes
     pub reply: Sender<Result<Tensor, ServeError>>,
+    /// trace context captured at submission, so the replica's batch
+    /// span can link back to the caller (e.g. a TCP frontend handler)
+    pub ctx: Option<TraceContext>,
 }
 
 impl Request {
@@ -181,6 +185,7 @@ mod tests {
                 deadline: None,
                 enqueued_at: Instant::now(),
                 reply: tx,
+                ctx: None,
             },
             rx,
         )

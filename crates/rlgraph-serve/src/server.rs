@@ -189,6 +189,7 @@ impl PolicyClient {
             deadline: deadline.map(|d| now + d),
             enqueued_at: now,
             reply: reply_tx,
+            ctx: rlgraph_obs::TraceContext::current(),
         };
         let outcome = self.queue.push(request, self.backpressure).inspect_err(|e| {
             if matches!(e, ServeError::QueueFull { .. }) {
@@ -286,7 +287,14 @@ fn worker_loop(mut replica: Box<dyn PolicyReplica>, ctx: WorkerCtx) {
         let batch_deadline = live.iter().filter_map(|r| r.deadline).min().map(Deadline::at);
         let t_exec = Instant::now();
         let outcome = {
-            let _span = ctx.recorder.span("serve.act_batch");
+            // Link the batch span to the oldest queued caller's context —
+            // a representative edge (the batch serves many callers, the
+            // trace draws one flow arrow to its head-of-line request).
+            let mut span = ctx.recorder.span("serve.act_batch");
+            if let Some(c) = live.first().and_then(|r| r.ctx) {
+                span = span.flow_in(c.span_id);
+            }
+            let _span = span;
             std::panic::catch_unwind(AssertUnwindSafe(|| {
                 replica.act_batch_with_deadline(&stacked, batch_deadline)
             }))

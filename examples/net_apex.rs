@@ -1,7 +1,7 @@
 //! Ape-X across real OS processes on localhost TCP.
 //!
 //! ```text
-//! cargo run --release --example net_apex
+//! cargo run --release --example net_apex [-- --trace cluster-trace.json]
 //! ```
 //!
 //! The parent process hosts the replay shards, the coordinator, and the
@@ -10,6 +10,12 @@
 //! point). Trajectories, replay batches, priority updates and versioned
 //! weight snapshots all cross loopback TCP through the rlgraph-net wire
 //! codec — the same sockets a multi-host deployment would use.
+//!
+//! With `--trace <path>`, the run writes one merged Chrome trace
+//! covering every process (open in `chrome://tracing` or Perfetto):
+//! worker rows sit next to the coordinator's on a common clock, and RPC
+//! flow arrows connect each client call span to its server handler
+//! span. The cluster telemetry report prints to stdout.
 
 use rlgraph::prelude::*;
 use std::time::Duration;
@@ -18,6 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Worker re-entry: when the runtime re-invokes this binary with a
     // worker spec in the environment, run the worker loop and exit.
     maybe_run_child();
+
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "cluster-trace.json".to_string()));
 
     let recorder = Recorder::wall();
     let config = NetApexConfig {
@@ -68,6 +80,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(stats.updates, 40, "run should hit its update budget");
     assert_eq!(stats.workers_clean, workers, "worker processes should exit cleanly");
+
+    if let Some(report) = &stats.telemetry_dump {
+        println!("\n{}", report);
+    }
+    if let Some(path) = trace_path {
+        let trace = stats.merged_trace.as_deref().expect("recorder enabled, trace rendered");
+        assert!(
+            trace.contains("\"worker-0\"") && trace.contains("\"worker-1\""),
+            "merged trace should carry one row per worker process"
+        );
+        assert!(
+            trace.contains("\"ph\":\"s\"") && trace.contains("\"ph\":\"f\""),
+            "merged trace should stitch RPC spans with flow events"
+        );
+        std::fs::write(&path, trace)?;
+        println!("merged cluster trace ({} processes) written to {}", 1 + workers, path);
+    }
     println!("net_apex: multi-process Ape-X over TCP completed ✓");
     Ok(())
 }

@@ -41,6 +41,11 @@ cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin chaos_bench --
 timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" --example net_apex
 timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin net_bench -- --smoke
 
+# Telemetry plane: obs bench smoke — runs the Ape-X TCP runtime with the
+# recorder off and on, asserts the cluster report and merged trace are
+# produced (the <5% overhead threshold is full-mode only).
+timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin obs_bench -- --smoke
+
 # The redesigned public API must stay documented: fail on rustdoc warnings.
 RUSTDOCFLAGS="-D warnings" cargo "${CONFIG[@]}" doc --no-deps "${OFFLINE[@]}" --workspace
 
