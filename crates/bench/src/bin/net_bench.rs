@@ -24,7 +24,7 @@ use rlgraph_dist::{run_apex, ApexRunConfig};
 use rlgraph_envs::{Env, RandomEnv};
 use rlgraph_net::{
     maybe_run_child, run_apex_net, EnvSpec, LaunchMode, NetApexConfig, NetPolicyClient,
-    ServeTcpFrontend,
+    ServeTcpFrontend, Transport,
 };
 use rlgraph_nn::{Activation, NetworkSpec};
 use rlgraph_obs::Recorder;
@@ -102,7 +102,12 @@ fn inproc_config(budget: &Budget) -> ApexRunConfig {
 /// TCP run config: capped at the baseline's achieved update count
 /// (equal step budget); `run_apex_net` returns as soon as the cap is
 /// hit, so its wall time is the time-to-complete measurement.
-fn net_config(budget: &Budget, target_updates: u64, recorder: Recorder) -> NetApexConfig {
+fn net_config(
+    budget: &Budget,
+    target_updates: u64,
+    transport: Transport,
+    recorder: Recorder,
+) -> NetApexConfig {
     NetApexConfig {
         agent: agent_config(),
         env: EnvSpec::Random { shape: vec![4], actions: 2, episode_len: 20 },
@@ -116,6 +121,7 @@ fn net_config(budget: &Budget, target_updates: u64, recorder: Recorder) -> NetAp
         rpc_deadline: Duration::from_secs(10),
         launch: LaunchMode::Process,
         shard_proxy: None,
+        transport,
         recorder,
     }
 }
@@ -206,13 +212,21 @@ fn main() {
     maybe_run_child();
 
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // `--reactor` fronts the shards and coordinator with the epoll mux
+    // server instead of thread-per-connection; same wire, same clients.
+    let transport = if std::env::args().any(|a| a == "--reactor") {
+        Transport::Reactor
+    } else {
+        Transport::Blocking
+    };
     let budget = if smoke { &SMOKE } else { &FULL };
     println!(
-        "net bench: {} workers x {} envs, {} shards, {:.1}s baseline window{}",
+        "net bench: {} workers x {} envs, {} shards, {:.1}s baseline window, {:?} transport{}",
         budget.num_workers,
         budget.envs_per_worker,
         budget.num_shards,
         budget.baseline_secs,
+        transport,
         if smoke { " (smoke)" } else { "" }
     );
 
@@ -237,7 +251,7 @@ fn main() {
     // Multi-process run: every worker is a real OS process, every
     // replay/weight byte crosses the TCP wire codec, at the baseline's
     // achieved update budget.
-    let net = run_apex_net(net_config(budget, target_updates, recorder.clone()))
+    let net = run_apex_net(net_config(budget, target_updates, transport, recorder.clone()))
         .expect("multi-process run");
     assert_eq!(net.updates, target_updates, "TCP run must hit the full update budget");
     assert_eq!(net.workers_clean, budget.num_workers, "every worker process must exit cleanly");

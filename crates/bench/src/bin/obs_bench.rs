@@ -19,7 +19,7 @@
 //! report with the per-worker gauges and a merged multi-process trace.
 
 use rlgraph_agents::{Backend, DqnConfig};
-use rlgraph_net::{maybe_run_child, run_apex_net, EnvSpec, LaunchMode, NetApexConfig};
+use rlgraph_net::{maybe_run_child, run_apex_net, EnvSpec, LaunchMode, NetApexConfig, Transport};
 use rlgraph_nn::{Activation, NetworkSpec};
 use rlgraph_obs::Recorder;
 use std::time::Duration;
@@ -88,6 +88,7 @@ fn config(budget: &Budget, recorder: Recorder) -> NetApexConfig {
         // offset estimation, PUSH_TRACE, GET_TELEMETRY.
         launch: LaunchMode::Thread,
         shard_proxy: None,
+        transport: Transport::default(),
         recorder,
     }
 }

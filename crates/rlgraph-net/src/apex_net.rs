@@ -22,8 +22,8 @@
 
 use crate::proc::{run_worker, spawn_worker, EnvSpec, WorkerSpec};
 use crate::proxy::{FaultProxy, FaultProxyConfig};
-use crate::rpc::RpcServer;
 use crate::services::{CoordClient, CoordService, ShardClient, ShardService};
+use crate::transport::Transport;
 use rlgraph_agents::{DqnAgent, DqnConfig};
 use rlgraph_core::{CoreError, RlResult};
 use rlgraph_dist::checkpoint::LearnerCheckpoint;
@@ -73,6 +73,9 @@ pub struct NetApexConfig {
     pub launch: LaunchMode,
     /// optional fault proxy interposed between workers and every shard
     pub shard_proxy: Option<FaultProxyConfig>,
+    /// server stack fronting the shards and the coordinator — clients
+    /// are wire-compatible with both, so this flips freely
+    pub transport: Transport,
     /// observability recorder (servers, clients, learner)
     pub recorder: Recorder,
 }
@@ -92,6 +95,7 @@ impl Default for NetApexConfig {
             rpc_deadline: Duration::from_secs(5),
             launch: LaunchMode::Process,
             shard_proxy: None,
+            transport: Transport::default(),
             recorder: Recorder::disabled(),
         }
     }
@@ -149,7 +153,11 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
             config.agent.alpha,
             config.agent.seed.wrapping_add(1000 + i as u64),
         ));
-        shard_servers.push(RpcServer::spawn(&format!("shard-{}", i), service, recorder.clone())?);
+        shard_servers.push(config.transport.spawn(
+            &format!("shard-{}", i),
+            service,
+            recorder.clone(),
+        )?);
     }
 
     // Optional fault proxies: workers dial the proxy, the proxy dials
@@ -175,7 +183,7 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     let stop = Arc::new(AtomicBool::new(false));
     let coord_service =
         Arc::new(CoordService::new(hub.clone(), stop.clone()).with_recorder(&recorder));
-    let coord_server = RpcServer::spawn("coord", coord_service.clone(), recorder.clone())?;
+    let coord_server = config.transport.spawn("coord", coord_service.clone(), recorder.clone())?;
 
     // Workers.
     enum WorkerHandle {

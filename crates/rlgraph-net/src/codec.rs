@@ -363,44 +363,11 @@ pub fn get_checkpoint(r: &mut ByteReader<'_>) -> RlResult<LearnerCheckpoint> {
 
 // ----- telemetry: trace context, metric snapshots, trace dumps -----
 
-/// Inner version byte of the trace-context encoding.
-const TRACE_CONTEXT_VERSION: u8 = 1;
-
-/// Appends a trace context:
-/// `[len u8][ver u8][trace u64][span u64][flags u8]`.
-///
-/// The blob is **length-prefixed** with its own inner version, so a
-/// decoder that understands version 1 skips any trailing fields a newer
-/// writer appended — context evolution never breaks framing.
-pub fn put_trace_context(w: &mut ByteWriter, ctx: &rlgraph_obs::TraceContext) {
-    w.put_u8(1 + 8 + 8 + 1);
-    w.put_u8(TRACE_CONTEXT_VERSION);
-    w.put_u64(ctx.trace_id);
-    w.put_u64(ctx.span_id);
-    w.put_u8(ctx.flags);
-}
-
-/// Reads a context written by [`put_trace_context`], tolerating longer
-/// (newer) encodings by skipping unknown trailing bytes within the
-/// declared length.
-///
-/// # Errors
-///
-/// [`RlError::Protocol`] on truncation or an unknown inner version.
-pub fn get_trace_context(r: &mut ByteReader<'_>) -> RlResult<rlgraph_obs::TraceContext> {
-    let len = r.get_u8()? as usize;
-    let blob = r.get_bytes(len)?;
-    let mut inner = ByteReader::new(blob);
-    let ver = inner.get_u8()?;
-    if ver != TRACE_CONTEXT_VERSION {
-        return Err(RlError::Protocol(format!("unknown trace-context version {}", ver)));
-    }
-    let trace_id = inner.get_u64()?;
-    let span_id = inner.get_u64()?;
-    let flags = inner.get_u8()?;
-    // Trailing bytes inside the blob belong to a newer writer: ignored.
-    Ok(rlgraph_obs::TraceContext { trace_id, span_id, flags })
-}
+// The trace-context and error codecs moved down into
+// `rlgraph-reactor::codec` so the mux protocol can carry traces and
+// typed failures without depending on the tensor stack; re-exported to
+// keep `rlgraph_net::codec::...` paths working.
+pub use rlgraph_reactor::codec::{get_trace_context, put_trace_context};
 
 fn put_f64(w: &mut ByteWriter, v: f64) {
     w.put_u64(v.to_bits());
@@ -537,139 +504,8 @@ pub fn get_trace_dump(r: &mut ByteReader<'_>) -> RlResult<rlgraph_obs::TraceDump
 
 // ----- errors -----
 
-/// Appends an [`RlError`] so a server can return typed failures. The
-/// encoding is variant-tagged and carries every field the taxonomy's
-/// severity classification depends on, so a decoded error retries,
-/// degrades, or fails exactly like the original.
-pub fn put_rl_error(w: &mut ByteWriter, e: &RlError) {
-    match e {
-        RlError::DeadlineExpired { what } => {
-            w.put_u8(0);
-            w.put_str(what);
-        }
-        RlError::MailboxFull { capacity } => {
-            w.put_u8(1);
-            w.put_u64(*capacity as u64);
-        }
-        RlError::QueueFull { capacity } => {
-            w.put_u8(2);
-            w.put_u64(*capacity as u64);
-        }
-        RlError::Shed => w.put_u8(3),
-        RlError::Shutdown => w.put_u8(4),
-        RlError::Disconnected { actor } => {
-            w.put_u8(5);
-            w.put_str(actor);
-        }
-        RlError::Exec(msg) => {
-            w.put_u8(6);
-            w.put_str(msg);
-        }
-        RlError::Checkpoint(msg) => {
-            w.put_u8(7);
-            w.put_str(msg);
-        }
-        RlError::QuorumLost { healthy, required } => {
-            w.put_u8(8);
-            w.put_u64(*healthy as u64);
-            w.put_u64(*required as u64);
-        }
-        RlError::ActorCrashed { actor, reason } => {
-            w.put_u8(9);
-            w.put_str(actor);
-            w.put_str(reason);
-        }
-        RlError::Io { kind, message } => {
-            w.put_u8(10);
-            w.put_u8(io_kind_tag(*kind));
-            w.put_str(message);
-        }
-        RlError::Protocol(msg) => {
-            w.put_u8(11);
-            w.put_str(msg);
-        }
-        RlError::RetriesExhausted { attempts, last } => {
-            w.put_u8(12);
-            w.put_u32(*attempts);
-            put_rl_error(w, last);
-        }
-        // Core build errors don't cross process boundaries structurally;
-        // the message is what matters remotely.
-        RlError::Core(c) => {
-            w.put_u8(13);
-            w.put_str(c.message());
-        }
-    }
-}
-
-/// Reads an error written by [`put_rl_error`].
-///
-/// # Errors
-///
-/// [`RlError::Protocol`] on malformed input.
-pub fn get_rl_error(r: &mut ByteReader<'_>) -> RlResult<RlError> {
-    get_rl_error_depth(r, 0)
-}
-
-fn get_rl_error_depth(r: &mut ByteReader<'_>, depth: u8) -> RlResult<RlError> {
-    if depth > 4 {
-        return Err(RlError::Protocol("error nesting deeper than 4".into()));
-    }
-    Ok(match r.get_u8()? {
-        0 => RlError::DeadlineExpired { what: r.get_str()? },
-        1 => RlError::MailboxFull { capacity: r.get_u64()? as usize },
-        2 => RlError::QueueFull { capacity: r.get_u64()? as usize },
-        3 => RlError::Shed,
-        4 => RlError::Shutdown,
-        5 => RlError::Disconnected { actor: r.get_str()? },
-        6 => RlError::Exec(r.get_str()?),
-        7 => RlError::Checkpoint(r.get_str()?),
-        8 => {
-            RlError::QuorumLost { healthy: r.get_u64()? as usize, required: r.get_u64()? as usize }
-        }
-        9 => RlError::ActorCrashed { actor: r.get_str()?, reason: r.get_str()? },
-        10 => {
-            let kind = io_kind_from_tag(r.get_u8()?);
-            RlError::Io { kind, message: r.get_str()? }
-        }
-        11 => RlError::Protocol(r.get_str()?),
-        12 => {
-            let attempts = r.get_u32()?;
-            let last = get_rl_error_depth(r, depth + 1)?;
-            RlError::RetriesExhausted { attempts, last: Box::new(last) }
-        }
-        13 => RlError::Core(rlgraph_core::CoreError::new(r.get_str()?)),
-        other => return Err(RlError::Protocol(format!("unknown error tag {}", other))),
-    })
-}
-
-/// The io kinds whose identity matters remotely are the ones severity
-/// classification depends on; every other kind collapses to `Other`.
-fn io_kind_tag(kind: std::io::ErrorKind) -> u8 {
-    use std::io::ErrorKind;
-    match kind {
-        ErrorKind::WouldBlock => 0,
-        ErrorKind::TimedOut => 1,
-        ErrorKind::ConnectionReset => 2,
-        ErrorKind::ConnectionRefused => 3,
-        ErrorKind::BrokenPipe => 4,
-        ErrorKind::UnexpectedEof => 5,
-        _ => 255,
-    }
-}
-
-fn io_kind_from_tag(tag: u8) -> std::io::ErrorKind {
-    use std::io::ErrorKind;
-    match tag {
-        0 => ErrorKind::WouldBlock,
-        1 => ErrorKind::TimedOut,
-        2 => ErrorKind::ConnectionReset,
-        3 => ErrorKind::ConnectionRefused,
-        4 => ErrorKind::BrokenPipe,
-        5 => ErrorKind::UnexpectedEof,
-        _ => ErrorKind::Other,
-    }
-}
+// Moved to `rlgraph-reactor::codec` (see note above); re-exported here.
+pub use rlgraph_reactor::codec::{get_rl_error, put_rl_error};
 
 #[cfg(test)]
 mod tests {

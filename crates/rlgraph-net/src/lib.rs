@@ -30,13 +30,18 @@
 
 pub mod apex_net;
 pub mod codec;
-pub mod frame;
 pub mod proc;
 pub mod proxy;
 pub mod rpc;
 pub mod serve_tcp;
 pub mod services;
-pub mod wire;
+pub mod transport;
+
+// The byte-level layers (wire primitives, frame format, trace/error
+// codecs, the `RpcService` trait) moved down into `rlgraph-reactor` so
+// the blocking and readiness-driven stacks share one codec; the module
+// re-exports keep every `rlgraph_net::frame::...` path working.
+pub use rlgraph_reactor::{frame, wire};
 
 pub use apex_net::{run_apex_net, LaunchMode, NetApexConfig, NetApexStats};
 pub use frame::{
@@ -49,4 +54,5 @@ pub use serve_tcp::{NetPolicyClient, ServeTcpFrontend};
 pub use services::{
     CoordClient, CoordProgress, CoordService, Heartbeat, ShardClient, ShardService,
 };
+pub use transport::{ServerHandle, Transport};
 pub use wire::{crc32, ByteReader, ByteWriter};

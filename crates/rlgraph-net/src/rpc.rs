@@ -47,66 +47,116 @@ use crate::wire::{ByteReader, ByteWriter};
 use rlgraph_core::{RlError, RlResult};
 use rlgraph_dist::retry::{RetryPolicy, Sleep, ThreadSleeper};
 use rlgraph_obs::{ContextScope, Recorder, TraceContext};
+use rlgraph_reactor::sys;
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A dispatch target for one server: maps `(method, body)` to a reply.
-///
-/// Implementations are shared across connection handler threads, so
-/// interior state needs its own synchronization (the services in this
-/// crate wrap their state in a mutex or use lock-free hubs).
-pub trait RpcService: Send + Sync + 'static {
-    /// Handles one request; the returned bytes become the response body.
-    ///
-    /// # Errors
-    ///
-    /// Any [`RlError`] — it is encoded and shipped to the caller with
-    /// its severity class intact.
-    fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>>;
+// The dispatch trait moved down into `rlgraph-reactor` so the same
+// service objects plug into the blocking server here and the mux
+// server there; re-exported to keep `rlgraph_net::rpc::RpcService`
+// paths working.
+pub use rlgraph_reactor::service::RpcService;
 
-    /// Human-readable name of a method id, used to label per-method
-    /// latency histograms and handler spans.
-    fn method_name(&self, method: u16) -> &'static str {
-        let _ = method;
-        "other"
-    }
-}
+/// How often blocked server threads surface from the kernel to check
+/// the stop flag. Each check is a `poll(2)` timeout — a real kernel
+/// sleep, not a spin — so the cost of liveness is ~10 wakeups/s.
+const STOP_CHECK_TICK: Duration = Duration::from_millis(100);
 
-/// `Read` adapter that turns socket-timeout poll ticks into a blocking
-/// read, exiting with an error only on EOF, a real failure, or the
-/// server's stop flag. Partial frame progress survives poll ticks, so
-/// the 100ms liveness timeout can never desynchronize a stream.
+/// `Read` adapter that sleeps in `poll(2)` until bytes arrive, exiting
+/// with an error on EOF, a real failure, the server's stop flag, or —
+/// only **between** frames — the idle timeout. Partial frame progress
+/// disarms the idle reaper (`got_bytes`), so a slow sender can never be
+/// reaped mid-frame and desynchronize the stream.
 struct StopReader<'a> {
     stream: &'a TcpStream,
     stop: &'a AtomicBool,
+    /// Reap the connection if no byte arrives by this instant.
+    idle_until: Option<Instant>,
+    /// Set once the current frame has started arriving.
+    got_bytes: bool,
+    /// Reports to `connection_loop` that the exit was an idle reap.
+    idle_hit: bool,
+}
+
+impl<'a> StopReader<'a> {
+    fn new(stream: &'a TcpStream, stop: &'a AtomicBool, idle: Option<Duration>) -> Self {
+        StopReader {
+            stream,
+            stop,
+            idle_until: idle.map(|d| Instant::now() + d),
+            got_bytes: false,
+            idle_hit: false,
+        }
+    }
 }
 
 impl Read for StopReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         loop {
-            match (&mut self.stream).read(buf) {
-                Ok(n) => return Ok(n),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if self.stop.load(Ordering::Relaxed) {
+            if self.stop.load(Ordering::Relaxed) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "server shutting down",
+                ));
+            }
+            if !self.got_bytes {
+                if let Some(at) = self.idle_until {
+                    if Instant::now() >= at {
+                        self.idle_hit = true;
                         return Err(std::io::Error::new(
-                            std::io::ErrorKind::ConnectionAborted,
-                            "server shutting down",
+                            std::io::ErrorKind::TimedOut,
+                            "idle connection reaped",
                         ));
                     }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            }
+            if !sys::wait_readable(self.stream.as_raw_fd(), Some(STOP_CHECK_TICK))? {
+                continue; // timeout tick: re-check stop and idle
+            }
+            match (&mut self.stream).read(buf) {
+                Ok(n) => {
+                    self.got_bytes = true;
+                    return Ok(n);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
                 Err(e) => return Err(e),
             }
         }
+    }
+}
+
+/// Decrements a gauge when dropped — balances `net.conns.open` on
+/// every connection-loop exit path.
+struct GaugeDec(rlgraph_obs::Gauge);
+
+impl Drop for GaugeDec {
+    fn drop(&mut self) {
+        self.0.add(-1.0);
+    }
+}
+
+/// Tuning for [`RpcServer`]; the defaults match production use.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcServerConfig {
+    /// Close connections with no inbound frame for this long (`None`
+    /// never reaps). Reaps are counted by `net.conns.idle_reaped`.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for RpcServerConfig {
+    fn default() -> Self {
+        RpcServerConfig { idle_timeout: Some(Duration::from_secs(60)) }
     }
 }
 
@@ -125,6 +175,21 @@ impl RpcServer {
     ///
     /// `RlError::Io` when the listener cannot bind.
     pub fn spawn(name: &str, service: Arc<dyn RpcService>, recorder: Recorder) -> RlResult<Self> {
+        Self::spawn_with(name, service, recorder, RpcServerConfig::default())
+    }
+
+    /// [`RpcServer::spawn`] with explicit [`RpcServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// `RlError::Io` when the listener cannot bind or the accept thread
+    /// cannot spawn.
+    pub fn spawn_with(
+        name: &str,
+        service: Arc<dyn RpcService>,
+        recorder: Recorder,
+        config: RpcServerConfig,
+    ) -> RlResult<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -135,9 +200,9 @@ impl RpcServer {
         let accept_handle = std::thread::Builder::new()
             .name(thread_name)
             .spawn(move || {
-                accept_loop(listener, service, accept_stop, recorder, svc_name);
+                accept_loop(listener, service, accept_stop, recorder, svc_name, config);
             })
-            .expect("spawn rpc accept thread");
+            .map_err(|e| RlError::Io { kind: e.kind(), message: format!("spawn accept: {e}") })?;
         Ok(RpcServer { addr, stop, accept_handle: Some(accept_handle) })
     }
 
@@ -171,31 +236,56 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     recorder: Recorder,
     svc_name: Arc<str>,
+    config: RpcServerConfig,
 ) {
     let conns = recorder.counter("net.server.conns");
+    let conns_open = recorder.gauge("net.conns.open");
+    let idle_reaped = recorder.counter("net.conns.idle_reaped");
+    // This thread's own CPU consumption, published so tests (and
+    // operators) can see that an idle server sleeps instead of spinning.
+    let accept_cpu = recorder.gauge("net.server.accept_cpu_us");
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
+        accept_cpu.set(sys::thread_cpu_time().as_micros() as f64);
+        // Sleep in poll(2) until a peer arrives or a tick elapses — the
+        // listener itself stays nonblocking so accept never hangs.
+        match sys::wait_readable(listener.as_raw_fd(), Some(STOP_CHECK_TICK)) {
+            Ok(true) => {}
+            Ok(false) => {
+                handlers.retain(|h| !h.is_finished());
+                continue;
+            }
+            Err(_) => break,
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 conns.inc();
+                conns_open.add(1.0);
                 let service = service.clone();
                 let stop = stop.clone();
                 let recorder = recorder.clone();
                 let svc_name = svc_name.clone();
-                let handle = std::thread::Builder::new()
+                let idle = config.idle_timeout;
+                let open_dec = GaugeDec(conns_open.clone());
+                let reaped = idle_reaped.clone();
+                let spawned = std::thread::Builder::new()
                     .name(format!("rpc-conn-{}", svc_name))
-                    .spawn(move || connection_loop(stream, service, stop, recorder, svc_name))
-                    .expect("spawn rpc connection thread");
-                handlers.push(handle);
+                    .spawn(move || {
+                        let _open = open_dec;
+                        connection_loop(stream, service, stop, recorder, svc_name, idle, reaped);
+                    });
+                // On thread exhaustion the connection is dropped (the
+                // GaugeDec moved into the failed closure already
+                // rebalanced the gauge) and the server keeps serving.
+                if let Ok(handle) = spawned {
+                    handlers.push(handle);
+                }
             }
             Err(e)
                 if matches!(
                     e.kind(),
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                std::thread::sleep(Duration::from_millis(2));
-            }
+                ) => {}
             Err(_) => break,
         }
         handlers.retain(|h| !h.is_finished());
@@ -203,18 +293,19 @@ fn accept_loop(
     for h in handlers {
         let _ = h.join();
     }
+    conns_open.set(0.0);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn connection_loop(
     stream: TcpStream,
     service: Arc<dyn RpcService>,
     stop: Arc<AtomicBool>,
     recorder: Recorder,
     svc_name: Arc<str>,
+    idle_timeout: Option<Duration>,
+    idle_reaped: rlgraph_obs::Counter,
 ) {
-    // A finite read timeout turns the blocking read into a poll tick so
-    // the handler notices the stop flag; StopReader hides the ticks.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_nodelay(true);
     let meter = FrameMeter::for_service(&recorder, &svc_name);
     let rpc_us = recorder.histogram("net.server.rpc_us");
@@ -222,12 +313,20 @@ fn connection_loop(
     // registry only holds methods this connection actually served.
     let mut method_us: HashMap<u16, rlgraph_obs::Histogram> = HashMap::new();
     loop {
-        let mut reader = StopReader { stream: &stream, stop: &stop };
+        // The idle clock re-arms per frame: quiet *between* requests is
+        // reapable, a slow sender mid-frame is not.
+        let mut reader = StopReader::new(&stream, &stop, idle_timeout);
         let (kind, payload) = match read_frame_metered(&mut reader, &meter) {
             Ok(f) => f,
-            // EOF, reset, stop: the connection is done either way. A
-            // protocol violation also closes — the stream is untrusted.
-            Err(_) => return,
+            // EOF, reset, stop, idle reap: the connection is done either
+            // way. A protocol violation also closes — the stream is
+            // untrusted.
+            Err(_) => {
+                if reader.idle_hit {
+                    idle_reaped.inc();
+                }
+                return;
+            }
         };
         let t0 = Instant::now();
         let mut req = ByteReader::new(&payload);
@@ -237,8 +336,10 @@ fn connection_loop(
                 Ok(c) => Some(c),
                 Err(_) => return, // malformed context prefix: close
             },
-            // A client sending responses is not speaking our protocol.
-            FrameKind::Response => return,
+            // A client sending responses is not speaking our protocol,
+            // and the blocking stack does not speak the mux stack's
+            // heartbeat extension.
+            FrameKind::Response | FrameKind::Ping | FrameKind::Pong => return,
         };
         let (req_id, method) = match (req.get_u64(), req.get_u16()) {
             (Ok(id), Ok(m)) => (id, m),

@@ -1,6 +1,6 @@
 //! TCP front-end for the serving stack: act requests over the wire.
 //!
-//! The front-end is an [`RpcServer`] whose service holds a
+//! The front-end is a [`Transport`]-selected server whose service holds a
 //! [`PolicyClient`]. Each connection gets its own handler thread, and
 //! every handler submits into the **same admission queue** — so
 //! concurrent TCP clients coalesce in the existing micro-batcher, and
@@ -10,7 +10,8 @@
 //! [`ServeError`]s with their severity class intact.
 
 use crate::codec::{get_tensor, put_tensor};
-use crate::rpc::{RpcClient, RpcServer, RpcService};
+use crate::rpc::{RpcClient, RpcService};
+use crate::transport::{ServerHandle, Transport};
 use crate::wire::{ByteReader, ByteWriter};
 use rlgraph_core::{RlError, RlResult};
 use rlgraph_obs::Recorder;
@@ -61,13 +62,15 @@ impl RpcService for ServeFrontendService {
     }
 }
 
-/// A running TCP front-end in front of one policy server.
+/// A running TCP front-end in front of one policy server, on either
+/// transport stack.
 pub struct ServeTcpFrontend {
-    server: RpcServer,
+    server: ServerHandle,
 }
 
 impl ServeTcpFrontend {
-    /// Spawns the front-end on a localhost ephemeral port.
+    /// Spawns the front-end on a localhost ephemeral port, on the
+    /// default ([`Transport::Blocking`]) stack.
     ///
     /// `client` comes from
     /// [`PolicyServer::client`](rlgraph_serve::PolicyServer::client); the
@@ -78,8 +81,24 @@ impl ServeTcpFrontend {
     ///
     /// `RlError::Io` when the listener cannot bind.
     pub fn spawn(client: PolicyClient, recorder: Recorder) -> RlResult<Self> {
+        Self::spawn_with(client, recorder, Transport::default())
+    }
+
+    /// [`ServeTcpFrontend::spawn`] on an explicit [`Transport`]. On
+    /// [`Transport::Reactor`] one event loop multiplexes every remote
+    /// policy client instead of a thread per connection; handlers still
+    /// submit into the same admission queue either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeTcpFrontend::spawn`].
+    pub fn spawn_with(
+        client: PolicyClient,
+        recorder: Recorder,
+        transport: Transport,
+    ) -> RlResult<Self> {
         let service = Arc::new(ServeFrontendService { client });
-        Ok(ServeTcpFrontend { server: RpcServer::spawn("serve", service, recorder)? })
+        Ok(ServeTcpFrontend { server: transport.spawn("serve", service, recorder)? })
     }
 
     /// The address remote policy clients connect to.

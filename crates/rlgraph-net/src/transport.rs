@@ -1,0 +1,89 @@
+//! Transport selection: one switch flips any service between the
+//! blocking thread-per-connection stack ([`RpcServer`]) and the epoll
+//! reactor ([`MuxServer`]).
+//!
+//! The two stacks are wire-compatible (same frames, same payloads), so
+//! the choice is purely operational: `Blocking` spends one OS thread
+//! per connection and favors simplicity; `Reactor` multiplexes every
+//! connection through one event loop and holds thousands of mostly-idle
+//! connections for the cost of their sockets. Clients never need to
+//! know which one a server runs.
+
+use crate::rpc::{RpcServer, RpcService};
+use rlgraph_core::RlResult;
+use rlgraph_obs::Recorder;
+use rlgraph_reactor::mux::MuxServer;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Which server stack fronts a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Thread-per-connection blocking I/O — the default, and the only
+    /// choice before the reactor existed.
+    #[default]
+    Blocking,
+    /// One epoll event loop multiplexing every connection
+    /// (`rlgraph-reactor`), with a handler pool running the service.
+    Reactor,
+}
+
+impl Transport {
+    /// Spawns `service` on this transport, bound to `127.0.0.1:0`.
+    ///
+    /// # Errors
+    ///
+    /// `RlError::Io` when binding or thread spawning fails.
+    pub fn spawn(
+        self,
+        name: &str,
+        service: Arc<dyn RpcService>,
+        recorder: Recorder,
+    ) -> RlResult<ServerHandle> {
+        match self {
+            Transport::Blocking => {
+                Ok(ServerHandle::Blocking(RpcServer::spawn(name, service, recorder)?))
+            }
+            Transport::Reactor => {
+                Ok(ServerHandle::Reactor(MuxServer::spawn(name, service, recorder)?))
+            }
+        }
+    }
+}
+
+/// A running server on either transport; callers hold this without
+/// caring which stack is underneath.
+pub enum ServerHandle {
+    /// A blocking [`RpcServer`].
+    Blocking(RpcServer),
+    /// A reactor-backed [`MuxServer`].
+    Reactor(MuxServer),
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (kind, addr) = match self {
+            ServerHandle::Blocking(s) => ("Blocking", s.addr()),
+            ServerHandle::Reactor(s) => ("Reactor", s.addr()),
+        };
+        f.debug_struct("ServerHandle").field("transport", &kind).field("addr", &addr).finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            ServerHandle::Blocking(s) => s.addr(),
+            ServerHandle::Reactor(s) => s.addr(),
+        }
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn shutdown(self) {
+        match self {
+            ServerHandle::Blocking(s) => s.shutdown(),
+            ServerHandle::Reactor(s) => s.shutdown(),
+        }
+    }
+}

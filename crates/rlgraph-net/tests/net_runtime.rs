@@ -10,7 +10,7 @@ use rlgraph_dist::sync::WeightHub;
 use rlgraph_net::proxy::Direction;
 use rlgraph_net::{
     run_apex_net, CoordClient, CoordService, EnvSpec, FaultProxy, FaultProxyConfig, LaunchMode,
-    NetApexConfig, RpcClient, RpcServer, RpcService, ShardClient, ShardService,
+    NetApexConfig, RpcClient, RpcServer, RpcService, ShardClient, ShardService, Transport,
 };
 use rlgraph_nn::{Activation, NetworkSpec};
 use rlgraph_obs::Recorder;
@@ -128,6 +128,37 @@ fn apex_over_tcp_trains_end_to_end() {
         rpc_deadline: Duration::from_secs(5),
         launch: LaunchMode::Thread,
         shard_proxy: None,
+        transport: Transport::default(),
+        recorder: Recorder::disabled(),
+    };
+    let stats = run_apex_net(config).unwrap();
+    assert_eq!(stats.updates, 12);
+    assert!(stats.env_frames > 0, "no heartbeats reached the coordinator");
+    assert!(stats.samples_collected > 0);
+    assert_eq!(stats.workers_clean, 2, "workers did not stop cleanly");
+    assert!(stats.losses.iter().all(|l| l.is_finite()));
+    assert!(stats.shard_watermarks.iter().sum::<u64>() > 0);
+}
+
+/// The same end-to-end run with every shard and the coordinator fronted
+/// by the epoll reactor ([`Transport::Reactor`]): unchanged workers and
+/// learner clients, identical training outcome.
+#[test]
+fn apex_over_reactor_transport_trains_end_to_end() {
+    let config = NetApexConfig {
+        agent: tiny_agent(),
+        env: EnvSpec::Random { shape: vec![4], actions: 2, episode_len: 20 },
+        num_workers: 2,
+        envs_per_worker: 2,
+        task_size: 32,
+        num_shards: 2,
+        weight_sync_interval: 4,
+        run_duration: Duration::from_secs(30),
+        max_updates: Some(12),
+        rpc_deadline: Duration::from_secs(5),
+        launch: LaunchMode::Thread,
+        shard_proxy: None,
+        transport: Transport::Reactor,
         recorder: Recorder::disabled(),
     };
     let stats = run_apex_net(config).unwrap();
@@ -158,6 +189,7 @@ fn telemetry_plane_folds_workers_and_merges_traces() {
         rpc_deadline: Duration::from_secs(5),
         launch: LaunchMode::Thread,
         shard_proxy: None,
+        transport: Transport::default(),
         recorder: Recorder::wall(),
     };
     let stats = run_apex_net(config).unwrap();

@@ -1,0 +1,123 @@
+//! Cross-stack interoperability: the blocking and reactor transports
+//! speak the same wire protocol, so any client works against any
+//! server, and [`Transport::spawn`] flips a service between stacks
+//! without the caller changing anything else.
+
+use rlgraph_core::RlError;
+use rlgraph_net::rpc::{RpcClient, RpcService};
+use rlgraph_net::{ServerHandle, Transport};
+use rlgraph_obs::{DumpKind, Recorder};
+use rlgraph_reactor::mux::{MuxClient, MuxClientConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ECHO: u16 = 1;
+const FAIL: u16 = 2;
+
+struct EchoService;
+
+impl RpcService for EchoService {
+    fn call(&self, method: u16, body: &[u8]) -> Result<Vec<u8>, RlError> {
+        match method {
+            ECHO => Ok(body.to_vec()),
+            FAIL => Err(RlError::MailboxFull { capacity: 3 }),
+            other => Err(RlError::Protocol(format!("unknown method {}", other))),
+        }
+    }
+
+    fn method_name(&self, method: u16) -> &'static str {
+        method_names(method)
+    }
+}
+
+fn method_names(method: u16) -> &'static str {
+    match method {
+        ECHO => "echo",
+        FAIL => "fail",
+        _ => "other",
+    }
+}
+
+fn spawn_on(transport: Transport) -> (ServerHandle, Recorder) {
+    let recorder = Recorder::wall();
+    let server = transport.spawn("interop", Arc::new(EchoService), recorder.clone()).unwrap();
+    (server, recorder)
+}
+
+/// A blocking thread-per-call client against the epoll mux server —
+/// the upgrade path where servers move to the reactor first.
+#[test]
+fn blocking_client_against_reactor_server() {
+    let (server, recorder) = spawn_on(Transport::Reactor);
+    let mut client = RpcClient::connect("interop", server.addr(), &recorder).unwrap();
+    client.set_method_names(method_names);
+    for i in 0..5u8 {
+        assert_eq!(client.call(ECHO, &[i], Some(Duration::from_secs(5))).unwrap(), vec![i]);
+    }
+    let err = client.call(FAIL, b"", Some(Duration::from_secs(5))).unwrap_err();
+    assert!(matches!(err, RlError::MailboxFull { capacity: 3 }), "got {err}");
+    // Telemetry parity: the reactor server records under the same
+    // names the blocking server uses.
+    assert!(recorder.histogram("net.server.rpc_us").count() >= 6);
+    assert!(recorder.histogram("net.rpc.serve.echo.us").count() >= 5);
+    server.shutdown();
+}
+
+/// The mux client against the classic blocking server — the reverse
+/// path. Heartbeats stay off by default so the blocking server never
+/// sees an unknown frame kind.
+#[test]
+fn mux_client_against_blocking_server() {
+    let (server, recorder) = spawn_on(Transport::Blocking);
+    let config = MuxClientConfig { method_names, ..MuxClientConfig::default() };
+    let client = MuxClient::connect_with("interop", server.addr(), &recorder, config).unwrap();
+    for i in 0..5u8 {
+        assert_eq!(client.call(ECHO, &[i], Some(Duration::from_secs(5))).unwrap(), vec![i]);
+    }
+    let err = client.call(FAIL, b"", Some(Duration::from_secs(5))).unwrap_err();
+    assert!(matches!(err, RlError::MailboxFull { capacity: 3 }), "got {err}");
+    server.shutdown();
+}
+
+/// Trace flow linkage holds across stacks: a blocking client's span
+/// links to the reactor server's handler span.
+#[test]
+fn flow_linkage_across_stacks() {
+    let (server, recorder) = spawn_on(Transport::Reactor);
+    let mut client = RpcClient::connect("interop", server.addr(), &recorder).unwrap();
+    client.set_method_names(method_names);
+    client.call(ECHO, b"traced", Some(Duration::from_secs(5))).unwrap();
+    server.shutdown();
+    let dump = recorder.trace_dump();
+    let call = dump
+        .events
+        .iter()
+        .find(|e| {
+            e.name.starts_with("rpc.") && !e.name.starts_with("rpc.serve.") && e.flow_out != 0
+        })
+        .expect("client call span");
+    let handler = dump
+        .events
+        .iter()
+        .find(|e| e.name.starts_with("rpc.serve.") && e.flow_in == call.flow_out)
+        .expect("reactor handler span linked across the stack boundary");
+    assert!(matches!(handler.kind, DumpKind::Complete { .. }));
+}
+
+/// Both transports behave identically through the `Transport` switch.
+#[test]
+fn transport_switch_is_behavior_preserving() {
+    for transport in [Transport::Blocking, Transport::Reactor] {
+        let (server, recorder) = spawn_on(transport);
+        assert!(format!("{:?}", server).contains(match transport {
+            Transport::Blocking => "Blocking",
+            Transport::Reactor => "Reactor",
+        }));
+        let mut client = RpcClient::connect("interop", server.addr(), &recorder).unwrap();
+        assert_eq!(
+            client.call(ECHO, b"same wire", Some(Duration::from_secs(5))).unwrap(),
+            b"same wire"
+        );
+        server.shutdown();
+    }
+}

@@ -48,6 +48,12 @@ pub enum FrameKind {
     /// caller's recorder is enabled, so untraced runs stay byte-identical
     /// to plain [`FrameKind::Request`] traffic.
     RequestTraced,
+    /// A liveness probe (empty payload). Mux peers answer with
+    /// [`FrameKind::Pong`]; sent only when heartbeats are enabled, since
+    /// version-1 blocking peers reject unknown kinds.
+    Ping,
+    /// The answer to a [`FrameKind::Ping`] (empty payload).
+    Pong,
 }
 
 impl FrameKind {
@@ -56,6 +62,8 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::RequestTraced => 3,
+            FrameKind::Ping => 4,
+            FrameKind::Pong => 5,
         }
     }
 
@@ -64,6 +72,8 @@ impl FrameKind {
             1 => Ok(FrameKind::Request),
             2 => Ok(FrameKind::Response),
             3 => Ok(FrameKind::RequestTraced),
+            4 => Ok(FrameKind::Ping),
+            5 => Ok(FrameKind::Pong),
             other => Err(RlError::Protocol(format!("unknown frame kind {}", other))),
         }
     }
@@ -103,7 +113,7 @@ impl FrameMeter {
         }
     }
 
-    fn count_tx(&self, payload_len: usize) {
+    pub(crate) fn count_tx(&self, payload_len: usize) {
         let n = (payload_len + FRAME_OVERHEAD) as u64;
         self.tx.add(n);
         if let Some(c) = &self.svc_tx {
@@ -111,7 +121,7 @@ impl FrameMeter {
         }
     }
 
-    fn count_rx(&self, payload_len: usize) {
+    pub(crate) fn count_rx(&self, payload_len: usize) {
         let n = (payload_len + FRAME_OVERHEAD) as u64;
         self.rx.add(n);
         if let Some(c) = &self.svc_rx {
@@ -219,6 +229,130 @@ pub fn read_frame(r: &mut impl Read) -> RlResult<(FrameKind, Vec<u8>)> {
     Ok((kind, payload))
 }
 
+/// Encodes one frame into a fresh buffer — the nonblocking stack's
+/// `write_frame`, producing bytes for a [`WriteQueue`](crate::conn::WriteQueue)
+/// instead of writing to a stream.
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] if the payload exceeds [`MAX_FRAME_LEN`].
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> RlResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    write_frame(&mut out, kind, payload)?;
+    Ok(out)
+}
+
+/// Incremental frame decoder for nonblocking sockets: feed whatever
+/// bytes arrive, pull out whole frames as they complete.
+///
+/// Validation happens at the earliest byte where the one-shot
+/// [`read_frame`] could detect the problem — the header is checked as
+/// soon as its 12 bytes are buffered (before waiting for a payload a
+/// corrupt length field may have invented), the CRC once the full frame
+/// is in. A decoder that has returned an error is poisoned: the stream
+/// position is no longer trustworthy, so the connection must be closed
+/// (every subsequent [`FrameDecoder::next`] repeats the error).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: Option<String>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffers newly received bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn poison(&mut self, msg: String) -> RlError {
+        self.poisoned = Some(msg.clone());
+        RlError::Protocol(msg)
+    }
+
+    /// Returns the next complete frame, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Protocol`] on any header or checksum violation —
+    /// permanently: the decoder stays poisoned afterwards.
+    // Not `Iterator`: the fallible `Result<Option<..>>` pull is the
+    // conventional shape for incremental decoders.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> RlResult<Option<(FrameKind, Vec<u8>)>> {
+        if let Some(msg) = &self.poisoned {
+            return Err(RlError::Protocol(msg.clone()));
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 12 {
+            self.compact();
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(avail[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(self.poison(format!("bad magic 0x{:08x}", magic)));
+        }
+        let version = u16::from_le_bytes(avail[4..6].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(self.poison(format!(
+                "unsupported protocol version {} (this peer speaks {})",
+                version, VERSION
+            )));
+        }
+        let kind_raw = u16::from_le_bytes(avail[6..8].try_into().expect("2 bytes"));
+        let kind = match FrameKind::from_u16(kind_raw) {
+            Ok(kind) => kind,
+            Err(_) => return Err(self.poison(format!("unknown frame kind {}", kind_raw))),
+        };
+        let len = u32::from_le_bytes(avail[8..12].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(self.poison(format!(
+                "declared payload of {} bytes exceeds the {} byte limit",
+                len, MAX_FRAME_LEN
+            )));
+        }
+        let total = 12 + len as usize + 4;
+        if avail.len() < total {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = avail[12..12 + len as usize].to_vec();
+        let expected =
+            u32::from_le_bytes(avail[12 + len as usize..total].try_into().expect("4 bytes"));
+        let actual = crc32(&payload);
+        if actual != expected {
+            return Err(self.poison(format!(
+                "payload checksum mismatch: computed 0x{:08x}, frame says 0x{:08x}",
+                actual, expected
+            )));
+        }
+        self.pos += total;
+        self.compact();
+        Ok(Some((kind, payload)))
+    }
+
+    /// Reclaims consumed prefix bytes once they dominate the buffer, so
+    /// a long-lived connection's read buffer stays proportional to its
+    /// unconsumed backlog rather than growing forever.
+    fn compact(&mut self) {
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +439,58 @@ mod tests {
         bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = read_frame(&mut bytes.as_slice()).unwrap_err();
         assert!(matches!(err, RlError::Protocol(ref m) if m.contains("limit")), "{}", err);
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_fed_one_byte_at_a_time() {
+        let mut stream = frame_bytes(FrameKind::Request, b"first");
+        stream.extend(frame_bytes(FrameKind::Ping, b""));
+        stream.extend(frame_bytes(FrameKind::Response, b"second"));
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            dec.feed(&[b]);
+            while let Some(frame) = dec.next().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (FrameKind::Request, b"first".to_vec()));
+        assert_eq!(got[1], (FrameKind::Ping, Vec::new()));
+        assert_eq!(got[2], (FrameKind::Response, b"second".to_vec()));
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_bad_header_before_payload_arrives() {
+        let mut bytes = frame_bytes(FrameKind::Request, &vec![0u8; 1024]);
+        bytes[0] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        // Only the header: a corrupt magic must not wait for the 1 KiB
+        // payload a liar's length field promises.
+        dec.feed(&bytes[..12]);
+        let err = dec.next().unwrap_err();
+        assert!(matches!(err, RlError::Protocol(ref m) if m.contains("magic")), "{}", err);
+        // Poisoned: the error is permanent.
+        dec.feed(&bytes[12..]);
+        assert!(dec.next().is_err());
+    }
+
+    #[test]
+    fn decoder_matches_one_shot_errors() {
+        for mutate in [3usize, 5, 7, 13, 20] {
+            let mut bytes = frame_bytes(FrameKind::Request, b"parity check");
+            bytes[mutate] ^= 0x40;
+            let one_shot = read_frame(&mut bytes.as_slice());
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bytes);
+            let incremental = dec.next();
+            match (one_shot, incremental) {
+                (Ok((k1, p1)), Ok(Some((k2, p2)))) => assert_eq!((k1, p1), (k2, p2)),
+                (Err(e1), Err(e2)) => assert_eq!(e1.to_string(), e2.to_string()),
+                (a, b) => panic!("decoder disagreement at byte {}: {:?} vs {:?}", mutate, a, b),
+            }
+        }
     }
 }

@@ -1,0 +1,228 @@
+//! The readiness core: [`Poller`] wraps one epoll instance behind a
+//! token/interest API, [`Waker`] is the eventfd any thread can ring to
+//! pull the event loop out of its wait.
+//!
+//! Registration is **level-triggered**: a socket with unread bytes (or
+//! writable space, when write interest is armed) reports ready on every
+//! wait until the condition clears. Level triggering costs a few more
+//! wakeups than edge triggering but removes the entire
+//! "must-drain-to-EAGAIN-or-deadlock" class of bugs, which is the right
+//! trade for a from-scratch loop.
+
+use crate::sys;
+use std::io;
+use std::os::fd::{AsRawFd, OwnedFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Identifies one registration; echoed back in every [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub u64);
+
+/// Which readiness classes a registration wants reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Write readiness only.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Both.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+
+    fn bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness report.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration this report belongs to.
+    pub token: Token,
+    /// Bytes (or a hang-up) are waiting to be read.
+    pub readable: bool,
+    /// The socket can accept more bytes.
+    pub writable: bool,
+    /// Error or hang-up: the owner should read to collect the error /
+    /// EOF and close.
+    pub closed: bool,
+}
+
+/// One epoll instance with token-tagged registrations.
+#[derive(Debug)]
+pub struct Poller {
+    ep: OwnedFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { ep: sys::epoll_create()? })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure (e.g. fd already registered).
+    pub fn add(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_add(self.ep.as_raw_fd(), fd, interest.bits(), token.0)
+    }
+
+    /// Replaces the interest set of an already registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn modify(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        sys::epoll_modify(self.ep.as_raw_fd(), fd, interest.bits(), token.0)
+    }
+
+    /// Deregisters `fd`. Harmless to call on an fd the kernel already
+    /// dropped from the set (closing an fd deregisters it implicitly).
+    pub fn delete(&self, fd: RawFd) {
+        let _ = sys::epoll_delete(self.ep.as_raw_fd(), fd);
+    }
+
+    /// Waits for readiness, appending decoded events to `out` (which is
+    /// cleared first). `None` blocks until something happens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failure (`EINTR` is retried internally).
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let n = sys::epoll_wait_events(self.ep.as_raw_fd(), &mut raw, timeout)?;
+        for ev in &raw[..n] {
+            let (bits, data) = (ev.events, ev.data);
+            out.push(Event {
+                token: Token(data),
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Cross-thread wake-up for an event loop parked in [`Poller::wait`].
+///
+/// Register the waker's fd with the poller under a reserved token; any
+/// thread may then call [`Waker::wake`]. The loop drains the eventfd
+/// when it sees the token so the next wake re-arms. A `pending` flag
+/// collapses redundant rings from hot submitters into one syscall.
+#[derive(Debug)]
+pub struct Waker {
+    fd: OwnedFd,
+    pending: AtomicBool,
+}
+
+impl Waker {
+    /// Creates the eventfd.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eventfd` failure.
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker { fd: sys::eventfd_create()?, pending: AtomicBool::new(false) })
+    }
+
+    /// The fd to register with the poller (read interest).
+    pub fn fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Rings the eventfd; idempotent until the loop drains it.
+    pub fn wake(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            let _ = sys::eventfd_ring(self.fd.as_raw_fd());
+        }
+    }
+
+    /// Drains the eventfd and clears the pending flag (loop side).
+    pub fn drain(&self) {
+        self.pending.store(false, Ordering::Release);
+        sys::eventfd_drain(self.fd.as_raw_fd());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_wakes_a_blocked_poller() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.add(waker.fd(), Token(0), Interest::READABLE).unwrap();
+
+        let w2 = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w2.wake();
+        });
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, Token(0));
+        assert!(events[0].readable);
+        waker.drain();
+        t.join().unwrap();
+
+        // Drained: quiescent again.
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_modify() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        let fd = server.as_raw_fd();
+        poller.add(fd, Token(7), Interest::READABLE).unwrap();
+
+        // Idle socket: no events.
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        // Bytes arrive: readable.
+        client.write_all(b"x").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == Token(7) && e.readable));
+
+        // Switch to write interest: an empty send buffer is immediately
+        // writable (and the unread byte no longer reports).
+        poller.modify(fd, Token(7), Interest::WRITABLE).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == Token(7) && e.writable && !e.readable));
+
+        poller.delete(fd);
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! The RPC dispatch trait both transports serve.
+//!
+//! A service maps `(method, body)` to a reply and is shared across
+//! whatever concurrency model the transport uses — handler threads in
+//! the blocking stack, the handler pool in the mux stack — so
+//! implementations bring their own interior synchronization. Moving the
+//! trait here (out of `rlgraph-net::rpc`) is what lets every existing
+//! service plug into the reactor unchanged: the blocking server, the
+//! mux server, and the fault proxy all dispatch into the same object.
+
+use rlgraph_core::RlResult;
+
+/// A dispatch target for one server: maps `(method, body)` to a reply.
+///
+/// Implementations are shared across connection handler threads, so
+/// interior state needs its own synchronization (rlgraph-net's services
+/// wrap their state in a mutex or use lock-free hubs).
+pub trait RpcService: Send + Sync + 'static {
+    /// Handles one request; the returned bytes become the response body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RlError`](rlgraph_core::RlError) — it is encoded and
+    /// shipped to the caller with its severity class intact.
+    fn call(&self, method: u16, body: &[u8]) -> RlResult<Vec<u8>>;
+
+    /// Human-readable name of a method id, used to label per-method
+    /// latency histograms and handler spans.
+    fn method_name(&self, method: u16) -> &'static str {
+        let _ = method;
+        "other"
+    }
+}

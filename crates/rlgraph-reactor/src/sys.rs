@@ -1,0 +1,389 @@
+//! The thin libc FFI shim: exactly the syscalls `std::net` does not
+//! expose, declared by hand so the crate stays free of external
+//! dependencies. Everything here is Linux-specific (the workspace's
+//! only deployment target); every wrapper converts `-1`/`errno` into
+//! `std::io::Error` so callers never see a raw return code.
+//!
+//! Scope is deliberately minimal: epoll (the readiness engine),
+//! `eventfd` (the cross-thread waker), `fcntl` (`O_NONBLOCK`),
+//! `poll` (single-fd readiness waits used to fix the blocking stack's
+//! busy-poll loops), `clock_gettime` (per-thread CPU accounting for the
+//! idle-CPU regression test), and `get`/`setrlimit` (the c10k bench
+//! raises its fd ceiling and pins its memory budget).
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+type c_int = i32;
+type c_uint = u32;
+type c_long = i64;
+type c_ulong = u64;
+type nfds_t = c_ulong;
+
+/// One epoll readiness record. On x86/x86_64 the kernel ABI packs the
+/// struct to 12 bytes; elsewhere it uses natural alignment.
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | `EPOLLOUT` | …).
+    pub events: u32,
+    /// Caller-chosen cookie, echoed back on readiness (our token).
+    pub data: u64,
+}
+
+#[repr(C)]
+struct PollFd {
+    fd: c_int,
+    events: i16,
+    revents: i16,
+}
+
+#[repr(C)]
+struct Timespec {
+    tv_sec: c_long,
+    tv_nsec: c_long,
+}
+
+#[repr(C)]
+struct Rlimit {
+    rlim_cur: c_ulong,
+    rlim_max: c_ulong,
+}
+
+/// Register interest in read readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Register interest in write readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+const POLLIN: i16 = 0x001;
+const CLOCK_THREAD_CPUTIME_ID: c_int = 3;
+const RLIMIT_NOFILE: c_int = 7;
+const RLIMIT_AS: c_int = 9;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn poll(fds: *mut PollFd, nfds: nfds_t, timeout: c_int) -> c_int;
+    fn clock_gettime(clockid: c_int, tp: *mut Timespec) -> c_int;
+    fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+    fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance.
+///
+/// # Errors
+///
+/// The raw `epoll_create1` failure (fd exhaustion, kernel too old).
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    // SAFETY: epoll_create1 returned a fresh fd we now own.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+fn epoll_op(epfd: RawFd, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = EpollEvent { events, data };
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Registers `fd` with the interest bits in `events`, tagging readiness
+/// reports with `data`.
+///
+/// # Errors
+///
+/// The raw `epoll_ctl` failure.
+pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_ADD, fd, events, data)
+}
+
+/// Replaces the interest bits of an already registered `fd`.
+///
+/// # Errors
+///
+/// The raw `epoll_ctl` failure.
+pub fn epoll_modify(epfd: RawFd, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_MOD, fd, events, data)
+}
+
+/// Deregisters `fd`.
+///
+/// # Errors
+///
+/// The raw `epoll_ctl` failure.
+pub fn epoll_delete(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+    epoll_op(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+}
+
+/// Blocks for readiness, filling `events`; `timeout` of `None` blocks
+/// indefinitely. Returns the number of records filled. `EINTR` retries
+/// internally so callers never see spurious zero-waits.
+///
+/// # Errors
+///
+/// The raw `epoll_wait` failure.
+pub fn epoll_wait_events(
+    epfd: RawFd,
+    events: &mut [EpollEvent],
+    timeout: Option<Duration>,
+) -> io::Result<usize> {
+    let timeout_ms = timeout_to_ms(timeout);
+    loop {
+        let n = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Rounds a timeout up to whole milliseconds (never down — a sub-tick
+/// timeout must not degenerate into a busy spin). `None` → `-1` (block).
+fn timeout_to_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if d > Duration::from_millis(ms as u64) { ms + 1 } else { ms };
+            ms.min(c_int::MAX as u128) as c_int
+        }
+    }
+}
+
+/// Creates the nonblocking close-on-exec eventfd behind [`crate::poll::Waker`].
+///
+/// # Errors
+///
+/// The raw `eventfd` failure.
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+    // SAFETY: eventfd returned a fresh fd we now own.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Rings an eventfd (adds 1 to its counter). A full counter (`EAGAIN`)
+/// means a wake is already pending, which is exactly as good.
+///
+/// # Errors
+///
+/// Any raw `write` failure other than `EAGAIN`.
+pub fn eventfd_ring(fd: RawFd) -> io::Result<()> {
+    let one = 1u64.to_ne_bytes();
+    let n = unsafe { write(fd, one.as_ptr(), one.len()) };
+    if n >= 0 {
+        return Ok(());
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::WouldBlock {
+        return Ok(());
+    }
+    Err(err)
+}
+
+/// Drains an eventfd's counter so the next ring re-arms readiness.
+pub fn eventfd_drain(fd: RawFd) {
+    let mut buf = [0u8; 8];
+    // Nonblocking: one read empties the counter; EAGAIN means empty.
+    unsafe { read(fd, buf.as_mut_ptr(), buf.len()) };
+}
+
+/// Puts `fd` into nonblocking mode.
+///
+/// # Errors
+///
+/// The raw `fcntl` failure.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = cvt(unsafe { fcntl(fd, F_GETFL, 0) })?;
+    cvt(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) })?;
+    Ok(())
+}
+
+/// Blocks until `fd` is readable or `timeout` elapses. Returns `true`
+/// on readiness, `false` on timeout — a real kernel sleep, replacing
+/// the short-read-timeout spin loops of the blocking stack.
+///
+/// # Errors
+///
+/// The raw `poll` failure.
+pub fn wait_readable(fd: RawFd, timeout: Option<Duration>) -> io::Result<bool> {
+    let timeout_ms = timeout_to_ms(timeout);
+    let mut pfd = PollFd { fd, events: POLLIN, revents: 0 };
+    loop {
+        let n = unsafe { poll(&mut pfd, 1, timeout_ms) };
+        if n > 0 {
+            return Ok(true);
+        }
+        if n == 0 {
+            return Ok(false);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// CPU time consumed by the calling thread, from
+/// `CLOCK_THREAD_CPUTIME_ID`. The idle-CPU regression test has each
+/// server loop publish this into a gauge, so the measurement covers
+/// exactly the loop thread no matter what the rest of the test
+/// process is doing.
+pub fn thread_cpu_time() -> Duration {
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } != 0 {
+        return Duration::ZERO;
+    }
+    Duration::new(ts.tv_sec.max(0) as u64, ts.tv_nsec.clamp(0, 999_999_999) as u32)
+}
+
+/// Raises the soft fd limit to the hard limit, returning the new
+/// ceiling. The c10k bench needs >10k fds per process.
+///
+/// # Errors
+///
+/// The raw `getrlimit`/`setrlimit` failure.
+pub fn raise_nofile_limit() -> io::Result<u64> {
+    let mut lim = Rlimit { rlim_cur: 0, rlim_max: 0 };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur < lim.rlim_max {
+        lim.rlim_cur = lim.rlim_max;
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &lim) })?;
+    }
+    Ok(lim.rlim_cur)
+}
+
+/// Caps this process's address space at `bytes` — the c10k bench's
+/// "fixed memory budget", applied identically to both frontends so
+/// "cannot hold 10k connections" is a physical fact, not a judgment.
+///
+/// # Errors
+///
+/// The raw `setrlimit` failure.
+pub fn set_address_space_limit(bytes: u64) -> io::Result<()> {
+    let lim = Rlimit { rlim_cur: bytes, rlim_max: bytes };
+    cvt(unsafe { setrlimit(RLIMIT_AS, &lim) })?;
+    Ok(())
+}
+
+/// Current virtual address-space size of this process in bytes (VmSize
+/// from `/proc/self/status`); `0` if unreadable. The bench budget is
+/// expressed as "baseline + headroom" on top of this.
+pub fn vm_size_bytes() -> u64 {
+    proc_status_kb("VmSize:") * 1024
+}
+
+/// Current resident set size of this process in bytes (VmRSS from
+/// `/proc/self/status`); `0` if unreadable.
+pub fn vm_rss_bytes() -> u64 {
+    proc_status_kb("VmRSS:") * 1024
+}
+
+fn proc_status_kb(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            return rest.trim().trim_end_matches(" kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Convenience: the raw fd of any `AsRawFd` type (sugar at call sites
+/// that juggle listeners, streams, and wakers).
+pub fn raw_fd(f: &impl AsRawFd) -> RawFd {
+    f.as_raw_fd()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_and_eventfd_roundtrip() {
+        let ep = epoll_create().unwrap();
+        let ev = eventfd_create().unwrap();
+        epoll_add(ep.as_raw_fd(), ev.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        // Nothing pending: a zero-timeout wait returns no events.
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        let n = epoll_wait_events(ep.as_raw_fd(), &mut events, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0);
+
+        // Ring → readable with our cookie.
+        eventfd_ring(ev.as_raw_fd()).unwrap();
+        let n =
+            epoll_wait_events(ep.as_raw_fd(), &mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        let (got_events, got_data) = (events[0].events, events[0].data);
+        assert_eq!(got_data, 42);
+        assert_ne!(got_events & EPOLLIN, 0);
+
+        // Drain → quiescent again.
+        eventfd_drain(ev.as_raw_fd());
+        let n = epoll_wait_events(ep.as_raw_fd(), &mut events, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0);
+
+        epoll_delete(ep.as_raw_fd(), ev.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn wait_readable_times_out_and_fires() {
+        let ev = eventfd_create().unwrap();
+        assert!(!wait_readable(ev.as_raw_fd(), Some(Duration::from_millis(10))).unwrap());
+        eventfd_ring(ev.as_raw_fd()).unwrap();
+        assert!(wait_readable(ev.as_raw_fd(), Some(Duration::from_millis(10))).unwrap());
+    }
+
+    #[test]
+    fn thread_cpu_time_advances_under_load() {
+        let before = thread_cpu_time();
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        assert!(thread_cpu_time() >= before);
+    }
+
+    #[test]
+    fn vm_introspection_reads_something() {
+        assert!(vm_size_bytes() > 0);
+        assert!(vm_rss_bytes() > 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! A hierarchical timer wheel: O(1) schedule/cancel/expire for the
+//! thousands of cheap timers a reactor owns (per-request deadlines,
+//! heartbeats, idle-connection reaping) without a thread per timer and
+//! without a `BinaryHeap`'s log-n reshuffling on every churn.
+//!
+//! Layout: 4 levels × 64 slots at a 1 ms tick. Level 0 spans 64 ms at
+//! 1 ms resolution; each higher level is 64× coarser (≈4.1 s, ≈4.4 min,
+//! ≈4.7 h spans). A timer is filed by its remaining delta: near timers
+//! go straight into level 0, far timers into the coarsest level that
+//! still resolves them. As the wheel turns past a higher-level slot
+//! boundary it **cascades**: the slot's entries are re-filed by their
+//! new (smaller) delta, migrating toward level 0 where they finally
+//! fire. Deltas beyond the total span park in the top level and simply
+//! cascade more than once.
+//!
+//! Time is passed in explicitly (`Instant` parameters), so the wheel is
+//! virtual-time testable and the event loop controls exactly when
+//! expiry work happens. Cancellation is O(1) and lazy: the key is
+//! dropped from the pending set and the entry is discarded whenever its
+//! slot next drains.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Slots per level.
+const SLOTS: u64 = 64;
+/// Number of levels.
+const LEVELS: usize = 4;
+/// One tick.
+const TICK: Duration = Duration::from_millis(1);
+
+/// Handle for cancelling a scheduled timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerKey(u64);
+
+#[derive(Debug)]
+struct Entry<T> {
+    key: u64,
+    expiry: u64,
+    data: T,
+}
+
+/// The wheel; see module docs.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    start: Instant,
+    /// First tick not yet processed by [`TimerWheel::advance`].
+    next_tick: u64,
+    slots: Vec<Vec<Vec<Entry<T>>>>,
+    pending: HashSet<u64>,
+    next_key: u64,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel anchored at `start` (tick 0).
+    pub fn new(start: Instant) -> Self {
+        TimerWheel {
+            start,
+            next_tick: 0,
+            slots: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            pending: HashSet::new(),
+            next_key: 0,
+        }
+    }
+
+    /// Live (scheduled, unfired, uncancelled) timers.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no timers are live.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let since = t.saturating_duration_since(self.start);
+        (since.as_micros() / TICK.as_micros()) as u64
+    }
+
+    /// Files an entry by its delta relative to the next unprocessed
+    /// tick. Same-slot reinsertion during a cascade is safe because the
+    /// cascading slot is drained with `mem::take` first.
+    fn place(&mut self, e: Entry<T>) {
+        let delta = e.expiry.saturating_sub(self.next_tick);
+        let mut level = LEVELS - 1;
+        for l in 0..LEVELS {
+            if delta < SLOTS.pow(l as u32 + 1) {
+                level = l;
+                break;
+            }
+        }
+        let width = SLOTS.pow(level as u32);
+        let slot = ((e.expiry / width) % SLOTS) as usize;
+        self.slots[level][slot].push(e);
+    }
+
+    /// Schedules `data` to fire `after` from `now`; a zero delay fires
+    /// on the next [`TimerWheel::advance`] that crosses a tick.
+    pub fn schedule(&mut self, now: Instant, after: Duration, data: T) -> TimerKey {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.pending.insert(key);
+        // Round the expiry up so timers never fire early, and clamp to
+        // the next unprocessed tick so a delay shorter than one tick
+        // cannot land in a slot the current rotation already passed.
+        let raw_expiry = {
+            let since = now.saturating_duration_since(self.start) + after;
+            let ticks = since.as_micros().div_ceil(TICK.as_micros()) as u64;
+            ticks.max(1)
+        };
+        let expiry = raw_expiry.max(self.next_tick);
+        self.place(Entry { key, expiry, data });
+        TimerKey(key)
+    }
+
+    /// Cancels a timer; returns whether it was still pending. O(1) —
+    /// the slot entry is garbage-collected when its slot next drains.
+    pub fn cancel(&mut self, key: TimerKey) -> bool {
+        self.pending.remove(&key.0)
+    }
+
+    /// Turns the wheel up to `now`, appending fired payloads to `out`
+    /// in expiry order (ties in schedule order).
+    pub fn advance(&mut self, now: Instant, out: &mut Vec<T>) {
+        let now_tick = self.tick_of(now);
+        while self.next_tick <= now_tick {
+            let t = self.next_tick;
+            // Crossing a higher-level slot boundary: cascade that slot
+            // down before draining level 0, so entries migrating to
+            // "fires right now" are seen this very tick.
+            if t.is_multiple_of(SLOTS) {
+                for level in 1..LEVELS {
+                    let width = SLOTS.pow(level as u32);
+                    if !t.is_multiple_of(width) {
+                        break;
+                    }
+                    let slot = ((t / width) % SLOTS) as usize;
+                    for e in std::mem::take(&mut self.slots[level][slot]) {
+                        if self.pending.contains(&e.key) {
+                            self.place(e);
+                        }
+                    }
+                }
+            }
+            let slot = (t % SLOTS) as usize;
+            for e in std::mem::take(&mut self.slots[0][slot]) {
+                if e.expiry <= t {
+                    if self.pending.remove(&e.key) {
+                        out.push(e.data);
+                    }
+                } else if self.pending.contains(&e.key) {
+                    // Filed into this slot for a later rotation.
+                    self.place(e);
+                }
+            }
+            self.next_tick = t + 1;
+        }
+    }
+
+    /// A lower bound on the next expiry — the event loop's wait
+    /// timeout. May be earlier than the true expiry for far timers
+    /// (slot-width resolution at higher levels); the loop simply wakes,
+    /// advances past a cascade, and asks again. `None` when empty.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            let width = SLOTS.pow(level as u32);
+            let base = self.next_tick / width;
+            for j in 0..SLOTS {
+                let slot = ((base + j) % SLOTS) as usize;
+                if !self.slots[level][slot].is_empty() {
+                    let bound = ((base + j) * width).max(self.next_tick);
+                    if best.is_none_or(|b| bound < b) {
+                        best = Some(bound);
+                    }
+                    break;
+                }
+            }
+        }
+        best.map(|tick| self.start + TICK * tick as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel<u32>, now: Instant) -> Vec<u32> {
+        let mut out = Vec::new();
+        w.advance(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_in_expiry_order_without_real_sleeps() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.schedule(t0, Duration::from_millis(30), 3);
+        w.schedule(t0, Duration::from_millis(10), 1);
+        w.schedule(t0, Duration::from_millis(20), 2);
+        assert_eq!(w.len(), 3);
+
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(5)), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(15)), vec![1]);
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(60)), vec![2, 3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancellation_suppresses_firing() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        let a = w.schedule(t0, Duration::from_millis(10), 1);
+        w.schedule(t0, Duration::from_millis(10), 2);
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a), "double cancel reports not-pending");
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(20)), vec![2]);
+    }
+
+    #[test]
+    fn far_timers_cascade_across_levels() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        // Spans level 1 (≥64 ms), level 2 (≥4096 ms), level 3 (≥262 s).
+        w.schedule(t0, Duration::from_millis(200), 1);
+        w.schedule(t0, Duration::from_millis(5_000), 2);
+        w.schedule(t0, Duration::from_millis(300_000), 3);
+        // Far beyond the total span: parks in the top level, cascades
+        // multiple times, still fires at the right tick.
+        w.schedule(t0, Duration::from_secs(6 * 3600), 4);
+
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(199)), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(201)), vec![1]);
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(4_999)), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(5_001)), vec![2]);
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(299_999)), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(300_001)), vec![3]);
+        assert_eq!(drain(&mut w, t0 + Duration::from_secs(6 * 3600) + TICK), vec![4]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_is_a_usable_lower_bound() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<u32> = TimerWheel::new(t0);
+        assert_eq!(w.next_deadline(), None);
+
+        w.schedule(t0, Duration::from_millis(10), 1);
+        let d = w.next_deadline().unwrap();
+        assert!(d <= t0 + Duration::from_millis(10));
+        assert!(d >= t0);
+
+        // Far timer: the bound may be coarse but must never exceed the
+        // true expiry, and repeatedly advancing to the bound must
+        // terminate with the timer fired (no wedged loop).
+        let mut w: TimerWheel<u32> = TimerWheel::new(t0);
+        w.schedule(t0, Duration::from_millis(10_000), 9);
+        let mut fired = Vec::new();
+        let mut wakeups = 0;
+        while !w.is_empty() {
+            let bound = w.next_deadline().unwrap();
+            assert!(bound <= t0 + Duration::from_millis(10_000));
+            // Wake at the bound (plus one tick so the bound tick is
+            // processed), as the event loop would.
+            w.advance(bound + TICK, &mut fired);
+            wakeups += 1;
+            assert!(wakeups < 50, "next_deadline must make progress");
+        }
+        assert_eq!(fired, vec![9]);
+    }
+
+    #[test]
+    fn zero_and_subtick_delays_fire_on_next_advance() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        w.schedule(t0, Duration::ZERO, 1);
+        w.schedule(t0, Duration::from_micros(200), 2);
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(2)), vec![1, 2]);
+    }
+
+    #[test]
+    fn schedule_after_long_idle_advance_lands_correctly() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(t0);
+        // Turn the wheel far forward first (simulates a long-idle loop).
+        let mut out = Vec::new();
+        w.advance(t0 + Duration::from_secs(100), &mut out);
+        assert!(out.is_empty());
+        let now = t0 + Duration::from_secs(100);
+        w.schedule(now, Duration::from_millis(50), 7);
+        assert_eq!(drain(&mut w, now + Duration::from_millis(49)), Vec::<u32>::new());
+        assert_eq!(drain(&mut w, now + Duration::from_millis(51)), vec![7]);
+    }
+}

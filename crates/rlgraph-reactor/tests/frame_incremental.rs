@@ -1,0 +1,174 @@
+//! Property tests pinning the incremental [`FrameDecoder`] to the
+//! one-shot [`read_frame`] as ground truth: arbitrary chunk splits
+//! (down to 1 byte at a time) reassemble identical frames, and corrupt
+//! bytes are rejected with the same error class at the same offsets.
+
+use proptest::prelude::*;
+use rlgraph_core::RlError;
+use rlgraph_reactor::frame::{encode_frame, read_frame, FrameDecoder, FrameKind};
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![
+        Just(FrameKind::Request),
+        Just(FrameKind::Response),
+        Just(FrameKind::RequestTraced),
+        Just(FrameKind::Ping),
+        Just(FrameKind::Pong),
+    ]
+}
+
+fn arb_byte() -> impl Strategy<Value = u8> {
+    (0usize..256).prop_map(|v| v as u8)
+}
+
+fn arb_frames() -> impl Strategy<Value = Vec<(FrameKind, Vec<u8>)>> {
+    prop::collection::vec((arb_kind(), prop::collection::vec(arb_byte(), 0..200)), 1..6)
+}
+
+/// Splits `bytes` at the (sorted, deduped) cut points and feeds each
+/// piece to the decoder, collecting every frame it yields.
+fn feed_in_chunks(bytes: &[u8], cuts: &[usize]) -> Result<Vec<(FrameKind, Vec<u8>)>, RlError> {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut prev = 0usize;
+    let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.push(bytes.len());
+    for cut in cuts {
+        if cut < prev {
+            continue;
+        }
+        dec.feed(&bytes[prev..cut]);
+        prev = cut;
+        while let Some(frame) = dec.next()? {
+            frames.push(frame);
+        }
+    }
+    Ok(frames)
+}
+
+/// Decodes as many frames as the one-shot reader finds in `bytes`,
+/// returning the frames and the error (if any) that ended the stream.
+fn one_shot_all(bytes: &[u8]) -> (Vec<(FrameKind, Vec<u8>)>, Option<RlError>) {
+    let mut cursor = bytes;
+    let mut frames = Vec::new();
+    loop {
+        if cursor.is_empty() {
+            return (frames, None);
+        }
+        match read_frame(&mut cursor) {
+            Ok(f) => frames.push(f),
+            Err(e) => return (frames, Some(e)),
+        }
+    }
+}
+
+proptest! {
+    /// Any split of a valid multi-frame stream — including 1-byte
+    /// drips — yields exactly the frames that were encoded.
+    #[test]
+    fn arbitrary_chunk_splits_reassemble_frames(
+        frames in arb_frames(),
+        cuts in prop::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let mut bytes = Vec::new();
+        for (kind, payload) in &frames {
+            bytes.extend_from_slice(&encode_frame(*kind, payload).unwrap());
+        }
+        let decoded = feed_in_chunks(&bytes, &cuts).unwrap();
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// One byte at a time, explicitly — the worst-case drip feed.
+    #[test]
+    fn one_byte_at_a_time(frames in arb_frames()) {
+        let mut bytes = Vec::new();
+        for (kind, payload) in &frames {
+            bytes.extend_from_slice(&encode_frame(*kind, payload).unwrap());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(f) = dec.next().unwrap() {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Flip one byte anywhere in the stream: the incremental decoder
+    /// accepts exactly the frames the one-shot reader accepts, and when
+    /// the one-shot reader reports a protocol error, the incremental
+    /// decoder reports the *same message* at the same point. (A flip
+    /// the one-shot path only sees as a short read — e.g. a corrupted
+    /// length field claiming more bytes than exist — is invisible to
+    /// the incremental decoder until more bytes arrive, so it must
+    /// simply yield no further frames rather than a wrong one.)
+    #[test]
+    fn corrupt_bytes_match_one_shot_verdicts(
+        frames in arb_frames(),
+        flip_at in any::<usize>(),
+        flip_bits in (1usize..256).prop_map(|v| v as u8),
+        cuts in prop::collection::vec(any::<usize>(), 0..32),
+    ) {
+        let mut bytes = Vec::new();
+        for (kind, payload) in &frames {
+            bytes.extend_from_slice(&encode_frame(*kind, payload).unwrap());
+        }
+        let at = flip_at % bytes.len();
+        bytes[at] ^= flip_bits;
+
+        let (expect_frames, expect_err) = one_shot_all(&bytes);
+        match feed_in_chunks(&bytes, &cuts) {
+            Ok(got) => {
+                // Incremental may legitimately stop early only where the
+                // one-shot reader hit a short read (Io), never where it
+                // decoded a frame or raised Protocol.
+                match expect_err {
+                    None => prop_assert_eq!(got, expect_frames),
+                    Some(RlError::Io { .. }) => {
+                        prop_assert_eq!(got, expect_frames);
+                    }
+                    Some(other) => prop_assert!(
+                        false,
+                        "one-shot raised {:?} but incremental accepted the stream",
+                        other
+                    ),
+                }
+            }
+            Err(got_err) => {
+                let expect = match expect_err {
+                    Some(RlError::Protocol(msg)) => msg,
+                    other => {
+                        prop_assert!(
+                            false,
+                            "incremental raised {:?} but one-shot gave {:?}",
+                            got_err,
+                            other
+                        );
+                        unreachable!()
+                    }
+                };
+                match got_err {
+                    RlError::Protocol(msg) => prop_assert_eq!(msg, expect),
+                    other => prop_assert!(false, "expected Protocol, got {:?}", other),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn decoder_is_poisoned_after_protocol_error() {
+    let mut bytes = encode_frame(FrameKind::Request, b"payload").unwrap();
+    bytes[0] ^= 0xff; // break the magic
+    let mut dec = FrameDecoder::new();
+    dec.feed(&bytes);
+    assert!(dec.next().is_err());
+    // Feeding a perfectly valid frame afterwards does not revive it.
+    dec.feed(&encode_frame(FrameKind::Request, b"ok").unwrap());
+    assert!(dec.next().is_err());
+}

@@ -1,0 +1,365 @@
+//! Loopback tests for the multiplexed RPC stack over real TCP sockets:
+//! out-of-order completion, per-request deadline expiry (without
+//! poisoning the stream), mid-request sever → typed retryable error →
+//! transparent reconnect, heartbeats, and trace flow linkage.
+
+use rlgraph_core::{RlError, Severity};
+use rlgraph_obs::{DumpKind, Recorder};
+use rlgraph_reactor::mux::{MuxClient, MuxClientConfig, MuxServer};
+use rlgraph_reactor::RpcService;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ECHO: u16 = 1;
+const SLEEP_MS: u16 = 2;
+const FAIL_TYPED: u16 = 3;
+
+struct TestService;
+
+impl RpcService for TestService {
+    fn call(&self, method: u16, body: &[u8]) -> Result<Vec<u8>, RlError> {
+        match method {
+            ECHO => Ok(body.to_vec()),
+            SLEEP_MS => {
+                let ms = u64::from(body.first().copied().unwrap_or(0)) * 10;
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(body.to_vec())
+            }
+            FAIL_TYPED => Err(RlError::MailboxFull { capacity: 7 }),
+            other => Err(RlError::Protocol(format!("unknown method {}", other))),
+        }
+    }
+
+    fn method_name(&self, method: u16) -> &'static str {
+        method_names(method)
+    }
+}
+
+fn method_names(method: u16) -> &'static str {
+    match method {
+        ECHO => "echo",
+        SLEEP_MS => "sleep",
+        FAIL_TYPED => "fail",
+        _ => "other",
+    }
+}
+
+fn spawn_server() -> (MuxServer, Recorder) {
+    let recorder = Recorder::wall();
+    let server =
+        MuxServer::spawn("test", Arc::new(TestService), recorder.clone()).expect("bind loopback");
+    (server, recorder)
+}
+
+fn client_config() -> MuxClientConfig {
+    MuxClientConfig { method_names, ..MuxClientConfig::default() }
+}
+
+#[test]
+fn echo_roundtrip_and_metrics() {
+    let (server, recorder) = spawn_server();
+    let client =
+        MuxClient::connect_with("test", server.addr(), &recorder, client_config()).unwrap();
+    for i in 0..10u8 {
+        let reply = client.call(ECHO, &[i, i + 1], None).unwrap();
+        assert_eq!(reply, vec![i, i + 1]);
+    }
+    assert!(recorder.counter("net.bytes_tx").value() > 0);
+    assert!(recorder.counter("net.bytes_rx").value() > 0);
+    assert_eq!(recorder.counter("net.reconnects").value(), 0);
+    assert!(recorder.histogram("net.rpc_us").count() >= 10);
+    assert!(recorder.histogram("net.rpc.echo.us").count() >= 10);
+    assert!(recorder.histogram("net.rpc.serve.echo.us").count() >= 10);
+    assert!(recorder.gauge("net.conns.open").value() >= 1.0);
+    server.shutdown();
+}
+
+#[test]
+fn typed_errors_cross_the_mux_wire() {
+    let (server, recorder) = spawn_server();
+    let client =
+        MuxClient::connect_with("test", server.addr(), &recorder, client_config()).unwrap();
+    let err = client.call(FAIL_TYPED, b"", None).unwrap_err();
+    assert!(matches!(err, RlError::MailboxFull { capacity: 7 }), "got {err}");
+    assert_eq!(err.severity(), Severity::Retryable);
+    // A typed error leaves the stream healthy: next call, no reconnect.
+    assert_eq!(client.call(ECHO, b"after", None).unwrap(), b"after");
+    assert_eq!(recorder.counter("net.reconnects").value(), 0);
+    server.shutdown();
+}
+
+/// The defining mux property: a slow request does not head-of-line
+/// block a fast one on the same connection.
+#[test]
+fn completions_arrive_out_of_order() {
+    let (server, recorder) = spawn_server();
+    let client =
+        MuxClient::connect_with("test", server.addr(), &recorder, client_config()).unwrap();
+
+    // ~400 ms in the handler pool, submitted first.
+    let slow = client.submit(SLEEP_MS, &[40], Some(Duration::from_secs(10)));
+    let fast = client.submit(ECHO, b"fast", Some(Duration::from_secs(10)));
+
+    let t0 = Instant::now();
+    assert_eq!(fast.wait().unwrap(), b"fast");
+    assert!(
+        t0.elapsed() < Duration::from_millis(300),
+        "fast reply must not wait behind the slow one ({:?})",
+        t0.elapsed()
+    );
+    assert!(slow.poll().is_none(), "slow request should still be in flight");
+    assert_eq!(slow.wait().unwrap(), vec![40]);
+    server.shutdown();
+}
+
+/// Deadline expiry fails exactly that request — the connection is NOT
+/// poisoned, and the late reply is silently dropped by id miss.
+#[test]
+fn deadline_expiry_does_not_poison_the_stream() {
+    let (server, recorder) = spawn_server();
+    let client =
+        MuxClient::connect_with("test", server.addr(), &recorder, client_config()).unwrap();
+
+    let err = client.call(SLEEP_MS, &[30], Some(Duration::from_millis(50))).unwrap_err();
+    assert!(
+        matches!(err, RlError::DeadlineExpired { ref what } if what.contains("sleep")),
+        "got {err}"
+    );
+    assert_eq!(err.severity(), Severity::Retryable);
+
+    // Same connection keeps working; the stale 300 ms reply (arriving
+    // mid-sequence) is dropped without disturbing these calls.
+    for i in 0..20u8 {
+        assert_eq!(client.call(ECHO, &[i], Some(Duration::from_secs(5))).unwrap(), vec![i]);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(recorder.counter("net.reconnects").value(), 0, "no reconnect after expiry");
+    server.shutdown();
+}
+
+/// A byte-forwarding proxy the tests can sever on command; keeps
+/// accepting fresh connections so reconnects go through.
+struct SeverProxy {
+    addr: SocketAddr,
+    sever: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+}
+
+impl SeverProxy {
+    fn spawn(upstream: SocketAddr) -> SeverProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let sever = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (sever2, stop2) = (sever.clone(), stop.clone());
+        std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((down, _)) => {
+                        let up = match TcpStream::connect(upstream) {
+                            Ok(s) => s,
+                            Err(_) => continue,
+                        };
+                        for (mut a, mut b) in
+                            [(down.try_clone().unwrap(), up.try_clone().unwrap()), (up, down)]
+                        {
+                            let sever = sever2.clone();
+                            let stop = stop2.clone();
+                            std::thread::spawn(move || {
+                                let _ = a.set_read_timeout(Some(Duration::from_millis(20)));
+                                let mut buf = [0u8; 4096];
+                                loop {
+                                    if sever.load(Ordering::Relaxed) || stop.load(Ordering::Relaxed)
+                                    {
+                                        let _ = a.shutdown(std::net::Shutdown::Both);
+                                        let _ = b.shutdown(std::net::Shutdown::Both);
+                                        return;
+                                    }
+                                    match a.read(&mut buf) {
+                                        Ok(0) => return,
+                                        Ok(n) => {
+                                            if b.write_all(&buf[..n]).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        Err(e)
+                                            if matches!(
+                                                e.kind(),
+                                                std::io::ErrorKind::WouldBlock
+                                                    | std::io::ErrorKind::TimedOut
+                                            ) => {}
+                                        Err(_) => return,
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+        SeverProxy { addr, sever, stop }
+    }
+}
+
+impl Drop for SeverProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Mid-request connection loss fails every in-flight request with the
+/// retryable "connection died" class, and the next call reconnects
+/// transparently — through a fresh proxy connection.
+#[test]
+fn sever_mid_request_fails_typed_then_reconnects() {
+    let (server, recorder) = spawn_server();
+    let proxy = SeverProxy::spawn(server.addr());
+    let client = MuxClient::connect_with("test", proxy.addr, &recorder, client_config()).unwrap();
+
+    assert_eq!(client.call(ECHO, b"pre", None).unwrap(), b"pre");
+
+    // A slow request is in flight when the wire is cut.
+    let doomed = client.submit(SLEEP_MS, &[50], Some(Duration::from_secs(10)));
+    std::thread::sleep(Duration::from_millis(60));
+    proxy.sever.store(true, Ordering::Relaxed);
+    let err = doomed.wait().unwrap_err();
+    assert!(
+        matches!(err, RlError::Io { kind: std::io::ErrorKind::ConnectionReset, .. }),
+        "sever must surface as the retryable reset class, got {err}"
+    );
+    assert_eq!(err.severity(), Severity::Retryable);
+
+    // Next submission reconnects through the proxy's fresh accept.
+    proxy.sever.store(false, Ordering::Relaxed);
+    let mut reply = Err(RlError::Shutdown);
+    for _ in 0..10 {
+        reply = client.call(ECHO, b"back", Some(Duration::from_secs(2)));
+        if reply.is_ok() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(reply.unwrap(), b"back");
+    assert!(recorder.counter("net.reconnects").value() >= 1);
+    server.shutdown();
+}
+
+/// Heartbeats keep an idle mux↔mux connection verified-alive, and the
+/// server's ping/pong answers come from the event loop even while the
+/// handler pool is busy.
+#[test]
+fn heartbeats_roundtrip_while_handlers_are_busy() {
+    let (server, recorder) = spawn_server();
+    let config = MuxClientConfig {
+        heartbeat: Some(Duration::from_millis(50)),
+        method_names,
+        ..MuxClientConfig::default()
+    };
+    let client = MuxClient::connect_with("test", server.addr(), &recorder, config).unwrap();
+    // Tie up the (default 4) handler threads.
+    let busy: Vec<_> =
+        (0..4).map(|_| client.submit(SLEEP_MS, &[40], Some(Duration::from_secs(10)))).collect();
+    // Several heartbeat intervals pass; an unanswered ping would sever
+    // and fail the in-flight requests with ConnectionReset.
+    std::thread::sleep(Duration::from_millis(300));
+    for h in busy {
+        assert_eq!(h.wait().unwrap(), vec![40]);
+    }
+    server.shutdown();
+}
+
+/// Telemetry parity with the blocking stack: the client call span and
+/// the server handler span share a flow id across the mux wire.
+#[test]
+fn traced_calls_link_client_and_server_spans() {
+    let (server, recorder) = spawn_server();
+    let client =
+        MuxClient::connect_with("test", server.addr(), &recorder, client_config()).unwrap();
+    client.call(ECHO, b"traced", None).unwrap();
+    server.shutdown();
+    let dump = recorder.trace_dump();
+    let call = dump
+        .events
+        .iter()
+        .find(|e| {
+            e.name.starts_with("rpc.") && !e.name.starts_with("rpc.serve.") && e.flow_out != 0
+        })
+        .expect("client call span with a flow out-edge");
+    let handler = dump
+        .events
+        .iter()
+        .find(|e| e.name.starts_with("rpc.serve.") && e.flow_in == call.flow_out)
+        .expect("server handler span linked to the client span");
+    assert!(matches!(handler.kind, DumpKind::Complete { .. }));
+}
+
+/// Idle reaping: connections quiet past the configured timeout are
+/// closed by the timer wheel and counted.
+#[test]
+fn idle_connections_are_reaped() {
+    use rlgraph_reactor::mux::MuxServerConfig;
+    let recorder = Recorder::wall();
+    let config = MuxServerConfig {
+        idle_timeout: Some(Duration::from_millis(100)),
+        ..MuxServerConfig::default()
+    };
+    let server =
+        MuxServer::spawn_with("reap", Arc::new(TestService), recorder.clone(), config).unwrap();
+    let client =
+        MuxClient::connect_with("reap", server.addr(), &recorder, client_config()).unwrap();
+    assert_eq!(client.call(ECHO, b"x", None).unwrap(), b"x");
+    assert_eq!(recorder.gauge("net.conns.open").value(), 1.0);
+
+    // Go quiet past the timeout: the server closes the connection.
+    let t0 = Instant::now();
+    while recorder.counter("net.conns.idle_reaped").value() == 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "idle connection never reaped");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(recorder.gauge("net.conns.open").value(), 0.0);
+
+    // The client notices on next use and reconnects transparently.
+    let mut reply = Err(RlError::Shutdown);
+    for _ in 0..10 {
+        reply = client.call(ECHO, b"again", Some(Duration::from_secs(2)));
+        if reply.is_ok() {
+            break;
+        }
+    }
+    assert_eq!(reply.unwrap(), b"again");
+    server.shutdown();
+}
+
+/// Many threads hammering one shared client: the submission path is
+/// `&self` and the loop keeps every id straight.
+#[test]
+fn shared_client_across_threads() {
+    let (server, recorder) = spawn_server();
+    let client = Arc::new(
+        MuxClient::connect_with("test", server.addr(), &recorder, client_config()).unwrap(),
+    );
+    let mut joins = Vec::new();
+    for t in 0..4u8 {
+        let client = client.clone();
+        joins.push(std::thread::spawn(move || {
+            for i in 0..25u8 {
+                let body = [t, i];
+                let reply = client.call(ECHO, &body, Some(Duration::from_secs(5))).unwrap();
+                assert_eq!(reply, body);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    assert!(recorder.histogram("net.rpc_us").count() >= 100);
+    server.shutdown();
+}

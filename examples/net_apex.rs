@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rpc_deadline: Duration::from_secs(10),
         launch: LaunchMode::Process,
         shard_proxy: None,
+        transport: Transport::default(),
         recorder: recorder.clone(),
     };
     let workers = config.num_workers;

@@ -46,6 +46,12 @@ timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin ne
 # produced (the <5% overhead threshold is full-mode only).
 timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin obs_bench -- --smoke
 
+# Reactor: c10k bench smoke (<=256 connections) — re-execs a server
+# child per stack under rlimits, verifies the reactor holds the whole
+# herd and matches blocking latency. Hard timeout: a wedged event loop
+# must fail the gate, not hang it.
+timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin c10k_bench -- --smoke
+
 # The redesigned public API must stay documented: fail on rustdoc warnings.
 RUSTDOCFLAGS="-D warnings" cargo "${CONFIG[@]}" doc --no-deps "${OFFLINE[@]}" --workspace
 

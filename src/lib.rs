@@ -51,6 +51,7 @@
 //! | [`rlgraph_baselines`] | RLlib-style / hand-tuned / DM-style baselines |
 //! | [`rlgraph_serve`] | batched multi-replica policy serving |
 //! | [`rlgraph_net`] | TCP wire codec, RPC, multi-process runtime |
+//! | [`rlgraph_reactor`] | epoll event loop, timer wheel, multiplexed RPC |
 //! | [`rlgraph_obs`] | metrics, span tracing, Chrome-trace export |
 
 pub use rlgraph_agents as agents;
@@ -63,6 +64,7 @@ pub use rlgraph_memory as memory;
 pub use rlgraph_net as net;
 pub use rlgraph_nn as nn;
 pub use rlgraph_obs as obs;
+pub use rlgraph_reactor as reactor;
 pub use rlgraph_serve as serve;
 pub use rlgraph_sim as sim;
 pub use rlgraph_spaces as spaces;
@@ -78,7 +80,7 @@ pub mod prelude {
     pub use rlgraph_envs::{CartPole, Env, GridPong, GridPongConfig, SeekAvoid, VectorEnv};
     pub use rlgraph_net::{
         maybe_run_child, run_apex_net, EnvSpec, LaunchMode, NetApexConfig, NetApexStats,
-        NetPolicyClient, ServeTcpFrontend,
+        NetPolicyClient, ServeTcpFrontend, Transport,
     };
     pub use rlgraph_nn::{Activation, LayerSpec, NetworkSpec, OptimizerSpec};
     pub use rlgraph_obs::Recorder;
