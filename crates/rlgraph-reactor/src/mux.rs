@@ -62,6 +62,17 @@ const SCRATCH_LEN: usize = 64 * 1024;
 const LISTENER_TOKEN: Token = Token(u64::MAX);
 const WAKER_TOKEN: Token = Token(u64::MAX - 1);
 
+/// Timer-wheel sentinel that re-arms a backed-off listener; no live
+/// connection can alias it (slots are slab indices, far below
+/// `usize::MAX`).
+const LISTENER_REARM: (usize, u64) = (usize::MAX, u64::MAX);
+
+/// How long the listener stays parked after an accept failure
+/// (EMFILE/ENFILE class) before retrying. Without the pause, level
+/// triggering would re-report the un-accepted connection on every wait
+/// and spin the loop at 100% CPU for as long as fds stay exhausted.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
 fn conn_token(slot: usize, gen: u64) -> Token {
     Token(((slot as u64) << 32) | (gen & 0xffff_ffff))
 }
@@ -84,6 +95,15 @@ pub struct MuxServerConfig {
     /// closed: the peer is not reading, and unbounded buffering would
     /// let one dead client hold the server's memory.
     pub max_queued_bytes: usize,
+    /// Per-connection ceiling on inbound bytes buffered ahead of the
+    /// handler pool: undecoded reader bytes plus the bodies of
+    /// dispatched-but-unanswered requests. A connection at the ceiling
+    /// has its read interest parked (backpressure, via the kernel's
+    /// receive window) until completions drain it back under — so one
+    /// fast client cannot queue unbounded memory server-side. The
+    /// ceiling is soft by at most one 64 KiB read batch (the gate is
+    /// checked before each `read`, not each byte).
+    pub max_inflight_bytes: usize,
 }
 
 impl Default for MuxServerConfig {
@@ -92,6 +112,7 @@ impl Default for MuxServerConfig {
             handler_threads: 4,
             idle_timeout: Some(Duration::from_secs(60)),
             max_queued_bytes: 64 * 1024 * 1024,
+            max_inflight_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -111,6 +132,10 @@ struct Completion {
     slot: usize,
     gen: u64,
     frame: Vec<u8>,
+    /// The originating request's body length — returned to the
+    /// connection's inflight-bytes budget so backpressured reads can
+    /// resume.
+    req_bytes: usize,
 }
 
 /// One connection's state machine inside the server loop.
@@ -122,6 +147,10 @@ struct SrvConn {
     interest: Interest,
     last_activity: Instant,
     inflight: usize,
+    /// Bodies of dispatched-but-unanswered requests, in bytes; together
+    /// with the decoder's backlog this is the inbound pressure gated by
+    /// `max_inflight_bytes`.
+    inflight_bytes: usize,
 }
 
 /// An epoll-driven RPC server: one event-loop thread multiplexing every
@@ -292,15 +321,33 @@ fn handler_loop(
         }
         let frame = match encode_frame(FrameKind::Response, &resp.into_bytes()) {
             Ok(frame) => frame,
-            Err(_) => continue, // response exceeds MAX_FRAME_LEN: drop
+            // Response exceeds MAX_FRAME_LEN: the completion must still
+            // flow back — it balances the connection's inflight
+            // accounting (idle reaping, read backpressure) and the
+            // caller is owed a reply — so ship the typed encode error
+            // in place of the oversized body.
+            Err(e) => encode_error_response(job.req_id, &e),
         };
         completions.lock().expect("mux completion lock").push(Completion {
             slot: job.slot,
             gen: job.gen,
             frame,
+            req_bytes: job.body.len(),
         });
         waker.wake();
     }
+}
+
+/// Encodes a status-1 response frame carrying `err`. Errors serialize
+/// to a few hundred bytes at most, so this cannot itself overflow a
+/// frame; the expect documents that invariant rather than a reachable
+/// panic.
+fn encode_error_response(req_id: u64, err: &RlError) -> Vec<u8> {
+    let mut resp = ByteWriter::with_capacity(64);
+    resp.put_u64(req_id);
+    resp.put_u8(1);
+    put_rl_error(&mut resp, err);
+    encode_frame(FrameKind::Response, &resp.into_bytes()).expect("error response fits in a frame")
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -383,6 +430,7 @@ fn server_loop(
                                 interest: Interest::READABLE,
                                 last_activity: now,
                                 inflight: 0,
+                                inflight_bytes: 0,
                             });
                             open += 1;
                             conns_counter.inc();
@@ -393,7 +441,19 @@ fn server_loop(
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                         Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                        Err(_) => break,
+                        Err(_) => {
+                            // EMFILE/ENFILE class: park the listener
+                            // and retry on a timer instead of letting
+                            // level triggering busy-spin the loop while
+                            // the process is out of fds.
+                            if poller
+                                .modify(listener.as_raw_fd(), LISTENER_TOKEN, Interest::NONE)
+                                .is_ok()
+                            {
+                                wheel.schedule(now, ACCEPT_BACKOFF, LISTENER_REARM);
+                            }
+                            break;
+                        }
                     }
                 }
             } else {
@@ -411,16 +471,19 @@ fn server_loop(
                         &meter,
                         &mut scratch,
                         now,
+                        config.max_inflight_bytes,
                     );
+                    // ERR/HUP is fatal both directions; don't let a
+                    // backpressured read gate keep the corpse around.
+                    close |= ev.closed;
                 }
                 if !close {
+                    // Unconditional pump: flushes loop-level replies
+                    // (pongs) enqueued by the read above, and keeps
+                    // read/write interest in sync with pressure — a
+                    // no-op syscall-wise when nothing changed.
                     let conn = slab[slot].as_mut().expect("validated above");
-                    // Flush on writable readiness, and after reads that
-                    // enqueued loop-level replies (pongs), which would
-                    // otherwise sit unsent with write interest unarmed.
-                    if ev.writable || !conn.wq.is_empty() {
-                        close = !pump_writes(conn, slot, &poller);
-                    }
+                    close = !pump_writes(conn, slot, &poller, config.max_inflight_bytes);
                 }
                 if close {
                     close_conn(&mut slab, &mut free, &poller, slot);
@@ -441,10 +504,13 @@ fn server_loop(
             }
             let conn = slab[c.slot].as_mut().expect("validated above");
             conn.inflight -= 1;
+            conn.inflight_bytes = conn.inflight_bytes.saturating_sub(c.req_bytes);
             conn.last_activity = now;
             meter.count_tx(c.frame.len().saturating_sub(crate::frame::FRAME_OVERHEAD));
             conn.wq.push(c.frame);
-            if !pump_writes(conn, c.slot, &poller)
+            // The pump also re-arms read interest once the drained
+            // inflight budget falls back under the ceiling.
+            if !pump_writes(conn, c.slot, &poller, config.max_inflight_bytes)
                 || conn.wq.queued_bytes() > config.max_queued_bytes
             {
                 close_conn(&mut slab, &mut free, &poller, c.slot);
@@ -458,8 +524,15 @@ fn server_loop(
         // remaining window.
         fired.clear();
         wheel.advance(now, &mut fired);
-        if let Some(idle) = config.idle_timeout {
-            for &(slot, gen) in &fired {
+        for &(slot, gen) in &fired {
+            if (slot, gen) == LISTENER_REARM {
+                // Backoff over: resume accepting. Level triggering
+                // re-reports any connection still queued; if accept
+                // fails again the error arm parks the listener again.
+                let _ = poller.modify(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE);
+                continue;
+            }
+            if let Some(idle) = config.idle_timeout {
                 let valid = matches!(slab.get(slot), Some(Some(c)) if c.gen == gen);
                 if !valid {
                     continue;
@@ -485,9 +558,15 @@ fn server_loop(
     // job_tx drops here: handlers see the channel close and exit.
 }
 
-/// Reads until the socket would block, feeding the decoder and
+/// Reads until the socket would block — or the connection's inbound
+/// budget (`max_inflight_bytes`) is spent — feeding the decoder and
 /// dispatching complete requests. Returns `true` when the connection
 /// must close (EOF, transport error, protocol violation).
+///
+/// Decoding below never grows pressure (it moves bytes from the decoder
+/// backlog into dispatched bodies, both counted), so it always runs to
+/// completion: a budget-capped connection strands no decoded-but-
+/// undispatched frames, and resuming is purely re-arming read interest.
 fn read_and_dispatch(
     conn: &mut SrvConn,
     slot: usize,
@@ -495,8 +574,15 @@ fn read_and_dispatch(
     meter: &FrameMeter,
     scratch: &mut [u8],
     now: Instant,
+    max_inflight_bytes: usize,
 ) -> bool {
     loop {
+        if conn.inflight_bytes + conn.decoder.buffered() >= max_inflight_bytes {
+            // Budget spent: stop pulling bytes. The caller's interest
+            // sync parks reads; the kernel's receive window pushes the
+            // backpressure to the client.
+            break;
+        }
         match (&conn.stream).read(scratch) {
             Ok(0) => return true, // EOF
             Ok(n) => conn.decoder.feed(&scratch[..n]),
@@ -538,6 +624,7 @@ fn read_and_dispatch(
                         };
                         let body = req.get_bytes(req.remaining()).expect("remaining bytes");
                         conn.inflight += 1;
+                        conn.inflight_bytes += body.len();
                         let job =
                             Job { slot, gen: conn.gen, req_id, method, body: body.to_vec(), ctx };
                         if job_tx.send(job).is_err() {
@@ -551,15 +638,26 @@ fn read_and_dispatch(
     false
 }
 
-/// Flushes a connection's write queue and keeps its write interest in
-/// sync with whether bytes remain. Returns `false` when the connection
+/// Flushes a connection's write queue and re-syncs its interest set:
+/// write interest while unsent bytes remain, read interest while the
+/// inbound budget has headroom. Returns `false` when the connection
 /// must close.
-fn pump_writes(conn: &mut SrvConn, slot: usize, poller: &Poller) -> bool {
-    let drained = match conn.wq.flush(&mut &conn.stream) {
-        Ok(drained) => drained,
-        Err(_) => return false,
+fn pump_writes(
+    conn: &mut SrvConn,
+    slot: usize,
+    poller: &Poller,
+    max_inflight_bytes: usize,
+) -> bool {
+    let drained = if conn.wq.is_empty() {
+        true
+    } else {
+        match conn.wq.flush(&mut &conn.stream) {
+            Ok(drained) => drained,
+            Err(_) => return false,
+        }
     };
-    let want = if drained { Interest::READABLE } else { Interest::BOTH };
+    let readable = conn.inflight_bytes + conn.decoder.buffered() < max_inflight_bytes;
+    let want = Interest::from_flags(readable, !drained);
     if want != conn.interest {
         let token = conn_token(slot, conn.gen);
         if poller.modify(conn.stream.as_raw_fd(), token, want).is_err() {

@@ -33,11 +33,25 @@ impl Interest {
     pub const WRITABLE: Interest = Interest { readable: false, writable: true };
     /// Both.
     pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Neither class — hang-ups (`EPOLLERR`/`EPOLLHUP`) still report.
+    /// Used to park a registration (backpressured reads, a backed-off
+    /// listener) without deregistering it.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+
+    /// Builds an interest set from flags — for loops that compute the
+    /// desired set from connection state each iteration.
+    pub fn from_flags(readable: bool, writable: bool) -> Interest {
+        Interest { readable, writable }
+    }
 
     fn bits(self) -> u32 {
-        let mut bits = sys::EPOLLRDHUP;
+        // RDHUP rides with read interest only: a parked registration
+        // (Interest::NONE backpressure) must not level-trigger on a
+        // peer's half-close every wait. ERR/HUP are always reported by
+        // epoll regardless of the mask.
+        let mut bits = 0;
         if self.readable {
-            bits |= sys::EPOLLIN;
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
         }
         if self.writable {
             bits |= sys::EPOLLOUT;
@@ -129,6 +143,12 @@ impl Poller {
 /// thread may then call [`Waker::wake`]. The loop drains the eventfd
 /// when it sees the token so the next wake re-arms. A `pending` flag
 /// collapses redundant rings from hot submitters into one syscall.
+///
+/// The flag's contract has two sides. Wakers must publish their work
+/// (enqueue the submission/completion) **before** calling `wake`, and
+/// the loop must scan those queues **after** calling [`Waker::drain`] —
+/// then a wake whose ring was collapsed into a still-pending flag is
+/// observed by the queue scan of the drain that consumed it.
 #[derive(Debug)]
 pub struct Waker {
     fd: OwnedFd,
@@ -158,9 +178,18 @@ impl Waker {
     }
 
     /// Drains the eventfd and clears the pending flag (loop side).
+    ///
+    /// Order matters: the eventfd is read **before** `pending` clears.
+    /// The other way round has a lost-wakeup race — a `wake` landing
+    /// between the clear and the read sees `pending == false`, rings,
+    /// and has its ring swallowed by this very drain while the flag is
+    /// left stuck `true`; every later `wake` then skips the ring and
+    /// the loop sleeps forever. With this order a `wake` in the window
+    /// merely skips its ring, which is safe: its work was enqueued
+    /// before the call and the loop scans its queues after draining.
     pub fn drain(&self) {
-        self.pending.store(false, Ordering::Release);
         sys::eventfd_drain(self.fd.as_raw_fd());
+        self.pending.store(false, Ordering::Release);
     }
 }
 
@@ -192,6 +221,49 @@ mod tests {
         // Drained: quiescent again.
         poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
         assert!(events.is_empty());
+    }
+
+    /// Regression for the drain/wake lost-wakeup race. The wedged state
+    /// is `pending == true` with the eventfd empty: from there every
+    /// `wake` skips its ring and the loop sleeps forever. Each round
+    /// races one producer's wakes against the consumer's drains to give
+    /// a wake a chance to land inside a drain, then probes the
+    /// invariant that matters: after the dust settles, a fresh `wake`
+    /// (or a ring already in flight) must leave the eventfd readable.
+    /// The clear-then-read drain order wedges here within a few rounds;
+    /// read-then-clear never does.
+    #[test]
+    fn drain_wake_races_never_wedge_the_waker() {
+        for _ in 0..200 {
+            let poller = Poller::new().unwrap();
+            let waker = std::sync::Arc::new(Waker::new().unwrap());
+            poller.add(waker.fd(), Token(0), Interest::READABLE).unwrap();
+
+            let done = std::sync::Arc::new(AtomicBool::new(false));
+            let (w2, done2) = (waker.clone(), done.clone());
+            let producer = std::thread::spawn(move || {
+                for _ in 0..300 {
+                    w2.wake();
+                }
+                done2.store(true, Ordering::Release);
+            });
+            // Drain concurrently until the producer's last wake, so the
+            // final overlap (if any) is left un-repaired for the probe.
+            while !done.load(Ordering::Acquire) {
+                waker.drain();
+            }
+            producer.join().unwrap();
+
+            // Probe: not wedged ⇔ this wake (or a leftover ring) makes
+            // the eventfd readable.
+            waker.wake();
+            let mut events = Vec::new();
+            poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert!(
+                events.iter().any(|e| e.token == Token(0) && e.readable),
+                "waker wedged: pending flag stuck true with the eventfd empty"
+            );
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 const ECHO: u16 = 1;
 const SLEEP_MS: u16 = 2;
 const FAIL_TYPED: u16 = 3;
+const HUGE: u16 = 4;
 
 struct TestService;
 
@@ -29,6 +30,8 @@ impl RpcService for TestService {
                 Ok(body.to_vec())
             }
             FAIL_TYPED => Err(RlError::MailboxFull { capacity: 7 }),
+            // A reply one byte too large for any frame.
+            HUGE => Ok(vec![0u8; rlgraph_reactor::MAX_FRAME_LEN as usize + 1]),
             other => Err(RlError::Protocol(format!("unknown method {}", other))),
         }
     }
@@ -43,6 +46,7 @@ fn method_names(method: u16) -> &'static str {
         ECHO => "echo",
         SLEEP_MS => "sleep",
         FAIL_TYPED => "fail",
+        HUGE => "huge",
         _ => "other",
     }
 }
@@ -335,6 +339,73 @@ fn idle_connections_are_reaped() {
         }
     }
     assert_eq!(reply.unwrap(), b"again");
+    server.shutdown();
+}
+
+/// A response too large to frame must still complete the request — as
+/// a typed protocol error — and must not unbalance the connection's
+/// inflight accounting (which would pin it against idle reaping
+/// forever).
+#[test]
+fn oversized_response_fails_typed_and_balances_inflight() {
+    use rlgraph_reactor::mux::MuxServerConfig;
+    let recorder = Recorder::wall();
+    let config = MuxServerConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..MuxServerConfig::default()
+    };
+    let server =
+        MuxServer::spawn_with("huge", Arc::new(TestService), recorder.clone(), config).unwrap();
+    let client =
+        MuxClient::connect_with("huge", server.addr(), &recorder, client_config()).unwrap();
+
+    let err = client.call(HUGE, b"", Some(Duration::from_secs(30))).unwrap_err();
+    assert!(
+        matches!(err, RlError::Protocol(ref m) if m.contains("limit")),
+        "oversized reply must surface as the frame-limit protocol error, got {err}"
+    );
+    // The connection survives and keeps serving.
+    assert_eq!(client.call(ECHO, b"still-alive", None).unwrap(), b"still-alive");
+
+    // Balanced accounting: once quiet, the connection is reapable —
+    // with a stuck inflight count the lease check re-schedules forever.
+    let t0 = Instant::now();
+    while recorder.counter("net.conns.idle_reaped").value() == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "connection never reaped: inflight accounting leaked on the oversized response"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+/// Inbound backpressure: a tiny per-connection inflight budget forces
+/// the server to park and re-arm read interest over and over while a
+/// client floods it — every request must still complete, in order of
+/// handler completion, with no deadlock.
+#[test]
+fn inbound_backpressure_drains_without_deadlock() {
+    use rlgraph_reactor::mux::MuxServerConfig;
+    let recorder = Recorder::wall();
+    let config = MuxServerConfig {
+        // ~2 requests' worth of budget: the flood below overruns it
+        // immediately and progress depends on completions re-arming
+        // reads.
+        max_inflight_bytes: 64,
+        handler_threads: 2,
+        ..MuxServerConfig::default()
+    };
+    let server =
+        MuxServer::spawn_with("bp", Arc::new(TestService), recorder.clone(), config).unwrap();
+    let client = MuxClient::connect_with("bp", server.addr(), &recorder, client_config()).unwrap();
+
+    let bodies: Vec<Vec<u8>> = (0..60u8).map(|i| vec![i; 24]).collect();
+    let handles: Vec<_> =
+        bodies.iter().map(|b| client.submit(ECHO, b, Some(Duration::from_secs(30)))).collect();
+    for (h, b) in handles.into_iter().zip(&bodies) {
+        assert_eq!(&h.wait().unwrap(), b);
+    }
     server.shutdown();
 }
 
