@@ -1,0 +1,353 @@
+//! Wire-compression microbenchmark: prices each of the three codec
+//! stages (DESIGN.md §14) in isolation, on synthetic data shaped like
+//! real traffic — weight tensors for the quantizers and delta sync,
+//! encoded trajectory batches for the LZ stage.
+//!
+//! Writes `BENCH_codec.json` at the repo root with, per stage, the
+//! payload bytes before/after and encode/decode cost in ns per element
+//! (ns per input byte for the LZ stage, whose "elements" are bytes).
+//! Every decode is verified against the source so a silently corrupting
+//! codec cannot post a good number.
+//!
+//! `--smoke` runs one tiny iteration of every stage (asserting the same
+//! invariants) and skips the JSON, so tier-1 exercises the full
+//! encode/decode matrix without timing noise.
+
+use rlgraph_dist::WeightsSnapshot;
+use rlgraph_memory::Transition;
+use rlgraph_net::codec::{
+    compress, decompress, get_f32_column, get_snapshot_delta, get_trajectory_v2, i8_scale_for,
+    put_f32_column, put_snapshot_delta, put_snapshot_enc, put_trajectory_v2, TensorEnc,
+    COMPRESS_OVERHEAD,
+};
+use rlgraph_net::codec::{dequantized_snapshot, get_snapshot, put_trajectory};
+use rlgraph_net::wire::{ByteReader, ByteWriter};
+use rlgraph_tensor::Tensor;
+use std::time::Instant;
+
+/// xorshift64*: deterministic synthetic data, no RNG state to seed per
+/// stage.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [-1, 1), the ballpark of trained MLP weights.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 23) as f32 * 2.0 - 1.0
+    }
+}
+
+fn weight_vals(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Rng(seed | 1);
+    (0..n).map(|_| rng.next_f32()).collect()
+}
+
+fn snapshot(var_elems: usize, vars: usize, version: u64, seed: u64) -> WeightsSnapshot {
+    WeightsSnapshot {
+        version,
+        weights: (0..vars)
+            .map(|i| {
+                (
+                    format!("layer{}/w", i),
+                    Tensor::from_vec(weight_vals(var_elems, seed + i as u64), &[var_elems])
+                        .expect("synthetic tensor"),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// One stage's result row.
+struct Row {
+    stage: String,
+    bytes_in: usize,
+    bytes_out: usize,
+    encode_ns_per_elem: f64,
+    decode_ns_per_elem: f64,
+}
+
+impl Row {
+    fn print(&self) {
+        println!(
+            "  {:<26} {:>9} -> {:>9} bytes ({:.2}x)   encode {:>7.2} ns/elem, decode {:>7.2} ns/elem",
+            self.stage,
+            self.bytes_in,
+            self.bytes_out,
+            self.bytes_in as f64 / self.bytes_out.max(1) as f64,
+            self.encode_ns_per_elem,
+            self.decode_ns_per_elem,
+        );
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"stage\": \"{}\", \"bytes_in\": {}, \"bytes_out\": {}, \
+             \"encode_ns_per_elem\": {:.3}, \"decode_ns_per_elem\": {:.3}}}",
+            self.stage,
+            self.bytes_in,
+            self.bytes_out,
+            self.encode_ns_per_elem,
+            self.decode_ns_per_elem,
+        )
+    }
+}
+
+/// Times `f` over `iters` runs and returns total ns / (iters * elems).
+fn per_elem(iters: usize, elems: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / (iters * elems.max(1)) as f64
+}
+
+// ----- stage 1: quantized tensor encodings -----
+
+fn bench_quant(elems: usize, iters: usize, rows: &mut Vec<Row>) {
+    let vals = weight_vals(elems, 0xC0DEC);
+    for (name, enc) in [
+        ("quant/f32 (baseline)", TensorEnc::F32),
+        ("quant/f16", TensorEnc::F16),
+        ("quant/bf16", TensorEnc::Bf16),
+        ("quant/i8+scale", TensorEnc::I8Scale),
+    ] {
+        let mut w = ByteWriter::new();
+        put_f32_column(&mut w, &vals, enc);
+        let bytes = w.into_bytes();
+        let encode = per_elem(iters, elems, || {
+            let mut w = ByteWriter::new();
+            put_f32_column(&mut w, &vals, enc);
+            std::hint::black_box(w.into_bytes());
+        });
+        let decode = per_elem(iters, elems, || {
+            let mut r = ByteReader::new(&bytes);
+            std::hint::black_box(get_f32_column(&mut r, elems, enc).expect("quant decode"));
+        });
+        // Verify the advertised error bound so the timing rows can't
+        // outlive a broken quantizer.
+        let back = get_f32_column(&mut ByteReader::new(&bytes), elems, enc).expect("quant decode");
+        let bound = match enc {
+            TensorEnc::F32 => 0.0,
+            TensorEnc::F16 => 1.0 / 1024.0, // 2^-10 rel on [-1,1]
+            TensorEnc::Bf16 => 1.0 / 128.0, // 2^-7 rel on [-1,1]
+            TensorEnc::I8Scale => i8_scale_for(&vals) / 2.0 + f32::EPSILON,
+        };
+        for (a, b) in vals.iter().zip(&back) {
+            assert!(
+                (a - b).abs() <= bound,
+                "{} error {} exceeds bound {}",
+                name,
+                (a - b).abs(),
+                bound
+            );
+        }
+        rows.push(Row {
+            stage: name.into(),
+            bytes_in: elems * 4,
+            bytes_out: bytes.len(),
+            encode_ns_per_elem: encode,
+            decode_ns_per_elem: decode,
+        });
+    }
+}
+
+// ----- stage 2: delta weight sync -----
+
+fn bench_delta(var_elems: usize, vars: usize, iters: usize, rows: &mut Vec<Row>) {
+    let base = snapshot(var_elems, vars, 1, 7);
+    // The subscriber holds the dequantized image of what it was sent —
+    // exactly what the coordinator records per subscriber.
+    let held = dequantized_snapshot(&base, TensorEnc::F16);
+    // One gradient step later: ~1/16 of each variable's chunks moved.
+    let mut next = base.clone();
+    next.version = 2;
+    for (_, t) in &mut next.weights {
+        let vals = t.as_f32().expect("f32 weights").to_vec();
+        let mut moved = vals.clone();
+        for (i, v) in moved.iter_mut().enumerate() {
+            if (i / 64) % 16 == 0 {
+                *v += 0.01;
+            }
+        }
+        *t = Tensor::from_vec(moved, &[var_elems]).expect("perturbed tensor");
+    }
+    let elems = var_elems * vars;
+
+    // Full snapshot under the same encoding, for the bytes_in column:
+    // delta competes against "just resend everything quantized".
+    let mut w = ByteWriter::new();
+    put_snapshot_enc(&mut w, &next, TensorEnc::F16);
+    let full_bytes = w.into_bytes().len();
+
+    let mut w = ByteWriter::new();
+    put_snapshot_delta(&mut w, &held, &next, TensorEnc::F16).expect("delta encode");
+    let delta_bytes = w.into_bytes();
+
+    let encode = per_elem(iters, elems, || {
+        let mut w = ByteWriter::new();
+        put_snapshot_delta(&mut w, &held, &next, TensorEnc::F16).expect("delta encode");
+        std::hint::black_box(w.into_bytes());
+    });
+    let decode = per_elem(iters, elems, || {
+        let mut r = ByteReader::new(&delta_bytes);
+        std::hint::black_box(get_snapshot_delta(&mut r, &held).expect("delta decode"));
+    });
+    let applied = get_snapshot_delta(&mut ByteReader::new(&delta_bytes), &held).expect("decode");
+    assert_eq!(applied.version, 2);
+    // The applied delta must agree with a freshly dequantized full send.
+    let want = dequantized_snapshot(&next, TensorEnc::F16);
+    for ((n1, t1), (n2, t2)) in applied.weights.iter().zip(&want.weights) {
+        assert_eq!(n1, n2);
+        assert_eq!(t1, t2, "delta-applied {} diverges from full resync", n1);
+    }
+    rows.push(Row {
+        stage: "delta/f16 vs full-f16".into(),
+        bytes_in: full_bytes,
+        bytes_out: delta_bytes.len(),
+        encode_ns_per_elem: encode,
+        decode_ns_per_elem: decode,
+    });
+}
+
+// ----- stage 3: LZ byte compression of trajectory frames -----
+
+fn trajectory(n: usize, state_dim: usize) -> (Vec<Transition>, Vec<f32>) {
+    let mut rng = Rng(0xBEEF);
+    let transitions = (0..n)
+        .map(|i| {
+            // Low-entropy states (few distinct values), like sensor
+            // readings: what the LZ stage sees after columnar packing.
+            let state: Vec<f32> =
+                (0..state_dim).map(|_| (rng.next_u64() % 8) as f32 / 8.0).collect();
+            let next: Vec<f32> =
+                (0..state_dim).map(|_| (rng.next_u64() % 8) as f32 / 8.0).collect();
+            Transition::new(
+                Tensor::from_vec(state, &[state_dim]).expect("state"),
+                Tensor::scalar_i64((rng.next_u64() % 4) as i64),
+                (rng.next_u64() % 3) as f32 - 1.0,
+                Tensor::from_vec(next, &[state_dim]).expect("next state"),
+                i % 50 == 49,
+            )
+        })
+        .collect();
+    let priorities = (0..n).map(|i| 1.0 + (i % 10) as f32 / 10.0).collect();
+    (transitions, priorities)
+}
+
+fn bench_lz(n: usize, state_dim: usize, iters: usize, rows: &mut Vec<Row>) {
+    let (transitions, priorities) = trajectory(n, state_dim);
+
+    // v1 row-major frame, then the v2 columnar frame, then LZ on top of
+    // the columnar frame — the stack as it actually ships.
+    let mut w = ByteWriter::new();
+    put_trajectory(&mut w, &transitions, &priorities);
+    let v1 = w.into_bytes();
+    let mut w = ByteWriter::new();
+    put_trajectory_v2(&mut w, &transitions, &priorities, TensorEnc::I8Scale)
+        .expect("columnar encode");
+    let v2 = w.into_bytes();
+    let (back_t, back_p) = get_trajectory_v2(&mut ByteReader::new(&v2)).expect("columnar decode");
+    assert_eq!(back_t.len(), transitions.len());
+    assert_eq!(back_p, priorities);
+    rows.push(Row {
+        stage: "columnar/i8 vs v1 rows".into(),
+        bytes_in: v1.len(),
+        bytes_out: v2.len(),
+        encode_ns_per_elem: 0.0, // priced by the quant rows; bytes-only row
+        decode_ns_per_elem: 0.0,
+    });
+
+    let blob = compress(&v2);
+    let encode = per_elem(iters, v2.len(), || {
+        std::hint::black_box(compress(&v2));
+    });
+    let decode = per_elem(iters, v2.len(), || {
+        std::hint::black_box(decompress(&blob, v2.len() + 1).expect("lz decode"));
+    });
+    assert_eq!(decompress(&blob, v2.len() + 1).expect("lz decode"), v2, "LZ round-trip");
+    rows.push(Row {
+        stage: "lz/trajectory frame".into(),
+        bytes_in: v2.len(),
+        bytes_out: blob.len(),
+        encode_ns_per_elem: encode,
+        decode_ns_per_elem: decode,
+    });
+
+    // Incompressible input: the passthrough header is the whole cost.
+    let mut rng = Rng(0x5EED);
+    let noise: Vec<u8> = (0..v2.len()).map(|_| rng.next_u64() as u8).collect();
+    let noise_blob = compress(&noise);
+    assert!(
+        noise_blob.len() <= noise.len() + COMPRESS_OVERHEAD,
+        "incompressible input grew past the passthrough overhead"
+    );
+    let encode = per_elem(iters, noise.len(), || {
+        std::hint::black_box(compress(&noise));
+    });
+    let decode = per_elem(iters, noise.len(), || {
+        std::hint::black_box(decompress(&noise_blob, noise.len() + 1).expect("lz decode"));
+    });
+    rows.push(Row {
+        stage: "lz/incompressible".into(),
+        bytes_in: noise.len(),
+        bytes_out: noise_blob.len(),
+        encode_ns_per_elem: encode,
+        decode_ns_per_elem: decode,
+    });
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (quant_elems, var_elems, vars, traj_n, state_dim, iters) =
+        if smoke { (1024, 256, 4, 64, 8, 1) } else { (262_144, 16_384, 8, 2048, 16, 20) };
+    println!(
+        "codec bench: {} quant elems, {}x{} weight elems, {} transitions, {} iters{}",
+        quant_elems,
+        vars,
+        var_elems,
+        traj_n,
+        iters,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    bench_quant(quant_elems, iters, &mut rows);
+    bench_delta(var_elems, vars, iters, &mut rows);
+    bench_lz(traj_n, state_dim, iters, &mut rows);
+    for row in &rows {
+        row.print();
+    }
+
+    // Snapshot codec sanity across the stages: encode full f16, decode
+    // through the generic reader, compare against the dequantized image.
+    let snap = snapshot(var_elems, vars, 9, 42);
+    let mut w = ByteWriter::new();
+    put_snapshot_enc(&mut w, &snap, TensorEnc::F16);
+    let bytes = w.into_bytes();
+    let back = get_snapshot(&mut ByteReader::new(&bytes)).expect("snapshot decode");
+    let want = dequantized_snapshot(&snap, TensorEnc::F16);
+    assert_eq!(back.version, want.version);
+    assert_eq!(back.weights, want.weights);
+    println!("cross-stage snapshot round-trip ✓");
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_codec.json");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"iters\": {},\n  \"stages\": [\n{}\n  ]\n}}\n",
+        iters,
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write("BENCH_codec.json", &json).expect("write BENCH_codec.json");
+    println!("wrote BENCH_codec.json");
+}

@@ -89,6 +89,7 @@ fn config(budget: &Budget, recorder: Recorder) -> NetApexConfig {
         launch: LaunchMode::Thread,
         shard_proxy: None,
         transport: Transport::default(),
+        compression: false,
         recorder,
     }
 }

@@ -37,4 +37,4 @@ pub use retry::{RetryPolicy, RetryPolicyBuilder, Sleep, ThreadSleeper, VirtualSl
 pub use rlgraph_core::{RlError, RlResult, Severity};
 pub use shard::{MailboxError, ReplayShard, ShardCore, ShardRequest};
 pub use supervisor::{ActorOutcome, ActorReport, SupervisionReport, Supervisor};
-pub use sync::{WeightHub, WeightsSnapshot};
+pub use sync::{snapshot_bytes, SubscriberTable, WeightHub, WeightsSnapshot};

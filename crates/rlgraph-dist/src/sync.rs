@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An immutable, versioned set of named weights.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WeightsSnapshot {
     /// Monotonically increasing version, starting at 1 for the first
     /// publish (version 0 means "nothing published yet").
@@ -76,12 +76,132 @@ impl WeightHub {
     }
 }
 
+/// Per-subscriber state for delta weight sync: the exact snapshot a
+/// subscriber holds (the dequantized image of what it last acked).
+#[derive(Debug, Clone)]
+pub struct SubscriberState {
+    /// The snapshot the subscriber currently holds.
+    pub held: Arc<WeightsSnapshot>,
+    /// Monotonic touch stamp (coordinator-side), for idle eviction.
+    last_touch: std::time::Instant,
+}
+
+/// Bounded bookkeeping of what each delta-sync subscriber holds
+/// (DESIGN.md §14): the coordinator diffs new snapshots against these.
+///
+/// Memory is bounded two ways. Snapshots are `Arc`-shared — every
+/// subscriber at the current version shares one allocation, counted
+/// once by [`SubscriberTable::approx_bytes`]. And entries idle longer
+/// than the configured window are evicted lazily on the next
+/// [`SubscriberTable::sweep`], after which the subscriber simply gets a
+/// full snapshot again — eviction can cost a resend, never correctness.
+#[derive(Debug)]
+pub struct SubscriberTable {
+    subs: std::collections::HashMap<u64, SubscriberState>,
+    idle_window: std::time::Duration,
+}
+
+impl SubscriberTable {
+    /// Creates a table evicting subscribers idle longer than `idle_window`.
+    pub fn new(idle_window: std::time::Duration) -> Self {
+        SubscriberTable { subs: std::collections::HashMap::new(), idle_window }
+    }
+
+    /// The snapshot `sub` holds, refreshing its idle clock. `None` for
+    /// unknown (or evicted) subscribers — send a full snapshot.
+    pub fn touch(&mut self, sub: u64) -> Option<Arc<WeightsSnapshot>> {
+        let st = self.subs.get_mut(&sub)?;
+        st.last_touch = std::time::Instant::now();
+        Some(st.held.clone())
+    }
+
+    /// Records that `sub` now holds `held` (it was just sent a full
+    /// snapshot or a delta on top of its previous holdings).
+    pub fn record(&mut self, sub: u64, held: Arc<WeightsSnapshot>) {
+        self.subs.insert(sub, SubscriberState { held, last_touch: std::time::Instant::now() });
+    }
+
+    /// Evicts every subscriber idle longer than the window, returning
+    /// how many were dropped.
+    pub fn sweep(&mut self) -> usize {
+        let cutoff = self.idle_window;
+        let before = self.subs.len();
+        self.subs.retain(|_, st| st.last_touch.elapsed() <= cutoff);
+        before - self.subs.len()
+    }
+
+    /// Drops one subscriber (e.g. on disconnect). Returns whether it
+    /// was present.
+    pub fn evict(&mut self, sub: u64) -> bool {
+        self.subs.remove(&sub).is_some()
+    }
+
+    /// Tracked subscriber count.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether no subscribers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Approximate retained bytes: each distinct snapshot allocation is
+    /// counted once (subscribers at the same version share one `Arc`),
+    /// plus a small per-entry overhead. Feeds the
+    /// `net.coord.delta_state_bytes` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let mut seen = Vec::with_capacity(self.subs.len());
+        let mut bytes = 0usize;
+        for st in self.subs.values() {
+            bytes += 64; // map entry + Arc + stamp, roughly
+            let ptr = Arc::as_ptr(&st.held) as usize;
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            bytes += snapshot_bytes(&st.held);
+        }
+        bytes
+    }
+}
+
+/// Approximate heap size of a snapshot's tensor data.
+pub fn snapshot_bytes(snap: &WeightsSnapshot) -> usize {
+    snap.weights
+        .iter()
+        .map(|(name, t)| {
+            let elems: usize = t.shape().iter().product();
+            name.len() + 48 + elems * t.dtype().size_bytes()
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn w(tag: f32) -> Vec<(String, Tensor)> {
         vec![("w".to_string(), Tensor::full(&[2], tag))]
+    }
+
+    #[test]
+    fn subscriber_table_shares_evicts_and_accounts() {
+        let mut t = SubscriberTable::new(std::time::Duration::ZERO);
+        let snap = Arc::new(WeightsSnapshot { version: 1, weights: w(1.0) });
+        t.record(7, snap.clone());
+        t.record(9, snap.clone());
+        assert_eq!(t.len(), 2);
+        // Two subscribers at one version share one snapshot allocation.
+        let shared = t.approx_bytes();
+        assert!(shared < 2 * snapshot_bytes(&snap) + 128, "bytes {}", shared);
+        assert!(t.touch(7).is_some());
+        assert!(t.touch(42).is_none(), "unknown subscriber gets a full snapshot");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(t.sweep(), 2, "zero idle window evicts everything");
+        assert!(t.touch(7).is_none(), "evicted subscriber must full-resync");
+        assert_eq!(t.approx_bytes(), 0);
+        assert!(t.is_empty());
     }
 
     #[test]

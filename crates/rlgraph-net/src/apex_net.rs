@@ -76,6 +76,11 @@ pub struct NetApexConfig {
     /// server stack fronting the shards and the coordinator — clients
     /// are wire-compatible with both, so this flips freely
     pub transport: Transport,
+    /// ship replay and weight traffic under the v2 wire codec
+    /// (f16-quantized tensors, delta weight sync, columnar
+    /// trajectories, LZ frame compression — DESIGN.md §14); servers
+    /// decode transparently and old peers downgrade to plain v1
+    pub compression: bool,
     /// observability recorder (servers, clients, learner)
     pub recorder: Recorder,
 }
@@ -96,6 +101,7 @@ impl Default for NetApexConfig {
             launch: LaunchMode::Process,
             shard_proxy: None,
             transport: Transport::default(),
+            compression: false,
             recorder: Recorder::disabled(),
         }
     }
@@ -203,6 +209,7 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
             shard_addrs: worker_shard_addrs.clone(),
             rpc_deadline_ms: config.rpc_deadline.as_millis() as u64,
             telemetry: recorder.is_enabled(),
+            compression: config.compression,
         };
         workers.push(match config.launch {
             LaunchMode::Process => WorkerHandle::Process(spawn_worker(&spec)?),
@@ -220,6 +227,12 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     for (i, s) in shard_servers.iter().enumerate() {
         let mut c = ShardClient::connect(&format!("shard-{}", i), s.addr(), &recorder)?;
         c.set_deadline(Some(config.rpc_deadline));
+        if config.compression {
+            c.set_codec(crate::codec::CodecProfile::COMPRESSED);
+        } else {
+            // True v1 baseline: no frame-layer LZ either (see proc.rs).
+            c.set_plain_wire();
+        }
         shard_clients.push(c);
     }
     let state_space = config.env.build(0).state_space();
@@ -235,10 +248,35 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     let mut updates = 0u64;
     let mut rr = 0usize;
     let deadline = start + config.run_duration;
+    // Sampling is pipelined: one prefetched request is always in
+    // flight, issued a full learn step ahead of its use, so each shard
+    // selects and encodes the next batch while the learner trains on
+    // the current one — the sample round-trip leaves the critical path.
+    let mut pending: Option<usize> = None;
     while Instant::now() < deadline && config.max_updates.map(|m| updates < m).unwrap_or(true) {
-        let idx = rr % shard_clients.len();
+        let idx = match pending.take() {
+            Some(i) => i,
+            None => {
+                let i = rr % shard_clients.len();
+                rr += 1;
+                match shard_clients[i].sample_prefetch(config.agent.batch_size, config.agent.beta) {
+                    Ok(()) => i,
+                    Err(e) if e.is_retryable() => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        let collected = shard_clients[idx].sample_collect();
+        // Queue the next sample before touching this one: it covers the
+        // learn step below (or the under-filled backoff).
+        let nxt = rr % shard_clients.len();
         rr += 1;
-        let batch = match shard_clients[idx].sample(config.agent.batch_size, config.agent.beta) {
+        match shard_clients[nxt].sample_prefetch(config.agent.batch_size, config.agent.beta) {
+            Ok(()) => pending = Some(nxt),
+            Err(e) if e.is_retryable() => {}
+            Err(e) => return Err(e),
+        }
+        let batch = match collected {
             Ok(Some(b)) => b,
             Ok(None) => {
                 std::thread::sleep(Duration::from_millis(2));

@@ -19,6 +19,74 @@ use rlgraph_memory::Transition;
 use rlgraph_spaces::{Space, SpaceKind};
 use rlgraph_tensor::{DType, Tensor};
 
+pub mod quant;
+pub mod v2;
+
+pub use quant::{
+    bf16_bits_to_f32, f16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits, get_f32_column,
+    i8_scale_for, put_f32_column, TensorEnc,
+};
+pub use v2::{
+    dequantized_snapshot, get_snapshot_delta, get_trajectory_v2, put_snapshot_delta,
+    put_snapshot_enc, put_tensor_enc, put_trajectory_v2, DELTA_CHUNK_ELEMS,
+};
+
+// The byte-level compression stage lives beside the frame codec in
+// `rlgraph-reactor` (one home shared by both RPC stacks, like the wire
+// and frame modules); re-exported here so all three compression stages
+// — quantize, delta, LZ — compose from one import path.
+pub use rlgraph_reactor::compress::{compress, decompress, LzEncoder, COMPRESS_OVERHEAD};
+
+/// Which v2 encodings (DESIGN.md §14) a client asks its peers to apply
+/// on top of the v1 wire forms. The learner always keeps f32 master
+/// weights; encodings only change what crosses the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecProfile {
+    /// Encoding for weight-snapshot tensors.
+    pub weights: TensorEnc,
+    /// Delta weight sync against the last-acked snapshot.
+    pub delta: bool,
+    /// Encoding for state tensors in trajectory inserts and sampled
+    /// batches (actions/rewards/priorities always ship exact).
+    pub states: TensorEnc,
+    /// Columnar (v2) trajectory inserts.
+    pub columnar: bool,
+}
+
+impl CodecProfile {
+    /// Wire-identical to v1: no quantization, no deltas, no columns.
+    pub const PLAIN: CodecProfile = CodecProfile {
+        weights: TensorEnc::F32,
+        delta: false,
+        states: TensorEnc::F32,
+        columnar: false,
+    };
+
+    /// The default compressed profile: f16 weights with delta sync,
+    /// i8+scale state columns, columnar inserts. Weights stay f16
+    /// because quantization error compounds through the optimizer;
+    /// observations tolerate 1/255 resolution (Ape-X ships u8 frames),
+    /// so states take the 4x encoding. Actions, rewards and priorities
+    /// always ship exact.
+    pub const COMPRESSED: CodecProfile = CodecProfile {
+        weights: TensorEnc::F16,
+        delta: true,
+        states: TensorEnc::I8Scale,
+        columnar: true,
+    };
+
+    /// Whether this profile changes nothing relative to v1.
+    pub fn is_plain(self) -> bool {
+        self == Self::PLAIN
+    }
+}
+
+impl Default for CodecProfile {
+    fn default() -> Self {
+        Self::PLAIN
+    }
+}
+
 // ----- dtype -----
 
 fn dtype_tag(d: DType) -> u8 {
@@ -66,14 +134,15 @@ pub fn put_tensor(w: &mut ByteWriter, t: &Tensor) {
     }
 }
 
-/// Reads a tensor written by [`put_tensor`].
+/// Reads a tensor written by [`put_tensor`] or [`put_tensor_enc`];
+/// quantized forms (tags 3–5) dequantize to f32.
 ///
 /// # Errors
 ///
 /// [`RlError::Protocol`] on truncation, an unknown dtype tag, or a
 /// boolean byte that is neither 0 nor 1.
 pub fn get_tensor(r: &mut ByteReader<'_>) -> RlResult<Tensor> {
-    let dtype = dtype_from_tag(r.get_u8()?)?;
+    let tag = r.get_u8()?;
     let rank = r.get_u8()? as usize;
     let mut shape = Vec::with_capacity(rank);
     for _ in 0..rank {
@@ -82,6 +151,12 @@ pub fn get_tensor(r: &mut ByteReader<'_>) -> RlResult<Tensor> {
     let n = shape.iter().try_fold(1usize, |a, &d| a.checked_mul(d)).ok_or_else(|| {
         RlError::Protocol(format!("tensor shape {:?} overflows element count", shape))
     })?;
+    if let Some(enc) = TensorEnc::from_quant_tag(tag) {
+        let vals = get_f32_column(r, n, enc)?;
+        return Tensor::from_vec(vals, &shape)
+            .map_err(|e| RlError::Protocol(format!("tensor rebuild failed: {}", e.message())));
+    }
+    let dtype = dtype_from_tag(tag)?;
     let bytes = r.get_bytes(n.checked_mul(dtype.size_bytes()).ok_or_else(|| {
         RlError::Protocol(format!("tensor payload of {} elements overflows", n))
     })?)?;

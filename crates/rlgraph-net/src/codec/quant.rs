@@ -1,0 +1,307 @@
+//! Quantized wire encodings for f32 tensor data (DESIGN.md §14).
+//!
+//! Three lossy-but-bounded wire forms trade mantissa bits for bytes on
+//! the wire while the learner keeps f32 master weights:
+//!
+//! * **f16** (IEEE 754 binary16) — 2 bytes/element, relative error ≤
+//!   2⁻¹¹ in the normal range, exact for zeros/infinities.
+//! * **bf16** (bfloat16: the top 16 bits of an f32, round-to-nearest-
+//!   even) — 2 bytes/element, f32's full exponent range, relative error
+//!   ≤ 2⁻⁸.
+//! * **int8 with per-tensor scale** — 1 byte/element plus one f32
+//!   scale (`max_abs / 127`); absolute error ≤ `scale / 2`.
+//!
+//! All conversions are from-scratch bit manipulation (no intrinsics, no
+//! dependencies) with round-to-nearest-even, and every encoding is
+//! idempotent: re-encoding a decoded tensor reproduces the same bytes,
+//! so a value that crossed the wire once never drifts further.
+
+use crate::wire::{ByteReader, ByteWriter};
+use rlgraph_core::{RlError, RlResult};
+
+/// Which wire form an f32 payload takes. Non-f32 dtypes always ship
+/// verbatim; [`TensorEnc::F32`] is the identity (v1) encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TensorEnc {
+    /// Full f32 — the v1 wire form, bit-exact.
+    #[default]
+    F32,
+    /// IEEE binary16.
+    F16,
+    /// bfloat16.
+    Bf16,
+    /// int8 with a per-tensor scale.
+    I8Scale,
+}
+
+impl TensorEnc {
+    /// The dtype-tag byte this encoding writes (the extended namespace
+    /// of the v1 dtype tags 0–2).
+    pub fn tag(self) -> u8 {
+        match self {
+            TensorEnc::F32 => 0,
+            TensorEnc::F16 => 3,
+            TensorEnc::Bf16 => 4,
+            TensorEnc::I8Scale => 5,
+        }
+    }
+
+    /// Maps a quantized dtype tag (3/4/5) back to its encoding; `None`
+    /// for the plain v1 tags and anything unknown.
+    pub fn from_quant_tag(tag: u8) -> Option<TensorEnc> {
+        match tag {
+            3 => Some(TensorEnc::F16),
+            4 => Some(TensorEnc::Bf16),
+            5 => Some(TensorEnc::I8Scale),
+            _ => None,
+        }
+    }
+
+    /// Bytes per element on the wire (excluding the i8 scale header).
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            TensorEnc::F32 => 4,
+            TensorEnc::F16 | TensorEnc::Bf16 => 2,
+            TensorEnc::I8Scale => 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- f16
+
+/// Converts an f32 to IEEE binary16 bits, round-to-nearest-even.
+/// Overflow saturates to infinity; NaN stays NaN (quietened).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 255 {
+        // Infinity or NaN: keep the class, force NaN mantissa nonzero.
+        let m = if mant != 0 { 0x0200 | ((mant >> 13) as u16 & 0x03ff) } else { 0 };
+        return sign | 0x7c00 | m;
+    }
+    let e16 = exp - 127 + 15;
+    if e16 >= 31 {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if e16 <= 0 {
+        // Subnormal range (or underflow to zero).
+        if e16 < -10 {
+            return sign;
+        }
+        let m = mant | 0x0080_0000; // implicit leading 1
+        let shift = (14 - e16) as u32; // 14..=24
+        let sub = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let round_up = rem > half || (rem == half && (sub & 1) == 1);
+        // A carry out of the 10-bit subnormal field lands exactly on the
+        // smallest normal — the encoding is contiguous, so just add.
+        return sign | (sub + round_up as u32) as u16;
+    }
+    let m = mant >> 13;
+    let rem = mant & 0x1fff;
+    let mut out = ((e16 as u32) << 10) | m;
+    if rem > 0x1000 || (rem == 0x1000 && (out & 1) == 1) {
+        out += 1; // may carry into the exponent; contiguous, still correct
+    }
+    sign | out as u16
+}
+
+/// Converts IEEE binary16 bits back to f32 (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = (h & 0x03ff) as u32;
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign); // ±0
+        }
+        // Subnormal: mant × 2⁻²⁴, exact in f32.
+        let v = mant as f32 * 5.960_464_5e-8;
+        return if sign != 0 { -v } else { v };
+    }
+    if exp == 0x1f {
+        return f32::from_bits(sign | 0x7f80_0000 | (mant << 13));
+    }
+    f32::from_bits(sign | ((exp as u32 + 112) << 23) | (mant << 13))
+}
+
+// ---------------------------------------------------------------- bf16
+
+/// Converts an f32 to bfloat16 bits, round-to-nearest-even. NaN stays
+/// NaN.
+pub fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Truncation could zero the mantissa and turn NaN into inf.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = ((bits >> 16) & 1) + 0x7fff;
+    ((bits.wrapping_add(round)) >> 16) as u16
+}
+
+/// Converts bfloat16 bits back to f32 (exact).
+pub fn bf16_bits_to_f32(h: u16) -> f32 {
+    f32::from_bits((h as u32) << 16)
+}
+
+// ---------------------------------------------------------------- int8
+
+/// The per-tensor scale for [`TensorEnc::I8Scale`]: `max_abs / 127`,
+/// zero for an all-zero (or empty) tensor.
+pub fn i8_scale_for(vals: &[f32]) -> f32 {
+    let max_abs = vals.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+    max_abs / 127.0
+}
+
+fn quantize_i8(v: f32, inv_scale: f32) -> i8 {
+    // `as` saturates (and maps NaN to 0), so no clamp is needed.
+    (v * inv_scale).round_ties_even() as i8
+}
+
+// ---------------------------------------------------------------- columns
+
+/// Appends `vals` under `enc` with no count prefix (the caller's layout
+/// carries the length). [`TensorEnc::I8Scale`] prefixes its scale.
+pub fn put_f32_column(w: &mut ByteWriter, vals: &[f32], enc: TensorEnc) {
+    match enc {
+        TensorEnc::F32 => {
+            for &v in vals {
+                w.put_f32(v);
+            }
+        }
+        TensorEnc::F16 => {
+            for &v in vals {
+                w.put_u16(f32_to_f16_bits(v));
+            }
+        }
+        TensorEnc::Bf16 => {
+            for &v in vals {
+                w.put_u16(f32_to_bf16_bits(v));
+            }
+        }
+        TensorEnc::I8Scale => {
+            let scale = i8_scale_for(vals);
+            w.put_f32(scale);
+            let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+            for &v in vals {
+                w.put_u8(quantize_i8(v, inv) as u8);
+            }
+        }
+    }
+}
+
+/// Reads `n` f32 values written by [`put_f32_column`] under `enc`.
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on truncation or a non-finite i8 scale.
+pub fn get_f32_column(r: &mut ByteReader<'_>, n: usize, enc: TensorEnc) -> RlResult<Vec<f32>> {
+    let payload_bytes = n.checked_mul(enc.elem_bytes()).ok_or_else(|| {
+        RlError::Protocol(format!("column of {} elements overflows byte count", n))
+    })?;
+    match enc {
+        TensorEnc::F32 => {
+            let bytes = r.get_bytes(payload_bytes)?;
+            Ok(bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect())
+        }
+        TensorEnc::F16 | TensorEnc::Bf16 => {
+            let bytes = r.get_bytes(payload_bytes)?;
+            let decode = if enc == TensorEnc::F16 { f16_bits_to_f32 } else { bf16_bits_to_f32 };
+            Ok(bytes
+                .chunks_exact(2)
+                .map(|c| decode(u16::from_le_bytes(c.try_into().expect("2 bytes"))))
+                .collect())
+        }
+        TensorEnc::I8Scale => {
+            let scale = r.get_f32()?;
+            if !scale.is_finite() || scale < 0.0 {
+                return Err(RlError::Protocol(format!("invalid i8 tensor scale {}", scale)));
+            }
+            let bytes = r.get_bytes(payload_bytes)?;
+            Ok(bytes.iter().map(|&b| (b as i8) as f32 * scale).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrips_exactly_representable_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.5, 0.5, 65504.0, -65504.0, 6.103_515_6e-5] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            assert_eq!(back.to_bits(), v.to_bits(), "{} -> {}", v, back);
+        }
+    }
+
+    #[test]
+    fn f16_handles_specials_and_overflow() {
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        // Over f16's max finite (65504) saturates to inf.
+        assert_eq!(f32_to_f16_bits(70000.0), 0x7c00);
+        // Subnormals roundtrip through the normalization path.
+        let tiny = 3.0e-7f32;
+        let back = f16_bits_to_f32(f32_to_f16_bits(tiny));
+        assert!((back - tiny).abs() <= 5.960_464_5e-8, "{} vs {}", tiny, back);
+        // Deep underflow rounds to zero.
+        assert_eq!(f32_to_f16_bits(1.0e-12), 0);
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1.0 and the next f16; ties
+        // go to the even mantissa (1.0).
+        let halfway = f32::from_bits(0x3f80_1000);
+        assert_eq!(f32_to_f16_bits(halfway), 0x3c00);
+        // Just above the tie rounds up.
+        let above = f32::from_bits(0x3f80_1001);
+        assert_eq!(f32_to_f16_bits(above), 0x3c01);
+    }
+
+    #[test]
+    fn bf16_roundtrip_and_nan() {
+        for v in [0.0f32, -2.5, 1.0e30, -1.0e-30, f32::INFINITY] {
+            let back = bf16_bits_to_f32(f32_to_bf16_bits(v));
+            let rel = if v == 0.0 || !v.is_finite() { 0.0 } else { ((back - v) / v).abs() };
+            assert!(rel <= 1.0 / 256.0, "{} -> {} rel {}", v, back, rel);
+        }
+        assert!(bf16_bits_to_f32(f32_to_bf16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn i8_column_error_bound_and_idempotence() {
+        let vals = vec![0.1f32, -0.9, 0.33, 1.27, -1.27, 0.0];
+        let scale = i8_scale_for(&vals);
+        let mut w = ByteWriter::new();
+        put_f32_column(&mut w, &vals, TensorEnc::I8Scale);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_f32_column(&mut r, vals.len(), TensorEnc::I8Scale).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= scale / 2.0 + f32::EPSILON, "{} vs {}", a, b);
+        }
+        // Re-encoding the decoded column reproduces identical bytes.
+        let mut w2 = ByteWriter::new();
+        put_f32_column(&mut w2, &back, TensorEnc::I8Scale);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_i8_scale_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_f32(f32::NAN);
+        w.put_u8(5);
+        let bytes = w.into_bytes();
+        let err = get_f32_column(&mut ByteReader::new(&bytes), 1, TensorEnc::I8Scale).unwrap_err();
+        assert!(matches!(err, RlError::Protocol(ref m) if m.contains("scale")), "{}", err);
+    }
+}

@@ -88,6 +88,10 @@ pub struct WorkerSpec {
     /// recorder armed for crash dumps (defaults off so old specs parse)
     #[serde(default)]
     pub telemetry: bool,
+    /// ship traffic under the v2 wire codec (DESIGN.md §14) — defaults
+    /// off so old specs parse and behave identically
+    #[serde(default)]
+    pub compression: bool,
 }
 
 /// If this process was launched as a worker child, runs the worker to
@@ -190,6 +194,13 @@ fn run_worker_inner(spec: &WorkerSpec, recorder: &Recorder) -> RlResult<()> {
         "coordinator",
     )?;
     coord.set_deadline(deadline);
+    if spec.compression {
+        coord.set_codec(crate::codec::CodecProfile::COMPRESSED);
+    } else {
+        // Compression off must mean a true v1 baseline, not a silently
+        // LZ-negotiated wire — the A/B in net_bench depends on it.
+        coord.set_plain_wire();
+    }
     let mut shards = Vec::with_capacity(spec.shard_addrs.len());
     for (i, addr) in spec.shard_addrs.iter().enumerate() {
         let mut c = connect_retrying(
@@ -197,6 +208,11 @@ fn run_worker_inner(spec: &WorkerSpec, recorder: &Recorder) -> RlResult<()> {
             "replay shard",
         )?;
         c.set_deadline(deadline);
+        if spec.compression {
+            c.set_codec(crate::codec::CodecProfile::COMPRESSED);
+        } else {
+            c.set_plain_wire();
+        }
         shards.push(c);
     }
 

@@ -42,7 +42,9 @@
 //! [`FrameKind::Request`] frames — byte-identical to untraced builds.
 
 use crate::codec::{get_rl_error, get_trace_context, put_rl_error, put_trace_context};
-use crate::frame::{read_frame_metered, write_frame_metered, FrameKind, FrameMeter};
+use crate::frame::{
+    read_frame_info_metered, write_frame_negotiated_metered, FrameKind, FrameMeter, LOCAL_CAPS,
+};
 use crate::wire::{ByteReader, ByteWriter};
 use rlgraph_core::{RlError, RlResult};
 use rlgraph_dist::retry::{RetryPolicy, Sleep, ThreadSleeper};
@@ -312,12 +314,19 @@ fn connection_loop(
     // Per-method histograms, registered lazily on first use so the
     // registry only holds methods this connection actually served.
     let mut method_us: HashMap<u16, rlgraph_obs::Histogram> = HashMap::new();
+    // Capabilities this client has advertised (latched high across the
+    // connection). A server only speaks flags to clients that advertised
+    // first, so a strict version-1 client never sees a flagged frame.
+    let mut peer_caps: u8 = 0;
     loop {
         // The idle clock re-arms per frame: quiet *between* requests is
         // reapable, a slow sender mid-frame is not.
         let mut reader = StopReader::new(&stream, &stop, idle_timeout);
-        let (kind, payload) = match read_frame_metered(&mut reader, &meter) {
-            Ok(f) => f,
+        let (kind, payload) = match read_frame_info_metered(&mut reader, &meter) {
+            Ok(f) => {
+                peer_caps |= f.peer_caps;
+                (f.kind, f.payload)
+            }
             // EOF, reset, stop, idle reap: the connection is done either
             // way. A protocol violation also closes — the stream is
             // untrusted.
@@ -378,7 +387,16 @@ fn connection_loop(
             }
         }
         let out = resp.into_bytes();
-        if write_frame_metered(&mut &stream, FrameKind::Response, &out, &meter).is_err() {
+        let advertise = if peer_caps != 0 { LOCAL_CAPS } else { 0 };
+        let write = write_frame_negotiated_metered(
+            &mut &stream,
+            FrameKind::Response,
+            &out,
+            advertise,
+            peer_caps,
+            &meter,
+        );
+        if write.is_err() {
             return;
         }
     }
@@ -393,6 +411,18 @@ pub struct RpcClient {
     next_req_id: u64,
     connect_timeout: Duration,
     ever_connected: bool,
+    /// Capability bits stamped into outbound version words. Starts at
+    /// [`LOCAL_CAPS`] (the probe); dropped to zero permanently when an
+    /// old server kills the probing connection (DESIGN.md §14).
+    advertise: u8,
+    /// What the server advertised back on its responses; gates response
+    /// compression of our requests. Reset on reconnect (the new process
+    /// behind the address may be older).
+    peer_caps: u8,
+    /// Whether any response arrived on the current connection while we
+    /// were advertising — separates "old peer rejected our flags" from
+    /// "the network hiccuped later".
+    caps_confirmed: bool,
     recorder: Recorder,
     meter: FrameMeter,
     rpc_us: rlgraph_obs::Histogram,
@@ -400,6 +430,19 @@ pub struct RpcClient {
     method_names: fn(u16) -> &'static str,
     /// Per-method latency histogram + span label, cached by method id.
     method_obs: HashMap<u16, (rlgraph_obs::Histogram, String)>,
+    /// The one request sent by [`RpcClient::call_deferred`] whose
+    /// response has not been read yet (req id + armed expiry).
+    deferred: Option<(u64, Option<Instant>)>,
+    /// The one request sent by [`RpcClient::call_prefetch`] whose
+    /// response [`RpcClient::take_prefetched`] has not collected yet.
+    prefetch: Option<PrefetchState>,
+}
+
+/// A prefetched request: still on the wire, or already resolved into a
+/// stashed result by an intervening call that needed the stream.
+enum PrefetchState {
+    Sent { req_id: u64, expiry: Option<Instant>, method: u16 },
+    Ready(RlResult<Vec<u8>>),
 }
 
 fn unnamed_method(_: u16) -> &'static str {
@@ -422,12 +465,17 @@ impl RpcClient {
             next_req_id: 0,
             connect_timeout: Duration::from_secs(5),
             ever_connected: false,
+            advertise: LOCAL_CAPS,
+            peer_caps: 0,
+            caps_confirmed: false,
             recorder: recorder.clone(),
             meter: FrameMeter::new(recorder),
             rpc_us: recorder.histogram("net.rpc_us"),
             reconnects: recorder.counter("net.reconnects"),
             method_names: unnamed_method,
             method_obs: HashMap::new(),
+            deferred: None,
+            prefetch: None,
         };
         client.ensure_connected()?;
         Ok(client)
@@ -441,6 +489,16 @@ impl RpcClient {
     /// Overrides the TCP connect timeout (default 5s).
     pub fn set_connect_timeout(&mut self, t: Duration) {
         self.connect_timeout = t;
+    }
+
+    /// Opts this client out of capability negotiation permanently:
+    /// every frame ships plain v1, and the server — which only speaks
+    /// flags to clients that advertised first — replies plain too. The
+    /// benchmark's compression-off arm uses this to measure a true v1
+    /// baseline instead of a silently LZ-compressed one.
+    pub fn set_plain_wire(&mut self) {
+        self.advertise = 0;
+        self.peer_caps = 0;
     }
 
     /// Installs the method-id → name table used to label per-method
@@ -513,6 +571,8 @@ impl RpcClient {
         body: &[u8],
         deadline: Option<Duration>,
     ) -> RlResult<Vec<u8>> {
+        self.drain_deferred()?;
+        self.resolve_prefetch();
         let t0 = Instant::now();
         let expiry = deadline.map(|d| t0 + d);
         // Tracing: when the recorder records, derive a child context and
@@ -526,6 +586,18 @@ impl RpcClient {
             (None, None)
         };
         let result = self.call_inner(method, body, expiry, ctx);
+        // Version negotiation fallback (DESIGN.md §14): a strict
+        // version-1 server rejects our capability flags by closing the
+        // connection before dispatching anything, which surfaces here as
+        // a retryable transport error with the probe still unconfirmed.
+        // Downgrade to plain version-1 words permanently; the caller's
+        // retry (the error class is retryable) re-issues plain.
+        if let Err(e) = &result {
+            if self.advertise != 0 && !self.caps_confirmed && probe_rejected(e) {
+                self.advertise = 0;
+                self.peer_caps = 0;
+            }
+        }
         let elapsed = t0.elapsed();
         self.rpc_us.record_duration(elapsed);
         self.method_obs(method).0.record_duration(elapsed);
@@ -535,10 +607,296 @@ impl RpcClient {
             Ok(reply) => reply,
             // Transport, protocol, or deadline failures poison the
             // stream (it may hold a half-read frame): drop it and let
-            // the next call reconnect.
+            // the next call reconnect. The reconnect re-probes: the
+            // process behind the address may have changed versions.
             Err(e) => {
                 self.stream = None;
+                self.peer_caps = 0;
+                self.caps_confirmed = false;
                 Err(self.classify_transport(e, method, deadline.is_some()))
+            }
+        }
+    }
+
+    /// Sends a request and returns without reading the response: the
+    /// ack is drained just before the next request on this client. The
+    /// blocking server answers strictly in order per connection, so by
+    /// the time the caller comes back the response is normally already
+    /// sitting in the socket buffer — the round-trip leaves the
+    /// caller's critical path.
+    ///
+    /// At most one call is in flight; a second deferred call first
+    /// drains the previous ack. Only fire-and-forget methods whose
+    /// reply carries no data belong here: a **typed service error** in
+    /// the drained ack is *dropped* (counted under
+    /// `net.deferred_dropped_errors`), because surfacing it from an
+    /// unrelated later call would corrupt that call's error contract.
+    /// Transport failures at drain time poison the stream and surface
+    /// retryable from the next call, exactly like a synchronous
+    /// failure.
+    ///
+    /// Until capability negotiation resolves (and again after every
+    /// reconnect) this degrades to a synchronous [`RpcClient::call`] —
+    /// the probe must stay a lone request on the wire.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the send (or from
+    /// draining a previous deferred ack).
+    pub fn call_deferred(
+        &mut self,
+        method: u16,
+        body: &[u8],
+        deadline: Option<Duration>,
+    ) -> RlResult<()> {
+        self.drain_deferred()?;
+        self.resolve_prefetch();
+        if self.advertise != 0 && !self.caps_confirmed {
+            return self.call(method, body, deadline).map(|_| ());
+        }
+        let t0 = Instant::now();
+        let expiry = deadline.map(|d| t0 + d);
+        let result = self.send_only(method, body, expiry);
+        let elapsed = t0.elapsed();
+        self.rpc_us.record_duration(elapsed);
+        self.method_obs(method).0.record_duration(elapsed);
+        match result {
+            Ok(req_id) => {
+                self.deferred = Some((req_id, expiry));
+                Ok(())
+            }
+            Err(e) => {
+                self.stream = None;
+                self.peer_caps = 0;
+                self.caps_confirmed = false;
+                Err(self.classify_transport(e, method, deadline.is_some()))
+            }
+        }
+    }
+
+    fn send_only(&mut self, method: u16, body: &[u8], expiry: Option<Instant>) -> RlResult<u64> {
+        self.ensure_connected()?;
+        self.next_req_id += 1;
+        let req_id = self.next_req_id;
+        let mut payload = ByteWriter::with_capacity(14 + body.len());
+        payload.put_u64(req_id);
+        payload.put_u16(method);
+        payload.put_bytes(body);
+        let stream = self.stream.as_ref().expect("connected above");
+        arm_timeouts(stream, expiry)?;
+        write_frame_negotiated_metered(
+            &mut &*stream,
+            FrameKind::Request,
+            &payload.into_bytes(),
+            self.advertise,
+            self.peer_caps,
+            &self.meter,
+        )?;
+        Ok(req_id)
+    }
+
+    /// Reads the ack of an outstanding [`RpcClient::call_deferred`], if
+    /// any. Typed service errors are dropped (see `call_deferred`);
+    /// transport failures poison the stream and return retryable.
+    fn drain_deferred(&mut self) -> RlResult<()> {
+        let Some((req_id, expiry)) = self.deferred.take() else {
+            return Ok(());
+        };
+        let result = (|| -> RlResult<()> {
+            let stream = self
+                .stream
+                .as_ref()
+                .ok_or_else(|| RlError::Protocol("deferred ack on a dead stream".into()))?;
+            arm_timeouts(stream, expiry)?;
+            let frame = read_frame_info_metered(&mut &*stream, &self.meter)?;
+            if self.advertise != 0 {
+                self.peer_caps |= frame.peer_caps;
+                self.caps_confirmed = true;
+            }
+            if frame.kind != FrameKind::Response {
+                return Err(RlError::Protocol(format!(
+                    "{} sent a {:?} frame to a client",
+                    self.peer, frame.kind
+                )));
+            }
+            let mut r = ByteReader::new(&frame.payload);
+            let got_id = r.get_u64()?;
+            if got_id != req_id {
+                return Err(RlError::Protocol(format!(
+                    "{} answered request {} while {} was pending",
+                    self.peer, got_id, req_id
+                )));
+            }
+            match r.get_u8()? {
+                0 => {}
+                1 => {
+                    // Typed service error on a healthy stream: dropped
+                    // by the deferred contract, but never silently.
+                    get_rl_error(&mut r)?;
+                    self.recorder.counter("net.deferred_dropped_errors").inc();
+                }
+                other => {
+                    return Err(RlError::Protocol(format!("unknown response status {}", other)));
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stream = None;
+                self.peer_caps = 0;
+                self.caps_confirmed = false;
+                Err(self.classify_transport(e, 0, expiry.is_some()))
+            }
+        }
+    }
+
+    /// Sends a request whose **response body the caller wants later**:
+    /// the pipelined sibling of [`RpcClient::call_deferred`] for
+    /// methods that return data. The caller collects the result with
+    /// [`RpcClient::take_prefetched`]; in between it is free to do
+    /// local work (or talk to *other* clients) while the server
+    /// processes the request — the blocking server answers in order
+    /// per connection, so by collection time the response is normally
+    /// already in the socket buffer and the round-trip has left the
+    /// caller's critical path.
+    ///
+    /// At most one prefetch is outstanding per client; a second
+    /// prefetch before collection is a caller bug and fails with
+    /// [`RlError::Protocol`]. An intervening [`RpcClient::call`] or
+    /// [`RpcClient::call_deferred`] on this client resolves the
+    /// pending response first (stashing it, typed errors included) so
+    /// request/response pairing is never reordered. Until capability
+    /// negotiation resolves this degrades to a synchronous call whose
+    /// result is stashed — the probe must stay a lone request on the
+    /// wire.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the send or from
+    /// draining a previous deferred ack. Errors of the prefetched call
+    /// itself surface from `take_prefetched`.
+    pub fn call_prefetch(
+        &mut self,
+        method: u16,
+        body: &[u8],
+        deadline: Option<Duration>,
+    ) -> RlResult<()> {
+        self.drain_deferred()?;
+        if self.prefetch.is_some() {
+            return Err(RlError::Protocol(format!(
+                "{}: a prefetched call is already outstanding",
+                self.peer
+            )));
+        }
+        if self.advertise != 0 && !self.caps_confirmed {
+            let result = self.call(method, body, deadline);
+            self.prefetch = Some(PrefetchState::Ready(result));
+            return Ok(());
+        }
+        let expiry = deadline.map(|d| Instant::now() + d);
+        match self.send_only(method, body, expiry) {
+            Ok(req_id) => {
+                self.prefetch = Some(PrefetchState::Sent { req_id, expiry, method });
+                Ok(())
+            }
+            Err(e) => {
+                self.stream = None;
+                self.peer_caps = 0;
+                self.caps_confirmed = false;
+                Err(self.classify_transport(e, method, deadline.is_some()))
+            }
+        }
+    }
+
+    /// Collects the response of the outstanding
+    /// [`RpcClient::call_prefetch`], blocking only for whatever part of
+    /// the round-trip the caller's local work did not already cover.
+    /// The recorded per-method latency is exactly that residual wait.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the synchronous call would have returned: the remote
+    /// service's typed error (stream kept), transport/deadline/protocol
+    /// failures (stream poisoned), or [`RlError::Protocol`] if no
+    /// prefetch is outstanding.
+    pub fn take_prefetched(&mut self) -> RlResult<Vec<u8>> {
+        match self.prefetch.take() {
+            None => {
+                Err(RlError::Protocol(format!("{}: no prefetched call outstanding", self.peer)))
+            }
+            Some(PrefetchState::Ready(result)) => result,
+            Some(PrefetchState::Sent { req_id, expiry, method }) => {
+                let t0 = Instant::now();
+                let result = self.read_response(req_id, expiry, method);
+                let elapsed = t0.elapsed();
+                self.rpc_us.record_duration(elapsed);
+                self.method_obs(method).0.record_duration(elapsed);
+                result
+            }
+        }
+    }
+
+    /// Turns a sent-but-uncollected prefetch into a stashed result so
+    /// another request can use the stream. No-op otherwise.
+    fn resolve_prefetch(&mut self) {
+        match self.prefetch.take() {
+            Some(PrefetchState::Sent { req_id, expiry, method }) => {
+                let result = self.read_response(req_id, expiry, method);
+                self.prefetch = Some(PrefetchState::Ready(result));
+            }
+            other => self.prefetch = other,
+        }
+    }
+
+    /// Reads one response frame for `req_id`. Typed service errors
+    /// return on a healthy stream; transport/protocol/deadline failures
+    /// poison it, exactly like the synchronous path.
+    fn read_response(
+        &mut self,
+        req_id: u64,
+        expiry: Option<Instant>,
+        method: u16,
+    ) -> RlResult<Vec<u8>> {
+        let result = (|| -> RlResult<RlResult<Vec<u8>>> {
+            let stream = self
+                .stream
+                .as_ref()
+                .ok_or_else(|| RlError::Protocol("pending response on a dead stream".into()))?;
+            arm_timeouts(stream, expiry)?;
+            let frame = read_frame_info_metered(&mut &*stream, &self.meter)?;
+            if self.advertise != 0 {
+                self.peer_caps |= frame.peer_caps;
+                self.caps_confirmed = true;
+            }
+            if frame.kind != FrameKind::Response {
+                return Err(RlError::Protocol(format!(
+                    "{} sent a {:?} frame to a client",
+                    self.peer, frame.kind
+                )));
+            }
+            let mut r = ByteReader::new(&frame.payload);
+            let got_id = r.get_u64()?;
+            if got_id != req_id {
+                return Err(RlError::Protocol(format!(
+                    "{} answered request {} while {} was pending",
+                    self.peer, got_id, req_id
+                )));
+            }
+            match r.get_u8()? {
+                0 => Ok(Ok(r.get_bytes(r.remaining()).expect("remaining").to_vec())),
+                1 => Ok(Err(get_rl_error(&mut r)?)),
+                other => Err(RlError::Protocol(format!("unknown response status {}", other))),
+            }
+        })();
+        match result {
+            Ok(reply) => reply,
+            Err(e) => {
+                self.stream = None;
+                self.peer_caps = 0;
+                self.caps_confirmed = false;
+                Err(self.classify_transport(e, method, expiry.is_some()))
             }
         }
     }
@@ -569,9 +927,21 @@ impl RpcClient {
         let payload = payload.into_bytes();
         let stream = self.stream.as_ref().expect("connected above");
         arm_timeouts(stream, expiry)?;
-        write_frame_metered(&mut &*stream, kind, &payload, &self.meter)?;
+        write_frame_negotiated_metered(
+            &mut &*stream,
+            kind,
+            &payload,
+            self.advertise,
+            self.peer_caps,
+            &self.meter,
+        )?;
         arm_timeouts(stream, expiry)?;
-        let (kind, resp) = read_frame_metered(&mut &*stream, &self.meter)?;
+        let frame = read_frame_info_metered(&mut &*stream, &self.meter)?;
+        let (kind, resp) = (frame.kind, frame.payload);
+        if self.advertise != 0 {
+            self.peer_caps |= frame.peer_caps;
+            self.caps_confirmed = true;
+        }
         if kind != FrameKind::Response {
             return Err(RlError::Protocol(format!(
                 "{} sent a {:?} frame to a client",
@@ -631,6 +1001,26 @@ impl RpcClient {
         sleeper: &dyn Sleep,
     ) -> RlResult<Vec<u8>> {
         policy.run(sleeper, |_| self.call(method, body, deadline))
+    }
+}
+
+/// Whether a failed call looks like a version-1 peer rejecting our
+/// capability flags: such a peer closes the connection (or answers
+/// garbage) without dispatching. Deadline expiry and refused
+/// connections are *not* probe rejections — the server never saw the
+/// flags at all.
+fn probe_rejected(e: &RlError) -> bool {
+    use std::io::ErrorKind;
+    match e {
+        RlError::Protocol(_) => true,
+        RlError::Io { kind, .. } => matches!(
+            kind,
+            ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::BrokenPipe
+                | ErrorKind::UnexpectedEof
+        ),
+        _ => false,
     }
 }
 

@@ -10,8 +10,10 @@
 //! replies double as the shutdown signal.
 
 use crate::codec::{
-    get_checkpoint, get_metrics_snapshot, get_snapshot, get_tensor, get_trace_dump, get_trajectory,
-    put_checkpoint, put_metrics_snapshot, put_snapshot, put_tensor, put_trace_dump, put_trajectory,
+    dequantized_snapshot, get_checkpoint, get_metrics_snapshot, get_snapshot, get_snapshot_delta,
+    get_tensor, get_trace_dump, get_trajectory, get_trajectory_v2, put_checkpoint,
+    put_metrics_snapshot, put_snapshot, put_snapshot_delta, put_snapshot_enc, put_tensor,
+    put_tensor_enc, put_trace_dump, put_trajectory, put_trajectory_v2, CodecProfile, TensorEnc,
 };
 use crate::rpc::{RpcClient, RpcService};
 use crate::wire::{ByteReader, ByteWriter};
@@ -37,6 +39,10 @@ pub mod shard_method {
     pub const UPDATE_PRIORITIES: u16 = 3;
     /// `Watermark` → `u64`
     pub const WATERMARK: u16 = 4;
+    /// `InsertColumnar { columnar trajectory }` → `()` — the v2 form of
+    /// [`INSERT`]; old servers answer with a typed `Protocol` error and
+    /// the client falls back to v1.
+    pub const INSERT_COLUMNAR: u16 = 5;
 }
 
 /// Method ids of the learner coordinator service.
@@ -61,6 +67,7 @@ pub fn shard_method_name(method: u16) -> &'static str {
         shard_method::SAMPLE => "sample",
         shard_method::UPDATE_PRIORITIES => "update_priorities",
         shard_method::WATERMARK => "watermark",
+        shard_method::INSERT_COLUMNAR => "insert_columnar",
         _ => "other",
     }
 }
@@ -108,15 +115,29 @@ impl RpcService for ShardService {
                 r.expect_end()?;
                 self.core.lock().insert(transitions, priorities);
             }
+            shard_method::INSERT_COLUMNAR => {
+                let (transitions, priorities) = get_trajectory_v2(&mut r)?;
+                r.expect_end()?;
+                self.core.lock().insert(transitions, priorities);
+            }
             shard_method::SAMPLE => {
                 let batch = r.get_u32()? as usize;
                 let beta = r.get_f32()?;
-                r.expect_end()?;
+                // v2 requests append the state encoding for the reply;
+                // v1 requests end here and get exact tensors back.
+                let enc = if r.remaining() > 0 {
+                    let enc = state_enc_from_tag(r.get_u8()?)?;
+                    r.expect_end()?;
+                    enc
+                } else {
+                    r.expect_end()?;
+                    TensorEnc::F32
+                };
                 match self.core.lock().sample(batch, beta) {
                     None => out.put_u8(0),
                     Some(b) => {
                         out.put_u8(1);
-                        put_shard_batch(&mut out, &b);
+                        put_shard_batch(&mut out, &b, enc);
                     }
                 }
             }
@@ -142,9 +163,23 @@ impl RpcService for ShardService {
     }
 }
 
-fn put_shard_batch(w: &mut ByteWriter, b: &ShardBatch) {
-    for t in &b.tensors {
-        put_tensor(w, t);
+fn state_enc_from_tag(tag: u8) -> RlResult<TensorEnc> {
+    if tag == 0 {
+        return Ok(TensorEnc::F32);
+    }
+    TensorEnc::from_quant_tag(tag)
+        .ok_or_else(|| RlError::Protocol(format!("unknown dtype tag {}", tag)))
+}
+
+fn put_shard_batch(w: &mut ByteWriter, b: &ShardBatch, enc: TensorEnc) {
+    // Only the state tensors (s at 0, s2 at 3) are quantized; actions,
+    // rewards, terminals, and importance weights ship exact.
+    for (i, t) in b.tensors.iter().enumerate() {
+        if i == 0 || i == 3 {
+            put_tensor_enc(w, t, enc);
+        } else {
+            put_tensor(w, t);
+        }
     }
     put_tensor(w, &b.weights);
     w.put_u32(b.indices.len() as u32);
@@ -164,10 +199,39 @@ fn get_shard_batch(r: &mut ByteReader<'_>) -> RlResult<ShardBatch> {
     Ok(ShardBatch { tensors, weights, indices })
 }
 
+fn sample_request(batch: usize, beta: f32, quantized: bool, enc: TensorEnc) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(batch as u32);
+    w.put_f32(beta);
+    if quantized {
+        w.put_u8(enc.tag());
+    }
+    w.into_bytes()
+}
+
+fn decode_sample(resp: &[u8]) -> RlResult<Option<ShardBatch>> {
+    let mut r = ByteReader::new(resp);
+    let out = match r.get_u8()? {
+        0 => None,
+        1 => Some(get_shard_batch(&mut r)?),
+        other => return Err(RlError::Protocol(format!("bad sample flag {}", other))),
+    };
+    r.expect_end()?;
+    Ok(out)
+}
+
 /// Typed client of one remote replay shard.
 pub struct ShardClient {
     rpc: RpcClient,
     deadline: Option<Duration>,
+    codec: CodecProfile,
+    /// Cleared permanently after the server rejects a v2 form (an old
+    /// peer); all later calls use the v1 wire forms.
+    v2_ok: bool,
+    /// Arguments of the outstanding [`ShardClient::sample_prefetch`]
+    /// (batch, beta, request-was-quantized), kept for the old-peer
+    /// downgrade retry at collection time.
+    prefetch_args: Option<(usize, f32, bool)>,
 }
 
 impl ShardClient {
@@ -179,12 +243,30 @@ impl ShardClient {
     pub fn connect(name: &str, addr: SocketAddr, recorder: &Recorder) -> RlResult<Self> {
         let mut rpc = RpcClient::connect(name, addr, recorder)?;
         rpc.set_method_names(shard_method_name);
-        Ok(ShardClient { rpc, deadline: None })
+        Ok(ShardClient {
+            rpc,
+            deadline: None,
+            codec: CodecProfile::PLAIN,
+            v2_ok: true,
+            prefetch_args: None,
+        })
     }
 
     /// Applies a per-call deadline to every subsequent request.
     pub fn set_deadline(&mut self, d: Option<Duration>) {
         self.deadline = d;
+    }
+
+    /// Selects the wire encodings for inserts and sample replies.
+    pub fn set_codec(&mut self, codec: CodecProfile) {
+        self.codec = codec;
+        self.v2_ok = true;
+    }
+
+    /// Forces plain v1 frames (no capability negotiation, no LZ) — see
+    /// [`RpcClient::set_plain_wire`].
+    pub fn set_plain_wire(&mut self) {
+        self.rpc.set_plain_wire();
     }
 
     /// Ships transitions with worker-side priorities.
@@ -193,6 +275,17 @@ impl ShardClient {
     ///
     /// Transport/deadline/protocol errors from the RPC layer.
     pub fn insert(&mut self, transitions: &[Transition], priorities: &[f32]) -> RlResult<()> {
+        if self.codec.columnar && self.v2_ok {
+            let mut w = ByteWriter::new();
+            // A heterogeneous batch refuses before writing; ship it v1.
+            if put_trajectory_v2(&mut w, transitions, priorities, self.codec.states).is_ok() {
+                match self.rpc.call(shard_method::INSERT_COLUMNAR, &w.into_bytes(), self.deadline) {
+                    Ok(_) => return Ok(()),
+                    Err(RlError::Protocol(_)) => self.v2_ok = false, // old peer
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         let mut w = ByteWriter::new();
         put_trajectory(&mut w, transitions, priorities);
         self.rpc.call(shard_method::INSERT, &w.into_bytes(), self.deadline)?;
@@ -205,21 +298,66 @@ impl ShardClient {
     ///
     /// Transport/deadline/protocol errors from the RPC layer.
     pub fn sample(&mut self, batch: usize, beta: f32) -> RlResult<Option<ShardBatch>> {
-        let mut w = ByteWriter::new();
-        w.put_u32(batch as u32);
-        w.put_f32(beta);
-        let resp = self.rpc.call(shard_method::SAMPLE, &w.into_bytes(), self.deadline)?;
-        let mut r = ByteReader::new(&resp);
-        let out = match r.get_u8()? {
-            0 => None,
-            1 => Some(get_shard_batch(&mut r)?),
-            other => return Err(RlError::Protocol(format!("bad sample flag {}", other))),
+        let quantized = self.codec.states != TensorEnc::F32 && self.v2_ok;
+        let req = sample_request(batch, beta, quantized, self.codec.states);
+        let resp = match self.rpc.call(shard_method::SAMPLE, &req, self.deadline) {
+            Err(RlError::Protocol(_)) if quantized => {
+                // Old peer choked on the extra request byte: downgrade.
+                self.v2_ok = false;
+                let req = sample_request(batch, beta, false, self.codec.states);
+                self.rpc.call(shard_method::SAMPLE, &req, self.deadline)?
+            }
+            other => other?,
         };
-        r.expect_end()?;
-        Ok(out)
+        decode_sample(&resp)
     }
 
-    /// Applies the learner's post-step priority updates.
+    /// Requests a batch without waiting for it: the pipelined form of
+    /// [`ShardClient::sample`]. The shard selects, gathers, and encodes
+    /// the batch while the caller does local work (typically the learn
+    /// step on the *previous* batch); [`ShardClient::sample_collect`]
+    /// then blocks only for whatever the overlap did not cover.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn sample_prefetch(&mut self, batch: usize, beta: f32) -> RlResult<()> {
+        let quantized = self.codec.states != TensorEnc::F32 && self.v2_ok;
+        let req = sample_request(batch, beta, quantized, self.codec.states);
+        self.prefetch_args = Some((batch, beta, quantized));
+        self.rpc.call_prefetch(shard_method::SAMPLE, &req, self.deadline)
+    }
+
+    /// Collects the batch of the outstanding
+    /// [`ShardClient::sample_prefetch`]; `None` while the shard is
+    /// under-filled. An old peer rejecting the quantized request is
+    /// downgraded here exactly like in the synchronous path (resampled
+    /// plain, once).
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer, or
+    /// [`RlError::Protocol`] when no prefetch is outstanding.
+    pub fn sample_collect(&mut self) -> RlResult<Option<ShardBatch>> {
+        let (batch, beta, quantized) = self
+            .prefetch_args
+            .take()
+            .ok_or_else(|| RlError::Protocol("no prefetched sample outstanding".into()))?;
+        let resp = match self.rpc.take_prefetched() {
+            Err(RlError::Protocol(_)) if quantized => {
+                self.v2_ok = false;
+                return self.sample(batch, beta);
+            }
+            other => other?,
+        };
+        decode_sample(&resp)
+    }
+
+    /// Applies the learner's post-step priority updates. Pipelined: the
+    /// request is sent immediately and its ack drained just before the
+    /// next call on this client, keeping the round-trip off the
+    /// learner's critical path. Priorities are advisory, so a typed
+    /// error in the dropped ack costs one stale priority, nothing more.
     ///
     /// # Errors
     ///
@@ -231,8 +369,7 @@ impl ShardClient {
             w.put_u64(i as u64);
         }
         w.put_f32_slice(priorities);
-        self.rpc.call(shard_method::UPDATE_PRIORITIES, &w.into_bytes(), self.deadline)?;
-        Ok(())
+        self.rpc.call_deferred(shard_method::UPDATE_PRIORITIES, &w.into_bytes(), self.deadline)
     }
 
     /// The shard's high-water mark (total records ever inserted).
@@ -306,7 +443,20 @@ pub struct CoordService {
     recorder: Recorder,
     cluster: Arc<ClusterRegistry>,
     traces: Mutex<Vec<(String, TraceDump)>>,
+    /// What each delta subscriber holds (bounded by idle eviction).
+    subs: Mutex<rlgraph_dist::SubscriberTable>,
+    /// Dequantized images of the current version, one per encoding —
+    /// computed once per publish, `Arc`-shared into the subscriber
+    /// table. Keyed `(version, enc tag)`; stale versions are dropped.
+    deq_cache: Mutex<DeqCache>,
 }
+
+/// Cache entries of dequantized snapshot images, keyed `(version, enc)`.
+type DeqCache = Vec<((u64, u8), Arc<WeightsSnapshot>)>;
+
+/// Default idle window after which a delta subscriber's state is
+/// evicted (it then gets one full snapshot and is re-tracked).
+pub const DELTA_IDLE_WINDOW: Duration = Duration::from_secs(60);
 
 impl CoordService {
     /// Creates a coordinator bridging the given hub and stop flag.
@@ -319,7 +469,34 @@ impl CoordService {
             recorder: Recorder::disabled(),
             cluster: Arc::new(ClusterRegistry::new(256)),
             traces: Mutex::new(Vec::new()),
+            subs: Mutex::new(rlgraph_dist::SubscriberTable::new(DELTA_IDLE_WINDOW)),
+            deq_cache: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Overrides the delta-state idle window (tests use tiny windows to
+    /// force eviction).
+    #[must_use]
+    pub fn with_delta_idle_window(self, window: Duration) -> Self {
+        *self.subs.lock() = rlgraph_dist::SubscriberTable::new(window);
+        self
+    }
+
+    /// The dequantized image of `snap` under `enc` — what a subscriber
+    /// holds after decoding it. Cached per `(version, enc)`.
+    fn deq_image(&self, snap: &Arc<WeightsSnapshot>, enc: TensorEnc) -> Arc<WeightsSnapshot> {
+        if enc == TensorEnc::F32 {
+            return snap.clone();
+        }
+        let key = (snap.version, enc.tag());
+        let mut cache = self.deq_cache.lock();
+        if let Some((_, deq)) = cache.iter().find(|(k, _)| *k == key) {
+            return deq.clone();
+        }
+        let deq = Arc::new(dequantized_snapshot(snap, enc));
+        cache.retain(|((v, _), _)| *v == snap.version);
+        cache.push((key, deq.clone()));
+        deq
     }
 
     /// Enables the telemetry plane: heartbeat replies carry the
@@ -364,12 +541,62 @@ impl RpcService for CoordService {
         match method {
             coord_method::GET_WEIGHTS => {
                 let seen = r.get_u64()?;
-                r.expect_end()?;
-                match self.hub.poll(seen) {
-                    None => out.put_u8(0),
-                    Some(snap) => {
-                        out.put_u8(1);
-                        put_snapshot(&mut out, &snap);
+                if r.remaining() == 0 {
+                    // v1 peer: exact snapshot, no tracking.
+                    match self.hub.poll(seen) {
+                        None => out.put_u8(0),
+                        Some(snap) => {
+                            out.put_u8(1);
+                            put_snapshot(&mut out, &snap);
+                        }
+                    }
+                } else {
+                    // v2 peer: [seen][sub_id u64][enc u8][flags u8].
+                    let sub_id = r.get_u64()?;
+                    let enc = state_enc_from_tag(r.get_u8()?)?;
+                    let want_delta = r.get_u8()? & 1 != 0;
+                    r.expect_end()?;
+                    match self.hub.poll(seen) {
+                        None => {
+                            out.put_u8(0);
+                            if want_delta {
+                                self.subs.lock().touch(sub_id);
+                            }
+                        }
+                        Some(snap) => {
+                            let mut subs = self.subs.lock();
+                            subs.sweep();
+                            // Delta only against exactly what the peer
+                            // says it holds; anything else (first
+                            // contact, version gap, eviction) gets a
+                            // full snapshot and is re-tracked.
+                            let held = if want_delta { subs.touch(sub_id) } else { None };
+                            let held = held.filter(|h| {
+                                h.version == seen
+                                    && h.weights.len() == snap.weights.len()
+                                    && h.weights
+                                        .iter()
+                                        .zip(&snap.weights)
+                                        .all(|((a, _), (b, _))| a == b)
+                            });
+                            match held {
+                                Some(held) => {
+                                    out.put_u8(3);
+                                    put_snapshot_delta(&mut out, &held, &snap, enc)
+                                        .expect("structure prechecked");
+                                }
+                                None => {
+                                    out.put_u8(1);
+                                    put_snapshot_enc(&mut out, &snap, enc);
+                                }
+                            }
+                            if want_delta {
+                                subs.record(sub_id, self.deq_image(&snap, enc));
+                                self.recorder
+                                    .gauge("net.coord.delta_state_bytes")
+                                    .set(subs.approx_bytes() as f64);
+                            }
+                        }
                     }
                 }
             }
@@ -435,6 +662,14 @@ impl RpcService for CoordService {
 pub struct CoordClient {
     rpc: RpcClient,
     deadline: Option<Duration>,
+    codec: CodecProfile,
+    /// Unique subscriber id for delta sync (process id + local counter).
+    sub_id: u64,
+    /// The snapshot this client currently holds, the base deltas apply
+    /// to. Only kept while the profile asks for deltas.
+    held: Option<WeightsSnapshot>,
+    /// Cleared permanently after the server rejects a v2 request.
+    v2_ok: bool,
 }
 
 impl CoordClient {
@@ -444,9 +679,18 @@ impl CoordClient {
     ///
     /// `RlError::Io` when the connection fails.
     pub fn connect(addr: SocketAddr, recorder: &Recorder) -> RlResult<Self> {
+        static NEXT_SUB: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         let mut rpc = RpcClient::connect("coordinator", addr, recorder)?;
         rpc.set_method_names(coord_method_name);
-        Ok(CoordClient { rpc, deadline: None })
+        let sub_id = ((std::process::id() as u64) << 32) | NEXT_SUB.fetch_add(1, Ordering::Relaxed);
+        Ok(CoordClient {
+            rpc,
+            deadline: None,
+            codec: CodecProfile::PLAIN,
+            sub_id,
+            held: None,
+            v2_ok: true,
+        })
     }
 
     /// Applies a per-call deadline to every subsequent request.
@@ -454,12 +698,91 @@ impl CoordClient {
         self.deadline = d;
     }
 
+    /// Selects the wire encodings for weight sync.
+    pub fn set_codec(&mut self, codec: CodecProfile) {
+        self.codec = codec;
+        self.v2_ok = true;
+        self.held = None;
+    }
+
+    /// Forces plain v1 frames (no capability negotiation, no LZ) — see
+    /// [`RpcClient::set_plain_wire`].
+    pub fn set_plain_wire(&mut self) {
+        self.rpc.set_plain_wire();
+    }
+
     /// Fetches a weight snapshot newer than `seen`, if one exists.
+    /// With a compressed [`CodecProfile`] the reply may be quantized
+    /// and/or a delta against the last fetch; this decodes either form
+    /// transparently and self-heals version gaps by re-requesting a
+    /// full snapshot.
     ///
     /// # Errors
     ///
     /// Transport/deadline/protocol errors from the RPC layer.
     pub fn get_weights(&mut self, seen: u64) -> RlResult<Option<WeightsSnapshot>> {
+        if self.codec.is_plain() || !self.v2_ok {
+            return self.get_weights_v1(seen);
+        }
+        // At most one self-healing retry: a failed delta apply clears
+        // the held base, and the server (which just recorded us at the
+        // new version ≠ `seen`) answers the retry with a full snapshot.
+        for _ in 0..2 {
+            let mut w = ByteWriter::new();
+            w.put_u64(seen);
+            w.put_u64(self.sub_id);
+            w.put_u8(self.codec.weights.tag());
+            w.put_u8(u8::from(self.codec.delta));
+            let resp =
+                match self.rpc.call(coord_method::GET_WEIGHTS, &w.into_bytes(), self.deadline) {
+                    Ok(resp) => resp,
+                    Err(RlError::Protocol(_)) => {
+                        // Old coordinator: downgrade permanently.
+                        self.v2_ok = false;
+                        return self.get_weights_v1(seen);
+                    }
+                    Err(e) => return Err(e),
+                };
+            let mut r = ByteReader::new(&resp);
+            match r.get_u8()? {
+                0 => {
+                    r.expect_end()?;
+                    return Ok(None);
+                }
+                1 => {
+                    let snap = get_snapshot(&mut r)?;
+                    r.expect_end()?;
+                    if self.codec.delta {
+                        self.held = Some(snap.clone());
+                    }
+                    return Ok(Some(snap));
+                }
+                3 => {
+                    let Some(held) = self.held.as_ref() else {
+                        continue; // lost our base (restart?): re-request
+                    };
+                    match get_snapshot_delta(&mut r, held) {
+                        Ok(snap) => {
+                            r.expect_end()?;
+                            self.held = Some(snap.clone());
+                            return Ok(Some(snap));
+                        }
+                        Err(RlError::Protocol(_)) => {
+                            self.held = None;
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                other => {
+                    return Err(RlError::Protocol(format!("bad weights flag {}", other)));
+                }
+            }
+        }
+        Err(RlError::Protocol("delta weight sync failed to converge".into()))
+    }
+
+    fn get_weights_v1(&mut self, seen: u64) -> RlResult<Option<WeightsSnapshot>> {
         let mut w = ByteWriter::new();
         w.put_u64(seen);
         let resp = self.rpc.call(coord_method::GET_WEIGHTS, &w.into_bytes(), self.deadline)?;

@@ -221,3 +221,153 @@ proptest! {
         }
     }
 }
+
+// ----- wire compression (DESIGN.md §14) -----
+
+use rlgraph_core::RlError;
+use rlgraph_net::codec::{
+    compress, decompress, get_f32_column, i8_scale_for, put_f32_column, TensorEnc,
+    COMPRESS_OVERHEAD,
+};
+
+fn arb_enc() -> impl Strategy<Value = TensorEnc> {
+    prop_oneof![
+        Just(TensorEnc::F32),
+        Just(TensorEnc::F16),
+        Just(TensorEnc::Bf16),
+        Just(TensorEnc::I8Scale),
+    ]
+}
+
+/// Arbitrary bytes (the stub strategy set has no `any::<u8>()`).
+fn arb_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0usize..256, 0..max)
+        .prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+/// Arbitrary weight-ish f32 values in ±10⁴.
+fn arb_vals(max: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(any::<u64>(), 0..max).prop_map(|v| {
+        v.into_iter().map(|u| ((u >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 2.0e4).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LZ round-trips arbitrary bytes exactly.
+    #[test]
+    fn lz_roundtrip_arbitrary_bytes(data in arb_bytes(4096)) {
+        let blob = compress(&data);
+        prop_assert_eq!(decompress(&blob, data.len()).unwrap(), data);
+    }
+
+    /// LZ round-trips repetitive data (where the match path actually
+    /// fires) and compresses it.
+    #[test]
+    fn lz_roundtrip_repetitive_bytes(
+        data in prop::collection::vec(0usize..4, 512..4096),
+    ) {
+        let data: Vec<u8> = data.into_iter().map(|b| b as u8).collect();
+        let blob = compress(&data);
+        prop_assert_eq!(decompress(&blob, data.len()).unwrap(), data.clone());
+        prop_assert!(blob.len() < data.len(), "4-symbol data must compress");
+    }
+
+    /// The decompressor never panics on arbitrary garbage: every
+    /// outcome is Ok or a typed protocol error.
+    #[test]
+    fn lz_decompress_never_panics_on_garbage(
+        blob in arb_bytes(2048),
+        max_len in 0usize..8192,
+    ) {
+        match decompress(&blob, max_len) {
+            Ok(out) => prop_assert!(out.len() <= max_len),
+            Err(e) => prop_assert!(matches!(e, RlError::Protocol(_)), "untyped error {}", e),
+        }
+    }
+
+    /// Nor on a *mostly* valid blob with one byte flipped (integrity is
+    /// the frame CRC's job; the decompressor just must stay memory-safe
+    /// and typed).
+    #[test]
+    fn lz_decompress_never_panics_on_corruption(
+        data in prop::collection::vec(0usize..8, 64..1024),
+        flip in any::<usize>(),
+        bit in 0usize..8,
+    ) {
+        let data: Vec<u8> = data.into_iter().map(|b| b as u8).collect();
+        let mut blob = compress(&data);
+        let at = flip % blob.len();
+        blob[at] ^= 1 << bit;
+        match decompress(&blob, data.len()) {
+            Ok(out) => prop_assert!(out.len() <= data.len()),
+            Err(e) => prop_assert!(matches!(e, RlError::Protocol(_)), "untyped error {}", e),
+        }
+    }
+
+    /// Incompressible input grows by at most the fixed passthrough
+    /// overhead, never more.
+    #[test]
+    fn lz_incompressible_growth_is_bounded(data in arb_bytes(4096)) {
+        prop_assert!(compress(&data).len() <= data.len() + COMPRESS_OVERHEAD);
+    }
+
+    /// Quantization error bounds hold for every encoding: f16/bf16
+    /// within the format's epsilon, i8 within half the per-tensor
+    /// scale, f32 exact.
+    #[test]
+    fn quantization_error_is_bounded(vals in arb_vals(256), enc in arb_enc()) {
+        let mut w = ByteWriter::new();
+        put_f32_column(&mut w, &vals, enc);
+        let bytes = w.into_bytes();
+        let back = get_f32_column(&mut ByteReader::new(&bytes), vals.len(), enc).unwrap();
+        prop_assert_eq!(back.len(), vals.len());
+        for (&a, &b) in vals.iter().zip(&back) {
+            let bound = match enc {
+                TensorEnc::F32 => 0.0,
+                // Half-ulp is 2⁻¹¹ relative; one ulp (2⁻¹⁰) plus the
+                // subnormal quantum is a safe outer bound.
+                TensorEnc::F16 => a.abs() / 1024.0 + 6.0e-8,
+                TensorEnc::Bf16 => a.abs() / 128.0 + f32::MIN_POSITIVE,
+                TensorEnc::I8Scale => i8_scale_for(&vals) / 2.0 + f32::EPSILON,
+            };
+            prop_assert!(
+                (a - b).abs() <= bound,
+                "{:?}: {} -> {} error {} exceeds {}", enc, a, b, (a - b).abs(), bound
+            );
+        }
+    }
+
+    /// Every encoding is idempotent: re-encoding a decoded column
+    /// reproduces the same bytes, so values never drift past the first
+    /// trip across the wire.
+    #[test]
+    fn quantization_is_idempotent(vals in arb_vals(256), enc in arb_enc()) {
+        let mut w = ByteWriter::new();
+        put_f32_column(&mut w, &vals, enc);
+        let bytes = w.into_bytes();
+        let back = get_f32_column(&mut ByteReader::new(&bytes), vals.len(), enc).unwrap();
+        let mut w2 = ByteWriter::new();
+        put_f32_column(&mut w2, &back, enc);
+        let bytes2 = w2.into_bytes();
+        prop_assert_eq!(bytes2, bytes);
+    }
+
+    /// Quantized-column decoding never panics on arbitrary bytes — a
+    /// malicious peer gets a typed error, not a crash.
+    #[test]
+    fn quantized_decode_never_panics_on_garbage(
+        bytes in arb_bytes(512),
+        n in 0usize..512,
+        enc in arb_enc(),
+    ) {
+        match get_f32_column(&mut ByteReader::new(&bytes), n, enc) {
+            Ok(out) => prop_assert_eq!(out.len(), n),
+            Err(e) => prop_assert!(
+                matches!(e, RlError::Protocol(_) | RlError::Io { .. }),
+                "untyped error {}", e
+            ),
+        }
+    }
+}

@@ -129,6 +129,7 @@ fn apex_over_tcp_trains_end_to_end() {
         launch: LaunchMode::Thread,
         shard_proxy: None,
         transport: Transport::default(),
+        compression: false,
         recorder: Recorder::disabled(),
     };
     let stats = run_apex_net(config).unwrap();
@@ -141,8 +142,9 @@ fn apex_over_tcp_trains_end_to_end() {
 }
 
 /// The same end-to-end run with every shard and the coordinator fronted
-/// by the epoll reactor ([`Transport::Reactor`]): unchanged workers and
-/// learner clients, identical training outcome.
+/// by the epoll reactor ([`Transport::Reactor`]) and the v2 compressed
+/// codec on (DESIGN.md §14): unchanged workers and learner clients,
+/// identical training outcome.
 #[test]
 fn apex_over_reactor_transport_trains_end_to_end() {
     let config = NetApexConfig {
@@ -159,6 +161,7 @@ fn apex_over_reactor_transport_trains_end_to_end() {
         launch: LaunchMode::Thread,
         shard_proxy: None,
         transport: Transport::Reactor,
+        compression: true,
         recorder: Recorder::disabled(),
     };
     let stats = run_apex_net(config).unwrap();
@@ -190,6 +193,7 @@ fn telemetry_plane_folds_workers_and_merges_traces() {
         launch: LaunchMode::Thread,
         shard_proxy: None,
         transport: Transport::default(),
+        compression: false,
         recorder: Recorder::wall(),
     };
     let stats = run_apex_net(config).unwrap();
@@ -304,5 +308,99 @@ fn delaying_proxy_slows_calls_without_corrupting_them() {
     assert!(t0.elapsed() >= Duration::from_millis(40), "delay was not applied");
     assert!(proxy.delays() >= 1);
     proxy.shutdown();
+    server.shutdown();
+}
+
+/// Idle eviction of coordinator delta state forces a clean
+/// full-snapshot resync: the subscriber keeps getting correct weights,
+/// the coordinator's memory stays bounded, and the post-eviction
+/// response is a full snapshot (visibly larger on the wire than the
+/// delta it replaces).
+#[test]
+fn idle_eviction_forces_full_snapshot_resync() {
+    use rlgraph_net::codec::{dequantized_snapshot, CodecProfile, TensorEnc};
+
+    let recorder = Recorder::wall();
+    let hub = Arc::new(WeightHub::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let service = Arc::new(
+        CoordService::new(hub.clone(), stop.clone())
+            .with_delta_idle_window(Duration::from_millis(40))
+            .with_recorder(&recorder),
+    );
+    let server = RpcServer::spawn("coord", service, recorder.clone()).unwrap();
+    let mut client = CoordClient::connect(server.addr(), &recorder).unwrap();
+    client.set_codec(CodecProfile::COMPRESSED);
+
+    // Varied weights so LZ cannot collapse a full snapshot to delta
+    // size (the wire-size comparison below depends on it).
+    let mut seed = 9u64;
+    let mut vals: Vec<f32> = (0..256)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        })
+        .collect();
+    let weights =
+        |vals: &[f32]| vec![("w".to_string(), Tensor::from_vec(vals.to_vec(), &[256]).unwrap())];
+
+    let rx = recorder.counter("net.bytes_rx");
+
+    // First contact: full snapshot, subscriber tracked.
+    hub.publish(weights(&vals));
+    let snap1 = client.get_weights(0).unwrap().expect("published");
+    assert_eq!(snap1.version, 1);
+    let tracked = recorder.gauge("net.coord.delta_state_bytes").value();
+    assert!(tracked > 0.0, "subscriber state not tracked: {} bytes", tracked);
+
+    // Small move while tracked: the delta path serves it.
+    vals[3] += 1.0;
+    hub.publish(weights(&vals));
+    let before = rx.value();
+    let snap2 = client.get_weights(snap1.version).unwrap().expect("moved");
+    let delta_wire = rx.value() - before;
+    assert_eq!(snap2.version, 2);
+    let want = dequantized_snapshot(
+        &rlgraph_dist::WeightsSnapshot { version: 2, weights: weights(&vals) },
+        TensorEnc::F16,
+    );
+    assert_eq!(snap2.weights, want.weights, "delta-applied weights diverge");
+
+    // Idle past the window, then the same small move: the sweep on the
+    // next serve has evicted this subscriber, so it must get a clean
+    // full snapshot — correct values, and full-size on the wire.
+    std::thread::sleep(Duration::from_millis(90));
+    vals[200] += 1.0;
+    hub.publish(weights(&vals));
+    let before = rx.value();
+    let snap3 = client.get_weights(snap2.version).unwrap().expect("moved");
+    let full_wire = rx.value() - before;
+    assert_eq!(snap3.version, 3);
+    let want = dequantized_snapshot(
+        &rlgraph_dist::WeightsSnapshot { version: 3, weights: weights(&vals) },
+        TensorEnc::F16,
+    );
+    assert_eq!(snap3.weights, want.weights, "post-eviction resync diverges");
+    assert!(
+        full_wire > delta_wire + 100,
+        "expected a full snapshot after eviction, but the response ({} wire bytes) \
+         is delta-sized (delta was {})",
+        full_wire,
+        delta_wire
+    );
+
+    // The resync re-tracked the subscriber: the next move deltas again.
+    vals[7] += 1.0;
+    hub.publish(weights(&vals));
+    let before = rx.value();
+    let snap4 = client.get_weights(snap3.version).unwrap().expect("moved");
+    let redelta_wire = rx.value() - before;
+    assert_eq!(snap4.version, 4);
+    assert!(
+        redelta_wire < full_wire,
+        "subscriber was not re-tracked after the full resync ({} vs {})",
+        redelta_wire,
+        full_wire
+    );
     server.shutdown();
 }

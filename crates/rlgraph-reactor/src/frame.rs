@@ -16,7 +16,29 @@
 //! [`RlError::Protocol`]; transport
 //! failures surface as `RlError::Io` via the blanket
 //! `From<std::io::Error>` conversion.
+//!
+//! # Version word: base version + wire flags (DESIGN.md §14)
+//!
+//! The `ver u16` splits into a low base-version byte and a high flags
+//! byte. Version-1 peers wrote the plain word `1` (flags zero), and
+//! that wire form is still what a sender emits until it learns better.
+//! The high byte carries, per frame:
+//!
+//! * [`FLAG_COMPRESSED`] — this frame's payload is an LZ blob
+//!   ([`crate::compress()`]); the CRC covers the compressed bytes.
+//! * [`CAP_LZ`] / [`CAP_CODEC_V2`] — the **sender advertises** which
+//!   encodings it can decode. A peer may use an advertised encoding on
+//!   everything it sends back; it must not otherwise. Since a strict
+//!   version-1 peer rejects any nonzero high byte outright, a new
+//!   client probes by advertising on its first request and falls back
+//!   to plain version-1 words when the connection dies unanswered —
+//!   and a server only ever advertises to clients that advertised
+//!   first, so an old client never sees a flagged frame.
+//!
+//! Unknown high-byte bits reject the frame with a typed
+//! [`RlError::Protocol`], exactly like an unknown base version.
 
+use crate::compress;
 use crate::wire::crc32;
 use rlgraph_core::{RlError, RlResult};
 use std::io::{Read, Write};
@@ -24,9 +46,55 @@ use std::io::{Read, Write};
 /// Frame magic: ASCII "RLNF" (rlgraph net frame).
 pub const MAGIC: u32 = 0x524C_4E46;
 
-/// Current protocol version. Bumped on any wire-incompatible change;
-/// peers reject frames from other versions outright.
+/// Current protocol version, as the plain wire word version-1 peers
+/// exchange (flags byte zero). Bumped on any wire-incompatible change;
+/// peers reject frames from other base versions outright.
 pub const VERSION: u16 = 1;
+
+/// The base-version byte every compatible peer must speak (the low byte
+/// of the version word).
+pub const BASE_VERSION: u8 = 1;
+
+/// Version-word flag: this frame's payload is compressed with
+/// [`crate::compress()`] and must be decompressed before dispatch.
+pub const FLAG_COMPRESSED: u8 = 0x01;
+
+/// Version-word capability: the sender can decode
+/// [`FLAG_COMPRESSED`] payloads, so the receiver may compress replies.
+pub const CAP_LZ: u8 = 0x02;
+
+/// Version-word capability: the sender decodes the v2 codec family —
+/// quantized tensor encodings, columnar trajectories, delta weight
+/// snapshots (DESIGN.md §14).
+pub const CAP_CODEC_V2: u8 = 0x04;
+
+/// Every version-word flag this build understands; any other high-byte
+/// bit rejects the frame.
+pub const KNOWN_WIRE_FLAGS: u8 = FLAG_COMPRESSED | CAP_LZ | CAP_CODEC_V2;
+
+/// The capability bits (not per-frame flags) of [`KNOWN_WIRE_FLAGS`] —
+/// what a fully-featured peer advertises.
+pub const LOCAL_CAPS: u8 = CAP_LZ | CAP_CODEC_V2;
+
+/// Payloads below this many bytes are never compressed: the method byte
+/// plus the matcher's CPU cost more than the handful of bytes saved.
+pub const COMPRESS_MIN_LEN: usize = 512;
+
+/// Validates a version word; returns its flags byte.
+fn parse_version(word: u16) -> Result<u8, String> {
+    let base = (word & 0x00ff) as u8;
+    if base != BASE_VERSION {
+        return Err(format!(
+            "unsupported protocol version {} (this peer speaks {})",
+            base, BASE_VERSION
+        ));
+    }
+    let flags = (word >> 8) as u8;
+    if flags & !KNOWN_WIRE_FLAGS != 0 {
+        return Err(format!("unknown wire flags 0x{:02x} in version word", flags));
+    }
+    Ok(flags)
+}
 
 /// Hard ceiling on payload length (256 MiB): large enough for any
 /// checkpoint this workspace produces, small enough that a corrupt
@@ -137,6 +205,23 @@ impl FrameMeter {
 /// `RlError::Io` on transport failure; [`RlError::Protocol`] if the
 /// payload exceeds [`MAX_FRAME_LEN`].
 pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> RlResult<()> {
+    write_frame_raw(w, kind, payload, 0)
+}
+
+/// Writes one frame with an explicit flags byte in the version word.
+/// The payload is written as given — callers compressing must pass the
+/// compressed bytes **and** set [`FLAG_COMPRESSED`] themselves; prefer
+/// [`encode_frame_negotiated`], which does both.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_frame_raw(
+    w: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+    flags: u8,
+) -> RlResult<()> {
     if payload.len() > MAX_FRAME_LEN as usize {
         return Err(RlError::Protocol(format!(
             "frame payload of {} bytes exceeds the {} byte limit",
@@ -144,9 +229,10 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> RlRes
             MAX_FRAME_LEN
         )));
     }
+    let word = (BASE_VERSION as u16) | ((flags as u16) << 8);
     let mut header = [0u8; 12];
     header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
-    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[4..6].copy_from_slice(&word.to_le_bytes());
     header[6..8].copy_from_slice(&kind.to_u16().to_le_bytes());
     header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
@@ -173,6 +259,29 @@ pub fn write_frame_metered(
     Ok(())
 }
 
+/// [`encode_frame_negotiated`] straight onto a stream, with wire-level
+/// byte accounting: the meter counts the bytes that actually cross the
+/// wire (the compressed length when compression won), plus framing
+/// overhead.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_frame_negotiated_metered(
+    w: &mut impl Write,
+    kind: FrameKind,
+    payload: &[u8],
+    advertise: u8,
+    peer_caps: u8,
+    meter: &FrameMeter,
+) -> RlResult<()> {
+    let buf = encode_frame_negotiated(kind, payload, advertise, peer_caps)?;
+    w.write_all(&buf)?;
+    w.flush()?;
+    meter.count_tx(buf.len() - FRAME_OVERHEAD);
+    Ok(())
+}
+
 /// [`read_frame`] with wire-level byte accounting: on success the
 /// payload + framing overhead is added to the meter's rx counters.
 ///
@@ -180,9 +289,39 @@ pub fn write_frame_metered(
 ///
 /// As [`read_frame`].
 pub fn read_frame_metered(r: &mut impl Read, meter: &FrameMeter) -> RlResult<(FrameKind, Vec<u8>)> {
-    let (kind, payload) = read_frame(r)?;
-    meter.count_rx(payload.len());
-    Ok((kind, payload))
+    let frame = read_frame_info(r)?;
+    meter.count_rx(frame.wire_len);
+    Ok((frame.kind, frame.payload))
+}
+
+/// [`read_frame_info`] with wire-level byte accounting: the meter counts
+/// the bytes that actually crossed the wire (the compressed length for
+/// [`FLAG_COMPRESSED`] frames), plus framing overhead.
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_frame_info_metered(r: &mut impl Read, meter: &FrameMeter) -> RlResult<Frame> {
+    let frame = read_frame_info(r)?;
+    meter.count_rx(frame.wire_len);
+    Ok(frame)
+}
+
+/// One decoded frame plus its wire metadata: the flags byte the peer
+/// sent (capability advertisement) and the payload length as it crossed
+/// the wire (compressed size for [`FLAG_COMPRESSED`] frames).
+#[derive(Debug)]
+pub struct Frame {
+    /// Dispatch tag.
+    pub kind: FrameKind,
+    /// The payload, already decompressed when the frame was flagged.
+    pub payload: Vec<u8>,
+    /// The peer's version-word flags (advertised capabilities; the
+    /// per-frame [`FLAG_COMPRESSED`] bit is cleared — decompression
+    /// already happened).
+    pub peer_caps: u8,
+    /// Wire bytes of the payload as transmitted, for metering.
+    pub wire_len: usize,
 }
 
 /// Reads one frame, validating magic, version, length bound, and CRC.
@@ -193,19 +332,25 @@ pub fn read_frame_metered(r: &mut impl Read, meter: &FrameMeter) -> RlResult<(Fr
 /// classify as retryable); [`RlError::Protocol`] on any header or
 /// checksum violation.
 pub fn read_frame(r: &mut impl Read) -> RlResult<(FrameKind, Vec<u8>)> {
+    read_frame_info(r).map(|f| (f.kind, f.payload))
+}
+
+/// [`read_frame`] returning the full [`Frame`] — peers that negotiate
+/// capabilities read through this to learn what the sender advertised.
+///
+/// # Errors
+///
+/// As [`read_frame`]; additionally [`RlError::Protocol`] when a
+/// [`FLAG_COMPRESSED`] payload fails to decompress.
+pub fn read_frame_info(r: &mut impl Read) -> RlResult<Frame> {
     let mut header = [0u8; 12];
     r.read_exact(&mut header)?;
     let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
     if magic != MAGIC {
         return Err(RlError::Protocol(format!("bad magic 0x{:08x}", magic)));
     }
-    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
-    if version != VERSION {
-        return Err(RlError::Protocol(format!(
-            "unsupported protocol version {} (this peer speaks {})",
-            version, VERSION
-        )));
-    }
+    let word = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    let flags = parse_version(word).map_err(RlError::Protocol)?;
     let kind = FrameKind::from_u16(u16::from_le_bytes(header[6..8].try_into().expect("2 bytes")))?;
     let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
     if len > MAX_FRAME_LEN {
@@ -226,7 +371,11 @@ pub fn read_frame(r: &mut impl Read) -> RlResult<(FrameKind, Vec<u8>)> {
             actual, expected
         )));
     }
-    Ok((kind, payload))
+    let wire_len = payload.len();
+    if flags & FLAG_COMPRESSED != 0 {
+        payload = compress::decompress(&payload, MAX_FRAME_LEN as usize)?;
+    }
+    Ok(Frame { kind, payload, peer_caps: flags & !FLAG_COMPRESSED, wire_len })
 }
 
 /// Encodes one frame into a fresh buffer — the nonblocking stack's
@@ -239,6 +388,47 @@ pub fn read_frame(r: &mut impl Read) -> RlResult<(FrameKind, Vec<u8>)> {
 pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> RlResult<Vec<u8>> {
     let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
     write_frame(&mut out, kind, payload)?;
+    Ok(out)
+}
+
+/// Encodes one frame under the negotiation rules (module docs):
+/// `advertise` is stamped into the version word (zero produces a plain
+/// version-1 frame), and when `peer_caps` includes [`CAP_LZ`] a payload
+/// of at least [`COMPRESS_MIN_LEN`] bytes is LZ-compressed — kept only
+/// if actually smaller, with [`FLAG_COMPRESSED`] set.
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] if the payload exceeds [`MAX_FRAME_LEN`].
+pub fn encode_frame_negotiated(
+    kind: FrameKind,
+    payload: &[u8],
+    advertise: u8,
+    peer_caps: u8,
+) -> RlResult<Vec<u8>> {
+    // The limit applies to the *uncompressed* payload: receivers cap
+    // decompression at MAX_FRAME_LEN, so a compressed frame that
+    // inflates past it would be rejected on arrival anyway — fail
+    // typed here instead of burning CPU compressing a doomed payload.
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(RlError::Protocol(format!(
+            "frame payload of {} bytes exceeds the {} byte limit",
+            payload.len(),
+            MAX_FRAME_LEN
+        )));
+    }
+    let mut flags = advertise;
+    let mut wire: &[u8] = payload;
+    let compressed;
+    if peer_caps & CAP_LZ != 0 && payload.len() >= COMPRESS_MIN_LEN {
+        compressed = compress::compress(payload);
+        if compressed.len() < payload.len() {
+            wire = &compressed;
+            flags |= FLAG_COMPRESSED;
+        }
+    }
+    let mut out = Vec::with_capacity(wire.len() + FRAME_OVERHEAD);
+    write_frame_raw(&mut out, kind, wire, flags)?;
     Ok(out)
 }
 
@@ -257,6 +447,7 @@ pub struct FrameDecoder {
     buf: Vec<u8>,
     pos: usize,
     poisoned: Option<String>,
+    peer_caps: u8,
 }
 
 impl FrameDecoder {
@@ -275,6 +466,13 @@ impl FrameDecoder {
         self.buf.len() - self.pos
     }
 
+    /// The capability bits the peer advertised on its most recent frame
+    /// (zero until a flagged frame arrives — a strict version-1 peer
+    /// stays at zero forever).
+    pub fn peer_caps(&self) -> u8 {
+        self.peer_caps
+    }
+
     fn poison(&mut self, msg: String) -> RlError {
         self.poisoned = Some(msg.clone());
         RlError::Protocol(msg)
@@ -291,6 +489,16 @@ impl FrameDecoder {
     // conventional shape for incremental decoders.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> RlResult<Option<(FrameKind, Vec<u8>)>> {
+        Ok(self.next_info()?.map(|f| (f.kind, f.payload)))
+    }
+
+    /// [`FrameDecoder::next`] returning the full [`Frame`] with wire
+    /// metadata, for callers metering compressed bytes.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameDecoder::next`].
+    pub fn next_info(&mut self) -> RlResult<Option<Frame>> {
         if let Some(msg) = &self.poisoned {
             return Err(RlError::Protocol(msg.clone()));
         }
@@ -303,13 +511,11 @@ impl FrameDecoder {
         if magic != MAGIC {
             return Err(self.poison(format!("bad magic 0x{:08x}", magic)));
         }
-        let version = u16::from_le_bytes(avail[4..6].try_into().expect("2 bytes"));
-        if version != VERSION {
-            return Err(self.poison(format!(
-                "unsupported protocol version {} (this peer speaks {})",
-                version, VERSION
-            )));
-        }
+        let word = u16::from_le_bytes(avail[4..6].try_into().expect("2 bytes"));
+        let flags = match parse_version(word) {
+            Ok(flags) => flags,
+            Err(msg) => return Err(self.poison(msg)),
+        };
         let kind_raw = u16::from_le_bytes(avail[6..8].try_into().expect("2 bytes"));
         let kind = match FrameKind::from_u16(kind_raw) {
             Ok(kind) => kind,
@@ -327,7 +533,7 @@ impl FrameDecoder {
             self.compact();
             return Ok(None);
         }
-        let payload = avail[12..12 + len as usize].to_vec();
+        let mut payload = avail[12..12 + len as usize].to_vec();
         let expected =
             u32::from_le_bytes(avail[12 + len as usize..total].try_into().expect("4 bytes"));
         let actual = crc32(&payload);
@@ -337,9 +543,17 @@ impl FrameDecoder {
                 actual, expected
             )));
         }
+        let wire_len = payload.len();
+        if flags & FLAG_COMPRESSED != 0 {
+            payload = match compress::decompress(&payload, MAX_FRAME_LEN as usize) {
+                Ok(p) => p,
+                Err(e) => return Err(self.poison(e.to_string())),
+            };
+        }
         self.pos += total;
         self.compact();
-        Ok(Some((kind, payload)))
+        self.peer_caps = flags & !FLAG_COMPRESSED;
+        Ok(Some(Frame { kind, payload, peer_caps: self.peer_caps, wire_len }))
     }
 
     /// Reclaims consumed prefix bytes once they dominate the buffer, so
@@ -475,6 +689,71 @@ mod tests {
         // Poisoned: the error is permanent.
         dec.feed(&bytes[12..]);
         assert!(dec.next().is_err());
+    }
+
+    #[test]
+    fn negotiated_frame_compresses_and_roundtrips() {
+        let payload = vec![42u8; 4096];
+        let frame =
+            encode_frame_negotiated(FrameKind::Request, &payload, LOCAL_CAPS, CAP_LZ).unwrap();
+        assert!(frame.len() < payload.len() / 4, "compressible payload stayed large");
+        let info = read_frame_info(&mut frame.as_slice()).unwrap();
+        assert_eq!(info.kind, FrameKind::Request);
+        assert_eq!(info.payload, payload);
+        assert_eq!(info.peer_caps, LOCAL_CAPS);
+        assert_eq!(info.wire_len, frame.len() - FRAME_OVERHEAD);
+        // The incremental decoder agrees and learns the peer's caps.
+        let mut dec = FrameDecoder::new();
+        assert_eq!(dec.peer_caps(), 0);
+        dec.feed(&frame);
+        let inc = dec.next_info().unwrap().unwrap();
+        assert_eq!(inc.payload, payload);
+        assert_eq!(dec.peer_caps(), LOCAL_CAPS);
+    }
+
+    #[test]
+    fn negotiation_without_peer_caps_stays_plain_v1() {
+        let payload = vec![42u8; 4096];
+        let frame = encode_frame_negotiated(FrameKind::Request, &payload, 0, 0).unwrap();
+        let plain = frame_bytes(FrameKind::Request, &payload);
+        assert_eq!(frame, plain, "no caps advertised and none known must be byte-identical v1");
+    }
+
+    #[test]
+    fn small_payloads_skip_compression() {
+        let payload = vec![7u8; 64];
+        let frame =
+            encode_frame_negotiated(FrameKind::Request, &payload, LOCAL_CAPS, CAP_LZ).unwrap();
+        let info = read_frame_info(&mut frame.as_slice()).unwrap();
+        assert_eq!(info.wire_len, payload.len(), "below COMPRESS_MIN_LEN must not compress");
+        assert_eq!(info.payload, payload);
+    }
+
+    #[test]
+    fn unknown_wire_flags_rejected_typed() {
+        let mut bytes = frame_bytes(FrameKind::Request, b"x");
+        bytes[5] = 0x80; // an undefined capability bit
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, RlError::Protocol(ref m) if m.contains("wire flags")), "{}", err);
+    }
+
+    #[test]
+    fn corrupt_compressed_payload_poisons_decoder() {
+        let payload = vec![9u8; 2048];
+        let mut frame =
+            encode_frame_negotiated(FrameKind::Request, &payload, LOCAL_CAPS, CAP_LZ).unwrap();
+        // Corrupt the compressed body *and* fix up the CRC so only the
+        // decompressor can notice.
+        let wire_len = frame.len() - FRAME_OVERHEAD;
+        frame[12] = 0xFF; // method byte of the LZ blob
+        let crc = crc32(&frame[12..12 + wire_len]).to_le_bytes();
+        frame[12 + wire_len..].copy_from_slice(&crc);
+        let err = read_frame(&mut frame.as_slice()).unwrap_err();
+        assert!(matches!(err, RlError::Protocol(_)), "{}", err);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert!(dec.next().is_err());
+        assert!(dec.next().is_err(), "decoder must stay poisoned");
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   the **incremental** [`FrameDecoder`] and the
 //!   partial-write-safe [`WriteQueue`] the state
 //!   machines are built from.
+//! * [`mod@compress`] — the LZ77-style byte compressor frames opt into
+//!   per-payload (DESIGN.md §14): greedy hash-chain matcher, bounded
+//!   window, raw passthrough for incompressible data.
 //! * [`codec`] — the wire forms of [`TraceContext`](rlgraph_obs::TraceContext)
 //!   and the [`RlError`](rlgraph_core::RlError) taxonomy, so telemetry
 //!   and typed failures cross the mux protocol exactly as they cross
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod compress;
 pub mod conn;
 pub mod frame;
 pub mod mux;
@@ -58,9 +62,12 @@ pub mod sys;
 pub mod timer;
 pub mod wire;
 
+pub use compress::{compress, decompress, LzEncoder, COMPRESS_OVERHEAD};
 pub use conn::WriteQueue;
 pub use frame::{
-    read_frame, write_frame, FrameDecoder, FrameKind, FRAME_OVERHEAD, MAGIC, MAX_FRAME_LEN, VERSION,
+    encode_frame_negotiated, read_frame, read_frame_info, write_frame, Frame, FrameDecoder,
+    FrameKind, CAP_CODEC_V2, CAP_LZ, COMPRESS_MIN_LEN, FLAG_COMPRESSED, FRAME_OVERHEAD, LOCAL_CAPS,
+    MAGIC, MAX_FRAME_LEN, VERSION,
 };
 pub use mux::{MuxClient, MuxClientConfig, MuxServer, MuxServerConfig, ReplyHandle};
 pub use poll::{Event, Interest, Poller, Token, Waker};

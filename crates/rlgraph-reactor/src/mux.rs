@@ -38,7 +38,9 @@
 
 use crate::codec::{get_rl_error, get_trace_context, put_rl_error, put_trace_context};
 use crate::conn::WriteQueue;
-use crate::frame::{encode_frame, FrameDecoder, FrameKind, FrameMeter};
+use crate::frame::{
+    encode_frame, encode_frame_negotiated, FrameDecoder, FrameKind, FrameMeter, LOCAL_CAPS,
+};
 use crate::poll::{Interest, Poller, Token, Waker};
 use crate::service::RpcService;
 use crate::timer::{TimerKey, TimerWheel};
@@ -125,6 +127,9 @@ struct Job {
     method: u16,
     body: Vec<u8>,
     ctx: Option<TraceContext>,
+    /// Capabilities the connection's client has advertised, so the
+    /// handler can compress (and advertise on) the response.
+    caps: u8,
 }
 
 /// An encoded response frame travelling back to the event loop.
@@ -151,6 +156,10 @@ struct SrvConn {
     /// with the decoder's backlog this is the inbound pressure gated by
     /// `max_inflight_bytes`.
     inflight_bytes: usize,
+    /// Capability bits the peer has advertised, latched high across the
+    /// connection (a plain pong between flagged requests must not make
+    /// the server forget the client decodes compressed frames).
+    peer_caps: u8,
 }
 
 /// An epoll-driven RPC server: one event-loop thread multiplexing every
@@ -319,7 +328,16 @@ fn handler_loop(
                 put_rl_error(&mut resp, &e);
             }
         }
-        let frame = match encode_frame(FrameKind::Response, &resp.into_bytes()) {
+        // Advertise only to clients that advertised first, and compress
+        // only when the client said it can decode it — a version-1
+        // client keeps getting byte-identical version-1 responses.
+        let advertise = if job.caps != 0 { LOCAL_CAPS } else { 0 };
+        let frame = match encode_frame_negotiated(
+            FrameKind::Response,
+            &resp.into_bytes(),
+            advertise,
+            job.caps,
+        ) {
             Ok(frame) => frame,
             // Response exceeds MAX_FRAME_LEN: the completion must still
             // flow back — it balances the connection's inflight
@@ -431,6 +449,7 @@ fn server_loop(
                                 last_activity: now,
                                 inflight: 0,
                                 inflight_bytes: 0,
+                                peer_caps: 0,
                             });
                             open += 1;
                             conns_counter.inc();
@@ -592,12 +611,14 @@ fn read_and_dispatch(
         }
     }
     loop {
-        match conn.decoder.next() {
+        match conn.decoder.next_info() {
             Ok(None) => break,
             Err(_) => return true, // stream is untrusted: close
-            Ok(Some((kind, payload))) => {
+            Ok(Some(frame)) => {
+                let (kind, payload) = (frame.kind, frame.payload);
                 conn.last_activity = now;
-                meter.count_rx(payload.len());
+                conn.peer_caps |= frame.peer_caps;
+                meter.count_rx(frame.wire_len);
                 match kind {
                     FrameKind::Ping => {
                         if let Ok(frame) = encode_frame(FrameKind::Pong, &[]) {
@@ -625,8 +646,15 @@ fn read_and_dispatch(
                         let body = req.get_bytes(req.remaining()).expect("remaining bytes");
                         conn.inflight += 1;
                         conn.inflight_bytes += body.len();
-                        let job =
-                            Job { slot, gen: conn.gen, req_id, method, body: body.to_vec(), ctx };
+                        let job = Job {
+                            slot,
+                            gen: conn.gen,
+                            req_id,
+                            method,
+                            body: body.to_vec(),
+                            ctx,
+                            caps: conn.peer_caps,
+                        };
                         if job_tx.send(job).is_err() {
                             return true; // pool gone: shutting down
                         }
@@ -926,6 +954,25 @@ struct ClientConn {
     decoder: FrameDecoder,
     wq: WriteQueue,
     interest: Interest,
+    /// Capability bits the server has advertised, latched high.
+    peer_caps: u8,
+    /// Whether any frame ever arrived on this connection — separates an
+    /// old server rejecting our capability flags (closes before
+    /// answering anything) from a later network failure.
+    got_frame: bool,
+}
+
+impl ClientConn {
+    fn new(stream: TcpStream) -> ClientConn {
+        ClientConn {
+            stream,
+            decoder: FrameDecoder::new(),
+            wq: WriteQueue::new(),
+            interest: Interest::READABLE,
+            peer_caps: 0,
+            got_frame: false,
+        }
+    }
 }
 
 const CLIENT_CONN_TOKEN: Token = Token(0);
@@ -960,14 +1007,12 @@ fn client_loop(
     let mut awaiting_pong = false;
 
     let mut conn = match poller.add(initial.as_raw_fd(), CLIENT_CONN_TOKEN, Interest::READABLE) {
-        Ok(()) => Some(ClientConn {
-            stream: initial,
-            decoder: FrameDecoder::new(),
-            wq: WriteQueue::new(),
-            interest: Interest::READABLE,
-        }),
+        Ok(()) => Some(ClientConn::new(initial)),
         Err(_) => None,
     };
+    // Probe with full capabilities; dropped to zero permanently when a
+    // version-1 server kills a connection before answering anything.
+    let mut advertise: u8 = LOCAL_CAPS;
     if let Some(hb) = config.heartbeat {
         wheel.schedule(Instant::now(), hb, ClientTimer::Heartbeat);
     }
@@ -1029,14 +1074,17 @@ fn client_loop(
                     }
                 }
                 while !sever {
-                    match c.decoder.next() {
+                    match c.decoder.next_info() {
                         Ok(None) => break,
                         Err(_) => {
                             sever = true;
                         }
-                        Ok(Some((kind, payload))) => {
+                        Ok(Some(frame)) => {
+                            let (kind, payload) = (frame.kind, frame.payload);
                             awaiting_pong = false;
-                            meter.count_rx(payload.len());
+                            c.got_frame = true;
+                            c.peer_caps |= frame.peer_caps;
+                            meter.count_rx(frame.wire_len);
                             match kind {
                                 FrameKind::Pong => {}
                                 FrameKind::Ping => {
@@ -1071,7 +1119,9 @@ fn client_loop(
         }
 
         if sever {
-            do_sever(&mut conn, &mut pending, &mut wheel, &poller, &peer, &rpc_us);
+            if do_sever(&mut conn, &mut pending, &mut wheel, &poller, &peer, &rpc_us) {
+                advertise = 0;
+            }
             awaiting_pong = false;
             sever = false;
         }
@@ -1089,12 +1139,7 @@ fn client_loop(
                             .is_ok();
                     if ok {
                         reconnects.inc();
-                        conn = Some(ClientConn {
-                            stream,
-                            decoder: FrameDecoder::new(),
-                            wq: WriteQueue::new(),
-                            interest: Interest::READABLE,
-                        });
+                        conn = Some(ClientConn::new(stream));
                     }
                 }
             }
@@ -1119,9 +1164,11 @@ fn client_loop(
             payload.put_u16(s.method);
             payload.put_bytes(&s.body);
             let payload = payload.into_bytes();
-            match encode_frame(kind, &payload) {
+            match encode_frame_negotiated(kind, &payload, advertise, c.peer_caps) {
                 Ok(frame) => {
-                    meter.count_tx(payload.len());
+                    // Meter the bytes that actually cross the wire (the
+                    // compressed length when compression won).
+                    meter.count_tx(frame.len() - crate::frame::FRAME_OVERHEAD);
                     c.wq.push(frame);
                 }
                 Err(e) => {
@@ -1143,7 +1190,9 @@ fn client_loop(
         }
         if let Some(c) = conn.as_mut() {
             if !c.wq.is_empty() && !pump_client_writes(c, &poller) {
-                do_sever(&mut conn, &mut pending, &mut wheel, &poller, &peer, &rpc_us);
+                if do_sever(&mut conn, &mut pending, &mut wheel, &poller, &peer, &rpc_us) {
+                    advertise = 0;
+                }
                 awaiting_pong = false;
             }
         }
@@ -1170,7 +1219,7 @@ fn client_loop(
                         // interval: the connection is dead.
                         sever = true;
                     } else if let Some(c) = conn.as_mut() {
-                        if let Ok(f) = encode_frame(FrameKind::Ping, &[]) {
+                        if let Ok(f) = encode_frame_negotiated(FrameKind::Ping, &[], advertise, 0) {
                             c.wq.push(f);
                             awaiting_pong = true;
                             if !pump_client_writes(c, &poller) {
@@ -1185,7 +1234,9 @@ fn client_loop(
             }
         }
         if sever {
-            do_sever(&mut conn, &mut pending, &mut wheel, &poller, &peer, &rpc_us);
+            if do_sever(&mut conn, &mut pending, &mut wheel, &poller, &peer, &rpc_us) {
+                advertise = 0;
+            }
             awaiting_pong = false;
         }
     }
@@ -1228,6 +1279,11 @@ fn pump_client_writes(c: &mut ClientConn, poller: &Poller) -> bool {
 /// Tears down the connection: every pending request fails with the
 /// retryable "connection died" class the blocking client uses, and the
 /// next submission reconnects.
+///
+/// Returns `true` when the severed connection never produced a single
+/// frame — against a live server that means our capability flags were
+/// rejected (a version-1 peer closes flagged connections unanswered),
+/// so the caller downgrades to plain version-1 framing.
 fn do_sever(
     conn: &mut Option<ClientConn>,
     pending: &mut HashMap<u64, PendingCall>,
@@ -1235,8 +1291,10 @@ fn do_sever(
     poller: &Poller,
     peer: &str,
     rpc_us: &rlgraph_obs::Histogram,
-) {
+) -> bool {
+    let mut unanswered = false;
     if let Some(c) = conn.take() {
+        unanswered = !c.got_frame;
         poller.delete(c.stream.as_raw_fd());
     }
     for (_, p) in pending.drain() {
@@ -1249,6 +1307,7 @@ fn do_sever(
             message: format!("{} went away mid-request", peer),
         }));
     }
+    unanswered
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         launch: LaunchMode::Process,
         shard_proxy: None,
         transport: Transport::default(),
+        compression: true,
         recorder: recorder.clone(),
     };
     let workers = config.num_workers;

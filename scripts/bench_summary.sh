@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Aggregates every committed BENCH_*.json at the repo root into one
+# readable table: which benches have results, their headline numbers,
+# and when each file last changed. Read-only — regenerating a bench is
+# its binary's job (`cargo run -p bench --bin <name>`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [ ${#files[@]} -eq 0 ]; then
+    echo "no BENCH_*.json files at the repo root" >&2
+    exit 1
+fi
+
+python3 - "${files[@]}" <<'EOF'
+import json, subprocess, sys
+
+def changed(path):
+    try:
+        out = subprocess.run(
+            ["git", "log", "-1", "--format=%cs", "--", path],
+            capture_output=True, text=True, check=True).stdout.strip()
+        return out or "uncommitted"
+    except Exception:
+        return "?"
+
+def fmt(v, nd=2):
+    return f"{v:,.{nd}f}" if isinstance(v, float) else f"{v:,}"
+
+def headline(name, d):
+    """One line of the numbers a reviewer checks first, per bench."""
+    try:
+        if name == "BENCH_net.json":
+            w = d["wire"]
+            lines = [
+                f"slowdown tcp/in-process: {fmt(d['slowdown']['ratio'])}x plain, "
+                f"{fmt(d['slowdown']['compressed_ratio'])}x compressed "
+                f"(budget {d['slowdown']['budget']}x)",
+                f"wire bytes: {fmt(w['bytes_tx'] + w['bytes_rx'])} plain -> "
+                f"{fmt(w['compressed_bytes_tx'] + w['compressed_bytes_rx'])} compressed "
+                f"({fmt(w['reduction_total'])}x reduction)",
+                f"mean return: {fmt(d['tcp_multi_process']['mean_return'])} plain, "
+                f"{fmt(d['tcp_compressed']['mean_return'])} compressed",
+            ]
+            return lines
+        if name == "BENCH_codec.json":
+            return [
+                f"{s['stage']}: {fmt(s['bytes_in'])} -> {fmt(s['bytes_out'])} B "
+                f"({s['bytes_in'] / max(s['bytes_out'], 1):.2f}x), "
+                f"enc {fmt(s['encode_ns_per_elem'])} / dec {fmt(s['decode_ns_per_elem'])} ns/elem"
+                for s in d["stages"]
+            ]
+        if name == "BENCH_c10k.json":
+            return [
+                f"{r['transport']} @ {fmt(r['conns'])}: {fmt(r['held'])} held, "
+                f"{fmt(r['rss_per_conn_bytes'], 0)} B/conn, ping p99 {fmt(r['ping_p99_us'], 1)} us"
+                for r in d.get("scenarios", [])
+            ] or None
+        if name == "BENCH_obs.json":
+            o = d["overhead"]
+            return [f"telemetry overhead: {o['fraction'] * 100:.1f}% (budget {o['budget'] * 100:.0f}%)"]
+        if name == "BENCH_chaos.json":
+            return [
+                f"eval return: {fmt(d['fault_free']['eval_return'])} fault-free, "
+                f"{fmt(d['chaos']['eval_return'])} under chaos "
+                f"(retention {fmt(d['chaos']['retention'])}), "
+                f"{fmt(d['faults']['injected_events'])} faults injected",
+            ]
+        if name == "BENCH_kernels.json":
+            n = len(d) if isinstance(d, list) else len(d.get("kernels", d))
+            return [f"{n} kernel entries"]
+    except (KeyError, TypeError, ZeroDivisionError) as e:
+        return [f"(unrecognized layout: {e})"]
+    return None
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"{path}: INVALID JSON ({e})")
+            continue
+    print(f"{path}  (last committed {changed(path)})")
+    for line in headline(path, data) or ["(no headline extractor; see file)"]:
+        print(f"  {line}")
+    print()
+EOF

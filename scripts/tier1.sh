@@ -41,6 +41,10 @@ cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin chaos_bench --
 timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" --example net_apex
 timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin net_bench -- --smoke
 
+# Wire compression: codec bench smoke runs the full quantize / delta /
+# LZ encode-decode matrix with its error-bound asserts (writes nothing).
+timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin codec_bench -- --smoke
+
 # Telemetry plane: obs bench smoke — runs the Ape-X TCP runtime with the
 # recorder off and on, asserts the cluster report and merged trace are
 # produced (the <5% overhead threshold is full-mode only).
