@@ -1,0 +1,163 @@
+//! Fragment-executor overhead benchmark: the declarative fragment-built
+//! Ape-X driver against the legacy hand-woven driver at an identical
+//! wall budget.
+//!
+//! The fragment executor wraps the same mailboxes, supervisors, and
+//! weight lanes the legacy driver wired by hand, so the declarative
+//! layer must be close to free. This bench runs both paths at the same
+//! seed and wall budget, takes the best of `TRIALS` runs per path
+//! (thread-scheduling noise dominates single runs), asserts the
+//! fragment path retains at least 95% of legacy throughput, and writes
+//! `BENCH_fragments.json` at the repo root.
+//!
+//! `--smoke` runs a tiny budget, keeps the does-it-run checks, skips
+//! the overhead threshold (sub-second runs are all noise), and writes
+//! nothing — tier-1 uses it as a gate.
+
+use rlgraph_agents::{Backend, DqnConfig};
+use rlgraph_dist::fragment::{default_apex_placement, run_apex_fragments};
+use rlgraph_dist::{run_apex_legacy, ApexRunConfig, ApexRunStats};
+use rlgraph_envs::{Env, RandomEnv};
+use rlgraph_nn::{Activation, NetworkSpec};
+use std::time::Duration;
+
+const MAX_OVERHEAD: f64 = 0.05;
+const TRIALS: usize = 3;
+
+struct Budget {
+    num_workers: usize,
+    envs_per_worker: usize,
+    task_size: usize,
+    num_shards: usize,
+    run_ms: u64,
+}
+
+const FULL: Budget =
+    Budget { num_workers: 4, envs_per_worker: 2, task_size: 48, num_shards: 2, run_ms: 2_000 };
+const SMOKE: Budget =
+    Budget { num_workers: 2, envs_per_worker: 2, task_size: 16, num_shards: 2, run_ms: 250 };
+
+fn env_factory(w: usize, e: usize) -> Box<dyn Env> {
+    Box::new(RandomEnv::new(&[16], 4, 50, (w * 100 + e) as u64))
+}
+
+fn config(budget: &Budget) -> ApexRunConfig {
+    ApexRunConfig::builder()
+        .agent(DqnConfig {
+            backend: Backend::Static,
+            network: NetworkSpec::mlp(&[32], Activation::Tanh),
+            memory_capacity: 16_384,
+            batch_size: 32,
+            n_step: 3,
+            target_sync_every: 100,
+            seed: 7,
+            ..DqnConfig::default()
+        })
+        .num_workers(budget.num_workers)
+        .envs_per_worker(budget.envs_per_worker)
+        .task_size(budget.task_size)
+        .num_shards(budget.num_shards)
+        .weight_sync_interval(16)
+        .run_duration(Duration::from_millis(budget.run_ms))
+        .build()
+        .expect("apex config")
+}
+
+fn frames_per_sec(stats: &ApexRunStats) -> f64 {
+    stats.env_frames as f64 / stats.wall_time.as_secs_f64().max(1e-9)
+}
+
+/// Best frames/sec over `TRIALS` runs — the scheduler can starve any
+/// single run; the best trial is the stable measure of what the path
+/// can sustain.
+fn best_of<R>(trials: usize, mut run: R) -> (f64, ApexRunStats)
+where
+    R: FnMut() -> ApexRunStats,
+{
+    let mut best: Option<(f64, ApexRunStats)> = None;
+    for _ in 0..trials {
+        let stats = run();
+        let fps = frames_per_sec(&stats);
+        if best.as_ref().map(|(b, _)| fps > *b).unwrap_or(true) {
+            best = Some((fps, stats));
+        }
+    }
+    best.expect("at least one trial")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let budget = if smoke { &SMOKE } else { &FULL };
+    let trials = if smoke { 1 } else { TRIALS };
+
+    println!(
+        "fragment bench: {} workers x {} envs, {} shards, {}ms budget{}",
+        budget.num_workers,
+        budget.envs_per_worker,
+        budget.num_shards,
+        budget.run_ms,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let (legacy_fps, legacy) =
+        best_of(trials, || run_apex_legacy(config(budget), env_factory).expect("legacy run"));
+    let (frag_fps, frag) = best_of(trials, || {
+        run_apex_fragments(config(budget), default_apex_placement(), env_factory)
+            .expect("fragment run")
+    });
+
+    assert!(legacy.env_frames > 0, "legacy path collected nothing");
+    assert!(frag.env_frames > 0, "fragment path collected nothing");
+    let ratio = frag_fps / legacy_fps.max(1e-9);
+
+    println!(
+        "legacy:   {:>10.0} frames/s ({} frames, {} updates)",
+        legacy_fps, legacy.env_frames, legacy.updates
+    );
+    println!(
+        "fragment: {:>10.0} frames/s ({} frames, {} updates)  ratio {:.3}",
+        frag_fps, frag.env_frames, frag.updates, ratio
+    );
+
+    if smoke {
+        println!("smoke mode: skipping overhead threshold and BENCH_fragments.json");
+        return;
+    }
+
+    assert!(
+        ratio >= 1.0 - MAX_OVERHEAD,
+        "fragment executor overhead exceeds {:.0}%: fragment {frag_fps:.0} vs legacy \
+         {legacy_fps:.0} frames/s (ratio {ratio:.3})",
+        MAX_OVERHEAD * 100.0
+    );
+    println!("overhead: fragment path within {:.0}% of legacy ✓", MAX_OVERHEAD * 100.0);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"budget\": {{\"workers\": {}, \"envs_per_worker\": {}, \"shards\": {}, ",
+            "\"task_size\": {}, \"run_ms\": {}, \"trials\": {}}},\n",
+            "  \"legacy\": {{\"frames_per_sec\": {:.1}, \"env_frames\": {}, \"updates\": {}}},\n",
+            "  \"fragment\": {{\"frames_per_sec\": {:.1}, \"env_frames\": {}, \"updates\": {}}},\n",
+            "  \"throughput_ratio\": {:.4},\n",
+            "  \"max_overhead\": {:.2}\n",
+            "}}\n"
+        ),
+        budget.num_workers,
+        budget.envs_per_worker,
+        budget.num_shards,
+        budget.task_size,
+        budget.run_ms,
+        trials,
+        legacy_fps,
+        legacy.env_frames,
+        legacy.updates,
+        frag_fps,
+        frag.env_frames,
+        frag.updates,
+        ratio,
+        MAX_OVERHEAD,
+    );
+    std::fs::write("BENCH_fragments.json", json).expect("write BENCH_fragments.json");
+    println!("wrote BENCH_fragments.json");
+}

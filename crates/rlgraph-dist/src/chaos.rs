@@ -27,6 +27,9 @@
 
 use crate::checkpoint::LearnerCheckpoint;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::fragment::{
+    FragmentCounter, ReplicaHealth, RunReport, SteppedExecutor, SteppedStages, TickCtx, TickFlow,
+};
 use crate::ray::{apex_worker_epsilon, ApexRunStats};
 use crate::retry::{RetryPolicy, VirtualSleeper};
 use crate::shard::{ReplayShard, ShardCore};
@@ -35,6 +38,8 @@ use rlgraph_agents::{DqnAgent, DqnConfig};
 use rlgraph_core::{CoreError, RlError, RlResult};
 use rlgraph_envs::{Env, VectorEnv};
 use rlgraph_obs::{ClockSource, Recorder, VirtualTime};
+use rlgraph_spaces::Space;
+use rlgraph_tensor::Tensor;
 use std::time::Duration;
 
 /// Virtual length of one scheduler tick.
@@ -129,7 +134,8 @@ impl ChaosApexConfigBuilder {
         self
     }
 
-    /// Number of worker actors.
+    /// Number of worker actors. Deprecated spelling of
+    /// [`parallelism`](crate::DriverConfigBuilder::parallelism).
     pub fn num_workers(mut self, n: usize) -> Self {
         self.draft.num_workers = n;
         self
@@ -153,13 +159,15 @@ impl ChaosApexConfigBuilder {
         self
     }
 
-    /// Weight broadcast interval (learner updates).
+    /// Weight broadcast interval (learner updates). Deprecated
+    /// spelling of [`sync_every`](crate::DriverConfigBuilder::sync_every).
     pub fn weight_sync_interval(mut self, k: u64) -> Self {
         self.draft.weight_sync_interval = k;
         self
     }
 
-    /// Scheduler ticks to run.
+    /// Scheduler ticks to run. Deprecated spelling of
+    /// [`budget`](crate::DriverConfigBuilder::budget).
     pub fn steps(mut self, n: u64) -> Self {
         self.draft.steps = n;
         self
@@ -213,7 +221,8 @@ impl ChaosApexConfigBuilder {
         self
     }
 
-    /// Observability recorder.
+    /// Observability recorder. Deprecated spelling of
+    /// [`observe_with`](crate::DriverConfigBuilder::observe_with).
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.draft.recorder = recorder;
         self
@@ -297,6 +306,11 @@ pub struct ChaosReport {
     pub checkpoints: u64,
     /// learner restores from checkpoint
     pub restores: u64,
+    /// learner updates performed (mirrored from the run stats so the
+    /// report alone satisfies the uniform [`RunReport`] surface)
+    pub updates: u64,
+    /// virtual time of the run, in µs
+    pub virtual_time_us: u64,
     /// recovery latency of every crash/restore, in virtual µs
     pub recovery_latencies_us: Vec<u64>,
     /// learner state at the end of the run, for post-hoc policy
@@ -333,6 +347,31 @@ impl ChaosReport {
     }
 }
 
+impl RunReport for ChaosReport {
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn wall_time(&self) -> Duration {
+        Duration::from_micros(self.virtual_time_us)
+    }
+
+    fn fragment_counters(&self) -> Vec<FragmentCounter> {
+        vec![
+            FragmentCounter::new("rollout", "crashes", self.worker_crashes as f64),
+            FragmentCounter::new("rollout", "restarts", self.worker_restarts as f64),
+            FragmentCounter::new("replay", "stalls", self.shard_stalls as f64),
+            FragmentCounter::new("learn", "slowdowns", self.learner_slowdowns as f64),
+            FragmentCounter::new("learn", "degraded_steps", self.degraded_steps as f64),
+            FragmentCounter::new("learn", "sample_retries", self.sample_retries as f64),
+            FragmentCounter::new("broadcast", "dropped_syncs", self.dropped_syncs as f64),
+            FragmentCounter::new("broadcast", "forced_syncs", self.forced_syncs as f64),
+            FragmentCounter::new("eval", "checkpoints", self.checkpoints as f64),
+            FragmentCounter::new("eval", "restores", self.restores as f64),
+        ]
+    }
+}
+
 struct WorkerSlot {
     worker: ApexWorker,
     cfg: DqnConfig,
@@ -340,6 +379,289 @@ struct WorkerSlot {
     /// tick at which a crashed worker comes back, if down
     down_until: Option<u64>,
     task: u64,
+}
+
+fn make_worker<F>(
+    env_factory: &F,
+    envs_per_worker: usize,
+    w: usize,
+    cfg: &DqnConfig,
+) -> RlResult<ApexWorker>
+where
+    F: Fn(usize, usize) -> Box<dyn Env>,
+{
+    let envs = VectorEnv::new((0..envs_per_worker).map(|e| env_factory(w, e)).collect())
+        .map_err(|e| RlError::Core(CoreError::new(e.message())))?;
+    ApexWorker::new(cfg.clone(), envs).map_err(RlError::from)
+}
+
+/// The chaos engine as a stepped fragment graph: each [`SteppedStages`]
+/// tick is one fragment's turn, and fault injection, checkpointing and
+/// quorum degradation live in the fragment they concern (shard stalls
+/// in the replay tick, worker crashes in the rollout tick, learner
+/// crash/slowdown/quorum in the learn tick, sync drops in the broadcast
+/// tick, checkpoint banking in the eval tick).
+struct ChaosState<'a, F: Fn(usize, usize) -> Box<dyn Env>> {
+    config: &'a ChaosApexConfig,
+    env_factory: &'a F,
+    recorder: Recorder,
+    crash_ctr: rlgraph_obs::AliasedCounter,
+    restart_ctr: rlgraph_obs::AliasedCounter,
+    stall_ctr: rlgraph_obs::AliasedCounter,
+    retry_ctr: rlgraph_obs::AliasedCounter,
+    degraded_ctr: rlgraph_obs::AliasedCounter,
+    checkpoint_ctr: rlgraph_obs::AliasedCounter,
+    restore_ctr: rlgraph_obs::AliasedCounter,
+    recovery_us_hist: rlgraph_obs::AliasedHistogram,
+    sleeper: VirtualSleeper,
+    report: ChaosReport,
+    shard_cores: Vec<ShardCore>,
+    shards: ReplicaHealth,
+    workers: Vec<WorkerSlot>,
+    state_space: Space,
+    action_space: Space,
+    learner: DqnAgent,
+    weight_version: u64,
+    published: Vec<(String, Tensor)>,
+    last_checkpoint: Option<LearnerCheckpoint>,
+    env_frames: u64,
+    samples_collected: u64,
+    updates: u64,
+    losses: Vec<f32>,
+    reward_timeline: Vec<(f64, f32)>,
+    learner_rr: usize,
+}
+
+impl<F: Fn(usize, usize) -> Box<dyn Env>> SteppedStages for ChaosState<'_, F> {
+    fn replay_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<()> {
+        let step = ctx.step;
+        let plan = &self.config.fault_plan;
+        for s in 0..self.config.num_shards {
+            if self.shards.is_up(s, step) && plan.draw(FaultKind::ShardStall, s, step) {
+                self.shards.stall(s, step + plan.shard_stall_steps());
+                self.report.shard_stalls += 1;
+                self.stall_ctr.inc();
+                self.report.events.push(FaultEvent {
+                    step,
+                    kind: FaultKind::ShardStall,
+                    target: s,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn rollout_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<()> {
+        let step = ctx.step;
+        let plan = &self.config.fault_plan;
+        for (w, slot) in self.workers.iter_mut().enumerate() {
+            if let Some(back_at) = slot.down_until {
+                if step < back_at {
+                    continue; // still down
+                }
+                // Supervised restart: fresh worker, pulls current weights.
+                // The reincarnation gets a new exploration seed — reusing
+                // the old one would replay the exact same action stream
+                // after every crash, filling the replay shards with
+                // duplicated trajectories and freezing learning.
+                slot.cfg.seed = slot.cfg.seed.wrapping_add(0x9E37_79B9);
+                let cfg = slot.cfg.clone();
+                slot.worker = make_worker(self.env_factory, self.config.envs_per_worker, w, &cfg)?;
+                slot.worker.agent_mut().set_weights(&self.published)?;
+                slot.seen_version = self.weight_version;
+                slot.down_until = None;
+                self.report.worker_restarts += 1;
+                self.restart_ctr.inc();
+                let latency = self.config.worker_restart_delay * TICK_US;
+                self.report.recovery_latencies_us.push(latency);
+                self.recovery_us_hist.record(latency as f64);
+            }
+            if plan.draw(FaultKind::WorkerCrash, w, step) {
+                slot.down_until = Some(step + self.config.worker_restart_delay);
+                self.report.worker_crashes += 1;
+                self.crash_ctr.inc();
+                self.recorder.flight_note(
+                    "chaos.worker_crash",
+                    format!(
+                        "step {}: worker {} down {} ticks",
+                        step, w, self.config.worker_restart_delay
+                    ),
+                );
+                self.report.events.push(FaultEvent {
+                    step,
+                    kind: FaultKind::WorkerCrash,
+                    target: w,
+                });
+                continue; // this tick's task is lost with the crash
+            }
+            // Bounded staleness: force a pull past the lag limit.
+            let lag = self.weight_version - slot.seen_version;
+            self.report.max_weight_lag_seen = self.report.max_weight_lag_seen.max(lag);
+            if lag > self.config.max_weight_lag {
+                slot.worker.agent_mut().set_weights(&self.published)?;
+                slot.seen_version = self.weight_version;
+                self.report.forced_syncs += 1;
+            }
+            let batch = slot.worker.collect(self.config.task_size)?;
+            self.env_frames += batch.env_frames;
+            self.samples_collected += batch.len() as u64;
+            let now = Duration::from_micros(ctx.clock.now_micros()).as_secs_f64();
+            for r in &batch.episode_returns {
+                self.reward_timeline.push((now, *r));
+            }
+            // Round-robin insert with failover past stalled/dead shards.
+            let home = (slot.task as usize) % self.config.num_shards;
+            slot.task += 1;
+            if let Some(target) = (0..self.config.num_shards)
+                .map(|k| (home + k) % self.config.num_shards)
+                .find(|&s| self.shards.is_up(s, step))
+            {
+                self.shard_cores[target].insert(batch.transitions, batch.priorities);
+            }
+            // No shard up at all: the task's experience is lost, which is
+            // exactly what happens when every mailbox is unreachable.
+        }
+        Ok(())
+    }
+
+    fn learn_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<TickFlow> {
+        let step = ctx.step;
+        let plan = &self.config.fault_plan;
+
+        // -- deterministic learner crash + restore ----------------------
+        if self.config.crash_learner_at == Some(step) {
+            // The learner crash is the chaos suite's post-mortem moment:
+            // dump whatever the flight ring retained to stderr before the
+            // restore overwrites state (the report stays dump-free so the
+            // same-seed-same-report determinism contract is unaffected).
+            self.recorder.flight_note("chaos.learner_crash", format!("step {}: restoring", step));
+            if let Some(dump) = self.recorder.flight_render("chaos: learner crash injected") {
+                eprintln!("{}", dump);
+            }
+            self.learner =
+                DqnAgent::new(self.config.agent.clone(), &self.state_space, &self.action_space)?;
+            if let Some(ckpt) = &self.last_checkpoint {
+                ckpt.restore(&mut self.learner)?;
+                self.weight_version = ckpt.weight_version;
+            } else {
+                self.weight_version = 0;
+            }
+            self.published = self.learner.get_weights();
+            self.report.restores += 1;
+            self.restore_ctr.inc();
+            self.report.recovery_latencies_us.push(TICK_US);
+            self.recovery_us_hist.record(TICK_US as f64);
+            return Ok(TickFlow::Skip); // the restore costs the tick
+        }
+
+        if plan.draw(FaultKind::LearnerSlowdown, 0, step) {
+            self.report.learner_slowdowns += 1;
+            self.report.events.push(FaultEvent {
+                step,
+                kind: FaultKind::LearnerSlowdown,
+                target: 0,
+            });
+            return Ok(TickFlow::Skip);
+        }
+        if self.shards.up_count(step) < self.config.shard_quorum {
+            // Graceful degradation: below quorum the learner pauses
+            // rather than training on a skewed shard subset.
+            self.report.degraded_steps += 1;
+            self.degraded_ctr.inc();
+            return Ok(TickFlow::Skip);
+        }
+        let rr = self.learner_rr;
+        self.learner_rr += 1;
+        let mut attempts_used: u32 = 0;
+        let num_shards = self.config.num_shards;
+        let (batch_size, beta) = (self.config.agent.batch_size, self.config.agent.beta);
+        let shards = &self.shards;
+        let shard_cores = &mut self.shard_cores;
+        let sampled = self.config.retry.run(&self.sleeper, |attempt| {
+            attempts_used = attempt + 1;
+            let idx = (rr + attempt as usize) % num_shards;
+            if !shards.is_up(idx, step) {
+                return Err(RlError::MailboxFull {
+                    capacity: ReplayShard::DEFAULT_MAILBOX_CAPACITY,
+                });
+            }
+            Ok((idx, shard_cores[idx].sample(batch_size, beta)))
+        });
+        self.report.sample_retries += attempts_used.saturating_sub(1) as u64;
+        self.retry_ctr.add(attempts_used.saturating_sub(1) as u64);
+        let (shard_idx, batch) = match sampled {
+            Ok((idx, Some(batch))) => (idx, batch),
+            Ok((_, None)) => {
+                // under-filled shard: not a fault, just warm-up
+                return Ok(TickFlow::Skip);
+            }
+            Err(e) if !e.is_fatal() => return Ok(TickFlow::Skip),
+            Err(RlError::RetriesExhausted { .. }) => return Ok(TickFlow::Skip),
+            Err(e) => return Err(e),
+        };
+        let [s, a, r, s2, t] = batch.tensors;
+        let (loss, td) = self.learner.update_from_batch([s, a, r, s2, t, batch.weights])?;
+        self.losses.push(loss);
+        self.updates += 1;
+        let priorities = td.as_f32().map_err(CoreError::from)?.to_vec();
+        self.shard_cores[shard_idx].update_priorities(batch.indices, priorities);
+        Ok(TickFlow::Continue)
+    }
+
+    fn broadcast_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<()> {
+        let step = ctx.step;
+        let plan = &self.config.fault_plan;
+        if self.updates.is_multiple_of(self.config.weight_sync_interval) {
+            self.weight_version += 1;
+            self.published = self.learner.get_weights();
+            for (w, slot) in self.workers.iter_mut().enumerate() {
+                if slot.down_until.is_some() {
+                    continue;
+                }
+                if plan.draw(FaultKind::DropWeightSync, w, step) {
+                    self.report.dropped_syncs += 1;
+                    self.report.events.push(FaultEvent {
+                        step,
+                        kind: FaultKind::DropWeightSync,
+                        target: w,
+                    });
+                    continue;
+                }
+                slot.worker.agent_mut().set_weights(&self.published)?;
+                slot.seen_version = self.weight_version;
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_tick(&mut self, _ctx: &TickCtx<'_>) -> RlResult<()> {
+        if let Some(every) = self.config.checkpoint_every {
+            if self.updates > 0 && self.updates.is_multiple_of(every) {
+                let watermarks = self.shard_cores.iter().map(|c| c.watermark()).collect();
+                let ckpt =
+                    LearnerCheckpoint::capture(&self.learner, self.weight_version, watermarks);
+                // Bank the best checkpoint by recent recorded return; a
+                // deployment restores its best known-good snapshot, not
+                // whatever the learner happened to hold when it stopped.
+                let tail = self.reward_timeline.len().saturating_sub(CHECKPOINT_SCORE_WINDOW);
+                let recent = &self.reward_timeline[tail..];
+                if !recent.is_empty() {
+                    let score =
+                        recent.iter().map(|(_, r)| *r as f64).sum::<f64>() / recent.len() as f64;
+                    if self.report.best_checkpoint.is_none()
+                        || score > self.report.best_checkpoint_return
+                    {
+                        self.report.best_checkpoint_return = score;
+                        self.report.best_checkpoint = Some(ckpt.clone());
+                    }
+                }
+                self.last_checkpoint = Some(ckpt);
+                self.report.checkpoints += 1;
+                self.checkpoint_ctr.inc();
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Runs Ape-X under the configured fault plan on the deterministic
@@ -359,23 +681,12 @@ pub fn run_apex_chaos<F>(
 where
     F: Fn(usize, usize) -> Box<dyn Env>,
 {
-    let clock = VirtualTime::new();
-    let sleeper = VirtualSleeper::new(clock.clone());
+    let exec = SteppedExecutor::new(VirtualTime::new(), TICK_US);
+    let sleeper = VirtualSleeper::new(exec.clock().clone());
     let recorder = config.recorder.clone();
-    let crash_ctr = recorder.counter("chaos.worker_crashes");
-    let restart_ctr = recorder.counter("chaos.worker_restarts");
-    let stall_ctr = recorder.counter("chaos.shard_stalls");
-    let retry_ctr = recorder.counter("chaos.sample_retries");
-    let degraded_ctr = recorder.counter("chaos.degraded_steps");
-    let checkpoint_ctr = recorder.counter("chaos.checkpoints");
-    let restore_ctr = recorder.counter("chaos.restores");
-    let recovery_us_hist = recorder.histogram("chaos.recovery_us");
-
-    let mut report = ChaosReport::default();
-    let plan = &config.fault_plan;
 
     // Shards: real replay cores, per-shard liveness state.
-    let mut shard_cores: Vec<ShardCore> = (0..config.num_shards)
+    let shard_cores: Vec<ShardCore> = (0..config.num_shards)
         .map(|i| {
             ShardCore::new(
                 config.agent.memory_capacity,
@@ -384,15 +695,12 @@ where
             )
         })
         .collect();
-    let dead: Vec<bool> = (0..config.num_shards).map(|i| config.kill_shards.contains(&i)).collect();
-    let mut stalled_until: Vec<u64> = vec![0; config.num_shards];
+    let mut shards = ReplicaHealth::new(config.num_shards);
+    for &s in &config.kill_shards {
+        shards.kill(s);
+    }
 
     // Workers: same construction as the threaded executor.
-    let make_worker = |w: usize, cfg: &DqnConfig| -> RlResult<ApexWorker> {
-        let envs = VectorEnv::new((0..config.envs_per_worker).map(|e| env_factory(w, e)).collect())
-            .map_err(|e| RlError::Core(CoreError::new(e.message())))?;
-        ApexWorker::new(cfg.clone(), envs).map_err(RlError::from)
-    };
     let mut workers: Vec<WorkerSlot> = Vec::with_capacity(config.num_workers);
     for w in 0..config.num_workers {
         let mut cfg = config.agent.clone();
@@ -400,249 +708,70 @@ where
         cfg.seed = config.agent.seed.wrapping_add(w as u64 * 7919);
         let eps = apex_worker_epsilon(w, config.num_workers);
         cfg.epsilon = rlgraph_agents::EpsilonSchedule { start: eps, end: eps, decay_steps: 1 };
-        let worker = make_worker(w, &cfg)?;
+        let worker = make_worker(&env_factory, config.envs_per_worker, w, &cfg)?;
         workers.push(WorkerSlot { worker, cfg, seen_version: 0, down_until: None, task: 0 });
     }
 
     // Learner.
     let state_space = env_factory(0, 0).state_space();
     let action_space = env_factory(0, 0).action_space();
-    let mut learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
-    let mut weight_version: u64 = 0;
-    let mut published = learner.get_weights();
-    let mut last_checkpoint: Option<LearnerCheckpoint> = None;
+    let learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
+    let published = learner.get_weights();
 
-    let mut env_frames: u64 = 0;
-    let mut samples_collected: u64 = 0;
-    let mut updates: u64 = 0;
-    let mut losses: Vec<f32> = Vec::new();
-    let mut reward_timeline: Vec<(f64, f32)> = Vec::new();
-    let mut learner_rr: usize = 0;
+    let mut state = ChaosState {
+        crash_ctr: recorder.counter_aliased("frag.rollout.crashes", &["chaos.worker_crashes"]),
+        restart_ctr: recorder.counter_aliased("frag.rollout.restarts", &["chaos.worker_restarts"]),
+        stall_ctr: recorder.counter_aliased("frag.replay.stalls", &["chaos.shard_stalls"]),
+        retry_ctr: recorder.counter_aliased("frag.learn.sample_retries", &["chaos.sample_retries"]),
+        degraded_ctr: recorder
+            .counter_aliased("frag.learn.degraded_steps", &["chaos.degraded_steps"]),
+        checkpoint_ctr: recorder.counter_aliased("frag.eval.checkpoints", &["chaos.checkpoints"]),
+        restore_ctr: recorder.counter_aliased("frag.eval.restores", &["chaos.restores"]),
+        recovery_us_hist: recorder
+            .histogram_aliased("frag.learn.recovery_us", &["chaos.recovery_us"]),
+        config: &config,
+        env_factory: &env_factory,
+        recorder: recorder.clone(),
+        sleeper,
+        report: ChaosReport::default(),
+        shard_cores,
+        shards,
+        workers,
+        state_space,
+        action_space,
+        learner,
+        weight_version: 0,
+        published,
+        last_checkpoint: None,
+        env_frames: 0,
+        samples_collected: 0,
+        updates: 0,
+        losses: Vec::new(),
+        reward_timeline: Vec::new(),
+        learner_rr: 0,
+    };
 
-    for step in 0..config.steps {
-        // -- shard stall injection -------------------------------------
-        for s in 0..config.num_shards {
-            if !dead[s] && stalled_until[s] <= step && plan.draw(FaultKind::ShardStall, s, step) {
-                stalled_until[s] = step + plan.shard_stall_steps();
-                report.shard_stalls += 1;
-                stall_ctr.inc();
-                report.events.push(FaultEvent { step, kind: FaultKind::ShardStall, target: s });
-            }
-        }
-        let shard_up = |s: usize, stalled: &[u64]| -> bool { !dead[s] && stalled[s] <= step };
-
-        // -- workers ----------------------------------------------------
-        for (w, slot) in workers.iter_mut().enumerate() {
-            if let Some(back_at) = slot.down_until {
-                if step < back_at {
-                    continue; // still down
-                }
-                // Supervised restart: fresh worker, pulls current weights.
-                // The reincarnation gets a new exploration seed — reusing
-                // the old one would replay the exact same action stream
-                // after every crash, filling the replay shards with
-                // duplicated trajectories and freezing learning.
-                slot.cfg.seed = slot.cfg.seed.wrapping_add(0x9E37_79B9);
-                let cfg = slot.cfg.clone();
-                slot.worker = make_worker(w, &cfg)?;
-                slot.worker.agent_mut().set_weights(&published)?;
-                slot.seen_version = weight_version;
-                slot.down_until = None;
-                report.worker_restarts += 1;
-                restart_ctr.inc();
-                let latency = config.worker_restart_delay * TICK_US;
-                report.recovery_latencies_us.push(latency);
-                recovery_us_hist.record(latency as f64);
-            }
-            if plan.draw(FaultKind::WorkerCrash, w, step) {
-                slot.down_until = Some(step + config.worker_restart_delay);
-                report.worker_crashes += 1;
-                crash_ctr.inc();
-                recorder.flight_note(
-                    "chaos.worker_crash",
-                    format!(
-                        "step {}: worker {} down {} ticks",
-                        step, w, config.worker_restart_delay
-                    ),
-                );
-                report.events.push(FaultEvent { step, kind: FaultKind::WorkerCrash, target: w });
-                continue; // this tick's task is lost with the crash
-            }
-            // Bounded staleness: force a pull past the lag limit.
-            let lag = weight_version - slot.seen_version;
-            report.max_weight_lag_seen = report.max_weight_lag_seen.max(lag);
-            if lag > config.max_weight_lag {
-                slot.worker.agent_mut().set_weights(&published)?;
-                slot.seen_version = weight_version;
-                report.forced_syncs += 1;
-            }
-            let batch = slot.worker.collect(config.task_size)?;
-            env_frames += batch.env_frames;
-            samples_collected += batch.len() as u64;
-            let now = Duration::from_micros(clock.now_micros()).as_secs_f64();
-            for r in &batch.episode_returns {
-                reward_timeline.push((now, *r));
-            }
-            // Round-robin insert with failover past stalled/dead shards.
-            let home = (slot.task as usize) % config.num_shards;
-            slot.task += 1;
-            if let Some(target) = (0..config.num_shards)
-                .map(|k| (home + k) % config.num_shards)
-                .find(|&s| shard_up(s, &stalled_until))
-            {
-                shard_cores[target].insert(batch.transitions, batch.priorities);
-            }
-            // No shard up at all: the task's experience is lost, which is
-            // exactly what happens when every mailbox is unreachable.
-        }
-
-        // -- deterministic learner crash + restore ----------------------
-        if config.crash_learner_at == Some(step) {
-            // The learner crash is the chaos suite's post-mortem moment:
-            // dump whatever the flight ring retained to stderr before the
-            // restore overwrites state (the report stays dump-free so the
-            // same-seed-same-report determinism contract is unaffected).
-            recorder.flight_note("chaos.learner_crash", format!("step {}: restoring", step));
-            if let Some(dump) = recorder.flight_render("chaos: learner crash injected") {
-                eprintln!("{}", dump);
-            }
-            learner = DqnAgent::new(config.agent.clone(), &state_space, &action_space)?;
-            if let Some(ckpt) = &last_checkpoint {
-                ckpt.restore(&mut learner)?;
-                weight_version = ckpt.weight_version;
-            } else {
-                weight_version = 0;
-            }
-            published = learner.get_weights();
-            report.restores += 1;
-            restore_ctr.inc();
-            report.recovery_latencies_us.push(TICK_US);
-            recovery_us_hist.record(TICK_US as f64);
-            clock.advance_micros(TICK_US); // the restore costs a tick
-            continue;
-        }
-
-        // -- learner ----------------------------------------------------
-        if plan.draw(FaultKind::LearnerSlowdown, 0, step) {
-            report.learner_slowdowns += 1;
-            report.events.push(FaultEvent { step, kind: FaultKind::LearnerSlowdown, target: 0 });
-            clock.advance_micros(TICK_US);
-            continue;
-        }
-        let healthy = (0..config.num_shards).filter(|&s| shard_up(s, &stalled_until)).count();
-        if healthy < config.shard_quorum {
-            // Graceful degradation: below quorum the learner pauses
-            // rather than training on a skewed shard subset.
-            report.degraded_steps += 1;
-            degraded_ctr.inc();
-            clock.advance_micros(TICK_US);
-            continue;
-        }
-        let rr = learner_rr;
-        learner_rr += 1;
-        let mut attempts_used: u32 = 0;
-        let sampled = config.retry.run(&sleeper, |attempt| {
-            attempts_used = attempt + 1;
-            let idx = (rr + attempt as usize) % config.num_shards;
-            if !shard_up(idx, &stalled_until) {
-                return Err(RlError::MailboxFull {
-                    capacity: ReplayShard::DEFAULT_MAILBOX_CAPACITY,
-                });
-            }
-            Ok((idx, shard_cores[idx].sample(config.agent.batch_size, config.agent.beta)))
-        });
-        report.sample_retries += attempts_used.saturating_sub(1) as u64;
-        retry_ctr.add(attempts_used.saturating_sub(1) as u64);
-        let (shard_idx, batch) = match sampled {
-            Ok((idx, Some(batch))) => (idx, batch),
-            Ok((_, None)) => {
-                // under-filled shard: not a fault, just warm-up
-                clock.advance_micros(TICK_US);
-                continue;
-            }
-            Err(e) if !e.is_fatal() => {
-                clock.advance_micros(TICK_US);
-                continue;
-            }
-            Err(RlError::RetriesExhausted { .. }) => {
-                clock.advance_micros(TICK_US);
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        let [s, a, r, s2, t] = batch.tensors;
-        let (loss, td) = learner.update_from_batch([s, a, r, s2, t, batch.weights])?;
-        losses.push(loss);
-        updates += 1;
-        let priorities = td.as_f32().map_err(CoreError::from)?.to_vec();
-        shard_cores[shard_idx].update_priorities(batch.indices, priorities);
-
-        // -- weight broadcast (with per-worker drops) --------------------
-        if updates.is_multiple_of(config.weight_sync_interval) {
-            weight_version += 1;
-            published = learner.get_weights();
-            for (w, slot) in workers.iter_mut().enumerate() {
-                if slot.down_until.is_some() {
-                    continue;
-                }
-                if plan.draw(FaultKind::DropWeightSync, w, step) {
-                    report.dropped_syncs += 1;
-                    report.events.push(FaultEvent {
-                        step,
-                        kind: FaultKind::DropWeightSync,
-                        target: w,
-                    });
-                    continue;
-                }
-                slot.worker.agent_mut().set_weights(&published)?;
-                slot.seen_version = weight_version;
-            }
-        }
-
-        // -- checkpoint cadence -----------------------------------------
-        if let Some(every) = config.checkpoint_every {
-            if updates > 0 && updates.is_multiple_of(every) {
-                let watermarks = shard_cores.iter().map(|c| c.watermark()).collect();
-                let ckpt = LearnerCheckpoint::capture(&learner, weight_version, watermarks);
-                // Bank the best checkpoint by recent recorded return; a
-                // deployment restores its best known-good snapshot, not
-                // whatever the learner happened to hold when it stopped.
-                let tail = reward_timeline.len().saturating_sub(CHECKPOINT_SCORE_WINDOW);
-                let recent = &reward_timeline[tail..];
-                if !recent.is_empty() {
-                    let score =
-                        recent.iter().map(|(_, r)| *r as f64).sum::<f64>() / recent.len() as f64;
-                    if report.best_checkpoint.is_none() || score > report.best_checkpoint_return {
-                        report.best_checkpoint_return = score;
-                        report.best_checkpoint = Some(ckpt.clone());
-                    }
-                }
-                last_checkpoint = Some(ckpt);
-                report.checkpoints += 1;
-                checkpoint_ctr.inc();
-            }
-        }
-
-        clock.advance_micros(TICK_US);
-    }
+    exec.run(&mut state, config.steps)?;
 
     // Final learner snapshot so callers can evaluate the learned policy
     // on clean environments after the run.
-    let final_watermarks = shard_cores.iter().map(|c| c.watermark()).collect();
-    report.final_checkpoint =
-        Some(LearnerCheckpoint::capture(&learner, weight_version, final_watermarks));
+    let final_watermarks = state.shard_cores.iter().map(|c| c.watermark()).collect();
+    state.report.final_checkpoint =
+        Some(LearnerCheckpoint::capture(&state.learner, state.weight_version, final_watermarks));
+    state.report.updates = state.updates;
+    state.report.virtual_time_us = exec.clock().now_micros();
 
-    let wall_time = Duration::from_micros(clock.now_micros());
+    let wall_time = Duration::from_micros(exec.clock().now_micros());
     let stats = ApexRunStats {
-        env_frames,
-        samples_collected,
+        env_frames: state.env_frames,
+        samples_collected: state.samples_collected,
         wall_time,
-        frames_per_second: env_frames as f64 / wall_time.as_secs_f64().max(1e-9),
-        updates,
-        losses,
-        reward_timeline,
+        frames_per_second: state.env_frames as f64 / wall_time.as_secs_f64().max(1e-9),
+        updates: state.updates,
+        losses: state.losses,
+        reward_timeline: state.reward_timeline,
     };
-    Ok((stats, report))
+    Ok((stats, state.report))
 }
 
 #[cfg(test)]

@@ -1,0 +1,313 @@
+//! The unified driver-configuration vocabulary (DESIGN.md §15).
+//!
+//! The four drivers grew four config surfaces with four spellings of
+//! the same knobs (`weight_sync_interval` vs `sync_every`, `run_duration`
+//! vs `steps`, `num_workers` vs `num_actors`). This module factors the
+//! shared vocabulary into one place:
+//!
+//! * [`RunBudget`] — how long a run lasts, in whichever unit the driver
+//!   meters (wall clock, learner updates, or virtual-time ticks).
+//! * [`DriverCommon`] — the read-side view: every driver config can
+//!   report its seed, parallelism and cadence uniformly.
+//! * [`DriverConfigBuilder`] — the write-side trait: one builder
+//!   vocabulary (`parallelism`, `sync_every`, `budget`, `observe_with`,
+//!   `try_build`) implemented by [`ApexRunConfigBuilder`],
+//!   [`ImpalaDriverConfigBuilder`], [`ChaosApexConfigBuilder`] and
+//!   rlgraph-net's `NetApexConfigBuilder`.
+//!
+//! Old spellings stay available on each concrete builder — they are
+//! deprecated vocabulary, not removed API:
+//!
+//! | deprecated spelling                  | unified spelling          |
+//! |--------------------------------------|---------------------------|
+//! | `num_workers` / `num_actors`         | [`DriverConfigBuilder::parallelism`] |
+//! | `weight_sync_interval`               | [`DriverConfigBuilder::sync_every`]  |
+//! | `run_duration` + `max_updates` / `steps` | [`DriverConfigBuilder::budget`]  |
+//! | `recorder`                           | [`DriverConfigBuilder::observe_with`] |
+//! | `build`                              | [`DriverConfigBuilder::try_build`]   |
+
+use crate::chaos::{ChaosApexConfig, ChaosApexConfigBuilder};
+use crate::impala_driver::{ImpalaDriverConfig, ImpalaDriverConfigBuilder};
+use crate::ray::{ApexRunConfig, ApexRunConfigBuilder};
+use rlgraph_core::RlResult;
+use rlgraph_obs::Recorder;
+use std::time::Duration;
+
+/// How long a driver run lasts. Each driver meters the unit it can
+/// actually enforce and ignores the rest: the threaded drivers honour
+/// `wall` and `max_updates`; the virtual-time chaos driver honours
+/// `steps`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// stop after this wall-clock duration (threaded drivers)
+    pub wall: Option<Duration>,
+    /// hard cap on learner updates (threaded drivers)
+    pub max_updates: Option<u64>,
+    /// virtual-time scheduler ticks (stepped/chaos driver)
+    pub steps: Option<u64>,
+}
+
+impl RunBudget {
+    /// A wall-clock budget.
+    pub fn wall(d: Duration) -> Self {
+        RunBudget { wall: Some(d), ..RunBudget::default() }
+    }
+
+    /// A learner-update budget.
+    pub fn updates(n: u64) -> Self {
+        RunBudget { max_updates: Some(n), ..RunBudget::default() }
+    }
+
+    /// A virtual-time tick budget.
+    pub fn steps(n: u64) -> Self {
+        RunBudget { steps: Some(n), ..RunBudget::default() }
+    }
+
+    /// A wall-clock budget with an update cap on top.
+    pub fn wall_or_updates(d: Duration, n: u64) -> Self {
+        RunBudget { wall: Some(d), max_updates: Some(n), steps: None }
+    }
+}
+
+/// The uniform read-side view over a driver config: the knobs every
+/// driver shares, whatever its concrete struct spells them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverCommon {
+    /// base RNG seed (the agent seed all per-replica seeds derive from)
+    pub seed: u64,
+    /// rollout parallelism (worker or actor replicas)
+    pub parallelism: usize,
+    /// vectorised environments per rollout replica
+    pub envs_per_replica: usize,
+    /// weight-broadcast cadence in learner updates (actor-pull cadence
+    /// in rollouts for IMPALA)
+    pub sync_every: u64,
+    /// the run's budget, in the units the driver meters
+    pub budget: RunBudget,
+}
+
+/// The uniform write-side vocabulary over driver config builders.
+///
+/// Spellings the concrete builders keep for compatibility
+/// (`num_workers`, `weight_sync_interval`, `run_duration`, …) are
+/// deprecated in favour of these; see the module docs for the mapping.
+pub trait DriverConfigBuilder: Sized {
+    /// The config type this builder produces.
+    type Config;
+
+    /// Rollout parallelism (worker/actor replicas).
+    fn parallelism(self, n: usize) -> Self;
+
+    /// Weight-sync cadence (broadcast every `k` updates, or pull every
+    /// `k` rollouts for IMPALA actors).
+    fn sync_every(self, k: u64) -> Self;
+
+    /// The run's budget. Drivers honour the units they meter (see
+    /// [`RunBudget`]) and leave the others at their defaults.
+    fn budget(self, budget: RunBudget) -> Self;
+
+    /// Observability recorder shared by the run's fragments.
+    fn observe_with(self, recorder: Recorder) -> Self;
+
+    /// Validates and builds the config.
+    ///
+    /// # Errors
+    ///
+    /// The concrete builder's invariant violations (zero replicas, a
+    /// quorum above the shard count, …).
+    fn try_build(self) -> RlResult<Self::Config>;
+}
+
+impl ApexRunConfig {
+    /// The uniform view over this config's shared knobs.
+    pub fn common(&self) -> DriverCommon {
+        DriverCommon {
+            seed: self.agent.seed,
+            parallelism: self.num_workers,
+            envs_per_replica: self.envs_per_worker,
+            sync_every: self.weight_sync_interval,
+            budget: RunBudget {
+                wall: Some(self.run_duration),
+                max_updates: self.max_updates,
+                steps: None,
+            },
+        }
+    }
+}
+
+impl DriverConfigBuilder for ApexRunConfigBuilder {
+    type Config = ApexRunConfig;
+
+    fn parallelism(self, n: usize) -> Self {
+        self.num_workers(n)
+    }
+
+    fn sync_every(self, k: u64) -> Self {
+        self.weight_sync_interval(k)
+    }
+
+    fn budget(self, budget: RunBudget) -> Self {
+        let b = match budget.wall {
+            Some(d) => self.run_duration(d),
+            None => self,
+        };
+        b.max_updates(budget.max_updates)
+    }
+
+    fn observe_with(self, recorder: Recorder) -> Self {
+        self.recorder(recorder)
+    }
+
+    fn try_build(self) -> RlResult<ApexRunConfig> {
+        self.build()
+    }
+}
+
+impl ImpalaDriverConfig {
+    /// The uniform view over this config's shared knobs.
+    pub fn common(&self) -> DriverCommon {
+        DriverCommon {
+            seed: self.agent.seed,
+            parallelism: self.num_actors,
+            envs_per_replica: self.envs_per_actor,
+            sync_every: self.weight_sync_interval,
+            budget: RunBudget {
+                wall: Some(self.run_duration),
+                max_updates: self.max_updates,
+                steps: None,
+            },
+        }
+    }
+}
+
+impl DriverConfigBuilder for ImpalaDriverConfigBuilder {
+    type Config = ImpalaDriverConfig;
+
+    fn parallelism(self, n: usize) -> Self {
+        self.num_actors(n)
+    }
+
+    fn sync_every(self, k: u64) -> Self {
+        self.weight_sync_interval(k)
+    }
+
+    fn budget(self, budget: RunBudget) -> Self {
+        let b = match budget.wall {
+            Some(d) => self.run_duration(d),
+            None => self,
+        };
+        b.max_updates(budget.max_updates)
+    }
+
+    fn observe_with(self, recorder: Recorder) -> Self {
+        self.recorder(recorder)
+    }
+
+    fn try_build(self) -> RlResult<ImpalaDriverConfig> {
+        self.build()
+    }
+}
+
+impl ChaosApexConfig {
+    /// The uniform view over this config's shared knobs.
+    pub fn common(&self) -> DriverCommon {
+        DriverCommon {
+            seed: self.agent.seed,
+            parallelism: self.num_workers,
+            envs_per_replica: self.envs_per_worker,
+            sync_every: self.weight_sync_interval,
+            budget: RunBudget { wall: None, max_updates: None, steps: Some(self.steps) },
+        }
+    }
+}
+
+impl DriverConfigBuilder for ChaosApexConfigBuilder {
+    type Config = ChaosApexConfig;
+
+    fn parallelism(self, n: usize) -> Self {
+        self.num_workers(n)
+    }
+
+    fn sync_every(self, k: u64) -> Self {
+        self.weight_sync_interval(k)
+    }
+
+    fn budget(self, budget: RunBudget) -> Self {
+        match budget.steps {
+            Some(n) => self.steps(n),
+            None => self,
+        }
+    }
+
+    fn observe_with(self, recorder: Recorder) -> Self {
+        self.recorder(recorder)
+    }
+
+    fn try_build(self) -> RlResult<ChaosApexConfig> {
+        self.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_vocabulary_configures_all_three_dist_drivers() {
+        let apex = ApexRunConfig::builder()
+            .parallelism(3)
+            .sync_every(7)
+            .budget(RunBudget::wall_or_updates(Duration::from_millis(50), 9))
+            .try_build()
+            .unwrap();
+        assert_eq!(apex.num_workers, 3);
+        assert_eq!(apex.weight_sync_interval, 7);
+        assert_eq!(apex.run_duration, Duration::from_millis(50));
+        assert_eq!(apex.max_updates, Some(9));
+
+        let impala = ImpalaDriverConfig::builder()
+            .parallelism(2)
+            .sync_every(5)
+            .budget(RunBudget::updates(4))
+            .try_build()
+            .unwrap();
+        assert_eq!(impala.num_actors, 2);
+        assert_eq!(impala.weight_sync_interval, 5);
+        assert_eq!(impala.max_updates, Some(4));
+
+        let chaos = ChaosApexConfig::builder()
+            .parallelism(2)
+            .sync_every(3)
+            .budget(RunBudget::steps(12))
+            .try_build()
+            .unwrap();
+        assert_eq!(chaos.num_workers, 2);
+        assert_eq!(chaos.weight_sync_interval, 3);
+        assert_eq!(chaos.steps, 12);
+    }
+
+    #[test]
+    fn common_view_reports_the_same_knobs_back() {
+        let apex = ApexRunConfig::builder()
+            .parallelism(4)
+            .sync_every(2)
+            .budget(RunBudget::wall(Duration::from_millis(10)))
+            .try_build()
+            .unwrap();
+        let common = apex.common();
+        assert_eq!(common.parallelism, 4);
+        assert_eq!(common.sync_every, 2);
+        assert_eq!(common.budget.wall, Some(Duration::from_millis(10)));
+        assert_eq!(common.seed, apex.agent.seed);
+
+        let chaos = ChaosApexConfig::builder().budget(RunBudget::steps(30)).try_build().unwrap();
+        assert_eq!(chaos.common().budget, RunBudget::steps(30));
+    }
+
+    #[test]
+    fn builders_still_validate_through_the_trait() {
+        assert!(ApexRunConfig::builder().parallelism(0).try_build().is_err());
+        assert!(ImpalaDriverConfig::builder().parallelism(0).try_build().is_err());
+        assert!(ChaosApexConfig::builder().parallelism(0).try_build().is_err());
+    }
+}

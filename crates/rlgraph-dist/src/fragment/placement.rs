@@ -1,0 +1,169 @@
+//! The placement layer: mapping each declared fragment onto a physical
+//! executor without changing the graph declaration.
+//!
+//! This is the physical half of the logical/physical split: the same
+//! [`FragmentGraph`](super::FragmentGraph) runs with replay inline in
+//! the learner thread, on supervised actor threads, or behind remote
+//! processes, purely by swapping the [`PlacementMap`].
+
+use super::graph::FragmentGraph;
+use rlgraph_core::{CoreError, RlError, RlResult};
+use std::collections::HashMap;
+
+/// Where a fragment's replicas execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// No dedicated execution resource: the fragment runs inline in
+    /// the thread of whichever stage calls into it (the driver stage —
+    /// usually the learner — anchors the caller thread itself; other
+    /// in-thread fragments, like a broadcast stage or inlined replay,
+    /// execute inside the driver's loop).
+    InThread,
+    /// A supervised OS thread per replica (panics and injected faults
+    /// restart the replica with backoff); the default for rollout and
+    /// replay fragments.
+    #[default]
+    ActorThread,
+    /// A separate OS process per replica, reached over the rlgraph-net
+    /// RPC transport (re-exec launch, see `rlgraph-net::proc`). Only
+    /// valid under an executor that provides a remote adapter.
+    RemoteProcess,
+}
+
+impl Placement {
+    /// Stable label used in logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::InThread => "in-thread",
+            Placement::ActorThread => "actor-thread",
+            Placement::RemoteProcess => "remote-process",
+        }
+    }
+}
+
+/// What the executing environment can physically provide; used by
+/// [`PlacementMap::validate`] to reject placements the current executor
+/// cannot honor.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementCaps {
+    /// Whether a remote-process adapter (RPC transport + process
+    /// launcher) is available.
+    pub remote: bool,
+}
+
+impl PlacementCaps {
+    /// A purely local executor: threads only.
+    pub fn local() -> Self {
+        PlacementCaps { remote: false }
+    }
+
+    /// An executor with a remote-process adapter (the rlgraph-net
+    /// runtime).
+    pub fn with_remote() -> Self {
+        PlacementCaps { remote: true }
+    }
+}
+
+/// Assignment of fragments to physical executors. Unmapped stages fall
+/// back to the default placement ([`Placement::ActorThread`] unless
+/// overridden).
+#[derive(Debug, Clone, Default)]
+pub struct PlacementMap {
+    map: HashMap<String, Placement>,
+    default: Placement,
+}
+
+impl PlacementMap {
+    /// An empty map: every stage defaults to
+    /// [`Placement::ActorThread`].
+    pub fn new() -> Self {
+        PlacementMap::default()
+    }
+
+    /// An empty map with the given fallback placement.
+    pub fn with_default(default: Placement) -> Self {
+        PlacementMap { map: HashMap::new(), default }
+    }
+
+    /// Assigns a stage to a placement.
+    pub fn place(mut self, stage: &str, placement: Placement) -> Self {
+        self.map.insert(stage.to_string(), placement);
+        self
+    }
+
+    /// The placement of a stage (falling back to the default).
+    pub fn of(&self, stage: &str) -> Placement {
+        self.map.get(stage).copied().unwrap_or(self.default)
+    }
+
+    /// Validates this map against a graph and the executor's
+    /// capabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Core`] when a mapped stage is not declared in the
+    /// graph, or a [`Placement::RemoteProcess`] assignment is made
+    /// without a remote adapter. In-thread placements are always legal:
+    /// inline fragments are passive (driven from the caller thread), so
+    /// any number of them — and any replica count — can share it.
+    pub fn validate(&self, graph: &FragmentGraph, caps: PlacementCaps) -> RlResult<()> {
+        let fail = |msg: String| Err(RlError::Core(CoreError::new(msg)));
+        for stage in self.map.keys() {
+            if graph.stage(stage).is_none() {
+                return fail(format!("placement: stage '{}' is not declared in the graph", stage));
+            }
+        }
+        if !caps.remote {
+            if let Some(s) =
+                graph.stages().iter().find(|s| self.of(&s.name) == Placement::RemoteProcess)
+            {
+                return fail(format!(
+                    "placement: stage '{}' requires a remote-process adapter this executor \
+                     does not provide",
+                    s.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::graph::StageKind;
+
+    fn graph() -> FragmentGraph {
+        FragmentGraph::builder()
+            .stage("rollout", StageKind::Rollout, 2)
+            .stage("learn", StageKind::Learn, 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn defaults_and_overrides_resolve() {
+        let p = PlacementMap::new().place("learn", Placement::InThread);
+        assert_eq!(p.of("rollout"), Placement::ActorThread);
+        assert_eq!(p.of("learn"), Placement::InThread);
+        p.validate(&graph(), PlacementCaps::local()).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_stage_and_remote_without_adapter() {
+        let g = graph();
+        assert!(PlacementMap::new()
+            .place("ghost", Placement::InThread)
+            .validate(&g, PlacementCaps::local())
+            .is_err());
+        // several inline fragments sharing the caller thread are fine
+        PlacementMap::new()
+            .place("rollout", Placement::InThread)
+            .place("learn", Placement::InThread)
+            .validate(&g, PlacementCaps::local())
+            .unwrap();
+        let remote = PlacementMap::new().place("rollout", Placement::RemoteProcess);
+        assert!(remote.validate(&g, PlacementCaps::local()).is_err());
+        remote.validate(&g, PlacementCaps::with_remote()).unwrap();
+    }
+}

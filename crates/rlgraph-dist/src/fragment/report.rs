@@ -1,0 +1,81 @@
+//! The unified run-report surface: every driver's stats type exposes
+//! the same core accounting through [`RunReport`], so tooling (benches,
+//! dashboards, the bench summary scripts) can consume any topology's
+//! result uniformly.
+
+use std::time::Duration;
+
+/// One per-fragment counter in a run report, labelled by stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentCounter {
+    /// Stage name (`rollout`, `replay`, `learn`, ...).
+    pub stage: String,
+    /// Metric name within the stage (reported as
+    /// `frag.<stage>.<metric>`).
+    pub metric: String,
+    /// Counter value.
+    pub value: f64,
+}
+
+impl FragmentCounter {
+    /// Convenience constructor.
+    pub fn new(stage: &str, metric: &str, value: f64) -> Self {
+        FragmentCounter { stage: stage.to_string(), metric: metric.to_string(), value }
+    }
+
+    /// The full metric name, `frag.<stage>.<metric>`.
+    pub fn name(&self) -> String {
+        format!("frag.{}.{}", self.stage, self.metric)
+    }
+}
+
+/// Uniform view over a driver run's outcome: learner progress, wall
+/// time, and per-fragment counters. Implemented by
+/// [`ApexRunStats`](crate::ApexRunStats),
+/// [`ImpalaRunStats`](crate::ImpalaRunStats),
+/// [`ChaosReport`](crate::ChaosReport), and `NetApexStats`
+/// (rlgraph-net).
+pub trait RunReport {
+    /// Learner updates performed.
+    fn updates(&self) -> u64;
+
+    /// Wall time of the run (virtual time for stepped executors).
+    fn wall_time(&self) -> Duration;
+
+    /// Per-fragment counters, labelled by stage.
+    fn fragment_counters(&self) -> Vec<FragmentCounter>;
+
+    /// One-line human summary.
+    fn summary(&self) -> String {
+        let mut s = format!("{} updates in {:.2}s", self.updates(), self.wall_time().as_secs_f64());
+        for c in self.fragment_counters() {
+            s.push_str(&format!(", {}={}", c.name(), c.value));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl RunReport for Fake {
+        fn updates(&self) -> u64 {
+            3
+        }
+        fn wall_time(&self) -> Duration {
+            Duration::from_secs(2)
+        }
+        fn fragment_counters(&self) -> Vec<FragmentCounter> {
+            vec![FragmentCounter::new("rollout", "env_frames", 10.0)]
+        }
+    }
+
+    #[test]
+    fn summary_renders_fragment_counters() {
+        let s = Fake.summary();
+        assert!(s.contains("3 updates"));
+        assert!(s.contains("frag.rollout.env_frames=10"));
+    }
+}

@@ -1,0 +1,225 @@
+//! The deterministic stepped fragment executor: the virtual-time
+//! counterpart of [`FragmentExecutor`](super::FragmentExecutor).
+//!
+//! Where the threaded executor gives each fragment its own supervised
+//! resource (and therefore OS-scheduling nondeterminism), the stepped
+//! executor drives every fragment from a single thread in a fixed
+//! per-tick order —
+//!
+//! ```text
+//!   replay → rollout → learn → broadcast → eval
+//! ```
+//!
+//! — against a [`VirtualTime`] clock, so a seeded run is bit-identical
+//! on every execution. The chaos engine
+//! ([`run_apex_chaos`](crate::chaos::run_apex_chaos)) is a
+//! [`SteppedStages`] implementation: fault injection, checkpointing,
+//! and quorum degradation are per-fragment concerns expressed in the
+//! corresponding stage ticks.
+
+use rlgraph_core::RlResult;
+use rlgraph_obs::VirtualTime;
+use std::sync::Arc;
+
+/// Per-tick context handed to every stage.
+pub struct TickCtx<'a> {
+    /// The current scheduler tick (0-based).
+    pub step: u64,
+    /// Virtual length of one tick in µs.
+    pub tick_us: u64,
+    /// The run's virtual clock (advanced by the executor after each
+    /// tick; stages may read it for timestamps).
+    pub clock: &'a VirtualTime,
+}
+
+/// What a learn tick decided about the rest of the tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickFlow {
+    /// The learner made progress: run the broadcast and eval fragments.
+    Continue,
+    /// The learner lost the tick (slowdown, below quorum, under-filled
+    /// replay, crash recovery): skip straight to the clock advance.
+    Skip,
+}
+
+/// The fragment stages of one stepped-graph tick, in execution order.
+/// Stages a graph does not declare are simply no-op implementations.
+pub trait SteppedStages {
+    /// Replay fragment: per-tick shard liveness (stall windows opening
+    /// and expiring).
+    fn replay_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<()>;
+
+    /// Rollout fragment: one collection task per live worker replica,
+    /// including crash/restart bookkeeping and insert failover.
+    fn rollout_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<()>;
+
+    /// Learn fragment: one sample/update round, or a [`TickFlow::Skip`]
+    /// when the tick is lost.
+    fn learn_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<TickFlow>;
+
+    /// Broadcast fragment: weight publication (with per-worker drop
+    /// faults). Only runs after a [`TickFlow::Continue`] learn tick.
+    fn broadcast_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<()>;
+
+    /// Eval fragment: checkpoint capture and best-checkpoint scoring.
+    /// Only runs after a [`TickFlow::Continue`] learn tick.
+    fn eval_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<()>;
+}
+
+/// Single-threaded virtual-time executor over [`SteppedStages`]; see
+/// the module docs for the tick order and determinism contract.
+pub struct SteppedExecutor {
+    clock: Arc<VirtualTime>,
+    tick_us: u64,
+}
+
+impl SteppedExecutor {
+    /// An executor over the given clock with the given tick length.
+    pub fn new(clock: Arc<VirtualTime>, tick_us: u64) -> Self {
+        SteppedExecutor { clock, tick_us }
+    }
+
+    /// The run's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualTime> {
+        &self.clock
+    }
+
+    /// Runs `steps` ticks: each tick drives replay → rollout → learn →
+    /// (broadcast → eval, unless the learn tick skipped) and then
+    /// advances the virtual clock by one tick.
+    ///
+    /// # Errors
+    ///
+    /// The first stage error, immediately (fatal errors abort the run
+    /// mid-tick; injected faults are expected to be absorbed by the
+    /// stages, not surfaced).
+    pub fn run(&self, stages: &mut impl SteppedStages, steps: u64) -> RlResult<()> {
+        for step in 0..steps {
+            let ctx = TickCtx { step, tick_us: self.tick_us, clock: &self.clock };
+            stages.replay_tick(&ctx)?;
+            stages.rollout_tick(&ctx)?;
+            if stages.learn_tick(&ctx)? == TickFlow::Continue {
+                stages.broadcast_tick(&ctx)?;
+                stages.eval_tick(&ctx)?;
+            }
+            self.clock.advance_micros(self.tick_us);
+        }
+        Ok(())
+    }
+}
+
+/// Per-replica liveness bookkeeping for stepped fragments: permanently
+/// dead replicas and bounded stall windows, both judged against the
+/// tick counter.
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    dead: Vec<bool>,
+    stalled_until: Vec<u64>,
+}
+
+impl ReplicaHealth {
+    /// All-healthy bookkeeping for `replicas` replicas.
+    pub fn new(replicas: usize) -> Self {
+        ReplicaHealth { dead: vec![false; replicas], stalled_until: vec![0; replicas] }
+    }
+
+    /// Marks a replica permanently dead.
+    pub fn kill(&mut self, replica: usize) {
+        self.dead[replica] = true;
+    }
+
+    /// Opens a stall window: the replica is down until `until_step`.
+    pub fn stall(&mut self, replica: usize, until_step: u64) {
+        self.stalled_until[replica] = until_step;
+    }
+
+    /// The step at which the replica's current stall window ends.
+    pub fn stalled_until(&self, replica: usize) -> u64 {
+        self.stalled_until[replica]
+    }
+
+    /// Whether the replica serves at `step` (not dead, not inside a
+    /// stall window).
+    pub fn is_up(&self, replica: usize, step: u64) -> bool {
+        !self.dead[replica] && self.stalled_until[replica] <= step
+    }
+
+    /// How many replicas serve at `step`.
+    pub fn up_count(&self, step: u64) -> usize {
+        (0..self.dead.len()).filter(|&r| self.is_up(r, step)).count()
+    }
+
+    /// Total replicas tracked.
+    pub fn len(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Whether no replicas are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.dead.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlgraph_obs::ClockSource;
+
+    #[derive(Default)]
+    struct Script {
+        order: Vec<&'static str>,
+        skip_on: Vec<u64>,
+    }
+
+    impl SteppedStages for Script {
+        fn replay_tick(&mut self, _ctx: &TickCtx<'_>) -> RlResult<()> {
+            self.order.push("replay");
+            Ok(())
+        }
+        fn rollout_tick(&mut self, _ctx: &TickCtx<'_>) -> RlResult<()> {
+            self.order.push("rollout");
+            Ok(())
+        }
+        fn learn_tick(&mut self, ctx: &TickCtx<'_>) -> RlResult<TickFlow> {
+            self.order.push("learn");
+            Ok(if self.skip_on.contains(&ctx.step) { TickFlow::Skip } else { TickFlow::Continue })
+        }
+        fn broadcast_tick(&mut self, _ctx: &TickCtx<'_>) -> RlResult<()> {
+            self.order.push("broadcast");
+            Ok(())
+        }
+        fn eval_tick(&mut self, _ctx: &TickCtx<'_>) -> RlResult<()> {
+            self.order.push("eval");
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ticks_run_in_fragment_order_and_skip_bypasses_broadcast() {
+        let exec = SteppedExecutor::new(VirtualTime::new(), 1_000);
+        let mut script = Script { skip_on: vec![1], ..Script::default() };
+        exec.run(&mut script, 2).unwrap();
+        assert_eq!(
+            script.order,
+            vec!["replay", "rollout", "learn", "broadcast", "eval", "replay", "rollout", "learn"]
+        );
+        // two ticks advanced regardless of the skip
+        assert_eq!(exec.clock().now_micros(), 2_000);
+    }
+
+    #[test]
+    fn replica_health_tracks_death_and_stalls() {
+        let mut h = ReplicaHealth::new(3);
+        assert_eq!(h.up_count(0), 3);
+        h.kill(1);
+        h.stall(2, 5);
+        assert!(h.is_up(0, 0));
+        assert!(!h.is_up(1, 100));
+        assert!(!h.is_up(2, 4));
+        assert!(h.is_up(2, 5));
+        assert_eq!(h.up_count(4), 1);
+        assert_eq!(h.stalled_until(2), 5);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+}

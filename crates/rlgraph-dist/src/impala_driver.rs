@@ -44,6 +44,14 @@ pub struct ImpalaDriverConfig {
     pub recorder: Recorder,
     /// seeded fault injection (defaults to [`FaultPlan::disabled`])
     pub fault_plan: FaultPlan,
+    /// optional fixed rollout budget per actor: each actor produces
+    /// exactly this many rollouts and exits on its own (the stop flag
+    /// and queue close are deferred until the actors have finished).
+    /// With one actor and no weight syncs this makes the rollout stream
+    /// deterministic per seed — the parity suite relies on it. Callers
+    /// must size `max_updates` so the learner drains what the actors
+    /// produce, or the actors block on a full queue
+    pub max_rollouts_per_actor: Option<u64>,
     /// force an off-cadence weight pull when an actor falls more than
     /// this many published versions behind (bounds policy-lag, which
     /// V-trace corrects but only up to a point)
@@ -63,6 +71,7 @@ impl Default for ImpalaDriverConfig {
             max_updates: None,
             recorder: Recorder::disabled(),
             fault_plan: FaultPlan::disabled(),
+            max_rollouts_per_actor: None,
             max_weight_lag: 16,
             max_actor_restarts: 16,
         }
@@ -89,7 +98,8 @@ impl ImpalaDriverConfigBuilder {
         self
     }
 
-    /// Number of actor threads.
+    /// Number of actor threads. Deprecated spelling of
+    /// [`parallelism`](crate::DriverConfigBuilder::parallelism).
     pub fn num_actors(mut self, n: usize) -> Self {
         self.draft.num_actors = n;
         self
@@ -101,25 +111,29 @@ impl ImpalaDriverConfigBuilder {
         self
     }
 
-    /// Weight refresh cadence in rollouts.
+    /// Weight refresh cadence in rollouts. Deprecated spelling of
+    /// [`sync_every`](crate::DriverConfigBuilder::sync_every).
     pub fn weight_sync_interval(mut self, k: u64) -> Self {
         self.draft.weight_sync_interval = k;
         self
     }
 
-    /// Wall-clock run budget.
+    /// Wall-clock run budget. Deprecated spelling of
+    /// [`budget`](crate::DriverConfigBuilder::budget).
     pub fn run_duration(mut self, d: Duration) -> Self {
         self.draft.run_duration = d;
         self
     }
 
-    /// Optional learner update cap.
+    /// Optional learner update cap. Deprecated spelling of
+    /// [`budget`](crate::DriverConfigBuilder::budget).
     pub fn max_updates(mut self, cap: Option<u64>) -> Self {
         self.draft.max_updates = cap;
         self
     }
 
-    /// Observability recorder.
+    /// Observability recorder. Deprecated spelling of
+    /// [`observe_with`](crate::DriverConfigBuilder::observe_with).
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.draft.recorder = recorder;
         self
@@ -128,6 +142,13 @@ impl ImpalaDriverConfigBuilder {
     /// Seeded fault injection plan.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.draft.fault_plan = plan;
+        self
+    }
+
+    /// Optional fixed rollout budget per actor (see
+    /// [`ImpalaDriverConfig::max_rollouts_per_actor`]).
+    pub fn max_rollouts_per_actor(mut self, cap: Option<u64>) -> Self {
+        self.draft.max_rollouts_per_actor = cap;
         self
     }
 
@@ -163,6 +184,9 @@ impl ImpalaDriverConfigBuilder {
         if c.max_updates == Some(0) {
             return fail("impala config: max_updates cap of 0 would never run");
         }
+        if c.max_rollouts_per_actor == Some(0) {
+            return fail("impala config: max_rollouts_per_actor cap of 0 would never collect");
+        }
         if c.max_weight_lag == 0 || c.max_actor_restarts == 0 {
             return fail("impala config: max_weight_lag and max_actor_restarts must be positive");
         }
@@ -187,8 +211,51 @@ pub struct ImpalaRunStats {
     pub mean_return: Option<f32>,
 }
 
+impl crate::fragment::RunReport for ImpalaRunStats {
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+
+    fn fragment_counters(&self) -> Vec<crate::fragment::FragmentCounter> {
+        vec![
+            crate::fragment::FragmentCounter::new("rollout", "env_frames", self.env_frames as f64),
+            crate::fragment::FragmentCounter::new("learn", "updates", self.updates as f64),
+        ]
+    }
+}
+
 /// Runs IMPALA: actors produce fused rollouts into the queue, the learner
 /// consumes them with V-trace.
+///
+/// This is a thin wrapper over the fragment executor: the run is
+/// declared as a [fragment graph](crate::fragment::impala_graph) and
+/// executed under the
+/// [default placement](crate::fragment::default_impala_placement). The
+/// hand-woven driver it replaced is kept as [`run_impala_legacy`]; the
+/// parity suite holds both to same-seed behavioral equality.
+///
+/// # Errors
+///
+/// Propagates build errors; an actor that dies for good surfaces as
+/// [`RlError::ActorCrashed`].
+pub fn run_impala<F>(config: ImpalaDriverConfig, env_factory: F) -> RlResult<ImpalaRunStats>
+where
+    F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
+{
+    crate::fragment::run_impala_fragments(
+        config,
+        crate::fragment::default_impala_placement(),
+        env_factory,
+    )
+}
+
+/// The original hand-woven IMPALA driver (threads and the shared queue
+/// wired directly, no fragment layer). Kept as the behavioral reference
+/// for the fragment executor's parity suite; prefer [`run_impala`].
 ///
 /// Actors run under a [`Supervisor`]: panics and injected crashes
 /// ([`ImpalaDriverConfig::fault_plan`]) restart the actor with backoff
@@ -200,7 +267,7 @@ pub struct ImpalaRunStats {
 ///
 /// Propagates build errors; an actor that dies for good surfaces as
 /// [`RlError::ActorCrashed`].
-pub fn run_impala<F>(config: ImpalaDriverConfig, env_factory: F) -> RlResult<ImpalaRunStats>
+pub fn run_impala_legacy<F>(config: ImpalaDriverConfig, env_factory: F) -> RlResult<ImpalaRunStats>
 where
     F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
 {
@@ -243,6 +310,7 @@ where
         let sync_every = config.weight_sync_interval;
         let max_lag = config.max_weight_lag;
         let fault_plan = config.fault_plan.clone();
+        let max_rollouts = config.max_rollouts_per_actor;
         let rec = recorder.clone();
         // Persist across supervised restarts so injected-fault draws
         // advance instead of re-crashing at the same coordinate.
@@ -258,7 +326,9 @@ where
             let mut actor = ImpalaActor::new(&agent_cfg, envs, queue.clone())?;
             let mut frames_before = 0u64;
             let mut weight_version = 0u64;
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Relaxed)
+                && max_rollouts.map(|k| rollouts < k).unwrap_or(true)
+            {
                 // Scheduled pull every `sync_every` rollouts, plus a
                 // forced pull whenever the published version has run
                 // more than `max_lag` ahead (bounded staleness).
@@ -341,9 +411,17 @@ where
         }
     }
 
-    stop.store(true, Ordering::Relaxed);
-    queue.close();
+    // Finite rollout budgets exit on their own; raising the stop flag
+    // or closing the queue early would truncate them
+    // non-deterministically.
+    if config.max_rollouts_per_actor.is_none() {
+        stop.store(true, Ordering::Relaxed);
+        queue.close();
+    }
     let report = supervisor.join();
+    if config.max_rollouts_per_actor.is_some() {
+        queue.close();
+    }
     for actor in &report.actors {
         if let ActorOutcome::Fatal(reason) | ActorOutcome::GaveUp(reason) = &actor.outcome {
             return Err(RlError::ActorCrashed {

@@ -18,7 +18,9 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod driver;
 pub mod fault;
+pub mod fragment;
 pub mod impala_driver;
 pub mod ray;
 pub mod retry;
@@ -28,11 +30,17 @@ pub mod sync;
 
 pub use chaos::{run_apex_chaos, ChaosApexConfig, ChaosApexConfigBuilder, ChaosReport};
 pub use checkpoint::LearnerCheckpoint;
+pub use driver::{DriverCommon, DriverConfigBuilder, RunBudget};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};
-pub use impala_driver::{
-    run_impala, ImpalaDriverConfig, ImpalaDriverConfigBuilder, ImpalaRunStats,
+pub use fragment::{
+    apex_graph, default_apex_placement, default_impala_placement, impala_graph, run_apex_fragments,
+    run_impala_fragments, EdgePolicy, FragmentCounter, FragmentExecutor, FragmentGraph, Placement,
+    PlacementCaps, PlacementMap, RunReport, StageKind,
 };
-pub use ray::{run_apex, ApexRunConfig, ApexRunConfigBuilder, ApexRunStats};
+pub use impala_driver::{
+    run_impala, run_impala_legacy, ImpalaDriverConfig, ImpalaDriverConfigBuilder, ImpalaRunStats,
+};
+pub use ray::{run_apex, run_apex_legacy, ApexRunConfig, ApexRunConfigBuilder, ApexRunStats};
 pub use retry::{RetryPolicy, RetryPolicyBuilder, Sleep, ThreadSleeper, VirtualSleeper};
 pub use rlgraph_core::{RlError, RlResult, Severity};
 pub use shard::{MailboxError, ReplayShard, ShardCore, ShardRequest};

@@ -47,6 +47,13 @@ pub struct ApexRunConfig {
     pub run_duration: Duration,
     /// optional hard cap on learner updates
     pub max_updates: Option<u64>,
+    /// optional fixed task budget per worker: each worker collects
+    /// exactly this many tasks and exits on its own (the run does not
+    /// drain the remaining wall budget, and the stop flag is not raised
+    /// early). With one worker and no weight syncs this makes the
+    /// collected trajectory stream deterministic per seed — the parity
+    /// suite relies on it
+    pub max_tasks_per_worker: Option<u64>,
     /// observability recorder shared by learner, workers and shards
     /// (defaults to the no-op recorder)
     pub recorder: Recorder,
@@ -72,6 +79,7 @@ impl Default for ApexRunConfig {
             weight_sync_interval: 16,
             run_duration: Duration::from_secs(5),
             max_updates: None,
+            max_tasks_per_worker: None,
             recorder: Recorder::disabled(),
             fault_plan: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
@@ -100,7 +108,8 @@ impl ApexRunConfigBuilder {
         self
     }
 
-    /// Number of worker actors.
+    /// Number of worker actors. Deprecated spelling of
+    /// [`parallelism`](crate::DriverConfigBuilder::parallelism).
     pub fn num_workers(mut self, n: usize) -> Self {
         self.draft.num_workers = n;
         self
@@ -124,25 +133,36 @@ impl ApexRunConfigBuilder {
         self
     }
 
-    /// Weight broadcast interval in learner updates.
+    /// Weight broadcast interval in learner updates. Deprecated
+    /// spelling of [`sync_every`](crate::DriverConfigBuilder::sync_every).
     pub fn weight_sync_interval(mut self, k: u64) -> Self {
         self.draft.weight_sync_interval = k;
         self
     }
 
-    /// Wall-clock run budget.
+    /// Wall-clock run budget. Deprecated spelling of
+    /// [`budget`](crate::DriverConfigBuilder::budget).
     pub fn run_duration(mut self, d: Duration) -> Self {
         self.draft.run_duration = d;
         self
     }
 
-    /// Optional learner update cap.
+    /// Optional learner update cap. Deprecated spelling of
+    /// [`budget`](crate::DriverConfigBuilder::budget).
     pub fn max_updates(mut self, cap: Option<u64>) -> Self {
         self.draft.max_updates = cap;
         self
     }
 
-    /// Observability recorder.
+    /// Optional fixed task budget per worker (see
+    /// [`ApexRunConfig::max_tasks_per_worker`]).
+    pub fn max_tasks_per_worker(mut self, cap: Option<u64>) -> Self {
+        self.draft.max_tasks_per_worker = cap;
+        self
+    }
+
+    /// Observability recorder. Deprecated spelling of
+    /// [`observe_with`](crate::DriverConfigBuilder::observe_with).
     pub fn recorder(mut self, recorder: Recorder) -> Self {
         self.draft.recorder = recorder;
         self
@@ -193,6 +213,9 @@ impl ApexRunConfigBuilder {
         if c.max_updates == Some(0) {
             return fail("apex config: max_updates cap of 0 would never run".into());
         }
+        if c.max_tasks_per_worker == Some(0) {
+            return fail("apex config: max_tasks_per_worker cap of 0 would never collect".into());
+        }
         if c.max_worker_restarts == 0 {
             return fail("apex config: max_worker_restarts must be at least 1".into());
         }
@@ -219,6 +242,28 @@ pub struct ApexRunStats {
     pub reward_timeline: Vec<(f64, f32)>,
 }
 
+impl crate::fragment::RunReport for ApexRunStats {
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+
+    fn fragment_counters(&self) -> Vec<crate::fragment::FragmentCounter> {
+        vec![
+            crate::fragment::FragmentCounter::new("rollout", "env_frames", self.env_frames as f64),
+            crate::fragment::FragmentCounter::new(
+                "rollout",
+                "samples",
+                self.samples_collected as f64,
+            ),
+            crate::fragment::FragmentCounter::new("learn", "updates", self.updates as f64),
+        ]
+    }
+}
+
 impl ApexRunStats {
     /// Mean of the most recent `n` episode returns.
     pub fn mean_recent_return(&self, n: usize) -> Option<f32> {
@@ -243,6 +288,33 @@ pub fn apex_worker_epsilon(worker: usize, num_workers: usize) -> f32 {
 /// `env_factory(worker, env_index)` builds each environment copy (also
 /// re-invoked when a supervised worker restarts after a crash).
 ///
+/// This is a thin wrapper over the fragment executor: the run is
+/// declared as a [fragment graph](crate::fragment::apex_graph) and
+/// executed under the
+/// [default placement](crate::fragment::default_apex_placement) —
+/// rollout and replay on supervised actor threads, learner inline. The
+/// hand-woven driver it replaced is kept as [`run_apex_legacy`]; the
+/// parity suite holds both to same-seed behavioral equality.
+///
+/// # Errors
+///
+/// Propagates build errors; a worker that ends fatally (or exhausts its
+/// restart budget) surfaces as [`RlError::ActorCrashed`].
+pub fn run_apex<F>(config: ApexRunConfig, env_factory: F) -> RlResult<ApexRunStats>
+where
+    F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
+{
+    crate::fragment::run_apex_fragments(
+        config,
+        crate::fragment::default_apex_placement(),
+        env_factory,
+    )
+}
+
+/// The original hand-woven Ape-X driver (threads and channels wired
+/// directly, no fragment layer). Kept as the behavioral reference for
+/// the fragment executor's parity suite; prefer [`run_apex`].
+///
 /// Workers run under a [`Supervisor`]: a panic or an injected crash
 /// ([`ApexRunConfig::fault_plan`]) restarts the worker with backoff
 /// instead of silently losing its actor for the rest of the run.
@@ -253,7 +325,7 @@ pub fn apex_worker_epsilon(worker: usize, num_workers: usize) -> f32 {
 ///
 /// Propagates build errors; a worker that ends fatally (or exhausts its
 /// restart budget) surfaces as [`RlError::ActorCrashed`].
-pub fn run_apex<F>(config: ApexRunConfig, env_factory: F) -> RlResult<ApexRunStats>
+pub fn run_apex_legacy<F>(config: ApexRunConfig, env_factory: F) -> RlResult<ApexRunStats>
 where
     F: Fn(usize, usize) -> Box<dyn Env> + Send + Sync + 'static,
 {
@@ -314,6 +386,7 @@ where
         let (task_size, envs_per_worker) = (config.task_size, config.envs_per_worker);
         let fault_plan = config.fault_plan.clone();
         let retry = config.retry.clone();
+        let max_tasks = config.max_tasks_per_worker;
         // The body is re-invoked on every supervised restart: envs and
         // the local agent are rebuilt, pending weight snapshots on `wrx`
         // re-sync it, and the task counter keeps advancing so fault draws
@@ -336,7 +409,7 @@ where
             let reward_gauge = rec.gauge("train.episode_reward");
             let mailbox_full_ctr = rec.counter("shard.mailbox_full");
             let crash_ctr = rec.counter("chaos.worker_crashes");
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Relaxed) && max_tasks.map(|k| task < k).unwrap_or(true) {
                 if let Ok((sent_us, weights)) = wrx.try_recv() {
                     sync_latency_us.record(rec.now_micros().saturating_sub(sent_us) as f64);
                     worker.agent_mut().set_weights(&weights)?;
@@ -477,11 +550,16 @@ where
         }
     }
 
-    // Drain any remaining run budget on pure sampling, then stop workers.
-    while Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(10));
+    // Drain any remaining run budget on pure sampling, then stop workers
+    // — unless they run to a fixed task budget, in which case they exit
+    // on their own and raising the stop flag early would truncate them
+    // non-deterministically.
+    if config.max_tasks_per_worker.is_none() {
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Relaxed);
     }
-    stop.store(true, Ordering::Relaxed);
     let report = supervisor.join();
     for s in shards {
         s.shutdown();

@@ -278,6 +278,54 @@ impl Drop for ReplayShard {
     }
 }
 
+/// Metric handles for one shard serving loop. Resolved once (all
+/// no-ops under a disabled recorder); the constructors pick the naming
+/// scheme:
+///
+/// * [`ShardServeMetrics::legacy`] — the historical `shard.*` names.
+/// * [`ShardServeMetrics::fragment`] — the uniform
+///   `frag.<stage>.*` scheme of the fragment executor, with the
+///   `shard.*` spellings kept as live back-compat aliases.
+#[derive(Clone)]
+pub struct ShardServeMetrics {
+    /// insert service time (µs)
+    pub insert_us: rlgraph_obs::AliasedHistogram,
+    /// sample service time (µs)
+    pub sample_us: rlgraph_obs::AliasedHistogram,
+    /// priority-update service time (µs)
+    pub update_us: rlgraph_obs::AliasedHistogram,
+    /// pending requests after each dequeue
+    pub mailbox_depth: rlgraph_obs::AliasedGauge,
+    /// records currently held
+    pub fill: rlgraph_obs::AliasedGauge,
+}
+
+impl ShardServeMetrics {
+    /// Handles under the historical `shard.*` names.
+    pub fn legacy(recorder: &Recorder) -> Self {
+        ShardServeMetrics {
+            insert_us: recorder.histogram_aliased("shard.insert_us", &[]),
+            sample_us: recorder.histogram_aliased("shard.sample_us", &[]),
+            update_us: recorder.histogram_aliased("shard.update_priorities_us", &[]),
+            mailbox_depth: recorder.gauge_aliased("shard.mailbox_depth", &[]),
+            fill: recorder.gauge_aliased("shard.size", &[]),
+        }
+    }
+
+    /// Handles under `frag.<stage>.*` with the `shard.*` names aliased.
+    pub fn fragment(recorder: &Recorder, stage: &str) -> Self {
+        let name = |metric: &str| format!("frag.{}.{}", stage, metric);
+        ShardServeMetrics {
+            insert_us: recorder.histogram_aliased(&name("insert_us"), &["shard.insert_us"]),
+            sample_us: recorder.histogram_aliased(&name("sample_us"), &["shard.sample_us"]),
+            update_us: recorder
+                .histogram_aliased(&name("update_priorities_us"), &["shard.update_priorities_us"]),
+            mailbox_depth: recorder.gauge_aliased(&name("mailbox_depth"), &["shard.mailbox_depth"]),
+            fill: recorder.gauge_aliased(&name("size"), &["shard.size"]),
+        }
+    }
+}
+
 fn shard_loop(
     rx: Receiver<ShardRequest>,
     capacity: usize,
@@ -285,13 +333,26 @@ fn shard_loop(
     seed: u64,
     recorder: Recorder,
 ) -> u64 {
-    let mut core = ShardCore::new(capacity, alpha, seed);
-    // Handles resolved once; all no-ops under a disabled recorder.
-    let insert_us = recorder.histogram("shard.insert_us");
-    let sample_us = recorder.histogram("shard.sample_us");
-    let update_us = recorder.histogram("shard.update_priorities_us");
-    let mailbox_depth = recorder.gauge("shard.mailbox_depth");
-    let fill = recorder.gauge("shard.size");
+    let core = ShardCore::new(capacity, alpha, seed);
+    let metrics = ShardServeMetrics::legacy(&recorder);
+    serve_shard(&rx, core, &recorder, &metrics)
+}
+
+/// Serves shard requests from `rx` over `core` until `Shutdown` arrives
+/// or every sender is gone, then returns the shard's final watermark.
+///
+/// This is the one replay serving loop: [`ReplayShard`] threads and the
+/// fragment executor's replay stage bodies both run it, so placement
+/// changes never change request semantics — only the thread the loop
+/// runs on and the names its metrics are emitted under.
+pub fn serve_shard(
+    rx: &Receiver<ShardRequest>,
+    mut core: ShardCore,
+    recorder: &Recorder,
+    m: &ShardServeMetrics,
+) -> u64 {
+    let (insert_us, sample_us, update_us) = (&m.insert_us, &m.sample_us, &m.update_us);
+    let (mailbox_depth, fill) = (&m.mailbox_depth, &m.fill);
     while let Ok(req) = rx.recv() {
         // Depth of the actor's mailbox *after* taking this request: how far
         // producers are running ahead of this shard.

@@ -1,0 +1,144 @@
+//! Same-seed parity: the fragment-built drivers must reproduce the
+//! legacy hand-woven drivers, and placements must not change behavior.
+//!
+//! The contract (ISSUE: fragment executor acceptance): with a fixed
+//! per-worker task budget and weight sync disabled, a run's collected
+//! trajectory stream is a pure function of the seed — so the legacy and
+//! fragment paths must produce identical update counts, identical frame
+//! and sample totals, and bit-identical recorded returns. For IMPALA the
+//! learner consumes exactly one queue record per update, so a rollout
+//! budget equal to the update budget drains exactly and the loss
+//! sequence itself must be bit-identical.
+
+use rlgraph_agents::{Backend, DqnConfig, ImpalaConfig};
+use rlgraph_dist::fragment::{default_apex_placement, run_apex_fragments, Placement, PlacementMap};
+use rlgraph_dist::{
+    run_apex_legacy, run_impala_legacy, ApexRunConfig, ApexRunStats, ImpalaDriverConfig,
+};
+use rlgraph_envs::{Env, RandomEnv};
+use rlgraph_nn::{Activation, NetworkSpec};
+use std::time::Duration;
+
+fn env_factory(w: usize, e: usize) -> Box<dyn Env> {
+    Box::new(RandomEnv::new(&[4], 2, 20, (w * 10 + e) as u64))
+}
+
+fn apex_parity_config() -> ApexRunConfig {
+    ApexRunConfig::builder()
+        .agent(DqnConfig {
+            backend: Backend::Static,
+            network: NetworkSpec::mlp(&[8], Activation::Tanh),
+            memory_capacity: 512,
+            batch_size: 8,
+            n_step: 2,
+            target_sync_every: 50,
+            seed: 17,
+            ..DqnConfig::default()
+        })
+        // One worker, no weight syncs within budget: the trajectory
+        // stream is a pure function of the seed.
+        .num_workers(1)
+        .envs_per_worker(2)
+        .task_size(64)
+        .num_shards(1)
+        .weight_sync_interval(1_000_000)
+        .run_duration(Duration::from_secs(30))
+        .max_updates(Some(12))
+        .max_tasks_per_worker(Some(4))
+        .build()
+        .unwrap()
+}
+
+fn returns_of(stats: &ApexRunStats) -> Vec<f32> {
+    // Timestamps are wall-clock and differ run to run; the return
+    // sequence itself is the determinism contract.
+    stats.reward_timeline.iter().map(|(_, r)| *r).collect()
+}
+
+#[test]
+fn apex_fragment_path_matches_legacy_per_seed() {
+    let legacy = run_apex_legacy(apex_parity_config(), env_factory).unwrap();
+    let fragment =
+        run_apex_fragments(apex_parity_config(), default_apex_placement(), env_factory).unwrap();
+
+    assert_eq!(legacy.updates, 12, "update budget must bind");
+    assert_eq!(fragment.updates, legacy.updates);
+    assert_eq!(fragment.env_frames, legacy.env_frames);
+    assert_eq!(fragment.samples_collected, legacy.samples_collected);
+    assert_eq!(
+        returns_of(&fragment),
+        returns_of(&legacy),
+        "recorded returns must be bit-identical"
+    );
+}
+
+#[test]
+fn apex_placement_swap_preserves_behavior_per_seed() {
+    // Same declaration, replay moved onto the caller thread: behavioral
+    // equality is what makes placement a pure physical concern.
+    let threaded =
+        run_apex_fragments(apex_parity_config(), default_apex_placement(), env_factory).unwrap();
+    let inline_replay = run_apex_fragments(
+        apex_parity_config(),
+        default_apex_placement().place("replay", Placement::InThread),
+        env_factory,
+    )
+    .unwrap();
+
+    assert_eq!(inline_replay.updates, threaded.updates);
+    assert_eq!(inline_replay.env_frames, threaded.env_frames);
+    assert_eq!(inline_replay.samples_collected, threaded.samples_collected);
+    assert_eq!(returns_of(&inline_replay), returns_of(&threaded));
+}
+
+#[test]
+fn apex_fragment_runs_under_explicit_placement_map() {
+    // The same config also runs when every stage is spelled out — the
+    // map API, not just the default, is part of the contract.
+    let placement = PlacementMap::new()
+        .place("rollout", Placement::ActorThread)
+        .place("replay", Placement::InThread)
+        .place("learn", Placement::InThread)
+        .place("broadcast", Placement::InThread);
+    let stats = run_apex_fragments(apex_parity_config(), placement, env_factory).unwrap();
+    assert_eq!(stats.updates, 12);
+}
+
+fn impala_parity_config() -> ImpalaDriverConfig {
+    ImpalaDriverConfig::builder()
+        .agent(ImpalaConfig {
+            backend: Backend::Static,
+            network: NetworkSpec::mlp(&[8], Activation::Tanh),
+            rollout_len: 5,
+            queue_capacity: 4,
+            seed: 23,
+            ..ImpalaConfig::default()
+        })
+        .num_actors(1)
+        .envs_per_actor(2)
+        // Rollout budget == update budget: the learner consumes exactly
+        // one queue record per update, so the run drains exactly.
+        .max_rollouts_per_actor(Some(10))
+        .max_updates(Some(10))
+        .weight_sync_interval(1_000_000)
+        .max_weight_lag(1_000_000)
+        .run_duration(Duration::from_secs(30))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn impala_fragment_path_matches_legacy_per_seed() {
+    let legacy = run_impala_legacy(impala_parity_config(), env_factory).unwrap();
+    let fragment = rlgraph_dist::fragment::run_impala_fragments(
+        impala_parity_config(),
+        rlgraph_dist::fragment::default_impala_placement(),
+        env_factory,
+    )
+    .unwrap();
+
+    assert_eq!(legacy.updates, 10, "update budget must bind");
+    assert_eq!(fragment.updates, legacy.updates);
+    assert_eq!(fragment.env_frames, legacy.env_frames);
+    assert_eq!(fragment.losses, legacy.losses, "loss sequence must be bit-identical");
+}

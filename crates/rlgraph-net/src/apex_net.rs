@@ -107,6 +107,177 @@ impl Default for NetApexConfig {
     }
 }
 
+impl NetApexConfig {
+    /// A builder seeded with the defaults, sharing the unified
+    /// [`DriverConfigBuilder`](rlgraph_dist::DriverConfigBuilder)
+    /// vocabulary with the in-process drivers.
+    pub fn builder() -> NetApexConfigBuilder {
+        NetApexConfigBuilder { draft: NetApexConfig::default() }
+    }
+}
+
+/// Builder for [`NetApexConfig`]; validates on
+/// [`build`](NetApexConfigBuilder::build).
+#[derive(Clone, Default)]
+pub struct NetApexConfigBuilder {
+    draft: NetApexConfig,
+}
+
+impl NetApexConfigBuilder {
+    /// Learner/worker agent configuration.
+    pub fn agent(mut self, agent: DqnConfig) -> Self {
+        self.draft.agent = agent;
+        self
+    }
+
+    /// Environment constructor shipped to workers.
+    pub fn env(mut self, env: EnvSpec) -> Self {
+        self.draft.env = env;
+        self
+    }
+
+    /// Worker count. Deprecated spelling of
+    /// [`parallelism`](rlgraph_dist::DriverConfigBuilder::parallelism).
+    pub fn num_workers(mut self, n: usize) -> Self {
+        self.draft.num_workers = n;
+        self
+    }
+
+    /// Vectorised environments per worker.
+    pub fn envs_per_worker(mut self, n: usize) -> Self {
+        self.draft.envs_per_worker = n;
+        self
+    }
+
+    /// Samples per collection task.
+    pub fn task_size(mut self, n: usize) -> Self {
+        self.draft.task_size = n;
+        self
+    }
+
+    /// Replay shard count (one RPC server each).
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.draft.num_shards = n;
+        self
+    }
+
+    /// Publish weights every `k` learner updates. Deprecated spelling of
+    /// [`sync_every`](rlgraph_dist::DriverConfigBuilder::sync_every).
+    pub fn weight_sync_interval(mut self, k: u64) -> Self {
+        self.draft.weight_sync_interval = k;
+        self
+    }
+
+    /// Stop after this wall-clock duration. Deprecated spelling of
+    /// [`budget`](rlgraph_dist::DriverConfigBuilder::budget).
+    pub fn run_duration(mut self, d: Duration) -> Self {
+        self.draft.run_duration = d;
+        self
+    }
+
+    /// Optional hard cap on learner updates. Deprecated spelling of
+    /// [`budget`](rlgraph_dist::DriverConfigBuilder::budget).
+    pub fn max_updates(mut self, cap: Option<u64>) -> Self {
+        self.draft.max_updates = cap;
+        self
+    }
+
+    /// Per-RPC deadline on worker and learner calls.
+    pub fn rpc_deadline(mut self, d: Duration) -> Self {
+        self.draft.rpc_deadline = d;
+        self
+    }
+
+    /// Worker hosting mode (the rollout fragment's placement).
+    pub fn launch(mut self, mode: LaunchMode) -> Self {
+        self.draft.launch = mode;
+        self
+    }
+
+    /// Optional fault proxy between workers and every shard.
+    pub fn shard_proxy(mut self, proxy: Option<FaultProxyConfig>) -> Self {
+        self.draft.shard_proxy = proxy;
+        self
+    }
+
+    /// Server stack fronting shards and coordinator.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.draft.transport = transport;
+        self
+    }
+
+    /// Ship replay and weight traffic under the v2 wire codec.
+    pub fn compression(mut self, on: bool) -> Self {
+        self.draft.compression = on;
+        self
+    }
+
+    /// Observability recorder. Deprecated spelling of
+    /// [`observe_with`](rlgraph_dist::DriverConfigBuilder::observe_with).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.draft.recorder = recorder;
+        self
+    }
+
+    /// Validates and builds the config.
+    ///
+    /// # Errors
+    ///
+    /// Zero workers/shards/task size, a zero sync interval, or a
+    /// declaration the fragment graph rejects.
+    pub fn build(self) -> RlResult<NetApexConfig> {
+        let c = self.draft;
+        if c.num_workers == 0 {
+            return Err(CoreError::new("num_workers must be >= 1").into());
+        }
+        if c.envs_per_worker == 0 {
+            return Err(CoreError::new("envs_per_worker must be >= 1").into());
+        }
+        if c.task_size == 0 {
+            return Err(CoreError::new("task_size must be >= 1").into());
+        }
+        if c.num_shards == 0 {
+            return Err(CoreError::new("num_shards must be >= 1").into());
+        }
+        if c.weight_sync_interval == 0 {
+            return Err(CoreError::new("weight_sync_interval must be >= 1").into());
+        }
+        // The declarative contract is part of validity: a config that
+        // cannot be declared as a placed fragment graph is rejected here,
+        // not at spawn time.
+        crate::fragment_remote::validate_net_apex(&c)?;
+        Ok(c)
+    }
+}
+
+impl rlgraph_dist::DriverConfigBuilder for NetApexConfigBuilder {
+    type Config = NetApexConfig;
+
+    fn parallelism(self, n: usize) -> Self {
+        self.num_workers(n)
+    }
+
+    fn sync_every(self, k: u64) -> Self {
+        self.weight_sync_interval(k)
+    }
+
+    fn budget(self, budget: rlgraph_dist::RunBudget) -> Self {
+        let b = match budget.wall {
+            Some(d) => self.run_duration(d),
+            None => self,
+        };
+        b.max_updates(budget.max_updates)
+    }
+
+    fn observe_with(self, recorder: Recorder) -> Self {
+        self.recorder(recorder)
+    }
+
+    fn try_build(self) -> RlResult<NetApexConfig> {
+        self.build()
+    }
+}
+
 /// Statistics of a multi-process run.
 #[derive(Debug, Clone, Default)]
 pub struct NetApexStats {
@@ -139,6 +310,25 @@ pub struct NetApexStats {
     pub merged_trace: Option<String>,
 }
 
+impl rlgraph_dist::RunReport for NetApexStats {
+    fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+
+    fn fragment_counters(&self) -> Vec<rlgraph_dist::FragmentCounter> {
+        vec![
+            rlgraph_dist::FragmentCounter::new("rollout", "env_frames", self.env_frames as f64),
+            rlgraph_dist::FragmentCounter::new("rollout", "samples", self.samples_collected as f64),
+            rlgraph_dist::FragmentCounter::new("learn", "updates", self.updates as f64),
+            rlgraph_dist::FragmentCounter::new("broadcast", "heartbeats", self.heartbeats as f64),
+        ]
+    }
+}
+
 /// Runs Ape-X across OS processes (or threads) on localhost TCP.
 ///
 /// # Errors
@@ -150,6 +340,14 @@ pub struct NetApexStats {
 pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     let start = Instant::now();
     let recorder = config.recorder.clone();
+
+    // The run is an instance of the declarative apex fragment graph,
+    // with the rollout fragment placed per the launch mode; reject any
+    // config whose declaration does not validate under remote caps.
+    let (graph, _placement) = crate::fragment_remote::validate_net_apex(&config)?;
+    for stage in graph.stages() {
+        recorder.gauge(&format!("frag.{}.replicas", stage.name)).set(stage.replicas as f64);
+    }
 
     // Replay shards, each behind its own RPC server.
     let mut shard_servers = Vec::with_capacity(config.num_shards);

@@ -30,6 +30,7 @@
 
 pub mod apex_net;
 pub mod codec;
+pub mod fragment_remote;
 pub mod proc;
 pub mod proxy;
 pub mod rpc;
@@ -43,7 +44,8 @@ pub mod transport;
 // re-exports keep every `rlgraph_net::frame::...` path working.
 pub use rlgraph_reactor::{frame, wire};
 
-pub use apex_net::{run_apex_net, LaunchMode, NetApexConfig, NetApexStats};
+pub use apex_net::{run_apex_net, LaunchMode, NetApexConfig, NetApexConfigBuilder, NetApexStats};
+pub use fragment_remote::{net_apex_graph, net_apex_placement, validate_net_apex};
 pub use frame::{
     read_frame, write_frame, FrameKind, FRAME_OVERHEAD, MAGIC, MAX_FRAME_LEN, VERSION,
 };

@@ -67,6 +67,13 @@ def headline(name, d):
                 f"(retention {fmt(d['chaos']['retention'])}), "
                 f"{fmt(d['faults']['injected_events'])} faults injected",
             ]
+        if name == "BENCH_fragments.json":
+            return [
+                f"fragment vs legacy Ape-X: {fmt(d['throughput_ratio'])}x throughput "
+                f"({fmt(d['fragment']['frames_per_sec'], 0)} vs "
+                f"{fmt(d['legacy']['frames_per_sec'], 0)} frames/s, "
+                f"budget <= {d['max_overhead'] * 100:.0f}% overhead)",
+            ]
         if name == "BENCH_kernels.json":
             n = len(d) if isinstance(d, list) else len(d.get("kernels", d))
             return [f"{n} kernel entries"]

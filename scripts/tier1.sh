@@ -34,6 +34,11 @@ cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin kernel_bench -
 # same-seed determinism contract, writes nothing).
 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin chaos_bench -- --smoke
 
+# Fragment executor: legacy vs fragment-built Ape-X at an equal wall
+# budget (the <=5% overhead threshold is full-mode only; smoke is a
+# does-it-run gate over both paths).
+timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin fragment_bench -- --smoke
+
 # Network transport: multi-process Ape-X over loopback TCP (the example
 # launches 2 real worker processes), then the net bench smoke covering
 # process launch + RPC + wire codec + TCP serving. Socket tests that

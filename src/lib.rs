@@ -77,6 +77,12 @@ pub mod prelude {
         BuildCtx, Component, ComponentGraphBuilder, ComponentId, ComponentStore, ComponentTest,
         GraphExecutor, OpRef, TestBackend,
     };
+    pub use rlgraph_dist::{
+        apex_graph, default_apex_placement, default_impala_placement, impala_graph, run_apex,
+        run_apex_chaos, run_impala, ApexRunConfig, ApexRunStats, ChaosApexConfig, ChaosReport,
+        DriverConfigBuilder, FragmentGraph, ImpalaDriverConfig, ImpalaRunStats, Placement,
+        PlacementMap, RunBudget, RunReport, StageKind,
+    };
     pub use rlgraph_envs::{CartPole, Env, GridPong, GridPongConfig, SeekAvoid, VectorEnv};
     pub use rlgraph_net::{
         maybe_run_child, run_apex_net, EnvSpec, LaunchMode, NetApexConfig, NetApexStats,
