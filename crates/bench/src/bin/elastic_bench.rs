@@ -1,0 +1,291 @@
+//! Elastic-cluster benchmark (DESIGN.md §16): one multi-process Ape-X
+//! run whose worker fleet is resized mid-run by a scripted schedule —
+//! scale 2 → 6 → 3 — with a chaos SIGKILL near the end, all over real
+//! OS processes and localhost TCP.
+//!
+//! What it verifies:
+//!
+//! 1. **Elastic throughput** — the learner runs under a replay-ratio
+//!    cap (`max_updates_per_sample`), so updates/s is bound by
+//!    collection inflow and must *rise* when the fleet grows: the
+//!    6-worker phase must beat the 2-worker plateau.
+//! 2. **Zero lost transitions** — across every join, retire, and the
+//!    kill, the shard watermarks cover every sample the coordinator
+//!    was ever told about (workers insert before they beat).
+//! 3. **Eviction** — the SIGKILLed worker sends no LEAVE; the
+//!    membership sweep must evict it by missed-beat timeout and the
+//!    pool respawns its slot at a bumped generation.
+//!
+//! Writes `BENCH_elastic.json` at the repo root with the schedule, the
+//! throughput trace, and the phase summary. `--smoke` shrinks the
+//! timeline (2 → 3 → 2 plus the kill), keeps the zero-loss and
+//! eviction assertions, skips the throughput comparison (too noisy at
+//! smoke scale), and writes nothing.
+
+use rlgraph_agents::{Backend, DqnConfig};
+use rlgraph_net::{
+    maybe_run_child, run_apex_net, ElasticConfig, EnvSpec, LaunchMode, NetApexConfig,
+    ThroughputPoint,
+};
+use rlgraph_nn::{Activation, NetworkSpec};
+use std::time::Duration;
+
+const TRAIN_OBS_DIM: usize = 16;
+
+/// Updates allowed per collected sample: low enough that the learner
+/// is always inflow-bound, so fleet size — not learner compute — sets
+/// the observed update rate.
+const UPDATES_PER_SAMPLE: f64 = 0.05;
+
+/// Per-task worker pause: makes workers env-latency-bound (~1.2k
+/// samples/s each) instead of CPU-bound, so total inflow scales with
+/// the fleet even on a single-core host. Without it, N CPU-hungry
+/// worker processes just slice the same core N ways and scale-up
+/// cannot lift throughput.
+const WORKER_THROTTLE: Duration = Duration::from_millis(25);
+
+struct Timeline {
+    /// (offset, target workers), applied in order
+    schedule: Vec<(Duration, usize)>,
+    max_workers: usize,
+    chaos_kill: Duration,
+    beat_timeout: Duration,
+    run_duration: Duration,
+    /// `(lo, hi)`: the 2-worker plateau is measured on trace points in
+    /// this window (seconds)
+    plateau_window: (f64, f64),
+    /// trace points at the wide fleet after this time count as
+    /// post-scale-up (seconds)
+    wide_after: f64,
+    wide_workers: usize,
+}
+
+fn full() -> Timeline {
+    Timeline {
+        schedule: vec![(Duration::from_secs(5), 6), (Duration::from_secs(10), 3)],
+        max_workers: 6,
+        chaos_kill: Duration::from_secs(12),
+        beat_timeout: Duration::from_millis(1200),
+        run_duration: Duration::from_secs(15),
+        plateau_window: (1.0, 5.0),
+        wide_after: 6.0,
+        wide_workers: 6,
+    }
+}
+
+fn smoke() -> Timeline {
+    Timeline {
+        schedule: vec![(Duration::from_millis(1000), 3), (Duration::from_millis(2500), 2)],
+        max_workers: 3,
+        chaos_kill: Duration::from_millis(3500),
+        beat_timeout: Duration::from_millis(1000),
+        run_duration: Duration::from_secs(7),
+        plateau_window: (0.5, 1.0),
+        wide_after: 1.5,
+        wide_workers: 3,
+    }
+}
+
+fn agent_config() -> DqnConfig {
+    DqnConfig {
+        backend: Backend::Static,
+        network: NetworkSpec::mlp(&[64], Activation::Tanh),
+        memory_capacity: 8192,
+        batch_size: 32,
+        n_step: 3,
+        target_sync_every: 100,
+        seed: 7,
+        ..DqnConfig::default()
+    }
+}
+
+/// Mean updates/s over trace points matching `keep`.
+fn phase_rate(trace: &[ThroughputPoint], keep: impl Fn(&ThroughputPoint) -> bool) -> Option<f64> {
+    let rates: Vec<f64> = trace.iter().filter(|p| keep(p)).map(|p| p.updates_per_sec).collect();
+    if rates.is_empty() {
+        return None;
+    }
+    Some(rates.iter().sum::<f64>() / rates.len() as f64)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    // Worker re-entry point: scale-ups re-invoke this binary mid-run.
+    maybe_run_child();
+
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let tl = if smoke_mode { smoke() } else { full() };
+    println!(
+        "elastic bench: 2 -> {} -> {} workers over {:.0}s, kill at {:.1}s, beat timeout {:?}{}",
+        tl.schedule[0].1,
+        tl.schedule[1].1,
+        tl.run_duration.as_secs_f64(),
+        tl.chaos_kill.as_secs_f64(),
+        tl.beat_timeout,
+        if smoke_mode { " (smoke)" } else { "" }
+    );
+
+    let config = NetApexConfig {
+        agent: agent_config(),
+        env: EnvSpec::Random { shape: vec![TRAIN_OBS_DIM], actions: 2, episode_len: 20 },
+        num_workers: 2,
+        envs_per_worker: 2,
+        task_size: 32,
+        num_shards: 3,
+        weight_sync_interval: 16,
+        run_duration: tl.run_duration,
+        max_updates: None,
+        rpc_deadline: Duration::from_secs(10),
+        launch: LaunchMode::Process,
+        shard_proxy: None,
+        transport: rlgraph_net::Transport::default(),
+        compression: false,
+        elastic: Some(ElasticConfig {
+            min_workers: 1,
+            max_workers: tl.max_workers,
+            schedule: tl.schedule.clone(),
+            autoscaler: None,
+            beat_timeout: tl.beat_timeout,
+            max_updates_per_sample: Some(UPDATES_PER_SAMPLE),
+            chaos_kill: Some(tl.chaos_kill),
+            worker_throttle: Some(WORKER_THROTTLE),
+        }),
+        recorder: rlgraph_obs::Recorder::wall(),
+    };
+    let stats = run_apex_net(config).expect("elastic run");
+
+    let inserted: u64 = stats.shard_watermarks.iter().sum();
+    let ups = stats.updates as f64 / stats.wall_time.as_secs_f64().max(1e-9);
+    println!(
+        "run: {} updates in {:.2}s ({:.1} updates/s), {} samples reported, {} inserted, \
+         {} evictions, epoch {}",
+        stats.updates,
+        stats.wall_time.as_secs_f64(),
+        ups,
+        stats.samples_collected,
+        inserted,
+        stats.evictions,
+        stats.cluster_epoch
+    );
+    for &(t, n) in &stats.scale_events {
+        println!("  scale @ {t:6.2}s -> {n} workers");
+    }
+
+    // The schedule executed: the fleet reached the wide target and the
+    // scripted shrink happened.
+    let sizes: Vec<usize> = stats.scale_events.iter().map(|&(_, n)| n).collect();
+    assert!(
+        sizes.contains(&tl.schedule[0].1),
+        "fleet never reached {} workers: {:?}",
+        tl.schedule[0].1,
+        stats.scale_events
+    );
+    assert!(stats.updates > 0, "learner never trained");
+
+    // Zero lost transitions: every sample a worker ever reported is in
+    // a shard — through scale-ups, clean retires, and the SIGKILL.
+    assert!(
+        inserted >= stats.samples_collected,
+        "lost transitions: {} inserted < {} reported",
+        inserted,
+        stats.samples_collected
+    );
+
+    // The kill was detected by liveness, not luck: at least one
+    // eviction, and the epoch moved for it.
+    assert!(stats.evictions >= 1, "the SIGKILLed worker was never evicted");
+    assert!(stats.cluster_epoch > 0);
+
+    let plateau = phase_rate(&stats.throughput_trace, |p| {
+        p.workers == 2 && p.t_secs >= tl.plateau_window.0 && p.t_secs < tl.plateau_window.1
+    });
+    let wide = phase_rate(&stats.throughput_trace, |p| {
+        p.workers == tl.wide_workers && p.t_secs >= tl.wide_after
+    });
+    println!(
+        "phase updates/s: 2-worker plateau {:?}, {}-worker {:?}",
+        plateau, tl.wide_workers, wide
+    );
+    if !smoke_mode {
+        let plateau = plateau.expect("no 2-worker trace points");
+        let wide = wide.expect("no wide-fleet trace points");
+        // The acceptance criterion: under the replay-ratio cap, more
+        // workers means more inflow means more updates/s.
+        assert!(
+            wide > plateau,
+            "scale-up did not lift throughput: {wide:.1} updates/s at {} workers vs \
+             {plateau:.1} at 2",
+            tl.wide_workers
+        );
+    }
+
+    if smoke_mode {
+        println!("smoke mode: skipping BENCH_elastic.json");
+        return;
+    }
+
+    let trace_json: Vec<String> = stats
+        .throughput_trace
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"t_s\": {}, \"workers\": {}, \"updates\": {}, \"samples\": {}, \
+                 \"updates_per_s\": {}}}",
+                json_f(p.t_secs),
+                p.workers,
+                p.updates,
+                p.samples,
+                json_f(p.updates_per_sec)
+            )
+        })
+        .collect();
+    let events_json: Vec<String> = stats
+        .scale_events
+        .iter()
+        .map(|&(t, n)| format!("    {{\"t_s\": {}, \"workers\": {}}}", json_f(t), n))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schedule\": {{\"start_workers\": 2, \"steps\": [{}], \"kill_at_s\": {}, ",
+            "\"beat_timeout_ms\": {}, \"max_updates_per_sample\": {}}},\n",
+            "  \"run\": {{\"updates\": {}, \"wall_s\": {}, \"updates_per_s\": {}, ",
+            "\"samples_reported\": {}, \"samples_inserted\": {}, \"evictions\": {}, ",
+            "\"cluster_epoch\": {}, \"shard_watermarks\": {:?}}},\n",
+            "  \"phases\": {{\"plateau_2w_updates_per_s\": {}, \"wide_{}w_updates_per_s\": {}}},\n",
+            "  \"scale_events\": [\n{}\n  ],\n",
+            "  \"throughput_trace\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        tl.schedule
+            .iter()
+            .map(|(d, n)| format!("[{}, {}]", json_f(d.as_secs_f64()), n))
+            .collect::<Vec<_>>()
+            .join(", "),
+        json_f(tl.chaos_kill.as_secs_f64()),
+        tl.beat_timeout.as_millis(),
+        json_f(UPDATES_PER_SAMPLE),
+        stats.updates,
+        json_f(stats.wall_time.as_secs_f64()),
+        json_f(ups),
+        stats.samples_collected,
+        inserted,
+        stats.evictions,
+        stats.cluster_epoch,
+        stats.shard_watermarks,
+        json_f(plateau.unwrap_or(f64::NAN)),
+        tl.wide_workers,
+        json_f(wide.unwrap_or(f64::NAN)),
+        events_json.join(",\n"),
+        trace_json.join(",\n"),
+    );
+    std::fs::write("BENCH_elastic.json", &json).expect("write BENCH_elastic.json");
+    println!("wrote BENCH_elastic.json");
+}

@@ -136,6 +136,7 @@ fn net_config(
         shard_proxy: None,
         transport,
         compression,
+        elastic: None,
         recorder,
     }
 }

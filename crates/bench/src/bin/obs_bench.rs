@@ -90,6 +90,7 @@ fn config(budget: &Budget, recorder: Recorder) -> NetApexConfig {
         shard_proxy: None,
         transport: Transport::default(),
         compression: false,
+        elastic: None,
         recorder,
     }
 }

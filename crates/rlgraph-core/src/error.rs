@@ -166,6 +166,18 @@ pub enum RlError {
     /// version, a corrupt checksum, an over-long frame, or a payload
     /// that does not decode. The connection cannot be trusted further.
     Protocol(String),
+    /// A cluster member presented an incarnation older than the one the
+    /// membership table holds — a restarted or re-joined member must
+    /// not alias the stale entry's liveness. The superseded process has
+    /// to stop, not retry: its slot belongs to a newer incarnation.
+    StaleGeneration {
+        /// member id (worker index) the beat or join was for
+        member: u32,
+        /// generation the membership table currently holds
+        held: u64,
+        /// the stale generation the caller presented
+        presented: u64,
+    },
 }
 
 impl RlError {
@@ -191,7 +203,8 @@ impl RlError {
             | RlError::RetriesExhausted { .. }
             | RlError::Checkpoint(_)
             | RlError::ActorCrashed { .. }
-            | RlError::Protocol(_) => Severity::Fatal,
+            | RlError::Protocol(_)
+            | RlError::StaleGeneration { .. } => Severity::Fatal,
         }
     }
 
@@ -248,6 +261,11 @@ impl fmt::Display for RlError {
             }
             RlError::Io { kind, message } => write!(f, "i/o error ({:?}): {}", kind, message),
             RlError::Protocol(msg) => write!(f, "protocol violation: {}", msg),
+            RlError::StaleGeneration { member, held, presented } => write!(
+                f,
+                "stale generation for member {}: table holds {}, caller presented {}",
+                member, held, presented
+            ),
         }
     }
 }
@@ -328,6 +346,7 @@ mod tests {
         assert!(RlError::disconnected("shard-0").is_fatal());
         assert!(RlError::Core(CoreError::new("bad build")).is_fatal());
         assert!(RlError::Checkpoint("truncated".into()).is_fatal());
+        assert!(RlError::StaleGeneration { member: 0, held: 2, presented: 1 }.is_fatal());
     }
 
     #[test]

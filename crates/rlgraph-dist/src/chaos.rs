@@ -18,14 +18,17 @@
 //!   supervisor model restarts it `worker_restart_delay` ticks later and
 //!   re-syncs weights on revival.
 //! * **shard stall** — the shard stops serving for `shard_stall_steps`
-//!   ticks; inserts fail over to healthy shards, the learner's sample
-//!   retries (through the real [`RetryPolicy`] against virtual time) or
+//!   ticks; inserts fail over along the consistent-hash ring (a stalled
+//!   shard's arc spills to its ring successors, see
+//!   [`crate::cluster::HashRing`]), the learner's sample retries
+//!   (through the real [`RetryPolicy`] against virtual time) or
 //!   degrades to the shard quorum.
 //! * **learner slowdown** — the learner loses the tick.
 //! * **dropped weight sync** — one worker misses a broadcast and keeps
 //!   acting on stale weights until `max_weight_lag` forces a pull.
 
 use crate::checkpoint::LearnerCheckpoint;
+use crate::cluster::HashRing;
 use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::fragment::{
     FragmentCounter, ReplicaHealth, RunReport, SteppedExecutor, SteppedStages, TickCtx, TickFlow,
@@ -430,6 +433,9 @@ struct ChaosState<'a, F: Fn(usize, usize) -> Box<dyn Env>> {
     losses: Vec<f32>,
     reward_timeline: Vec<(f64, f32)>,
     learner_rr: usize,
+    /// consistent-hash ring over shard ids: trajectory routing and
+    /// failover walk this, so a down shard moves only its own arc
+    ring: HashRing,
 }
 
 impl<F: Fn(usize, usize) -> Box<dyn Env>> SteppedStages for ChaosState<'_, F> {
@@ -509,14 +515,16 @@ impl<F: Fn(usize, usize) -> Box<dyn Env>> SteppedStages for ChaosState<'_, F> {
             for r in &batch.episode_returns {
                 self.reward_timeline.push((now, *r));
             }
-            // Round-robin insert with failover past stalled/dead shards.
-            let home = (slot.task as usize) % self.config.num_shards;
+            // Ring-routed insert: the (worker, task) key hashes to a
+            // home shard; failover walks the ring's successors, so a
+            // stalled shard's keys spill to its neighbours instead of
+            // re-dealing every worker's traffic.
+            let key = ((w as u64) << 32) | slot.task;
             slot.task += 1;
-            if let Some(target) = (0..self.config.num_shards)
-                .map(|k| (home + k) % self.config.num_shards)
-                .find(|&s| self.shards.is_up(s, step))
+            let shards = &self.shards;
+            if let Some(target) = self.ring.assign_filtered(key, |s| shards.is_up(s as usize, step))
             {
-                self.shard_cores[target].insert(batch.transitions, batch.priorities);
+                self.shard_cores[target as usize].insert(batch.transitions, batch.priorities);
             }
             // No shard up at all: the task's experience is lost, which is
             // exactly what happens when every mailbox is unreachable.
@@ -573,13 +581,16 @@ impl<F: Fn(usize, usize) -> Box<dyn Env>> SteppedStages for ChaosState<'_, F> {
         let rr = self.learner_rr;
         self.learner_rr += 1;
         let mut attempts_used: u32 = 0;
-        let num_shards = self.config.num_shards;
+        // Each sample round keys the ring with a fresh counter; retry
+        // attempts walk the key's successor list, so a stalled home
+        // shard fails over to its ring neighbour, not a global probe.
+        let order = self.ring.successors(rr as u64, self.config.num_shards);
         let (batch_size, beta) = (self.config.agent.batch_size, self.config.agent.beta);
         let shards = &self.shards;
         let shard_cores = &mut self.shard_cores;
         let sampled = self.config.retry.run(&self.sleeper, |attempt| {
             attempts_used = attempt + 1;
-            let idx = (rr + attempt as usize) % num_shards;
+            let idx = order[attempt as usize % order.len()] as usize;
             if !shards.is_up(idx, step) {
                 return Err(RlError::MailboxFull {
                     capacity: ReplayShard::DEFAULT_MAILBOX_CAPACITY,
@@ -749,6 +760,7 @@ where
         losses: Vec::new(),
         reward_timeline: Vec::new(),
         learner_rr: 0,
+        ring: HashRing::with_nodes(config.num_shards as u32),
     };
 
     exec.run(&mut state, config.steps)?;
@@ -917,5 +929,43 @@ mod tests {
         let (stats, report) = run_apex_chaos(degraded, env_factory).unwrap();
         assert_eq!(stats.updates, 0);
         assert_eq!(report.degraded_steps, 10);
+    }
+
+    #[test]
+    fn ring_failover_is_bit_identical_and_spills_to_successors() {
+        // A permanently dead shard exercises the ring failover path on
+        // every insert homed there; routing through the ring must keep
+        // the same-seed bit-identity contract.
+        let cfg = || {
+            ChaosApexConfig::builder()
+                .agent(tiny_agent(9))
+                .num_workers(2)
+                .envs_per_worker(2)
+                .task_size(24)
+                .num_shards(3)
+                .shard_quorum(2)
+                .steps(20)
+                .kill_shards(vec![1])
+                .fault_plan(FaultPlan::builder(21).shard_stall(0.15, 2).build().unwrap())
+                .build()
+                .unwrap()
+        };
+        let (s1, r1) = run_apex_chaos(cfg(), env_factory).unwrap();
+        let (s2, r2) = run_apex_chaos(cfg(), env_factory).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(s1.samples_collected, s2.samples_collected);
+        assert_eq!(s1.losses, s2.losses);
+        assert!(s1.updates > 0, "ring failover must keep the learner fed");
+
+        // The failover target the engine uses is the ring successor:
+        // for keys homed on the dead shard, assign_filtered lands on
+        // the next distinct node clockwise, never on a fixed shard.
+        let ring = HashRing::with_nodes(3);
+        for key in 0..500u64 {
+            if ring.assign(key) == Some(1) {
+                let spill = ring.assign_filtered(key, |s| s != 1).unwrap();
+                assert_eq!(spill, ring.successors(key, 2)[1]);
+            }
+        }
     }
 }

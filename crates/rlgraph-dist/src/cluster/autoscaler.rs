@@ -1,0 +1,238 @@
+//! Signal-driven autoscaler policy.
+//!
+//! The policy is a pure function from observed cluster signals to a
+//! [`ScaleDecision`]; it owns no threads, spawns nothing, and reads no
+//! clocks — the coordinator feeds it signals on its own cadence and
+//! acts on the decision through the elastic-stage machinery. That keeps
+//! the policy unit-testable with plain numbers and the side effects
+//! (process spawn/retire) in exactly one place.
+//!
+//! Inputs are the three signals named in DESIGN.md §16:
+//!
+//! - **replay mailbox depth** (`frag.replay.mailbox_depth`): inserts
+//!   queued at the shards. Persistently deep mailboxes mean workers
+//!   outrun replay — more workers will not help, and retiring some
+//!   frees the shards.
+//! - **learner starvation**: fraction of learner iterations that found
+//!   no fresh data. A starving learner means collection is the
+//!   bottleneck — scale workers up.
+//! - **heartbeat RTT**: coordinator-observed round-trip. RTT blowing
+//!   past its baseline means the coordinator or network is saturated;
+//!   the policy holds rather than piling on.
+//!
+//! Decisions are bounded by `min_workers..=max_workers` and rate-limited
+//! by a cooldown measured in observation ticks, so one noisy window
+//! cannot flap the fleet.
+
+/// Observed signals for one autoscaler tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScaleSignals {
+    /// mean replay-shard mailbox depth (queued inserts)
+    pub replay_mailbox_depth: f64,
+    /// fraction of recent learner iterations that starved (0..=1)
+    pub learner_starvation: f64,
+    /// mean heartbeat RTT in microseconds
+    pub heartbeat_rtt_us: f64,
+    /// alive workers right now
+    pub alive_workers: usize,
+}
+
+/// What the policy wants done this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// leave the fleet alone
+    Hold,
+    /// spawn this many additional workers
+    Up(usize),
+    /// retire this many workers
+    Down(usize),
+}
+
+/// Tunable thresholds for [`Autoscaler`].
+#[derive(Debug, Clone)]
+pub struct AutoscalerConfig {
+    /// never retire below this many workers
+    pub min_workers: usize,
+    /// never spawn above this many workers
+    pub max_workers: usize,
+    /// starvation fraction above which the learner is data-bound
+    pub starvation_high: f64,
+    /// starvation fraction below which collection is comfortably ahead
+    pub starvation_low: f64,
+    /// mailbox depth above which replay is the bottleneck
+    pub mailbox_high: f64,
+    /// heartbeat RTT (µs) above which the policy refuses to scale up
+    pub rtt_ceiling_us: f64,
+    /// ticks to hold after any Up/Down decision
+    pub cooldown_ticks: u32,
+    /// workers added per Up decision
+    pub step_up: usize,
+    /// workers removed per Down decision
+    pub step_down: usize,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            min_workers: 1,
+            max_workers: 16,
+            starvation_high: 0.5,
+            starvation_low: 0.05,
+            mailbox_high: 256.0,
+            rtt_ceiling_us: 50_000.0,
+            cooldown_ticks: 3,
+            step_up: 2,
+            step_down: 1,
+        }
+    }
+}
+
+/// The policy engine: feed it [`ScaleSignals`] once per observation
+/// window, act on the returned [`ScaleDecision`].
+#[derive(Debug)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    cooldown: u32,
+    decisions: u64,
+}
+
+impl Autoscaler {
+    /// Creates a policy engine with the given thresholds.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        Autoscaler { cfg, cooldown: 0, decisions: 0 }
+    }
+
+    /// Thresholds in effect.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.cfg
+    }
+
+    /// Non-Hold decisions issued so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// One policy tick. Pure given the signals, except for the
+    /// cooldown counter.
+    pub fn decide(&mut self, s: &ScaleSignals) -> ScaleDecision {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return ScaleDecision::Hold;
+        }
+        let d = self.decide_inner(s);
+        if d != ScaleDecision::Hold {
+            self.cooldown = self.cfg.cooldown_ticks;
+            self.decisions += 1;
+        }
+        d
+    }
+
+    fn decide_inner(&self, s: &ScaleSignals) -> ScaleDecision {
+        let c = &self.cfg;
+        // Replay drowning: more workers only deepen the mailboxes.
+        // Shedding takes priority over everything except the floor.
+        if s.replay_mailbox_depth > c.mailbox_high {
+            let headroom = s.alive_workers.saturating_sub(c.min_workers);
+            if headroom > 0 {
+                return ScaleDecision::Down(c.step_down.min(headroom));
+            }
+            return ScaleDecision::Hold;
+        }
+        // Learner starving and the control plane healthy: scale up.
+        if s.learner_starvation > c.starvation_high && s.heartbeat_rtt_us < c.rtt_ceiling_us {
+            let headroom = c.max_workers.saturating_sub(s.alive_workers);
+            if headroom > 0 {
+                return ScaleDecision::Up(c.step_up.min(headroom));
+            }
+        }
+        // Collection far ahead of the learner: shed a worker.
+        if s.learner_starvation < c.starvation_low && s.alive_workers > c.min_workers {
+            let headroom = s.alive_workers - c.min_workers;
+            return ScaleDecision::Down(c.step_down.min(headroom));
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler() -> Autoscaler {
+        Autoscaler::new(AutoscalerConfig {
+            min_workers: 2,
+            max_workers: 6,
+            cooldown_ticks: 2,
+            ..AutoscalerConfig::default()
+        })
+    }
+
+    #[test]
+    fn starving_learner_scales_up_within_bounds() {
+        let mut a = scaler();
+        let s = ScaleSignals {
+            learner_starvation: 0.9,
+            heartbeat_rtt_us: 1_000.0,
+            alive_workers: 2,
+            ..ScaleSignals::default()
+        };
+        assert_eq!(a.decide(&s), ScaleDecision::Up(2));
+        // At the ceiling there is nothing to add.
+        let s = ScaleSignals { alive_workers: 6, ..s };
+        a.cooldown = 0;
+        assert_eq!(a.decide(&s), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_decisions() {
+        let mut a = scaler();
+        let s = ScaleSignals {
+            learner_starvation: 0.9,
+            heartbeat_rtt_us: 1_000.0,
+            alive_workers: 2,
+            ..ScaleSignals::default()
+        };
+        assert_eq!(a.decide(&s), ScaleDecision::Up(2));
+        assert_eq!(a.decide(&s), ScaleDecision::Hold);
+        assert_eq!(a.decide(&s), ScaleDecision::Hold);
+        assert_eq!(a.decide(&s), ScaleDecision::Up(2));
+        assert_eq!(a.decisions(), 2);
+    }
+
+    #[test]
+    fn high_rtt_vetoes_scale_up() {
+        let mut a = scaler();
+        let s = ScaleSignals {
+            learner_starvation: 0.9,
+            heartbeat_rtt_us: 100_000.0,
+            alive_workers: 2,
+            ..ScaleSignals::default()
+        };
+        assert_eq!(a.decide(&s), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn deep_mailbox_sheds_but_respects_floor() {
+        let mut a = scaler();
+        let s = ScaleSignals {
+            replay_mailbox_depth: 1_000.0,
+            alive_workers: 4,
+            ..ScaleSignals::default()
+        };
+        assert_eq!(a.decide(&s), ScaleDecision::Down(1));
+        a.cooldown = 0;
+        let s = ScaleSignals { alive_workers: 2, ..s };
+        assert_eq!(a.decide(&s), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn idle_collection_sheds_to_floor() {
+        let mut a = scaler();
+        let s =
+            ScaleSignals { learner_starvation: 0.0, alive_workers: 3, ..ScaleSignals::default() };
+        assert_eq!(a.decide(&s), ScaleDecision::Down(1));
+        a.cooldown = 0;
+        let s = ScaleSignals { alive_workers: 2, ..s };
+        assert_eq!(a.decide(&s), ScaleDecision::Hold);
+    }
+}

@@ -1,0 +1,311 @@
+//! Coordinator-owned membership table: who is in the cluster, at what
+//! incarnation, and when we last heard from them.
+//!
+//! The table is epoch-versioned: every mutation (join, leave, eviction)
+//! bumps `epoch`, so a client holding a [`MembershipView`] can cheaply
+//! ask "did anything change since epoch E?". Liveness is heartbeat
+//! driven and piggybacked: the table never initiates traffic, it is
+//! told about beats by the coordinator's existing heartbeat handler and
+//! swept for missed-beat timeouts on the coordinator's own cadence.
+//!
+//! Incarnations (generations) make restarts unambiguous: a member that
+//! crashed and rejoined presents a *higher* generation; any beat
+//! carrying a generation **lower** than the table's is a zombie from a
+//! previous life and is rejected with the typed
+//! [`RlError::StaleGeneration`] so the stale process kills itself
+//! instead of corrupting liveness accounting for its successor.
+//!
+//! Time is caller-supplied microseconds — the table never reads a
+//! clock — so tests drive it with virtual time.
+
+use rlgraph_core::{RlError, RlResult};
+
+/// Lifecycle state of one member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// joined and beating within the timeout
+    Alive,
+    /// announced a clean departure
+    Left,
+    /// evicted after missing beats for longer than the timeout
+    Evicted,
+}
+
+/// One row of the membership table.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// member id (worker index)
+    pub id: u32,
+    /// incarnation; a rejoin after crash/evict presents a higher one
+    pub generation: u64,
+    /// lifecycle state
+    pub state: MemberState,
+    /// caller-clock time of the last accepted beat (or the join)
+    pub last_beat_us: u64,
+    /// accepted beats since join
+    pub beats: u64,
+}
+
+/// An immutable snapshot of the table, cheap to ship over RPC.
+#[derive(Debug, Clone, Default)]
+pub struct MembershipView {
+    /// table epoch at snapshot time
+    pub epoch: u64,
+    /// ids of currently-alive members, ascending
+    pub alive: Vec<u32>,
+    /// (id, generation) for every alive member, ascending by id
+    pub generations: Vec<(u32, u64)>,
+}
+
+/// The coordinator-owned membership table. Single-writer by design:
+/// the coordinator wraps it in its own lock.
+#[derive(Debug)]
+pub struct MembershipTable {
+    members: Vec<Member>,
+    epoch: u64,
+    /// beat-silence threshold before eviction, in caller microseconds
+    timeout_us: u64,
+    evictions: u64,
+}
+
+impl MembershipTable {
+    /// Creates an empty table evicting members silent for `timeout_us`.
+    pub fn new(timeout_us: u64) -> Self {
+        MembershipTable { members: Vec::new(), epoch: 0, timeout_us, evictions: 0 }
+    }
+
+    /// Current epoch; bumped by every join, leave, and eviction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Missed-beat timeout in microseconds.
+    pub fn timeout_us(&self) -> u64 {
+        self.timeout_us
+    }
+
+    fn row(&self, id: u32) -> Option<&Member> {
+        self.members.iter().find(|m| m.id == id)
+    }
+
+    fn row_mut(&mut self, id: u32) -> Option<&mut Member> {
+        self.members.iter_mut().find(|m| m.id == id)
+    }
+
+    /// Looks up a member row.
+    pub fn member(&self, id: u32) -> Option<&Member> {
+        self.row(id)
+    }
+
+    /// Count of alive members.
+    pub fn alive_count(&self) -> usize {
+        self.members.iter().filter(|m| m.state == MemberState::Alive).count()
+    }
+
+    /// Admits (or re-admits) a member at `generation`.
+    ///
+    /// A join with a generation **at or above** the table's replaces the
+    /// row — that is exactly the restart path, where the supervisor
+    /// bumps the generation before respawning. A join *below* the held
+    /// generation is a zombie and is rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::StaleGeneration`] when `generation` is lower than the
+    /// table's for this id.
+    pub fn join(&mut self, id: u32, generation: u64, now_us: u64) -> RlResult<u64> {
+        if let Some(m) = self.row_mut(id) {
+            if generation < m.generation {
+                return Err(RlError::StaleGeneration {
+                    member: id,
+                    held: m.generation,
+                    presented: generation,
+                });
+            }
+            m.generation = generation;
+            m.state = MemberState::Alive;
+            m.last_beat_us = now_us;
+            m.beats = 0;
+        } else {
+            self.members.push(Member {
+                id,
+                generation,
+                state: MemberState::Alive,
+                last_beat_us: now_us,
+                beats: 0,
+            });
+            self.members.sort_by_key(|m| m.id);
+        }
+        self.epoch += 1;
+        Ok(self.epoch)
+    }
+
+    /// Records an accepted heartbeat from `id` at `generation`.
+    ///
+    /// A beat from an unknown id is an implicit join (the coordinator
+    /// may restart and lose its table; workers keep beating). A beat at
+    /// a *higher* generation than held is likewise treated as the
+    /// restarted worker's implicit rejoin.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::StaleGeneration`] when the beat's generation is lower
+    /// than the table's — the caller should surface this to the sender,
+    /// which must exit.
+    pub fn beat(&mut self, id: u32, generation: u64, now_us: u64) -> RlResult<()> {
+        match self.row_mut(id) {
+            Some(m) => {
+                if generation < m.generation {
+                    return Err(RlError::StaleGeneration {
+                        member: id,
+                        held: m.generation,
+                        presented: generation,
+                    });
+                }
+                if generation > m.generation || m.state != MemberState::Alive {
+                    // Rejoin via beat: epoch must move so ring-watchers
+                    // re-read the view.
+                    m.generation = generation;
+                    m.state = MemberState::Alive;
+                    self.epoch += 1;
+                }
+                let m = self.row_mut(id).expect("row exists");
+                m.last_beat_us = now_us;
+                m.beats += 1;
+                Ok(())
+            }
+            None => {
+                self.join(id, generation, now_us)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Records a clean departure. Unknown ids are ignored (a leave
+    /// racing an eviction is not an error).
+    pub fn leave(&mut self, id: u32, now_us: u64) {
+        if let Some(m) = self.row_mut(id) {
+            if m.state == MemberState::Alive {
+                m.state = MemberState::Left;
+                m.last_beat_us = now_us;
+                self.epoch += 1;
+            }
+        }
+    }
+
+    /// Evicts every alive member silent for longer than the timeout.
+    /// Returns the evicted ids (empty when nothing changed).
+    pub fn sweep(&mut self, now_us: u64) -> Vec<u32> {
+        let timeout = self.timeout_us;
+        let mut evicted = Vec::new();
+        for m in &mut self.members {
+            if m.state == MemberState::Alive && now_us.saturating_sub(m.last_beat_us) > timeout {
+                m.state = MemberState::Evicted;
+                evicted.push(m.id);
+            }
+        }
+        if !evicted.is_empty() {
+            self.epoch += 1;
+            self.evictions += evicted.len() as u64;
+        }
+        evicted
+    }
+
+    /// Snapshots the table for shipping to clients.
+    pub fn view(&self) -> MembershipView {
+        let alive: Vec<u32> =
+            self.members.iter().filter(|m| m.state == MemberState::Alive).map(|m| m.id).collect();
+        let generations = self
+            .members
+            .iter()
+            .filter(|m| m.state == MemberState::Alive)
+            .map(|m| (m.id, m.generation))
+            .collect();
+        MembershipView { epoch: self.epoch, alive, generations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_beat_leave_lifecycle() {
+        let mut t = MembershipTable::new(1_000);
+        t.join(0, 1, 0).unwrap();
+        t.join(1, 1, 0).unwrap();
+        assert_eq!(t.alive_count(), 2);
+        let e = t.epoch();
+        t.beat(0, 1, 500).unwrap();
+        assert_eq!(t.epoch(), e, "a routine beat must not move the epoch");
+        t.leave(1, 600);
+        assert_eq!(t.alive_count(), 1);
+        assert!(t.epoch() > e);
+        assert_eq!(t.member(1).unwrap().state, MemberState::Left);
+    }
+
+    #[test]
+    fn sweep_evicts_silent_members_only() {
+        let mut t = MembershipTable::new(1_000);
+        t.join(0, 1, 0).unwrap();
+        t.join(1, 1, 0).unwrap();
+        t.beat(0, 1, 900).unwrap();
+        // At t=1500: member 1 has been silent 1500us > 1000us timeout,
+        // member 0 only 600us.
+        let evicted = t.sweep(1_500);
+        assert_eq!(evicted, vec![1]);
+        assert_eq!(t.evictions(), 1);
+        assert_eq!(t.member(1).unwrap().state, MemberState::Evicted);
+        assert_eq!(t.view().alive, vec![0]);
+        // Idempotent: a second sweep finds nothing new.
+        assert!(t.sweep(1_600).is_empty());
+    }
+
+    #[test]
+    fn stale_generation_rejected_rejoin_accepted() {
+        let mut t = MembershipTable::new(1_000);
+        t.join(3, 2, 0).unwrap();
+        // Zombie from generation 1 beats: typed rejection.
+        let err = t.beat(3, 1, 100).unwrap_err();
+        match err {
+            RlError::StaleGeneration { member, held, presented } => {
+                assert_eq!((member, held, presented), (3, 2, 1));
+            }
+            other => panic!("expected StaleGeneration, got {:?}", other),
+        }
+        // Evict, then a rejoin at a bumped generation is accepted.
+        t.sweep(5_000);
+        assert_eq!(t.member(3).unwrap().state, MemberState::Evicted);
+        t.join(3, 3, 5_100).unwrap();
+        assert_eq!(t.member(3).unwrap().state, MemberState::Alive);
+        // And the old generation is now doubly dead.
+        assert!(t.beat(3, 2, 5_200).is_err());
+        // Stale join is rejected too.
+        assert!(t.join(3, 1, 5_300).is_err());
+    }
+
+    #[test]
+    fn beat_from_unknown_member_is_implicit_join() {
+        let mut t = MembershipTable::new(1_000);
+        t.beat(9, 4, 10).unwrap();
+        assert_eq!(t.alive_count(), 1);
+        assert_eq!(t.member(9).unwrap().generation, 4);
+    }
+
+    #[test]
+    fn beat_at_higher_generation_rejoins_and_bumps_epoch() {
+        let mut t = MembershipTable::new(1_000);
+        t.join(2, 1, 0).unwrap();
+        t.sweep(10_000);
+        assert_eq!(t.alive_count(), 0);
+        let e = t.epoch();
+        t.beat(2, 2, 10_100).unwrap();
+        assert!(t.epoch() > e);
+        assert_eq!(t.member(2).unwrap().state, MemberState::Alive);
+    }
+}

@@ -1,0 +1,25 @@
+//! Elastic cluster membership (DESIGN.md §16).
+//!
+//! Three pieces, deliberately decoupled so each is testable alone:
+//!
+//! - [`MembershipTable`] — coordinator-owned roster with epochs,
+//!   per-member incarnations, and heartbeat-driven liveness. Liveness
+//!   piggybacks on the existing `CoordService` heartbeat path: joining,
+//!   beating, and leaving cost zero additional RTTs.
+//! - [`HashRing`] — consistent hashing with virtual nodes for replay
+//!   shard ownership and trajectory routing. Adding or removing a
+//!   shard moves ~1/N of the key space; failover walks ring
+//!   successors, so a dead shard's arc spills to its neighbours
+//!   instead of re-dealing every key.
+//! - [`Autoscaler`] — a pure policy over `rlgraph-obs` signals
+//!   (replay mailbox depth, learner starvation, heartbeat RTT) that
+//!   decides when to spawn or retire workers; the elastic fragment
+//!   stage and `run_apex_net` carry out the decision.
+
+pub mod autoscaler;
+pub mod membership;
+pub mod ring;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleDecision, ScaleSignals};
+pub use membership::{Member, MemberState, MembershipTable, MembershipView};
+pub use ring::{HashRing, DEFAULT_VNODES};

@@ -1,0 +1,322 @@
+//! Runtime replica pool for an elastic fragment stage.
+//!
+//! [`ElasticStage`] owns the *count* side of elasticity: which slot
+//! indices are live, at what generation, and how to move the pool to a
+//! new target size through caller-supplied spawn/retire callbacks. It
+//! deliberately owns no transport and no processes — `run_apex_net`
+//! plugs in process spawning, tests plug in threads — so the slot
+//! bookkeeping (stable indices, monotonic generations, bounds) is
+//! testable without a cluster.
+//!
+//! Slot indices are stable and dense-from-zero at launch: scaling up
+//! reuses the lowest free index (a respawned slot keeps its index but
+//! gets a **bumped generation**, which is what lets the membership
+//! table tell a restart from a zombie), scaling down retires the
+//! highest live index first. Generations are monotonic per slot and
+//! never reused, even across remove/respawn cycles.
+
+use super::graph::StageDecl;
+use rlgraph_core::{CoreError, RlError, RlResult};
+use rlgraph_obs::{Gauge, Recorder};
+
+/// One live replica slot.
+#[derive(Debug)]
+struct Slot<H> {
+    index: usize,
+    generation: u64,
+    handle: H,
+}
+
+/// A scale event, recorded for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleEvent {
+    /// slot spawned at (index, generation)
+    Spawned(usize, u64),
+    /// slot retired at (index, generation)
+    Retired(usize, u64),
+}
+
+/// Replica pool for one elastic stage. `H` is whatever the caller uses
+/// to reach a replica (process child + client, thread handle, ...).
+#[derive(Debug)]
+pub struct ElasticStage<H> {
+    name: String,
+    min: usize,
+    max: usize,
+    slots: Vec<Slot<H>>,
+    /// next generation per slot index; grows on demand and never
+    /// resets, so index reuse still yields fresh generations
+    next_gen: Vec<u64>,
+    gauge: Gauge,
+    events: Vec<ScaleEvent>,
+}
+
+impl<H> ElasticStage<H> {
+    /// Creates an empty pool from a stage declaration; replicas are
+    /// added by the first [`ElasticStage::scale_to`]. The
+    /// `frag.<name>.replicas` gauge tracks the live count.
+    pub fn new(decl: &StageDecl, recorder: &Recorder) -> Self {
+        let gauge = recorder.gauge(&format!("frag.{}.replicas", decl.name));
+        gauge.set(0.0);
+        ElasticStage {
+            name: decl.name.clone(),
+            min: decl.min_replicas,
+            max: decl.max_replicas,
+            slots: Vec::new(),
+            next_gen: Vec::new(),
+            gauge,
+            events: Vec::new(),
+        }
+    }
+
+    /// Stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Live replica count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no replicas are live.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Scaling bounds `(min, max)`.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.min, self.max)
+    }
+
+    /// Live slot indices, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.slots.iter().map(|s| s.index).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Generation of a live slot.
+    pub fn generation(&self, index: usize) -> Option<u64> {
+        self.slots.iter().find(|s| s.index == index).map(|s| s.generation)
+    }
+
+    /// Handle of a live slot.
+    pub fn handle(&self, index: usize) -> Option<&H> {
+        self.slots.iter().find(|s| s.index == index).map(|s| &s.handle)
+    }
+
+    /// Mutable handle of a live slot.
+    pub fn handle_mut(&mut self, index: usize) -> Option<&mut H> {
+        self.slots.iter_mut().find(|s| s.index == index).map(|s| &mut s.handle)
+    }
+
+    /// Every scale event so far, in order.
+    pub fn events(&self) -> &[ScaleEvent] {
+        &self.events
+    }
+
+    fn lowest_free_index(&self) -> usize {
+        let mut i = 0;
+        while self.slots.iter().any(|s| s.index == i) {
+            i += 1;
+        }
+        i
+    }
+
+    fn bump_gen(&mut self, index: usize) -> u64 {
+        if self.next_gen.len() <= index {
+            self.next_gen.resize(index + 1, 1);
+        }
+        let g = self.next_gen[index];
+        self.next_gen[index] = g + 1;
+        g
+    }
+
+    /// Moves the pool to `target` replicas: spawns into the lowest free
+    /// indices or retires the highest live indices, through the
+    /// callbacks. Spawn order is deterministic (ascending index);
+    /// retire order is descending index, so the longest-lived replicas
+    /// survive.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Core`] when `target` is outside the declared bounds;
+    /// any error from `spawn` aborts the scale-up at the failing slot
+    /// (already-spawned slots stay live).
+    pub fn scale_to(
+        &mut self,
+        target: usize,
+        mut spawn: impl FnMut(usize, u64) -> RlResult<H>,
+        mut retire: impl FnMut(usize, u64, H),
+    ) -> RlResult<()> {
+        if target < self.min || target > self.max {
+            return Err(RlError::Core(CoreError::new(format!(
+                "elastic stage '{}': target {} outside bounds {}..={}",
+                self.name, target, self.min, self.max
+            ))));
+        }
+        while self.slots.len() < target {
+            let index = self.lowest_free_index();
+            let generation = self.bump_gen(index);
+            let handle = spawn(index, generation)?;
+            self.slots.push(Slot { index, generation, handle });
+            self.events.push(ScaleEvent::Spawned(index, generation));
+            self.gauge.set(self.slots.len() as f64);
+        }
+        while self.slots.len() > target {
+            let pos = self
+                .slots
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, s)| s.index)
+                .map(|(i, _)| i)
+                .expect("non-empty above target");
+            let slot = self.slots.swap_remove(pos);
+            self.events.push(ScaleEvent::Retired(slot.index, slot.generation));
+            retire(slot.index, slot.generation, slot.handle);
+            self.gauge.set(self.slots.len() as f64);
+        }
+        Ok(())
+    }
+
+    /// Removes a slot that died on its own (crash, eviction) without
+    /// invoking a retire callback. Returns the handle for reaping.
+    pub fn remove(&mut self, index: usize) -> Option<H> {
+        let pos = self.slots.iter().position(|s| s.index == index)?;
+        let slot = self.slots.swap_remove(pos);
+        self.events.push(ScaleEvent::Retired(slot.index, slot.generation));
+        self.gauge.set(self.slots.len() as f64);
+        Some(slot.handle)
+    }
+
+    /// Respawns a crashed slot at the **same index** with a bumped
+    /// generation. The slot must not currently be live.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::Core`] when the slot is still live or the pool is at
+    /// its max; otherwise whatever `spawn` returns.
+    pub fn respawn(
+        &mut self,
+        index: usize,
+        spawn: impl FnOnce(usize, u64) -> RlResult<H>,
+    ) -> RlResult<u64> {
+        if self.slots.iter().any(|s| s.index == index) {
+            return Err(RlError::Core(CoreError::new(format!(
+                "elastic stage '{}': slot {} is still live",
+                self.name, index
+            ))));
+        }
+        if self.slots.len() >= self.max {
+            return Err(RlError::Core(CoreError::new(format!(
+                "elastic stage '{}': at max replicas {}",
+                self.name, self.max
+            ))));
+        }
+        let generation = self.bump_gen(index);
+        let handle = spawn(index, generation)?;
+        self.slots.push(Slot { index, generation, handle });
+        self.events.push(ScaleEvent::Spawned(index, generation));
+        self.gauge.set(self.slots.len() as f64);
+        Ok(generation)
+    }
+
+    /// Drains every slot (shutdown), retiring highest index first.
+    pub fn drain(&mut self, mut retire: impl FnMut(usize, u64, H)) {
+        while let Some(pos) =
+            self.slots.iter().enumerate().max_by_key(|(_, s)| s.index).map(|(i, _)| i)
+        {
+            let slot = self.slots.swap_remove(pos);
+            self.events.push(ScaleEvent::Retired(slot.index, slot.generation));
+            retire(slot.index, slot.generation, slot.handle);
+        }
+        self.gauge.set(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{FragmentGraph, StageKind};
+
+    fn stage(rec: &Recorder) -> ElasticStage<u64> {
+        let g = FragmentGraph::builder()
+            .elastic_stage("rollout", StageKind::Rollout, 2, 1, 6)
+            .build()
+            .unwrap();
+        ElasticStage::new(g.stage("rollout").unwrap(), rec)
+    }
+
+    #[test]
+    fn scale_up_then_down_assigns_and_retires_deterministically() {
+        let rec = Recorder::wall();
+        let mut s = stage(&rec);
+        let mut spawned = Vec::new();
+        s.scale_to(
+            4,
+            |i, g| {
+                spawned.push((i, g));
+                Ok(g)
+            },
+            |_, _, _| panic!("no retire on the way up"),
+        )
+        .unwrap();
+        assert_eq!(spawned, vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+        assert_eq!(s.indices(), vec![0, 1, 2, 3]);
+        assert_eq!(rec.gauge("frag.rollout.replicas").value(), 4.0);
+
+        let mut retired = Vec::new();
+        s.scale_to(2, |_, _| panic!("no spawn on the way down"), |i, g, _| retired.push((i, g)))
+            .unwrap();
+        assert_eq!(retired, vec![(3, 1), (2, 1)]);
+        assert_eq!(s.indices(), vec![0, 1]);
+        assert_eq!(rec.gauge("frag.rollout.replicas").value(), 2.0);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let rec = Recorder::wall();
+        let mut s = stage(&rec);
+        assert!(s.scale_to(0, |_, g| Ok(g), |_, _, _| {}).is_err());
+        assert!(s.scale_to(7, |_, g| Ok(g), |_, _, _| {}).is_err());
+    }
+
+    #[test]
+    fn respawn_bumps_generation_at_same_index() {
+        let rec = Recorder::wall();
+        let mut s = stage(&rec);
+        s.scale_to(3, |_, g| Ok(g), |_, _, _| {}).unwrap();
+        assert_eq!(s.generation(1), Some(1));
+        // Crash: slot 1 dies without a retire callback.
+        assert!(s.remove(1).is_some());
+        assert_eq!(s.indices(), vec![0, 2]);
+        let g = s
+            .respawn(1, |i, g| {
+                assert_eq!(i, 1);
+                Ok(g)
+            })
+            .unwrap();
+        assert_eq!(g, 2, "generation must bump across the crash");
+        assert_eq!(s.generation(1), Some(2));
+        // Scale-up after the crash reuses the lowest free index (3)
+        // and its generation starts fresh at 1.
+        s.scale_to(4, |_, g| Ok(g), |_, _, _| {}).unwrap();
+        assert_eq!(s.indices(), vec![0, 1, 2, 3]);
+        assert_eq!(s.generation(3), Some(1));
+        // Respawn of a live slot is an error.
+        assert!(s.respawn(0, |_, g| Ok(g)).is_err());
+    }
+
+    #[test]
+    fn drain_retires_everything() {
+        let rec = Recorder::wall();
+        let mut s = stage(&rec);
+        s.scale_to(3, |_, g| Ok(g), |_, _, _| {}).unwrap();
+        let mut retired = Vec::new();
+        s.drain(|i, _, _| retired.push(i));
+        assert_eq!(retired, vec![2, 1, 0]);
+        assert!(s.is_empty());
+        assert_eq!(rec.gauge("frag.rollout.replicas").value(), 0.0);
+    }
+}

@@ -43,15 +43,29 @@ impl StageKind {
     }
 }
 
-/// One declared stage: a named fragment with a kind and a replica count.
+/// One declared stage: a named fragment with a kind, an initial replica
+/// count, and (for elastic stages) the bounds the count may move within
+/// at runtime.
 #[derive(Debug, Clone)]
 pub struct StageDecl {
     /// Unique stage name (also the metric namespace: `frag.<name>.*`).
     pub name: String,
     /// The stage's role in the dataflow.
     pub kind: StageKind,
-    /// Parallel replicas of this fragment (workers, shards, ...).
+    /// Parallel replicas of this fragment (workers, shards, ...) at
+    /// launch.
     pub replicas: usize,
+    /// Floor for runtime scaling; equals `replicas` for fixed stages.
+    pub min_replicas: usize,
+    /// Ceiling for runtime scaling; equals `replicas` for fixed stages.
+    pub max_replicas: usize,
+}
+
+impl StageDecl {
+    /// True when the replica count may change at runtime.
+    pub fn is_elastic(&self) -> bool {
+        self.min_replicas != self.max_replicas
+    }
 }
 
 /// Backpressure policy of an edge.
@@ -136,9 +150,36 @@ pub struct FragmentGraphBuilder {
 }
 
 impl FragmentGraphBuilder {
-    /// Declares a stage.
+    /// Declares a fixed stage: the replica count never changes.
     pub fn stage(mut self, name: &str, kind: StageKind, replicas: usize) -> Self {
-        self.stages.push(StageDecl { name: name.to_string(), kind, replicas });
+        self.stages.push(StageDecl {
+            name: name.to_string(),
+            kind,
+            replicas,
+            min_replicas: replicas,
+            max_replicas: replicas,
+        });
+        self
+    }
+
+    /// Declares an elastic stage: launches with `replicas` and may be
+    /// scaled within `min..=max` at runtime (see
+    /// [`crate::fragment::ElasticStage`]).
+    pub fn elastic_stage(
+        mut self,
+        name: &str,
+        kind: StageKind,
+        replicas: usize,
+        min: usize,
+        max: usize,
+    ) -> Self {
+        self.stages.push(StageDecl {
+            name: name.to_string(),
+            kind,
+            replicas,
+            min_replicas: min,
+            max_replicas: max,
+        });
         self
     }
 
@@ -181,7 +222,8 @@ impl FragmentGraphBuilder {
     /// # Errors
     ///
     /// [`RlError::Core`] naming the first violated invariant: at least
-    /// one stage, unique stage names, positive replica counts, edges
+    /// one stage, unique stage names, positive replica counts with
+    /// coherent elastic bounds (`1 <= min <= replicas <= max`), edges
     /// referencing declared stages with positive capacity (and
     /// `Latest` edges having capacity exactly 1).
     pub fn build(self) -> RlResult<FragmentGraph> {
@@ -195,6 +237,12 @@ impl FragmentGraphBuilder {
             }
             if s.replicas == 0 {
                 return fail(format!("fragment graph: stage '{}' declares 0 replicas", s.name));
+            }
+            if s.min_replicas == 0 || s.min_replicas > s.replicas || s.replicas > s.max_replicas {
+                return fail(format!(
+                    "fragment graph: stage '{}' bounds must satisfy 1 <= min ({}) <= replicas ({}) <= max ({})",
+                    s.name, s.min_replicas, s.replicas, s.max_replicas
+                ));
             }
             if self.stages[..i].iter().any(|p| p.name == s.name) {
                 return fail(format!("fragment graph: duplicate stage name '{}'", s.name));
@@ -229,6 +277,19 @@ impl FragmentGraphBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn elastic_stage_carries_bounds() {
+        let g = FragmentGraph::builder()
+            .elastic_stage("rollout", StageKind::Rollout, 2, 1, 8)
+            .stage("learn", StageKind::Learn, 1)
+            .build()
+            .unwrap();
+        let s = g.stage("rollout").unwrap();
+        assert!(s.is_elastic());
+        assert_eq!((s.min_replicas, s.replicas, s.max_replicas), (1, 2, 8));
+        assert!(!g.stage("learn").unwrap().is_elastic());
+    }
 
     #[test]
     fn builds_and_indexes_a_valid_graph() {
@@ -273,6 +334,27 @@ mod tests {
                 .build()
                 .is_err(),
             "undeclared endpoint"
+        );
+        assert!(
+            FragmentGraph::builder()
+                .elastic_stage("a", StageKind::Rollout, 2, 3, 6)
+                .build()
+                .is_err(),
+            "initial below min"
+        );
+        assert!(
+            FragmentGraph::builder()
+                .elastic_stage("a", StageKind::Rollout, 8, 2, 6)
+                .build()
+                .is_err(),
+            "initial above max"
+        );
+        assert!(
+            FragmentGraph::builder()
+                .elastic_stage("a", StageKind::Rollout, 1, 0, 6)
+                .build()
+                .is_err(),
+            "zero min"
         );
         assert!(
             FragmentGraph::builder()

@@ -25,6 +25,7 @@
 
 mod apex;
 mod edge;
+mod elastic;
 mod graph;
 mod impala;
 mod placement;
@@ -35,6 +36,7 @@ pub mod exec;
 
 pub use apex::{apex_graph, default_apex_placement, run_apex_fragments, ShardPort, ShardPull};
 pub use edge::EdgeLane;
+pub use elastic::{ElasticStage, ScaleEvent};
 pub use exec::FragmentExecutor;
 pub use graph::{EdgeDecl, EdgePolicy, FragmentGraph, FragmentGraphBuilder, StageDecl, StageKind};
 pub use impala::{default_impala_placement, impala_graph, run_impala_fragments};

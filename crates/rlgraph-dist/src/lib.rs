@@ -18,6 +18,7 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod cluster;
 pub mod driver;
 pub mod fault;
 pub mod fragment;
@@ -30,6 +31,10 @@ pub mod sync;
 
 pub use chaos::{run_apex_chaos, ChaosApexConfig, ChaosApexConfigBuilder, ChaosReport};
 pub use checkpoint::LearnerCheckpoint;
+pub use cluster::{
+    Autoscaler, AutoscalerConfig, HashRing, MembershipTable, MembershipView, ScaleDecision,
+    ScaleSignals,
+};
 pub use driver::{DriverCommon, DriverConfigBuilder, RunBudget};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};
 pub use fragment::{

@@ -1,0 +1,127 @@
+//! Property tests for the consistent-hash ring (DESIGN.md §16),
+//! through the public `rlgraph-dist` API: assignment determinism,
+//! bounded load skew across realistic shard counts, and the defining
+//! consistent-hashing property — joins and leaves move only the keys
+//! they must.
+
+use proptest::prelude::*;
+use rlgraph_dist::cluster::{HashRing, DEFAULT_VNODES};
+use std::collections::HashMap;
+
+const KEYS: u64 = 4096;
+
+fn load_counts(ring: &HashRing, keys: u64) -> HashMap<u32, u64> {
+    let mut counts = HashMap::new();
+    for k in 0..keys {
+        *counts.entry(ring.assign(k).expect("non-empty ring")).or_insert(0) += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Assignment is a pure function of the node set: two rings built
+    /// over the same nodes — in any insertion order — agree on every
+    /// key, so workers and the coordinator never need to gossip
+    /// placements.
+    #[test]
+    fn assignment_is_deterministic_across_insertion_orders(
+        n in 1u32..64,
+        rotate in 0usize..64,
+        keys in proptest::collection::vec(any::<u64>(), 32..64),
+    ) {
+        let forward = HashRing::with_nodes(n);
+        let mut ids: Vec<u32> = (0..n).collect();
+        let len = ids.len();
+        ids.rotate_left(rotate % len);
+        let rotated = HashRing::new(&ids, DEFAULT_VNODES);
+        for k in keys {
+            prop_assert_eq!(forward.assign(k), rotated.assign(k));
+        }
+    }
+
+    /// Load balance: with the default virtual-node count, no shard's
+    /// share strays past 3x/0.2x of fair across 1..64 shards. The wide
+    /// bound is deliberate — vnode hashing has real variance at high
+    /// node counts — but it rules out the pathological skews (one
+    /// shard taking half the ring) that plain modulo-with-holes or a
+    /// low-vnode ring produce.
+    #[test]
+    fn load_stays_within_bound(n in 1u32..64) {
+        let ring = HashRing::with_nodes(n);
+        let counts = load_counts(&ring, KEYS);
+        prop_assert_eq!(counts.len() as u32, n, "every shard owns some keys");
+        let fair = KEYS as f64 / n as f64;
+        for (node, c) in counts {
+            let ratio = c as f64 / fair;
+            prop_assert!(
+                (0.2..=3.0).contains(&ratio),
+                "shard {} holds {:.2}x fair share ({} of {} keys over {} shards)",
+                node, ratio, c, KEYS, n
+            );
+        }
+    }
+
+    /// A join steals roughly 1/(n+1) of the keyspace and every stolen
+    /// key lands on the new node; keys that do not move keep their
+    /// exact owner. This is the property that makes mid-run scale-up
+    /// cheap: shards never exchange data they both keep.
+    #[test]
+    fn join_moves_only_what_the_new_node_takes(n in 1u32..32) {
+        let before = HashRing::with_nodes(n);
+        let after = before.with_node(n);
+        let mut moved = 0u64;
+        for k in 0..KEYS {
+            let a = before.assign(k).unwrap();
+            let b = after.assign(k).unwrap();
+            if a != b {
+                prop_assert_eq!(b, n, "a moved key must land on the joiner");
+                moved += 1;
+            }
+        }
+        let expected = KEYS as f64 / (n + 1) as f64;
+        prop_assert!(
+            (moved as f64) < expected * 3.0 + 32.0,
+            "join moved {} keys, expected about {:.0}",
+            moved, expected
+        );
+        prop_assert!(moved > 0, "the joiner must take some keys");
+    }
+
+    /// A leave relocates exactly the departed node's keys; everyone
+    /// else's assignment is untouched.
+    #[test]
+    fn leave_moves_only_the_departed_nodes_keys(n in 2u32..32, gone in 0u32..32) {
+        let gone = gone % n;
+        let before = HashRing::with_nodes(n);
+        let after = before.without_node(gone);
+        for k in 0..KEYS {
+            let a = before.assign(k).unwrap();
+            let b = after.assign(k).unwrap();
+            if a != gone {
+                prop_assert_eq!(a, b, "key {} moved although its owner stayed", k);
+            } else {
+                prop_assert!(b != gone, "key {} still routes to the departed node", k);
+            }
+        }
+    }
+
+    /// Failover routing agrees with the successor list: skipping a
+    /// down node lands each key on its first live successor, so the
+    /// spill target is predictable from the ring alone.
+    #[test]
+    fn filtered_assignment_matches_successors(n in 2u32..16, down in 0u32..16) {
+        let down = down % n;
+        let ring = HashRing::with_nodes(n);
+        for k in 0..256u64 {
+            let filtered = ring.assign_filtered(k, |node| node != down).unwrap();
+            let expect = ring
+                .successors(k, n as usize)
+                .into_iter()
+                .find(|&node| node != down)
+                .unwrap();
+            prop_assert_eq!(filtered, expect);
+        }
+    }
+}

@@ -22,12 +22,14 @@
 
 use crate::proc::{run_worker, spawn_worker, EnvSpec, WorkerSpec};
 use crate::proxy::{FaultProxy, FaultProxyConfig};
-use crate::services::{CoordClient, CoordService, ShardClient, ShardService};
+use crate::services::{CoordClient, CoordService, ShardClient, ShardService, DEFAULT_BEAT_TIMEOUT};
 use crate::transport::Transport;
 use rlgraph_agents::{DqnAgent, DqnConfig};
 use rlgraph_core::{CoreError, RlResult};
 use rlgraph_dist::checkpoint::LearnerCheckpoint;
+use rlgraph_dist::fragment::ElasticStage;
 use rlgraph_dist::sync::WeightHub;
+use rlgraph_dist::{Autoscaler, AutoscalerConfig, ScaleDecision, ScaleSignals};
 use rlgraph_obs::{merged_chrome_trace, DeltaTracker, ProcessTrace, Recorder};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -44,6 +46,53 @@ pub enum LaunchMode {
     /// over the same TCP sockets. For tests and harnesses that cannot
     /// safely re-exec themselves.
     Thread,
+}
+
+/// Elastic-fleet configuration (DESIGN.md §16): the rollout stage
+/// becomes a resizable pool driven by a scripted schedule and/or the
+/// obs-driven [`Autoscaler`], with heartbeat-timeout liveness and
+/// mid-run worker spawn/retire through the membership plane.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// never retire below this many workers
+    pub min_workers: usize,
+    /// never spawn above this many workers
+    pub max_workers: usize,
+    /// scripted scale steps: at `offset` from run start, move the pool
+    /// to `target` workers. Steps must be sorted by offset.
+    pub schedule: Vec<(Duration, usize)>,
+    /// obs-driven policy, consulted once the schedule is exhausted
+    pub autoscaler: Option<AutoscalerConfig>,
+    /// evict a member after this long without a heartbeat
+    pub beat_timeout: Duration,
+    /// replay-ratio cap: hold the learner when
+    /// `updates > samples * ratio`, so update throughput tracks
+    /// collection inflow (and therefore worker count) instead of
+    /// saturating on stale data
+    pub max_updates_per_sample: Option<f64>,
+    /// chaos hook: SIGKILL the highest-index live worker at this offset
+    /// ([`LaunchMode::Process`] only) — the membership sweep must evict
+    /// it and the ring reroutes its keys, with zero lost transitions
+    pub chaos_kill: Option<Duration>,
+    /// pause each worker after every task: makes workers
+    /// env-latency-bound rather than CPU-bound, so collection inflow
+    /// scales with fleet size even on single-core hosts
+    pub worker_throttle: Option<Duration>,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            min_workers: 1,
+            max_workers: 16,
+            schedule: Vec::new(),
+            autoscaler: None,
+            beat_timeout: DEFAULT_BEAT_TIMEOUT,
+            max_updates_per_sample: None,
+            chaos_kill: None,
+            worker_throttle: None,
+        }
+    }
 }
 
 /// Configuration of a multi-process Ape-X run.
@@ -81,6 +130,10 @@ pub struct NetApexConfig {
     /// trajectories, LZ frame compression — DESIGN.md §14); servers
     /// decode transparently and old peers downgrade to plain v1
     pub compression: bool,
+    /// elastic fleet: membership tracking, scripted/autoscaled
+    /// resizing, heartbeat-timeout eviction (`None` = fixed fleet,
+    /// bit-identical to the pre-elastic runtime)
+    pub elastic: Option<ElasticConfig>,
     /// observability recorder (servers, clients, learner)
     pub recorder: Recorder,
 }
@@ -102,6 +155,7 @@ impl Default for NetApexConfig {
             shard_proxy: None,
             transport: Transport::default(),
             compression: false,
+            elastic: None,
             recorder: Recorder::disabled(),
         }
     }
@@ -212,6 +266,13 @@ impl NetApexConfigBuilder {
         self
     }
 
+    /// Elastic fleet: membership tracking, scripted/autoscaled
+    /// resizing, heartbeat-timeout eviction.
+    pub fn elastic(mut self, elastic: Option<ElasticConfig>) -> Self {
+        self.draft.elastic = elastic;
+        self
+    }
+
     /// Observability recorder. Deprecated spelling of
     /// [`observe_with`](rlgraph_dist::DriverConfigBuilder::observe_with).
     pub fn recorder(mut self, recorder: Recorder) -> Self {
@@ -241,6 +302,45 @@ impl NetApexConfigBuilder {
         }
         if c.weight_sync_interval == 0 {
             return Err(CoreError::new("weight_sync_interval must be >= 1").into());
+        }
+        if let Some(e) = &c.elastic {
+            if e.min_workers == 0 {
+                return Err(CoreError::new("elastic.min_workers must be >= 1").into());
+            }
+            if e.min_workers > c.num_workers || c.num_workers > e.max_workers {
+                return Err(CoreError::new(format!(
+                    "num_workers {} outside elastic bounds {}..={}",
+                    c.num_workers, e.min_workers, e.max_workers
+                ))
+                .into());
+            }
+            if e.beat_timeout.is_zero() {
+                return Err(CoreError::new("elastic.beat_timeout must be > 0").into());
+            }
+            for (off, target) in &e.schedule {
+                if *target < e.min_workers || *target > e.max_workers {
+                    return Err(CoreError::new(format!(
+                        "schedule target {} at {:?} outside elastic bounds {}..={}",
+                        target, off, e.min_workers, e.max_workers
+                    ))
+                    .into());
+                }
+            }
+            if !e.schedule.windows(2).all(|w| w[0].0 <= w[1].0) {
+                return Err(CoreError::new("elastic.schedule must be sorted by offset").into());
+            }
+            if e.chaos_kill.is_some() && c.launch != LaunchMode::Process {
+                return Err(CoreError::new(
+                    "elastic.chaos_kill needs LaunchMode::Process (threads cannot be killed); \
+                     use WorkerSpec::die_after_tasks for thread-mode crash tests",
+                )
+                .into());
+            }
+            if let Some(r) = e.max_updates_per_sample {
+                if !(r.is_finite() && r > 0.0) {
+                    return Err(CoreError::new("elastic.max_updates_per_sample must be > 0").into());
+                }
+            }
         }
         // The declarative contract is part of validity: a config that
         // cannot be declared as a placed fragment graph is rejected here,
@@ -278,6 +378,22 @@ impl rlgraph_dist::DriverConfigBuilder for NetApexConfigBuilder {
     }
 }
 
+/// One point on an elastic run's throughput trace, sampled by the
+/// coordinator on a fixed cadence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThroughputPoint {
+    /// seconds since run start
+    pub t_secs: f64,
+    /// live workers at sample time
+    pub workers: usize,
+    /// cumulative learner updates
+    pub updates: u64,
+    /// cumulative post-processed samples (from heartbeats)
+    pub samples: u64,
+    /// learner updates/s over the window ending here
+    pub updates_per_sec: f64,
+}
+
 /// Statistics of a multi-process run.
 #[derive(Debug, Clone, Default)]
 pub struct NetApexStats {
@@ -308,6 +424,14 @@ pub struct NetApexStats {
     /// process, on the coordinator's clock (`None` with a disabled
     /// recorder)
     pub merged_trace: Option<String>,
+    /// elastic runs: throughput trace on the coordinator's cadence
+    pub throughput_trace: Vec<ThroughputPoint>,
+    /// elastic runs: `(t_secs, live workers)` after every pool resize
+    pub scale_events: Vec<(f64, usize)>,
+    /// elastic runs: members evicted by heartbeat timeout
+    pub evictions: u64,
+    /// elastic runs: final membership epoch (join/leave/evict count)
+    pub cluster_epoch: u64,
 }
 
 impl rlgraph_dist::RunReport for NetApexStats {
@@ -326,6 +450,208 @@ impl rlgraph_dist::RunReport for NetApexStats {
             rlgraph_dist::FragmentCounter::new("learn", "updates", self.updates as f64),
             rlgraph_dist::FragmentCounter::new("broadcast", "heartbeats", self.heartbeats as f64),
         ]
+    }
+}
+
+/// How a launched worker replica is reached for lifecycle operations.
+enum WorkerHandle {
+    Process(std::process::Child),
+    Thread(std::thread::JoinHandle<RlResult<()>>),
+}
+
+impl WorkerHandle {
+    /// Hard-kills a process replica (no-op for threads, which can only
+    /// die cooperatively via `die_after_tasks`).
+    fn kill(&mut self) {
+        if let WorkerHandle::Process(child) = self {
+            let _ = child.kill();
+        }
+    }
+}
+
+/// Coordinator-side cadence of elastic bookkeeping.
+const ELASTIC_TICK: Duration = Duration::from_millis(50);
+/// Throughput-trace sampling cadence.
+const TRACE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Mutable state of an elastic run, owned by the coordinator loop.
+struct ElasticState {
+    cfg: ElasticConfig,
+    stage: ElasticStage<WorkerHandle>,
+    autoscaler: Option<Autoscaler>,
+    /// current desired pool size (schedule/autoscaler move it)
+    target: usize,
+    schedule_pos: usize,
+    /// replicas flagged for clean retire, awaiting their exit
+    retiring: Vec<WorkerHandle>,
+    evictions: u64,
+    chaos_done: bool,
+    last_tick: Instant,
+    last_trace: Instant,
+    last_trace_updates: u64,
+    trace: Vec<ThroughputPoint>,
+    scale_events: Vec<(f64, usize)>,
+    /// learner-starvation window counters, reset each tick
+    starved_iters: u64,
+    total_iters: u64,
+}
+
+impl ElasticState {
+    fn new(cfg: ElasticConfig, stage: ElasticStage<WorkerHandle>, start: Instant) -> Self {
+        let target = stage.len();
+        ElasticState {
+            autoscaler: cfg.autoscaler.clone().map(Autoscaler::new),
+            cfg,
+            stage,
+            target,
+            schedule_pos: 0,
+            retiring: Vec::new(),
+            evictions: 0,
+            chaos_done: false,
+            last_tick: start,
+            last_trace: start,
+            last_trace_updates: 0,
+            trace: Vec::new(),
+            scale_events: Vec::new(),
+            starved_iters: 0,
+            total_iters: 0,
+        }
+    }
+
+    /// One learner-loop observation: was this iteration starved?
+    fn observe_iteration(&mut self, starved: bool) {
+        self.total_iters += 1;
+        if starved {
+            self.starved_iters += 1;
+        }
+    }
+
+    /// True when the replay-ratio cap says the learner must wait for
+    /// more collection inflow before its next update.
+    fn update_capped(&self, updates: u64, samples: u64) -> bool {
+        match self.cfg.max_updates_per_sample {
+            Some(r) => (updates + 1) as f64 > samples as f64 * r,
+            None => false,
+        }
+    }
+
+    /// Coordinator-side elastic bookkeeping, rate-limited to
+    /// [`ELASTIC_TICK`]: sweep membership (evict silent members, free
+    /// their slots), advance the scripted schedule, consult the
+    /// autoscaler, fire the chaos kill, resize the pool toward the
+    /// target, and sample the throughput trace.
+    ///
+    /// # Errors
+    ///
+    /// Worker spawn failures while scaling up.
+    fn tick(
+        &mut self,
+        start: Instant,
+        coord_service: &CoordService,
+        recorder: &Recorder,
+        updates: u64,
+        launch: &mut dyn FnMut(usize, u64) -> RlResult<WorkerHandle>,
+    ) -> RlResult<()> {
+        let now = Instant::now();
+        if now.duration_since(self.last_tick) < ELASTIC_TICK {
+            return Ok(());
+        }
+        self.last_tick = now;
+        let before = self.stage.len();
+
+        // Liveness: members that missed the beat timeout are evicted
+        // from the table; their slots are freed here (the handle is
+        // kept for reaping) and respawned below if the pool is under
+        // target — at a bumped generation, so a zombie's late beats
+        // are rejected as stale.
+        for id in coord_service.sweep_membership() {
+            if let Some(mut h) = self.stage.remove(id as usize) {
+                h.kill();
+                self.retiring.push(h);
+                self.evictions += 1;
+            }
+        }
+
+        // Scripted schedule first; the obs-driven policy takes over
+        // once the script is exhausted.
+        while self
+            .cfg
+            .schedule
+            .get(self.schedule_pos)
+            .is_some_and(|(off, _)| now.duration_since(start) >= *off)
+        {
+            self.target = self.cfg.schedule[self.schedule_pos].1;
+            self.schedule_pos += 1;
+        }
+        if self.schedule_pos >= self.cfg.schedule.len() {
+            if let Some(a) = &mut self.autoscaler {
+                let starvation = if self.total_iters > 0 {
+                    self.starved_iters as f64 / self.total_iters as f64
+                } else {
+                    0.0
+                };
+                let signals = ScaleSignals {
+                    replay_mailbox_depth: recorder.gauge("frag.replay.mailbox_depth").value(),
+                    learner_starvation: starvation,
+                    heartbeat_rtt_us: coord_service.cluster().mean_rtt_us().unwrap_or(0.0),
+                    alive_workers: self.stage.len(),
+                };
+                match a.decide(&signals) {
+                    ScaleDecision::Up(n) => {
+                        self.target = (self.target + n).min(self.cfg.max_workers);
+                    }
+                    ScaleDecision::Down(n) => {
+                        self.target = self.target.saturating_sub(n).max(self.cfg.min_workers);
+                    }
+                    ScaleDecision::Hold => {}
+                }
+            }
+        }
+        self.starved_iters = 0;
+        self.total_iters = 0;
+
+        // Chaos: SIGKILL the highest-index replica without telling
+        // anyone — eviction must come from the missed-beat sweep.
+        if let Some(at) = self.cfg.chaos_kill {
+            if !self.chaos_done && now.duration_since(start) >= at {
+                self.chaos_done = true;
+                if let Some(&idx) = self.stage.indices().last() {
+                    if let Some(h) = self.stage.handle_mut(idx) {
+                        h.kill();
+                    }
+                }
+            }
+        }
+
+        // Resize toward the target: spawns go through `launch` (which
+        // stamps the slot generation into the spec); retires are
+        // cooperative — the member is flagged and exits cleanly after
+        // its next heartbeat, so no in-flight insert is lost.
+        if self.stage.len() != self.target {
+            let retiring = &mut self.retiring;
+            self.stage.scale_to(self.target, launch, |index, _gen, handle| {
+                coord_service.flag_retire(index as u32);
+                retiring.push(handle);
+            })?;
+        }
+        if self.stage.len() != before {
+            self.scale_events.push((now.duration_since(start).as_secs_f64(), self.stage.len()));
+        }
+
+        if now.duration_since(self.last_trace) >= TRACE_INTERVAL {
+            let dt = now.duration_since(self.last_trace).as_secs_f64();
+            let progress = coord_service.progress();
+            self.trace.push(ThroughputPoint {
+                t_secs: now.duration_since(start).as_secs_f64(),
+                workers: self.stage.len(),
+                updates,
+                samples: progress.samples,
+                updates_per_sec: (updates - self.last_trace_updates) as f64 / dt.max(1e-9),
+            });
+            self.last_trace = now;
+            self.last_trace_updates = updates;
+        }
+        Ok(())
     }
 }
 
@@ -382,43 +708,73 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
         shard_servers.iter().map(|s| s.addr().to_string()).collect()
     };
 
-    // Coordinator: weight distribution + progress + stop propagation.
+    // Coordinator: weight distribution + progress + stop propagation;
+    // elastic runs also make it the membership authority.
     let hub = Arc::new(WeightHub::new());
     let stop = Arc::new(AtomicBool::new(false));
-    let coord_service =
-        Arc::new(CoordService::new(hub.clone(), stop.clone()).with_recorder(&recorder));
+    let mut coord = CoordService::new(hub.clone(), stop.clone()).with_recorder(&recorder);
+    if let Some(e) = &config.elastic {
+        coord = coord.with_beat_timeout(e.beat_timeout);
+    }
+    let coord_service = Arc::new(coord);
     let coord_server = config.transport.spawn("coord", coord_service.clone(), recorder.clone())?;
 
-    // Workers.
-    enum WorkerHandle {
-        Process(std::process::Child),
-        Thread(std::thread::JoinHandle<RlResult<()>>),
-    }
-    let mut workers = Vec::with_capacity(config.num_workers);
-    for w in 0..config.num_workers {
+    // Workers. `num_workers_total` fixes the exploration ladder: an
+    // elastic fleet ladders over `max_workers` so a worker's epsilon
+    // does not depend on when it was spawned.
+    let num_workers_total = config.elastic.as_ref().map_or(config.num_workers, |e| e.max_workers);
+    let coord_addr = coord_server.addr().to_string();
+    let mut launch = |index: usize, generation: u64| -> RlResult<WorkerHandle> {
         let spec = WorkerSpec {
-            worker: w as u32,
-            num_workers: config.num_workers as u32,
+            worker: index as u32,
+            num_workers: num_workers_total as u32,
             agent: config.agent.clone(),
             env: config.env.clone(),
             envs_per_worker: config.envs_per_worker as u32,
             task_size: config.task_size as u32,
-            coord_addr: coord_server.addr().to_string(),
+            coord_addr: coord_addr.clone(),
             shard_addrs: worker_shard_addrs.clone(),
             rpc_deadline_ms: config.rpc_deadline.as_millis() as u64,
             telemetry: recorder.is_enabled(),
             compression: config.compression,
+            generation,
+            die_after_tasks: None,
+            task_throttle_ms: config
+                .elastic
+                .as_ref()
+                .and_then(|e| e.worker_throttle)
+                .map_or(0, |d| d.as_millis() as u64),
         };
-        workers.push(match config.launch {
+        Ok(match config.launch {
             LaunchMode::Process => WorkerHandle::Process(spawn_worker(&spec)?),
             LaunchMode::Thread => WorkerHandle::Thread(
                 std::thread::Builder::new()
-                    .name(format!("net-worker-{}", w))
+                    .name(format!("net-worker-{}", index))
                     .spawn(move || run_worker(&spec))
                     .expect("spawn worker thread"),
             ),
-        });
-    }
+        })
+    };
+    let mut workers: Vec<WorkerHandle> = Vec::new();
+    let mut elastic_state: Option<ElasticState> = match &config.elastic {
+        // Elastic: the pool is the graph's declared elastic rollout
+        // stage; slot generations flow into WorkerSpec so every
+        // replica joins the membership table with its incarnation.
+        Some(e) => {
+            let decl = graph.stage("rollout").expect("rollout stage declared");
+            let mut stage = ElasticStage::new(decl, &recorder);
+            stage.scale_to(config.num_workers, &mut launch, |_, _, _| {})?;
+            Some(ElasticState::new(e.clone(), stage, start))
+        }
+        // Fixed fleet: generation 0 keeps membership off — the
+        // pre-elastic wire behavior, bit for bit.
+        None => {
+            for w in 0..config.num_workers {
+                workers.push(launch(w, 0)?);
+            }
+            None
+        }
+    };
 
     // Learner loop, sampling from its shards over TCP.
     let mut shard_clients = Vec::with_capacity(config.num_shards);
@@ -452,6 +808,18 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     // the current one — the sample round-trip leaves the critical path.
     let mut pending: Option<usize> = None;
     while Instant::now() < deadline && config.max_updates.map(|m| updates < m).unwrap_or(true) {
+        if let Some(el) = elastic_state.as_mut() {
+            el.tick(start, &coord_service, &recorder, updates, &mut launch)?;
+            // Replay-ratio cap: hold for inflow rather than spin on
+            // stale data. A capped iteration counts as starved — the
+            // learner wants samples it does not have — which is
+            // exactly the autoscaler's scale-up signal.
+            if el.update_capped(updates, coord_service.progress().samples) {
+                el.observe_iteration(true);
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        }
         let idx = match pending.take() {
             Some(i) => i,
             None => {
@@ -477,6 +845,9 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
         let batch = match collected {
             Ok(Some(b)) => b,
             Ok(None) => {
+                if let Some(el) = elastic_state.as_mut() {
+                    el.observe_iteration(true);
+                }
                 std::thread::sleep(Duration::from_millis(2));
                 continue;
             }
@@ -490,6 +861,9 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
         updates_ctr.inc();
         losses.push(loss);
         updates += 1;
+        if let Some(el) = elastic_state.as_mut() {
+            el.observe_iteration(false);
+        }
         let priorities = td.as_f32().map_err(CoreError::from)?.to_vec();
         if let Err(e) = shard_clients[idx].update_priorities(&batch.indices, &priorities) {
             if !e.is_retryable() {
@@ -518,7 +892,14 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     }
 
     // Tell workers (via heartbeat replies) the run is over, then reap.
+    // Elastic pools drain into the same reap path: live replicas exit
+    // on the stop beat; previously retired/evicted handles are already
+    // in `retiring`.
     stop.store(true, Ordering::Relaxed);
+    if let Some(el) = elastic_state.as_mut() {
+        el.stage.drain(|_, _, h| workers.push(h));
+        workers.append(&mut el.retiring);
+    }
     let mut workers_clean = 0usize;
     let reap_deadline = Instant::now() + config.rpc_deadline + Duration::from_secs(10);
     for w in workers {
@@ -588,6 +969,12 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
     }
     coord_server.shutdown();
 
+    let cluster_epoch = coord_service.membership_view().epoch;
+    let (throughput_trace, scale_events, evictions) = match elastic_state {
+        Some(el) => (el.trace, el.scale_events, el.evictions),
+        None => (Vec::new(), Vec::new(), 0),
+    };
+
     let wall_time = start.elapsed();
     Ok(NetApexStats {
         env_frames: progress.env_frames,
@@ -602,5 +989,9 @@ pub fn run_apex_net(config: NetApexConfig) -> RlResult<NetApexStats> {
         shard_watermarks,
         telemetry_dump,
         merged_trace,
+        throughput_trace,
+        scale_events,
+        evictions,
+        cluster_epoch,
     })
 }

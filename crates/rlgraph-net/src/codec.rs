@@ -577,6 +577,34 @@ pub fn get_trace_dump(r: &mut ByteReader<'_>) -> RlResult<rlgraph_obs::TraceDump
     Ok(rlgraph_obs::TraceDump { tracks, events, dropped })
 }
 
+/// Appends a [`MembershipView`](rlgraph_dist::MembershipView): the
+/// epoch followed by `(member, generation)` pairs for every alive
+/// member. `alive` is reconstructed from the pairs on read.
+pub fn put_membership(w: &mut ByteWriter, view: &rlgraph_dist::MembershipView) {
+    w.put_u64(view.epoch);
+    w.put_u32(view.generations.len() as u32);
+    for &(id, generation) in &view.generations {
+        w.put_u32(id);
+        w.put_u64(generation);
+    }
+}
+
+/// Reads a view written by [`put_membership`].
+///
+/// # Errors
+///
+/// [`RlError::Protocol`] on malformed input.
+pub fn get_membership(r: &mut ByteReader<'_>) -> RlResult<rlgraph_dist::MembershipView> {
+    let epoch = r.get_u64()?;
+    let n = r.get_u32()? as usize;
+    let mut generations = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        generations.push((r.get_u32()?, r.get_u64()?));
+    }
+    let alive = generations.iter().map(|&(id, _)| id).collect();
+    Ok(rlgraph_dist::MembershipView { epoch, alive, generations })
+}
+
 // ----- errors -----
 
 // Moved to `rlgraph-reactor::codec` (see note above); re-exported here.
@@ -680,6 +708,24 @@ mod tests {
     }
 
     #[test]
+    fn membership_roundtrips() {
+        let view = rlgraph_dist::MembershipView {
+            epoch: 42,
+            alive: vec![0, 2, 5],
+            generations: vec![(0, 1), (2, 3), (5, 1)],
+        };
+        let mut w = ByteWriter::new();
+        put_membership(&mut w, &view);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_membership(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.epoch, view.epoch);
+        assert_eq!(back.alive, view.alive);
+        assert_eq!(back.generations, view.generations);
+    }
+
+    #[test]
     fn errors_roundtrip_with_severity_preserved() {
         let cases = [
             RlError::deadline("shard.sample"),
@@ -699,6 +745,7 @@ mod tests {
                 last: Box::new(RlError::MailboxFull { capacity: 8 }),
             },
             RlError::Core(rlgraph_core::CoreError::new("build failed")),
+            RlError::StaleGeneration { member: 3, held: 7, presented: 2 },
         ];
         for e in cases {
             let mut w = ByteWriter::new();

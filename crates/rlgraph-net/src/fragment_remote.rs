@@ -24,9 +24,20 @@ use rlgraph_dist::ReplayShard;
 ///
 /// Graph validation failures (zero replicas, zero-capacity edges).
 pub fn net_apex_graph(config: &NetApexConfig) -> RlResult<FragmentGraph> {
-    FragmentGraph::builder()
-        .stage("rollout", StageKind::Rollout, config.num_workers)
-        .stage("replay", StageKind::Replay, config.num_shards)
+    let b = FragmentGraph::builder();
+    // An elastic run declares the rollout stage with its scaling
+    // bounds; the runtime's ElasticStage pool enforces them.
+    let b = match &config.elastic {
+        Some(e) => b.elastic_stage(
+            "rollout",
+            StageKind::Rollout,
+            config.num_workers,
+            e.min_workers,
+            e.max_workers,
+        ),
+        None => b.stage("rollout", StageKind::Rollout, config.num_workers),
+    };
+    b.stage("replay", StageKind::Replay, config.num_shards)
         .stage("learn", StageKind::Learn, 1)
         .stage("broadcast", StageKind::Broadcast, 1)
         .edge("rollout", "replay", ReplayShard::DEFAULT_MAILBOX_CAPACITY)

@@ -44,7 +44,10 @@ pub mod transport;
 // re-exports keep every `rlgraph_net::frame::...` path working.
 pub use rlgraph_reactor::{frame, wire};
 
-pub use apex_net::{run_apex_net, LaunchMode, NetApexConfig, NetApexConfigBuilder, NetApexStats};
+pub use apex_net::{
+    run_apex_net, ElasticConfig, LaunchMode, NetApexConfig, NetApexConfigBuilder, NetApexStats,
+    ThroughputPoint,
+};
 pub use fragment_remote::{net_apex_graph, net_apex_placement, validate_net_apex};
 pub use frame::{
     read_frame, write_frame, FrameKind, FRAME_OVERHEAD, MAGIC, MAX_FRAME_LEN, VERSION,

@@ -18,6 +18,7 @@ use crate::services::{CoordClient, Heartbeat, ShardClient};
 use rlgraph_agents::apex::ApexWorker;
 use rlgraph_agents::DqnConfig;
 use rlgraph_core::{CoreError, RlError, RlResult};
+use rlgraph_dist::cluster::HashRing;
 use rlgraph_dist::ray::apex_worker_epsilon;
 use rlgraph_dist::retry::{RetryPolicy, ThreadSleeper};
 use rlgraph_envs::{CartPole, Env, RandomEnv, VectorEnv};
@@ -92,6 +93,21 @@ pub struct WorkerSpec {
     /// off so old specs parse and behave identically
     #[serde(default)]
     pub compression: bool,
+    /// the worker's incarnation for membership tracking (DESIGN.md
+    /// §16); `0` (the default, so old specs parse) disables membership:
+    /// no join/leave, beats not liveness-checked
+    #[serde(default)]
+    pub generation: u64,
+    /// test hook: crash (error out *without* a leave) after completing
+    /// this many tasks — simulates a kill for eviction tests where the
+    /// worker runs on a thread that cannot receive a real signal
+    #[serde(default)]
+    pub die_after_tasks: Option<u64>,
+    /// pause after each task, in milliseconds (`0` = none): paces
+    /// collection to simulate env-latency-bound workers, so fleet
+    /// size — not CPU share — sets total inflow on small hosts
+    #[serde(default)]
+    pub task_throttle_ms: u64,
 }
 
 /// If this process was launched as a worker child, runs the worker to
@@ -238,6 +254,16 @@ fn run_worker_inner(spec: &WorkerSpec, recorder: &Recorder) -> RlResult<()> {
         deadline: None,
     };
     let sleeper = ThreadSleeper::new();
+    // Membership (generation > 0): announce this incarnation before the
+    // first task. A zombie from an older incarnation dies right here
+    // with a typed StaleGeneration instead of polluting the run.
+    if spec.generation > 0 {
+        policy.run(&sleeper, |_| coord.join(spec.worker, spec.generation))?;
+    }
+    // Trajectory routing: (worker, task) keys hash onto the shard ring;
+    // an unreachable home shard fails over to its ring successors, so
+    // one dead shard reroutes only its own arc of the key space.
+    let ring = HashRing::with_nodes(spec.shard_addrs.len() as u32);
     let mut seen_version = 0u64;
     let mut task = 0u64;
     // Telemetry: metric deltas piggyback on heartbeats, and each beat's
@@ -274,10 +300,35 @@ fn run_worker_inner(spec: &WorkerSpec, recorder: &Recorder) -> RlResult<()> {
             offset_us: best_offset,
             rtt_us: best_rtt,
             snapshot,
+            generation: spec.generation,
         };
-        let shard = &mut shards[(task as usize) % spec.shard_addrs.len()];
-        policy.run(&sleeper, |_| shard.insert(&batch.transitions, &batch.priorities))?;
+        let key = ((spec.worker as u64) << 32) | task;
+        let mut last_err = None;
+        let mut inserted = false;
+        for &s in &ring.successors(key, shards.len()) {
+            match policy
+                .run(&sleeper, |_| shards[s as usize].insert(&batch.transitions, &batch.priorities))
+            {
+                Ok(()) => {
+                    inserted = true;
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if !inserted {
+            return Err(last_err.unwrap_or_else(|| RlError::disconnected("replay shards")));
+        }
         mailbox.set(0.0);
+        // Crash-injection hook: die after the insert, before the beat —
+        // the coordinator never hears about this task and must evict us
+        // by missed-beat timeout (no LEAVE is sent on this path).
+        if spec.die_after_tasks.is_some_and(|n| task + 1 >= n) {
+            return Err(RlError::ActorCrashed {
+                actor: format!("worker-{}", spec.worker),
+                reason: "die_after_tasks test hook".into(),
+            });
+        }
         let (reply, t0, t1) = policy.run(&sleeper, |_| {
             let t0 = recorder.now_micros();
             let rep = coord.heartbeat(&beat)?;
@@ -290,15 +341,24 @@ fn run_worker_inner(spec: &WorkerSpec, recorder: &Recorder) -> RlResult<()> {
                 best_offset = reply.coord_now_us as i64 - ((t0 + t1) / 2) as i64;
             }
         }
-        if reply.stop {
+        if reply.stop || reply.retire {
             if recorder.is_enabled() {
                 // Ship the span buffer for the coordinator's merged
                 // cluster trace; best-effort — the run is over.
                 let _ =
                     coord.push_trace(&format!("worker-{}", spec.worker), &recorder.trace_dump());
             }
+            if spec.generation > 0 {
+                // Clean departure (stop and retire alike): every
+                // collected transition was inserted *before* the beat
+                // that delivered this reply, so nothing is stranded.
+                let _ = coord.leave(spec.worker);
+            }
             return Ok(());
         }
         task += 1;
+        if spec.task_throttle_ms > 0 {
+            std::thread::sleep(Duration::from_millis(spec.task_throttle_ms));
+        }
     }
 }

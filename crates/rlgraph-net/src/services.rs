@@ -10,24 +10,27 @@
 //! replies double as the shutdown signal.
 
 use crate::codec::{
-    dequantized_snapshot, get_checkpoint, get_metrics_snapshot, get_snapshot, get_snapshot_delta,
-    get_tensor, get_trace_dump, get_trajectory, get_trajectory_v2, put_checkpoint,
-    put_metrics_snapshot, put_snapshot, put_snapshot_delta, put_snapshot_enc, put_tensor,
-    put_tensor_enc, put_trace_dump, put_trajectory, put_trajectory_v2, CodecProfile, TensorEnc,
+    dequantized_snapshot, get_checkpoint, get_membership, get_metrics_snapshot, get_snapshot,
+    get_snapshot_delta, get_tensor, get_trace_dump, get_trajectory, get_trajectory_v2,
+    put_checkpoint, put_membership, put_metrics_snapshot, put_snapshot, put_snapshot_delta,
+    put_snapshot_enc, put_tensor, put_tensor_enc, put_trace_dump, put_trajectory,
+    put_trajectory_v2, CodecProfile, TensorEnc,
 };
 use crate::rpc::{RpcClient, RpcService};
 use crate::wire::{ByteReader, ByteWriter};
 use parking_lot::Mutex;
 use rlgraph_core::{RlError, RlResult};
 use rlgraph_dist::checkpoint::LearnerCheckpoint;
+use rlgraph_dist::cluster::{MembershipTable, MembershipView};
 use rlgraph_dist::shard::{ShardBatch, ShardCore};
 use rlgraph_dist::sync::{WeightHub, WeightsSnapshot};
 use rlgraph_memory::Transition;
 use rlgraph_obs::{ClusterRegistry, MetricsSnapshot, Recorder, TraceDump};
+use std::collections::HashSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Method ids of the replay-shard service.
 pub mod shard_method {
@@ -58,6 +61,13 @@ pub mod coord_method {
     /// `PushTrace { process, dump }` → `()` (workers ship their span
     /// buffers before exiting, for the merged cluster trace)
     pub const PUSH_TRACE: u16 = 5;
+    /// `Join { worker, generation }` → `epoch u64` (membership admit;
+    /// stale generations rejected with a typed error)
+    pub const JOIN: u16 = 6;
+    /// `Leave { worker }` → `()` (clean departure)
+    pub const LEAVE: u16 = 7;
+    /// `GetMembership` → [`rlgraph_dist::MembershipView`]
+    pub const GET_MEMBERSHIP: u16 = 8;
 }
 
 /// Method-name table of [`shard_method`], for telemetry labels.
@@ -80,6 +90,9 @@ pub fn coord_method_name(method: u16) -> &'static str {
         coord_method::GET_CHECKPOINT => "get_checkpoint",
         coord_method::GET_TELEMETRY => "get_telemetry",
         coord_method::PUSH_TRACE => "push_trace",
+        coord_method::JOIN => "join",
+        coord_method::LEAVE => "leave",
+        coord_method::GET_MEMBERSHIP => "get_membership",
         _ => "other",
     }
 }
@@ -408,6 +421,10 @@ pub struct Heartbeat {
     /// metric deltas since the last beat, stamped with the worker's
     /// own capture clock (`taken_at_us`), not coordinator receive time
     pub snapshot: Option<MetricsSnapshot>,
+    /// the worker's incarnation (see DESIGN.md §16); `0` means "not
+    /// membership-tracked" (legacy peers, fixed-fleet runs) and the
+    /// coordinator then skips liveness accounting for the beat
+    pub generation: u64,
 }
 
 /// The coordinator's reply to a [`Heartbeat`].
@@ -418,6 +435,9 @@ pub struct HeartbeatReply {
     /// the coordinator's clock at reply time, in microseconds; `0`
     /// when telemetry is disabled (workers then skip offset estimation)
     pub coord_now_us: u64,
+    /// whether *this worker* should retire: finish cleanly (leave, then
+    /// exit) while the run continues — the scale-down path
+    pub retire: bool,
 }
 
 /// Aggregated worker progress, folded from heartbeats.
@@ -449,6 +469,15 @@ pub struct CoordService {
     /// computed once per publish, `Arc`-shared into the subscriber
     /// table. Keyed `(version, enc tag)`; stale versions are dropped.
     deq_cache: Mutex<DeqCache>,
+    /// Elastic membership (DESIGN.md §16): joins, generation-checked
+    /// beats, and missed-beat eviction, all riding the existing RPCs.
+    membership: Mutex<MembershipTable>,
+    /// Anchor for membership timestamps — the recorder may be disabled
+    /// (its clock then reads 0), liveness still needs real time.
+    epoch0: Instant,
+    /// Workers flagged for clean retirement; their next heartbeat
+    /// reply carries `retire = true` (flag cleared when they leave).
+    retiring: Mutex<HashSet<u32>>,
 }
 
 /// Cache entries of dequantized snapshot images, keyed `(version, enc)`.
@@ -457,6 +486,10 @@ type DeqCache = Vec<((u64, u8), Arc<WeightsSnapshot>)>;
 /// Default idle window after which a delta subscriber's state is
 /// evicted (it then gets one full snapshot and is re-tracked).
 pub const DELTA_IDLE_WINDOW: Duration = Duration::from_secs(60);
+
+/// Default beat-silence threshold before the membership sweep evicts a
+/// worker. Generous: worker task loops run well under a second.
+pub const DEFAULT_BEAT_TIMEOUT: Duration = Duration::from_secs(5);
 
 impl CoordService {
     /// Creates a coordinator bridging the given hub and stop flag.
@@ -471,7 +504,54 @@ impl CoordService {
             traces: Mutex::new(Vec::new()),
             subs: Mutex::new(rlgraph_dist::SubscriberTable::new(DELTA_IDLE_WINDOW)),
             deq_cache: Mutex::new(Vec::new()),
+            membership: Mutex::new(MembershipTable::new(DEFAULT_BEAT_TIMEOUT.as_micros() as u64)),
+            epoch0: Instant::now(),
+            retiring: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Overrides the missed-beat eviction timeout (the elastic runtime
+    /// derives it from its heartbeat cadence).
+    #[must_use]
+    pub fn with_beat_timeout(self, timeout: Duration) -> Self {
+        *self.membership.lock() = MembershipTable::new(timeout.as_micros() as u64);
+        self
+    }
+
+    /// Microseconds since this coordinator started — the membership
+    /// table's time base.
+    pub fn now_us(&self) -> u64 {
+        self.epoch0.elapsed().as_micros() as u64
+    }
+
+    /// Snapshot of the membership table.
+    pub fn membership_view(&self) -> MembershipView {
+        self.membership.lock().view()
+    }
+
+    /// Evicts every member whose last beat is older than the timeout;
+    /// returns the evicted worker ids and updates `cluster.*` metrics.
+    /// Evicted workers' telemetry is dropped from the registry so fleet
+    /// aggregates track the live fleet.
+    pub fn sweep_membership(&self) -> Vec<u32> {
+        let evicted = {
+            let mut m = self.membership.lock();
+            let evicted = m.sweep(self.now_us());
+            self.recorder.gauge("cluster.members").set(m.alive_count() as f64);
+            self.recorder.gauge("cluster.epoch").set(m.epoch() as f64);
+            evicted
+        };
+        for &w in &evicted {
+            self.recorder.counter("cluster.evictions").inc();
+            self.cluster.forget(&format!("worker-{}", w));
+        }
+        evicted
+    }
+
+    /// Flags a worker for clean retirement: its next heartbeat reply
+    /// says `retire`, it finishes the task, leaves, and exits.
+    pub fn flag_retire(&self, worker: u32) {
+        self.retiring.lock().insert(worker);
     }
 
     /// Overrides the delta-state idle window (tests use tiny windows to
@@ -611,7 +691,26 @@ impl RpcService for CoordService {
                     0 => None,
                     _ => Some(get_metrics_snapshot(&mut r)?),
                 };
+                // Trailing generation: absent on legacy beats, 0 when
+                // the worker is not membership-tracked.
+                let generation = if r.remaining() > 0 { r.get_u64()? } else { 0 };
                 r.expect_end()?;
+                if generation > 0 {
+                    // Liveness piggybacks here: a stale-generation beat
+                    // is rejected *before* its progress is folded, so a
+                    // zombie's numbers never pollute its successor's.
+                    let mut m = self.membership.lock();
+                    match m.beat(worker, generation, self.now_us()) {
+                        Ok(()) => {
+                            self.recorder.gauge("cluster.members").set(m.alive_count() as f64);
+                            self.recorder.gauge("cluster.epoch").set(m.epoch() as f64);
+                        }
+                        Err(e) => {
+                            self.recorder.counter("cluster.stale_beats").inc();
+                            return Err(e);
+                        }
+                    }
+                }
                 {
                     let mut p = self.progress.lock();
                     p.env_frames += frames;
@@ -632,6 +731,7 @@ impl RpcService for CoordService {
                 } else {
                     0
                 });
+                out.put_u8(u8::from(self.retiring.lock().contains(&worker)));
             }
             coord_method::GET_CHECKPOINT => {
                 r.expect_end()?;
@@ -649,6 +749,31 @@ impl RpcService for CoordService {
                 let dump = get_trace_dump(&mut r)?;
                 r.expect_end()?;
                 self.traces.lock().push((process, dump));
+            }
+            coord_method::JOIN => {
+                let worker = r.get_u32()?;
+                let generation = r.get_u64()?;
+                r.expect_end()?;
+                let mut m = self.membership.lock();
+                let epoch = m.join(worker, generation, self.now_us())?;
+                self.recorder.gauge("cluster.members").set(m.alive_count() as f64);
+                self.recorder.gauge("cluster.epoch").set(m.epoch() as f64);
+                out.put_u64(epoch);
+            }
+            coord_method::LEAVE => {
+                let worker = r.get_u32()?;
+                r.expect_end()?;
+                let mut m = self.membership.lock();
+                m.leave(worker, self.now_us());
+                self.recorder.gauge("cluster.members").set(m.alive_count() as f64);
+                self.recorder.gauge("cluster.epoch").set(m.epoch() as f64);
+                drop(m);
+                self.retiring.lock().remove(&worker);
+                self.cluster.forget(&format!("worker-{}", worker));
+            }
+            coord_method::GET_MEMBERSHIP => {
+                r.expect_end()?;
+                put_membership(&mut out, &self.membership.lock().view());
             }
             other => {
                 return Err(RlError::Protocol(format!("coord service: unknown method {}", other)))
@@ -817,12 +942,57 @@ impl CoordClient {
                 put_metrics_snapshot(&mut w, snap);
             }
         }
+        w.put_u64(beat.generation);
         let resp = self.rpc.call(coord_method::HEARTBEAT, &w.into_bytes(), self.deadline)?;
         let mut r = ByteReader::new(&resp);
         let stop = r.get_u8()? != 0;
         let coord_now_us = r.get_u64()?;
+        // Trailing retire flag: absent in replies from older coordinators.
+        let retire = if r.remaining() > 0 { r.get_u8()? != 0 } else { false };
         r.expect_end()?;
-        Ok(HeartbeatReply { stop, coord_now_us })
+        Ok(HeartbeatReply { stop, coord_now_us, retire })
+    }
+
+    /// Joins the cluster at `generation`; returns the membership epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`RlError::StaleGeneration`] when the coordinator holds a newer
+    /// incarnation for this worker; transport errors from the RPC layer.
+    pub fn join(&mut self, worker: u32, generation: u64) -> RlResult<u64> {
+        let mut w = ByteWriter::new();
+        w.put_u32(worker);
+        w.put_u64(generation);
+        let resp = self.rpc.call(coord_method::JOIN, &w.into_bytes(), self.deadline)?;
+        let mut r = ByteReader::new(&resp);
+        let epoch = r.get_u64()?;
+        r.expect_end()?;
+        Ok(epoch)
+    }
+
+    /// Announces a clean departure.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn leave(&mut self, worker: u32) -> RlResult<()> {
+        let mut w = ByteWriter::new();
+        w.put_u32(worker);
+        self.rpc.call(coord_method::LEAVE, &w.into_bytes(), self.deadline)?;
+        Ok(())
+    }
+
+    /// Fetches the coordinator's current membership view.
+    ///
+    /// # Errors
+    ///
+    /// Transport/deadline/protocol errors from the RPC layer.
+    pub fn get_membership(&mut self) -> RlResult<MembershipView> {
+        let resp = self.rpc.call(coord_method::GET_MEMBERSHIP, &[], self.deadline)?;
+        let mut r = ByteReader::new(&resp);
+        let view = get_membership(&mut r)?;
+        r.expect_end()?;
+        Ok(view)
     }
 
     /// Fetches the coordinator's plain-text cluster telemetry report.

@@ -130,6 +130,7 @@ fn apex_over_tcp_trains_end_to_end() {
         shard_proxy: None,
         transport: Transport::default(),
         compression: false,
+        elastic: None,
         recorder: Recorder::disabled(),
     };
     let stats = run_apex_net(config).unwrap();
@@ -162,6 +163,7 @@ fn apex_over_reactor_transport_trains_end_to_end() {
         shard_proxy: None,
         transport: Transport::Reactor,
         compression: true,
+        elastic: None,
         recorder: Recorder::disabled(),
     };
     let stats = run_apex_net(config).unwrap();
@@ -194,6 +196,7 @@ fn telemetry_plane_folds_workers_and_merges_traces() {
         shard_proxy: None,
         transport: Transport::default(),
         compression: false,
+        elastic: None,
         recorder: Recorder::wall(),
     };
     let stats = run_apex_net(config).unwrap();

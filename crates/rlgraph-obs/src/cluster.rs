@@ -215,6 +215,25 @@ impl ClusterRegistry {
         self.workers.lock().expect("cluster lock").keys().cloned().collect()
     }
 
+    /// Mean heartbeat RTT (µs) across workers with an offset estimate —
+    /// the autoscaler's control-plane-saturation signal. `None` until
+    /// any worker has reported one.
+    pub fn mean_rtt_us(&self) -> Option<f64> {
+        let w = self.workers.lock().expect("cluster lock");
+        let rtts: Vec<u64> = w.values().filter(|s| s.has_offset).map(|s| s.offset_rtt_us).collect();
+        if rtts.is_empty() {
+            return None;
+        }
+        Some(rtts.iter().sum::<u64>() as f64 / rtts.len() as f64)
+    }
+
+    /// Drops all state for `worker` — called when the membership table
+    /// evicts or retires it, so a later reincarnation starts clean and
+    /// fleet aggregates stop counting the dead process.
+    pub fn forget(&self, worker: &str) {
+        self.workers.lock().expect("cluster lock").remove(worker);
+    }
+
     /// Cumulative counter total for one worker (0 when unseen).
     pub fn counter_total(&self, worker: &str, name: &str) -> u64 {
         let w = self.workers.lock().expect("cluster lock");
@@ -478,6 +497,20 @@ mod tests {
         // Same per-worker order, different cross-worker interleaving.
         assert_eq!(build(&[0, 0, 1]), build(&[0, 1, 0]));
         assert_eq!(build(&[0, 0, 1]), build(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn mean_rtt_and_forget() {
+        let reg = ClusterRegistry::new(16);
+        assert_eq!(reg.mean_rtt_us(), None);
+        reg.set_offset("w0", 0, 400);
+        reg.set_offset("w1", 0, 600);
+        assert_eq!(reg.mean_rtt_us(), Some(500.0));
+        reg.fold("w1", &snap(1, &[("c", 3)], &[]));
+        reg.forget("w1");
+        assert_eq!(reg.mean_rtt_us(), Some(400.0));
+        assert_eq!(reg.aggregate_counter_total("c"), 0);
+        assert!(!reg.worker_names().contains(&"w1".to_string()));
     }
 
     #[test]

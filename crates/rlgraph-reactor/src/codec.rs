@@ -106,6 +106,12 @@ pub fn put_rl_error(w: &mut ByteWriter, e: &RlError) {
             w.put_u8(13);
             w.put_str(c.message());
         }
+        RlError::StaleGeneration { member, held, presented } => {
+            w.put_u8(14);
+            w.put_u32(*member);
+            w.put_u64(*held);
+            w.put_u64(*presented);
+        }
     }
 }
 
@@ -146,6 +152,11 @@ fn get_rl_error_depth(r: &mut ByteReader<'_>, depth: u8) -> RlResult<RlError> {
             RlError::RetriesExhausted { attempts, last: Box::new(last) }
         }
         13 => RlError::Core(rlgraph_core::CoreError::new(r.get_str()?)),
+        14 => RlError::StaleGeneration {
+            member: r.get_u32()?,
+            held: r.get_u64()?,
+            presented: r.get_u64()?,
+        },
         other => return Err(RlError::Protocol(format!("unknown error tag {}", other))),
     })
 }

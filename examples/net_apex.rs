@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shard_proxy: None,
         transport: Transport::default(),
         compression: true,
+        elastic: None,
         recorder: recorder.clone(),
     };
     let workers = config.num_workers;

@@ -74,6 +74,18 @@ def headline(name, d):
                 f"{fmt(d['legacy']['frames_per_sec'], 0)} frames/s, "
                 f"budget <= {d['max_overhead'] * 100:.0f}% overhead)",
             ]
+        if name == "BENCH_elastic.json":
+            r = d["run"]
+            p = d["phases"]
+            wide = next(k for k in p if k.startswith("wide_"))
+            return [
+                f"elastic 2->6->3: {fmt(p['plateau_2w_updates_per_s'])} -> "
+                f"{fmt(p[wide])} updates/s after scale-up, "
+                f"{fmt(r['evictions'])} eviction(s), epoch {fmt(r['cluster_epoch'])}",
+                f"zero-loss: {fmt(r['samples_inserted'])} inserted >= "
+                f"{fmt(r['samples_reported'])} reported over {len(d['throughput_trace'])} "
+                f"trace points",
+            ]
         if name == "BENCH_kernels.json":
             n = len(d) if isinstance(d, list) else len(d.get("kernels", d))
             return [f"{n} kernel entries"]

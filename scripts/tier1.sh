@@ -55,6 +55,11 @@ timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin co
 # produced (the <5% overhead threshold is full-mode only).
 timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin obs_bench -- --smoke
 
+# Elastic cluster: membership + scripted scale-up/down + chaos SIGKILL
+# over real worker processes; asserts eviction by missed-beat timeout
+# and zero lost transitions (writes nothing in smoke mode).
+timeout 300 cargo "${CONFIG[@]}" run --release "${OFFLINE[@]}" -p bench --bin elastic_bench -- --smoke
+
 # Reactor: c10k bench smoke (<=256 connections) — re-execs a server
 # child per stack under rlimits, verifies the reactor holds the whole
 # herd and matches blocking latency. Hard timeout: a wedged event loop
